@@ -1,0 +1,89 @@
+//! Criterion bench: Figure 4's two record-commit paths — direct page commit
+//! vs the differencing merge — measured as real CPU work on the page buffer
+//! machinery, plus the full single-file commit through the kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use locus_fs::PageBuf;
+use locus_harness::Cluster;
+use locus_kernel::LockOpts;
+use locus_types::{ByteRange, LockRequestMode, Owner, Pid, SiteId, TransId};
+
+fn owner_t(n: u64) -> Owner {
+    Owner::Trans(TransId::new(SiteId(0), n))
+}
+
+fn owner_p(n: u32) -> Owner {
+    Owner::Proc(Pid::new(SiteId(0), n))
+}
+
+fn bench_commit_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_image");
+    for &writers in &[1usize, 2, 4] {
+        let mut page = PageBuf::clean(vec![0u8; 1024]);
+        for w in 0..writers {
+            page.write(
+                owner_t(w as u64 + 1),
+                ByteRange::new((w * 200) as u64, 100),
+                &[w as u8 + 1; 100],
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("writers", writers),
+            &writers,
+            |b, _| {
+                b.iter(|| {
+                    let (img, diffed, _) = page.commit_image(owner_t(1)).unwrap();
+                    criterion::black_box((img, diffed));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_file_commit(c: &mut Criterion) {
+    // Full kernel path: write + commit, with and without a co-resident
+    // uncommitted writer on the page (Figure 4a vs 4b).
+    let mut group = c.benchmark_group("single_file_commit");
+    group.sample_size(40);
+    for &overlap in &[false, true] {
+        let label = if overlap { "overlap" } else { "non_overlap" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let cluster = Cluster::new(1);
+                    let mut a = cluster.account(0);
+                    let k = &cluster.site(0).kernel;
+                    let p = k.spawn();
+                    let ch = k.creat(p, "/f", &mut a).unwrap();
+                    k.write(p, ch, &vec![0u8; 1024], &mut a).unwrap();
+                    k.commit_file(p, ch, &mut a).unwrap();
+                    if overlap {
+                        let o = k.spawn();
+                        let oc = k.open(o, "/f", true, &mut a).unwrap();
+                        k.lseek(o, oc, 700, &mut a).unwrap();
+                        k.lock(o, oc, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+                            .unwrap();
+                        k.write(o, oc, &[9u8; 64], &mut a).unwrap();
+                    }
+                    let w = k.spawn();
+                    let wc = k.open(w, "/f", true, &mut a).unwrap();
+                    k.lock(w, wc, 128, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+                        .unwrap();
+                    k.write(w, wc, &[7u8; 128], &mut a).unwrap();
+                    (cluster, w, wc)
+                },
+                |(cluster, w, wc)| {
+                    let mut a = cluster.account(0);
+                    cluster.site(0).kernel.commit_file(w, wc, &mut a).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_image, bench_single_file_commit);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion bench: real CPU cost of the record-locking mechanism
+//! (complements the Section 6.2 *modeled* table from `tbl_lock_latency`).
+//!
+//! The paper's claim under test: "setting and releasing record locks is a
+//! relatively low cost operation" — the lock path must be cheap relative to
+//! everything else the system does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use locus_harness::Cluster;
+use locus_kernel::LockOpts;
+use locus_types::LockRequestMode;
+
+fn bench_lock_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_ops");
+    for &remote in &[false, true] {
+        let cluster = Cluster::new(2);
+        let mut a = cluster.account(0);
+        let p0 = cluster.site(0).kernel.spawn();
+        let ch0 = cluster.site(0).kernel.creat(p0, "/f", &mut a).unwrap();
+        cluster
+            .site(0)
+            .kernel
+            .write(p0, ch0, &vec![0u8; 65536], &mut a)
+            .unwrap();
+        cluster.site(0).kernel.close(p0, ch0, &mut a).unwrap();
+
+        let site = usize::from(remote);
+        let mut acct = cluster.account(site);
+        let p = cluster.site(site).kernel.spawn();
+        let ch = cluster
+            .site(site)
+            .kernel
+            .open(p, "/f", true, &mut acct)
+            .unwrap();
+        let label = if remote { "remote" } else { "local" };
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("lock_unlock", label), &remote, |b, _| {
+            b.iter(|| {
+                let pos = (i % 4096) * 16;
+                i += 1;
+                cluster
+                    .site(site)
+                    .kernel
+                    .lseek(p, ch, pos, &mut acct)
+                    .unwrap();
+                cluster
+                    .site(site)
+                    .kernel
+                    .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                    .unwrap();
+                cluster
+                    .site(site)
+                    .kernel
+                    .lseek(p, ch, pos, &mut acct)
+                    .unwrap();
+                cluster
+                    .site(site)
+                    .kernel
+                    .unlock(p, ch, 16, &mut acct)
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lock_list_scaling(c: &mut Criterion) {
+    // Cost of a grant as the per-file lock list grows (the Figure 3 list is
+    // a linear structure; this quantifies the walk).
+    let mut group = c.benchmark_group("lock_list_scaling");
+    for &held in &[8usize, 64, 512] {
+        let cluster = Cluster::new(1);
+        let mut a = cluster.account(0);
+        let k = &cluster.site(0).kernel;
+        let p = k.spawn();
+        let ch = k.creat(p, "/f", &mut a).unwrap();
+        k.write(p, ch, &vec![0u8; 1 << 20], &mut a).unwrap();
+        for i in 0..held {
+            k.lseek(p, ch, (i as u64) * 32, &mut a).unwrap();
+            k.lock(p, ch, 16, LockRequestMode::Shared, LockOpts::default(), &mut a)
+                .unwrap();
+        }
+        let probe = k.spawn();
+        let pch = k.open(probe, "/f", true, &mut a).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(held), &held, |b, _| {
+            b.iter(|| {
+                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a).unwrap();
+                k.lock(probe, pch, 8, LockRequestMode::Shared, LockOpts::default(), &mut a)
+                    .unwrap();
+                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a).unwrap();
+                k.unlock(probe, pch, 8, &mut a).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lock_ops, bench_lock_list_scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench: end-to-end transaction cost (Figure 5's protocol as real
+//! work): BeginTrans → update → EndTrans (two-phase commit) → phase two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use locus_harness::Cluster;
+
+fn bench_txn_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit");
+    group.sample_size(40);
+    for &(files, label) in &[(1usize, "one_file_local"), (2, "two_files_two_sites")] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &files, |b, &files| {
+            b.iter_batched(
+                || {
+                    let cluster = Cluster::new(files.max(2));
+                    for i in 0..files {
+                        let mut a = cluster.account(i);
+                        let p = cluster.site(i).kernel.spawn();
+                        let ch = cluster
+                            .site(i)
+                            .kernel
+                            .creat(p, &format!("/f{i}"), &mut a)
+                            .unwrap();
+                        cluster.site(i).kernel.close(p, ch, &mut a).unwrap();
+                    }
+                    cluster
+                },
+                |cluster| {
+                    let mut a = cluster.account(0);
+                    let pid = cluster.site(0).kernel.spawn();
+                    cluster.site(0).txn.begin_trans(pid, &mut a).unwrap();
+                    for i in 0..files {
+                        let ch = cluster
+                            .site(0)
+                            .kernel
+                            .open(pid, &format!("/f{i}"), true, &mut a)
+                            .unwrap();
+                        cluster
+                            .site(0)
+                            .kernel
+                            .write(pid, ch, &[1u8; 64], &mut a)
+                            .unwrap();
+                    }
+                    cluster.site(0).txn.end_trans(pid, &mut a).unwrap();
+                    cluster.drain_async();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_abort(c: &mut Criterion) {
+    c.bench_function("txn_abort", |b| {
+        b.iter_batched(
+            || {
+                let cluster = Cluster::new(1);
+                let mut a = cluster.account(0);
+                let pid = cluster.site(0).kernel.spawn();
+                let ch = cluster.site(0).kernel.creat(pid, "/f", &mut a).unwrap();
+                cluster.site(0).kernel.close(pid, ch, &mut a).unwrap();
+                cluster.site(0).txn.begin_trans(pid, &mut a).unwrap();
+                let ch = cluster.site(0).kernel.open(pid, "/f", true, &mut a).unwrap();
+                cluster.site(0).kernel.write(pid, ch, &[2u8; 256], &mut a).unwrap();
+                (cluster, pid)
+            },
+            |(cluster, pid)| {
+                let mut a = cluster.account(0);
+                cluster.site(0).txn.abort_trans(pid, &mut a).unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_txn_commit, bench_abort);
+criterion_main!(benches);

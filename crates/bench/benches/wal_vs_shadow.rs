@@ -1,0 +1,114 @@
+//! Criterion bench: shadow-page record commit vs the write-ahead-log
+//! baseline, as real CPU work over the same record-update profile (the
+//! Section 6 comparison, run live rather than analytically).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use locus_disk::SimDisk;
+use locus_fs::Volume;
+use locus_sim::{Account, CostModel, Counters, EventLog};
+use locus_types::{ByteRange, Owner, SiteId, TransId, VolumeId};
+use locus_wal::WalStore;
+
+fn shadow_volume() -> (Arc<Volume>, Account) {
+    let model = Arc::new(CostModel::default());
+    let counters = Arc::new(Counters::default());
+    let disk = Arc::new(SimDisk::new(16384, model.clone(), counters.clone()));
+    (
+        Arc::new(Volume::new(
+            VolumeId(0),
+            SiteId(0),
+            disk,
+            model,
+            counters,
+            Arc::new(EventLog::new()),
+        )),
+        Account::new(SiteId(0)),
+    )
+}
+
+fn wal_store() -> (WalStore, Account) {
+    let model = Arc::new(CostModel::default());
+    let counters = Arc::new(Counters::default());
+    let disk = Arc::new(SimDisk::new(16384, model.clone(), counters.clone()));
+    (
+        WalStore::new(VolumeId(0), disk, model, counters),
+        Account::new(SiteId(0)),
+    )
+}
+
+fn bench_commit_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_commit");
+    for &(records, size) in &[(4u64, 64usize), (16, 64), (4, 512)] {
+        let label = format!("{records}rec_x_{size}B");
+        group.bench_with_input(
+            BenchmarkId::new("shadow", &label),
+            &(records, size),
+            |b, &(records, size)| {
+                let mut seq = 0u64;
+                b.iter_batched(
+                    || {
+                        let (v, mut a) = shadow_volume();
+                        let fid = v.create_file(&mut a).unwrap();
+                        seq += 1;
+                        let owner = Owner::Trans(TransId::new(SiteId(0), seq));
+                        for r in 0..records {
+                            v.write(
+                                fid,
+                                owner,
+                                ByteRange::new(r * 1024, size as u64),
+                                &vec![1u8; size],
+                                &mut a,
+                            )
+                            .unwrap();
+                        }
+                        (v, fid, owner)
+                    },
+                    |(v, fid, owner)| {
+                        let mut a = Account::new(SiteId(0));
+                        v.commit_file(fid, owner, &mut a).unwrap();
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wal", &label),
+            &(records, size),
+            |b, &(records, size)| {
+                let mut seq = 0u64;
+                b.iter_batched(
+                    || {
+                        let (w, mut a) = wal_store();
+                        let fid = w.create_file(&mut a);
+                        seq += 1;
+                        let owner = Owner::Trans(TransId::new(SiteId(0), seq));
+                        w.begin(owner);
+                        for r in 0..records {
+                            w.write(
+                                fid,
+                                owner,
+                                ByteRange::new(r * 1024, size as u64),
+                                &vec![1u8; size],
+                                &mut a,
+                            )
+                            .unwrap();
+                        }
+                        (w, owner)
+                    },
+                    |(w, owner)| {
+                        let mut a = Account::new(SiteId(0));
+                        w.commit(owner, &mut a);
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_mechanisms);
+criterion_main!(benches);

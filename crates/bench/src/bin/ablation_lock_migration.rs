@@ -1,0 +1,8 @@
+//! Prints the Section 5.2 lock-control migration ablation: remote lock
+//! bursts with and without lease delegation.
+use locus_harness::experiments::lock_migration_ablation;
+use locus_sim::CostModel;
+
+fn main() {
+    println!("{}", lock_migration_ablation(CostModel::default(), 32).render());
+}

@@ -1,0 +1,7 @@
+//! Prints the Section 5.2 prefetch-on-lock ablation.
+use locus_harness::experiments::prefetch_ablation;
+use locus_sim::CostModel;
+
+fn main() {
+    println!("{}", prefetch_ablation(CostModel::default()).render());
+}

@@ -1,0 +1,4 @@
+//! Prints Figure 1: the transaction synchronization rules matrix.
+fn main() {
+    print!("{}", locus_harness::experiments::fig1_compatibility());
+}

@@ -1,0 +1,11 @@
+//! Prints Figure 6: measured commit performance (local/remote ×
+//! overlap/non-overlap), plus the footnote-11 4 KB page variant.
+use locus_harness::experiments::fig6_commit_performance;
+use locus_sim::CostModel;
+
+fn main() {
+    println!("{}", fig6_commit_performance(CostModel::default()).render());
+    let big_pages = CostModel { page_size: 4096, ..CostModel::default() };
+    println!("-- footnote 11: 4 KB pages --");
+    println!("{}", fig6_commit_performance(big_pages).render());
+}

@@ -1,0 +1,28 @@
+//! Prints every reproduced table and figure, in paper order — the one-shot
+//! regeneration target behind EXPERIMENTS.md.
+
+use locus_harness::experiments as exp;
+use locus_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default;
+
+    println!("{}", exp::fig1_compatibility());
+    println!("{}", exp::fig3_lock_list(model()));
+    println!("{}", exp::fig4_record_commit(model()).render());
+    println!("{}", exp::fig5_txn_io(model(), 1, 1).render());
+    println!("{}", exp::fig5_txn_io(model(), 1, 4).render());
+    println!("{}", exp::fig5_txn_io(model(), 3, 1).render());
+    println!("-- footnote 9 variant (1985 prototype, double log writes) --");
+    println!("{}", exp::fig5_txn_io(CostModel::paper_1985(), 1, 1).render());
+    println!("{}", exp::lock_latency(model()).render());
+    println!("{}", exp::fig6_commit_performance(model()).render());
+    println!("{}", exp::prefetch_ablation(model()).render());
+    println!("{}", exp::lock_migration_ablation(model(), 32).render());
+
+    let local = exp::txn_throughput(model(), 8, false);
+    let remote = exp::txn_throughput(model(), 8, true);
+    println!("== End-to-end simple transaction (modeled) ==");
+    println!("local storage site:  {local} per transaction");
+    println!("remote storage site: {remote} per transaction");
+}

@@ -1,0 +1,8 @@
+//! Prints the Section 6.2 locking-performance numbers (local ≈ 2 ms,
+//! remote ≈ 18 ms; ~750 instructions per lock).
+use locus_harness::experiments::lock_latency;
+use locus_sim::CostModel;
+
+fn main() {
+    println!("{}", lock_latency(CostModel::default()).render());
+}

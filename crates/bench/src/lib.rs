@@ -1,0 +1,16 @@
+//! Experiment binaries and Criterion benches for every table and figure in
+//! the paper's evaluation (see DESIGN.md §4 for the index).
+//!
+//! Binaries (each prints one paper artifact):
+//!
+//! | binary            | artifact |
+//! |-------------------|----------|
+//! | `fig1_compat`     | Figure 1: synchronization rules matrix |
+//! | `fig3_locklist`   | Figure 3: a live lock list |
+//! | `fig4_record_commit` | Figure 4: direct vs differencing record commit |
+//! | `fig5_txn_io`     | Figure 5: transaction I/O overhead |
+//! | `fig6_commit_perf`| Figure 6: measured commit performance |
+//! | `tbl_lock_latency`| Section 6.2: local vs remote locking |
+//! | `tbl_shadow_vs_log` | Section 6 analysis: shadow paging vs logging |
+//! | `ablation_prefetch` | Section 5.2 prefetch-on-lock ablation |
+//! | `summary`         | everything above, in order |

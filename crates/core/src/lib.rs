@@ -1,0 +1,28 @@
+//! The Locus transaction facility — the paper's primary contribution.
+//!
+//! [`TxnManager`] implements the control plane of Sections 2 and 4:
+//!
+//! * **Simple-nested transactions** (Section 2): `BeginTrans` increments a
+//!   per-process nesting counter, `EndTrans` decrements it, and only the
+//!   return to zero at the top-level process commits the transaction — so
+//!   library code that brackets its critical sections in
+//!   `BeginTrans`/`EndTrans` composes into an enclosing transaction.
+//! * **Two-phase commit with three log levels** (Section 4.2): the
+//!   coordinator log (transaction id + file list + status marker), the
+//!   participant prepare logs (intentions lists + lock lists), and the
+//!   per-file shadow pages. The commit point is the single write that flips
+//!   the coordinator log's status to `committed`.
+//! * **Cascading abort** (Section 4.3) down the process tree, and abort of
+//!   every transaction touching sites lost from the current partition.
+//! * **Reboot recovery** (Section 4.4) from the retained coordinator and
+//!   prepare logs, tolerant of duplicate commit/abort messages thanks to
+//!   temporally unique transaction identifiers.
+
+pub mod manager;
+pub mod site;
+
+pub use manager::{EndOutcome, TxnManager};
+pub use site::Site;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,794 @@
+//! The per-site transaction manager.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use locus_kernel::Kernel;
+use locus_net::Msg;
+use locus_sim::{Account, Event};
+use locus_types::{
+    CoordLogRecord, Error, Fid, FileListEntry, Owner, Pid, PrepareLogRecord, Result, SiteId,
+    TransId, TxnStatus,
+};
+
+/// What an `EndTrans` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndOutcome {
+    /// The nesting level dropped but is still positive: an inner
+    /// `BeginTrans`/`EndTrans` pair closed (Section 2's composition case).
+    Nested,
+    /// The transaction reached its commit point and phase one completed; the
+    /// asynchronous second phase has been queued.
+    Committed(TransId),
+}
+
+/// Coordinator-side bookkeeping for one transaction (volatile — the durable
+/// truth is the coordinator log on disk).
+#[derive(Debug, Clone)]
+struct CoordState {
+    files: Vec<FileListEntry>,
+    status: TxnStatus,
+}
+
+/// Queued phase-two work ("a kernel process at the coordinator site
+/// asynchronously sends transaction commit messages", Section 4.2).
+#[derive(Debug, Clone)]
+pub struct Phase2Work {
+    pub tid: TransId,
+    pub commit: bool,
+    /// Participant site → files to commit/abort there.
+    pub participants: Vec<(SiteId, Vec<Fid>)>,
+}
+
+/// The transaction control plane of one site.
+pub struct TxnManager {
+    pub kernel: Arc<Kernel>,
+    next_seq: AtomicU64,
+    coordinating: Mutex<HashMap<TransId, CoordState>>,
+    async_work: Mutex<VecDeque<Phase2Work>>,
+}
+
+impl TxnManager {
+    pub fn new(kernel: Arc<Kernel>) -> Self {
+        TxnManager {
+            kernel,
+            next_seq: AtomicU64::new(1),
+            coordinating: Mutex::new(HashMap::new()),
+            async_work: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn site(&self) -> SiteId {
+        self.kernel.site
+    }
+
+    /// Sends a transaction control-plane message. The kernel's transport
+    /// routes remote messages to the destination's [`crate::Site`] handler;
+    /// local ones are dispatched to this manager directly (the kernel's
+    /// local shortcut only knows data-plane messages).
+    fn txn_rpc(&self, to: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
+        if to == self.site() {
+            return self.handle_msg(to, msg, acct).into_result();
+        }
+        self.kernel.rpc(to, msg, acct)
+    }
+
+    // ----- BeginTrans / EndTrans / AbortTrans -------------------------------
+
+    /// `BeginTrans` (Section 2): entering a transaction, or deepening the
+    /// nesting level when already inside one.
+    pub fn begin_trans(&self, pid: Pid, acct: &mut Account) -> Result<TransId> {
+        acct.cpu_instrs(&self.kernel.model, self.kernel.model.syscall_instrs);
+        let site = self.site();
+        let existing = self.kernel.procs.with_mut(pid, |rec| {
+            if let Some(tid) = rec.tid {
+                rec.nest += 1;
+                Some(tid)
+            } else {
+                None
+            }
+        })?;
+        if let Some(tid) = existing {
+            return Ok(tid);
+        }
+        // A temporally unique identifier names the new transaction
+        // (Section 4.1).
+        let tid = TransId::new(site, self.next_seq.fetch_add(1, Ordering::Relaxed));
+        self.kernel.procs.with_mut(pid, |rec| {
+            rec.tid = Some(tid);
+            rec.top = Some(pid);
+            rec.nest = 1;
+            rec.live_members = 0;
+        })?;
+        self.kernel.counters.txns_started();
+        Ok(tid)
+    }
+
+    /// `EndTrans` (Sections 2 and 4.2). On the top-level process, the final
+    /// `EndTrans` waits for all member processes to complete
+    /// ([`Error::ChildrenActive`] tells the caller to retry after a wakeup)
+    /// and then drives two-phase commit.
+    pub fn end_trans(&self, pid: Pid, acct: &mut Account) -> Result<EndOutcome> {
+        acct.cpu_instrs(&self.kernel.model, self.kernel.model.syscall_instrs);
+        let rec = self
+            .kernel
+            .procs
+            .get(pid)
+            .ok_or(Error::NoSuchProcess(pid))?;
+        let tid = rec.tid.ok_or(Error::NotInTransaction)?;
+        if rec.nest > 1 || rec.top != Some(pid) {
+            // Inner pair, or a member process closing its own bracket: the
+            // enclosing transaction continues.
+            self.kernel.procs.with_mut(pid, |r| {
+                r.nest = r.nest.saturating_sub(1);
+            })?;
+            return Ok(EndOutcome::Nested);
+        }
+        if rec.live_members > 0 {
+            return Err(Error::ChildrenActive {
+                remaining: rec.live_members as usize,
+            });
+        }
+        // Nesting returned to zero at the top level: commit.
+        self.kernel.procs.with_mut(pid, |r| r.nest = 0)?;
+        match self.commit_transaction(tid, pid, acct) {
+            Ok(()) => Ok(EndOutcome::Committed(tid)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `AbortTrans`: undoes the whole transaction (Section 4.3). May be
+    /// issued by any member process.
+    pub fn abort_trans(&self, pid: Pid, acct: &mut Account) -> Result<()> {
+        acct.cpu_instrs(&self.kernel.model, self.kernel.model.syscall_instrs);
+        let rec = self
+            .kernel
+            .procs
+            .get(pid)
+            .ok_or(Error::NoSuchProcess(pid))?;
+        let tid = rec.tid.ok_or(Error::NotInTransaction)?;
+        let top = rec.top.unwrap_or(pid);
+        // Abort is initiated "by sending an abort message to the site at
+        // which the top-level process of the transaction resides".
+        let top_site = self
+            .kernel
+            .registry
+            .lookup(top)
+            .ok_or(Error::NoSuchProcess(top))?;
+        self.kernel.events.push(Event::AbortSent {
+            tid,
+            to: top_site,
+        });
+        self.txn_rpc(top_site, Msg::AbortProc { tid, pid: top }, acct)?;
+        self.kernel.counters.txns_aborted();
+        self.kernel.events.push(Event::Aborted { tid });
+        Ok(())
+    }
+
+    // ----- Two-phase commit (Section 4.2) ------------------------------------
+
+    fn commit_transaction(&self, tid: TransId, top: Pid, acct: &mut Account) -> Result<()> {
+        let rec = self
+            .kernel
+            .procs
+            .get(top)
+            .ok_or(Error::NoSuchProcess(top))?;
+        let files: Vec<FileListEntry> = rec.file_list.iter().copied().collect();
+
+        if files.is_empty() {
+            // A transaction that used no files commits trivially: there is
+            // nothing to log or prepare; just release its locks and state.
+            self.finish_process_state(tid, top);
+            self.kernel.counters.txns_committed();
+            self.kernel.events.push(Event::Committed { tid });
+            return Ok(());
+        }
+
+        // Step 1: the coordinator log, status = unknown (Figure 5 step 1).
+        let vol = self.kernel.home();
+        vol.coord_log_put(
+            &CoordLogRecord {
+                tid,
+                files: files.clone(),
+                status: TxnStatus::Unknown,
+            },
+            acct,
+        );
+        self.coordinating.lock().insert(
+            tid,
+            CoordState {
+                files: files.clone(),
+                status: TxnStatus::Unknown,
+            },
+        );
+
+        // Steps 2–3: prepare messages to every participant (storage) site.
+        let participants = group_by_site(&files);
+        let mut all_ok = true;
+        for (site, fids) in &participants {
+            self.kernel.events.push(Event::PrepareSent { tid, to: *site });
+            let resp = self.txn_rpc(
+                *site,
+                Msg::Prepare {
+                    tid,
+                    coordinator: self.site(),
+                    files: fids.clone(),
+                },
+                acct,
+            );
+            let ok = matches!(resp, Ok(Msg::PrepareDone { ok: true, .. }));
+            self.kernel.events.push(Event::PrepareAck {
+                tid,
+                from: *site,
+                ok,
+            });
+            if !ok {
+                all_ok = false;
+                break;
+            }
+        }
+
+        if !all_ok {
+            // Failure before the commit point is an abort (Section 4.3).
+            vol.coord_log_set_status(tid, TxnStatus::Aborted, acct)?;
+            if let Some(c) = self.coordinating.lock().get_mut(&tid) {
+                c.status = TxnStatus::Aborted;
+            }
+            self.queue_phase2(tid, false, participants);
+            self.finish_process_state(tid, top);
+            self.kernel.counters.txns_aborted();
+            self.kernel.events.push(Event::Aborted { tid });
+            return Err(Error::TxnAborted(tid));
+        }
+
+        // Step 4: the commit mark — THE commit point (Figure 5 step 4).
+        vol.coord_log_set_status(tid, TxnStatus::Committed, acct)?;
+        if let Some(c) = self.coordinating.lock().get_mut(&tid) {
+            c.status = TxnStatus::Committed;
+        }
+
+        // Step 5 happens asynchronously (Figure 5's deferred fifth write).
+        self.queue_phase2(tid, true, participants);
+        self.finish_process_state(tid, top);
+        self.kernel.counters.txns_committed();
+        Ok(())
+    }
+
+    /// Clears the (now completed) transaction's process state: the process
+    /// continues as a non-transaction process.
+    fn finish_process_state(&self, tid: TransId, top: Pid) {
+        let _ = self.kernel.procs.with_mut(top, |rec| {
+            if rec.tid == Some(tid) {
+                rec.tid = None;
+                rec.top = None;
+                rec.nest = 0;
+                rec.file_list.clear();
+            }
+        });
+        self.kernel.cache.drop_owner(Owner::Trans(tid));
+    }
+
+    fn queue_phase2(&self, tid: TransId, commit: bool, participants: Vec<(SiteId, Vec<Fid>)>) {
+        self.async_work.lock().push_back(Phase2Work {
+            tid,
+            commit,
+            participants,
+        });
+    }
+
+    /// Number of queued phase-two work items.
+    pub fn pending_async(&self) -> usize {
+        self.async_work.lock().len()
+    }
+
+    /// Runs the asynchronous phase-two dæmon once: sends commit/abort
+    /// messages to participants and purges coordinator logs when every
+    /// participant has finished. Unreachable participants leave the work
+    /// queued (recovery will re-drive it). Returns how many transactions
+    /// fully completed.
+    pub fn run_async_work(&self, acct: &mut Account) -> usize {
+        let mut completed = 0;
+        let mut requeue = Vec::new();
+        loop {
+            let Some(work) = self.async_work.lock().pop_front() else {
+                break;
+            };
+            let mut remaining = Vec::new();
+            for (site, fids) in &work.participants {
+                let msg = if work.commit {
+                    self.kernel.events.push(Event::CommitSent {
+                        tid: work.tid,
+                        to: *site,
+                    });
+                    Msg::Commit {
+                        tid: work.tid,
+                        files: fids.clone(),
+                    }
+                } else {
+                    self.kernel.events.push(Event::AbortSent {
+                        tid: work.tid,
+                        to: *site,
+                    });
+                    Msg::AbortFiles {
+                        tid: work.tid,
+                        files: fids.clone(),
+                    }
+                };
+                if self.txn_rpc(*site, msg, acct).is_err() {
+                    remaining.push((*site, fids.clone()));
+                }
+            }
+            if remaining.is_empty() {
+                // All participants done: the coordinator log may be purged
+                // (Section 4.4: retained until processing completes).
+                self.kernel.home().coord_log_delete(work.tid, acct);
+                self.coordinating.lock().remove(&work.tid);
+                if work.commit {
+                    self.kernel.events.push(Event::Committed { tid: work.tid });
+                }
+                completed += 1;
+            } else {
+                requeue.push(Phase2Work {
+                    tid: work.tid,
+                    commit: work.commit,
+                    participants: remaining,
+                });
+            }
+        }
+        self.async_work.lock().extend(requeue);
+        completed
+    }
+
+    // ----- Participant-side message handling ---------------------------------
+
+    /// Handles transaction control-plane messages addressed to this site.
+    pub fn handle_msg(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Msg {
+        match self.dispatch(from, msg, acct) {
+            Ok(m) => m,
+            Err(e) => Msg::Err(e),
+        }
+    }
+
+    fn dispatch(&self, _from: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
+        match msg {
+            Msg::Prepare {
+                tid,
+                coordinator,
+                files,
+            } => {
+                let ok = self.participant_prepare(tid, coordinator, &files, acct);
+                Ok(Msg::PrepareDone { tid, ok })
+            }
+            Msg::Commit { tid, files } => {
+                self.participant_commit(tid, &files, acct)?;
+                Ok(Msg::Ok)
+            }
+            Msg::AbortFiles { tid, files } => {
+                self.participant_abort(tid, &files, acct)?;
+                Ok(Msg::Ok)
+            }
+            Msg::AbortProc { tid, pid } => {
+                self.abort_cascade(tid, pid, acct)?;
+                Ok(Msg::Ok)
+            }
+            Msg::StatusInquiry { tid } => {
+                let status = self
+                    .kernel
+                    .home()
+                    .coord_log_get(tid, acct)
+                    .map(|r| r.status);
+                Ok(Msg::StatusAnswer { status })
+            }
+            other => Err(Error::ProtocolViolation(format!(
+                "transaction manager cannot handle {other:?}"
+            ))),
+        }
+    }
+
+    /// Participant phase one: flush modified records and write the prepare
+    /// log — "enough of the intentions lists and lock lists for each file to
+    /// guarantee that the files can be committed ... regardless of local
+    /// failures" (Section 4.2).
+    fn participant_prepare(
+        &self,
+        tid: TransId,
+        coordinator: SiteId,
+        files: &[Fid],
+        acct: &mut Account,
+    ) -> bool {
+        let owner = Owner::Trans(tid);
+        for fid in files {
+            // An outstanding lock lease must come home before the lock list
+            // is snapshotted into the prepare log (Section 5.2 + 4.2).
+            let _ = self.kernel.reclaim_lease(*fid, acct);
+            let Ok(vol) = self.kernel.volume(fid.volume) else {
+                return false;
+            };
+            let il = match vol.prepare(*fid, owner, acct) {
+                Ok(il) => il,
+                Err(_) => return false,
+            };
+            for ent in &il.entries {
+                self.kernel.events.push(Event::DataFlush {
+                    tid,
+                    fid: *fid,
+                    page: ent.page,
+                });
+            }
+            let locks = self.kernel.locks.descriptors(*fid);
+            vol.prepare_log_put(
+                &PrepareLogRecord {
+                    tid,
+                    coordinator,
+                    intentions: il,
+                    locks,
+                },
+                acct,
+            );
+        }
+        true
+    }
+
+    /// Participant phase two: single-file commit per file, release the
+    /// transaction's retained locks, purge the prepare logs.
+    fn participant_commit(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
+        let owner = Owner::Trans(tid);
+        for fid in files {
+            let vol = self.kernel.volume(fid.volume)?;
+            let il = match vol.commit_prepared(*fid, owner, acct) {
+                Ok(il) => il,
+                Err(e) => {
+                    // After a crash the in-memory prepared list is gone; the
+                    // prepare log carries the intentions (Section 4.4).
+                    let _ = e;
+                    match vol.prepare_log_get(tid, *fid, acct) {
+                        Some(rec) => {
+                            vol.install_intentions(&rec.intentions, None, acct)?;
+                            rec.intentions
+                        }
+                        None => continue,
+                    }
+                }
+            };
+            if il.is_empty() {
+                // The volatile prepared list may have been lost to a crash
+                // even though the volume object survived; fall back to the
+                // logged intentions.
+                if let Some(rec) = vol.prepare_log_get(tid, *fid, acct) {
+                    if !rec.intentions.is_empty() {
+                        vol.install_intentions(&rec.intentions, None, acct)?;
+                    }
+                }
+            }
+            let _ = self.kernel.sync_replicas(*fid, &il, acct);
+            vol.prepare_log_delete(tid, *fid, acct);
+        }
+        let granted = self.kernel.locks.release_owner(owner, acct);
+        self.kernel.push_grants(granted, acct);
+        Ok(())
+    }
+
+    /// Participant abort: roll the files back and release the transaction's
+    /// locks. Duplicate aborts are harmless (temporally unique ids).
+    fn participant_abort(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
+        let owner = Owner::Trans(tid);
+        for fid in files {
+            let _ = self.kernel.reclaim_lease(*fid, acct);
+            if let Ok(vol) = self.kernel.volume(fid.volume) {
+                // Free shadow blocks named by a logged prepare record first.
+                if let Some(rec) = vol.prepare_log_get(tid, *fid, acct) {
+                    for p in rec.intentions.new_pages() {
+                        vol.disk().free(p);
+                    }
+                    vol.prepare_log_delete(tid, *fid, acct);
+                }
+                vol.abort_owner(*fid, owner, acct)?;
+            }
+        }
+        let granted = self.kernel.locks.release_owner(owner, acct);
+        self.kernel.push_grants(granted, acct);
+        Ok(())
+    }
+
+    /// Cascading abort down the process tree (Section 4.3): roll back this
+    /// process's files, then signal each child, which repeats the procedure.
+    fn abort_cascade(&self, tid: TransId, pid: Pid, acct: &mut Account) -> Result<()> {
+        let Some(rec) = self.kernel.procs.get(pid) else {
+            return Ok(()); // Already gone (duplicate abort).
+        };
+        if rec.tid != Some(tid) {
+            return Ok(());
+        }
+        let is_top = rec.top == Some(pid);
+        // Roll back files this process used, at their storage sites.
+        let by_site = group_by_site(&rec.file_list.iter().copied().collect::<Vec<_>>());
+        for (site, fids) in by_site {
+            self.kernel.events.push(Event::AbortSent { tid, to: site });
+            let _ = self.txn_rpc(
+                site,
+                Msg::AbortFiles { tid, files: fids },
+                acct,
+            );
+        }
+        // Signal the children, cascading down the tree.
+        for child in rec.children.iter() {
+            if let Some(csite) = self.kernel.registry.lookup(*child) {
+                let _ = self.txn_rpc(
+                    csite,
+                    Msg::AbortProc { tid, pid: *child },
+                    acct,
+                );
+            }
+        }
+        if is_top {
+            // The top-level process survives the abort and continues as a
+            // non-transaction process.
+            let _ = self.kernel.procs.with_mut(pid, |r| {
+                r.tid = None;
+                r.top = None;
+                r.nest = 0;
+                r.live_members = 0;
+                r.file_list.clear();
+            });
+            self.kernel.wake(pid);
+        } else {
+            // Member processes are terminated by the abort.
+            self.kernel.procs.remove(pid);
+            self.kernel.registry.remove(pid);
+            let granted = self.kernel.locks.drop_waiters_of(pid);
+            self.kernel.push_grants(granted, acct);
+        }
+        self.kernel.cache.drop_owner(Owner::Trans(tid));
+        Ok(())
+    }
+
+    // ----- Topology changes (Section 4.3) -------------------------------------
+
+    /// Called when the network topology changes: aborts every ongoing
+    /// transaction that involves sites outside this site's current
+    /// partition.
+    pub fn on_topology_change(&self, acct: &mut Account) {
+        let reachable = match self.reachable_sites() {
+            Some(r) => r,
+            None => return, // We are the crashed site.
+        };
+        // Coordinator side: abort unfinished transactions with lost
+        // participants.
+        let to_abort: Vec<(TransId, Vec<FileListEntry>)> = {
+            let coord = self.coordinating.lock();
+            coord
+                .iter()
+                .filter(|(_, c)| c.status == TxnStatus::Unknown)
+                .filter(|(_, c)| {
+                    c.files
+                        .iter()
+                        .any(|f| !reachable.contains(&f.storage_site))
+                })
+                .map(|(tid, c)| (*tid, c.files.clone()))
+                .collect()
+        };
+        for (tid, files) in to_abort {
+            let vol = self.kernel.home();
+            let _ = vol.coord_log_set_status(tid, TxnStatus::Aborted, acct);
+            if let Some(c) = self.coordinating.lock().get_mut(&tid) {
+                c.status = TxnStatus::Aborted;
+            }
+            let participants = group_by_site(&files)
+                .into_iter()
+                .filter(|(s, _)| reachable.contains(s))
+                .collect::<Vec<_>>();
+            self.queue_phase2(tid, false, participants);
+            self.kernel.counters.txns_aborted();
+            self.kernel.events.push(Event::Aborted { tid });
+        }
+        // Member side: local processes whose transaction top-level process
+        // is no longer reachable are aborted.
+        for pid in self.kernel.procs.all_pids() {
+            let Some(rec) = self.kernel.procs.get(pid) else {
+                continue;
+            };
+            let (Some(tid), Some(top)) = (rec.tid, rec.top) else {
+                continue;
+            };
+            let top_site = self.kernel.registry.lookup(top);
+            let lost = match top_site {
+                Some(s) => !reachable.contains(&s),
+                None => top != pid,
+            };
+            if lost {
+                let _ = self.abort_cascade(tid, pid, acct);
+                self.kernel.counters.txns_aborted();
+            }
+        }
+        // Participant side: locks and uncommitted modifications held here by
+        // transactions homed in a lost partition are rolled back. A file
+        // that already has a prepare log stays in doubt — once prepared, the
+        // outcome belongs to the coordinator and recovery will resolve it.
+        let snapshot = self.kernel.locks.snapshot();
+        let mut lost: HashMap<TransId, Vec<Fid>> = HashMap::new();
+        for (fid, descs) in &snapshot.held {
+            for d in descs {
+                if let (Some(tid), locus_types::LockClass::Transaction) = (d.tid, d.class) {
+                    if !reachable.contains(&tid.site) {
+                        lost.entry(tid).or_default().push(*fid);
+                    }
+                }
+            }
+        }
+        for (tid, mut fids) in lost {
+            fids.sort();
+            fids.dedup();
+            let any_prepared = fids.iter().any(|fid| {
+                self.kernel
+                    .volume(fid.volume)
+                    .ok()
+                    .and_then(|v| v.prepare_log_get(tid, *fid, acct))
+                    .is_some()
+            });
+            if any_prepared {
+                // In doubt: the prepare log guarantees commitability; the
+                // coordinator (or recovery's status inquiry) decides.
+                continue;
+            }
+            let _ = self.participant_abort(tid, &fids, acct);
+            self.kernel.events.push(Event::Aborted { tid });
+        }
+    }
+
+    fn reachable_sites(&self) -> Option<Vec<SiteId>> {
+        if self.kernel.is_crashed() {
+            return None;
+        }
+        let t = self.transport_partition();
+        if t.is_empty() {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    fn transport_partition(&self) -> Vec<SiteId> {
+        // The kernel's transport knows the current partition.
+        self.kernel.partition_view()
+    }
+
+    // ----- Recovery (Section 4.4) ---------------------------------------------
+
+    /// Reboot-time transaction recovery: "before transactions are permitted
+    /// to run, the transaction recovery mechanism is started."
+    pub fn recover(&self, acct: &mut Account) -> RecoveryReport {
+        self.kernel.events.push(Event::RecoveryStart {
+            site: self.site(),
+        });
+        let mut report = RecoveryReport::default();
+        for vol in self.kernel.mounted_volumes() {
+            self.recover_volume(&vol, acct, &mut report);
+        }
+        report
+    }
+
+    /// Recovers one volume's logs. Public so that a volume carried from a
+    /// dead site (removable media, Section 4.4) can be mounted elsewhere and
+    /// recovered there: "it is important to assure that logs are stored on
+    /// the same medium as the files to which they refer".
+    pub fn recover_volume(
+        &self,
+        vol: &std::sync::Arc<locus_fs::Volume>,
+        acct: &mut Account,
+        report: &mut RecoveryReport,
+    ) {
+        // Coordinator logs: committed → redo phase two; otherwise → abort.
+        for rec in vol.coord_log_scan(acct) {
+            let participants = group_by_site(&rec.files);
+            match rec.status {
+                TxnStatus::Committed => {
+                    self.kernel.events.push(Event::RecoveryRedo { tid: rec.tid });
+                    self.queue_phase2(rec.tid, true, participants);
+                    self.coordinating.lock().insert(
+                        rec.tid,
+                        CoordState {
+                            files: rec.files.clone(),
+                            status: TxnStatus::Committed,
+                        },
+                    );
+                    report.redone += 1;
+                }
+                TxnStatus::Unknown | TxnStatus::Aborted => {
+                    self.kernel.events.push(Event::RecoveryAbort { tid: rec.tid });
+                    let _ = vol.coord_log_set_status(rec.tid, TxnStatus::Aborted, acct);
+                    self.queue_phase2(rec.tid, false, participants);
+                    self.coordinating.lock().insert(
+                        rec.tid,
+                        CoordState {
+                            files: rec.files.clone(),
+                            status: TxnStatus::Aborted,
+                        },
+                    );
+                    report.aborted += 1;
+                }
+            }
+        }
+
+        // Participant prepare logs: ask each coordinator for the outcome.
+        for rec in vol.prepare_log_scan(acct) {
+            let fid = rec.intentions.fid;
+            let status = if rec.coordinator == self.site() {
+                vol.coord_log_get(rec.tid, acct).map(|r| r.status)
+            } else {
+                match self.txn_rpc(
+                    rec.coordinator,
+                    Msg::StatusInquiry { tid: rec.tid },
+                    acct,
+                ) {
+                    Ok(Msg::StatusAnswer { status }) => status,
+                    _ => {
+                        // Coordinator unreachable: stay in doubt, keep the
+                        // log, let a later recovery pass resolve it.
+                        report.in_doubt += 1;
+                        continue;
+                    }
+                }
+            };
+            match status {
+                Some(TxnStatus::Committed) => {
+                    vol.install_intentions(&rec.intentions, None, acct)
+                        .unwrap_or(());
+                    vol.prepare_log_delete(rec.tid, fid, acct);
+                    report.participant_committed += 1;
+                }
+                Some(TxnStatus::Aborted) | None => {
+                    // Absent log ⇒ the transaction finished everywhere; but a
+                    // surviving prepare log means *we* did not finish — with
+                    // presumed abort semantics, roll back.
+                    for p in rec.intentions.new_pages() {
+                        vol.disk().free(p);
+                    }
+                    vol.prepare_log_delete(rec.tid, fid, acct);
+                    report.participant_aborted += 1;
+                }
+                Some(TxnStatus::Unknown) => {
+                    // The coordinator has not decided; it will drive phase
+                    // two (or abort) itself.
+                    report.in_doubt += 1;
+                }
+            }
+        }
+
+        // Orphaned shadow pages from crashes between allocation and logging.
+        report.scavenged += vol.scavenge(acct);
+    }
+}
+
+/// What a recovery pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Coordinator logs re-driven through phase-two commit.
+    pub redone: usize,
+    /// Coordinator logs queued for abort processing.
+    pub aborted: usize,
+    /// Prepare logs resolved to commit.
+    pub participant_committed: usize,
+    /// Prepare logs resolved to abort.
+    pub participant_aborted: usize,
+    /// Prepare logs left in doubt (coordinator unreachable/undecided).
+    pub in_doubt: usize,
+    /// Orphaned shadow blocks reclaimed.
+    pub scavenged: usize,
+}
+
+/// Groups a file list by storage site.
+pub fn group_by_site(files: &[FileListEntry]) -> Vec<(SiteId, Vec<Fid>)> {
+    let mut map: HashMap<SiteId, Vec<Fid>> = HashMap::new();
+    for f in files {
+        map.entry(f.storage_site).or_default().push(f.fid);
+    }
+    let mut v: Vec<(SiteId, Vec<Fid>)> = map.into_iter().collect();
+    v.sort_by_key(|(s, _)| *s);
+    for (_, fids) in v.iter_mut() {
+        fids.sort();
+    }
+    v
+}

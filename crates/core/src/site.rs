@@ -1,0 +1,65 @@
+//! A complete Locus site: kernel (data plane) plus transaction manager
+//! (control plane), presented to the network as one message handler.
+
+use std::sync::Arc;
+
+use locus_kernel::Kernel;
+use locus_net::{Msg, SiteHandler};
+use locus_sim::Account;
+use locus_types::SiteId;
+
+use crate::manager::TxnManager;
+
+/// One site of the distributed system.
+pub struct Site {
+    pub kernel: Arc<Kernel>,
+    pub txn: Arc<TxnManager>,
+}
+
+impl Site {
+    pub fn new(kernel: Arc<Kernel>) -> Self {
+        let txn = Arc::new(TxnManager::new(kernel.clone()));
+        Site { kernel, txn }
+    }
+
+    pub fn id(&self) -> SiteId {
+        self.kernel.site
+    }
+
+    /// Crashes the site: volatile kernel state is lost; the transaction
+    /// manager's in-memory coordination state dies with it (the durable
+    /// coordinator/prepare logs survive on disk).
+    pub fn crash(&self) {
+        self.kernel.crash();
+    }
+
+    /// Reboots and runs transaction recovery before permitting new
+    /// transactions (Section 4.4).
+    pub fn reboot_and_recover(&self, acct: &mut Account) -> crate::manager::RecoveryReport {
+        self.kernel.reboot();
+        let report = self.txn.recover(acct);
+        // Re-drive whatever phase-two work recovery queued.
+        self.txn.run_async_work(acct);
+        report
+    }
+}
+
+impl SiteHandler for Site {
+    fn handle(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Msg {
+        match msg {
+            // Transaction control plane → the transaction manager.
+            Msg::Prepare { .. }
+            | Msg::Commit { .. }
+            | Msg::AbortFiles { .. }
+            | Msg::AbortProc { .. }
+            | Msg::StatusInquiry { .. } => {
+                if self.kernel.is_crashed() {
+                    return Msg::Err(locus_types::Error::SiteDown(self.kernel.site));
+                }
+                self.txn.handle_msg(from, msg, acct)
+            }
+            // Everything else → the kernel.
+            other => self.kernel.handle_kernel_msg(from, other, acct),
+        }
+    }
+}

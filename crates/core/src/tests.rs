@@ -1,0 +1,990 @@
+//! Transaction facility tests over a full multi-site cluster (kernel +
+//! transaction manager per site, wired through the simulated transport).
+
+use std::sync::Arc;
+
+use locus_disk::SimDisk;
+use locus_fs::Volume;
+use locus_kernel::{Catalog, Kernel, LockOpts};
+use locus_net::SimTransport;
+use locus_proc::ProcessRegistry;
+use locus_sim::{Account, CostModel, Counters, Event, EventLog};
+use locus_types::{
+    ByteRange, Error, LockRequestMode, SiteId, TxnStatus, VolumeId,
+};
+
+use crate::manager::EndOutcome;
+use crate::site::Site;
+
+pub(crate) struct TestCluster {
+    pub sites: Vec<Arc<Site>>,
+    pub transport: Arc<SimTransport>,
+    pub events: Arc<EventLog>,
+    pub counters: Arc<Counters>,
+    pub model: Arc<CostModel>,
+}
+
+impl TestCluster {
+    pub fn new(n: usize) -> Self {
+        Self::with_model(n, CostModel::default())
+    }
+
+    pub fn with_model(n: usize, model: CostModel) -> Self {
+        let model = Arc::new(model);
+        let counters = Arc::new(Counters::default());
+        let events = Arc::new(EventLog::new());
+        let registry = Arc::new(ProcessRegistry::new());
+        let catalog = Arc::new(Catalog::new());
+        let transport = Arc::new(SimTransport::new(n, model.clone(), counters.clone()));
+        let mut sites = Vec::new();
+        for i in 0..n {
+            let sid = SiteId(i as u32);
+            let disk = Arc::new(SimDisk::new(8192, model.clone(), counters.clone()));
+            let vol = Arc::new(Volume::new(
+                VolumeId(i as u32),
+                sid,
+                disk,
+                model.clone(),
+                counters.clone(),
+                events.clone(),
+            ));
+            let kernel = Arc::new(Kernel::new(
+                sid,
+                model.clone(),
+                counters.clone(),
+                events.clone(),
+                vol,
+                registry.clone(),
+                catalog.clone(),
+            ));
+            kernel.set_transport(transport.clone());
+            let site = Arc::new(Site::new(kernel));
+            transport.register(sid, site.clone());
+            sites.push(site);
+        }
+        // Topology changes abort transactions spanning lost sites
+        // (Section 4.3).
+        let weak: Vec<std::sync::Weak<Site>> = sites.iter().map(Arc::downgrade).collect();
+        transport.on_topology_change(Arc::new(move |survivor| {
+            if let Some(site) = weak.get(survivor.0 as usize).and_then(|w| w.upgrade()) {
+                let mut acct = Account::new(survivor);
+                site.txn.on_topology_change(&mut acct);
+            }
+        }));
+        TestCluster {
+            sites,
+            transport,
+            events,
+            counters,
+            model,
+        }
+    }
+
+    pub fn site(&self, i: usize) -> &Arc<Site> {
+        &self.sites[i]
+    }
+
+    /// Drains every site's asynchronous phase-two queue.
+    pub fn drain_async(&self) {
+        for s in &self.sites {
+            let mut acct = Account::new(s.id());
+            s.txn.run_async_work(&mut acct);
+        }
+    }
+}
+
+fn acct(i: u32) -> Account {
+    Account::new(SiteId(i))
+}
+
+#[test]
+fn simple_transaction_commits_durably() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    k.close(pid, ch, &mut a).unwrap();
+
+    let tid = s.txn.begin_trans(pid, &mut a).unwrap();
+    let ch = k.open(pid, "/f", true, &mut a).unwrap();
+    k.write(pid, ch, b"transactional", &mut a).unwrap();
+    let out = s.txn.end_trans(pid, &mut a).unwrap();
+    assert_eq!(out, EndOutcome::Committed(tid));
+    c.drain_async();
+
+    s.crash();
+    let mut ra = acct(0);
+    s.reboot_and_recover(&mut ra);
+    let p2 = k.spawn();
+    let ch2 = k.open(p2, "/f", false, &mut ra).unwrap();
+    assert_eq!(k.read(p2, ch2, 13, &mut ra).unwrap(), b"transactional");
+}
+
+#[test]
+fn figure5_io_counts_for_simple_transaction() {
+    // Figure 5: a simple one-page, one-file transaction costs 3 I/Os beyond
+    // normal file activity before completing (coordinator log, data flush,
+    // prepare log), a 4th for the commit mark, and 1 more asynchronously for
+    // the inode install.
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    k.write(pid, ch, b"x", &mut a).unwrap();
+
+    let before = a.clone();
+    s.txn.end_trans(pid, &mut a).unwrap();
+    let d = a.delta_since(&before);
+    assert_eq!(
+        d.total_ios(),
+        4,
+        "coordinator log + data flush + prepare log + commit mark"
+    );
+
+    let mut bg = acct(0);
+    s.txn.run_async_work(&mut bg);
+    assert_eq!(bg.total_ios(), 1, "asynchronous inode install");
+}
+
+#[test]
+fn figure5_footnote9_doubles_log_writes() {
+    // With the 1985 prototype's double log appends, steps 1 and 3 cost two
+    // I/Os each: 6 before completion instead of 4.
+    let c = TestCluster::with_model(1, CostModel::paper_1985());
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    k.write(pid, ch, b"x", &mut a).unwrap();
+    let before = a.clone();
+    s.txn.end_trans(pid, &mut a).unwrap();
+    assert_eq!(a.delta_since(&before).total_ios(), 6);
+}
+
+#[test]
+fn multi_page_transaction_repeats_only_data_flush() {
+    // Section 6.1: extra records in the same file add only step-2 I/Os.
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    for page in 0..4u64 {
+        k.lseek(pid, ch, page * 1024, &mut a).unwrap();
+        k.write(pid, ch, b"rec", &mut a).unwrap();
+    }
+    let before = a.clone();
+    s.txn.end_trans(pid, &mut a).unwrap();
+    // 1 coord log + 4 data flushes + 1 prepare log + 1 commit mark.
+    assert_eq!(a.delta_since(&before).total_ios(), 7);
+}
+
+#[test]
+fn nested_begin_end_pairs_compose() {
+    // Section 2's database-subsystem example: the inner EndTrans must not
+    // terminate the enclosing transaction.
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    let tid = s.txn.begin_trans(pid, &mut a).unwrap();
+    // The "database subsystem" brackets its critical section.
+    let tid2 = s.txn.begin_trans(pid, &mut a).unwrap();
+    assert_eq!(tid, tid2, "nested begin joins the same transaction");
+    k.write(pid, ch, b"inner", &mut a).unwrap();
+    assert_eq!(s.txn.end_trans(pid, &mut a).unwrap(), EndOutcome::Nested);
+    // Still inside the transaction: data is not yet durable.
+    k.write(pid, ch, b"outer", &mut a).unwrap();
+    assert_eq!(
+        s.txn.end_trans(pid, &mut a).unwrap(),
+        EndOutcome::Committed(tid)
+    );
+    assert_eq!(
+        c.counters.snapshot().txns_committed,
+        1,
+        "exactly one transaction committed"
+    );
+}
+
+#[test]
+fn abort_rolls_back_everything() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    k.write(pid, ch, b"stable", &mut a).unwrap();
+    k.close(pid, ch, &mut a).unwrap();
+
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    let ch = k.open(pid, "/f", true, &mut a).unwrap();
+    k.write(pid, ch, b"GARBAGE", &mut a).unwrap();
+    s.txn.abort_trans(pid, &mut a).unwrap();
+
+    // The top-level process continues as a non-transaction process and sees
+    // the pre-transaction contents.
+    assert!(k.procs.get(pid).unwrap().tid.is_none());
+    let mut a2 = acct(0);
+    let ch2 = k.open(pid, "/f", false, &mut a2).unwrap();
+    assert_eq!(k.read(pid, ch2, 6, &mut a2).unwrap(), b"stable");
+}
+
+#[test]
+fn distributed_transaction_two_participants() {
+    let c = TestCluster::new(3);
+    let (s0, s1, s2) = (c.site(0), c.site(1), c.site(2));
+    let mut a1 = acct(1);
+    let mut a2 = acct(2);
+    // Files stored at sites 1 and 2.
+    let p1 = s1.kernel.spawn();
+    let chx = s1.kernel.creat(p1, "/x", &mut a1).unwrap();
+    s1.kernel.close(p1, chx, &mut a1).unwrap();
+    let p2 = s2.kernel.spawn();
+    let chy = s2.kernel.creat(p2, "/y", &mut a2).unwrap();
+    s2.kernel.close(p2, chy, &mut a2).unwrap();
+
+    // A transaction at site 0 updates both, transparently.
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    let tid = s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let cx = s0.kernel.open(pid, "/x", true, &mut a0).unwrap();
+    let cy = s0.kernel.open(pid, "/y", true, &mut a0).unwrap();
+    s0.kernel.write(pid, cx, b"XX", &mut a0).unwrap();
+    s0.kernel.write(pid, cy, b"YY", &mut a0).unwrap();
+    assert_eq!(
+        s0.txn.end_trans(pid, &mut a0).unwrap(),
+        EndOutcome::Committed(tid)
+    );
+    c.drain_async();
+
+    // Both participants prepared before the commit mark.
+    assert!(c.events.happens_before(
+        |e| matches!(e, Event::PrepareLog { site, .. } if *site == SiteId(1)),
+        |e| matches!(e, Event::CommitMark { .. }),
+    ));
+    assert!(c.events.happens_before(
+        |e| matches!(e, Event::PrepareLog { site, .. } if *site == SiteId(2)),
+        |e| matches!(e, Event::CommitMark { .. }),
+    ));
+    // And the data is durable at both.
+    for (s, name, want) in [(s1, "/x", b"XX"), (s2, "/y", b"YY")] {
+        s.crash();
+        let mut ra = Account::new(s.id());
+        s.reboot_and_recover(&mut ra);
+        let p = s.kernel.spawn();
+        let ch = s.kernel.open(p, name, false, &mut ra).unwrap();
+        assert_eq!(s.kernel.read(p, ch, 2, &mut ra).unwrap(), want);
+    }
+}
+
+#[test]
+fn commit_protocol_event_ordering() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel.write(pid, ch, b"z", &mut a0).unwrap();
+    s0.txn.end_trans(pid, &mut a0).unwrap();
+    c.drain_async();
+
+    let ev = &c.events;
+    // Coordinator log (unknown) → prepare sent → data flush → prepare log →
+    // commit mark → phase-two commit → file commit.
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::CoordLog { status: TxnStatus::Unknown, .. }),
+        |e| matches!(e, Event::PrepareSent { .. }),
+    ));
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::PrepareSent { .. }),
+        |e| matches!(e, Event::DataFlush { .. }),
+    ));
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::DataFlush { .. }),
+        |e| matches!(e, Event::PrepareLog { .. }),
+    ));
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::PrepareLog { .. }),
+        |e| matches!(e, Event::CommitMark { .. }),
+    ));
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::CommitMark { .. }),
+        |e| matches!(e, Event::CommitSent { .. }),
+    ));
+    assert!(ev.happens_before(
+        |e| matches!(e, Event::CommitSent { .. }),
+        |e| matches!(e, Event::FileCommit { .. }),
+    ));
+}
+
+#[test]
+fn coordinator_crash_after_commit_mark_recovers_by_redo() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel.write(pid, ch, b"committed", &mut a0).unwrap();
+    s0.txn.end_trans(pid, &mut a0).unwrap();
+    // CRASH the coordinator before phase two runs.
+    assert_eq!(s0.txn.pending_async(), 1);
+    s0.crash();
+    c.transport.site_down(SiteId(0));
+
+    // Reboot: recovery finds the committed coordinator log and re-drives
+    // phase two (Section 4.4).
+    c.transport.site_up(SiteId(0));
+    let mut ra = acct(0);
+    let report = s0.reboot_and_recover(&mut ra);
+    assert_eq!(report.redone, 1);
+    assert_eq!(
+        c.events.count(|e| matches!(e, Event::RecoveryRedo { .. })),
+        1
+    );
+
+    // The participant's data is now durable.
+    s1.crash();
+    let mut r1 = acct(1);
+    s1.reboot_and_recover(&mut r1);
+    let p = s1.kernel.spawn();
+    let ch = s1.kernel.open(p, "/f", false, &mut r1).unwrap();
+    assert_eq!(s1.kernel.read(p, ch, 9, &mut r1).unwrap(), b"committed");
+}
+
+#[test]
+fn coordinator_crash_before_commit_mark_aborts() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    // Manufacture the dangerous window: coordinator log written, participant
+    // prepared, but NO commit mark — then the coordinator dies.
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    let tid = s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel.write(pid, ch, b"doomed", &mut a0).unwrap();
+    let files: Vec<locus_types::FileListEntry> = s0
+        .kernel
+        .procs
+        .get(pid)
+        .unwrap()
+        .file_list
+        .iter()
+        .copied()
+        .collect();
+    s0.kernel.home().coord_log_put(
+        &locus_types::CoordLogRecord {
+            tid,
+            files: files.clone(),
+            status: TxnStatus::Unknown,
+        },
+        &mut a0,
+    );
+    let fid = files[0].fid;
+    s0.kernel
+        .rpc(
+            SiteId(1),
+            locus_net::Msg::Prepare {
+                tid,
+                coordinator: SiteId(0),
+                files: vec![fid],
+            },
+            &mut a0,
+        )
+        .unwrap();
+    s0.crash();
+
+    // Coordinator reboots: the unknown-status log is queued for abort.
+    let mut ra = acct(0);
+    let report = s0.reboot_and_recover(&mut ra);
+    assert_eq!(report.aborted, 1);
+
+    // The participant rolled back; the file keeps its old (empty) contents.
+    let p = s1.kernel.spawn();
+    let mut r1 = acct(1);
+    let ch = s1.kernel.open(p, "/f", false, &mut r1).unwrap();
+    assert!(s1.kernel.read(p, ch, 6, &mut r1).unwrap().is_empty());
+    // And the participant's prepare log is gone.
+    assert!(s1
+        .kernel
+        .home()
+        .prepare_log_get(tid, fid, &mut r1)
+        .is_none());
+}
+
+#[test]
+fn participant_crash_after_prepare_resolves_via_status_inquiry() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel.write(pid, ch, b"persist", &mut a0).unwrap();
+    s0.txn.end_trans(pid, &mut a0).unwrap();
+
+    // The participant crashes after prepare but before phase two arrives.
+    s1.crash();
+    c.transport.site_down(SiteId(1));
+    // Phase two cannot reach it; the work stays queued.
+    c.drain_async();
+    assert_eq!(s0.txn.pending_async(), 1);
+
+    // Participant reboots and asks the coordinator: committed → install.
+    c.transport.site_up(SiteId(1));
+    let mut r1 = acct(1);
+    let report = s1.reboot_and_recover(&mut r1);
+    assert_eq!(report.participant_committed, 1);
+    let p = s1.kernel.spawn();
+    let ch = s1.kernel.open(p, "/f", false, &mut r1).unwrap();
+    assert_eq!(s1.kernel.read(p, ch, 7, &mut r1).unwrap(), b"persist");
+
+    // The coordinator's retried phase two is now harmless (duplicate commit
+    // messages cannot produce unintentional failures — temporally unique
+    // ids, Section 4.4).
+    c.drain_async();
+    assert_eq!(s0.txn.pending_async(), 0);
+}
+
+#[test]
+fn figure2_adoption_preserves_serializability() {
+    // The Section 3.3 scenario: a non-transaction updates x[1] and unlocks
+    // without committing; a transaction reads x[1] and writes x[2]; the
+    // non-transaction then aborts x[1]. Rule 2 makes the transaction adopt
+    // x[1], so the abort cannot strand x[2] ≠ x[1].
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+
+    let setup = k.spawn();
+    let ch = k.creat(setup, "/x", &mut a).unwrap();
+    k.write(setup, ch, &[0u8; 2], &mut a).unwrap();
+    k.close(setup, ch, &mut a).unwrap();
+
+    // Non-transaction program: writelock x[1]; x[1] := C; unlock x[1].
+    let nontxn = k.spawn();
+    let nch = k.open(nontxn, "/x", true, &mut a).unwrap();
+    k.lock(nontxn, nch, 1, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    k.write(nontxn, nch, b"C", &mut a).unwrap();
+    k.lseek(nontxn, nch, 0, &mut a).unwrap();
+    k.unlock(nontxn, nch, 1, &mut a).unwrap();
+
+    // Transaction: readlock x[1]; t := x[1]; writelock x[2]; x[2] := t; End.
+    let txn = k.spawn();
+    s.txn.begin_trans(txn, &mut a).unwrap();
+    let tch = k.open(txn, "/x", true, &mut a).unwrap();
+    let t = k.read(txn, tch, 1, &mut a).unwrap();
+    assert_eq!(t, b"C", "uncommitted data is visible");
+    k.write(txn, tch, &t, &mut a).unwrap(); // x[2] := t (offset 1).
+    s.txn.end_trans(txn, &mut a).unwrap();
+    c.drain_async();
+
+    // The non-transaction now aborts x[1] — but the record was adopted and
+    // committed by the transaction, so nothing is lost.
+    k.abort_file(nontxn, nch, &mut a).unwrap();
+
+    s.crash();
+    let mut ra = acct(0);
+    s.reboot_and_recover(&mut ra);
+    let p = k.spawn();
+    let ch = k.open(p, "/x", false, &mut ra).unwrap();
+    let data = k.read(p, ch, 2, &mut ra).unwrap();
+    assert_eq!(data, b"CC", "x[1] and x[2] are consistent");
+}
+
+#[test]
+fn retained_locks_block_until_commit() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let setup = k.spawn();
+    let ch = k.creat(setup, "/f", &mut a).unwrap();
+    k.write(setup, ch, &[0u8; 10], &mut a).unwrap();
+    k.close(setup, ch, &mut a).unwrap();
+
+    let txn = k.spawn();
+    s.txn.begin_trans(txn, &mut a).unwrap();
+    let tch = k.open(txn, "/f", true, &mut a).unwrap();
+    k.lock(txn, tch, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    k.write(txn, tch, b"dirty", &mut a).unwrap();
+    // Explicit unlock inside the transaction: the lock is RETAINED.
+    k.lseek(txn, tch, 0, &mut a).unwrap();
+    k.unlock(txn, tch, 10, &mut a).unwrap();
+
+    // Another process still cannot acquire it.
+    let other = k.spawn();
+    let och = k.open(other, "/f", true, &mut a).unwrap();
+    assert!(matches!(
+        k.lock(other, och, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        Err(Error::LockConflict { .. })
+    ));
+
+    // Commit releases the retained lock.
+    s.txn.end_trans(txn, &mut a).unwrap();
+    c.drain_async();
+    assert!(k
+        .lock(other, och, 10, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .is_ok());
+    assert!(c
+        .events
+        .count(|e| matches!(e, Event::RetainedReleased { .. }))
+        >= 1);
+}
+
+#[test]
+fn child_file_list_merges_into_commit() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/remote", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let parent = s0.kernel.spawn();
+    s0.txn.begin_trans(parent, &mut a0).unwrap();
+    // The child (same site here) uses a file the parent never touches.
+    let child = s0.kernel.fork(parent, &mut a0).unwrap();
+    let cch = s0.kernel.open(child, "/remote", true, &mut a0).unwrap();
+    s0.kernel.write(child, cch, b"child data", &mut a0).unwrap();
+
+    // EndTrans refuses while the child is alive (Section 4.2: all
+    // subprocesses must have completed).
+    assert!(matches!(
+        s0.txn.end_trans(parent, &mut a0),
+        Err(Error::ChildrenActive { .. })
+    ));
+    s0.kernel.exit(child, &mut a0).unwrap();
+    assert!(s0.kernel.take_wakeup(parent));
+
+    // Now the commit includes the child's file.
+    s0.txn.end_trans(parent, &mut a0).unwrap();
+    c.drain_async();
+    assert!(c
+        .events
+        .count(|e| matches!(e, Event::FileListMerged { .. }))
+        >= 1);
+    let p = s1.kernel.spawn();
+    let mut r1 = acct(1);
+    let ch = s1.kernel.open(p, "/remote", false, &mut r1).unwrap();
+    assert_eq!(s1.kernel.read(p, ch, 10, &mut r1).unwrap(), b"child data");
+}
+
+#[test]
+fn migrated_top_level_process_still_receives_merges() {
+    let c = TestCluster::new(3);
+    let (s0, s1, s2) = (c.site(0), c.site(1), c.site(2));
+    let mut a2 = acct(2);
+    let p2 = s2.kernel.spawn();
+    let ch = s2.kernel.creat(p2, "/data", &mut a2).unwrap();
+    s2.kernel.close(p2, ch, &mut a2).unwrap();
+
+    let mut a0 = acct(0);
+    let top = s0.kernel.spawn();
+    s0.txn.begin_trans(top, &mut a0).unwrap();
+    let child = s0.kernel.fork(top, &mut a0).unwrap();
+    let cch = s0.kernel.open(child, "/data", true, &mut a0).unwrap();
+    s0.kernel.write(child, cch, b"payload", &mut a0).unwrap();
+
+    // The top-level process migrates twice; its file-list moves with it.
+    s0.kernel.migrate(top, SiteId(1), &mut a0).unwrap();
+    let mut am = acct(1);
+    s1.kernel.migrate(top, SiteId(2), &mut am).unwrap();
+
+    // The child exits at site 0; the merge chases the top to site 2.
+    s0.kernel.exit(child, &mut a0).unwrap();
+    let rec = s2.kernel.procs.get(top).unwrap();
+    assert!(
+        rec.file_list.iter().any(|f| f.storage_site == SiteId(2)),
+        "file-list reached the migrated top-level process"
+    );
+
+    // EndTrans at the top's current site commits.
+    let mut a2b = acct(2);
+    s2.txn.end_trans(top, &mut a2b).unwrap();
+    c.drain_async();
+    let p = s2.kernel.spawn();
+    let mut r2 = acct(2);
+    let ch = s2.kernel.open(p, "/data", false, &mut r2).unwrap();
+    assert_eq!(s2.kernel.read(p, ch, 7, &mut r2).unwrap(), b"payload");
+}
+
+#[test]
+fn in_transit_merge_bounces_and_retries() {
+    // The Section 4.1 race: the file-list arrives while the top-level
+    // process is mid-migration. The merge must bounce, then succeed once
+    // the migration completes.
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a0 = acct(0);
+    let top = s0.kernel.spawn();
+    let tid = s0.txn.begin_trans(top, &mut a0).unwrap();
+
+    // Freeze the top mid-migration.
+    let blob = s0.kernel.procs.begin_migrate(top).unwrap();
+    let entries = vec![locus_types::FileListEntry {
+        fid: locus_types::Fid::new(VolumeId(0), 1),
+        storage_site: SiteId(0),
+    }];
+    let direct = s0.kernel.procs.merge_file_list(top, &entries);
+    assert_eq!(direct, Err(Error::InTransit(top)));
+
+    // Migration completes at site 1.
+    s1.kernel.procs.finish_migrate_in(&blob).unwrap();
+    s0.kernel.procs.finish_migrate_out(top);
+    s0.kernel.registry.set(top, SiteId(1));
+
+    // The kernel-level retry loop now lands the merge at the new site.
+    let child = locus_types::Pid::new(SiteId(0), 99);
+    s0.kernel
+        .merge_file_list_with_retry(tid, top, child, entries, &mut a0)
+        .unwrap();
+    assert_eq!(s1.kernel.procs.get(top).unwrap().file_list.len(), 1);
+}
+
+#[test]
+fn partition_aborts_cross_partition_transaction() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.write(p1, ch, &[0u8; 8], &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel
+        .lock(pid, ch, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a0)
+        .unwrap();
+    s0.kernel.write(pid, ch, b"unstable", &mut a0).unwrap();
+
+    // Partition: site 1 can no longer see site 0 (the transaction's home).
+    c.transport.partition(&[SiteId(1)]);
+
+    // Site 1's topology handler rolled back the intruder's locks and data.
+    let snap = s1.kernel.locks.snapshot();
+    assert!(snap.held.is_empty(), "locks released: {snap:?}");
+    let p = s1.kernel.spawn();
+    let mut r1 = acct(1);
+    let ch2 = s1.kernel.open(p, "/f", false, &mut r1).unwrap();
+    assert_eq!(s1.kernel.read(p, ch2, 8, &mut r1).unwrap(), vec![0u8; 8]);
+
+    // The transaction cannot commit after the heal-less partition: EndTrans
+    // fails at prepare and aborts.
+    assert!(matches!(
+        s0.txn.end_trans(pid, &mut a0),
+        Err(Error::TxnAborted(_)) | Err(Error::Partitioned { .. })
+    ));
+}
+
+#[test]
+fn trivial_transaction_costs_no_io() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let mut a = acct(0);
+    let pid = s.kernel.spawn();
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    let before = a.clone();
+    s.txn.end_trans(pid, &mut a).unwrap();
+    assert_eq!(a.delta_since(&before).total_ios(), 0);
+}
+
+#[test]
+fn end_trans_outside_transaction_errors() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let mut a = acct(0);
+    let pid = s.kernel.spawn();
+    assert_eq!(
+        s.txn.end_trans(pid, &mut a).unwrap_err(),
+        Error::NotInTransaction
+    );
+    assert_eq!(
+        s.txn.abort_trans(pid, &mut a).unwrap_err(),
+        Error::NotInTransaction
+    );
+}
+
+#[test]
+fn duplicate_phase_two_commit_is_idempotent() {
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/f", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    let tid = s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
+    s0.kernel.write(pid, ch, b"once", &mut a0).unwrap();
+    let files: Vec<_> = s0
+        .kernel
+        .procs
+        .get(pid)
+        .unwrap()
+        .file_list
+        .iter()
+        .map(|f| f.fid)
+        .collect();
+    s0.txn.end_trans(pid, &mut a0).unwrap();
+    c.drain_async();
+
+    // A duplicate commit message (e.g. from recovery) is harmless.
+    let resp = s0
+        .kernel
+        .rpc(
+            SiteId(1),
+            locus_net::Msg::Commit { tid, files },
+            &mut a0,
+        )
+        .unwrap();
+    assert_eq!(resp, locus_net::Msg::Ok);
+    let p = s1.kernel.spawn();
+    let mut r1 = acct(1);
+    let ch = s1.kernel.open(p, "/f", false, &mut r1).unwrap();
+    assert_eq!(s1.kernel.read(p, ch, 4, &mut r1).unwrap(), b"once");
+}
+
+#[test]
+fn locks_acquired_before_begin_trans_are_not_converted() {
+    // Section 3.4's second escape hatch: a lock acquired before BeginTrans
+    // keeps its process ownership and is NOT retained by the transaction.
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    k.write(pid, ch, &[0u8; 8], &mut a).unwrap();
+    k.commit_file(pid, ch, &mut a).unwrap();
+    k.lseek(pid, ch, 0, &mut a).unwrap();
+    let got = k
+        .lock(pid, ch, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    assert_eq!(got, ByteRange::new(0, 8));
+
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    // Unlocking the pre-transaction lock releases it outright (it is a
+    // process-owned, non-transaction lock).
+    k.lseek(pid, ch, 0, &mut a).unwrap();
+    k.unlock(pid, ch, 8, &mut a).unwrap();
+    let other = k.spawn();
+    let och = k.open(other, "/f", true, &mut a).unwrap();
+    assert!(k
+        .lock(other, och, 8, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .is_ok());
+    s.txn.end_trans(pid, &mut a).unwrap();
+}
+
+#[test]
+fn non_transaction_lock_escapes_two_phase_locking() {
+    // Section 3.4's first escape hatch: a non-transaction lock taken inside
+    // a transaction may be released before commit.
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let k = &s.kernel;
+    let mut a = acct(0);
+    let setup = k.spawn();
+    let ch0 = k.creat(setup, "/cat", &mut a).unwrap();
+    k.write(setup, ch0, &[0u8; 8], &mut a).unwrap();
+    k.close(setup, ch0, &mut a).unwrap();
+
+    let pid = k.spawn();
+    s.txn.begin_trans(pid, &mut a).unwrap();
+    let ch = k.open(pid, "/cat", true, &mut a).unwrap();
+    k.lock(
+        pid,
+        ch,
+        8,
+        LockRequestMode::Exclusive,
+        LockOpts {
+            non_transaction: true,
+            ..LockOpts::default()
+        },
+        &mut a,
+    )
+    .unwrap();
+    k.lseek(pid, ch, 0, &mut a).unwrap();
+    k.unlock(pid, ch, 8, &mut a).unwrap();
+
+    // Released immediately — another process can lock it while the
+    // transaction is still open.
+    let other = k.spawn();
+    let och = k.open(other, "/cat", true, &mut a).unwrap();
+    assert!(k
+        .lock(other, och, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .is_ok());
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    // Running recovery twice (e.g. a crash during recovery) must not change
+    // the outcome or corrupt anything — temporally unique ids make duplicate
+    // commit/abort messages harmless (Section 4.4).
+    let c = TestCluster::new(2);
+    let mut a1 = acct(1);
+    let p1 = s_kernel(&c, 1).spawn();
+    let ch = s_kernel(&c, 1).creat(p1, "/f", &mut a1).unwrap();
+    s_kernel(&c, 1).close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s_kernel(&c, 0).spawn();
+    c.site(0).txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s_kernel(&c, 0).open(pid, "/f", true, &mut a0).unwrap();
+    s_kernel(&c, 0).write(pid, ch, b"twice", &mut a0).unwrap();
+    c.site(0).txn.end_trans(pid, &mut a0).unwrap();
+    c.site(0).crash();
+
+    let mut ra = acct(0);
+    let r1 = c.site(0).reboot_and_recover(&mut ra);
+    assert_eq!(r1.redone, 1);
+    // Second recovery pass: the log was purged after phase two completed.
+    let r2 = c.site(0).reboot_and_recover(&mut ra);
+    assert_eq!(r2.redone, 0);
+    assert_eq!(r2.aborted, 0);
+
+    let p = s_kernel(&c, 1).spawn();
+    let mut r = acct(1);
+    let ch = s_kernel(&c, 1).open(p, "/f", false, &mut r).unwrap();
+    assert_eq!(s_kernel(&c, 1).read(p, ch, 5, &mut r).unwrap(), b"twice");
+}
+
+#[test]
+fn member_process_end_trans_is_nested_not_commit() {
+    // A member (child) process closing a Begin/End bracket must not commit
+    // the enclosing transaction (Section 2).
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let mut a = acct(0);
+    let top = s.kernel.spawn();
+    s.txn.begin_trans(top, &mut a).unwrap();
+    let child = s.kernel.fork(top, &mut a).unwrap();
+    // The child brackets its own critical section.
+    s.txn.begin_trans(child, &mut a).unwrap();
+    assert_eq!(s.txn.end_trans(child, &mut a).unwrap(), EndOutcome::Nested);
+    // Even an unmatched EndTrans by the child cannot commit the transaction.
+    assert_eq!(s.txn.end_trans(child, &mut a).unwrap(), EndOutcome::Nested);
+    assert_eq!(c.counters.snapshot().txns_committed, 0);
+    s.kernel.exit(child, &mut a).unwrap();
+    s.kernel.take_wakeup(top);
+    assert!(matches!(
+        s.txn.end_trans(top, &mut a).unwrap(),
+        EndOutcome::Committed(_)
+    ));
+}
+
+fn s_kernel<'a>(c: &'a TestCluster, i: usize) -> &'a Arc<locus_kernel::Kernel> {
+    &c.site(i).kernel
+}
+
+#[test]
+fn child_issued_abort_kills_members_and_spares_top() {
+    // "When any process within a transaction fails, or issues an AbortTrans
+    // call, the entire transaction must abort" (Section 4.3) — the cascade
+    // terminates member processes; the top level continues, detransacted.
+    let c = TestCluster::new(2);
+    let s0 = c.site(0);
+    let mut a = acct(0);
+    let top = s0.kernel.spawn();
+    s0.txn.begin_trans(top, &mut a).unwrap();
+    let ch = s0.kernel.creat(top, "/f", &mut a).unwrap();
+    s0.kernel.write(top, ch, b"gone", &mut a).unwrap();
+    let child = s0.kernel.fork(top, &mut a).unwrap();
+    let grandchild = s0.kernel.fork(child, &mut a).unwrap();
+
+    // The grandchild aborts the whole transaction.
+    s0.txn.abort_trans(grandchild, &mut a).unwrap();
+
+    assert!(s0.kernel.procs.get(top).unwrap().tid.is_none(), "top survives");
+    assert!(s0.kernel.procs.get(child).is_none(), "child terminated");
+    assert!(s0.kernel.procs.get(grandchild).is_none(), "grandchild terminated");
+    // The top's write was rolled back.
+    let mut a2 = acct(0);
+    let p = s0.kernel.spawn();
+    let ch2 = s0.kernel.open(p, "/f", false, &mut a2).unwrap();
+    assert!(s0.kernel.read(p, ch2, 4, &mut a2).unwrap().is_empty());
+}
+
+#[test]
+fn commit_includes_files_only_read_by_the_transaction() {
+    // Files used read-only still ride the file-list into two-phase commit
+    // (their prepare is trivial) and their retained locks release on commit.
+    let c = TestCluster::new(2);
+    let (s0, s1) = (c.site(0), c.site(1));
+    let mut a1 = acct(1);
+    let p1 = s1.kernel.spawn();
+    let ch = s1.kernel.creat(p1, "/ro", &mut a1).unwrap();
+    s1.kernel.write(p1, ch, b"shared", &mut a1).unwrap();
+    s1.kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = acct(0);
+    let pid = s0.kernel.spawn();
+    s0.txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = s0.kernel.open(pid, "/ro", true, &mut a0).unwrap();
+    // Implicit shared lock via the read.
+    assert_eq!(s0.kernel.read(pid, ch, 6, &mut a0).unwrap(), b"shared");
+    s0.txn.end_trans(pid, &mut a0).unwrap();
+    c.drain_async();
+    // Lock released after commit; a writer can proceed.
+    let w = s1.kernel.spawn();
+    let wch = s1.kernel.open(w, "/ro", true, &mut a1).unwrap();
+    assert!(s1
+        .kernel
+        .lock(w, wch, 6, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+        .is_ok());
+}
+
+#[test]
+fn begin_after_commit_starts_fresh_transaction() {
+    let c = TestCluster::new(1);
+    let s = c.site(0);
+    let mut a = acct(0);
+    let pid = s.kernel.spawn();
+    let t1 = s.txn.begin_trans(pid, &mut a).unwrap();
+    s.txn.end_trans(pid, &mut a).unwrap();
+    let t2 = s.txn.begin_trans(pid, &mut a).unwrap();
+    assert_ne!(t1, t2, "transaction ids are temporally unique");
+    s.txn.end_trans(pid, &mut a).unwrap();
+}

@@ -1,0 +1,175 @@
+//! On-disk inodes: the file descriptor block holding the page pointers that
+//! an intentions-list commit atomically replaces (Section 4: "Files are
+//! committed by ... atomically overwriting the inode on disk with new data,
+//! freeing up the old data pages").
+
+use locus_types::codec::{Dec, Enc};
+use locus_types::{Fid, IntentionsList, PageNo, PhysPage};
+
+/// In-core/on-disk inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    pub fid: Fid,
+    /// Committed file length in bytes.
+    pub len: u64,
+    /// Logical-page → physical-block map; `None` for holes.
+    pub pages: Vec<Option<PhysPage>>,
+}
+
+impl Inode {
+    pub fn new(fid: Fid) -> Self {
+        Inode {
+            fid,
+            len: 0,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Committed physical block of a logical page, if mapped.
+    pub fn page(&self, page: PageNo) -> Option<PhysPage> {
+        self.pages.get(page.0 as usize).copied().flatten()
+    }
+
+    /// Number of logical pages the committed length occupies.
+    pub fn page_count(&self, page_size: usize) -> u32 {
+        self.len.div_ceil(page_size as u64) as u32
+    }
+
+    /// Applies an intentions list: re-points pages at their shadow blocks
+    /// and adopts the new length. Returns the *old* physical blocks that
+    /// were replaced (to be freed once the new inode is durable).
+    pub fn apply(&mut self, il: &IntentionsList) -> Vec<PhysPage> {
+        let mut freed = Vec::new();
+        for ent in &il.entries {
+            let idx = ent.page.0 as usize;
+            if self.pages.len() <= idx {
+                self.pages.resize(idx + 1, None);
+            }
+            if let Some(old) = self.pages[idx] {
+                freed.push(old);
+            }
+            self.pages[idx] = Some(ent.new_phys);
+        }
+        // A commit never shrinks the file: an intentions list built while a
+        // concurrent extension was still uncommitted carries the shorter
+        // length it saw at prepare time, and installing it after the
+        // extension commits must not truncate. (Explicit truncation is not a
+        // supported operation; files only grow.)
+        self.len = self.len.max(il.new_len);
+        freed
+    }
+
+    /// Drops page mappings wholly beyond `len` for the given page size,
+    /// returning freed blocks.
+    pub fn trim_to(&mut self, page_size: usize) -> Vec<PhysPage> {
+        let keep = self.len.div_ceil(page_size as u64) as usize;
+        let mut freed = Vec::new();
+        while self.pages.len() > keep {
+            if let Some(Some(p)) = self.pages.pop() {
+                freed.push(p);
+            }
+        }
+        freed
+    }
+
+    /// Serializes for the volume's stable store.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.fid.volume.0);
+        e.u32(self.fid.inode.0);
+        e.u64(self.len);
+        e.u32(self.pages.len() as u32);
+        for p in &self.pages {
+            match p {
+                Some(pp) => {
+                    e.u8(1);
+                    e.u32(pp.0);
+                }
+                None => e.u8(0),
+            }
+        }
+        e.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        use locus_types::{InodeNo, VolumeId};
+        let mut d = Dec::new(bytes);
+        let fid = Fid {
+            volume: VolumeId(d.u32()?),
+            inode: InodeNo(d.u32()?),
+        };
+        let len = d.u64()?;
+        let n = d.u32()?;
+        let mut pages = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            pages.push(match d.u8()? {
+                1 => Some(PhysPage(d.u32()?)),
+                0 => None,
+                _ => return None,
+            });
+        }
+        Some(Inode { fid, len, pages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{IntentionsEntry, VolumeId};
+
+    fn fid() -> Fid {
+        Fid::new(VolumeId(0), 1)
+    }
+
+    #[test]
+    fn apply_intentions_repoints_and_frees() {
+        let mut ino = Inode::new(fid());
+        ino.len = 2048;
+        ino.pages = vec![Some(PhysPage(10)), Some(PhysPage(11))];
+        let mut il = IntentionsList::new(fid(), 3072);
+        il.entries.push(IntentionsEntry {
+            page: PageNo(1),
+            new_phys: PhysPage(20),
+        });
+        il.entries.push(IntentionsEntry {
+            page: PageNo(2),
+            new_phys: PhysPage(21),
+        });
+        let freed = ino.apply(&il);
+        assert_eq!(freed, vec![PhysPage(11)]);
+        assert_eq!(ino.page(PageNo(0)), Some(PhysPage(10)));
+        assert_eq!(ino.page(PageNo(1)), Some(PhysPage(20)));
+        assert_eq!(ino.page(PageNo(2)), Some(PhysPage(21)));
+        assert_eq!(ino.len, 3072);
+    }
+
+    #[test]
+    fn trim_to_frees_tail_pages() {
+        let mut ino = Inode::new(fid());
+        ino.len = 1000;
+        ino.pages = vec![Some(PhysPage(1)), Some(PhysPage(2)), Some(PhysPage(3))];
+        let freed = ino.trim_to(1024);
+        assert_eq!(freed, vec![PhysPage(3), PhysPage(2)]);
+        assert_eq!(ino.pages.len(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut ino = Inode::new(fid());
+        ino.len = 5000;
+        ino.pages = vec![Some(PhysPage(4)), None, Some(PhysPage(6))];
+        let got = Inode::decode(&ino.encode()).unwrap();
+        assert_eq!(got, ino);
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let mut ino = Inode::new(fid());
+        ino.len = 1025;
+        assert_eq!(ino.page_count(1024), 2);
+        ino.len = 1024;
+        assert_eq!(ino.page_count(1024), 1);
+        ino.len = 0;
+        assert_eq!(ino.page_count(1024), 0);
+    }
+}

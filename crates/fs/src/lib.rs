@@ -1,0 +1,343 @@
+//! The Locus filesystem substrate: volumes with shadow-page files,
+//! intentions-list single-file commit, record-level page differencing
+//! (Figure 4), and the per-volume transaction logs of Section 4.
+//!
+//! The transaction facility in `locus-core` "relies only on the
+//! functionality of the record commit mechanism, and not on the specific
+//! implementation" (Section 4) — the interface here ([`Volume::prepare`],
+//! [`Volume::commit_prepared`], [`Volume::abort_owner`]) is that boundary;
+//! `locus-wal` implements the same shape over a write-ahead log for the
+//! baseline comparison.
+
+pub mod inode;
+pub mod pagebuf;
+pub mod volume;
+
+pub use inode::Inode;
+pub use pagebuf::PageBuf;
+pub use volume::Volume;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use locus_disk::SimDisk;
+    use locus_sim::{Account, CostModel, Counters, EventLog};
+    use locus_types::{ByteRange, Owner, Pid, SiteId, TransId, TxnStatus, VolumeId};
+
+    use super::*;
+
+    fn vol() -> (Arc<Volume>, Account) {
+        vol_with(CostModel::default())
+    }
+
+    fn vol_with(model: CostModel) -> (Arc<Volume>, Account) {
+        let model = Arc::new(model);
+        let counters = Arc::new(Counters::default());
+        let disk = Arc::new(SimDisk::new(512, model.clone(), counters.clone()));
+        let v = Arc::new(Volume::new(
+            VolumeId(0),
+            SiteId(0),
+            disk,
+            model,
+            counters,
+            Arc::new(EventLog::new()),
+        ));
+        (v, Account::new(SiteId(0)))
+    }
+
+    fn proc_owner(n: u32) -> Owner {
+        Owner::Proc(Pid::new(SiteId(0), n))
+    }
+
+    fn txn_owner(n: u64) -> Owner {
+        Owner::Trans(TransId::new(SiteId(0), n))
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = proc_owner(1);
+        v.write(fid, o, ByteRange::new(0, 5), b"hello", &mut a).unwrap();
+        assert_eq!(v.read(fid, ByteRange::new(0, 5), &mut a).unwrap(), b"hello");
+        assert_eq!(v.len(fid, &mut a).unwrap(), 5);
+    }
+
+    #[test]
+    fn uncommitted_data_is_visible_but_not_durable() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        v.write(fid, proc_owner(1), ByteRange::new(0, 3), b"abc", &mut a).unwrap();
+        // Visible before commit...
+        assert_eq!(v.read(fid, ByteRange::new(0, 3), &mut a).unwrap(), b"abc");
+        // ...but a crash loses it.
+        v.crash();
+        v.reboot();
+        assert_eq!(v.len(fid, &mut a).unwrap(), 0);
+        assert!(v.read(fid, ByteRange::new(0, 3), &mut a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_file_commit_survives_crash() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = proc_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        v.commit_file(fid, o, &mut a).unwrap();
+        v.crash();
+        v.reboot();
+        assert_eq!(v.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"data");
+        assert_eq!(v.len(fid, &mut a).unwrap(), 4);
+    }
+
+    #[test]
+    fn commit_writes_shadow_then_inode() {
+        // Figure 4a: single-writer commit = page flush + inode install.
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = proc_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        let before = a.clone();
+        v.commit_file(fid, o, &mut a).unwrap();
+        let d = a.delta_since(&before);
+        assert_eq!(d.disk_writes, 2, "shadow page + inode");
+        assert_eq!(d.pages_differenced, 0);
+    }
+
+    #[test]
+    fn multi_page_commit_repeats_only_the_flush() {
+        // Section 6.1: "when records on multiple pages in a single file are
+        // updated in one transaction ... Only the intrinsically necessary
+        // I/O (step 2) is repeated."
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        for page in 0..4u64 {
+            v.write(fid, o, ByteRange::new(page * 1024, 4), b"page", &mut a).unwrap();
+        }
+        let before = a.clone();
+        v.commit_file(fid, o, &mut a).unwrap();
+        let d = a.delta_since(&before);
+        assert_eq!(d.disk_writes, 5, "4 page flushes + 1 inode");
+    }
+
+    #[test]
+    fn overlap_commit_differences_and_preserves_other_writers() {
+        // Figure 4b: two owners on one page; committing one must not commit
+        // the other's bytes.
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let (t1, t2) = (txn_owner(1), txn_owner(2));
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        let before = a.clone();
+        v.commit_file(fid, t1, &mut a).unwrap();
+        assert_eq!(a.delta_since(&before).pages_differenced, 1);
+        // Crash: only t1's bytes are durable — t2's write (which also
+        // extended the file) is gone, so the committed length is 4.
+        v.crash();
+        v.reboot();
+        assert_eq!(v.len(fid, &mut a).unwrap(), 4);
+        let data = v.read(fid, ByteRange::new(0, 12), &mut a).unwrap();
+        assert_eq!(data, b"AAAA");
+    }
+
+    #[test]
+    fn second_committer_lands_on_first_commit() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let (t1, t2) = (txn_owner(1), txn_owner(2));
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        v.commit_file(fid, t1, &mut a).unwrap();
+        v.commit_file(fid, t2, &mut a).unwrap();
+        v.crash();
+        v.reboot();
+        let data = v.read(fid, ByteRange::new(0, 12), &mut a).unwrap();
+        assert_eq!(&data[0..4], b"AAAA");
+        assert_eq!(&data[8..12], b"BBBB");
+    }
+
+    #[test]
+    fn abort_sole_writer_rolls_back_page() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.abort_owner(fid, o, &mut a).unwrap();
+        assert_eq!(v.len(fid, &mut a).unwrap(), 0);
+        assert!(!v.owner_dirty(fid, o));
+    }
+
+    #[test]
+    fn abort_with_conflicts_restores_only_aborters_records() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let (t1, t2) = (txn_owner(1), txn_owner(2));
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        v.abort_owner(fid, t1, &mut a).unwrap();
+        let data = v.read(fid, ByteRange::new(0, 12), &mut a).unwrap();
+        assert_eq!(&data[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&data[8..12], b"BBBB");
+    }
+
+    #[test]
+    fn abort_after_prepare_frees_shadow_blocks() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        let allocated_before = v.disk().allocated_count();
+        let il = v.prepare(fid, o, &mut a).unwrap();
+        assert_eq!(il.entries.len(), 1);
+        assert_eq!(v.disk().allocated_count(), allocated_before + 1);
+        v.abort_owner(fid, o, &mut a).unwrap();
+        assert_eq!(v.disk().allocated_count(), allocated_before);
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        let il1 = v.prepare(fid, o, &mut a).unwrap();
+        let il2 = v.prepare(fid, o, &mut a).unwrap();
+        assert_eq!(il1, il2);
+    }
+
+    #[test]
+    fn recovery_installs_logged_intentions() {
+        // Crash after prepare: the prepare log alone must suffice to commit
+        // (Section 4.2: participants store "enough of the intentions lists
+        // ... to guarantee that the files can be committed ... regardless of
+        // local failures").
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        let il = v.prepare(fid, o, &mut a).unwrap();
+        let rec = locus_types::PrepareLogRecord {
+            tid: TransId::new(SiteId(0), 1),
+            coordinator: SiteId(0),
+            intentions: il,
+            locks: vec![],
+        };
+        v.prepare_log_put(&rec, &mut a);
+        v.crash(); // Buffers gone; prepared shadow blocks + log survive.
+        v.reboot();
+        let got = v
+            .prepare_log_get(TransId::new(SiteId(0), 1), fid, &mut a)
+            .unwrap();
+        v.install_intentions(&got.intentions, None, &mut a).unwrap();
+        assert_eq!(v.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"data");
+    }
+
+    #[test]
+    fn coord_log_roundtrip_and_status_update() {
+        let (v, mut a) = vol();
+        let tid = TransId::new(SiteId(0), 7);
+        let rec = locus_types::CoordLogRecord {
+            tid,
+            files: vec![],
+            status: TxnStatus::Unknown,
+        };
+        v.coord_log_put(&rec, &mut a);
+        let before = a.clone();
+        v.coord_log_set_status(tid, TxnStatus::Committed, &mut a).unwrap();
+        // The commit mark is exactly one random I/O (Figure 5 step 4).
+        assert_eq!(a.delta_since(&before).disk_writes, 1);
+        assert_eq!(
+            v.coord_log_get(tid, &mut a).unwrap().status,
+            TxnStatus::Committed
+        );
+        let scanned = v.coord_log_scan(&mut a);
+        assert_eq!(scanned.len(), 1);
+        v.coord_log_delete(tid, &mut a);
+        assert!(v.coord_log_scan(&mut a).is_empty());
+    }
+
+    #[test]
+    fn footnote9_log_writes_cost_double() {
+        let (v, mut a) = vol_with(CostModel::paper_1985());
+        let tid = TransId::new(SiteId(0), 7);
+        let rec = locus_types::CoordLogRecord {
+            tid,
+            files: vec![],
+            status: TxnStatus::Unknown,
+        };
+        let before = a.clone();
+        v.coord_log_put(&rec, &mut a);
+        let d = a.delta_since(&before);
+        assert_eq!(d.seq_ios + d.disk_writes, 2, "data page + log inode");
+    }
+
+    #[test]
+    fn adoption_moves_mods_to_transaction() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let p = proc_owner(5);
+        let t = txn_owner(9);
+        v.write(fid, p, ByteRange::new(0, 8), b"UUUUUUUU", &mut a).unwrap();
+        let mods = v.uncommitted_mods_overlapping(fid, ByteRange::new(0, 4), t);
+        assert_eq!(mods, vec![(p, ByteRange::new(0, 4))]);
+        let adopted = v.adopt(fid, ByteRange::new(0, 4), t);
+        assert_eq!(adopted, vec![ByteRange::new(0, 4)]);
+        assert!(v.owner_dirty(fid, t));
+        // Committing the transaction now commits the adopted bytes.
+        v.commit_file(fid, t, &mut a).unwrap();
+        v.crash();
+        v.reboot();
+        let data = v.read(fid, ByteRange::new(0, 8), &mut a).unwrap();
+        assert_eq!(&data[0..4], b"UUUU");
+    }
+
+    #[test]
+    fn reads_spanning_pages_work() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = proc_owner(1);
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        v.write(fid, o, ByteRange::new(0, 3000), &data, &mut a).unwrap();
+        v.commit_file(fid, o, &mut a).unwrap();
+        let got = v.read(fid, ByteRange::new(500, 2000), &mut a).unwrap();
+        assert_eq!(got, &data[500..2500]);
+    }
+
+    #[test]
+    fn read_clips_at_visible_length() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        v.write(fid, proc_owner(1), ByteRange::new(0, 4), b"abcd", &mut a).unwrap();
+        let got = v.read(fid, ByteRange::new(2, 100), &mut a).unwrap();
+        assert_eq!(got, b"cd");
+    }
+
+    #[test]
+    fn scavenge_reclaims_orphaned_shadow_blocks() {
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let o = txn_owner(1);
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.prepare(fid, o, &mut a).unwrap();
+        let before_crash = v.disk().allocated_count();
+        // Crash WITHOUT writing the prepare log: the shadow block is orphaned.
+        v.crash();
+        v.reboot();
+        assert_eq!(v.disk().allocated_count(), before_crash);
+        let reclaimed = v.scavenge(&mut a);
+        assert_eq!(reclaimed, 1);
+    }
+
+    #[test]
+    fn stale_fid_is_rejected() {
+        let (v, mut a) = vol();
+        let bogus = locus_types::Fid::new(VolumeId(9), 1);
+        assert!(matches!(
+            v.read(bogus, ByteRange::new(0, 1), &mut a),
+            Err(locus_types::Error::StaleFid(_))
+        ));
+    }
+}

@@ -1,0 +1,778 @@
+//! A logical volume (filesystem): inodes, buffered pages, shadow-page
+//! record commit with differencing, and the per-volume transaction logs.
+//!
+//! The volume implements the paper's *single-file commit mechanism*
+//! (Section 4): prepare builds an intentions list by flushing each modified
+//! page to a freshly allocated shadow block — directly when one owner wrote
+//! the page (Figure 4a), by differencing against the previous version when
+//! several owners share the page (Figure 4b) — and commit atomically
+//! overwrites the inode with the new page pointers, freeing the old blocks.
+//!
+//! Transaction logs are kept *on the same volume as the files they cover*
+//! (Section 4.4: "it is important to assure that logs are stored on the same
+//! medium as the files to which they refer").
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use locus_disk::SimDisk;
+use locus_sim::{Account, CostModel, Counters, Event, EventLog};
+use locus_types::{
+    ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner,
+    PageNo, PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
+};
+
+use crate::inode::Inode;
+use crate::pagebuf::PageBuf;
+
+/// Maximum buffered pages per file before clean buffers are evicted (the
+/// paper's LRU buffer pool, Section 6.3, scaled to the simulation).
+const FILE_BUFFER_CAP: usize = 128;
+
+#[derive(Debug, Default)]
+struct FileState {
+    buffers: BTreeMap<PageNo, PageBuf>,
+    /// Highest byte any uncommitted write has reached.
+    uncommitted_len: u64,
+    /// Per-owner high-water mark of written bytes (drives committed length).
+    writer_ends: BTreeMap<Owner, u64>,
+    /// Intentions lists built by `prepare` and not yet committed/aborted.
+    prepared: BTreeMap<Owner, IntentionsList>,
+}
+
+#[derive(Default)]
+struct VolState {
+    /// In-core copies of committed inodes ("a copy of the file descriptor is
+    /// brought into kernel memory", Section 5.1).
+    incore: HashMap<InodeNo, Inode>,
+    files: HashMap<InodeNo, FileState>,
+}
+
+/// One mounted volume at a storage site.
+pub struct Volume {
+    id: VolumeId,
+    site: SiteId,
+    disk: Arc<SimDisk>,
+    model: Arc<CostModel>,
+    counters: Arc<Counters>,
+    events: Arc<EventLog>,
+    state: Mutex<VolState>,
+    next_inode: AtomicU32,
+}
+
+impl Volume {
+    pub fn new(
+        id: VolumeId,
+        site: SiteId,
+        disk: Arc<SimDisk>,
+        model: Arc<CostModel>,
+        counters: Arc<Counters>,
+        events: Arc<EventLog>,
+    ) -> Self {
+        Volume {
+            id,
+            site,
+            disk,
+            model,
+            counters,
+            events,
+            state: Mutex::new(VolState::default()),
+            next_inode: AtomicU32::new(1),
+        }
+    }
+
+    pub fn id(&self) -> VolumeId {
+        self.id
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    fn inode_key(ino: InodeNo) -> String {
+        format!("inode/{}", ino.0)
+    }
+
+    fn check_fid(&self, fid: Fid) -> Result<InodeNo> {
+        if fid.volume != self.id {
+            return Err(Error::StaleFid(fid));
+        }
+        Ok(fid.inode)
+    }
+
+    // ----- File lifecycle -------------------------------------------------
+
+    /// Creates an empty file; one inode write.
+    pub fn create_file(&self, acct: &mut Account) -> Result<Fid> {
+        let ino = InodeNo(self.next_inode.fetch_add(1, Ordering::Relaxed));
+        let fid = Fid {
+            volume: self.id,
+            inode: ino,
+        };
+        let inode = Inode::new(fid);
+        self.disk
+            .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+        self.state.lock().incore.insert(ino, inode);
+        Ok(fid)
+    }
+
+    /// Whether the file exists on this volume (committed on disk).
+    pub fn file_exists(&self, fid: Fid) -> bool {
+        fid.volume == self.id
+            && self
+                .disk
+                .stable_peek(&Self::inode_key(fid.inode))
+                .is_some()
+    }
+
+    fn load_inode(
+        &self,
+        st: &mut VolState,
+        ino: InodeNo,
+        acct: &mut Account,
+    ) -> Result<()> {
+        if st.incore.contains_key(&ino) {
+            return Ok(());
+        }
+        let bytes = self
+            .disk
+            .stable_get(&Self::inode_key(ino), acct)
+            .ok_or(Error::StaleFid(Fid {
+                volume: self.id,
+                inode: ino,
+            }))?;
+        let inode = Inode::decode(&bytes)
+            .ok_or_else(|| Error::InvalidArgument(format!("corrupt inode {}", ino.0)))?;
+        st.incore.insert(ino, inode);
+        Ok(())
+    }
+
+    /// Visible file length: committed length or any uncommitted extension.
+    pub fn len(&self, fid: Fid, acct: &mut Account) -> Result<u64> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let committed = st.incore[&ino].len;
+        let uncommitted = st
+            .files
+            .get(&ino)
+            .map(|f| f.uncommitted_len)
+            .unwrap_or(0);
+        Ok(committed.max(uncommitted))
+    }
+
+    // ----- Buffered data plane --------------------------------------------
+
+    fn page_size(&self) -> usize {
+        self.model.page_size
+    }
+
+    /// Ensures the page is buffered, reading it from disk when the committed
+    /// block exists. Returns whether it was a buffer hit.
+    fn ensure_buffer(
+        &self,
+        st: &mut VolState,
+        ino: InodeNo,
+        page: PageNo,
+        acct: &mut Account,
+    ) -> Result<bool> {
+        self.load_inode(st, ino, acct)?;
+        let fstate = st.files.entry(ino).or_default();
+        if fstate.buffers.contains_key(&page) {
+            self.counters.buffer_hits();
+            acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
+            return Ok(true);
+        }
+        self.counters.buffer_misses();
+        let phys = st.incore[&ino].page(page);
+        let content = match phys {
+            Some(p) => self.disk.read(p, acct)?,
+            None => vec![0u8; self.page_size()],
+        };
+        let fstate = st.files.entry(ino).or_default();
+        // Evict clean buffers beyond the cap (LRU approximated by BTreeMap
+        // order; dirty buffers are never evicted — they hold uncommitted
+        // record data that exists nowhere else).
+        if fstate.buffers.len() >= FILE_BUFFER_CAP {
+            let victim = fstate
+                .buffers
+                .iter()
+                .find(|(_, b)| !b.is_dirty())
+                .map(|(p, _)| *p);
+            if let Some(v) = victim {
+                fstate.buffers.remove(&v);
+            }
+        }
+        fstate.buffers.insert(page, PageBuf::clean(content));
+        Ok(false)
+    }
+
+    /// Reads `range`, clipped to the visible length. Uncommitted data is
+    /// visible (Section 5: uncommitted changes "are generally visible").
+    pub fn read(&self, fid: Fid, range: ByteRange, acct: &mut Account) -> Result<Vec<u8>> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let visible = st.incore[&ino]
+            .len
+            .max(st.files.get(&ino).map(|f| f.uncommitted_len).unwrap_or(0));
+        let end = range.end().min(visible);
+        if range.start >= end {
+            return Ok(Vec::new());
+        }
+        let clipped = ByteRange::new(range.start, end - range.start);
+        let ps = self.page_size();
+        let mut out = vec![0u8; clipped.len as usize];
+        for page in clipped.pages(ps) {
+            self.ensure_buffer(&mut st, ino, page, acct)?;
+            let slice = clipped
+                .slice_on_page(page, ps)
+                .expect("page yielded by range");
+            let buf = &st.files[&ino].buffers[&page];
+            let page_base = u64::from(page.0) * ps as u64;
+            let dst_off = (page_base + slice.start - clipped.start) as usize;
+            let s = slice.start as usize;
+            let e = (slice.start + slice.len) as usize;
+            for (i, idx) in (s..e).enumerate() {
+                out[dst_off + i] = buf.current.get(idx).copied().unwrap_or(0);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `range.start` on behalf of `owner`; extends the
+    /// (uncommitted) length as needed. Returns the new visible length.
+    pub fn write(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        range: ByteRange,
+        data: &[u8],
+        acct: &mut Account,
+    ) -> Result<u64> {
+        if range.len as usize != data.len() {
+            return Err(Error::InvalidArgument("write length mismatch".into()));
+        }
+        let ino = self.check_fid(fid)?;
+        let ps = self.page_size();
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        for page in range.pages(ps) {
+            self.ensure_buffer(&mut st, ino, page, acct)?;
+            let slice = range.slice_on_page(page, ps).expect("page from range");
+            let page_base = u64::from(page.0) * ps as u64;
+            let src_off = (page_base + slice.start - range.start) as usize;
+            let fstate = st.files.get_mut(&ino).expect("ensured above");
+            let buf = fstate.buffers.get_mut(&page).expect("ensured above");
+            buf.write(owner, slice, &data[src_off..src_off + slice.len as usize]);
+        }
+        let fstate = st.files.entry(ino).or_default();
+        fstate.uncommitted_len = fstate.uncommitted_len.max(range.end());
+        let endmark = fstate.writer_ends.entry(owner).or_insert(0);
+        *endmark = (*endmark).max(range.end());
+        let committed = st.incore[&ino].len;
+        let fstate = st.files.get(&ino).expect("present");
+        Ok(committed.max(fstate.uncommitted_len))
+    }
+
+    /// Uncommitted modifications by owners *other than* `except` overlapping
+    /// `range` (absolute coordinates). Drives Section 3.3 rule 2.
+    pub fn uncommitted_mods_overlapping(
+        &self,
+        fid: Fid,
+        range: ByteRange,
+        except: Owner,
+    ) -> Vec<(Owner, ByteRange)> {
+        let Ok(ino) = self.check_fid(fid) else {
+            return Vec::new();
+        };
+        let ps = self.page_size() as u64;
+        let st = self.state.lock();
+        let Some(fstate) = st.files.get(&ino) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (page, buf) in &fstate.buffers {
+            let base = u64::from(page.0) * ps;
+            for (owner, ranges) in &buf.writers {
+                if *owner == except {
+                    continue;
+                }
+                for r in ranges {
+                    let abs = ByteRange::new(base + r.start, r.len);
+                    if abs.overlaps(&range) {
+                        out.push((*owner, abs.intersection(&range).expect("overlaps")));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transfers ownership of non-transaction uncommitted modifications in
+    /// `range` to `to` (Section 3.3 rule 2 adoption). Returns adopted
+    /// absolute ranges.
+    pub fn adopt(&self, fid: Fid, range: ByteRange, to: Owner) -> Vec<ByteRange> {
+        let Ok(ino) = self.check_fid(fid) else {
+            return Vec::new();
+        };
+        let ps = self.page_size() as u64;
+        let mut st = self.state.lock();
+        let Some(fstate) = st.files.get_mut(&ino) else {
+            return Vec::new();
+        };
+        let mut adopted = Vec::new();
+        let mut max_end = 0;
+        for (page, buf) in fstate.buffers.iter_mut() {
+            let base = u64::from(page.0) * ps;
+            let Some(local) = range.slice_on_page(*page, ps as usize) else {
+                continue;
+            };
+            for r in buf.adopt(local, to) {
+                let abs = ByteRange::new(base + r.start, r.len);
+                max_end = max_end.max(abs.end());
+                adopted.push(abs);
+            }
+        }
+        if !adopted.is_empty() {
+            let endmark = fstate.writer_ends.entry(to).or_insert(0);
+            *endmark = (*endmark).max(max_end);
+        }
+        adopted
+    }
+
+    /// Whether `owner` has uncommitted modifications on the file.
+    pub fn owner_dirty(&self, fid: Fid, owner: Owner) -> bool {
+        let Ok(ino) = self.check_fid(fid) else {
+            return false;
+        };
+        let st = self.state.lock();
+        st.files
+            .get(&ino)
+            .map(|f| f.buffers.values().any(|b| b.written_by(owner)))
+            .unwrap_or(false)
+    }
+
+    // ----- Record commit: prepare / commit / abort -------------------------
+
+    /// Phase-one flush for one owner's changes to one file: writes each
+    /// modified page to a shadow block (differencing when other owners share
+    /// the page) and returns the intentions list. The list is remembered
+    /// until [`Volume::commit_prepared`] or [`Volume::abort_owner`].
+    pub fn prepare(&self, fid: Fid, owner: Owner, acct: &mut Account) -> Result<IntentionsList> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let committed_len = st.incore[&ino].len;
+        let st = &mut *st;
+        let fstate = st.files.entry(ino).or_default();
+        if let Some(existing) = fstate.prepared.get(&owner) {
+            // Idempotent: duplicate prepare messages may arrive during
+            // recovery (Section 4.4); the same intentions are returned.
+            return Ok(existing.clone());
+        }
+        let new_len = committed_len.max(fstate.writer_ends.get(&owner).copied().unwrap_or(0));
+        let mut il = IntentionsList::new(fid, new_len);
+        let pages: Vec<PageNo> = fstate
+            .buffers
+            .iter()
+            .filter(|(_, b)| b.written_by(owner))
+            .map(|(p, _)| *p)
+            .collect();
+        for page in pages {
+            let buf = fstate.buffers.get(&page).expect("listed above");
+            let (image, diffed, moved) = buf
+                .commit_image(owner)
+                .expect("page listed as written by owner");
+            if diffed {
+                // Figure 4b: "a copy of the previous version of the page is
+                // re-read from non-volatile storage, the record(s) of
+                // interest are transferred to that page". The re-read is
+                // charged (the paper's own Figure 6 overlap latencies show
+                // the extra I/O); the merge itself works from the in-memory
+                // base snapshot, which is byte-identical to the stable page.
+                if let Some(stable) = st.incore[&ino].page(page) {
+                    let _ = self.disk.read(stable, acct)?;
+                }
+                acct.cpu_instrs(&self.model, self.model.diff_instrs(moved));
+                acct.pages_differenced += 1;
+                self.counters.pages_committed_diff();
+                self.events.push(Event::PageDiffed { fid, page });
+            } else {
+                self.counters.pages_committed_direct();
+                self.events.push(Event::PageDirect { fid, page });
+            }
+            let shadow = self.disk.alloc(acct)?;
+            self.disk.write(shadow, &image, acct)?;
+            il.entries.push(IntentionsEntry {
+                page,
+                new_phys: shadow,
+            });
+        }
+        fstate.prepared.insert(owner, il.clone());
+        Ok(il)
+    }
+
+    /// Phase-two commit of a previously prepared owner: installs the
+    /// intentions list (one atomic inode write), frees replaced blocks, and
+    /// folds the owner's changes into the committed base. Returns the
+    /// installed list (empty for a read-only participant) so the kernel can
+    /// push the committed pages to replicas.
+    pub fn commit_prepared(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        acct: &mut Account,
+    ) -> Result<IntentionsList> {
+        let ino = self.check_fid(fid)?;
+        let il = {
+            let mut st = self.state.lock();
+            let fstate = st.files.entry(ino).or_default();
+            match fstate.prepared.remove(&owner) {
+                Some(il) => il,
+                // Read-only participant: nothing to install.
+                None => return Ok(IntentionsList::new(fid, 0)),
+            }
+        };
+        self.install_intentions(&il, Some(owner), acct)?;
+        Ok(il)
+    }
+
+    /// Combined prepare + commit: the *single-file commit* used for normal
+    /// (non-transaction) file updates — the default Locus operating mode.
+    pub fn commit_file(&self, fid: Fid, owner: Owner, acct: &mut Account) -> Result<IntentionsList> {
+        let il = self.prepare(fid, owner, acct)?;
+        self.commit_prepared(fid, owner, acct)?;
+        Ok(il)
+    }
+
+    /// Installs an intentions list: atomically overwrites the inode and
+    /// frees the old blocks. `owner` is `None` during crash recovery, when
+    /// the volatile buffer state is gone and only the logged list remains.
+    pub fn install_intentions(
+        &self,
+        il: &IntentionsList,
+        owner: Option<Owner>,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let ino = self.check_fid(il.fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let inode = st.incore.get_mut(&ino).expect("loaded above");
+        if il.entries.is_empty() && il.new_len == inode.len {
+            // Nothing to install; avoid a pointless inode write.
+            if let (Some(o), Some(f)) = (owner, st.files.get_mut(&ino)) {
+                f.writer_ends.remove(&o);
+            }
+            return Ok(());
+        }
+        let mut freed = inode.apply(il);
+        freed.extend(inode.trim_to(self.page_size()));
+        // The atomic overwrite of the descriptor block — one I/O, the heart
+        // of the intentions-list mechanism.
+        self.disk
+            .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+        for p in freed {
+            self.disk.free(p);
+        }
+        self.events.push(Event::FileCommit {
+            fid: il.fid,
+            tid: owner.and_then(|o| o.trans_id()),
+        });
+        let committed_len = st.incore[&ino].len;
+        if let Some(fstate) = st.files.get_mut(&ino) {
+            if let Some(o) = owner {
+                for ent in &il.entries {
+                    if let Some(buf) = fstate.buffers.get_mut(&ent.page) {
+                        buf.finish_commit(o);
+                    }
+                }
+                fstate.writer_ends.remove(&o);
+            } else {
+                // Recovery path: buffers (if any) are stale; drop them.
+                for ent in &il.entries {
+                    fstate.buffers.remove(&ent.page);
+                }
+            }
+            let writers_max = fstate.writer_ends.values().copied().max().unwrap_or(0);
+            fstate.uncommitted_len = writers_max.max(committed_len);
+        }
+        Ok(())
+    }
+
+    /// Rolls back every uncommitted change by `owner` on `fid`: frees any
+    /// prepared shadow blocks and reverts the buffered pages (differencing
+    /// rollback when other owners share a page).
+    pub fn abort_owner(&self, fid: Fid, owner: Owner, acct: &mut Account) -> Result<()> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        let Some(fstate) = st.files.get_mut(&ino) else {
+            return Ok(());
+        };
+        if let Some(il) = fstate.prepared.remove(&owner) {
+            for p in il.new_pages() {
+                self.disk.free(p);
+            }
+        }
+        let mut any = false;
+        for buf in fstate.buffers.values_mut() {
+            let (rolled, moved) = buf.abort(owner);
+            if rolled {
+                any = true;
+                self.counters.pages_rolled_back();
+                if moved > 0 {
+                    acct.cpu_instrs(&self.model, self.model.diff_instrs(moved));
+                }
+            }
+        }
+        fstate.writer_ends.remove(&owner);
+        let committed_len = st
+            .incore
+            .get(&ino)
+            .map(|i| i.len)
+            .unwrap_or(0);
+        let fstate = st.files.get_mut(&ino).expect("present");
+        let writers_max = fstate.writer_ends.values().copied().max().unwrap_or(0);
+        fstate.uncommitted_len = writers_max.max(committed_len);
+        if any {
+            self.events.push(Event::FileAbort { fid });
+        }
+        Ok(())
+    }
+
+    /// Loads one page into the buffer cache ahead of use (Section 5.2's
+    /// prefetch-on-lock optimization). Returns true when a disk read was
+    /// actually performed (i.e. the page was not already buffered).
+    pub fn prefetch_page(&self, fid: Fid, page: PageNo, acct: &mut Account) -> Result<bool> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        let hit = self.ensure_buffer(&mut st, ino, page, acct)?;
+        Ok(!hit)
+    }
+
+    /// Installs a committed image pushed from the primary update site
+    /// (replica refresh, Section 5.2). Writes each page to a fresh block and
+    /// atomically installs the inode, exactly like a local commit.
+    pub fn replica_install(
+        &self,
+        fid: Fid,
+        new_len: u64,
+        pages: &[(PageNo, Vec<u8>)],
+        acct: &mut Account,
+    ) -> Result<()> {
+        let ino = self.check_fid(fid)?;
+        if self.disk.stable_peek(&Self::inode_key(ino)).is_none() {
+            // First replica copy: materialize an empty inode.
+            let inode = Inode::new(fid);
+            self.disk
+                .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+            self.state.lock().incore.insert(ino, inode);
+        }
+        let mut il = IntentionsList::new(fid, new_len);
+        for (page, data) in pages {
+            let blk = self.disk.alloc(acct)?;
+            self.disk.write(blk, data, acct)?;
+            il.entries.push(IntentionsEntry {
+                page: *page,
+                new_phys: blk,
+            });
+        }
+        self.install_intentions(&il, None, acct)
+    }
+
+    /// Committed content of the pages named by an intentions list, for
+    /// pushing to replicas after a commit. Reads via the buffer cache.
+    pub fn committed_pages(
+        &self,
+        fid: Fid,
+        pages: &[PageNo],
+        acct: &mut Account,
+    ) -> Result<Vec<(PageNo, Vec<u8>)>> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let mut out = Vec::with_capacity(pages.len());
+        for page in pages {
+            self.ensure_buffer(&mut st, ino, *page, acct)?;
+            // The committed image is the buffer's base (uncommitted writers
+            // may still be present on the page).
+            let buf = &st.files[&ino].buffers[page];
+            out.push((*page, buf.base.clone()));
+        }
+        Ok(out)
+    }
+
+    // ----- Per-volume transaction logs -------------------------------------
+
+    fn coord_key(tid: TransId) -> String {
+        format!("coordlog/{}.{}", tid.site.0, tid.seq)
+    }
+
+    fn prepare_key(tid: TransId, fid: Fid) -> String {
+        format!("preplog/{}.{}/{}.{}", tid.site.0, tid.seq, fid.volume.0, fid.inode.0)
+    }
+
+    /// Writes (or rewrites) a coordinator log record. Charged as a log
+    /// append (footnote 9: two I/Os on the 1985 prototype, one corrected).
+    pub fn coord_log_put(&self, rec: &CoordLogRecord, acct: &mut Account) {
+        self.disk
+            .stable_append_replace(&Self::coord_key(rec.tid), rec.encode(), acct);
+        self.events.push(Event::CoordLog {
+            site: self.site,
+            tid: rec.tid,
+            status: rec.status,
+        });
+    }
+
+    /// Updates only the status marker of a coordinator log record — the
+    /// single write that is the commit point (Section 4.2). One random I/O.
+    pub fn coord_log_set_status(
+        &self,
+        tid: TransId,
+        status: TxnStatus,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let key = Self::coord_key(tid);
+        let bytes = self
+            .disk
+            .stable_peek(&key)
+            .ok_or_else(|| Error::ProtocolViolation(format!("no coordinator log for {tid}")))?;
+        let mut rec = CoordLogRecord::decode(&bytes)
+            .ok_or_else(|| Error::ProtocolViolation("corrupt coordinator log".into()))?;
+        rec.status = status;
+        self.disk.stable_put(&key, rec.encode(), acct);
+        self.events.push(Event::CoordLog {
+            site: self.site,
+            tid,
+            status,
+        });
+        if status == TxnStatus::Committed {
+            self.events.push(Event::CommitMark { tid });
+        }
+        Ok(())
+    }
+
+    /// Reads a coordinator log record (recovery inquiry).
+    pub fn coord_log_get(&self, tid: TransId, acct: &mut Account) -> Option<CoordLogRecord> {
+        self.disk
+            .stable_get(&Self::coord_key(tid), acct)
+            .and_then(|b| CoordLogRecord::decode(&b))
+    }
+
+    /// Deletes a coordinator log once all commit/abort processing finished
+    /// (Section 4.4: logs "are retained until all commit or abort processing
+    /// has successfully completed").
+    pub fn coord_log_delete(&self, tid: TransId, acct: &mut Account) {
+        self.disk.stable_delete(&Self::coord_key(tid), acct);
+    }
+
+    /// All coordinator log records on this volume (reboot recovery scan);
+    /// one read charged per record.
+    pub fn coord_log_scan(&self, acct: &mut Account) -> Vec<CoordLogRecord> {
+        self.disk
+            .stable_keys("coordlog/")
+            .into_iter()
+            .filter_map(|k| self.disk.stable_get(&k, acct))
+            .filter_map(|b| CoordLogRecord::decode(&b))
+            .collect()
+    }
+
+    /// Writes a participant prepare log record for one file.
+    pub fn prepare_log_put(&self, rec: &PrepareLogRecord, acct: &mut Account) {
+        self.disk.stable_append_replace(
+            &Self::prepare_key(rec.tid, rec.intentions.fid),
+            rec.encode(),
+            acct,
+        );
+        self.events.push(Event::PrepareLog {
+            site: self.site,
+            tid: rec.tid,
+            fid: rec.intentions.fid,
+        });
+    }
+
+    pub fn prepare_log_get(
+        &self,
+        tid: TransId,
+        fid: Fid,
+        acct: &mut Account,
+    ) -> Option<PrepareLogRecord> {
+        self.disk
+            .stable_get(&Self::prepare_key(tid, fid), acct)
+            .and_then(|b| PrepareLogRecord::decode(&b))
+    }
+
+    pub fn prepare_log_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) {
+        self.disk
+            .stable_delete(&Self::prepare_key(tid, fid), acct);
+    }
+
+    /// All prepare log records on this volume (reboot recovery scan).
+    pub fn prepare_log_scan(&self, acct: &mut Account) -> Vec<PrepareLogRecord> {
+        self.disk
+            .stable_keys("preplog/")
+            .into_iter()
+            .filter_map(|k| self.disk.stable_get(&k, acct))
+            .filter_map(|b| PrepareLogRecord::decode(&b))
+            .collect()
+    }
+
+    // ----- Failure handling -------------------------------------------------
+
+    /// Site crash: all volatile state (buffers, in-core inodes, un-logged
+    /// prepares) is lost. Disk contents survive.
+    pub fn crash(&self) {
+        self.disk.crash();
+        let mut st = self.state.lock();
+        st.incore.clear();
+        st.files.clear();
+    }
+
+    /// Reboot housekeeping: re-derives the inode allocation cursor from the
+    /// stable store.
+    pub fn reboot(&self) {
+        let max = self
+            .disk
+            .stable_keys("inode/")
+            .into_iter()
+            .filter_map(|k| k.strip_prefix("inode/").and_then(|s| s.parse::<u32>().ok()))
+            .max()
+            .unwrap_or(0);
+        self.next_inode.store(max + 1, Ordering::Relaxed);
+    }
+
+    /// Frees allocated blocks referenced by neither an inode nor a prepare
+    /// log — shadow pages orphaned by a crash between allocation and
+    /// logging. Returns the number reclaimed.
+    pub fn scavenge(&self, acct: &mut Account) -> usize {
+        let mut live = std::collections::HashSet::new();
+        for key in self.disk.stable_keys("inode/") {
+            if let Some(ino) = self
+                .disk
+                .stable_get(&key, acct)
+                .and_then(|b| Inode::decode(&b))
+            {
+                live.extend(ino.pages.iter().flatten().copied());
+            }
+        }
+        for rec in self.prepare_log_scan(acct) {
+            live.extend(rec.intentions.new_pages());
+        }
+        let mut reclaimed = 0;
+        for i in 0..self.disk.capacity() as u32 {
+            let p = locus_types::PhysPage(i);
+            if self.disk.is_allocated(p) && !live.contains(&p) {
+                self.disk.free(p);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property tests for the page-differencing commit machinery:
+//! a `PageBuf` driven by random multi-owner write/commit/abort sequences must
+//! always agree with a naive reference model.
+
+use proptest::prelude::*;
+
+use locus_fs::PageBuf;
+use locus_types::{ByteRange, Owner, Pid, SiteId};
+
+const PAGE: usize = 128;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Write { owner: u8, at: u8, len: u8, val: u8 },
+    Commit { owner: u8 },
+    Abort { owner: u8 },
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..3, 0u8..120, 1u8..16, any::<u8>())
+            .prop_map(|(owner, at, len, val)| Step::Write { owner, at, len, val }),
+        (0u8..3).prop_map(|owner| Step::Commit { owner }),
+        (0u8..3).prop_map(|owner| Step::Abort { owner }),
+    ]
+}
+
+fn owner(n: u8) -> Owner {
+    Owner::Proc(Pid::new(SiteId(0), u32::from(n) + 1))
+}
+
+/// Reference model: committed bytes plus per-owner uncommitted overlays.
+#[derive(Debug, Clone)]
+struct Model {
+    committed: Vec<u8>,
+    /// Per-owner overlay: (offset → byte).
+    overlays: Vec<std::collections::BTreeMap<usize, u8>>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            committed: vec![0u8; PAGE],
+            overlays: vec![Default::default(); 3],
+        }
+    }
+
+    fn visible(&self) -> Vec<u8> {
+        let mut v = self.committed.clone();
+        // Owners' writes are disjoint in this test (each owner writes to its
+        // own third of the page), so overlay order does not matter.
+        for ov in &self.overlays {
+            for (i, b) in ov {
+                v[*i] = *b;
+            }
+        }
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pagebuf_matches_reference_model(steps in proptest::collection::vec(step(), 1..40)) {
+        let mut buf = PageBuf::clean(vec![0u8; PAGE]);
+        let mut model = Model::new();
+        for s in steps {
+            match s {
+                Step::Write { owner: o, at, len, val } => {
+                    // Keep each owner in its own 40-byte region so writes by
+                    // different owners never overlap (the lock manager
+                    // guarantees this in the real system — "Records written
+                    // on the same physical page by different transactions
+                    // MUST be disjoint", footnote 6).
+                    let base = usize::from(o) * 40;
+                    let at = base + usize::from(at) % 40;
+                    let len = usize::from(len).min(40 - (at - base)).max(1);
+                    let data = vec![val; len];
+                    buf.write(owner(o), ByteRange::new(at as u64, len as u64), &data);
+                    for i in 0..len {
+                        model.overlays[usize::from(o)].insert(at + i, val);
+                    }
+                }
+                Step::Commit { owner: o } => {
+                    buf.finish_commit(owner(o));
+                    let ov = std::mem::take(&mut model.overlays[usize::from(o)]);
+                    for (i, b) in ov {
+                        model.committed[i] = b;
+                    }
+                }
+                Step::Abort { owner: o } => {
+                    buf.abort(owner(o));
+                    model.overlays[usize::from(o)].clear();
+                }
+            }
+            // Invariant 1: visible content matches the model.
+            let visible: Vec<u8> = (0..PAGE)
+                .map(|i| buf.current.get(i).copied().unwrap_or(0))
+                .collect();
+            prop_assert_eq!(&visible, &model.visible(), "visible mismatch");
+            // Invariant 2: committed base matches the model.
+            let base: Vec<u8> = (0..PAGE)
+                .map(|i| buf.base.get(i).copied().unwrap_or(0))
+                .collect();
+            prop_assert_eq!(&base, &model.committed, "base mismatch");
+        }
+    }
+
+    /// Commit images never contain other owners' uncommitted bytes.
+    #[test]
+    fn commit_image_excludes_other_writers(
+        vals in proptest::collection::vec(any::<u8>(), 3),
+    ) {
+        let mut buf = PageBuf::clean(vec![0u8; PAGE]);
+        for (o, v) in vals.iter().enumerate() {
+            buf.write(owner(o as u8), ByteRange::new(o as u64 * 40, 8), &[*v; 8]);
+        }
+        for o in 0..3u8 {
+            let (img, diffed, _) = buf.commit_image(owner(o)).unwrap();
+            prop_assert!(diffed == (buf.writer_count() > 1));
+            for other in 0..3u8 {
+                let at = usize::from(other) * 40;
+                let expect = if other == o { vals[usize::from(other)] } else { 0 };
+                prop_assert!(img[at..at + 8].iter().all(|b| *b == expect));
+            }
+        }
+    }
+}

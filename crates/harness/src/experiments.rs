@@ -1,0 +1,665 @@
+//! The figure/table reproductions.
+//!
+//! One function per evaluation artifact; each runs the *real* system inside
+//! a fresh [`Cluster`], measures via per-activity accounts and counters, and
+//! returns a structured report with a `render()` producing the paper-style
+//! table. The `locus-bench` binaries print these; EXPERIMENTS.md records
+//! paper-vs-measured.
+
+use locus_sim::{Account, CostModel, SimDuration};
+use locus_types::{lockmode, LockRequestMode};
+
+use locus_kernel::LockOpts;
+
+use crate::cluster::Cluster;
+use crate::table::Table;
+
+/// Figure 1: the lock-mode compatibility matrix, straight from the code.
+pub fn fig1_compatibility() -> String {
+    format!(
+        "== Figure 1: Transaction Synchronization Rules ==\n{}",
+        lockmode::figure1_table()
+    )
+}
+
+/// One measured scenario of Figure 6 / Section 6.2-style tables.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    pub label: String,
+    /// CPU consumed at the requesting (local) site.
+    pub service: SimDuration,
+    /// Instructions equivalent of `service` under the model.
+    pub instructions: u64,
+    /// Elapsed (latency).
+    pub latency: SimDuration,
+}
+
+impl Measured {
+    fn from_delta(label: &str, d: &Account, model: &CostModel) -> Self {
+        Measured {
+            label: label.to_string(),
+            service: d.cpu_home,
+            instructions: d.cpu_home.as_nanos() / model.instr_ns.max(1),
+            latency: d.elapsed,
+        }
+    }
+}
+
+/// Section 6.2: record-locking cost, local vs remote.
+pub struct LockLatencyReport {
+    pub rows: Vec<Measured>,
+}
+
+/// Measures the Section 6.2 table: the cost of obtaining a single lock when
+/// the requester is at the storage site and when it is remote.
+pub fn lock_latency(model: CostModel) -> LockLatencyReport {
+    let c = Cluster::with_model(2, model.clone());
+    // File stored at site 0.
+    let mut a0 = c.account(0);
+    let p0 = c.site(0).kernel.spawn();
+    let ch0 = c.site(0).kernel.creat(p0, "/locks", &mut a0).unwrap();
+    c.site(0)
+        .kernel
+        .write(p0, ch0, &vec![0u8; 8192], &mut a0)
+        .unwrap();
+    c.site(0).kernel.close(p0, ch0, &mut a0).unwrap();
+
+    let measure = |site: usize, label: &str| -> Measured {
+        let mut acct = c.account(site);
+        let p = c.site(site).kernel.spawn();
+        let ch = c
+            .site(site)
+            .kernel
+            .open(p, "/locks", true, &mut acct)
+            .unwrap();
+        // "repeatedly locking ascending groups of bytes in a file"
+        // (Section 6.2); average over the loop.
+        let n = 64u64;
+        let before = acct.clone();
+        for i in 0..n {
+            c.site(site).kernel.lseek(p, ch, i * 16, &mut acct).unwrap();
+            c.site(site)
+                .kernel
+                .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .unwrap();
+        }
+        let mut d = acct.delta_since(&before);
+        d.cpu_home = d.cpu_home / n;
+        d.elapsed = d.elapsed / n;
+        // Remove the lseek syscall from the per-lock figure.
+        let seek = c.model.instrs(c.model.syscall_instrs);
+        d.cpu_home = d.cpu_home.saturating_sub(seek);
+        d.elapsed = d.elapsed.saturating_sub(seek);
+        // Release this measurement's locks so the next one starts clean.
+        c.site(site).kernel.exit(p, &mut acct).unwrap();
+        Measured::from_delta(label, &d, &c.model)
+    };
+
+    let local = measure(0, "local lock (requester at storage site)");
+    let remote = measure(1, "remote lock (requester one RTT away)");
+    LockLatencyReport {
+        rows: vec![local, remote],
+    }
+}
+
+impl LockLatencyReport {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Section 6.2: Record Locking Performance")
+            .header(["case", "service", "instructions", "latency"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                format!("{}", r.service),
+                format!("~{} inst", r.instructions),
+                format!("{}", r.latency),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 6: measured commit performance, local/remote × overlap/non-overlap.
+pub struct Fig6Report {
+    pub rows: Vec<Measured>,
+}
+
+/// Runs the four Figure 6 scenarios: committing a set of records on one data
+/// page when another user's updates do / do not share the page, with the
+/// file local or one network hop away.
+pub fn fig6_commit_performance(model: CostModel) -> Fig6Report {
+    let mut rows = Vec::new();
+    for (remote, site_label) in [(false, "Local"), (true, "Remote")] {
+        for (overlap, ov_label) in [(false, "Non-overlap"), (true, "Overlap")] {
+            let c = Cluster::with_model(2, model.clone());
+            let mut a0 = c.account(0);
+            let p0 = c.site(0).kernel.spawn();
+            let ch0 = c.site(0).kernel.creat(p0, "/data", &mut a0).unwrap();
+            c.site(0)
+                .kernel
+                .write(p0, ch0, &vec![0u8; 1024], &mut a0)
+                .unwrap();
+            c.site(0).kernel.commit_file(p0, ch0, &mut a0).unwrap();
+
+            if overlap {
+                // A second user modifies a disjoint record on the same page
+                // and holds its update uncommitted.
+                let other = c.site(0).kernel.spawn();
+                let och = c.site(0).kernel.open(other, "/data", true, &mut a0).unwrap();
+                c.site(0).kernel.lseek(other, och, 600, &mut a0).unwrap();
+                c.site(0)
+                    .kernel
+                    .lock(other, och, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a0)
+                    .unwrap();
+                c.site(0)
+                    .kernel
+                    .write(other, och, &[9u8; 100], &mut a0)
+                    .unwrap();
+            }
+
+            // The measured user updates records at the start of the page…
+            let req_site = if remote { 1 } else { 0 };
+            let mut acct = c.account(req_site);
+            let p = c.site(req_site).kernel.spawn();
+            let ch = c
+                .site(req_site)
+                .kernel
+                .open(p, "/data", true, &mut acct)
+                .unwrap();
+            c.site(req_site)
+                .kernel
+                .lock(p, ch, 200, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .unwrap();
+            c.site(req_site)
+                .kernel
+                .write(p, ch, &[7u8; 200], &mut acct)
+                .unwrap();
+            // …and commits them (the record commit of Section 6.3).
+            let before = acct.clone();
+            c.site(req_site).kernel.commit_file(p, ch, &mut acct).unwrap();
+            let d = acct.delta_since(&before);
+            rows.push(Measured::from_delta(
+                &format!("{site_label} / {ov_label}"),
+                &d,
+                &c.model,
+            ));
+        }
+    }
+    Fig6Report { rows }
+}
+
+impl Fig6Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 6: Measured Commit Performance")
+            .header(["case", "service time (requesting site)", "latency"]);
+        for r in &self.rows {
+            t.row([
+                r.label.clone(),
+                format!("{} ({} inst)", r.service, r.instructions),
+                format!("{}", r.latency),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Figure 5: transaction I/O overhead, step by step.
+pub struct Fig5Report {
+    /// (step description, I/O count) in protocol order.
+    pub steps: Vec<(String, u64)>,
+    /// Synchronous I/Os before the transaction completes.
+    pub sync_ios: u64,
+    /// Deferred phase-two I/Os.
+    pub async_ios: u64,
+    pub label: String,
+}
+
+/// Counts the I/Os of a transaction updating `pages` pages in each of
+/// `files` files (each file on its own site/volume), under `model`.
+pub fn fig5_txn_io(model: CostModel, files: usize, pages: u64) -> Fig5Report {
+    let log_ios = model.log_append_ios();
+    let c = Cluster::with_model(files.max(1), model);
+    // One file per site (per logical volume — Section 6.1's multi-volume
+    // case).
+    let mut names = Vec::new();
+    for i in 0..files {
+        let mut a = c.account(i);
+        let p = c.site(i).kernel.spawn();
+        let name = format!("/f{i}");
+        let ch = c.site(i).kernel.creat(p, &name, &mut a).unwrap();
+        c.site(i).kernel.close(p, ch, &mut a).unwrap();
+        names.push(name);
+    }
+    let mut acct = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+    for name in &names {
+        let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
+        for pg in 0..pages {
+            c.site(0).kernel.lseek(pid, ch, pg * 1024, &mut acct).unwrap();
+            c.site(0).kernel.write(pid, ch, b"rec", &mut acct).unwrap();
+        }
+    }
+    let before = acct.clone();
+    c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+    let sync = acct.delta_since(&before);
+
+    let mut async_acct = c.account(0);
+    for s in &c.sites {
+        let mut a = Account::new(s.id());
+        s.txn.run_async_work(&mut a);
+        async_acct.disk_writes += a.disk_writes;
+        async_acct.seq_ios += a.seq_ios;
+        async_acct.disk_reads += a.disk_reads;
+    }
+
+    let steps = vec![
+        ("1. write transaction structure to coordinator log".to_string(), log_ios),
+        (
+            format!("2. flush modified data pages ({} × {} files)", pages, files),
+            pages * files as u64,
+        ),
+        (
+            format!("3. write intentions list to prepare log (× {files} volumes)"),
+            log_ios * files as u64,
+        ),
+        ("4. write commit mark to coordinator log".to_string(), 1),
+        (
+            format!("5. (async) install intentions into inode (× {files})"),
+            files as u64,
+        ),
+    ];
+    Fig5Report {
+        steps,
+        sync_ios: sync.total_ios(),
+        async_ios: async_acct.total_ios(),
+        label: format!("{files} file(s) × {pages} page(s)"),
+    }
+}
+
+impl Fig5Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&format!(
+            "Figure 5: Transaction I/O Overhead — {}",
+            self.label
+        ))
+        .header(["step", "I/Os"]);
+        for (s, n) in &self.steps {
+            t.row([s.clone(), n.to_string()]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "measured: {} synchronous I/Os before completion + {} asynchronous\n",
+            self.sync_ios, self.async_ios
+        ));
+        out
+    }
+
+    /// The step table's predicted totals (sync = steps 1–4, async = step 5).
+    pub fn predicted(&self) -> (u64, u64) {
+        let sync: u64 = self.steps[..4].iter().map(|(_, n)| n).sum();
+        (sync, self.steps[4].1)
+    }
+}
+
+/// Ablation: read-after-lock latency with and without the Section 5.2
+/// prefetch-on-lock optimization (cold buffers, remote requester).
+pub struct PrefetchReport {
+    pub without: SimDuration,
+    pub with_prefetch: SimDuration,
+}
+
+pub fn prefetch_ablation(model: CostModel) -> PrefetchReport {
+    let run = |enable: bool| -> SimDuration {
+        let c = Cluster::with_model(2, model.clone());
+        let mut a0 = c.account(0);
+        let p0 = c.site(0).kernel.spawn();
+        let ch0 = c.site(0).kernel.creat(p0, "/big", &mut a0).unwrap();
+        c.site(0)
+            .kernel
+            .write(p0, ch0, &vec![3u8; 4096], &mut a0)
+            .unwrap();
+        c.site(0).kernel.close(p0, ch0, &mut a0).unwrap();
+        // Empty the storage site's buffers.
+        c.crash_site(0);
+        c.reboot_site(0);
+        c.site(0)
+            .kernel
+            .prefetch_on_lock
+            .store(enable, std::sync::atomic::Ordering::Relaxed);
+
+        let mut acct = c.account(1);
+        let p = c.site(1).kernel.spawn();
+        let ch = c.site(1).kernel.open(p, "/big", true, &mut acct).unwrap();
+        c.site(1)
+            .kernel
+            .lock(p, ch, 4096, LockRequestMode::Shared, LockOpts::default(), &mut acct)
+            .unwrap();
+        let before = acct.clone();
+        c.site(1).kernel.read(p, ch, 4096, &mut acct).unwrap();
+        acct.delta_since(&before).elapsed
+    };
+    PrefetchReport {
+        without: run(false),
+        with_prefetch: run(true),
+    }
+}
+
+impl PrefetchReport {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation: prefetch-on-lock (Section 5.2)")
+            .header(["configuration", "read-after-lock latency"]);
+        t.row(["no prefetch".to_string(), format!("{}", self.without)]);
+        t.row(["prefetch on lock".to_string(), format!("{}", self.with_prefetch)]);
+        t.render()
+    }
+}
+
+/// Ablation: Section 5.2 lock-control migration — per-lock latency for a
+/// remote site issuing a burst of lock requests, with the lease disabled vs
+/// enabled.
+pub struct LeaseReport {
+    pub without: SimDuration,
+    pub with_lease: SimDuration,
+    pub threshold: u32,
+}
+
+pub fn lock_migration_ablation(model: CostModel, burst: u64) -> LeaseReport {
+    let run = |threshold: u32| -> SimDuration {
+        let c = Cluster::with_model(2, model.clone());
+        c.site(0)
+            .kernel
+            .lease_threshold
+            .store(threshold, std::sync::atomic::Ordering::Relaxed);
+        let mut a0 = c.account(0);
+        let p0 = c.site(0).kernel.spawn();
+        let ch0 = c.site(0).kernel.creat(p0, "/hot", &mut a0).unwrap();
+        c.site(0)
+            .kernel
+            .write(p0, ch0, &vec![0u8; 65536], &mut a0)
+            .unwrap();
+        c.site(0).kernel.close(p0, ch0, &mut a0).unwrap();
+
+        let mut acct = c.account(1);
+        let p = c.site(1).kernel.spawn();
+        let ch = c.site(1).kernel.open(p, "/hot", true, &mut acct).unwrap();
+        let before = acct.clone();
+        for i in 0..burst {
+            c.site(1).kernel.lseek(p, ch, i * 16, &mut acct).unwrap();
+            c.site(1)
+                .kernel
+                .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .unwrap();
+        }
+        acct.delta_since(&before).elapsed / burst
+    };
+    let threshold = 4;
+    LeaseReport {
+        without: run(0),
+        with_lease: run(threshold),
+        threshold,
+    }
+}
+
+impl LeaseReport {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation: lock-control migration (Section 5.2)")
+            .header(["configuration", "avg per-lock latency (remote burst)"]);
+        t.row(["no delegation".to_string(), format!("{}", self.without)]);
+        t.row([
+            format!("lease after {} requests", self.threshold),
+            format!("{}", self.with_lease),
+        ]);
+        t.render()
+    }
+}
+
+/// Figure 4 demonstration: direct vs differencing record commit on one page.
+pub struct Fig4Report {
+    pub direct: Measured,
+    pub differenced: Measured,
+    pub direct_pages: u64,
+    pub diffed_pages: u64,
+}
+
+pub fn fig4_record_commit(model: CostModel) -> Fig4Report {
+    let c = Cluster::with_model(1, model);
+    let mut a = c.account(0);
+    let k = &c.site(0).kernel;
+    let p = k.spawn();
+    let ch = k.creat(p, "/page", &mut a).unwrap();
+    k.write(p, ch, &vec![0u8; 1024], &mut a).unwrap();
+    k.commit_file(p, ch, &mut a).unwrap();
+
+    // Direct (Figure 4a): one writer on the page.
+    let w1 = k.spawn();
+    let c1 = k.open(w1, "/page", true, &mut a).unwrap();
+    k.lock(w1, c1, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.write(w1, c1, &[1u8; 100], &mut a).unwrap();
+    let before = a.clone();
+    k.commit_file(w1, c1, &mut a).unwrap();
+    let d_direct = a.delta_since(&before);
+    let direct_pages = c.counters().pages_committed_direct;
+
+    // Differenced (Figure 4b): two writers share the page; commit one.
+    let w2 = k.spawn();
+    let c2 = k.open(w2, "/page", true, &mut a).unwrap();
+    k.lseek(w2, c2, 200, &mut a).unwrap();
+    k.lock(w2, c2, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.write(w2, c2, &[2u8; 100], &mut a).unwrap();
+    let w3 = k.spawn();
+    let c3 = k.open(w3, "/page", true, &mut a).unwrap();
+    k.lseek(w3, c3, 400, &mut a).unwrap();
+    k.lock(w3, c3, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.write(w3, c3, &[3u8; 100], &mut a).unwrap();
+    let before = a.clone();
+    k.commit_file(w2, c2, &mut a).unwrap();
+    let d_diff = a.delta_since(&before);
+    let diffed_pages = c.counters().pages_committed_diff;
+
+    Fig4Report {
+        direct: Measured::from_delta("direct page commit (4a)", &d_direct, &c.model),
+        differenced: Measured::from_delta("differencing merge (4b)", &d_diff, &c.model),
+        direct_pages,
+        diffed_pages,
+    }
+}
+
+impl Fig4Report {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Figure 4: Record Commit Mechanism")
+            .header(["path", "service", "latency"]);
+        for r in [&self.direct, &self.differenced] {
+            t.row([
+                r.label.clone(),
+                format!("{} ({} inst)", r.service, r.instructions),
+                format!("{}", r.latency),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "pages committed directly: {}, via differencing: {}\n",
+            self.direct_pages, self.diffed_pages
+        ));
+        out
+    }
+}
+
+/// Figure 3 demonstration: a live lock list, rendered like the paper's
+/// structure diagram.
+pub fn fig3_lock_list(model: CostModel) -> String {
+    let c = Cluster::with_model(1, model);
+    let k = &c.site(0).kernel;
+    let mut a = c.account(0);
+    let p1 = k.spawn();
+    let ch = k.creat(p1, "/db", &mut a).unwrap();
+    k.write(p1, ch, &vec![0u8; 2048], &mut a).unwrap();
+    k.commit_file(p1, ch, &mut a).unwrap();
+    c.site(0).txn.begin_trans(p1, &mut a).unwrap();
+    k.lseek(p1, ch, 0, &mut a).unwrap();
+    k.lock(p1, ch, 512, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    let p2 = k.spawn();
+    let ch2 = k.open(p2, "/db", true, &mut a).unwrap();
+    k.lseek(p2, ch2, 1024, &mut a).unwrap();
+    k.lock(p2, ch2, 256, LockRequestMode::Shared, LockOpts::default(), &mut a).unwrap();
+
+    let snap = k.locks.snapshot();
+    let mut t = Table::new("Figure 3: Lock List Structure (live)")
+        .header(["file", "process", "transaction", "mode", "range", "retained"]);
+    for (fid, descs) in &snap.held {
+        for d in descs {
+            t.row([
+                fid.to_string(),
+                d.pid.to_string(),
+                d.tid.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                d.mode.to_string(),
+                d.range.to_string(),
+                d.retained.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// End-to-end throughput measurement used by the Criterion benches and the
+/// summary table: commits `n` simple transactions and reports modeled time
+/// per transaction.
+pub fn txn_throughput(model: CostModel, n: usize, remote: bool) -> SimDuration {
+    let c = Cluster::with_model(2, model);
+    let storage = 0usize;
+    let runner = if remote { 1 } else { 0 };
+    let mut a = c.account(storage);
+    let p = c.site(storage).kernel.spawn();
+    let ch = c.site(storage).kernel.creat(p, "/t", &mut a).unwrap();
+    c.site(storage).kernel.write(p, ch, &vec![0u8; 1024], &mut a).unwrap();
+    c.site(storage).kernel.close(p, ch, &mut a).unwrap();
+
+    let mut acct = c.account(runner);
+    let pid = c.site(runner).kernel.spawn();
+    let before = acct.clone();
+    for i in 0..n {
+        c.site(runner).txn.begin_trans(pid, &mut acct).unwrap();
+        let ch = c.site(runner).kernel.open(pid, "/t", true, &mut acct).unwrap();
+        c.site(runner)
+            .kernel
+            .lseek(pid, ch, (i as u64 % 16) * 64, &mut acct)
+            .unwrap();
+        c.site(runner).kernel.write(pid, ch, &[5u8; 64], &mut acct).unwrap();
+        c.site(runner).txn.end_trans(pid, &mut acct).unwrap();
+        c.drain_async();
+    }
+    acct.delta_since(&before).elapsed / n as u64
+}
+
+/// Sanity accessor used by tests: total pages committed via each path.
+pub fn commit_path_counts(c: &Cluster) -> (u64, u64) {
+    let s = c.counters();
+    (s.pages_committed_direct, s.pages_committed_diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_latency_matches_paper_shape() {
+        let r = lock_latency(CostModel::default());
+        let local = &r.rows[0];
+        let remote = &r.rows[1];
+        // Paper: ~1.5 ms of lock processing (750 instructions), ~2 ms local
+        // latency, ~18 ms remote.
+        assert!((700..=1100).contains(&local.instructions), "{:?}", local);
+        let lms = local.latency.as_millis_f64();
+        assert!((1.5..3.0).contains(&lms), "local {lms} ms");
+        let rms = remote.latency.as_millis_f64();
+        assert!((16.0..20.0).contains(&rms), "remote {rms} ms");
+    }
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let r = fig6_commit_performance(CostModel::default());
+        let by_label = |l: &str| {
+            r.rows
+                .iter()
+                .find(|m| m.label.starts_with(l))
+                .unwrap_or_else(|| panic!("{l} missing"))
+                .clone()
+        };
+        let local_plain = by_label("Local / Non-overlap");
+        let local_ov = by_label("Local / Overlap");
+        let remote_plain = by_label("Remote / Non-overlap");
+        let remote_ov = by_label("Remote / Overlap");
+        // Overlap costs moderately more locally (differencing CPU) …
+        assert!(local_ov.service > local_plain.service);
+        assert!(local_ov.latency > local_plain.latency);
+        // … remote latency exceeds local latency …
+        assert!(remote_plain.latency > local_plain.latency);
+        // … and the requesting site's service time shrinks for remote
+        // commits (work offloaded to the storage site).
+        assert!(remote_plain.service < local_plain.service);
+        // Remote overlap ≈ remote non-overlap at the requesting site.
+        assert_eq!(remote_ov.service, remote_plain.service);
+    }
+
+    #[test]
+    fn fig5_measured_equals_predicted() {
+        for (files, pages) in [(1usize, 1u64), (1, 4), (2, 1), (3, 2)] {
+            let r = fig5_txn_io(CostModel::default(), files, pages);
+            let (sync, async_) = r.predicted();
+            assert_eq!(r.sync_ios, sync, "{files} files {pages} pages (sync)");
+            assert_eq!(r.async_ios, async_, "{files} files {pages} pages (async)");
+        }
+        // Footnote 9 variant: 6 sync I/Os for the simple transaction.
+        let r = fig5_txn_io(CostModel::paper_1985(), 1, 1);
+        assert_eq!(r.sync_ios, 6);
+    }
+
+    #[test]
+    fn lock_migration_cuts_remote_lock_latency() {
+        let r = lock_migration_ablation(CostModel::default(), 32);
+        // Once the lease lands, locks are local (~2 ms) instead of one RTT
+        // (~18 ms); over a 32-lock burst the average falls well below half.
+        assert!(
+            r.with_lease.as_nanos() * 2 < r.without.as_nanos(),
+            "with {} vs without {}",
+            r.with_lease,
+            r.without
+        );
+    }
+
+    #[test]
+    fn prefetch_reduces_read_latency() {
+        let r = prefetch_ablation(CostModel::default());
+        assert!(
+            r.with_prefetch < r.without,
+            "with {} vs without {}",
+            r.with_prefetch,
+            r.without
+        );
+    }
+
+    #[test]
+    fn fig4_differencing_costs_more_service() {
+        let r = fig4_record_commit(CostModel::default());
+        assert!(r.differenced.service > r.direct.service);
+        assert!(r.diffed_pages >= 1);
+        assert!(r.direct_pages >= 1);
+        // The delta is ~1350 instructions (Figure 6's 10800 − 9450).
+        let delta = r.differenced.instructions - r.direct.instructions;
+        assert!((1000..1800).contains(&delta), "delta {delta}");
+    }
+
+    #[test]
+    fn fig3_renders_live_lock_state() {
+        let s = fig3_lock_list(CostModel::default());
+        assert!(s.contains("exclusive"));
+        assert!(s.contains("shared"));
+        assert!(s.contains("txn0.1"));
+    }
+
+    #[test]
+    fn throughput_remote_slower_than_local() {
+        let local = txn_throughput(CostModel::default(), 4, false);
+        let remote = txn_throughput(CostModel::default(), 4, true);
+        assert!(remote > local);
+    }
+}

@@ -1,0 +1,453 @@
+//! The deterministic script driver.
+//!
+//! Each simulated process is a program: a vector of [`Op`]s. The driver
+//! interleaves runnable processes under a seeded schedule, one operation per
+//! step. Operations that must wait — a queued lock request, `EndTrans` with
+//! live children — suspend the process without advancing its program
+//! counter; the kernel's wakeup (lock granted, member exited) makes it
+//! runnable again and the operation is retried, exactly as a blocked system
+//! call would restart.
+
+use std::collections::BTreeMap;
+
+use locus_sim::{Account, DetRng};
+use locus_types::{
+    ByteRange, Channel, Error, LockRequestMode, Pid, Result, SiteId, TransId,
+};
+
+use locus_kernel::LockOpts;
+
+use crate::cluster::Cluster;
+
+/// One program step.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Create a file on the process's current site and open it read/write.
+    Creat(String),
+    /// Open by name; `write` selects update mode.
+    Open { name: String, write: bool },
+    /// Open in Section 3.2 append mode.
+    OpenAppend(String),
+    /// Close a channel (by local open order: 0 = first opened).
+    Close(usize),
+    Seek { ch: usize, pos: u64 },
+    Read { ch: usize, len: u64 },
+    Write { ch: usize, data: Vec<u8> },
+    Lock { ch: usize, len: u64, mode: LockRequestMode, opts: LockOpts },
+    Unlock { ch: usize, len: u64 },
+    /// Roll back this process's uncommitted changes to the channel's file.
+    AbortFile(usize),
+    /// Commit them via the single-file commit.
+    CommitFile(usize),
+    BeginTrans,
+    EndTrans,
+    AbortTrans,
+    /// Fork a child running the given program at the same site.
+    Fork(Vec<Op>),
+    /// Migrate to another site.
+    Migrate(SiteId),
+}
+
+/// What an executed operation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpResult {
+    Unit,
+    Channel(Channel),
+    Data(Vec<u8>),
+    Range(ByteRange),
+    Tid(TransId),
+    Failed(Error),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcStatus {
+    Runnable,
+    /// Waiting for a kernel wakeup (queued lock / children active).
+    Blocked,
+    Done,
+}
+
+struct ScriptProc {
+    pid: Pid,
+    ops: Vec<Op>,
+    pc: usize,
+    channels: Vec<Channel>,
+    status: ProcStatus,
+    results: Vec<OpResult>,
+    acct: Account,
+}
+
+/// Outcome of a driver run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every process ran to completion.
+    Completed,
+    /// No process is runnable and no wakeups are pending — the blocked
+    /// processes are deadlocked (hand them to the deadlock detector).
+    Stuck { blocked: Vec<Pid> },
+}
+
+/// Deterministic multi-process driver over a cluster.
+pub struct Driver<'c> {
+    cluster: &'c Cluster,
+    procs: Vec<ScriptProc>,
+    rng: DetRng,
+    /// Safety valve: abort the run after this many scheduling steps.
+    pub max_steps: usize,
+}
+
+impl<'c> Driver<'c> {
+    pub fn new(cluster: &'c Cluster, seed: u64) -> Self {
+        Driver {
+            cluster,
+            procs: Vec::new(),
+            rng: DetRng::seeded(seed),
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Adds a process running `ops`, homed at site `site`. Returns its index.
+    pub fn spawn(&mut self, site: usize, ops: Vec<Op>) -> usize {
+        let pid = self.cluster.site(site).kernel.spawn();
+        self.procs.push(ScriptProc {
+            pid,
+            ops,
+            pc: 0,
+            channels: Vec::new(),
+            status: ProcStatus::Runnable,
+            results: Vec::new(),
+            acct: Account::new(SiteId(site as u32)),
+        });
+        self.procs.len() - 1
+    }
+
+    /// The pid of process `idx`.
+    pub fn pid(&self, idx: usize) -> Pid {
+        self.procs[idx].pid
+    }
+
+    /// Results recorded so far for process `idx`.
+    pub fn results(&self, idx: usize) -> &[OpResult] {
+        &self.procs[idx].results
+    }
+
+    /// The virtual-time account of process `idx`.
+    pub fn account(&self, idx: usize) -> &Account {
+        &self.procs[idx].acct
+    }
+
+    /// Runs until completion or deadlock.
+    pub fn run(&mut self) -> RunOutcome {
+        for _ in 0..self.max_steps {
+            // Deliver pending wakeups.
+            for p in self.procs.iter_mut() {
+                if p.status == ProcStatus::Blocked {
+                    let site = self.cluster.registry.lookup(p.pid);
+                    if let Some(site) = site {
+                        if self.cluster.sites[site.0 as usize]
+                            .kernel
+                            .take_wakeup(p.pid)
+                        {
+                            p.status = ProcStatus::Runnable;
+                        }
+                    } else {
+                        // Process was terminated (e.g. cascade abort).
+                        p.status = ProcStatus::Done;
+                    }
+                }
+            }
+            let runnable: Vec<usize> = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.status == ProcStatus::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                let blocked: Vec<Pid> = self
+                    .procs
+                    .iter()
+                    .filter(|p| p.status == ProcStatus::Blocked)
+                    .map(|p| p.pid)
+                    .collect();
+                if blocked.is_empty() {
+                    return RunOutcome::Completed;
+                }
+                // Before declaring deadlock, pump the asynchronous phase-two
+                // dæmons: a committed transaction's retained locks are only
+                // released by phase two, which may be exactly what a blocked
+                // process is waiting for.
+                if self.cluster.drain_async() > 0 {
+                    continue;
+                }
+                return RunOutcome::Stuck { blocked };
+            }
+            let pick = *self.rng.pick(&runnable);
+            self.step(pick);
+        }
+        panic!("driver exceeded max_steps — livelock in the scripts?");
+    }
+
+    /// Executes one operation of process `idx`.
+    fn step(&mut self, idx: usize) {
+        let pid = self.procs[idx].pid;
+        let Some(site_id) = self.cluster.registry.lookup(pid) else {
+            self.procs[idx].status = ProcStatus::Done;
+            return;
+        };
+        let site = &self.cluster.sites[site_id.0 as usize];
+        let k = &site.kernel;
+        if self.procs[idx].pc >= self.procs[idx].ops.len() {
+            // Program finished: exit the process.
+            let mut acct = std::mem::replace(&mut self.procs[idx].acct, Account::new(site_id));
+            let _ = k.exit(pid, &mut acct);
+            self.procs[idx].acct = acct;
+            self.procs[idx].status = ProcStatus::Done;
+            return;
+        }
+        let op = self.procs[idx].ops[self.procs[idx].pc].clone();
+        let mut acct = std::mem::replace(&mut self.procs[idx].acct, Account::new(site_id));
+        let mut forked: Option<(Pid, Vec<Op>, Vec<Channel>)> = None;
+        let res: Result<OpResult> = (|| {
+            let p = &mut self.procs[idx];
+            match op {
+                Op::Creat(name) => k.creat(pid, &name, &mut acct).map(|ch| {
+                    p.channels.push(ch);
+                    OpResult::Channel(ch)
+                }),
+                Op::Open { name, write } => k.open(pid, &name, write, &mut acct).map(|ch| {
+                    p.channels.push(ch);
+                    OpResult::Channel(ch)
+                }),
+                Op::OpenAppend(name) => k.open_append(pid, &name, &mut acct).map(|ch| {
+                    p.channels.push(ch);
+                    OpResult::Channel(ch)
+                }),
+                Op::Close(i) => {
+                    let ch = p.channels[i];
+                    k.close(pid, ch, &mut acct).map(|_| OpResult::Unit)
+                }
+                Op::Seek { ch, pos } => {
+                    let ch = p.channels[ch];
+                    k.lseek(pid, ch, pos, &mut acct).map(|_| OpResult::Unit)
+                }
+                Op::Read { ch, len } => {
+                    let ch = p.channels[ch];
+                    k.read(pid, ch, len, &mut acct).map(OpResult::Data)
+                }
+                Op::Write { ch, data } => {
+                    let ch = p.channels[ch];
+                    k.write(pid, ch, &data, &mut acct).map(|_| OpResult::Unit)
+                }
+                Op::Lock { ch, len, mode, opts } => {
+                    let ch = p.channels[ch];
+                    k.lock(pid, ch, len, mode, opts, &mut acct)
+                        .map(OpResult::Range)
+                }
+                Op::Unlock { ch, len } => {
+                    let ch = p.channels[ch];
+                    k.unlock(pid, ch, len, &mut acct).map(OpResult::Range)
+                }
+                Op::AbortFile(i) => {
+                    let ch = p.channels[i];
+                    k.abort_file(pid, ch, &mut acct).map(|_| OpResult::Unit)
+                }
+                Op::CommitFile(i) => {
+                    let ch = p.channels[i];
+                    k.commit_file(pid, ch, &mut acct).map(|_| OpResult::Unit)
+                }
+                Op::BeginTrans => site.txn.begin_trans(pid, &mut acct).map(OpResult::Tid),
+                Op::EndTrans => site.txn.end_trans(pid, &mut acct).map(|_| OpResult::Unit),
+                Op::AbortTrans => site.txn.abort_trans(pid, &mut acct).map(|_| OpResult::Unit),
+                Op::Fork(child_ops) => {
+                    let child = k.fork(pid, &mut acct)?;
+                    forked = Some((child, child_ops, p.channels.clone()));
+                    Ok(OpResult::Unit)
+                }
+                Op::Migrate(dest) => k.migrate(pid, dest, &mut acct).map(|_| OpResult::Unit),
+            }
+        })();
+        self.procs[idx].acct = acct;
+        match res {
+            Ok(r) => {
+                self.procs[idx].results.push(r);
+                self.procs[idx].pc += 1;
+            }
+            Err(Error::WouldBlock { .. }) | Err(Error::ChildrenActive { .. }) => {
+                self.procs[idx].status = ProcStatus::Blocked;
+            }
+            Err(Error::InTransit(_)) => {
+                // Transient; retry on the next schedule slot.
+            }
+            Err(e) => {
+                self.procs[idx].results.push(OpResult::Failed(e));
+                self.procs[idx].pc += 1;
+            }
+        }
+        if let Some((child_pid, child_ops, channels)) = forked {
+            self.procs.push(ScriptProc {
+                pid: child_pid,
+                ops: child_ops,
+                pc: 0,
+                channels,
+                status: ProcStatus::Runnable,
+                results: Vec::new(),
+                acct: Account::new(site_id),
+            });
+        }
+    }
+
+    /// Convenience: true if any recorded result is a failure.
+    pub fn any_failures(&self) -> bool {
+        self.procs
+            .iter()
+            .any(|p| p.results.iter().any(|r| matches!(r, OpResult::Failed(_))))
+    }
+
+    /// All failures, per process index.
+    pub fn failures(&self) -> BTreeMap<usize, Vec<Error>> {
+        let mut out = BTreeMap::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            let errs: Vec<Error> = p
+                .results
+                .iter()
+                .filter_map(|r| match r {
+                    OpResult::Failed(e) => Some(e.clone()),
+                    _ => None,
+                })
+                .collect();
+            if !errs.is_empty() {
+                out.insert(i, errs);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_program_runs_to_completion() {
+        let c = Cluster::new(1);
+        let mut d = Driver::new(&c, 42);
+        d.spawn(
+            0,
+            vec![
+                Op::Creat("/f".into()),
+                Op::Write { ch: 0, data: b"hello".to_vec() },
+                Op::Seek { ch: 0, pos: 0 },
+                Op::Read { ch: 0, len: 5 },
+            ],
+        );
+        assert_eq!(d.run(), RunOutcome::Completed);
+        assert_eq!(d.results(0)[3], OpResult::Data(b"hello".to_vec()));
+        assert!(!d.any_failures());
+    }
+
+    #[test]
+    fn blocked_lock_resumes_after_unlock() {
+        let c = Cluster::new(1);
+        let mut d = Driver::new(&c, 7);
+        // Holder locks, then unlocks; waiter queues and eventually gets it.
+        d.spawn(
+            0,
+            vec![
+                Op::Creat("/f".into()),
+                Op::Lock {
+                    ch: 0,
+                    len: 10,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts::default(),
+                },
+                Op::Seek { ch: 0, pos: 0 },
+                Op::Unlock { ch: 0, len: 10 },
+            ],
+        );
+        d.spawn(
+            0,
+            vec![
+                Op::Open { name: "/f".into(), write: true },
+                Op::Lock {
+                    ch: 0,
+                    len: 10,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+            ],
+        );
+        assert_eq!(d.run(), RunOutcome::Completed);
+        assert!(!d.any_failures(), "{:?}", d.failures());
+    }
+
+    #[test]
+    fn deadlock_reports_stuck() {
+        let c = Cluster::new(1);
+        let mut d = Driver::new(&c, 1);
+        // Classic two-file deadlock: each transaction locks one file then
+        // waits for the other.
+        let setup = d.spawn(
+            0,
+            vec![Op::Creat("/a".into()), Op::Creat("/b".into())],
+        );
+        let _ = setup;
+        assert_eq!(d.run(), RunOutcome::Completed);
+        let prog = |first: &str, second: &str| {
+            vec![
+                Op::BeginTrans,
+                Op::Open { name: first.into(), write: true },
+                Op::Open { name: second.into(), write: true },
+                Op::Lock {
+                    ch: 0,
+                    len: 1,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+                Op::Lock {
+                    ch: 1,
+                    len: 1,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+                Op::EndTrans,
+            ]
+        };
+        let mut d2 = Driver::new(&c, 99);
+        d2.spawn(0, prog("/a", "/b"));
+        d2.spawn(0, prog("/b", "/a"));
+        // With an adversarial seed both grab their first lock, then deadlock.
+        // Seeds that serialize them complete instead; 99 interleaves.
+        match d2.run() {
+            RunOutcome::Stuck { blocked } => assert_eq!(blocked.len(), 2),
+            RunOutcome::Completed => {
+                // The schedule serialized them — acceptable, but verify no
+                // failures either way.
+                assert!(!d2.any_failures());
+            }
+        }
+    }
+
+    #[test]
+    fn fork_inherits_channels() {
+        let c = Cluster::new(1);
+        let mut d = Driver::new(&c, 5);
+        d.spawn(
+            0,
+            vec![
+                Op::Creat("/f".into()),
+                Op::Write { ch: 0, data: b"parent".to_vec() },
+                Op::Fork(vec![
+                    Op::Seek { ch: 0, pos: 0 },
+                    Op::Read { ch: 0, len: 6 },
+                ]),
+            ],
+        );
+        assert_eq!(d.run(), RunOutcome::Completed);
+        // The child (process 1) read through the inherited channel.
+        assert!(d
+            .results(1)
+            .iter()
+            .any(|r| *r == OpResult::Data(b"parent".to_vec())));
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal aligned-text table rendering for the experiment binaries.
+
+/// A simple text table: header row plus data rows, auto-aligned.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            ..Table::default()
+        }
+    }
+
+    pub fn header<I: IntoIterator<Item = S>, S: Into<String>>(mut self, cols: I) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cols: I) {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").header(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["much-longer-name", "12345"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both rows align on the value column.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("empty");
+        assert_eq!(t.render(), "== empty ==\n");
+    }
+}

@@ -1,0 +1,170 @@
+//! The distributed, transparent namespace.
+//!
+//! Locus already provided "distributed name-mapping services" (Section 4);
+//! the transaction work did not reimplement them, and neither do we model
+//! their internals: the catalog is a replicated map every kernel can consult,
+//! and name resolution charges CPU but no messages ("a program may perform
+//! name mapping, a relatively expensive operation in a distributed system,
+//! once, then lock and unlock records within the file" — Section 3.2; we make
+//! the open carry the name-mapping cost).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use locus_types::{Error, Fid, Result, SiteId};
+
+/// Location information for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileLoc {
+    pub fid: Fid,
+    /// Sites holding a replica of the file's volume.
+    pub sites: Vec<SiteId>,
+    /// The primary update site: all locking and update activity is funneled
+    /// through it (Section 5.2's single storage site strategy).
+    pub primary: SiteId,
+}
+
+/// Replicated name → location catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    by_name: RwLock<HashMap<String, FileLoc>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a newly created file.
+    pub fn register(&self, name: &str, loc: FileLoc) -> Result<()> {
+        let mut map = self.by_name.write();
+        if map.contains_key(name) {
+            return Err(Error::AlreadyExists(name.to_string()));
+        }
+        map.insert(name.to_string(), loc);
+        Ok(())
+    }
+
+    /// Resolves a pathname.
+    pub fn resolve(&self, name: &str) -> Result<FileLoc> {
+        self.by_name
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchFile(name.to_string()))
+    }
+
+    /// Location by fid (reverse lookup).
+    pub fn loc_of(&self, fid: Fid) -> Option<FileLoc> {
+        self.by_name
+            .read()
+            .values()
+            .find(|l| l.fid == fid)
+            .cloned()
+    }
+
+    /// Adds a replica site for a file.
+    pub fn add_replica(&self, name: &str, site: SiteId) -> Result<()> {
+        let mut map = self.by_name.write();
+        let loc = map
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchFile(name.to_string()))?;
+        if !loc.sites.contains(&site) {
+            loc.sites.push(site);
+        }
+        Ok(())
+    }
+
+    /// Migrates the primary update site (storage-site service migration when
+    /// an open-for-update arrives at a non-primary replica, Section 5.2
+    /// footnote 8).
+    pub fn set_primary(&self, fid: Fid, site: SiteId) -> Result<()> {
+        let mut map = self.by_name.write();
+        for loc in map.values_mut() {
+            if loc.fid == fid {
+                if !loc.sites.contains(&site) {
+                    return Err(Error::InvalidArgument(format!(
+                        "{site} holds no replica of {fid}"
+                    )));
+                }
+                loc.primary = site;
+                return Ok(());
+            }
+        }
+        Err(Error::StaleFid(fid))
+    }
+
+    /// Removes a file (unlink).
+    pub fn unregister(&self, name: &str) -> Option<FileLoc> {
+        self.by_name.write().remove(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_name.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::VolumeId;
+
+    fn loc(vol: u32, ino: u32, primary: u32) -> FileLoc {
+        FileLoc {
+            fid: Fid::new(VolumeId(vol), ino),
+            sites: vec![SiteId(primary)],
+            primary: SiteId(primary),
+        }
+    }
+
+    #[test]
+    fn register_resolve_roundtrip() {
+        let c = Catalog::new();
+        c.register("/db/accounts", loc(0, 1, 0)).unwrap();
+        let got = c.resolve("/db/accounts").unwrap();
+        assert_eq!(got.fid, Fid::new(VolumeId(0), 1));
+        assert!(matches!(
+            c.resolve("/nope"),
+            Err(Error::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        // Section 3.4's motivating example: two transactions creating the
+        // same name — one must fail even before commit.
+        let c = Catalog::new();
+        c.register("/f", loc(0, 1, 0)).unwrap();
+        assert_eq!(
+            c.register("/f", loc(0, 2, 0)),
+            Err(Error::AlreadyExists("/f".into()))
+        );
+    }
+
+    #[test]
+    fn replicas_and_primary_migration() {
+        let c = Catalog::new();
+        c.register("/f", loc(0, 1, 0)).unwrap();
+        c.add_replica("/f", SiteId(2)).unwrap();
+        let fid = Fid::new(VolumeId(0), 1);
+        c.set_primary(fid, SiteId(2)).unwrap();
+        assert_eq!(c.resolve("/f").unwrap().primary, SiteId(2));
+        // Cannot make a non-replica the primary.
+        assert!(c.set_primary(fid, SiteId(7)).is_err());
+    }
+
+    #[test]
+    fn reverse_lookup_and_unregister() {
+        let c = Catalog::new();
+        c.register("/f", loc(0, 3, 1)).unwrap();
+        let fid = Fid::new(VolumeId(0), 3);
+        assert_eq!(c.loc_of(fid).unwrap().primary, SiteId(1));
+        c.unregister("/f");
+        assert!(c.loc_of(fid).is_none());
+        assert!(c.names().is_empty());
+    }
+}

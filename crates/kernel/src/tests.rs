@@ -1,0 +1,733 @@
+//! Kernel tests over a miniature two-site cluster (kernels wired directly to
+//! the simulated transport; the transaction control plane is tested in
+//! `locus-core`).
+
+use std::sync::Arc;
+
+use locus_disk::SimDisk;
+use locus_fs::Volume;
+use locus_net::{SimTransport, Transport};
+use locus_proc::ProcessRegistry;
+use locus_sim::{Account, CostModel, Counters, EventLog, SimDuration};
+use locus_types::{
+    ByteRange, Error, LockRequestMode, Owner, SiteId, VolumeId,
+};
+
+use crate::catalog::Catalog;
+use crate::kernel::{Kernel, LockOpts};
+
+pub(crate) struct MiniCluster {
+    pub kernels: Vec<Arc<Kernel>>,
+    pub transport: Arc<SimTransport>,
+    pub model: Arc<CostModel>,
+}
+
+pub(crate) fn mini_cluster(n: usize) -> MiniCluster {
+    mini_cluster_with(n, CostModel::default())
+}
+
+pub(crate) fn mini_cluster_with(n: usize, model: CostModel) -> MiniCluster {
+    let model = Arc::new(model);
+    let counters = Arc::new(Counters::default());
+    let events = Arc::new(EventLog::new());
+    let registry = Arc::new(ProcessRegistry::new());
+    let catalog = Arc::new(Catalog::new());
+    let transport = Arc::new(SimTransport::new(n, model.clone(), counters.clone()));
+    let mut kernels = Vec::new();
+    for i in 0..n {
+        let site = SiteId(i as u32);
+        let disk = Arc::new(SimDisk::new(4096, model.clone(), counters.clone()));
+        let vol = Arc::new(Volume::new(
+            VolumeId(i as u32),
+            site,
+            disk,
+            model.clone(),
+            counters.clone(),
+            events.clone(),
+        ));
+        let k = Arc::new(Kernel::new(
+            site,
+            model.clone(),
+            counters.clone(),
+            events.clone(),
+            vol,
+            registry.clone(),
+            catalog.clone(),
+        ));
+        k.set_transport(transport.clone());
+        transport.register(site, k.clone());
+        kernels.push(k);
+    }
+    MiniCluster {
+        kernels,
+        transport,
+        model,
+    }
+}
+
+fn acct(site: u32) -> Account {
+    Account::new(SiteId(site))
+}
+
+#[test]
+fn create_write_read_local() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let pid = k.spawn();
+    let ch = k.creat(pid, "/f", &mut a).unwrap();
+    k.write(pid, ch, b"hello world", &mut a).unwrap();
+    k.lseek(pid, ch, 0, &mut a).unwrap();
+    assert_eq!(k.read(pid, ch, 11, &mut a).unwrap(), b"hello world");
+}
+
+#[test]
+fn remote_open_read_write() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/shared", &mut a0).unwrap();
+    k0.write(p0, ch0, b"from site0", &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    // Site 1 opens and reads the file stored at site 0, transparently.
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/shared", false, &mut a1).unwrap();
+    assert_eq!(k1.read(p1, ch1, 10, &mut a1).unwrap(), b"from site0");
+    // Remote reads paid network costs.
+    assert!(a1.messages > 0);
+    assert!(a1.elapsed >= SimDuration::from_millis(15));
+}
+
+#[test]
+fn open_unknown_name_fails() {
+    let c = mini_cluster(1);
+    let mut a = acct(0);
+    let pid = c.kernels[0].spawn();
+    assert!(matches!(
+        c.kernels[0].open(pid, "/nope", false, &mut a),
+        Err(Error::NoSuchFile(_))
+    ));
+}
+
+#[test]
+fn enforced_locks_deny_unix_writers() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let locker = k.spawn();
+    let ch = k.creat(locker, "/f", &mut a).unwrap();
+    k.write(locker, ch, b"xxxxxxxxxx", &mut a).unwrap();
+    k.lseek(locker, ch, 0, &mut a).unwrap();
+    k.lock(locker, ch, 10, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .unwrap();
+
+    // Another (unlocked, Unix) process may read but not write (Figure 1).
+    let unix = k.spawn();
+    let ch2 = k.open(unix, "/f", true, &mut a).unwrap();
+    assert!(k.read(unix, ch2, 5, &mut a).is_ok());
+    k.lseek(unix, ch2, 0, &mut a).unwrap();
+    assert!(matches!(
+        k.write(unix, ch2, b"yy", &mut a),
+        Err(Error::AccessDenied { .. })
+    ));
+}
+
+#[test]
+fn lock_requires_write_permission() {
+    // Section 3.1: "the current policy requires that a process have write
+    // access to a file in order to issue locking requests."
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+    let ro = k.open(p, "/f", false, &mut a).unwrap();
+    assert!(matches!(
+        k.lock(p, ro, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        Err(Error::PermissionDenied { .. })
+    ));
+}
+
+#[test]
+fn conflicting_lock_denied_or_queued() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p1 = k.spawn();
+    let ch1 = k.creat(p1, "/f", &mut a).unwrap();
+    k.lock(p1, ch1, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+
+    let p2 = k.spawn();
+    let ch2 = k.open(p2, "/f", true, &mut a).unwrap();
+    // No-wait: conflict error.
+    assert!(matches!(
+        k.lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a),
+        Err(Error::LockConflict { .. })
+    ));
+    // Wait: queued.
+    assert!(matches!(
+        k.lock(
+            p2,
+            ch2,
+            10,
+            LockRequestMode::Exclusive,
+            LockOpts { wait: true, ..LockOpts::default() },
+            &mut a
+        ),
+        Err(Error::WouldBlock { .. })
+    ));
+    // Holder unlocks → waiter is granted and woken.
+    k.lseek(p1, ch1, 0, &mut a).unwrap();
+    k.unlock(p1, ch1, 10, &mut a).unwrap();
+    assert!(k.take_wakeup(p2));
+    // The retried request now succeeds instantly.
+    let got = k
+        .lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    assert_eq!(got, ByteRange::new(0, 10));
+}
+
+#[test]
+fn remote_lock_costs_one_round_trip() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/f", &mut a0).unwrap();
+    k0.write(p0, ch0, &[0u8; 64], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    let p1 = k1.spawn();
+    let mut a1 = acct(1);
+    let ch1 = k1.open(p1, "/f", true, &mut a1).unwrap();
+    let before = a1.clone();
+    k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+        .unwrap();
+    let d = a1.delta_since(&before);
+    // ≈ 2 ms of lock processing + 1 ms handling + 15 ms RTT = 18 ms.
+    let ms = d.elapsed.as_millis_f64();
+    assert!((17.0..20.0).contains(&ms), "remote lock took {ms} ms");
+    assert_eq!(d.messages, 1);
+}
+
+#[test]
+fn local_lock_costs_about_two_ms() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    let before = a.clone();
+    k.lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    let ms = a.delta_since(&before).elapsed.as_millis_f64();
+    assert!((1.5..3.0).contains(&ms), "local lock took {ms} ms");
+}
+
+#[test]
+fn append_lock_extends_and_positions() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/log", &mut a).unwrap();
+    k.write(p, ch, b"0123456789", &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+
+    let appender = k.spawn();
+    let ch2 = k.open_append(appender, "/log", &mut a).unwrap();
+    let got = k
+        .lock(appender, ch2, 5, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    assert_eq!(got, ByteRange::new(10, 5));
+    k.write(appender, ch2, b"ABCDE", &mut a).unwrap();
+    k.lseek(appender, ch2, 0, &mut a).unwrap();
+    assert_eq!(k.read(appender, ch2, 15, &mut a).unwrap(), b"0123456789ABCDE");
+}
+
+#[test]
+fn non_transaction_close_commits_changes() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.write(p, ch, b"durable", &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+    // Crash: committed-on-close data survives.
+    k.crash();
+    k.reboot();
+    let p2 = k.spawn();
+    let mut a2 = acct(0);
+    let ch2 = k.open(p2, "/f", false, &mut a2).unwrap();
+    assert_eq!(k.read(p2, ch2, 7, &mut a2).unwrap(), b"durable");
+}
+
+#[test]
+fn abort_file_discards_uncommitted_changes() {
+    // Figure 2's non-transaction `abort x` primitive.
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.write(p, ch, b"junk", &mut a).unwrap();
+    k.abort_file(p, ch, &mut a).unwrap();
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    assert!(k.read(p, ch, 4, &mut a).unwrap().is_empty());
+}
+
+#[test]
+fn migration_moves_process_and_open_files() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    let mut a = acct(0);
+    let p = k0.spawn();
+    let ch = k0.creat(p, "/f", &mut a).unwrap();
+    k0.write(p, ch, b"before move", &mut a).unwrap();
+    k0.migrate(p, SiteId(1), &mut a).unwrap();
+    assert!(!k0.procs.is_running(p));
+    assert!(k1.procs.is_running(p));
+    // The open channel still works from the new site (remote to storage).
+    let mut a1 = acct(1);
+    k1.lseek(p, ch, 0, &mut a1).unwrap();
+    assert_eq!(k1.read(p, ch, 11, &mut a1).unwrap(), b"before move");
+}
+
+#[test]
+fn migration_to_down_site_resumes_locally() {
+    let c = mini_cluster(2);
+    let k0 = &c.kernels[0];
+    c.transport.site_down(SiteId(1));
+    let mut a = acct(0);
+    let p = k0.spawn();
+    assert!(matches!(
+        k0.migrate(p, SiteId(1), &mut a),
+        Err(Error::SiteDown(_))
+    ));
+    assert!(k0.procs.is_running(p));
+}
+
+#[test]
+fn replica_sync_propagates_committed_data() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    let mut a = acct(0);
+    let p = k0.spawn();
+    let ch = k0.creat(p, "/rep", &mut a).unwrap();
+    // Mount a replica of site 0's volume at site 1 (its own disk).
+    let counters = Arc::new(Counters::default());
+    let disk = Arc::new(SimDisk::new(1024, c.model.clone(), counters.clone()));
+    let replica = Arc::new(Volume::new(
+        VolumeId(0),
+        SiteId(1),
+        disk,
+        c.model.clone(),
+        counters,
+        Arc::new(EventLog::new()),
+    ));
+    k1.mount(replica);
+    k0.catalog.add_replica("/rep", SiteId(1)).unwrap();
+
+    k0.write(p, ch, b"replicated!", &mut a).unwrap();
+    k0.close(p, ch, &mut a).unwrap(); // Commit pushes to the replica.
+
+    // A reader at site 1 is served by its local replica.
+    let p1 = k1.spawn();
+    let mut a1 = acct(1);
+    let ch1 = k1.open(p1, "/rep", false, &mut a1).unwrap();
+    let before = a1.messages;
+    assert_eq!(k1.read(p1, ch1, 11, &mut a1).unwrap(), b"replicated!");
+    assert_eq!(a1.messages, before, "read served locally from the replica");
+}
+
+#[test]
+fn crash_fails_syscalls_until_reboot() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    k.crash();
+    assert!(matches!(k.fork(p, &mut a), Err(Error::Crashed(_))));
+    k.reboot();
+    let p2 = k.spawn();
+    assert!(k.creat(p2, "/new", &mut a).is_ok());
+}
+
+#[test]
+fn exit_releases_locks_and_wakes_waiters() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p1 = k.spawn();
+    let ch1 = k.creat(p1, "/f", &mut a).unwrap();
+    k.lock(p1, ch1, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    let p2 = k.spawn();
+    let ch2 = k.open(p2, "/f", true, &mut a).unwrap();
+    assert!(matches!(
+        k.lock(
+            p2,
+            ch2,
+            10,
+            LockRequestMode::Exclusive,
+            LockOpts { wait: true, ..LockOpts::default() },
+            &mut a
+        ),
+        Err(Error::WouldBlock { .. })
+    ));
+    k.exit(p1, &mut a).unwrap();
+    assert!(k.take_wakeup(p2));
+    assert!(k
+        .lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .is_ok());
+}
+
+#[test]
+fn duplicate_create_fails_before_commit() {
+    // Section 3.4: concurrent creates of the same name — one must fail even
+    // though neither has committed.
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p1 = k.spawn();
+    let p2 = k.spawn();
+    k.creat(p1, "/same", &mut a).unwrap();
+    assert!(matches!(
+        k.creat(p2, "/same", &mut a),
+        Err(Error::AlreadyExists(_))
+    ));
+}
+
+#[test]
+fn prefetch_on_lock_fills_buffers() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    k.prefetch_on_lock.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.write(p, ch, &vec![7u8; 3000], &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+    k.crash(); // Empty the buffer cache.
+    k.reboot();
+    let p2 = k.spawn();
+    let mut a2 = acct(0);
+    let ch2 = k.open(p2, "/f", true, &mut a2).unwrap();
+    k.lock(p2, ch2, 3000, LockRequestMode::Shared, LockOpts::default(), &mut a2)
+        .unwrap();
+    // The subsequent read hits buffers: no disk reads charged to the reader.
+    let before = a2.clone();
+    k.read(p2, ch2, 3000, &mut a2).unwrap();
+    assert_eq!(a2.delta_since(&before).disk_reads, 0);
+}
+
+#[test]
+fn lock_lease_migrates_control_to_heavy_user() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    k0.lease_threshold
+        .store(3, std::sync::atomic::Ordering::Relaxed);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/hot", &mut a0).unwrap();
+    k0.write(p0, ch0, &vec![0u8; 8192], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
+    // Three remote locks trip the delegation threshold.
+    for i in 0..3u64 {
+        k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
+        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+            .unwrap();
+    }
+    // The fourth lock is processed at the delegate: no network messages.
+    let before = a1.clone();
+    k1.lseek(p1, ch1, 100 * 16, &mut a1).unwrap();
+    k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+        .unwrap();
+    let d = a1.delta_since(&before);
+    assert_eq!(d.messages, 0, "leased lock must not cross the network");
+    let ms = d.elapsed.as_millis_f64();
+    assert!(ms < 5.0, "leased lock took {ms} ms (should be local-cost)");
+}
+
+#[test]
+fn lock_lease_recalled_when_pattern_changes() {
+    let c = mini_cluster(3);
+    let (k0, k1, k2) = (&c.kernels[0], &c.kernels[1], &c.kernels[2]);
+    k0.lease_threshold
+        .store(2, std::sync::atomic::Ordering::Relaxed);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/hot", &mut a0).unwrap();
+    k0.write(p0, ch0, &vec![0u8; 1024], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    // Site 1 earns the lease and holds a lock.
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
+    for i in 0..2u64 {
+        k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
+        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+            .unwrap();
+    }
+    // Site 2 now asks: the storage site recalls the lease and still sees
+    // site 1's locks — conflict is detected.
+    let mut a2 = acct(2);
+    let p2 = k2.spawn();
+    let ch2 = k2.open(p2, "/hot", true, &mut a2).unwrap();
+    assert!(matches!(
+        k2.lock(p2, ch2, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a2),
+        Err(Error::LockConflict { .. })
+    ));
+    // A disjoint range is granted at the storage site again.
+    k2.lseek(p2, ch2, 512, &mut a2).unwrap();
+    assert!(k2
+        .lock(p2, ch2, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a2)
+        .is_ok());
+}
+
+#[test]
+fn lock_lease_survives_commit_cycle() {
+    // A non-transaction close (single-file commit) recalls the lease so the
+    // release happens on the authoritative list.
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    k0.lease_threshold
+        .store(2, std::sync::atomic::Ordering::Relaxed);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/hot", &mut a0).unwrap();
+    k0.write(p0, ch0, &vec![0u8; 1024], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
+    for i in 0..3u64 {
+        k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
+        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+            .unwrap();
+    }
+    k1.write(p1, ch1, b"leased-write", &mut a1).unwrap();
+    k1.close(p1, ch1, &mut a1).unwrap(); // Commit + unlock-all recalls.
+
+    // All locks released: another site can lock everything.
+    let mut a0b = acct(0);
+    let p0b = k0.spawn();
+    let ch0b = k0.open(p0b, "/hot", true, &mut a0b).unwrap();
+    assert!(k0
+        .lock(p0b, ch0b, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a0b)
+        .is_ok());
+    // And the leased-era write (at the third lock's offset 32) committed.
+    k0.lseek(p0b, ch0b, 32, &mut a0b).unwrap();
+    assert_eq!(k0.read(p0b, ch0b, 12, &mut a0b).unwrap(), b"leased-write");
+}
+
+#[test]
+fn lock_lease_delegate_crash_falls_back_to_snapshot() {
+    let c = mini_cluster(2);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    k0.lease_threshold
+        .store(2, std::sync::atomic::Ordering::Relaxed);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/hot", &mut a0).unwrap();
+    k0.write(p0, ch0, &vec![0u8; 1024], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
+    for i in 0..2u64 {
+        k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
+        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+            .unwrap();
+    }
+    // Delegate dies with the lease.
+    k1.crash();
+    c.transport.site_down(SiteId(1));
+    // Storage site falls back to its snapshot; new locking proceeds.
+    let p0b = k0.spawn();
+    let mut a0b = acct(0);
+    let ch0b = k0.open(p0b, "/hot", true, &mut a0b).unwrap();
+    k0.lseek(p0b, ch0b, 512, &mut a0b).unwrap();
+    assert!(k0
+        .lock(p0b, ch0b, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a0b)
+        .is_ok());
+}
+
+#[test]
+fn primary_update_site_can_migrate() {
+    // Section 5.2 footnote 8: storage-site service migrates to the primary
+    // update site. Model: the catalog's primary pointer moves, and update
+    // opens follow it.
+    let c = mini_cluster(3);
+    let (k0, k1) = (&c.kernels[0], &c.kernels[1]);
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch = k0.creat(p0, "/r", &mut a0).unwrap();
+    k0.write(p0, ch, b"v1", &mut a0).unwrap();
+    k0.close(p0, ch, &mut a0).unwrap();
+
+    // Replica at site 1, then promote it to primary.
+    let counters = Arc::new(Counters::default());
+    let disk = Arc::new(SimDisk::new(1024, c.model.clone(), counters.clone()));
+    let replica = Arc::new(Volume::new(
+        VolumeId(0),
+        SiteId(1),
+        disk,
+        c.model.clone(),
+        counters,
+        Arc::new(EventLog::new()),
+    ));
+    k1.mount(replica);
+    k0.catalog.add_replica("/r", SiteId(1)).unwrap();
+    // Push current contents to the replica before promotion.
+    let ch2 = k0.open(p0, "/r", true, &mut a0).unwrap();
+    k0.write(p0, ch2, b"v2", &mut a0).unwrap();
+    k0.close(p0, ch2, &mut a0).unwrap();
+
+    let loc = k0.catalog.resolve("/r").unwrap();
+    k0.catalog.set_primary(loc.fid, SiteId(1)).unwrap();
+
+    // An update open from site 2 is now served by site 1.
+    let k2 = &c.kernels[2];
+    let mut a2 = acct(2);
+    let p2 = k2.spawn();
+    let ch3 = k2.open(p2, "/r", true, &mut a2).unwrap();
+    assert_eq!(
+        k2.procs.get(p2).unwrap().open_files[&ch3].storage_site,
+        SiteId(1)
+    );
+    k2.write(p2, ch3, b"v3", &mut a2).unwrap();
+    k2.close(p2, ch3, &mut a2).unwrap();
+
+    // The new primary pushed the commit back to the old one.
+    let mut a0b = acct(0);
+    let pr = k0.spawn();
+    let chr = k0.open(pr, "/r", false, &mut a0b).unwrap();
+    assert_eq!(k0.read(pr, chr, 2, &mut a0b).unwrap(), b"v3");
+}
+
+#[test]
+fn exit_of_nonexistent_process_errors_cleanly() {
+    let c = mini_cluster(1);
+    let mut a = acct(0);
+    let ghost = locus_types::Pid::new(SiteId(0), 999);
+    assert!(matches!(
+        c.kernels[0].exit(ghost, &mut a),
+        Err(Error::NoSuchProcess(_))
+    ));
+}
+
+#[test]
+fn reads_of_unwritten_regions_return_empty() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/empty", &mut a).unwrap();
+    assert!(k.read(p, ch, 100, &mut a).unwrap().is_empty());
+    k.lseek(p, ch, 5000, &mut a).unwrap();
+    assert!(k.read(p, ch, 1, &mut a).unwrap().is_empty());
+}
+
+#[test]
+fn bad_channel_operations_error() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let bogus = locus_types::Channel(42);
+    assert!(matches!(k.read(p, bogus, 4, &mut a), Err(Error::BadChannel)));
+    assert!(matches!(k.write(p, bogus, b"x", &mut a), Err(Error::BadChannel)));
+    assert!(matches!(k.lseek(p, bogus, 0, &mut a), Err(Error::BadChannel)));
+    assert!(matches!(k.close(p, bogus, &mut a), Err(Error::BadChannel)));
+}
+
+#[test]
+fn double_close_errors_cleanly() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+    assert!(matches!(k.close(p, ch, &mut a), Err(Error::BadChannel)));
+}
+
+#[test]
+fn write_on_read_only_channel_denied() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.close(p, ch, &mut a).unwrap();
+    let ro = k.open(p, "/f", false, &mut a).unwrap();
+    assert!(matches!(
+        k.write(p, ro, b"nope", &mut a),
+        Err(Error::PermissionDenied { .. })
+    ));
+}
+
+#[test]
+fn partial_unlock_contracts_through_kernel() {
+    // "Locked ranges may be extended or contracted" (Section 3.2), end to
+    // end through the syscall surface.
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.write(p, ch, &[0u8; 100], &mut a).unwrap();
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    k.lock(p, ch, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    // Contract: release the first 40 bytes.
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    k.unlock(p, ch, 40, &mut a).unwrap();
+    // Another process can now lock [0,40) but not [40,100).
+    let q = k.spawn();
+    let qch = k.open(q, "/f", true, &mut a).unwrap();
+    assert!(k
+        .lock(q, qch, 40, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .is_ok());
+    k.lseek(q, qch, 40, &mut a).unwrap();
+    assert!(matches!(
+        k.lock(q, qch, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        Err(Error::LockConflict { .. })
+    ));
+}
+
+#[test]
+fn downgrade_admits_readers() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/f", &mut a).unwrap();
+    k.write(p, ch, &[0u8; 64], &mut a).unwrap();
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    k.lock(p, ch, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .unwrap();
+    // Downgrade exclusive → shared; a second reader is then admitted.
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    k.lock(p, ch, 64, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .unwrap();
+    let q = k.spawn();
+    let qch = k.open(q, "/f", true, &mut a).unwrap();
+    assert!(k
+        .lock(q, qch, 64, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .is_ok());
+}

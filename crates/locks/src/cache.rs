@@ -1,0 +1,183 @@
+//! Requesting-site lock cache.
+//!
+//! "When a requesting site receives a successful response to a locking
+//! request, it caches this response in its local lock list. This permits the
+//! kernel to quickly validate each process's read and write requests."
+//! (Section 5.1.)
+//!
+//! The cache records only locks granted *to local processes*; validation
+//! against other owners' locks still happens at the storage site. A cache
+//! hit means the local kernel already knows the process holds a sufficient
+//! lock, so the data access needs no extra validation round trip.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use locus_types::{range, ByteRange, Fid, LockMode, Owner};
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// (fid, owner) → ranges held, per mode.
+    shared: HashMap<(Fid, Owner), Vec<ByteRange>>,
+    exclusive: HashMap<(Fid, Owner), Vec<ByteRange>>,
+}
+
+/// Per-site cache of locks granted to local processes.
+#[derive(Debug, Default)]
+pub struct LockCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl LockCache {
+    pub fn new() -> Self {
+        LockCache::default()
+    }
+
+    /// Records a granted lock.
+    pub fn insert(&self, fid: Fid, owner: Owner, mode: LockMode, r: ByteRange) {
+        let mut inner = self.inner.lock();
+        let CacheInner { shared, exclusive } = &mut *inner;
+        // A new grant replaces the owner's previous coverage of the range in
+        // both maps (upgrades/downgrades mirror the storage site's carve).
+        for map in [&mut *shared, &mut *exclusive] {
+            if let Some(ranges) = map.get_mut(&(fid, owner)) {
+                *ranges = ranges.iter().flat_map(|h| h.subtract(&r)).collect();
+            }
+        }
+        let map = match mode {
+            LockMode::Exclusive => exclusive,
+            LockMode::Shared => shared,
+            LockMode::Unix => return,
+        };
+        let ranges = map.entry((fid, owner)).or_default();
+        ranges.push(r);
+        *ranges = range::coalesce(std::mem::take(ranges));
+    }
+
+    /// Removes coverage after an unlock.
+    pub fn remove(&self, fid: Fid, owner: Owner, r: ByteRange) {
+        let mut inner = self.inner.lock();
+        let CacheInner { shared, exclusive } = &mut *inner;
+        for map in [shared, exclusive] {
+            if let Some(ranges) = map.get_mut(&(fid, owner)) {
+                *ranges = ranges.iter().flat_map(|h| h.subtract(&r)).collect();
+            }
+        }
+    }
+
+    /// Drops everything the owner holds (transaction end, process exit).
+    pub fn drop_owner(&self, owner: Owner) {
+        let mut inner = self.inner.lock();
+        inner.shared.retain(|(_, o), _| *o != owner);
+        inner.exclusive.retain(|(_, o), _| *o != owner);
+    }
+
+    /// Drops all cached locks for a file.
+    pub fn drop_file(&self, fid: Fid) {
+        let mut inner = self.inner.lock();
+        inner.shared.retain(|(f, _), _| *f != fid);
+        inner.exclusive.retain(|(f, _), _| *f != fid);
+    }
+
+    /// Whether `owner` is known to hold a lock sufficient for the access:
+    /// exclusive coverage for writes, shared-or-exclusive for reads.
+    pub fn covers(&self, fid: Fid, owner: Owner, r: ByteRange, write: bool) -> bool {
+        let inner = self.inner.lock();
+        let mut remaining = vec![r];
+        let subtract_map = |remaining: Vec<ByteRange>, held: Option<&Vec<ByteRange>>| {
+            let Some(held) = held else {
+                return remaining;
+            };
+            let mut rem = remaining;
+            for h in held {
+                rem = rem.into_iter().flat_map(|x| x.subtract(h)).collect();
+            }
+            rem
+        };
+        remaining = subtract_map(remaining, inner.exclusive.get(&(fid, owner)));
+        if !write {
+            remaining = subtract_map(remaining, inner.shared.get(&(fid, owner)));
+        }
+        remaining.is_empty()
+    }
+
+    /// Clears the cache (site crash; it is volatile state).
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.shared.clear();
+        inner.exclusive.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{Pid, SiteId, VolumeId};
+
+    fn fid() -> Fid {
+        Fid::new(VolumeId(0), 1)
+    }
+
+    fn owner() -> Owner {
+        Owner::Proc(Pid::new(SiteId(0), 1))
+    }
+
+    #[test]
+    fn exclusive_covers_read_and_write() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Exclusive, ByteRange::new(0, 100));
+        assert!(c.covers(fid(), owner(), ByteRange::new(10, 20), true));
+        assert!(c.covers(fid(), owner(), ByteRange::new(10, 20), false));
+        assert!(!c.covers(fid(), owner(), ByteRange::new(90, 20), true));
+    }
+
+    #[test]
+    fn shared_covers_only_reads() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Shared, ByteRange::new(0, 100));
+        assert!(c.covers(fid(), owner(), ByteRange::new(0, 100), false));
+        assert!(!c.covers(fid(), owner(), ByteRange::new(0, 100), true));
+    }
+
+    #[test]
+    fn mixed_coverage_composes_for_reads() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Shared, ByteRange::new(0, 50));
+        c.insert(fid(), owner(), LockMode::Exclusive, ByteRange::new(50, 50));
+        assert!(c.covers(fid(), owner(), ByteRange::new(0, 100), false));
+        assert!(!c.covers(fid(), owner(), ByteRange::new(0, 100), true));
+        assert!(c.covers(fid(), owner(), ByteRange::new(50, 50), true));
+    }
+
+    #[test]
+    fn upgrade_replaces_shared_coverage() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Shared, ByteRange::new(0, 100));
+        c.insert(fid(), owner(), LockMode::Exclusive, ByteRange::new(0, 100));
+        assert!(c.covers(fid(), owner(), ByteRange::new(0, 100), true));
+        // Downgrade back to shared.
+        c.insert(fid(), owner(), LockMode::Shared, ByteRange::new(0, 100));
+        assert!(!c.covers(fid(), owner(), ByteRange::new(0, 100), true));
+        assert!(c.covers(fid(), owner(), ByteRange::new(0, 100), false));
+    }
+
+    #[test]
+    fn remove_and_drop_owner() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Exclusive, ByteRange::new(0, 100));
+        c.remove(fid(), owner(), ByteRange::new(0, 40));
+        assert!(!c.covers(fid(), owner(), ByteRange::new(0, 100), false));
+        assert!(c.covers(fid(), owner(), ByteRange::new(40, 60), true));
+        c.drop_owner(owner());
+        assert!(!c.covers(fid(), owner(), ByteRange::new(40, 60), false));
+    }
+
+    #[test]
+    fn crash_clears() {
+        let c = LockCache::new();
+        c.insert(fid(), owner(), LockMode::Exclusive, ByteRange::new(0, 10));
+        c.crash();
+        assert!(!c.covers(fid(), owner(), ByteRange::new(0, 10), false));
+    }
+}

@@ -1,0 +1,242 @@
+//! Lock-list state transfer, for the Section 5.2 lock-control migration
+//! optimization: "the storage site [may] *temporarily* transfer its ability
+//! to manage a group of locks to another site ... Control of these locks,
+//! and current locking information, would migrate if the locking patterns
+//! changed."
+//!
+//! The encoded form carries the granted entries, the wait queue, and the
+//! end-of-file hint — everything the delegate needs to continue granting.
+
+use std::collections::VecDeque;
+
+use locus_types::codec::{Dec, Enc};
+use locus_types::{
+    ByteRange, LockClass, LockMode, LockRequestMode, Pid, SiteId, TransId,
+};
+
+use crate::lock_list::{FileLocks, LockEntry, LockRequest, Waiter};
+
+fn enc_mode(e: &mut Enc, m: LockMode) {
+    e.u8(match m {
+        LockMode::Unix => 0,
+        LockMode::Shared => 1,
+        LockMode::Exclusive => 2,
+    });
+}
+
+fn dec_mode(d: &mut Dec<'_>) -> Option<LockMode> {
+    Some(match d.u8()? {
+        0 => LockMode::Unix,
+        1 => LockMode::Shared,
+        2 => LockMode::Exclusive,
+        _ => return None,
+    })
+}
+
+fn enc_tid_opt(e: &mut Enc, t: Option<TransId>) {
+    match t {
+        Some(t) => {
+            e.u8(1);
+            e.u32(t.site.0);
+            e.u64(t.seq);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn dec_tid_opt(d: &mut Dec<'_>) -> Option<Option<TransId>> {
+    match d.u8()? {
+        0 => Some(None),
+        1 => Some(Some(TransId::new(SiteId(d.u32()?), d.u64()?))),
+        _ => None,
+    }
+}
+
+/// Serializes the complete lock state of one file.
+pub fn encode_file_locks(fl: &FileLocks) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(fl.eof);
+    e.u32(fl.entries.len() as u32);
+    for ent in &fl.entries {
+        e.u64(ent.pid.0);
+        enc_tid_opt(&mut e, ent.tid);
+        enc_mode(&mut e, ent.mode);
+        e.u8(matches!(ent.class, LockClass::NonTransaction) as u8);
+        e.u64(ent.range.start);
+        e.u64(ent.range.len);
+        e.u8(ent.retained as u8);
+    }
+    e.u32(fl.waiters.len() as u32);
+    for w in &fl.waiters {
+        let r = &w.request;
+        e.u64(r.pid.0);
+        enc_tid_opt(&mut e, r.tid);
+        e.u8(matches!(r.class, LockClass::NonTransaction) as u8);
+        e.u8(match r.mode {
+            LockRequestMode::Shared => 0,
+            LockRequestMode::Exclusive => 1,
+            LockRequestMode::Unlock => 2,
+        });
+        e.u64(r.range.start);
+        e.u64(r.range.len);
+        e.u8(r.append as u8);
+        e.u8(r.wait as u8);
+        e.u32(r.reply_site.0);
+        e.u64(w.seq);
+    }
+    e.finish()
+}
+
+/// Rebuilds a lock list from its transfer image.
+pub fn decode_file_locks(bytes: &[u8]) -> Option<FileLocks> {
+    let mut d = Dec::new(bytes);
+    let eof = d.u64()?;
+    let mut fl = FileLocks::new(eof);
+    let n = d.u32()?;
+    for _ in 0..n {
+        let pid = Pid(d.u64()?);
+        let tid = dec_tid_opt(&mut d)?;
+        let mode = dec_mode(&mut d)?;
+        let class = if d.u8()? != 0 {
+            LockClass::NonTransaction
+        } else {
+            LockClass::Transaction
+        };
+        let range = ByteRange::new(d.u64()?, d.u64()?);
+        let retained = d.u8()? != 0;
+        fl.entries.push(LockEntry {
+            pid,
+            tid,
+            mode,
+            class,
+            range,
+            retained,
+        });
+    }
+    let nw = d.u32()?;
+    let mut waiters = VecDeque::new();
+    let mut max_seq = 0;
+    for _ in 0..nw {
+        let pid = Pid(d.u64()?);
+        let tid = dec_tid_opt(&mut d)?;
+        let class = if d.u8()? != 0 {
+            LockClass::NonTransaction
+        } else {
+            LockClass::Transaction
+        };
+        let mode = match d.u8()? {
+            0 => LockRequestMode::Shared,
+            1 => LockRequestMode::Exclusive,
+            2 => LockRequestMode::Unlock,
+            _ => return None,
+        };
+        let range = ByteRange::new(d.u64()?, d.u64()?);
+        let append = d.u8()? != 0;
+        let wait = d.u8()? != 0;
+        let reply_site = SiteId(d.u32()?);
+        let seq = d.u64()?;
+        max_seq = max_seq.max(seq + 1);
+        waiters.push_back(Waiter {
+            request: LockRequest {
+                pid,
+                tid,
+                class,
+                mode,
+                range,
+                append,
+                wait,
+                reply_site,
+            },
+            seq,
+        });
+    }
+    fl.waiters = waiters;
+    fl.restore_seq(max_seq);
+    Some(fl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock_list::LockOutcome;
+
+    fn sample() -> FileLocks {
+        let mut fl = FileLocks::new(512);
+        let req = |p: u32, mode, start, len, wait| LockRequest {
+            pid: Pid::new(SiteId(1), p),
+            tid: Some(TransId::new(SiteId(1), u64::from(p))),
+            class: LockClass::Transaction,
+            mode,
+            range: ByteRange::new(start, len),
+            append: false,
+            wait,
+            reply_site: SiteId(2),
+        };
+        assert!(matches!(
+            fl.request(req(1, LockRequestMode::Exclusive, 0, 64, false)),
+            LockOutcome::Granted { .. }
+        ));
+        assert_eq!(
+            fl.request(req(2, LockRequestMode::Exclusive, 0, 64, true)),
+            LockOutcome::Queued
+        );
+        fl
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_waiters_and_eof() {
+        let fl = sample();
+        let bytes = encode_file_locks(&fl);
+        let got = decode_file_locks(&bytes).unwrap();
+        assert_eq!(got.eof, fl.eof);
+        assert_eq!(got.entries, fl.entries);
+        assert_eq!(got.waiters, fl.waiters);
+    }
+
+    #[test]
+    fn decoded_list_keeps_enforcing() {
+        let fl = sample();
+        let mut got = decode_file_locks(&encode_file_locks(&fl)).unwrap();
+        // The transferred exclusive lock still conflicts.
+        let outcome = got.request(LockRequest {
+            pid: Pid::new(SiteId(3), 9),
+            tid: None,
+            class: LockClass::NonTransaction,
+            mode: LockRequestMode::Shared,
+            range: ByteRange::new(10, 4),
+            append: false,
+            wait: false,
+            reply_site: SiteId(3),
+        });
+        assert!(matches!(outcome, LockOutcome::Denied { .. }));
+    }
+
+    #[test]
+    fn fresh_waiters_get_unique_seq_after_transfer() {
+        let fl = sample();
+        let mut got = decode_file_locks(&encode_file_locks(&fl)).unwrap();
+        // Enqueue a new waiter; its seq must exceed the transferred one.
+        let outcome = got.request(LockRequest {
+            pid: Pid::new(SiteId(3), 9),
+            tid: None,
+            class: LockClass::NonTransaction,
+            mode: LockRequestMode::Exclusive,
+            range: ByteRange::new(0, 8),
+            append: false,
+            wait: true,
+            reply_site: SiteId(3),
+        });
+        assert_eq!(outcome, LockOutcome::Queued);
+        let seqs: Vec<u64> = got.waiters.iter().map(|w| w.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seqs.len(), sorted.len(), "duplicate waiter seq");
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let bytes = encode_file_locks(&sample());
+        assert!(decode_file_locks(&bytes[..bytes.len() - 3]).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests on the lock list: under arbitrary request sequences, the
+//! granted set must never contain incompatible overlapping locks held by
+//! different owners, FIFO waiters must not be lost, and release must wake
+//! exactly the grantable prefix.
+
+use proptest::prelude::*;
+
+use locus_locks::{FileLocks, LockOutcome, LockRequest};
+use locus_types::{ByteRange, LockClass, LockRequestMode, Owner, Pid, SiteId, TransId};
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Lock { who: u8, txn: bool, excl: bool, at: u8, len: u8, wait: bool },
+    Unlock { who: u8, txn: bool, at: u8, len: u8 },
+    ReleaseOwner { who: u8, txn: bool },
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        4 => (0u8..4, any::<bool>(), any::<bool>(), 0u8..64, 1u8..32, any::<bool>())
+            .prop_map(|(who, txn, excl, at, len, wait)| Cmd::Lock { who, txn, excl, at, len, wait }),
+        2 => (0u8..4, any::<bool>(), 0u8..64, 1u8..32)
+            .prop_map(|(who, txn, at, len)| Cmd::Unlock { who, txn, at, len }),
+        1 => (0u8..4, any::<bool>()).prop_map(|(who, txn)| Cmd::ReleaseOwner { who, txn }),
+    ]
+}
+
+fn pid(who: u8) -> Pid {
+    Pid::new(SiteId(0), u32::from(who) + 1)
+}
+
+fn tid(who: u8) -> TransId {
+    TransId::new(SiteId(0), u64::from(who) + 1)
+}
+
+fn request(who: u8, txn: bool, mode: LockRequestMode, at: u8, len: u8, wait: bool) -> LockRequest {
+    LockRequest {
+        pid: pid(who),
+        tid: txn.then(|| tid(who)),
+        class: if txn {
+            LockClass::Transaction
+        } else {
+            LockClass::NonTransaction
+        },
+        mode,
+        range: ByteRange::new(u64::from(at), u64::from(len)),
+        append: false,
+        wait,
+        reply_site: SiteId(0),
+    }
+}
+
+fn owner(who: u8, txn: bool) -> Owner {
+    if txn {
+        Owner::Trans(tid(who))
+    } else {
+        Owner::Proc(pid(who))
+    }
+}
+
+/// The central invariant: no two granted entries by different owners overlap
+/// with incompatible modes.
+fn check_no_incompatible_overlap(fl: &FileLocks) -> Result<(), TestCaseError> {
+    for (i, a) in fl.entries.iter().enumerate() {
+        for b in fl.entries.iter().skip(i + 1) {
+            if a.owner() != b.owner() && a.range.overlaps(&b.range) {
+                prop_assert!(
+                    a.mode.compatible(b.mode),
+                    "incompatible overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn no_incompatible_overlapping_grants(cmds in proptest::collection::vec(cmd(), 1..60)) {
+        let mut fl = FileLocks::new(0);
+        for c in cmds {
+            match c {
+                Cmd::Lock { who, txn, excl, at, len, wait } => {
+                    let mode = if excl {
+                        LockRequestMode::Exclusive
+                    } else {
+                        LockRequestMode::Shared
+                    };
+                    let _ = fl.request(request(who, txn, mode, at, len, wait));
+                }
+                Cmd::Unlock { who, txn, at, len } => {
+                    let _ = fl.request(request(who, txn, LockRequestMode::Unlock, at, len, false));
+                }
+                Cmd::ReleaseOwner { who, txn } => {
+                    fl.release_owner(owner(who, txn));
+                    // Releasing may unblock waiters.
+                    let _ = fl.pump();
+                }
+            }
+            check_no_incompatible_overlap(&fl)?;
+        }
+    }
+
+    /// Releasing every owner empties the list and drains the entire queue
+    /// (no waiter is ever stranded once nothing blocks it).
+    #[test]
+    fn full_release_leaves_nothing(cmds in proptest::collection::vec(cmd(), 1..40)) {
+        let mut fl = FileLocks::new(0);
+        for c in cmds {
+            if let Cmd::Lock { who, txn, excl, at, len, wait } = c {
+                let mode = if excl {
+                    LockRequestMode::Exclusive
+                } else {
+                    LockRequestMode::Shared
+                };
+                let _ = fl.request(request(who, txn, mode, at, len, wait));
+            }
+        }
+        // Release all eight possible owners; pump after each.
+        for who in 0..4u8 {
+            for txn in [false, true] {
+                fl.release_owner(owner(who, txn));
+                let _ = fl.pump();
+                check_no_incompatible_overlap(&fl)?;
+            }
+        }
+        prop_assert!(fl.entries.is_empty(), "{:?}", fl.entries);
+        prop_assert!(fl.waiters.is_empty(), "{:?}", fl.waiters);
+    }
+
+    /// A granted shared set can always be upgraded by exactly one owner once
+    /// the others release — queue fairness sanity.
+    #[test]
+    fn upgrade_eventually_succeeds(readers in 1u8..4) {
+        let mut fl = FileLocks::new(0);
+        for who in 0..readers {
+            let out = fl.request(request(who, false, LockRequestMode::Shared, 0, 16, false));
+            let granted = matches!(out, LockOutcome::Granted { .. });
+            prop_assert!(granted);
+        }
+        // Owner 0 requests an upgrade; it queues behind the other readers.
+        let out = fl.request(request(0, false, LockRequestMode::Exclusive, 0, 16, true));
+        if readers == 1 {
+            let granted = matches!(out, LockOutcome::Granted { .. });
+            prop_assert!(granted);
+            return Ok(());
+        }
+        prop_assert_eq!(out, LockOutcome::Queued);
+        for who in 1..readers {
+            fl.release_owner(owner(who, false));
+            let _ = fl.pump();
+        }
+        // Now the upgrade went through.
+        let o0 = owner(0, false);
+        prop_assert!(
+            fl.entries.iter().any(|e| e.owner() == o0
+                && e.mode == locus_types::LockMode::Exclusive),
+            "{:?}",
+            fl.entries
+        );
+    }
+}

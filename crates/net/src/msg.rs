@@ -1,0 +1,264 @@
+//! The kernel-to-kernel message vocabulary.
+//!
+//! One enum covers the filesystem data plane (remote open/read/write), the
+//! distributed lock protocol, process migration and file-list merging, and
+//! the two-phase commit control plane. Payload structures live in
+//! `locus-types` so both the kernel and transaction crates can build and
+//! consume them.
+
+use serde::{Deserialize, Serialize};
+
+use locus_types::{
+    ByteRange, Error, FileListEntry, Fid, IntentionsList, LockClass, LockRequestMode, Owner,
+    PageNo, Pid, SiteId, TransId, TxnStatus,
+};
+
+/// A kernel-to-kernel message: requests, their responses, and one-way
+/// notifications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // ----- Filesystem data plane -----
+    /// Register an open of `fid` by `pid` at the storage site.
+    OpenReq { fid: Fid, pid: Pid, write: bool },
+    /// Open succeeded; current file length returned.
+    OpenResp { len: u64 },
+    /// Deregister an open.
+    CloseReq { fid: Fid, pid: Pid },
+    /// Read `range` of `fid` on behalf of `owner`.
+    ReadReq { fid: Fid, pid: Pid, owner: Owner, range: ByteRange },
+    /// Data returned from a read.
+    ReadResp { data: Vec<u8> },
+    /// Write `data` at `range.start` of `fid` on behalf of `owner`.
+    WriteReq { fid: Fid, pid: Pid, owner: Owner, range: ByteRange, data: Vec<u8> },
+    /// Write accepted; new file length returned.
+    WriteResp { new_len: u64 },
+    /// Ask the storage site to prefetch pages ahead of a locked range
+    /// (Section 5.2 optimization).
+    PrefetchReq { fid: Fid, pages: Vec<PageNo> },
+    /// Commit one owner's changes to a file via the single-file commit
+    /// mechanism (the non-transaction close path: base Locus commits files
+    /// atomically as its default operating mode, Section 4).
+    CommitFileReq { fid: Fid, owner: Owner },
+    /// Discard one owner's uncommitted changes to a file.
+    AbortFileReq { fid: Fid, owner: Owner },
+    /// Primary update site → replica site: install the committed image of
+    /// the file's changed pages (Section 5.2 replication; the primary-site
+    /// strategy funnels updates through one site, which then refreshes the
+    /// other storage sites).
+    ReplicaSync { fid: Fid, new_len: u64, pages: Vec<(PageNo, Vec<u8>)> },
+
+    // ----- Record locking -----
+    /// `Lock(file, length, mode)` forwarded to the storage site
+    /// (Section 5.1). `append` requests the atomic extend-and-lock of
+    /// Section 3.2; `wait` selects queueing over a conflict error.
+    LockReq {
+        fid: Fid,
+        pid: Pid,
+        tid: Option<TransId>,
+        mode: LockRequestMode,
+        class: LockClass,
+        range: ByteRange,
+        append: bool,
+        wait: bool,
+        reply_site: SiteId,
+    },
+    /// Lock granted; the effective range is returned (append-mode locks are
+    /// placed relative to end-of-file by the storage site).
+    LockResp { granted: ByteRange },
+    /// One-way notification: a queued lock request has been granted.
+    LockGranted { fid: Fid, pid: Pid, range: ByteRange },
+    /// Release all locks held by a process on a file (close / exit path).
+    UnlockAllReq { fid: Fid, pid: Pid },
+    /// Storage site → delegate: take over lock management for `fid`
+    /// (Section 5.2's lock-control migration; `state` is the encoded lock
+    /// list).
+    LockLeaseGrant { fid: Fid, state: Vec<u8> },
+    /// Storage site → delegate: return the lease (locking patterns changed,
+    /// or a commit needs the authoritative lock list home).
+    LockLeaseRecall { fid: Fid },
+    /// Delegate → storage site: the returned lock-list state.
+    LockLeaseState { state: Vec<u8> },
+
+    // ----- Process migration & file lists -----
+    /// Carry a migrating process to its new site (opaque to the transport;
+    /// the kernel serializes its process record).
+    MigrateReq { pid: Pid, blob: Vec<u8> },
+    /// A completed child's file-list, merged toward the transaction's
+    /// top-level process (Section 4.1). Bounces with [`Error::InTransit`]
+    /// when the top-level process is mid-migration.
+    FileListMerge { tid: TransId, top: Pid, from: Pid, entries: Vec<FileListEntry> },
+    /// One-way: a member process of `tid` exited (used to track when all
+    /// children have completed). `top` is the process whose children set
+    /// should drop `child`.
+    ChildExited { tid: TransId, top: Pid, child: Pid },
+    /// A new member process joined the transaction (fork inside a
+    /// transaction); increments the top-level process's live-member count.
+    MemberAdded { tid: TransId, top: Pid },
+    /// A member process completed; decrements the live-member count the
+    /// top-level process's `EndTrans` waits on (Section 4.2).
+    MemberExited { tid: TransId, top: Pid },
+
+    // ----- Two-phase commit control plane (Section 4.2) -----
+    /// Coordinator → participant: prepare these files of `tid`.
+    Prepare { tid: TransId, coordinator: SiteId, files: Vec<Fid> },
+    /// Participant → coordinator: prepare completed (or failed).
+    PrepareDone { tid: TransId, ok: bool },
+    /// Coordinator → participant, phase two: commit these files and release
+    /// their retained locks.
+    Commit { tid: TransId, files: Vec<Fid> },
+    /// Coordinator → participant: roll these files back.
+    AbortFiles { tid: TransId, files: Vec<Fid> },
+    /// Abort the transaction's processes at a site (cascading abort,
+    /// Section 4.3).
+    AbortProc { tid: TransId, pid: Pid },
+    /// Recovery inquiry: what was the outcome of `tid`? (Section 4.4).
+    StatusInquiry { tid: TransId },
+    /// Outcome answer; `None` when the coordinator log has been purged
+    /// (which can only happen after all participants finished).
+    StatusAnswer { status: Option<TxnStatus> },
+
+    // ----- Generic -----
+    /// Positive acknowledgement with no payload.
+    Ok,
+    /// Remote error returned as a response.
+    Err(Error),
+}
+
+impl Msg {
+    /// Approximate number of data pages carried, used by the transport to
+    /// charge per-page transfer time on top of the base round trip.
+    pub fn pages_carried(&self, page_size: usize) -> u64 {
+        let bytes = match self {
+            Msg::ReadResp { data } | Msg::WriteReq { data, .. } => data.len(),
+            Msg::MigrateReq { blob, .. } => blob.len(),
+            Msg::ReplicaSync { pages, .. } => pages.iter().map(|(_, d)| d.len()).sum(),
+            _ => 0,
+        };
+        (bytes as u64).div_ceil(page_size as u64)
+    }
+
+    /// Whether this is a response-kind message.
+    pub fn is_response(&self) -> bool {
+        matches!(
+            self,
+            Msg::OpenResp { .. }
+                | Msg::ReadResp { .. }
+                | Msg::WriteResp { .. }
+                | Msg::LockResp { .. }
+                | Msg::PrepareDone { .. }
+                | Msg::StatusAnswer { .. }
+                | Msg::Ok
+                | Msg::Err(_)
+        )
+    }
+
+    /// Converts an `Err` response into a Rust error, passing others through.
+    pub fn into_result(self) -> Result<Msg, Error> {
+        match self {
+            Msg::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Builds an intentions-list-bearing prepare log payload (serialized with
+/// `serde` so the "log" bytes on the simulated disk are real).
+pub fn encode_intentions(lists: &[IntentionsList]) -> Vec<u8> {
+    // A compact, dependency-free encoding: length-prefixed debug of the
+    // serde data model would be overkill; we use a simple manual layout via
+    // serde's derived traits through `bincode`-free JSON-ish encoding is not
+    // available, so encode with a stable custom format.
+    let mut out = Vec::new();
+    out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
+    for l in lists {
+        out.extend_from_slice(&l.fid.volume.0.to_le_bytes());
+        out.extend_from_slice(&l.fid.inode.0.to_le_bytes());
+        out.extend_from_slice(&l.new_len.to_le_bytes());
+        out.extend_from_slice(&(l.entries.len() as u32).to_le_bytes());
+        for e in &l.entries {
+            out.extend_from_slice(&e.page.0.to_le_bytes());
+            out.extend_from_slice(&e.new_phys.0.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes the payload produced by [`encode_intentions`].
+pub fn decode_intentions(bytes: &[u8]) -> Option<Vec<IntentionsList>> {
+    use locus_types::{Fid, IntentionsEntry, PhysPage, VolumeId};
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Option<&[u8]> {
+        let s = bytes.get(pos..pos + n)?;
+        pos += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().ok()?);
+    let mut lists = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let vol = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let ino = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let new_len = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        let n = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let mut list = IntentionsList::new(Fid::new(VolumeId(vol), ino), new_len);
+        for _ in 0..n {
+            let page = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            let phys = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            list.entries.push(IntentionsEntry {
+                page: PageNo(page),
+                new_phys: PhysPage(phys),
+            });
+        }
+        lists.push(list);
+    }
+    Some(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{IntentionsEntry, PhysPage, VolumeId};
+
+    #[test]
+    fn pages_carried_counts_payload() {
+        let m = Msg::ReadResp {
+            data: vec![0; 2500],
+        };
+        assert_eq!(m.pages_carried(1024), 3);
+        assert_eq!(Msg::Ok.pages_carried(1024), 0);
+    }
+
+    #[test]
+    fn into_result_unwraps_errors() {
+        let e = Msg::Err(Error::VolumeFull);
+        assert_eq!(e.into_result(), Err(Error::VolumeFull));
+        assert!(Msg::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn intentions_roundtrip() {
+        let mut a = IntentionsList::new(Fid::new(VolumeId(1), 7), 4096);
+        a.entries.push(IntentionsEntry {
+            page: PageNo(0),
+            new_phys: PhysPage(40),
+        });
+        a.entries.push(IntentionsEntry {
+            page: PageNo(3),
+            new_phys: PhysPage(41),
+        });
+        let b = IntentionsList::new(Fid::new(VolumeId(2), 9), 0);
+        let bytes = encode_intentions(&[a.clone(), b.clone()]);
+        let got = decode_intentions(&bytes).unwrap();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut a = IntentionsList::new(Fid::new(VolumeId(1), 7), 4096);
+        a.entries.push(IntentionsEntry {
+            page: PageNo(0),
+            new_phys: PhysPage(40),
+        });
+        let bytes = encode_intentions(&[a]);
+        assert!(decode_intentions(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,689 @@
+//! Wire encoding for [`Msg`].
+//!
+//! The simulated transport dispatches messages as Rust values, but a real
+//! deployment serializes them; this module proves every message round-trips
+//! through a compact, versioned byte format, and gives the transport an
+//! exact on-the-wire size for transfer-time charging. (No serialization
+//! *format* crate is in the approved dependency list, so the codec is
+//! hand-rolled over `locus_types::codec`.)
+
+use locus_types::codec::{Dec, Enc};
+use locus_types::{
+    ByteRange, Error, FileListEntry, Fid, InodeNo, LockClass, LockRequestMode, Owner, PageNo,
+    Pid, SiteId, TransId, TxnStatus, VolumeId,
+};
+
+use crate::msg::Msg;
+
+/// Format version byte, bumped on incompatible layout changes.
+pub const WIRE_VERSION: u8 = 1;
+
+fn enc_fid(e: &mut Enc, f: Fid) {
+    e.u32(f.volume.0);
+    e.u32(f.inode.0);
+}
+
+fn dec_fid(d: &mut Dec<'_>) -> Option<Fid> {
+    Some(Fid {
+        volume: VolumeId(d.u32()?),
+        inode: InodeNo(d.u32()?),
+    })
+}
+
+fn enc_range(e: &mut Enc, r: ByteRange) {
+    e.u64(r.start);
+    e.u64(r.len);
+}
+
+fn dec_range(d: &mut Dec<'_>) -> Option<ByteRange> {
+    Some(ByteRange::new(d.u64()?, d.u64()?))
+}
+
+fn enc_tid(e: &mut Enc, t: TransId) {
+    e.u32(t.site.0);
+    e.u64(t.seq);
+}
+
+fn dec_tid(d: &mut Dec<'_>) -> Option<TransId> {
+    Some(TransId::new(SiteId(d.u32()?), d.u64()?))
+}
+
+fn enc_tid_opt(e: &mut Enc, t: Option<TransId>) {
+    match t {
+        Some(t) => {
+            e.u8(1);
+            enc_tid(e, t);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn dec_tid_opt(d: &mut Dec<'_>) -> Option<Option<TransId>> {
+    match d.u8()? {
+        0 => Some(None),
+        1 => Some(Some(dec_tid(d)?)),
+        _ => None,
+    }
+}
+
+fn enc_owner(e: &mut Enc, o: Owner) {
+    match o {
+        Owner::Trans(t) => {
+            e.u8(0);
+            enc_tid(e, t);
+        }
+        Owner::Proc(p) => {
+            e.u8(1);
+            e.u64(p.0);
+        }
+    }
+}
+
+fn dec_owner(d: &mut Dec<'_>) -> Option<Owner> {
+    Some(match d.u8()? {
+        0 => Owner::Trans(dec_tid(d)?),
+        1 => Owner::Proc(Pid(d.u64()?)),
+        _ => return None,
+    })
+}
+
+fn enc_status_opt(e: &mut Enc, s: Option<TxnStatus>) {
+    e.u8(match s {
+        None => 0,
+        Some(TxnStatus::Unknown) => 1,
+        Some(TxnStatus::Committed) => 2,
+        Some(TxnStatus::Aborted) => 3,
+    });
+}
+
+fn dec_status_opt(d: &mut Dec<'_>) -> Option<Option<TxnStatus>> {
+    Some(match d.u8()? {
+        0 => None,
+        1 => Some(TxnStatus::Unknown),
+        2 => Some(TxnStatus::Committed),
+        3 => Some(TxnStatus::Aborted),
+        _ => return None,
+    })
+}
+
+/// Serializes a message to bytes.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(WIRE_VERSION);
+    match msg {
+        Msg::OpenReq { fid, pid, write } => {
+            e.u8(0);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+            e.u8(*write as u8);
+        }
+        Msg::OpenResp { len } => {
+            e.u8(1);
+            e.u64(*len);
+        }
+        Msg::CloseReq { fid, pid } => {
+            e.u8(2);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+        }
+        Msg::ReadReq { fid, pid, owner, range } => {
+            e.u8(3);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+            enc_owner(&mut e, *owner);
+            enc_range(&mut e, *range);
+        }
+        Msg::ReadResp { data } => {
+            e.u8(4);
+            e.bytes(data);
+        }
+        Msg::WriteReq { fid, pid, owner, range, data } => {
+            e.u8(5);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+            enc_owner(&mut e, *owner);
+            enc_range(&mut e, *range);
+            e.bytes(data);
+        }
+        Msg::WriteResp { new_len } => {
+            e.u8(6);
+            e.u64(*new_len);
+        }
+        Msg::PrefetchReq { fid, pages } => {
+            e.u8(7);
+            enc_fid(&mut e, *fid);
+            e.u32(pages.len() as u32);
+            for p in pages {
+                e.u32(p.0);
+            }
+        }
+        Msg::CommitFileReq { fid, owner } => {
+            e.u8(8);
+            enc_fid(&mut e, *fid);
+            enc_owner(&mut e, *owner);
+        }
+        Msg::AbortFileReq { fid, owner } => {
+            e.u8(9);
+            enc_fid(&mut e, *fid);
+            enc_owner(&mut e, *owner);
+        }
+        Msg::ReplicaSync { fid, new_len, pages } => {
+            e.u8(10);
+            enc_fid(&mut e, *fid);
+            e.u64(*new_len);
+            e.u32(pages.len() as u32);
+            for (p, data) in pages {
+                e.u32(p.0);
+                e.bytes(data);
+            }
+        }
+        Msg::LockReq { fid, pid, tid, mode, class, range, append, wait, reply_site } => {
+            e.u8(11);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+            enc_tid_opt(&mut e, *tid);
+            e.u8(match mode {
+                LockRequestMode::Shared => 0,
+                LockRequestMode::Exclusive => 1,
+                LockRequestMode::Unlock => 2,
+            });
+            e.u8(matches!(class, LockClass::NonTransaction) as u8);
+            enc_range(&mut e, *range);
+            e.u8(*append as u8);
+            e.u8(*wait as u8);
+            e.u32(reply_site.0);
+        }
+        Msg::LockResp { granted } => {
+            e.u8(12);
+            enc_range(&mut e, *granted);
+        }
+        Msg::LockGranted { fid, pid, range } => {
+            e.u8(13);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+            enc_range(&mut e, *range);
+        }
+        Msg::UnlockAllReq { fid, pid } => {
+            e.u8(14);
+            enc_fid(&mut e, *fid);
+            e.u64(pid.0);
+        }
+        Msg::LockLeaseGrant { fid, state } => {
+            e.u8(15);
+            enc_fid(&mut e, *fid);
+            e.bytes(state);
+        }
+        Msg::LockLeaseRecall { fid } => {
+            e.u8(16);
+            enc_fid(&mut e, *fid);
+        }
+        Msg::LockLeaseState { state } => {
+            e.u8(17);
+            e.bytes(state);
+        }
+        Msg::MigrateReq { pid, blob } => {
+            e.u8(18);
+            e.u64(pid.0);
+            e.bytes(blob);
+        }
+        Msg::FileListMerge { tid, top, from, entries } => {
+            e.u8(19);
+            enc_tid(&mut e, *tid);
+            e.u64(top.0);
+            e.u64(from.0);
+            e.u32(entries.len() as u32);
+            for ent in entries {
+                enc_fid(&mut e, ent.fid);
+                e.u32(ent.storage_site.0);
+            }
+        }
+        Msg::ChildExited { tid, top, child } => {
+            e.u8(20);
+            enc_tid(&mut e, *tid);
+            e.u64(top.0);
+            e.u64(child.0);
+        }
+        Msg::MemberAdded { tid, top } => {
+            e.u8(21);
+            enc_tid(&mut e, *tid);
+            e.u64(top.0);
+        }
+        Msg::MemberExited { tid, top } => {
+            e.u8(22);
+            enc_tid(&mut e, *tid);
+            e.u64(top.0);
+        }
+        Msg::Prepare { tid, coordinator, files } => {
+            e.u8(23);
+            enc_tid(&mut e, *tid);
+            e.u32(coordinator.0);
+            e.u32(files.len() as u32);
+            for f in files {
+                enc_fid(&mut e, *f);
+            }
+        }
+        Msg::PrepareDone { tid, ok } => {
+            e.u8(24);
+            enc_tid(&mut e, *tid);
+            e.u8(*ok as u8);
+        }
+        Msg::Commit { tid, files } => {
+            e.u8(25);
+            enc_tid(&mut e, *tid);
+            e.u32(files.len() as u32);
+            for f in files {
+                enc_fid(&mut e, *f);
+            }
+        }
+        Msg::AbortFiles { tid, files } => {
+            e.u8(26);
+            enc_tid(&mut e, *tid);
+            e.u32(files.len() as u32);
+            for f in files {
+                enc_fid(&mut e, *f);
+            }
+        }
+        Msg::AbortProc { tid, pid } => {
+            e.u8(27);
+            enc_tid(&mut e, *tid);
+            e.u64(pid.0);
+        }
+        Msg::StatusInquiry { tid } => {
+            e.u8(28);
+            enc_tid(&mut e, *tid);
+        }
+        Msg::StatusAnswer { status } => {
+            e.u8(29);
+            enc_status_opt(&mut e, *status);
+        }
+        Msg::Ok => e.u8(30),
+        Msg::Err(err) => {
+            e.u8(31);
+            // Errors travel as their display form plus a coarse class tag
+            // sufficient for the caller's control flow.
+            let (tag, fid, range, pid_v): (u8, Option<Fid>, Option<ByteRange>, Option<u64>) =
+                match err {
+                    Error::LockConflict { fid, range } => (0, Some(*fid), Some(*range), None),
+                    Error::WouldBlock { fid, range } => (1, Some(*fid), Some(*range), None),
+                    Error::AccessDenied { fid, range } => (2, Some(*fid), Some(*range), None),
+                    Error::InTransit(p) => (3, None, None, Some(p.0)),
+                    Error::NoSuchProcess(p) => (4, None, None, Some(p.0)),
+                    Error::TxnAborted(t) => {
+                        e.u8(5);
+                        enc_tid(&mut e, *t);
+                        return e.finish();
+                    }
+                    other => {
+                        e.u8(6);
+                        e.bytes(other.to_string().as_bytes());
+                        return e.finish();
+                    }
+                };
+            e.u8(tag);
+            if let Some(f) = fid {
+                enc_fid(&mut e, f);
+            }
+            if let Some(r) = range {
+                enc_range(&mut e, r);
+            }
+            if let Some(p) = pid_v {
+                e.u64(p);
+            }
+        }
+    }
+    e.finish()
+}
+
+/// Deserializes a message. Returns `None` on corruption or version skew.
+pub fn decode(bytes: &[u8]) -> Option<Msg> {
+    let mut d = Dec::new(bytes);
+    if d.u8()? != WIRE_VERSION {
+        return None;
+    }
+    let msg = match d.u8()? {
+        0 => Msg::OpenReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+            write: d.u8()? != 0,
+        },
+        1 => Msg::OpenResp { len: d.u64()? },
+        2 => Msg::CloseReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+        },
+        3 => Msg::ReadReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+            owner: dec_owner(&mut d)?,
+            range: dec_range(&mut d)?,
+        },
+        4 => Msg::ReadResp {
+            data: d.bytes()?.to_vec(),
+        },
+        5 => Msg::WriteReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+            owner: dec_owner(&mut d)?,
+            range: dec_range(&mut d)?,
+            data: d.bytes()?.to_vec(),
+        },
+        6 => Msg::WriteResp { new_len: d.u64()? },
+        7 => {
+            let fid = dec_fid(&mut d)?;
+            let n = d.u32()?;
+            let mut pages = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                pages.push(PageNo(d.u32()?));
+            }
+            Msg::PrefetchReq { fid, pages }
+        }
+        8 => Msg::CommitFileReq {
+            fid: dec_fid(&mut d)?,
+            owner: dec_owner(&mut d)?,
+        },
+        9 => Msg::AbortFileReq {
+            fid: dec_fid(&mut d)?,
+            owner: dec_owner(&mut d)?,
+        },
+        10 => {
+            let fid = dec_fid(&mut d)?;
+            let new_len = d.u64()?;
+            let n = d.u32()?;
+            let mut pages = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let p = PageNo(d.u32()?);
+                pages.push((p, d.bytes()?.to_vec()));
+            }
+            Msg::ReplicaSync { fid, new_len, pages }
+        }
+        11 => Msg::LockReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+            tid: dec_tid_opt(&mut d)?,
+            mode: match d.u8()? {
+                0 => LockRequestMode::Shared,
+                1 => LockRequestMode::Exclusive,
+                2 => LockRequestMode::Unlock,
+                _ => return None,
+            },
+            class: if d.u8()? != 0 {
+                LockClass::NonTransaction
+            } else {
+                LockClass::Transaction
+            },
+            range: dec_range(&mut d)?,
+            append: d.u8()? != 0,
+            wait: d.u8()? != 0,
+            reply_site: SiteId(d.u32()?),
+        },
+        12 => Msg::LockResp {
+            granted: dec_range(&mut d)?,
+        },
+        13 => Msg::LockGranted {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+            range: dec_range(&mut d)?,
+        },
+        14 => Msg::UnlockAllReq {
+            fid: dec_fid(&mut d)?,
+            pid: Pid(d.u64()?),
+        },
+        15 => Msg::LockLeaseGrant {
+            fid: dec_fid(&mut d)?,
+            state: d.bytes()?.to_vec(),
+        },
+        16 => Msg::LockLeaseRecall {
+            fid: dec_fid(&mut d)?,
+        },
+        17 => Msg::LockLeaseState {
+            state: d.bytes()?.to_vec(),
+        },
+        18 => Msg::MigrateReq {
+            pid: Pid(d.u64()?),
+            blob: d.bytes()?.to_vec(),
+        },
+        19 => {
+            let tid = dec_tid(&mut d)?;
+            let top = Pid(d.u64()?);
+            let from = Pid(d.u64()?);
+            let n = d.u32()?;
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                entries.push(FileListEntry {
+                    fid: dec_fid(&mut d)?,
+                    storage_site: SiteId(d.u32()?),
+                });
+            }
+            Msg::FileListMerge { tid, top, from, entries }
+        }
+        20 => Msg::ChildExited {
+            tid: dec_tid(&mut d)?,
+            top: Pid(d.u64()?),
+            child: Pid(d.u64()?),
+        },
+        21 => Msg::MemberAdded {
+            tid: dec_tid(&mut d)?,
+            top: Pid(d.u64()?),
+        },
+        22 => Msg::MemberExited {
+            tid: dec_tid(&mut d)?,
+            top: Pid(d.u64()?),
+        },
+        23 => {
+            let tid = dec_tid(&mut d)?;
+            let coordinator = SiteId(d.u32()?);
+            let n = d.u32()?;
+            let mut files = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                files.push(dec_fid(&mut d)?);
+            }
+            Msg::Prepare { tid, coordinator, files }
+        }
+        24 => Msg::PrepareDone {
+            tid: dec_tid(&mut d)?,
+            ok: d.u8()? != 0,
+        },
+        25 => {
+            let tid = dec_tid(&mut d)?;
+            let n = d.u32()?;
+            let mut files = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                files.push(dec_fid(&mut d)?);
+            }
+            Msg::Commit { tid, files }
+        }
+        26 => {
+            let tid = dec_tid(&mut d)?;
+            let n = d.u32()?;
+            let mut files = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                files.push(dec_fid(&mut d)?);
+            }
+            Msg::AbortFiles { tid, files }
+        }
+        27 => Msg::AbortProc {
+            tid: dec_tid(&mut d)?,
+            pid: Pid(d.u64()?),
+        },
+        28 => Msg::StatusInquiry {
+            tid: dec_tid(&mut d)?,
+        },
+        29 => Msg::StatusAnswer {
+            status: dec_status_opt(&mut d)?,
+        },
+        30 => Msg::Ok,
+        31 => match d.u8()? {
+            0 => Msg::Err(Error::LockConflict {
+                fid: dec_fid(&mut d)?,
+                range: dec_range(&mut d)?,
+            }),
+            1 => Msg::Err(Error::WouldBlock {
+                fid: dec_fid(&mut d)?,
+                range: dec_range(&mut d)?,
+            }),
+            2 => Msg::Err(Error::AccessDenied {
+                fid: dec_fid(&mut d)?,
+                range: dec_range(&mut d)?,
+            }),
+            3 => Msg::Err(Error::InTransit(Pid(d.u64()?))),
+            4 => Msg::Err(Error::NoSuchProcess(Pid(d.u64()?))),
+            5 => Msg::Err(Error::TxnAborted(dec_tid(&mut d)?)),
+            6 => Msg::Err(Error::ProtocolViolation(
+                String::from_utf8_lossy(d.bytes()?).into_owned(),
+            )),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if d.done() {
+        Some(msg)
+    } else {
+        None
+    }
+}
+
+/// The exact wire size of a message, for transfer-time charging.
+pub fn wire_len(msg: &Msg) -> usize {
+    encode(msg).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid() -> Fid {
+        Fid::new(VolumeId(2), 9)
+    }
+
+    fn pid() -> Pid {
+        Pid::new(SiteId(1), 7)
+    }
+
+    fn tid() -> TransId {
+        TransId::new(SiteId(3), 44)
+    }
+
+    fn sample_messages() -> Vec<Msg> {
+        vec![
+            Msg::OpenReq { fid: fid(), pid: pid(), write: true },
+            Msg::OpenResp { len: 4096 },
+            Msg::CloseReq { fid: fid(), pid: pid() },
+            Msg::ReadReq {
+                fid: fid(),
+                pid: pid(),
+                owner: Owner::Trans(tid()),
+                range: ByteRange::new(10, 20),
+            },
+            Msg::ReadResp { data: vec![1, 2, 3] },
+            Msg::WriteReq {
+                fid: fid(),
+                pid: pid(),
+                owner: Owner::Proc(pid()),
+                range: ByteRange::new(0, 3),
+                data: vec![9, 9, 9],
+            },
+            Msg::WriteResp { new_len: 3 },
+            Msg::PrefetchReq { fid: fid(), pages: vec![PageNo(0), PageNo(5)] },
+            Msg::CommitFileReq { fid: fid(), owner: Owner::Proc(pid()) },
+            Msg::AbortFileReq { fid: fid(), owner: Owner::Trans(tid()) },
+            Msg::ReplicaSync {
+                fid: fid(),
+                new_len: 2048,
+                pages: vec![(PageNo(1), vec![7u8; 16])],
+            },
+            Msg::LockReq {
+                fid: fid(),
+                pid: pid(),
+                tid: Some(tid()),
+                mode: LockRequestMode::Exclusive,
+                class: LockClass::Transaction,
+                range: ByteRange::new(100, 50),
+                append: true,
+                wait: true,
+                reply_site: SiteId(2),
+            },
+            Msg::LockResp { granted: ByteRange::new(100, 50) },
+            Msg::LockGranted { fid: fid(), pid: pid(), range: ByteRange::new(0, 8) },
+            Msg::UnlockAllReq { fid: fid(), pid: pid() },
+            Msg::LockLeaseGrant { fid: fid(), state: vec![1, 2, 3, 4] },
+            Msg::LockLeaseRecall { fid: fid() },
+            Msg::LockLeaseState { state: vec![5, 6] },
+            Msg::MigrateReq { pid: pid(), blob: vec![0xAB; 32] },
+            Msg::FileListMerge {
+                tid: tid(),
+                top: pid(),
+                from: Pid::new(SiteId(0), 1),
+                entries: vec![FileListEntry { fid: fid(), storage_site: SiteId(4) }],
+            },
+            Msg::ChildExited { tid: tid(), top: pid(), child: Pid::new(SiteId(0), 2) },
+            Msg::MemberAdded { tid: tid(), top: pid() },
+            Msg::MemberExited { tid: tid(), top: pid() },
+            Msg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] },
+            Msg::PrepareDone { tid: tid(), ok: false },
+            Msg::Commit { tid: tid(), files: vec![fid(), Fid::new(VolumeId(1), 1)] },
+            Msg::AbortFiles { tid: tid(), files: vec![] },
+            Msg::AbortProc { tid: tid(), pid: pid() },
+            Msg::StatusInquiry { tid: tid() },
+            Msg::StatusAnswer { status: Some(TxnStatus::Committed) },
+            Msg::StatusAnswer { status: None },
+            Msg::Ok,
+            Msg::Err(Error::LockConflict { fid: fid(), range: ByteRange::new(0, 4) }),
+            Msg::Err(Error::WouldBlock { fid: fid(), range: ByteRange::new(0, 4) }),
+            Msg::Err(Error::AccessDenied { fid: fid(), range: ByteRange::new(0, 4) }),
+            Msg::Err(Error::InTransit(pid())),
+            Msg::Err(Error::NoSuchProcess(pid())),
+            Msg::Err(Error::TxnAborted(tid())),
+            Msg::Err(Error::VolumeFull),
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            let got = decode(&bytes).unwrap_or_else(|| panic!("decode failed for {msg:?}"));
+            match (&msg, &got) {
+                // Generic errors collapse to ProtocolViolation carrying the
+                // display string; everything else must be identical.
+                (Msg::Err(Error::VolumeFull), Msg::Err(Error::ProtocolViolation(s))) => {
+                    assert_eq!(s, "volume full");
+                }
+                _ => assert_eq!(got, msg),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            if bytes.len() > 2 {
+                assert!(
+                    decode(&bytes[..bytes.len() - 1]).is_none(),
+                    "truncated decode should fail for {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&Msg::Ok);
+        bytes.push(0);
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode(&Msg::Ok);
+        bytes[0] = WIRE_VERSION + 1;
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn wire_len_tracks_payload() {
+        let small = wire_len(&Msg::Ok);
+        let big = wire_len(&Msg::ReadResp { data: vec![0; 1000] });
+        assert!(big > small + 999);
+    }
+}

@@ -1,0 +1,17 @@
+//! The process model: per-site process tables, Unix-style fork semantics,
+//! per-process file-lists, transaction membership, and process migration
+//! with the *in-transit* protocol of Section 4.1.
+//!
+//! Each site's kernel owns one [`ProcessTable`]. A cluster-wide
+//! [`ProcessRegistry`] models the pre-existing Locus distributed name
+//! service that lets any site find where a process currently runs; it is the
+//! *hint* used to route file-list merges, which bounce-and-retry when the
+//! target is mid-migration (the paper's race-avoidance protocol).
+
+pub mod record;
+pub mod registry;
+pub mod table;
+
+pub use record::{OpenFile, ProcState, ProcessRecord};
+pub use registry::ProcessRegistry;
+pub use table::ProcessTable;

@@ -1,0 +1,262 @@
+//! Process records: identity, process-tree links, transaction membership,
+//! open files, and the per-process file-list (Section 4.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use locus_types::{Channel, Fid, FileListEntry, InodeNo, Pid, SiteId, TransId, VolumeId};
+
+use locus_types::codec::{Dec, Enc};
+
+/// Lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    Running,
+    /// Mid-migration: file-list merges addressed here must bounce and retry
+    /// (Section 4.1's race-avoidance marking).
+    InTransit,
+    /// Exited; kept briefly for diagnostics.
+    Exited,
+}
+
+/// One open file of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenFile {
+    pub fid: Fid,
+    /// The (primary update) storage site serving this open.
+    pub storage_site: SiteId,
+    /// Current file offset, as maintained by read/write/lseek.
+    pub pos: u64,
+    /// Section 3.2 append mode: lock requests are end-of-file relative.
+    pub append: bool,
+    /// Opened with write permission (required to issue lock requests).
+    pub write: bool,
+}
+
+/// The kernel's record of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessRecord {
+    pub pid: Pid,
+    pub parent: Option<Pid>,
+    /// Live children (maintained at whichever site currently hosts this
+    /// process).
+    pub children: BTreeSet<Pid>,
+    /// Transaction this process belongs to, if any.
+    pub tid: Option<TransId>,
+    /// `BeginTrans`/`EndTrans` nesting depth (Section 2's pairing counter).
+    pub nest: u32,
+    /// The transaction's top-level process (self, for the top level).
+    pub top: Option<Pid>,
+    /// Live member processes of the transaction *below* this process —
+    /// meaningful only on the top-level record; `EndTrans` waits for zero.
+    pub live_members: u32,
+    /// Files used under the transaction, with their storage sites; merged to
+    /// the top-level process as children complete (Section 4.1).
+    pub file_list: BTreeSet<FileListEntry>,
+    pub open_files: BTreeMap<Channel, OpenFile>,
+    pub next_channel: u32,
+    pub state: ProcState,
+}
+
+impl ProcessRecord {
+    pub fn new(pid: Pid) -> Self {
+        ProcessRecord {
+            pid,
+            parent: None,
+            children: BTreeSet::new(),
+            tid: None,
+            nest: 0,
+            top: None,
+            live_members: 0,
+            file_list: BTreeSet::new(),
+            open_files: BTreeMap::new(),
+            next_channel: 0,
+            state: ProcState::Running,
+        }
+    }
+
+    /// Whether this process is the top-level process of its transaction.
+    pub fn is_top_level(&self) -> bool {
+        self.tid.is_some() && self.top == Some(self.pid)
+    }
+
+    /// Records a file use in the process's file-list.
+    pub fn note_file(&mut self, fid: Fid, storage_site: SiteId) {
+        self.file_list.insert(FileListEntry { fid, storage_site });
+    }
+
+    /// Allocates a channel for a new open file.
+    pub fn add_open(&mut self, of: OpenFile) -> Channel {
+        let ch = Channel(self.next_channel);
+        self.next_channel += 1;
+        self.open_files.insert(ch, of);
+        ch
+    }
+
+    /// Serializes the record for a migration message. The blob length is
+    /// what the transport charges transfer time for.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.pid.0);
+        e.opt_u64(self.parent.map(|p| p.0));
+        e.u32(self.children.len() as u32);
+        for c in &self.children {
+            e.u64(c.0);
+        }
+        match self.tid {
+            Some(t) => {
+                e.u8(1);
+                e.u32(t.site.0);
+                e.u64(t.seq);
+            }
+            None => e.u8(0),
+        }
+        e.u32(self.nest);
+        e.opt_u64(self.top.map(|p| p.0));
+        e.u32(self.live_members);
+        e.u32(self.file_list.len() as u32);
+        for f in &self.file_list {
+            e.u32(f.fid.volume.0);
+            e.u32(f.fid.inode.0);
+            e.u32(f.storage_site.0);
+        }
+        e.u32(self.open_files.len() as u32);
+        for (ch, of) in &self.open_files {
+            e.u32(ch.0);
+            e.u32(of.fid.volume.0);
+            e.u32(of.fid.inode.0);
+            e.u32(of.storage_site.0);
+            e.u64(of.pos);
+            e.u8(of.append as u8);
+            e.u8(of.write as u8);
+        }
+        e.u32(self.next_channel);
+        e.finish()
+    }
+
+    /// Decodes a migration blob. Returns `None` on corruption.
+    pub fn decode(bytes: &[u8]) -> Option<ProcessRecord> {
+        let mut d = Dec::new(bytes);
+        let pid = Pid(d.u64()?);
+        let parent = d.opt_u64()?.map(Pid);
+        let n_children = d.u32()?;
+        let mut children = BTreeSet::new();
+        for _ in 0..n_children {
+            children.insert(Pid(d.u64()?));
+        }
+        let tid = match d.u8()? {
+            1 => Some(TransId::new(SiteId(d.u32()?), d.u64()?)),
+            0 => None,
+            _ => return None,
+        };
+        let nest = d.u32()?;
+        let top = d.opt_u64()?.map(Pid);
+        let live_members = d.u32()?;
+        let n_files = d.u32()?;
+        let mut file_list = BTreeSet::new();
+        for _ in 0..n_files {
+            file_list.insert(FileListEntry {
+                fid: Fid {
+                    volume: VolumeId(d.u32()?),
+                    inode: InodeNo(d.u32()?),
+                },
+                storage_site: SiteId(d.u32()?),
+            });
+        }
+        let n_open = d.u32()?;
+        let mut open_files = BTreeMap::new();
+        for _ in 0..n_open {
+            let ch = Channel(d.u32()?);
+            open_files.insert(
+                ch,
+                OpenFile {
+                    fid: Fid {
+                        volume: VolumeId(d.u32()?),
+                        inode: InodeNo(d.u32()?),
+                    },
+                    storage_site: SiteId(d.u32()?),
+                    pos: d.u64()?,
+                    append: d.u8()? != 0,
+                    write: d.u8()? != 0,
+                },
+            );
+        }
+        let next_channel = d.u32()?;
+        Some(ProcessRecord {
+            pid,
+            parent,
+            children,
+            tid,
+            nest,
+            top,
+            live_members,
+            file_list,
+            open_files,
+            next_channel,
+            state: ProcState::Running,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProcessRecord {
+        let mut r = ProcessRecord::new(Pid::new(SiteId(1), 7));
+        r.parent = Some(Pid::new(SiteId(1), 3));
+        r.children.insert(Pid::new(SiteId(2), 1));
+        r.tid = Some(TransId::new(SiteId(1), 99));
+        r.nest = 2;
+        r.top = Some(r.pid);
+        r.live_members = 1;
+        r.note_file(Fid::new(VolumeId(0), 5), SiteId(2));
+        r.add_open(OpenFile {
+            fid: Fid::new(VolumeId(0), 5),
+            storage_site: SiteId(2),
+            pos: 128,
+            append: true,
+            write: true,
+        });
+        r
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample();
+        let blob = r.encode();
+        let got = ProcessRecord::decode(&blob).unwrap();
+        assert_eq!(got, r);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let blob = sample().encode();
+        for cut in [1, 8, blob.len() - 1] {
+            assert!(ProcessRecord::decode(&blob[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn top_level_detection() {
+        let mut r = sample();
+        assert!(r.is_top_level());
+        r.top = Some(Pid::new(SiteId(9), 9));
+        assert!(!r.is_top_level());
+        r.tid = None;
+        assert!(!r.is_top_level());
+    }
+
+    #[test]
+    fn channels_are_sequential() {
+        let mut r = ProcessRecord::new(Pid::new(SiteId(1), 1));
+        let of = OpenFile {
+            fid: Fid::new(VolumeId(0), 1),
+            storage_site: SiteId(1),
+            pos: 0,
+            append: false,
+            write: false,
+        };
+        assert_eq!(r.add_open(of), Channel(0));
+        assert_eq!(r.add_open(of), Channel(1));
+    }
+}

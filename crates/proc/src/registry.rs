@@ -1,0 +1,98 @@
+//! Cluster-wide process location registry.
+//!
+//! Models the pre-existing Locus distributed name service: any kernel can
+//! ask where a process currently runs. The answer is a *hint* — a process
+//! may be mid-migration, in which case messages routed by the hint bounce
+//! with [`locus_types::Error::InTransit`] and are retried after the registry
+//! settles (Section 4.1).
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use locus_types::{Pid, SiteId};
+
+/// Shared pid → current-site map.
+#[derive(Debug, Default)]
+pub struct ProcessRegistry {
+    map: RwLock<HashMap<Pid, SiteId>>,
+}
+
+impl ProcessRegistry {
+    pub fn new() -> Self {
+        ProcessRegistry::default()
+    }
+
+    /// Records that `pid` now runs at `site`.
+    pub fn set(&self, pid: Pid, site: SiteId) {
+        self.map.write().insert(pid, site);
+    }
+
+    /// Where `pid` last settled, if known.
+    pub fn lookup(&self, pid: Pid) -> Option<SiteId> {
+        self.map.read().get(&pid).copied()
+    }
+
+    /// Forgets an exited process.
+    pub fn remove(&self, pid: Pid) {
+        self.map.write().remove(&pid);
+    }
+
+    /// Drops every process hosted at a crashed site (their records are
+    /// volatile kernel state and die with the site).
+    pub fn drop_site(&self, site: SiteId) -> Vec<Pid> {
+        let mut map = self.map.write();
+        let dead: Vec<Pid> = map
+            .iter()
+            .filter(|(_, s)| **s == site)
+            .map(|(p, _)| *p)
+            .collect();
+        for p in &dead {
+            map.remove(p);
+        }
+        dead
+    }
+
+    /// All registered processes at a site.
+    pub fn at_site(&self, site: SiteId) -> Vec<Pid> {
+        self.map
+            .read()
+            .iter()
+            .filter(|(_, s)| **s == site)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_lookup_remove() {
+        let r = ProcessRegistry::new();
+        let p = Pid::new(SiteId(0), 1);
+        assert_eq!(r.lookup(p), None);
+        r.set(p, SiteId(2));
+        assert_eq!(r.lookup(p), Some(SiteId(2)));
+        r.set(p, SiteId(3)); // Migration updates the hint.
+        assert_eq!(r.lookup(p), Some(SiteId(3)));
+        r.remove(p);
+        assert_eq!(r.lookup(p), None);
+    }
+
+    #[test]
+    fn drop_site_returns_the_dead() {
+        let r = ProcessRegistry::new();
+        let a = Pid::new(SiteId(0), 1);
+        let b = Pid::new(SiteId(0), 2);
+        let c = Pid::new(SiteId(1), 1);
+        r.set(a, SiteId(5));
+        r.set(b, SiteId(5));
+        r.set(c, SiteId(6));
+        let mut dead = r.drop_site(SiteId(5));
+        dead.sort();
+        assert_eq!(dead, vec![a, b]);
+        assert_eq!(r.lookup(c), Some(SiteId(6)));
+    }
+}

@@ -1,0 +1,326 @@
+//! The per-site process table.
+//!
+//! Owns every [`ProcessRecord`] currently hosted at the site, allocates
+//! pids, implements fork inheritance, and drives the migration state
+//! machine (mark in-transit → export → install at destination → remove).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+use locus_types::{Error, FileListEntry, Pid, Result, SiteId, TransId};
+
+use crate::record::{ProcState, ProcessRecord};
+
+/// Process table of one site.
+#[derive(Debug)]
+pub struct ProcessTable {
+    site: SiteId,
+    procs: Mutex<HashMap<Pid, ProcessRecord>>,
+    next_seq: AtomicU32,
+}
+
+impl ProcessTable {
+    pub fn new(site: SiteId) -> Self {
+        ProcessTable {
+            site,
+            procs: Mutex::new(HashMap::new()),
+            next_seq: AtomicU32::new(1),
+        }
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Creates a brand-new process (no parent), hosted here.
+    pub fn spawn(&self) -> Pid {
+        let pid = Pid::new(self.site, self.next_seq.fetch_add(1, Ordering::Relaxed));
+        self.procs.lock().insert(pid, ProcessRecord::new(pid));
+        pid
+    }
+
+    /// Forks `parent`, creating a child *hosted at this site* that inherits
+    /// the parent's open files (Unix semantics: "child processes inherit
+    /// file access from their parents", Section 3.1) and transaction
+    /// membership. The parent must be hosted here.
+    pub fn fork(&self, parent: Pid) -> Result<Pid> {
+        let mut procs = self.procs.lock();
+        let parent_rec = procs.get(&parent).ok_or(Error::NoSuchProcess(parent))?;
+        if parent_rec.state != ProcState::Running {
+            return Err(Error::InTransit(parent));
+        }
+        let child_pid = Pid::new(self.site, self.next_seq.fetch_add(1, Ordering::Relaxed));
+        let mut child = ProcessRecord::new(child_pid);
+        child.parent = Some(parent);
+        child.tid = parent_rec.tid;
+        child.nest = parent_rec.nest;
+        child.top = parent_rec.top;
+        child.open_files = parent_rec.open_files.clone();
+        child.next_channel = parent_rec.next_channel;
+        procs
+            .get_mut(&parent)
+            .expect("parent checked above")
+            .children
+            .insert(child_pid);
+        procs.insert(child_pid, child);
+        Ok(child_pid)
+    }
+
+    /// Installs a remotely created child record (fork of a local parent at a
+    /// *remote* site goes through the kernel, which builds the record from
+    /// the parent's encoded state and installs it at the destination).
+    pub fn install(&self, rec: ProcessRecord) {
+        self.procs.lock().insert(rec.pid, rec);
+    }
+
+    /// Whether the pid is hosted here and running.
+    pub fn is_running(&self, pid: Pid) -> bool {
+        self.procs
+            .lock()
+            .get(&pid)
+            .map(|r| r.state == ProcState::Running)
+            .unwrap_or(false)
+    }
+
+    /// Read access to a record.
+    pub fn get(&self, pid: Pid) -> Option<ProcessRecord> {
+        self.procs.lock().get(&pid).cloned()
+    }
+
+    /// Runs `f` with mutable access to the record, or errors if the process
+    /// is not hosted here.
+    pub fn with_mut<T>(&self, pid: Pid, f: impl FnOnce(&mut ProcessRecord) -> T) -> Result<T> {
+        let mut procs = self.procs.lock();
+        let rec = procs.get_mut(&pid).ok_or(Error::NoSuchProcess(pid))?;
+        Ok(f(rec))
+    }
+
+    /// Merges a completed child's file-list into a (top-level) process
+    /// hosted here. Fails with [`Error::InTransit`] if the target is
+    /// mid-migration — the sender must retry (Section 4.1); fails with
+    /// [`Error::NoSuchProcess`] if it has moved on, so the sender re-resolves
+    /// the location.
+    pub fn merge_file_list(
+        &self,
+        top: Pid,
+        entries: &[FileListEntry],
+    ) -> Result<()> {
+        let mut procs = self.procs.lock();
+        let rec = procs.get_mut(&top).ok_or(Error::NoSuchProcess(top))?;
+        match rec.state {
+            ProcState::Running => {
+                // The paper "locks the process from migrating, for a short
+                // duration, until the operation has been completed" — holding
+                // the table mutex across the merge is exactly that.
+                rec.file_list.extend(entries.iter().copied());
+                Ok(())
+            }
+            ProcState::InTransit => Err(Error::InTransit(top)),
+            ProcState::Exited => Err(Error::NoSuchProcess(top)),
+        }
+    }
+
+    /// Adjusts the live-member count on a top-level record.
+    pub fn adjust_members(&self, top: Pid, delta: i64) -> Result<u32> {
+        self.with_mut(top, |rec| {
+            let v = rec.live_members as i64 + delta;
+            rec.live_members = v.max(0) as u32;
+            rec.live_members
+        })
+        .and_then(|v| match self.get(top).map(|r| r.state) {
+            Some(ProcState::InTransit) => Err(Error::InTransit(top)),
+            _ => Ok(v),
+        })
+    }
+
+    /// Begins migrating `pid` away: marks it in-transit and returns the
+    /// serialized record. Fails if it is already migrating or has children
+    /// state that forbids it.
+    pub fn begin_migrate(&self, pid: Pid) -> Result<Vec<u8>> {
+        let mut procs = self.procs.lock();
+        let rec = procs.get_mut(&pid).ok_or(Error::NoSuchProcess(pid))?;
+        if rec.state != ProcState::Running {
+            return Err(Error::InTransit(pid));
+        }
+        rec.state = ProcState::InTransit;
+        Ok(rec.encode())
+    }
+
+    /// Completes an outbound migration: removes the local record.
+    pub fn finish_migrate_out(&self, pid: Pid) {
+        self.procs.lock().remove(&pid);
+    }
+
+    /// Aborts an outbound migration (destination unreachable): the process
+    /// resumes running here.
+    pub fn cancel_migrate(&self, pid: Pid) {
+        if let Some(rec) = self.procs.lock().get_mut(&pid) {
+            rec.state = ProcState::Running;
+        }
+    }
+
+    /// Installs an inbound migrated process.
+    pub fn finish_migrate_in(&self, blob: &[u8]) -> Result<Pid> {
+        let rec = ProcessRecord::decode(blob)
+            .ok_or_else(|| Error::InvalidArgument("corrupt migration blob".into()))?;
+        let pid = rec.pid;
+        self.procs.lock().insert(pid, rec);
+        Ok(pid)
+    }
+
+    /// Removes an exited process, returning its final record.
+    pub fn remove(&self, pid: Pid) -> Option<ProcessRecord> {
+        self.procs.lock().remove(&pid)
+    }
+
+    /// Pids of all local member processes of transaction `tid`.
+    pub fn members_of(&self, tid: TransId) -> Vec<Pid> {
+        self.procs
+            .lock()
+            .values()
+            .filter(|r| r.tid == Some(tid) && r.state != ProcState::Exited)
+            .map(|r| r.pid)
+            .collect()
+    }
+
+    /// All pids hosted here.
+    pub fn all_pids(&self) -> Vec<Pid> {
+        self.procs.lock().keys().copied().collect()
+    }
+
+    /// Site crash: every hosted process dies with the volatile kernel state.
+    pub fn crash(&self) -> Vec<ProcessRecord> {
+        self.procs.lock().drain().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{Fid, VolumeId};
+
+    fn table() -> ProcessTable {
+        ProcessTable::new(SiteId(1))
+    }
+
+    #[test]
+    fn spawn_allocates_unique_pids() {
+        let t = table();
+        let a = t.spawn();
+        let b = t.spawn();
+        assert_ne!(a, b);
+        assert!(t.is_running(a));
+    }
+
+    #[test]
+    fn fork_inherits_transaction_and_files() {
+        let t = table();
+        let parent = t.spawn();
+        t.with_mut(parent, |r| {
+            r.tid = Some(TransId::new(SiteId(1), 4));
+            r.top = Some(parent);
+            r.nest = 1;
+            r.add_open(crate::record::OpenFile {
+                fid: Fid::new(VolumeId(0), 9),
+                storage_site: SiteId(2),
+                pos: 10,
+                append: false,
+                write: true,
+            });
+        })
+        .unwrap();
+        let child = t.fork(parent).unwrap();
+        let c = t.get(child).unwrap();
+        assert_eq!(c.tid, Some(TransId::new(SiteId(1), 4)));
+        assert_eq!(c.top, Some(parent));
+        assert_eq!(c.nest, 1);
+        assert_eq!(c.open_files.len(), 1);
+        assert!(t.get(parent).unwrap().children.contains(&child));
+    }
+
+    #[test]
+    fn merge_bounces_off_in_transit_process() {
+        let t = table();
+        let top = t.spawn();
+        let entry = FileListEntry {
+            fid: Fid::new(VolumeId(0), 1),
+            storage_site: SiteId(1),
+        };
+        assert!(t.merge_file_list(top, &[entry]).is_ok());
+        t.begin_migrate(top).unwrap();
+        assert_eq!(
+            t.merge_file_list(top, &[entry]),
+            Err(Error::InTransit(top))
+        );
+        t.finish_migrate_out(top);
+        assert_eq!(
+            t.merge_file_list(top, &[entry]),
+            Err(Error::NoSuchProcess(top))
+        );
+    }
+
+    #[test]
+    fn migration_roundtrip_preserves_record() {
+        let src = ProcessTable::new(SiteId(1));
+        let dst = ProcessTable::new(SiteId(2));
+        let pid = src.spawn();
+        src.with_mut(pid, |r| {
+            r.note_file(Fid::new(VolumeId(0), 3), SiteId(1));
+        })
+        .unwrap();
+        let blob = src.begin_migrate(pid).unwrap();
+        let moved = dst.finish_migrate_in(&blob).unwrap();
+        src.finish_migrate_out(pid);
+        assert_eq!(moved, pid);
+        assert!(dst.is_running(pid));
+        assert!(!src.is_running(pid));
+        assert_eq!(dst.get(pid).unwrap().file_list.len(), 1);
+    }
+
+    #[test]
+    fn cancel_migrate_resumes_locally() {
+        let t = table();
+        let pid = t.spawn();
+        t.begin_migrate(pid).unwrap();
+        assert!(!t.is_running(pid));
+        t.cancel_migrate(pid);
+        assert!(t.is_running(pid));
+    }
+
+    #[test]
+    fn double_migrate_fails() {
+        let t = table();
+        let pid = t.spawn();
+        t.begin_migrate(pid).unwrap();
+        assert_eq!(t.begin_migrate(pid), Err(Error::InTransit(pid)));
+    }
+
+    #[test]
+    fn members_of_finds_transaction_processes() {
+        let t = table();
+        let tid = TransId::new(SiteId(1), 8);
+        let a = t.spawn();
+        let b = t.spawn();
+        let _c = t.spawn();
+        for p in [a, b] {
+            t.with_mut(p, |r| r.tid = Some(tid)).unwrap();
+        }
+        let mut got = t.members_of(tid);
+        got.sort();
+        let mut want = vec![a, b];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn crash_drains_everything() {
+        let t = table();
+        t.spawn();
+        t.spawn();
+        let dead = t.crash();
+        assert_eq!(dead.len(), 2);
+        assert!(t.all_pids().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! The calibrated cost model.
+//!
+//! Constants are fitted to the paper's reported 1985 measurements:
+//!
+//! * "the cost of obtaining a single lock is approximately 750 instructions
+//!   (1.5 ms)" (Section 6.2) → **2 µs per instruction** (a VAX 11/750 is
+//!   ~0.5 MIPS) and **750 instructions per lock**.
+//! * local lock latency ≈ 2 ms including system call overhead → **250
+//!   instructions of syscall overhead**.
+//! * remote lock latency ≈ 18 ms, "indistinguishable from inherent round-trip
+//!   message exchange costs" → **15 ms network round trip** plus 250
+//!   instructions of message handling at each end.
+//! * Figure 6: local non-overlap commit = 21 ms service + 73 ms latency with
+//!   two disk writes (shadow page + inode) → **26 ms per random disk I/O**;
+//!   overlap commit = 24 ms service + 100 ms latency, consistent with one
+//!   extra read plus ~1350 instructions of page differencing on a 1 KB page.
+//! * footnote 11: 4 KB pages "would add approximately 1 ms" of copy time →
+//!   ~**0.16 instructions per byte** copied plus a fixed merge overhead (the
+//!   fitted value below reproduces both the 1 KB and 4 KB statements).
+
+use crate::time::SimDuration;
+
+/// Tunable cost constants for the simulated cluster.
+///
+/// All virtual-time charging in the disk, network, lock and transaction
+/// layers goes through these knobs; experiment binaries construct variants to
+/// run sensitivity sweeps (e.g. 4 KB pages, faster networks).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Nanoseconds per CPU instruction (VAX 11/750 ≈ 2000 ns).
+    pub instr_ns: u64,
+    /// Instructions to process one record-lock request at the storage site.
+    pub lock_instrs: u64,
+    /// Instructions of system-call entry/exit overhead.
+    pub syscall_instrs: u64,
+    /// Instructions to marshal/dispatch one network message at each end.
+    pub msg_handler_instrs: u64,
+    /// Network round-trip latency for a lightweight request/response pair.
+    pub net_rtt: SimDuration,
+    /// Additional transfer time per data page carried in a message
+    /// (1 KB over 10 Mb Ethernet plus protocol overhead).
+    pub net_page_transfer: SimDuration,
+    /// Latency of one random disk I/O (seek + rotation + transfer).
+    pub disk_io: SimDuration,
+    /// Latency of one sequential disk I/O (log append); roughly half the
+    /// random cost on 1985 disks. Used by the WAL baseline.
+    pub disk_seq_io: SimDuration,
+    /// Instructions to set up a disk transfer.
+    pub disk_setup_instrs: u64,
+    /// Instructions per byte compared/copied by the page-differencing commit.
+    pub copy_instrs_per_byte_x100: u64,
+    /// Fixed instruction overhead of a differencing merge, independent of
+    /// bytes moved.
+    pub diff_fixed_instrs: u64,
+    /// Instructions charged per page for a buffer-cache hit.
+    pub buffer_hit_instrs: u64,
+    /// Instructions the *requesting* site's kernel spends driving a record
+    /// commit (system-call processing, commit bookkeeping). Figure 6's
+    /// remote rows show ~7200 instructions at the requesting site.
+    pub commit_requester_instrs: u64,
+    /// Instructions the storage site spends executing a record commit,
+    /// beyond the per-page work. Together with the requester cost and the
+    /// page machinery this reproduces Figure 6's 9450-instruction local
+    /// commit.
+    pub commit_storage_instrs: u64,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Footnote 9: "Locus currently requires two writes to add an entry to a
+    /// log instead of one; one for the log's data page and one for its
+    /// inode." When true, every log append costs two I/Os (the *measured*
+    /// 1985 system); when false, one (the corrected design).
+    pub log_double_write: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            instr_ns: 2_000,
+            lock_instrs: 750,
+            syscall_instrs: 250,
+            msg_handler_instrs: 250,
+            net_rtt: SimDuration::from_millis(15),
+            net_page_transfer: SimDuration::from_millis(10),
+            disk_io: SimDuration::from_millis(26),
+            disk_seq_io: SimDuration::from_millis(13),
+            disk_setup_instrs: 500,
+            copy_instrs_per_byte_x100: 16, // 0.16 instructions per byte.
+            diff_fixed_instrs: 1_180,
+            buffer_hit_instrs: 100,
+            commit_requester_instrs: 7_500,
+            commit_storage_instrs: 1_500,
+            page_size: 1024,
+            log_double_write: false,
+        }
+    }
+}
+
+impl CostModel {
+    /// The model as the paper's prototype actually behaved (footnote 9's
+    /// double log writes enabled).
+    pub fn paper_1985() -> Self {
+        CostModel {
+            log_double_write: true,
+            ..CostModel::default()
+        }
+    }
+
+    /// Virtual time for `n` instructions.
+    pub fn instrs(&self, n: u64) -> SimDuration {
+        SimDuration::from_nanos(n * self.instr_ns)
+    }
+
+    /// Instructions needed to difference/copy `bytes` bytes between a page
+    /// and its shadow (Section 6.3's copy cost).
+    pub fn diff_instrs(&self, bytes: u64) -> u64 {
+        self.diff_fixed_instrs + bytes * self.copy_instrs_per_byte_x100 / 100
+    }
+
+    /// How many physical I/Os one log append takes (footnote 9).
+    pub fn log_append_ios(&self) -> u64 {
+        if self.log_double_write {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_cost_matches_paper() {
+        // 750 instructions at 2 µs ≈ 1.5 ms (Section 6.2).
+        let m = CostModel::default();
+        assert_eq!(m.instrs(m.lock_instrs), SimDuration::from_micros(1_500));
+        // Plus syscall overhead ≈ 2 ms total.
+        let total = m.instrs(m.lock_instrs + m.syscall_instrs);
+        assert_eq!(total, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn remote_lock_is_rtt_bound() {
+        // Local 2 ms of processing + send/receive handling + 15 ms RTT =
+        // the paper's 18 ms remote lock.
+        let m = CostModel::default();
+        let remote =
+            m.instrs(m.lock_instrs + m.syscall_instrs + 2 * m.msg_handler_instrs) + m.net_rtt;
+        assert_eq!(remote, SimDuration::from_millis(18));
+    }
+
+    #[test]
+    fn differencing_a_1k_page_costs_about_1350_instrs() {
+        // Figure 6: overlap adds 10800 − 9450 = 1350 instructions.
+        let m = CostModel::default();
+        let d = m.diff_instrs(1024);
+        assert!((1200..=1400).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn four_k_pages_add_about_one_ms() {
+        // Footnote 11: 4 KB pages add ~1 ms when a substantial portion of the
+        // page is copied.
+        let m = CostModel::default();
+        let extra = m.instrs(m.diff_instrs(4096)) - m.instrs(m.diff_instrs(1024));
+        let ms = extra.as_millis_f64();
+        assert!((0.5..=1.5).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn footnote9_doubles_log_appends() {
+        assert_eq!(CostModel::default().log_append_ios(), 1);
+        assert_eq!(CostModel::paper_1985().log_append_ios(), 2);
+    }
+}

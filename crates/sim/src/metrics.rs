@@ -1,0 +1,214 @@
+//! Global, thread-safe operation counters.
+//!
+//! One [`Counters`] instance is shared by all components of a site (disk,
+//! lock manager, transaction manager). They complement the per-activity
+//! [`crate::Account`]: accounts answer "what did *this* operation cost",
+//! counters answer "what did the *system* do overall".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event counters for one site.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub disk_reads: AtomicU64,
+    pub disk_writes: AtomicU64,
+    pub disk_seq_writes: AtomicU64,
+    pub messages_sent: AtomicU64,
+    pub messages_handled: AtomicU64,
+    pub locks_granted: AtomicU64,
+    pub locks_denied: AtomicU64,
+    pub locks_queued: AtomicU64,
+    pub locks_released: AtomicU64,
+    pub lock_cache_hits: AtomicU64,
+    pub pages_committed_direct: AtomicU64,
+    pub pages_committed_diff: AtomicU64,
+    pub pages_rolled_back: AtomicU64,
+    pub txns_started: AtomicU64,
+    pub txns_committed: AtomicU64,
+    pub txns_aborted: AtomicU64,
+    pub migrations: AtomicU64,
+    pub file_list_merges: AtomicU64,
+    pub file_list_retries: AtomicU64,
+    pub buffer_hits: AtomicU64,
+    pub buffer_misses: AtomicU64,
+    pub prefetches: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident),* $(,)?) => {
+        impl Counters {
+            $(
+                #[doc = concat!("Increments `", stringify!($name), "` by one.")]
+                pub fn $name(&self) {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+bump!(
+    disk_reads,
+    disk_writes,
+    disk_seq_writes,
+    messages_sent,
+    messages_handled,
+    locks_granted,
+    locks_denied,
+    locks_queued,
+    locks_released,
+    lock_cache_hits,
+    pages_committed_direct,
+    pages_committed_diff,
+    pages_rolled_back,
+    txns_started,
+    txns_committed,
+    txns_aborted,
+    migrations,
+    file_list_merges,
+    file_list_retries,
+    buffer_hits,
+    buffer_misses,
+    prefetches,
+);
+
+impl Counters {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_seq_writes: self.disk_seq_writes.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_handled: self.messages_handled.load(Ordering::Relaxed),
+            locks_granted: self.locks_granted.load(Ordering::Relaxed),
+            locks_denied: self.locks_denied.load(Ordering::Relaxed),
+            locks_queued: self.locks_queued.load(Ordering::Relaxed),
+            locks_released: self.locks_released.load(Ordering::Relaxed),
+            lock_cache_hits: self.lock_cache_hits.load(Ordering::Relaxed),
+            pages_committed_direct: self.pages_committed_direct.load(Ordering::Relaxed),
+            pages_committed_diff: self.pages_committed_diff.load(Ordering::Relaxed),
+            pages_rolled_back: self.pages_rolled_back.load(Ordering::Relaxed),
+            txns_started: self.txns_started.load(Ordering::Relaxed),
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            file_list_merges: self.file_list_merges.load(Ordering::Relaxed),
+            file_list_retries: self.file_list_retries.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`Counters`], supporting subtraction to measure a
+/// window of activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub disk_seq_writes: u64,
+    pub messages_sent: u64,
+    pub messages_handled: u64,
+    pub locks_granted: u64,
+    pub locks_denied: u64,
+    pub locks_queued: u64,
+    pub locks_released: u64,
+    pub lock_cache_hits: u64,
+    pub pages_committed_direct: u64,
+    pub pages_committed_diff: u64,
+    pub pages_rolled_back: u64,
+    pub txns_started: u64,
+    pub txns_committed: u64,
+    pub txns_aborted: u64,
+    pub migrations: u64,
+    pub file_list_merges: u64,
+    pub file_list_retries: u64,
+    pub buffer_hits: u64,
+    pub buffer_misses: u64,
+    pub prefetches: u64,
+}
+
+impl CountersSnapshot {
+    /// Counter deltas over a window: `self − earlier`.
+    pub fn since(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            disk_seq_writes: self.disk_seq_writes - earlier.disk_seq_writes,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            messages_handled: self.messages_handled - earlier.messages_handled,
+            locks_granted: self.locks_granted - earlier.locks_granted,
+            locks_denied: self.locks_denied - earlier.locks_denied,
+            locks_queued: self.locks_queued - earlier.locks_queued,
+            locks_released: self.locks_released - earlier.locks_released,
+            lock_cache_hits: self.lock_cache_hits - earlier.lock_cache_hits,
+            pages_committed_direct: self.pages_committed_direct - earlier.pages_committed_direct,
+            pages_committed_diff: self.pages_committed_diff - earlier.pages_committed_diff,
+            pages_rolled_back: self.pages_rolled_back - earlier.pages_rolled_back,
+            txns_started: self.txns_started - earlier.txns_started,
+            txns_committed: self.txns_committed - earlier.txns_committed,
+            txns_aborted: self.txns_aborted - earlier.txns_aborted,
+            migrations: self.migrations - earlier.migrations,
+            file_list_merges: self.file_list_merges - earlier.file_list_merges,
+            file_list_retries: self.file_list_retries - earlier.file_list_retries,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            buffer_misses: self.buffer_misses - earlier.buffer_misses,
+            prefetches: self.prefetches - earlier.prefetches,
+        }
+    }
+
+    /// Total physical disk operations.
+    pub fn total_ios(&self) -> u64 {
+        self.disk_reads + self.disk_writes + self.disk_seq_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let c = Counters::default();
+        c.disk_writes();
+        c.disk_writes();
+        c.locks_granted();
+        let s = c.snapshot();
+        assert_eq!(s.disk_writes, 2);
+        assert_eq!(s.locks_granted, 1);
+        assert_eq!(s.total_ios(), 2);
+    }
+
+    #[test]
+    fn since_computes_window() {
+        let c = Counters::default();
+        c.disk_reads();
+        let before = c.snapshot();
+        c.disk_reads();
+        c.txns_committed();
+        let after = c.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.disk_reads, 1);
+        assert_eq!(d.txns_committed, 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(Counters::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.messages_sent();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().messages_sent, 4000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Virtual durations, with microsecond precision stored as nanoseconds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time.
+///
+/// Stored in nanoseconds; the paper reports milliseconds, so `Display`
+/// renders fractional milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional milliseconds, for table rendering.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 2_500);
+        assert_eq!((a - b).as_micros(), 1_500);
+        assert_eq!((b * 4).as_millis_f64(), 2.0);
+        assert_eq!((a / 2).as_millis_f64(), 1.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(5);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iter() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn display_renders_ms() {
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.50 ms");
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol event trace.
+//!
+//! Every significant protocol step — log writes, prepare/commit messages,
+//! lock grants, migrations — is appended to a shared [`EventLog`]. Tests use
+//! it to assert protocol *ordering* invariants (e.g. the commit mark is only
+//! written after every participant logged its prepare record), and the
+//! experiment binaries use it to narrate Figure 5's I/O sequence.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use locus_types::{Fid, PageNo, Pid, SiteId, TransId, TxnStatus};
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Coordinator log record written/updated with the given status.
+    CoordLog { site: SiteId, tid: TransId, status: TxnStatus },
+    /// Prepare message sent from coordinator to a participant.
+    PrepareSent { tid: TransId, to: SiteId },
+    /// Participant flushed a dirty data page during prepare.
+    DataFlush { tid: TransId, fid: Fid, page: PageNo },
+    /// Participant wrote its prepare log for one file.
+    PrepareLog { site: SiteId, tid: TransId, fid: Fid },
+    /// Participant acknowledged prepare.
+    PrepareAck { tid: TransId, from: SiteId, ok: bool },
+    /// Commit mark written to the coordinator log — *the commit point*.
+    CommitMark { tid: TransId },
+    /// Phase-two commit message sent to a participant.
+    CommitSent { tid: TransId, to: SiteId },
+    /// Single-file commit (inode install) performed for a file.
+    FileCommit { fid: Fid, tid: Option<TransId> },
+    /// File rolled back.
+    FileAbort { fid: Fid },
+    /// A page was committed by writing it directly (Figure 4a).
+    PageDirect { fid: Fid, page: PageNo },
+    /// A page was committed via the differencing merge (Figure 4b).
+    PageDiffed { fid: Fid, page: PageNo },
+    /// Abort message sent to a site (cascading abort, Section 4.3).
+    AbortSent { tid: TransId, to: SiteId },
+    /// Transaction fully aborted.
+    Aborted { tid: TransId },
+    /// Transaction fully committed (phase two finished everywhere).
+    Committed { tid: TransId },
+    /// Record lock granted.
+    LockGranted { fid: Fid, pid: Pid },
+    /// Record lock request queued behind a conflict.
+    LockQueued { fid: Fid, pid: Pid },
+    /// Retained locks of a transaction released.
+    RetainedReleased { tid: TransId, fid: Fid },
+    /// Process began migrating (marked in-transit).
+    MigrateStart { pid: Pid, from: SiteId, to: SiteId },
+    /// Process finished migrating.
+    MigrateEnd { pid: Pid, at: SiteId },
+    /// A child's file-list merged into the top-level process.
+    FileListMerged { tid: TransId, from: Pid },
+    /// A file-list merge bounced off an in-transit top-level process and must
+    /// be retried (the Section 4.1 race).
+    FileListRetry { tid: TransId, from: Pid },
+    /// Site crashed (volatile state lost).
+    SiteCrash { site: SiteId },
+    /// Site rebooted and recovery began.
+    RecoveryStart { site: SiteId },
+    /// Recovery re-drove phase two for a committed transaction.
+    RecoveryRedo { tid: TransId },
+    /// Recovery aborted an unfinished transaction.
+    RecoveryAbort { tid: TransId },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Append-only shared event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&self, e: Event) {
+        self.events.lock().push(e);
+    }
+
+    /// Copy of all events so far, in order.
+    pub fn all(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Index of the first event satisfying `pred`, if any.
+    pub fn position(&self, pred: impl Fn(&Event) -> bool) -> Option<usize> {
+        self.events.lock().iter().position(|e| pred(e))
+    }
+
+    /// Whether an event satisfying `a` occurs strictly before the first event
+    /// satisfying `b`. Both must occur.
+    pub fn happens_before(
+        &self,
+        a: impl Fn(&Event) -> bool,
+        b: impl Fn(&Event) -> bool,
+    ) -> bool {
+        match (self.position(a), self.position(b)) {
+            (Some(ia), Some(ib)) => ia < ib,
+            _ => false,
+        }
+    }
+
+    /// Number of events satisfying `pred`.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TransId {
+        TransId::new(SiteId(1), 1)
+    }
+
+    #[test]
+    fn ordering_queries() {
+        let log = EventLog::new();
+        log.push(Event::CoordLog {
+            site: SiteId(1),
+            tid: tid(),
+            status: TxnStatus::Unknown,
+        });
+        log.push(Event::PrepareSent {
+            tid: tid(),
+            to: SiteId(2),
+        });
+        log.push(Event::CommitMark { tid: tid() });
+        assert!(log.happens_before(
+            |e| matches!(e, Event::PrepareSent { .. }),
+            |e| matches!(e, Event::CommitMark { .. }),
+        ));
+        assert!(!log.happens_before(
+            |e| matches!(e, Event::CommitMark { .. }),
+            |e| matches!(e, Event::PrepareSent { .. }),
+        ));
+        assert_eq!(log.count(|e| matches!(e, Event::CommitMark { .. })), 1);
+    }
+
+    #[test]
+    fn happens_before_requires_both_events() {
+        let log = EventLog::new();
+        log.push(Event::CommitMark { tid: tid() });
+        assert!(!log.happens_before(
+            |e| matches!(e, Event::CommitMark { .. }),
+            |e| matches!(e, Event::Aborted { .. }),
+        ));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = EventLog::new();
+        log.push(Event::SiteCrash { site: SiteId(3) });
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

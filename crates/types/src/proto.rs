@@ -1,0 +1,196 @@
+//! Wire-visible structures: record/transaction ownership, intentions lists,
+//! lock descriptors, file lists, and transaction status markers.
+//!
+//! These are defined here (rather than in the filesystem or lock crates) so
+//! that the network message enum can carry them without creating dependency
+//! cycles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{Fid, PageNo, PhysPage, Pid, SiteId, TransId};
+use crate::lockmode::{LockClass, LockMode};
+use crate::range::ByteRange;
+
+/// Who owns an uncommitted modification or a lock: a transaction (all of its
+/// member processes act as one owner for synchronization, Section 3.1) or a
+/// single non-transaction process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Owner {
+    Trans(TransId),
+    Proc(Pid),
+}
+
+impl Owner {
+    pub fn trans_id(&self) -> Option<TransId> {
+        match self {
+            Owner::Trans(t) => Some(*t),
+            Owner::Proc(_) => None,
+        }
+    }
+
+    pub fn is_transaction(&self) -> bool {
+        matches!(self, Owner::Trans(_))
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Trans(t) => write!(f, "{t}"),
+            Owner::Proc(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// One entry of an intentions list: logical page `page` of the file is to be
+/// re-pointed at physical block `new_phys` when the list is committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntentionsEntry {
+    pub page: PageNo,
+    pub new_phys: PhysPage,
+}
+
+/// An intentions list for a single file (Section 4): "The list consists of a
+/// set of page pointers for the file". Committing the list atomically
+/// overwrites the inode with the new pointers and frees the old pages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntentionsList {
+    pub fid: Fid,
+    pub entries: Vec<IntentionsEntry>,
+    /// New file length after commit (append-mode extensions grow the file).
+    pub new_len: u64,
+}
+
+impl IntentionsList {
+    pub fn new(fid: Fid, new_len: u64) -> Self {
+        IntentionsList {
+            fid,
+            entries: Vec::new(),
+            new_len,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Physical pages named by the list (the shadow pages that become live on
+    /// commit).
+    pub fn new_pages(&self) -> impl Iterator<Item = PhysPage> + '_ {
+        self.entries.iter().map(|e| e.new_phys)
+    }
+}
+
+/// A lock descriptor as kept on the storage site's per-file lock list
+/// (Figure 3): holder process, transaction membership, mode, class, byte
+/// range, and whether the lock is *retained* (unlocked by the holder but kept
+/// until transaction outcome, Section 3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockDescriptor {
+    /// Process that most recently held/touched the lock.
+    pub pid: Pid,
+    /// Transaction the holder belongs to, if any.
+    pub tid: Option<TransId>,
+    pub mode: LockMode,
+    pub class: LockClass,
+    pub range: ByteRange,
+    pub retained: bool,
+}
+
+impl LockDescriptor {
+    /// The synchronization owner: the whole transaction when the lock is a
+    /// transaction lock, the individual process otherwise.
+    pub fn owner(&self) -> Owner {
+        match self.tid {
+            Some(t) if self.class == LockClass::Transaction => Owner::Trans(t),
+            _ => Owner::Proc(self.pid),
+        }
+    }
+}
+
+/// One file used by a transaction, with its storage site — the unit of the
+/// per-process *file-list* that is merged up to the top-level process and
+/// drives two-phase commit (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileListEntry {
+    pub fid: Fid,
+    pub storage_site: SiteId,
+}
+
+/// Status marker in the coordinator log (Section 4.2): initially `Unknown`,
+/// flipped to `Committed` at the commit point or `Aborted` on abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnStatus {
+    Unknown,
+    Committed,
+    Aborted,
+}
+
+impl fmt::Display for TxnStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnStatus::Unknown => "unknown",
+            TxnStatus::Committed => "committed",
+            TxnStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::VolumeId;
+
+    fn fid() -> Fid {
+        Fid::new(VolumeId(0), 3)
+    }
+
+    #[test]
+    fn owner_of_transaction_lock_is_the_transaction() {
+        let tid = TransId::new(SiteId(1), 9);
+        let d = LockDescriptor {
+            pid: Pid::new(SiteId(1), 4),
+            tid: Some(tid),
+            mode: LockMode::Exclusive,
+            class: LockClass::Transaction,
+            range: ByteRange::new(0, 10),
+            retained: false,
+        };
+        assert_eq!(d.owner(), Owner::Trans(tid));
+    }
+
+    #[test]
+    fn owner_of_non_transaction_lock_is_the_process() {
+        // A non-transaction lock taken by a process that happens to be inside
+        // a transaction (Section 3.4) is owned by the process, not the txn.
+        let pid = Pid::new(SiteId(1), 4);
+        let d = LockDescriptor {
+            pid,
+            tid: Some(TransId::new(SiteId(1), 9)),
+            mode: LockMode::Shared,
+            class: LockClass::NonTransaction,
+            range: ByteRange::new(0, 10),
+            retained: false,
+        };
+        assert_eq!(d.owner(), Owner::Proc(pid));
+    }
+
+    #[test]
+    fn intentions_list_tracks_new_pages() {
+        let mut il = IntentionsList::new(fid(), 2048);
+        assert!(il.is_empty());
+        il.entries.push(IntentionsEntry {
+            page: PageNo(0),
+            new_phys: PhysPage(17),
+        });
+        il.entries.push(IntentionsEntry {
+            page: PageNo(1),
+            new_phys: PhysPage(18),
+        });
+        let pages: Vec<_> = il.new_pages().collect();
+        assert_eq!(pages, vec![PhysPage(17), PhysPage(18)]);
+    }
+}

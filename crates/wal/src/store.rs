@@ -1,0 +1,463 @@
+//! An undo/redo write-ahead-log record store.
+//!
+//! Data pages live in place; every modification appends an undo/redo record
+//! to a sequential log. Commit forces the log (cheap, sequential); dirty
+//! pages are written back in place lazily. Recovery replays the log: redo
+//! for committed transactions, undo for losers.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use locus_disk::SimDisk;
+use locus_sim::{Account, CostModel, Counters};
+use locus_types::{ByteRange, Error, Fid, InodeNo, Owner, Result, VolumeId};
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LogRec {
+    Begin { owner: Owner },
+    Update { owner: Owner, fid: Fid, at: u64, undo: Vec<u8>, redo: Vec<u8> },
+    Commit { owner: Owner },
+    Abort { owner: Owner },
+}
+
+impl LogRec {
+    fn bytes(&self) -> usize {
+        // Header + payload, for log-volume accounting.
+        match self {
+            LogRec::Begin { .. } | LogRec::Commit { .. } | LogRec::Abort { .. } => 24,
+            LogRec::Update { undo, redo, .. } => 40 + undo.len() + redo.len(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FileData {
+    /// In-place page image (committed + in-flight updates applied).
+    bytes: Vec<u8>,
+    /// Pages dirtied since their last write-back.
+    dirty_pages: BTreeMap<u32, ()>,
+}
+
+struct WalInner {
+    /// Durable in-place data (what the "disk" holds).
+    durable: HashMap<Fid, Vec<u8>>,
+    /// Volatile page cache with in-flight updates.
+    cache: HashMap<Fid, FileData>,
+    /// The durable sequential log.
+    log: Vec<LogRec>,
+    /// Bytes appended since the last force.
+    unforced_bytes: usize,
+    /// Index of the first unforced record.
+    forced_upto: usize,
+    next_inode: u32,
+}
+
+/// A write-ahead-logging record store for one volume.
+pub struct WalStore {
+    volume: VolumeId,
+    disk: Arc<SimDisk>,
+    model: Arc<CostModel>,
+    counters: Arc<Counters>,
+    inner: Mutex<WalInner>,
+}
+
+impl WalStore {
+    pub fn new(
+        volume: VolumeId,
+        disk: Arc<SimDisk>,
+        model: Arc<CostModel>,
+        counters: Arc<Counters>,
+    ) -> Self {
+        WalStore {
+            volume,
+            disk,
+            model,
+            counters,
+            inner: Mutex::new(WalInner {
+                durable: HashMap::new(),
+                cache: HashMap::new(),
+                log: Vec::new(),
+                unforced_bytes: 0,
+                forced_upto: 0,
+                next_inode: 1,
+            }),
+        }
+    }
+
+    pub fn create_file(&self, acct: &mut Account) -> Fid {
+        let mut inner = self.inner.lock();
+        let fid = Fid {
+            volume: self.volume,
+            inode: InodeNo(inner.next_inode),
+        };
+        inner.next_inode += 1;
+        inner.durable.insert(fid, Vec::new());
+        // Creating the file writes its (empty) descriptor in place.
+        self.charge_random_write(acct);
+        inner.cache.insert(fid, FileData::default());
+        fid
+    }
+
+    fn charge_random_write(&self, acct: &mut Account) {
+        acct.cpu_instrs(&self.model, self.model.disk_setup_instrs);
+        acct.disk_writes += 1;
+        self.counters.disk_writes();
+        acct.wait(self.model.disk_io);
+    }
+
+    fn charge_seq_write(&self, acct: &mut Account) {
+        acct.cpu_instrs(&self.model, self.model.disk_setup_instrs);
+        acct.seq_ios += 1;
+        self.counters.disk_seq_writes();
+        acct.wait(self.model.disk_seq_io);
+    }
+
+    /// Begins a transaction in the log (no I/O until the force).
+    pub fn begin(&self, owner: Owner) {
+        let mut inner = self.inner.lock();
+        let rec = LogRec::Begin { owner };
+        inner.unforced_bytes += rec.bytes();
+        inner.log.push(rec);
+    }
+
+    /// Reads `range` of `fid` from the cache (loading from the durable image
+    /// on a miss; one random read charged per missing page).
+    pub fn read(&self, fid: Fid, range: ByteRange, acct: &mut Account) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        self.ensure_cached(&mut inner, fid, acct)?;
+        let data = &inner.cache[&fid].bytes;
+        let end = (range.end() as usize).min(data.len());
+        let start = (range.start as usize).min(end);
+        Ok(data[start..end].to_vec())
+    }
+
+    fn ensure_cached(&self, inner: &mut WalInner, fid: Fid, acct: &mut Account) -> Result<()> {
+        if inner.cache.contains_key(&fid) {
+            acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
+            self.counters.buffer_hits();
+            return Ok(());
+        }
+        let durable = inner
+            .durable
+            .get(&fid)
+            .cloned()
+            .ok_or(Error::StaleFid(fid))?;
+        self.counters.buffer_misses();
+        // One read per page of the file image.
+        let pages = (durable.len().max(1)).div_ceil(self.model.page_size);
+        for _ in 0..pages {
+            acct.cpu_instrs(&self.model, self.model.disk_setup_instrs);
+            acct.disk_reads += 1;
+            self.counters.disk_reads();
+            acct.wait(self.model.disk_io);
+        }
+        inner.cache.insert(
+            fid,
+            FileData {
+                bytes: durable,
+                dirty_pages: BTreeMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Applies a write, logging undo/redo. No data-page I/O happens here.
+    pub fn write(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        range: ByteRange,
+        data: &[u8],
+        acct: &mut Account,
+    ) -> Result<()> {
+        if range.len as usize != data.len() {
+            return Err(Error::InvalidArgument("write length mismatch".into()));
+        }
+        let mut inner = self.inner.lock();
+        self.ensure_cached(&mut inner, fid, acct)?;
+        let ps = self.model.page_size as u64;
+        let file = inner.cache.get_mut(&fid).expect("cached above");
+        let end = range.end() as usize;
+        if file.bytes.len() < end {
+            file.bytes.resize(end, 0);
+        }
+        let undo = file.bytes[range.start as usize..end].to_vec();
+        file.bytes[range.start as usize..end].copy_from_slice(data);
+        for pg in range.start / ps..=(range.end().saturating_sub(1)) / ps {
+            file.dirty_pages.insert(pg as u32, ());
+        }
+        let rec = LogRec::Update {
+            owner,
+            fid,
+            at: range.start,
+            undo,
+            redo: data.to_vec(),
+        };
+        // Copying into the log buffer costs CPU proportional to the bytes.
+        acct.cpu_instrs(&self.model, self.model.diff_instrs(range.len * 2));
+        inner.unforced_bytes += rec.bytes();
+        inner.log.push(rec);
+        Ok(())
+    }
+
+    /// Commits: appends the commit record and **forces the log** — the only
+    /// synchronous I/O on the commit path, and it is sequential. Returns the
+    /// number of log pages forced.
+    pub fn commit(&self, owner: Owner, acct: &mut Account) -> u64 {
+        let mut inner = self.inner.lock();
+        let rec = LogRec::Commit { owner };
+        inner.unforced_bytes += rec.bytes();
+        inner.log.push(rec);
+        let pages = (inner.unforced_bytes.max(1)).div_ceil(self.model.page_size) as u64;
+        for _ in 0..pages {
+            self.charge_seq_write(acct);
+        }
+        inner.unforced_bytes = 0;
+        inner.forced_upto = inner.log.len();
+        self.counters.txns_committed();
+        pages
+    }
+
+    /// Aborts: applies undo records in reverse, then logs the abort.
+    pub fn abort(&self, owner: Owner, acct: &mut Account) {
+        let mut inner = self.inner.lock();
+        let undos: Vec<(Fid, u64, Vec<u8>)> = inner
+            .log
+            .iter()
+            .rev()
+            .filter_map(|r| match r {
+                LogRec::Update {
+                    owner: o,
+                    fid,
+                    at,
+                    undo,
+                    ..
+                } if *o == owner => Some((*fid, *at, undo.clone())),
+                _ => None,
+            })
+            .collect();
+        for (fid, at, undo) in undos {
+            if let Some(file) = inner.cache.get_mut(&fid) {
+                let end = at as usize + undo.len();
+                if file.bytes.len() < end {
+                    file.bytes.resize(end, 0);
+                }
+                file.bytes[at as usize..end].copy_from_slice(&undo);
+                acct.cpu_instrs(&self.model, self.model.diff_instrs(undo.len() as u64));
+            }
+        }
+        // Drop the owner's records (compensation is logged as one abort).
+        inner.log.retain(|r| match r {
+            LogRec::Begin { owner: o } | LogRec::Update { owner: o, .. } => *o != owner,
+            _ => true,
+        });
+        let rec = LogRec::Abort { owner };
+        inner.unforced_bytes += rec.bytes();
+        inner.log.push(rec);
+        self.counters.txns_aborted();
+    }
+
+    /// Lazily writes dirty pages back in place (the checkpointer). Returns
+    /// the number of random writes issued.
+    pub fn checkpoint(&self, acct: &mut Account) -> u64 {
+        let mut inner = self.inner.lock();
+        let mut writes = 0;
+        let fids: Vec<Fid> = inner.cache.keys().copied().collect();
+        for fid in fids {
+            let (dirty, bytes) = {
+                let file = inner.cache.get_mut(&fid).expect("listed");
+                let d = file.dirty_pages.len() as u64;
+                file.dirty_pages.clear();
+                (d, file.bytes.clone())
+            };
+            for _ in 0..dirty {
+                self.charge_random_write(acct);
+                writes += 1;
+            }
+            if dirty > 0 {
+                inner.durable.insert(fid, bytes);
+            }
+        }
+        writes
+    }
+
+    /// Crash: the cache and unforced log tail vanish; the forced log prefix
+    /// and durable pages survive.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.cache.clear();
+        let upto = inner.forced_upto;
+        inner.log.truncate(upto);
+        inner.unforced_bytes = 0;
+        self.disk.crash();
+    }
+
+    /// Recovery: redo committed transactions' updates against the durable
+    /// images; discard (implicitly undo) everything else. Charges one
+    /// sequential read per log page scanned.
+    pub fn recover(&self, acct: &mut Account) -> usize {
+        let mut inner = self.inner.lock();
+        let log_bytes: usize = inner.log.iter().map(LogRec::bytes).sum();
+        for _ in 0..log_bytes.div_ceil(self.model.page_size).max(1) {
+            acct.cpu_instrs(&self.model, self.model.disk_setup_instrs);
+            acct.disk_reads += 1;
+            self.counters.disk_reads();
+            acct.wait(self.model.disk_seq_io);
+        }
+        let committed: Vec<Owner> = inner
+            .log
+            .iter()
+            .filter_map(|r| match r {
+                LogRec::Commit { owner } => Some(*owner),
+                _ => None,
+            })
+            .collect();
+        let mut redone = 0;
+        let updates: Vec<(Fid, u64, Vec<u8>)> = inner
+            .log
+            .iter()
+            .filter_map(|r| match r {
+                LogRec::Update {
+                    owner, fid, at, redo, ..
+                } if committed.contains(owner) => Some((*fid, *at, redo.clone())),
+                _ => None,
+            })
+            .collect();
+        for (fid, at, redo) in updates {
+            let img = inner.durable.entry(fid).or_default();
+            let end = at as usize + redo.len();
+            if img.len() < end {
+                img.resize(end, 0);
+            }
+            img[at as usize..end].copy_from_slice(&redo);
+            redone += 1;
+        }
+        redone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::{Pid, SiteId, TransId};
+
+    fn store() -> (WalStore, Account) {
+        let model = Arc::new(CostModel::default());
+        let counters = Arc::new(Counters::default());
+        let disk = Arc::new(SimDisk::new(64, model.clone(), counters.clone()));
+        (
+            WalStore::new(VolumeId(0), disk, model, counters),
+            Account::new(SiteId(0)),
+        )
+    }
+
+    fn t(n: u64) -> Owner {
+        Owner::Trans(TransId::new(SiteId(0), n))
+    }
+
+    fn p(n: u32) -> Owner {
+        Owner::Proc(Pid::new(SiteId(0), n))
+    }
+
+    #[test]
+    fn commit_forces_one_sequential_io_for_small_txn() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        w.write(fid, t(1), ByteRange::new(0, 16), &[7u8; 16], &mut a).unwrap();
+        let before = a.clone();
+        let pages = w.commit(t(1), &mut a);
+        assert_eq!(pages, 1);
+        let d = a.delta_since(&before);
+        assert_eq!(d.seq_ios, 1);
+        assert_eq!(d.disk_writes, 0, "no synchronous in-place writes");
+    }
+
+    #[test]
+    fn committed_data_survives_crash_via_redo() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        w.write(fid, t(1), ByteRange::new(0, 5), b"saved", &mut a).unwrap();
+        w.commit(t(1), &mut a);
+        w.crash(); // Dirty page never checkpointed.
+        w.recover(&mut a);
+        assert_eq!(w.read(fid, ByteRange::new(0, 5), &mut a).unwrap(), b"saved");
+    }
+
+    #[test]
+    fn uncommitted_data_lost_on_crash() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        w.write(fid, t(1), ByteRange::new(0, 4), b"lost", &mut a).unwrap();
+        w.crash();
+        w.recover(&mut a);
+        assert!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn abort_applies_undo() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(p(1));
+        w.write(fid, p(1), ByteRange::new(0, 4), b"base", &mut a).unwrap();
+        w.commit(p(1), &mut a);
+        w.begin(t(2));
+        w.write(fid, t(2), ByteRange::new(0, 4), b"oops", &mut a).unwrap();
+        w.abort(t(2), &mut a);
+        assert_eq!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"base");
+    }
+
+    #[test]
+    fn checkpoint_writes_dirty_pages_in_place() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        // Touch three pages.
+        for pg in 0..3u64 {
+            w.write(fid, t(1), ByteRange::new(pg * 1024, 4), b"page", &mut a).unwrap();
+        }
+        w.commit(t(1), &mut a);
+        let before = a.clone();
+        let wrote = w.checkpoint(&mut a);
+        assert_eq!(wrote, 3);
+        assert_eq!(a.delta_since(&before).disk_writes, 3);
+        // After the checkpoint, a crash without recovery keeps the data.
+        w.crash();
+        assert_eq!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"page");
+    }
+
+    #[test]
+    fn big_transactions_force_multiple_log_pages() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        // ~4 KB of redo (plus undo) spans several 1 KB log pages.
+        for i in 0..4u64 {
+            w.write(fid, t(1), ByteRange::new(i * 1024, 512), &[1u8; 512], &mut a).unwrap();
+        }
+        let pages = w.commit(t(1), &mut a);
+        assert!(pages >= 4, "got {pages}");
+    }
+
+    #[test]
+    fn interleaved_transactions_commit_independently() {
+        let (w, mut a) = store();
+        let fid = w.create_file(&mut a);
+        w.begin(t(1));
+        w.begin(t(2));
+        w.write(fid, t(1), ByteRange::new(0, 2), b"AA", &mut a).unwrap();
+        w.write(fid, t(2), ByteRange::new(4, 2), b"BB", &mut a).unwrap();
+        w.commit(t(1), &mut a);
+        w.abort(t(2), &mut a);
+        w.crash();
+        w.recover(&mut a);
+        let data = w.read(fid, ByteRange::new(0, 6), &mut a).unwrap();
+        assert_eq!(&data[0..2], b"AA");
+        assert_eq!(data.get(4..6).unwrap_or(&[0, 0]), &[0, 0]);
+    }
+}

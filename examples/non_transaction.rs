@@ -1,0 +1,75 @@
+//! The Figure 2 scenario: how Locus keeps transactions serializable in the
+//! presence of non-transaction programs (Section 3.3).
+//!
+//! Run with: `cargo run --example non_transaction`
+//!
+//! Program A (no transaction) updates record x[1], unlocks it without
+//! committing, and later aborts it. Program B runs a transaction that reads
+//! x[1] and copies it into x[2]. Without the paper's retention/adoption
+//! rules, B would commit x[2] derived from a value that A then rolls back —
+//! x[1] ≠ x[2], a consistency violation caused by a *correctly written*
+//! transaction. Locus' rule 2 makes B adopt the uncommitted record, so it
+//! commits (or aborts) with B.
+
+use locus::harness::Cluster;
+use locus::types::LockRequestMode;
+use locus_kernel::LockOpts;
+
+fn main() {
+    let cluster = Cluster::new(1);
+    let site = cluster.site(0);
+    let k = &site.kernel;
+    let mut acct = cluster.account(0);
+
+    // x is a two-record file: x[1] at offset 0, x[2] at offset 1.
+    let setup = k.spawn();
+    let ch = k.creat(setup, "/x", &mut acct).unwrap();
+    k.write(setup, ch, &[b'0', b'0'], &mut acct).unwrap();
+    k.close(setup, ch, &mut acct).unwrap();
+    println!("initial:         x[1]='0'  x[2]='0'");
+
+    // --- Program A (non-transaction): writelock x[1]; x[1] := 'C'; unlock.
+    let a = k.spawn();
+    let ach = k.open(a, "/x", true, &mut acct).unwrap();
+    k.lock(a, ach, 1, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+        .unwrap();
+    k.write(a, ach, b"C", &mut acct).unwrap();
+    k.lseek(a, ach, 0, &mut acct).unwrap();
+    k.unlock(a, ach, 1, &mut acct).unwrap();
+    println!("program A:       x[1] := 'C' (uncommitted), lock released");
+
+    // --- Program B (transaction): readlock x[1]; t := x[1]; x[2] := t.
+    let b = k.spawn();
+    let tid = site.txn.begin_trans(b, &mut acct).unwrap();
+    let bch = k.open(b, "/x", true, &mut acct).unwrap();
+    k.lock(b, bch, 1, LockRequestMode::Shared, LockOpts::default(), &mut acct)
+        .unwrap();
+    let t = k.read(b, bch, 1, &mut acct).unwrap();
+    println!(
+        "transaction {tid}: read x[1]='{}' — ADOPTED under rule 2 (modified, uncommitted)",
+        t[0] as char
+    );
+    k.write(b, bch, &t, &mut acct).unwrap(); // x[2] := t at offset 1.
+    site.txn.end_trans(b, &mut acct).unwrap();
+    cluster.drain_async();
+    println!("transaction {tid}: committed x[2] := '{}' AND the adopted x[1]", t[0] as char);
+
+    // --- Program A now aborts x[1]. Without adoption this would roll back
+    // the value B's commit depends on.
+    k.abort_file(a, ach, &mut acct).unwrap();
+    println!("program A:       abort x[1] → no-op (the record now belongs to {tid})");
+
+    // Crash + recover: only committed state survives.
+    site.crash();
+    let mut r = cluster.account(0);
+    site.reboot_and_recover(&mut r);
+    let p = k.spawn();
+    let ch = k.open(p, "/x", false, &mut r).unwrap();
+    let data = k.read(p, ch, 2, &mut r).unwrap();
+    println!(
+        "after crash:     x[1]='{}'  x[2]='{}'",
+        data[0] as char, data[1] as char
+    );
+    assert_eq!(data[0], data[1], "serializability violated!");
+    println!("x[1] == x[2]: the transaction stayed serializable despite program A");
+}

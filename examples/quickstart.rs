@@ -1,0 +1,89 @@
+//! Quickstart: a three-site Locus cluster, one distributed transaction.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Demonstrates the core of the paper: `BeginTrans` … `EndTrans` wrapping
+//! transparent access to files stored at *different* sites, committed
+//! atomically by two-phase commit over intentions lists.
+
+use locus::harness::Cluster;
+use locus::types::LockRequestMode;
+use locus_kernel::LockOpts;
+
+fn main() {
+    // Three sites on a simulated 10 Mb Ethernet of VAX 11/750s.
+    let cluster = Cluster::new(3);
+
+    // Site 1 and site 2 each hold a file.
+    for (site, name, content) in [(1usize, "/inventory", "widgets=100"), (2, "/orders", "")] {
+        let mut acct = cluster.account(site);
+        let k = &cluster.site(site).kernel;
+        let p = k.spawn();
+        let ch = k.creat(p, name, &mut acct).unwrap();
+        if !content.is_empty() {
+            k.write(p, ch, content.as_bytes(), &mut acct).unwrap();
+        }
+        k.close(p, ch, &mut acct).unwrap();
+        println!("created {name} at site {site}");
+    }
+
+    // A process at site 0 updates both files inside one transaction —
+    // network transparency means the code cannot tell local from remote.
+    let site0 = cluster.site(0);
+    let mut acct = cluster.account(0);
+    let pid = site0.kernel.spawn();
+
+    let tid = site0.txn.begin_trans(pid, &mut acct).unwrap();
+    println!("\nBeginTrans → {tid}");
+
+    let inv = site0.kernel.open(pid, "/inventory", true, &mut acct).unwrap();
+    let ord = site0.kernel.open(pid, "/orders", true, &mut acct).unwrap();
+
+    // Record-level locking: lock just the bytes we update (implicit locking
+    // would also kick in on access; here we lock explicitly).
+    site0
+        .kernel
+        .lock(pid, inv, 11, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+        .unwrap();
+    site0.kernel.write(pid, inv, b"widgets= 99", &mut acct).unwrap();
+    site0
+        .kernel
+        .write(pid, ord, b"order#1: 1 widget", &mut acct)
+        .unwrap();
+
+    site0.txn.end_trans(pid, &mut acct).unwrap();
+    println!("EndTrans   → committed (coordinator site0, participants site1+site2)");
+
+    // Phase two runs asynchronously ("a kernel process at the coordinator
+    // site asynchronously sends transaction commit messages").
+    cluster.drain_async();
+
+    println!(
+        "\ntransaction cost: {} disk I/Os, {} messages, {:.1} ms modeled latency",
+        acct.total_ios(),
+        acct.messages,
+        acct.elapsed.as_millis_f64()
+    );
+
+    // Crash both storage sites to prove durability, then read back.
+    for site in [1usize, 2] {
+        cluster.crash_site(site);
+        cluster.reboot_site(site);
+    }
+    for (site, name, len) in [(1usize, "/inventory", 11u64), (2, "/orders", 17)] {
+        let mut a = cluster.account(site);
+        let k = &cluster.site(site).kernel;
+        let p = k.spawn();
+        let ch = k.open(p, name, false, &mut a).unwrap();
+        let data = k.read(p, ch, len, &mut a).unwrap();
+        println!("after crash+recovery, {name} = {:?}", String::from_utf8_lossy(&data));
+    }
+
+    let snap = cluster.counters();
+    println!(
+        "\ncluster totals: {} txns committed, {} disk writes, {} messages",
+        snap.txns_committed,
+        snap.disk_writes + snap.disk_seq_writes,
+        snap.messages_sent
+    );
+}

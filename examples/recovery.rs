@@ -1,0 +1,131 @@
+//! Failure drill: crash the coordinator and a participant at the worst
+//! moments of two-phase commit and watch recovery (Section 4.4) sort it out.
+//!
+//! Run with: `cargo run --example recovery`
+
+use locus::harness::Cluster;
+use locus::types::TxnStatus;
+
+fn main() {
+    println!("--- Scenario 1: coordinator crashes AFTER the commit mark ---");
+    scenario_commit_mark_then_crash();
+    println!("\n--- Scenario 2: participant crashes after prepare, asks coordinator ---");
+    scenario_participant_crash();
+    println!("\n--- Scenario 3: coordinator crashes BEFORE the commit mark → abort ---");
+    scenario_crash_before_mark();
+}
+
+fn scenario_commit_mark_then_crash() {
+    let c = Cluster::new(2);
+    setup_file(&c, 1, "/f");
+
+    let mut a = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    let tid = c.site(0).txn.begin_trans(pid, &mut a).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/f", true, &mut a).unwrap();
+    c.site(0).kernel.write(pid, ch, b"durable", &mut a).unwrap();
+    c.site(0).txn.end_trans(pid, &mut a).unwrap();
+    println!("{tid} reached its commit point (commit mark written)");
+
+    // The asynchronous phase two never runs: the coordinator dies.
+    c.crash_site(0);
+    println!("coordinator crashed before sending any phase-two messages");
+
+    let report = c.reboot_site(0);
+    println!("coordinator recovery: {report:?}");
+    assert_eq!(report.redone, 1);
+
+    let data = read_file(&c, 1, "/f", 7);
+    println!("participant file now reads {:?}", String::from_utf8_lossy(&data));
+    assert_eq!(data, b"durable");
+}
+
+fn scenario_participant_crash() {
+    let c = Cluster::new(2);
+    setup_file(&c, 1, "/g");
+
+    let mut a = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    let tid = c.site(0).txn.begin_trans(pid, &mut a).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/g", true, &mut a).unwrap();
+    c.site(0).kernel.write(pid, ch, b"promise", &mut a).unwrap();
+    c.site(0).txn.end_trans(pid, &mut a).unwrap();
+
+    c.crash_site(1);
+    println!("{tid} committed, but the participant crashed before phase two");
+    c.drain_async(); // Cannot deliver; work stays queued.
+
+    let report = c.reboot_site(1);
+    println!("participant recovery (status inquiry to coordinator): {report:?}");
+    assert_eq!(report.participant_committed, 1);
+    let data = read_file(&c, 1, "/g", 7);
+    assert_eq!(data, b"promise");
+    println!("prepared intentions were installed from the prepare log");
+}
+
+fn scenario_crash_before_mark() {
+    let c = Cluster::new(2);
+    setup_file(&c, 1, "/h");
+
+    // Drive phase one by hand so we can crash in the window between the
+    // participant's prepare and the coordinator's commit mark.
+    let mut a = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    let tid = c.site(0).txn.begin_trans(pid, &mut a).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/h", true, &mut a).unwrap();
+    c.site(0).kernel.write(pid, ch, b"doomed!", &mut a).unwrap();
+    let files: Vec<_> = c
+        .site(0)
+        .kernel
+        .procs
+        .get(pid)
+        .unwrap()
+        .file_list
+        .iter()
+        .copied()
+        .collect();
+    c.site(0).kernel.home().coord_log_put(
+        &locus::types::CoordLogRecord {
+            tid,
+            files: files.clone(),
+            status: TxnStatus::Unknown,
+        },
+        &mut a,
+    );
+    c.site(0)
+        .kernel
+        .rpc(
+            locus::types::SiteId(1),
+            locus::net::Msg::Prepare {
+                tid,
+                coordinator: locus::types::SiteId(0),
+                files: files.iter().map(|f| f.fid).collect(),
+            },
+            &mut a,
+        )
+        .unwrap();
+    println!("{tid}: participant prepared; coordinator log still says 'unknown'");
+    c.crash_site(0);
+    println!("coordinator crashed WITHOUT writing the commit mark");
+
+    let report = c.reboot_site(0);
+    println!("coordinator recovery: {report:?}");
+    assert_eq!(report.aborted, 1);
+    let data = read_file(&c, 1, "/h", 7);
+    assert!(data.is_empty(), "uncommitted data must not survive");
+    println!("participant rolled back: failures before prepare completion are aborts");
+}
+
+fn setup_file(c: &Cluster, site: usize, name: &str) {
+    let mut a = c.account(site);
+    let p = c.site(site).kernel.spawn();
+    let ch = c.site(site).kernel.creat(p, name, &mut a).unwrap();
+    c.site(site).kernel.close(p, ch, &mut a).unwrap();
+}
+
+fn read_file(c: &Cluster, site: usize, name: &str, len: u64) -> Vec<u8> {
+    let mut a = c.account(site);
+    let p = c.site(site).kernel.spawn();
+    let ch = c.site(site).kernel.open(p, name, false, &mut a).unwrap();
+    c.site(site).kernel.read(p, ch, len, &mut a).unwrap()
+}

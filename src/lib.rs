@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the Locus reproduction public API.
+//!
+//! See the workspace README for an overview. The primary entry points are
+//! [`locus_harness::Cluster`] for building a simulated network of sites and
+//! [`locus_core`] for the transaction facility.
+pub use locus_core as core;
+pub use locus_deadlock as deadlock;
+pub use locus_disk as disk;
+pub use locus_fs as fs;
+pub use locus_harness as harness;
+pub use locus_kernel as kernel;
+pub use locus_locks as locks;
+pub use locus_net as net;
+pub use locus_proc as proc;
+pub use locus_sim as sim;
+pub use locus_types as types;
+pub use locus_wal as wal;

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+
+use locus::harness::{Cluster, Driver, Op, RunOutcome};
+use locus::types::{range, ByteRange, LockRequestMode};
+use locus_kernel::LockOpts;
+
+fn byte_range() -> impl Strategy<Value = ByteRange> {
+    (0u64..256, 1u64..64).prop_map(|(s, l)| ByteRange::new(s, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// subtract() and intersection() partition a range exactly.
+    #[test]
+    fn range_subtract_intersect_partition(a in byte_range(), b in byte_range()) {
+        let pieces = a.subtract(&b);
+        let inter = a.intersection(&b);
+        let covered: u64 = pieces.iter().map(|r| r.len).sum::<u64>()
+            + inter.map(|r| r.len).unwrap_or(0);
+        prop_assert_eq!(covered, a.len);
+        // Pieces never overlap b.
+        for p in &pieces {
+            prop_assert!(!p.overlaps(&b));
+            prop_assert!(a.contains_range(p));
+        }
+    }
+
+    /// coalesce() preserves the byte set.
+    #[test]
+    fn coalesce_preserves_membership(ranges in proptest::collection::vec(byte_range(), 0..12)) {
+        let coalesced = range::coalesce(ranges.clone());
+        for offset in 0u64..320 {
+            let in_orig = ranges.iter().any(|r| r.contains(offset));
+            let in_coal = coalesced.iter().any(|r| r.contains(offset));
+            prop_assert_eq!(in_orig, in_coal, "offset {}", offset);
+        }
+        // And the result is sorted and non-overlapping.
+        for w in coalesced.windows(2) {
+            prop_assert!(w[0].end() < w[1].start);
+        }
+    }
+
+    /// pages() covers exactly the pages the range's bytes fall on.
+    #[test]
+    fn pages_cover_range(r in byte_range()) {
+        let pages: Vec<_> = r.pages(64).collect();
+        for offset in r.start..r.end() {
+            let pg = (offset / 64) as u32;
+            prop_assert!(pages.iter().any(|p| p.0 == pg));
+        }
+        // And every listed page holds at least one byte of the range.
+        for p in pages {
+            prop_assert!(r.slice_on_page(p, 64).is_some());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleaving seeds: non-conflicting lock/write scripts always
+    /// complete without failures and commit every byte they wrote.
+    #[test]
+    fn disjoint_writers_always_complete(seed in 0u64..10_000) {
+        let c = Cluster::new(2);
+        let mut setup = Driver::new(&c, 1);
+        setup.spawn(0, vec![Op::Creat("/p".into()), Op::Close(0)]);
+        prop_assert_eq!(setup.run(), RunOutcome::Completed);
+
+        let writer = |slot: u64| -> Vec<Op> {
+            vec![
+                Op::BeginTrans,
+                Op::Open { name: "/p".into(), write: true },
+                Op::Seek { ch: 0, pos: slot * 64 },
+                Op::Lock {
+                    ch: 0,
+                    len: 64,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+                Op::Seek { ch: 0, pos: slot * 64 },
+                Op::Write { ch: 0, data: vec![slot as u8 + 1; 64] },
+                Op::EndTrans,
+            ]
+        };
+        let mut d = Driver::new(&c, seed);
+        for slot in 0..4u64 {
+            d.spawn((slot % 2) as usize, writer(slot));
+        }
+        prop_assert_eq!(d.run(), RunOutcome::Completed);
+        prop_assert!(!d.any_failures(), "{:?}", d.failures());
+        c.drain_async();
+
+        let mut a = c.account(0);
+        let p = c.site(0).kernel.spawn();
+        let ch = c.site(0).kernel.open(p, "/p", false, &mut a).unwrap();
+        let data = c.site(0).kernel.read(p, ch, 256, &mut a).unwrap();
+        for slot in 0..4usize {
+            prop_assert!(
+                data[slot * 64..(slot + 1) * 64].iter().all(|b| *b == slot as u8 + 1),
+                "slot {} corrupted under seed {}", slot, seed
+            );
+        }
+    }
+
+    /// Abort-heavy schedules never leak uncommitted data to disk.
+    #[test]
+    fn aborts_never_leak(seed in 0u64..10_000) {
+        let c = Cluster::new(1);
+        let mut setup = Driver::new(&c, 1);
+        setup.spawn(0, vec![Op::Creat("/q".into()), Op::Write { ch: 0, data: vec![0xEE; 128] }, Op::Close(0)]);
+        prop_assert_eq!(setup.run(), RunOutcome::Completed);
+
+        let aborter = |pos: u64| -> Vec<Op> {
+            vec![
+                Op::BeginTrans,
+                Op::Open { name: "/q".into(), write: true },
+                Op::Seek { ch: 0, pos },
+                Op::Lock {
+                    ch: 0,
+                    len: 32,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+                Op::Seek { ch: 0, pos },
+                Op::Write { ch: 0, data: vec![0xBA; 32] },
+                Op::AbortTrans,
+            ]
+        };
+        let mut d = Driver::new(&c, seed);
+        d.spawn(0, aborter(0));
+        d.spawn(0, aborter(64));
+        prop_assert_eq!(d.run(), RunOutcome::Completed);
+        c.drain_async();
+        // Crash + recover, then verify the original contents.
+        c.crash_site(0);
+        c.reboot_site(0);
+        let mut a = c.account(0);
+        let p = c.site(0).kernel.spawn();
+        let ch = c.site(0).kernel.open(p, "/q", false, &mut a).unwrap();
+        let data = c.site(0).kernel.read(p, ch, 128, &mut a).unwrap();
+        prop_assert!(data.iter().all(|b| *b == 0xEE), "leak under seed {}", seed);
+    }
+}

@@ -1,0 +1,133 @@
+//! Section 4.4's removable-media property: "it is important to assure that
+//! logs are stored on the same medium as the files to which they refer;
+//! otherwise, logs might not be present at the time that recovery actions
+//! are required." Because every volume carries its own coordinator and
+//! prepare logs, a volume lifted out of a dead site and mounted elsewhere
+//! recovers there, with no access to the dead site's other state.
+
+use locus::harness::Cluster;
+use locus::types::{SiteId, TxnStatus};
+
+#[test]
+fn volume_carried_to_another_site_recovers_prepared_transaction() {
+    let c = Cluster::new(3);
+    // File at site 1; transaction coordinated from site 0.
+    let mut a1 = c.account(1);
+    let p1 = c.site(1).kernel.spawn();
+    let ch = c.site(1).kernel.creat(p1, "/media", &mut a1).unwrap();
+    c.site(1).kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut a0 = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    c.site(0).txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/media", true, &mut a0).unwrap();
+    c.site(0).kernel.write(pid, ch, b"carried!", &mut a0).unwrap();
+    c.site(0).txn.end_trans(pid, &mut a0).unwrap();
+
+    // Site 1 dies for good before phase two reaches it. Its disk — with the
+    // data blocks, the shadow pages, AND the prepare log — is physically
+    // moved to site 2.
+    let volume = c.site(1).kernel.home();
+    c.transport.site_down(SiteId(1));
+    c.drain_async(); // Phase two cannot deliver; stays queued at site 0.
+    // Pulling the disk out of the dead machine: volatile buffers are gone,
+    // the platters (including the prepare log) survive.
+    volume.crash();
+    volume.reboot();
+    c.site(2).kernel.mount(volume.clone());
+
+    // Recovery at site 2 scans the foreign volume, asks the coordinator for
+    // the outcome, and installs the logged intentions.
+    let mut a2 = c.account(2);
+    let mut report = Default::default();
+    c.site(2)
+        .txn
+        .recover_volume(&volume, &mut a2, &mut report);
+    assert_eq!(report.participant_committed, 1, "{report:?}");
+
+    // The committed data is now readable straight off the carried volume.
+    let fid = c.catalog.resolve("/media").unwrap().fid;
+    let data = volume
+        .read(fid, locus::types::ByteRange::new(0, 8), &mut a2)
+        .unwrap();
+    assert_eq!(data, b"carried!");
+    // And the prepare log was purged after installation.
+    assert!(volume.prepare_log_scan(&mut a2).is_empty());
+}
+
+#[test]
+fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
+    let c = Cluster::new(3);
+    let mut a1 = c.account(1);
+    let p1 = c.site(1).kernel.spawn();
+    let ch = c.site(1).kernel.creat(p1, "/doubt", &mut a1).unwrap();
+    c.site(1).kernel.close(p1, ch, &mut a1).unwrap();
+
+    // Drive phase one by hand, then kill BOTH the coordinator and the
+    // participant before any commit mark is written.
+    let mut a0 = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    let tid = c.site(0).txn.begin_trans(pid, &mut a0).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/doubt", true, &mut a0).unwrap();
+    c.site(0).kernel.write(pid, ch, b"maybe", &mut a0).unwrap();
+    let files: Vec<_> = c
+        .site(0)
+        .kernel
+        .procs
+        .get(pid)
+        .unwrap()
+        .file_list
+        .iter()
+        .copied()
+        .collect();
+    c.site(0).kernel.home().coord_log_put(
+        &locus::types::CoordLogRecord {
+            tid,
+            files: files.clone(),
+            status: TxnStatus::Unknown,
+        },
+        &mut a0,
+    );
+    c.site(0)
+        .kernel
+        .rpc(
+            SiteId(1),
+            locus::net::Msg::Prepare {
+                tid,
+                coordinator: SiteId(0),
+                files: files.iter().map(|f| f.fid).collect(),
+            },
+            &mut a0,
+        )
+        .unwrap();
+    let volume = c.site(1).kernel.home();
+    c.crash_site(0);
+    c.transport.site_down(SiteId(1));
+    volume.crash();
+    volume.reboot();
+    c.site(2).kernel.mount(volume.clone());
+
+    // With the coordinator unreachable, recovery must keep the prepare log
+    // (in doubt) — it may yet commit.
+    let mut a2 = c.account(2);
+    let mut report = Default::default();
+    c.site(2)
+        .txn
+        .recover_volume(&volume, &mut a2, &mut report);
+    assert_eq!(report.in_doubt, 1, "{report:?}");
+    assert_eq!(volume.prepare_log_scan(&mut a2).len(), 1);
+
+    // The coordinator reboots (recovery aborts the unknown transaction);
+    // a second recovery pass on the carried volume now resolves to abort.
+    c.reboot_site(0);
+    let mut report2 = Default::default();
+    c.site(2)
+        .txn
+        .recover_volume(&volume, &mut a2, &mut report2);
+    assert_eq!(report2.participant_aborted, 1, "{report2:?}");
+    let fid = c.catalog.resolve("/doubt").unwrap().fid;
+    assert!(volume
+        .read(fid, locus::types::ByteRange::new(0, 5), &mut a2)
+        .unwrap()
+        .is_empty());
+}

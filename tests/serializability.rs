@@ -1,0 +1,179 @@
+//! Serializability under randomized interleavings: transfer transactions
+//! driven by the deterministic script driver under many seeds must conserve
+//! the ledger total, and reads within a transaction must be repeatable.
+
+use locus::harness::{Cluster, Driver, Op, RunOutcome};
+use locus::types::LockRequestMode;
+use locus_kernel::LockOpts;
+
+fn setup_ledger(c: &Cluster, accounts: u64) {
+    let mut a = c.account(0);
+    let p = c.site(0).kernel.spawn();
+    let ch = c.site(0).kernel.creat(p, "/ledger", &mut a).unwrap();
+    for i in 0..accounts {
+        c.site(0).kernel.lseek(p, ch, i * 8, &mut a).unwrap();
+        c.site(0).kernel.write(p, ch, &100u64.to_le_bytes(), &mut a).unwrap();
+    }
+    c.site(0).kernel.close(p, ch, &mut a).unwrap();
+}
+
+fn ledger_total(c: &Cluster, accounts: u64) -> u64 {
+    let mut a = c.account(0);
+    let p = c.site(0).kernel.spawn();
+    let ch = c.site(0).kernel.open(p, "/ledger", false, &mut a).unwrap();
+    let mut total = 0;
+    for i in 0..accounts {
+        c.site(0).kernel.lseek(p, ch, i * 8, &mut a).unwrap();
+        let v = c.site(0).kernel.read(p, ch, 8, &mut a).unwrap();
+        total += u64::from_le_bytes(v.try_into().unwrap());
+    }
+    total
+}
+
+/// A fixed-amount transfer as a script (locks both records in ascending
+/// order; the "amounts" are fixed patterns so the script driver needs no
+/// arithmetic — we verify conservation by symmetry: every transfer writes
+/// +N to one record and −N to the other via precomputed values 99/101).
+fn swap_txn(from: u64, to: u64) -> Vec<Op> {
+    let (lo, hi) = (from.min(to), from.max(to));
+    vec![
+        Op::BeginTrans,
+        Op::Open { name: "/ledger".into(), write: true },
+        Op::Seek { ch: 0, pos: lo * 8 },
+        Op::Lock {
+            ch: 0,
+            len: 8,
+            mode: LockRequestMode::Exclusive,
+            opts: LockOpts { wait: true, ..LockOpts::default() },
+        },
+        Op::Seek { ch: 0, pos: hi * 8 },
+        Op::Lock {
+            ch: 0,
+            len: 8,
+            mode: LockRequestMode::Exclusive,
+            opts: LockOpts { wait: true, ..LockOpts::default() },
+        },
+        Op::Seek { ch: 0, pos: from * 8 },
+        Op::Write { ch: 0, data: 99u64.to_le_bytes().to_vec() },
+        Op::Seek { ch: 0, pos: to * 8 },
+        Op::Write { ch: 0, data: 101u64.to_le_bytes().to_vec() },
+        Op::EndTrans,
+    ]
+}
+
+#[test]
+fn transfers_conserve_total_across_seeds() {
+    for seed in [1u64, 7, 42, 1234, 98765] {
+        let c = Cluster::new(2);
+        setup_ledger(&c, 8);
+        let mut d = Driver::new(&c, seed);
+        // Disjoint account pairs so scripts cannot deadlock; the scheduler
+        // still interleaves all their lock traffic on one file.
+        d.spawn(0, swap_txn(0, 1));
+        d.spawn(1, swap_txn(2, 3));
+        d.spawn(0, swap_txn(4, 5));
+        d.spawn(1, swap_txn(6, 7));
+        assert_eq!(d.run(), RunOutcome::Completed, "seed {seed}");
+        assert!(!d.any_failures(), "seed {seed}: {:?}", d.failures());
+        c.drain_async();
+        assert_eq!(ledger_total(&c, 8), 800, "seed {seed}");
+    }
+}
+
+#[test]
+fn conflicting_transfers_serialize_not_interleave() {
+    // Two transactions write the SAME records; whichever commits second must
+    // fully overwrite — the final state is one of the two serial outcomes,
+    // never a mixture.
+    for seed in [3u64, 17, 2024] {
+        let c = Cluster::new(1);
+        setup_ledger(&c, 2);
+        let txn = |v: u64| -> Vec<Op> {
+            vec![
+                Op::BeginTrans,
+                Op::Open { name: "/ledger".into(), write: true },
+                Op::Seek { ch: 0, pos: 0 },
+                Op::Lock {
+                    ch: 0,
+                    len: 16,
+                    mode: LockRequestMode::Exclusive,
+                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                },
+                Op::Seek { ch: 0, pos: 0 },
+                Op::Write { ch: 0, data: v.to_le_bytes().to_vec() },
+                Op::Seek { ch: 0, pos: 8 },
+                Op::Write { ch: 0, data: v.to_le_bytes().to_vec() },
+                Op::EndTrans,
+            ]
+        };
+        let mut d = Driver::new(&c, seed);
+        d.spawn(0, txn(7));
+        d.spawn(0, txn(9));
+        assert_eq!(d.run(), RunOutcome::Completed);
+        assert!(!d.any_failures(), "{:?}", d.failures());
+        c.drain_async();
+        let mut a = c.account(0);
+        let p = c.site(0).kernel.spawn();
+        let ch = c.site(0).kernel.open(p, "/ledger", false, &mut a).unwrap();
+        let bytes = c.site(0).kernel.read(p, ch, 16, &mut a).unwrap();
+        let r0 = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let r1 = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(r0, r1, "seed {seed}: mixed outcome {r0}/{r1}");
+        assert!(r0 == 7 || r0 == 9);
+    }
+}
+
+#[test]
+fn repeatable_reads_within_transaction() {
+    // A transaction's shared lock prevents others from changing what it
+    // read until it ends (two-phase locking): the writer is forced to wait.
+    let c = Cluster::new(1);
+    setup_ledger(&c, 1);
+    let reader = vec![
+        Op::BeginTrans,
+        Op::Open { name: "/ledger".into(), write: true },
+        Op::Seek { ch: 0, pos: 0 },
+        Op::Lock {
+            ch: 0,
+            len: 8,
+            mode: LockRequestMode::Shared,
+            opts: LockOpts { wait: true, ..LockOpts::default() },
+        },
+        Op::Seek { ch: 0, pos: 0 },
+        Op::Read { ch: 0, len: 8 },
+        Op::Seek { ch: 0, pos: 0 },
+        Op::Read { ch: 0, len: 8 },
+        Op::EndTrans,
+    ];
+    let writer = vec![
+        Op::Open { name: "/ledger".into(), write: true },
+        Op::Lock {
+            ch: 0,
+            len: 8,
+            mode: LockRequestMode::Exclusive,
+            opts: LockOpts { wait: true, ..LockOpts::default() },
+        },
+        Op::Seek { ch: 0, pos: 0 },
+        Op::Write { ch: 0, data: 55u64.to_le_bytes().to_vec() },
+    ];
+    for seed in [5u64, 50, 500] {
+        let c = Cluster::new(1);
+        setup_ledger(&c, 1);
+        let mut d = Driver::new(&c, seed);
+        let r = d.spawn(0, reader.clone());
+        d.spawn(0, writer.clone());
+        assert_eq!(d.run(), RunOutcome::Completed);
+        c.drain_async();
+        // The two reads inside the transaction saw the same value.
+        let reads: Vec<_> = d
+            .results(r)
+            .iter()
+            .filter_map(|x| match x {
+                locus::harness::OpResult::Data(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0], reads[1], "seed {seed}: non-repeatable read");
+    }
+}

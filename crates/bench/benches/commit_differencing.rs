@@ -7,14 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use locus_fs::PageBuf;
 use locus_harness::Cluster;
 use locus_kernel::LockOpts;
-use locus_types::{ByteRange, LockRequestMode, Owner, Pid, SiteId, TransId};
+use locus_types::{ByteRange, LockRequestMode, Owner, SiteId, TransId};
 
 fn owner_t(n: u64) -> Owner {
     Owner::Trans(TransId::new(SiteId(0), n))
-}
-
-fn owner_p(n: u32) -> Owner {
-    Owner::Proc(Pid::new(SiteId(0), n))
 }
 
 fn bench_commit_image(c: &mut Criterion) {

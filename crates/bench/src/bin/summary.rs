@@ -25,4 +25,6 @@ fn main() {
     println!("== End-to-end simple transaction (modeled) ==");
     println!("local storage site:  {local} per transaction");
     println!("remote storage site: {remote} per transaction");
+
+    println!("{}", exp::service_breakdown(model()).render());
 }

@@ -1,13 +1,13 @@
 //! The per-site transaction manager.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use locus_kernel::Kernel;
-use locus_net::Msg;
+use locus_kernel::{Kernel, TxnService};
+use locus_net::{Msg, TxnMsg};
 use locus_sim::{Account, Event};
 use locus_types::{
     CoordLogRecord, Error, Fid, FileListEntry, Owner, Pid, PrepareLogRecord, Result, SiteId,
@@ -49,6 +49,12 @@ pub struct TxnManager {
     next_seq: AtomicU64,
     coordinating: Mutex<HashMap<TransId, CoordState>>,
     async_work: Mutex<VecDeque<Phase2Work>>,
+    /// When set, 2PC prepare messages to distinct participant sites are sent
+    /// concurrently from scoped threads (enabled by the threaded driver; the
+    /// deterministic simulation keeps the sequential order). The
+    /// coordinator's account absorbs the slowest branch's latency plus the
+    /// summed counts.
+    pub parallel_fanout: AtomicBool,
 }
 
 impl TxnManager {
@@ -58,6 +64,7 @@ impl TxnManager {
             next_seq: AtomicU64::new(1),
             coordinating: Mutex::new(HashMap::new()),
             async_work: Mutex::new(VecDeque::new()),
+            parallel_fanout: AtomicBool::new(false),
         }
     }
 
@@ -65,15 +72,15 @@ impl TxnManager {
         self.kernel.site
     }
 
-    /// Sends a transaction control-plane message. The kernel's transport
-    /// routes remote messages to the destination's [`crate::Site`] handler;
-    /// local ones are dispatched to this manager directly (the kernel's
-    /// local shortcut only knows data-plane messages).
-    fn txn_rpc(&self, to: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
+    /// Sends a transaction control-plane message. Remote messages go through
+    /// the kernel's transport to the destination's service dispatcher; local
+    /// ones short-circuit to this manager (which also keeps a standalone
+    /// manager — not registered on any kernel — functional).
+    fn txn_rpc(&self, to: SiteId, msg: TxnMsg, acct: &mut Account) -> Result<Msg> {
         if to == self.site() {
-            return self.handle_msg(to, msg, acct).into_result();
+            return self.handle_txn(to, msg, acct).into_result();
         }
-        self.kernel.rpc(to, msg, acct)
+        self.kernel.rpc(to, Msg::Txn(msg), acct)
     }
 
     // ----- BeginTrans / EndTrans / AbortTrans -------------------------------
@@ -162,7 +169,7 @@ impl TxnManager {
             tid,
             to: top_site,
         });
-        self.txn_rpc(top_site, Msg::AbortProc { tid, pid: top }, acct)?;
+        self.txn_rpc(top_site, TxnMsg::AbortProc { tid, pid: top }, acct)?;
         self.kernel.counters.txns_aborted();
         self.kernel.events.push(Event::Aborted { tid });
         Ok(())
@@ -188,7 +195,7 @@ impl TxnManager {
         }
 
         // Step 1: the coordinator log, status = unknown (Figure 5 step 1).
-        let vol = self.kernel.home();
+        let vol = self.kernel.home()?;
         vol.coord_log_put(
             &CoordLogRecord {
                 tid,
@@ -206,30 +213,11 @@ impl TxnManager {
         );
 
         // Steps 2–3: prepare messages to every participant (storage) site.
+        // Each site receives exactly one message covering all of the
+        // transaction's files stored there; with `parallel_fanout` the
+        // distinct sites are contacted concurrently.
         let participants = group_by_site(&files);
-        let mut all_ok = true;
-        for (site, fids) in &participants {
-            self.kernel.events.push(Event::PrepareSent { tid, to: *site });
-            let resp = self.txn_rpc(
-                *site,
-                Msg::Prepare {
-                    tid,
-                    coordinator: self.site(),
-                    files: fids.clone(),
-                },
-                acct,
-            );
-            let ok = matches!(resp, Ok(Msg::PrepareDone { ok: true, .. }));
-            self.kernel.events.push(Event::PrepareAck {
-                tid,
-                from: *site,
-                ok,
-            });
-            if !ok {
-                all_ok = false;
-                break;
-            }
-        }
+        let all_ok = self.send_prepares(tid, &participants, acct);
 
         if !all_ok {
             // Failure before the commit point is an abort (Section 4.3).
@@ -255,6 +243,65 @@ impl TxnManager {
         self.finish_process_state(tid, top);
         self.kernel.counters.txns_committed();
         Ok(())
+    }
+
+    /// Phase one: one `Prepare` per participant site. Sequential by default
+    /// (the deterministic simulation), with early exit on the first failure;
+    /// under `parallel_fanout` all sites are contacted from scoped threads
+    /// and the coordinator's account absorbs the slowest branch's latency
+    /// and the summed message/instruction counts.
+    fn send_prepares(
+        &self,
+        tid: TransId,
+        participants: &[(SiteId, Vec<Fid>)],
+        acct: &mut Account,
+    ) -> bool {
+        let prepare_one = |site: SiteId, fids: &[Fid], a: &mut Account| -> bool {
+            self.kernel.events.push(Event::PrepareSent { tid, to: site });
+            let resp = self.txn_rpc(
+                site,
+                TxnMsg::Prepare {
+                    tid,
+                    coordinator: self.site(),
+                    files: fids.to_vec(),
+                },
+                a,
+            );
+            let ok = matches!(resp, Ok(Msg::Txn(TxnMsg::PrepareDone { ok: true, .. })));
+            self.kernel.events.push(Event::PrepareAck {
+                tid,
+                from: site,
+                ok,
+            });
+            ok
+        };
+        if participants.len() > 1 && self.parallel_fanout.load(Ordering::Relaxed) {
+            let mut branches: Vec<Account> = participants
+                .iter()
+                .map(|_| Account::new(self.site()))
+                .collect();
+            let mut oks = vec![false; participants.len()];
+            crossbeam::thread::scope(|s| {
+                for (((site, fids), branch), ok) in participants
+                    .iter()
+                    .zip(branches.iter_mut())
+                    .zip(oks.iter_mut())
+                {
+                    s.spawn(move || {
+                        *ok = prepare_one(*site, fids, branch);
+                    });
+                }
+            });
+            acct.absorb_parallel(branches.iter());
+            oks.into_iter().all(|ok| ok)
+        } else {
+            for (site, fids) in participants {
+                if !prepare_one(*site, fids, acct) {
+                    return false;
+                }
+            }
+            true
+        }
     }
 
     /// Clears the (now completed) transaction's process state: the process
@@ -290,101 +337,152 @@ impl TxnManager {
     /// queued (recovery will re-drive it). Returns how many transactions
     /// fully completed.
     pub fn run_async_work(&self, acct: &mut Account) -> usize {
-        let mut completed = 0;
-        let mut requeue = Vec::new();
-        loop {
-            let Some(work) = self.async_work.lock().pop_front() else {
-                break;
-            };
-            let mut remaining = Vec::new();
-            for (site, fids) in &work.participants {
-                let msg = if work.commit {
+        let work: Vec<Phase2Work> = self.async_work.lock().drain(..).collect();
+        if work.is_empty() {
+            return 0;
+        }
+        // Coalesce the phase-two traffic per participant site — across
+        // transactions: every Commit/AbortFiles bound for one site travels
+        // in a single batched network message.
+        let mut by_site: BTreeMap<SiteId, Vec<(usize, TxnMsg)>> = BTreeMap::new();
+        for (i, w) in work.iter().enumerate() {
+            for (site, fids) in &w.participants {
+                let msg = if w.commit {
                     self.kernel.events.push(Event::CommitSent {
-                        tid: work.tid,
+                        tid: w.tid,
                         to: *site,
                     });
-                    Msg::Commit {
-                        tid: work.tid,
+                    TxnMsg::Commit {
+                        tid: w.tid,
                         files: fids.clone(),
                     }
                 } else {
                     self.kernel.events.push(Event::AbortSent {
-                        tid: work.tid,
+                        tid: w.tid,
                         to: *site,
                     });
-                    Msg::AbortFiles {
-                        tid: work.tid,
+                    TxnMsg::AbortFiles {
+                        tid: w.tid,
                         files: fids.clone(),
                     }
                 };
-                if self.txn_rpc(*site, msg, acct).is_err() {
-                    remaining.push((*site, fids.clone()));
+                by_site.entry(*site).or_default().push((i, msg));
+            }
+        }
+        // Which participant sites failed to acknowledge, per work item.
+        let mut failed: Vec<Vec<SiteId>> = vec![Vec::new(); work.len()];
+        for (site, entries) in by_site {
+            let (idxs, msgs): (Vec<usize>, Vec<TxnMsg>) = entries.into_iter().unzip();
+            let acks = self.send_phase2_batch(site, msgs, acct);
+            for (i, ok) in idxs.into_iter().zip(acks) {
+                if !ok {
+                    failed[i].push(site);
                 }
             }
-            if remaining.is_empty() {
+        }
+        let mut completed = 0;
+        for (i, w) in work.into_iter().enumerate() {
+            if failed[i].is_empty() {
                 // All participants done: the coordinator log may be purged
                 // (Section 4.4: retained until processing completes).
-                self.kernel.home().coord_log_delete(work.tid, acct);
-                self.coordinating.lock().remove(&work.tid);
-                if work.commit {
-                    self.kernel.events.push(Event::Committed { tid: work.tid });
+                if let Ok(home) = self.kernel.home() {
+                    home.coord_log_delete(w.tid, acct);
+                }
+                self.coordinating.lock().remove(&w.tid);
+                if w.commit {
+                    self.kernel.events.push(Event::Committed { tid: w.tid });
                 }
                 completed += 1;
             } else {
-                requeue.push(Phase2Work {
-                    tid: work.tid,
-                    commit: work.commit,
-                    participants: remaining,
+                let participants: Vec<(SiteId, Vec<Fid>)> = w
+                    .participants
+                    .into_iter()
+                    .filter(|(s, _)| failed[i].contains(s))
+                    .collect();
+                self.async_work.lock().push_back(Phase2Work {
+                    tid: w.tid,
+                    commit: w.commit,
+                    participants,
                 });
             }
         }
-        self.async_work.lock().extend(requeue);
         completed
+    }
+
+    /// Sends one participant site's phase-two messages — one network message
+    /// total, `Msg::Batch`-wrapped when more than one — and reports each
+    /// message's acknowledgement.
+    fn send_phase2_batch(&self, site: SiteId, msgs: Vec<TxnMsg>, acct: &mut Account) -> Vec<bool> {
+        let n = msgs.len();
+        if site == self.site() {
+            // Local shortcut (keeps a standalone manager functional).
+            return msgs
+                .into_iter()
+                .map(|m| !matches!(self.handle_txn(site, m, acct), Msg::Err(_)))
+                .collect();
+        }
+        if n == 1 {
+            return msgs
+                .into_iter()
+                .map(|m| self.kernel.rpc(site, Msg::Txn(m), acct).is_ok())
+                .collect();
+        }
+        let batch = Msg::Batch(msgs.into_iter().map(Msg::Txn).collect());
+        match self.kernel.rpc(site, batch, acct) {
+            Ok(Msg::Batch(resps)) if resps.len() == n => resps
+                .into_iter()
+                .map(|r| !matches!(r, Msg::Err(_)))
+                .collect(),
+            _ => vec![false; n],
+        }
     }
 
     // ----- Participant-side message handling ---------------------------------
 
-    /// Handles transaction control-plane messages addressed to this site.
-    pub fn handle_msg(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Msg {
-        match self.dispatch(from, msg, acct) {
+    /// Handles one transaction control-plane request addressed to this site
+    /// (the kernel's `Msg::Txn` dispatch target, via [`TxnService`]).
+    pub fn handle_txn(&self, from: SiteId, req: TxnMsg, acct: &mut Account) -> Msg {
+        match self.dispatch(from, req, acct) {
             Ok(m) => m,
             Err(e) => Msg::Err(e),
         }
     }
 
-    fn dispatch(&self, _from: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
-        match msg {
-            Msg::Prepare {
+    fn dispatch(&self, _from: SiteId, req: TxnMsg, acct: &mut Account) -> Result<Msg> {
+        match req {
+            TxnMsg::Prepare {
                 tid,
                 coordinator,
                 files,
             } => {
                 let ok = self.participant_prepare(tid, coordinator, &files, acct);
-                Ok(Msg::PrepareDone { tid, ok })
+                Ok(Msg::Txn(TxnMsg::PrepareDone { tid, ok }))
             }
-            Msg::Commit { tid, files } => {
+            TxnMsg::Commit { tid, files } => {
                 self.participant_commit(tid, &files, acct)?;
                 Ok(Msg::Ok)
             }
-            Msg::AbortFiles { tid, files } => {
+            TxnMsg::AbortFiles { tid, files } => {
                 self.participant_abort(tid, &files, acct)?;
                 Ok(Msg::Ok)
             }
-            Msg::AbortProc { tid, pid } => {
+            TxnMsg::AbortProc { tid, pid } => {
                 self.abort_cascade(tid, pid, acct)?;
                 Ok(Msg::Ok)
             }
-            Msg::StatusInquiry { tid } => {
+            TxnMsg::StatusInquiry { tid } => {
                 let status = self
                     .kernel
-                    .home()
+                    .home()?
                     .coord_log_get(tid, acct)
                     .map(|r| r.status);
-                Ok(Msg::StatusAnswer { status })
+                Ok(Msg::Txn(TxnMsg::StatusAnswer { status }))
             }
-            other => Err(Error::ProtocolViolation(format!(
-                "transaction manager cannot handle {other:?}"
-            ))),
+            other @ (TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }) => {
+                Err(Error::ProtocolViolation(format!(
+                    "transaction manager cannot handle {other:?}"
+                )))
+            }
         }
     }
 
@@ -507,20 +605,12 @@ impl TxnManager {
         let by_site = group_by_site(&rec.file_list.iter().copied().collect::<Vec<_>>());
         for (site, fids) in by_site {
             self.kernel.events.push(Event::AbortSent { tid, to: site });
-            let _ = self.txn_rpc(
-                site,
-                Msg::AbortFiles { tid, files: fids },
-                acct,
-            );
+            let _ = self.txn_rpc(site, TxnMsg::AbortFiles { tid, files: fids }, acct);
         }
         // Signal the children, cascading down the tree.
         for child in rec.children.iter() {
             if let Some(csite) = self.kernel.registry.lookup(*child) {
-                let _ = self.txn_rpc(
-                    csite,
-                    Msg::AbortProc { tid, pid: *child },
-                    acct,
-                );
+                let _ = self.txn_rpc(csite, TxnMsg::AbortProc { tid, pid: *child }, acct);
             }
         }
         if is_top {
@@ -571,7 +661,9 @@ impl TxnManager {
                 .collect()
         };
         for (tid, files) in to_abort {
-            let vol = self.kernel.home();
+            let Ok(vol) = self.kernel.home() else {
+                continue;
+            };
             let _ = vol.coord_log_set_status(tid, TxnStatus::Aborted, acct);
             if let Some(c) = self.coordinating.lock().get_mut(&tid) {
                 c.status = TxnStatus::Aborted;
@@ -718,12 +810,8 @@ impl TxnManager {
             let status = if rec.coordinator == self.site() {
                 vol.coord_log_get(rec.tid, acct).map(|r| r.status)
             } else {
-                match self.txn_rpc(
-                    rec.coordinator,
-                    Msg::StatusInquiry { tid: rec.tid },
-                    acct,
-                ) {
-                    Ok(Msg::StatusAnswer { status }) => status,
+                match self.txn_rpc(rec.coordinator, TxnMsg::StatusInquiry { tid: rec.tid }, acct) {
+                    Ok(Msg::Txn(TxnMsg::StatusAnswer { status })) => status,
                     _ => {
                         // Coordinator unreachable: stay in doubt, keep the
                         // log, let a later recovery pass resolve it.
@@ -759,6 +847,12 @@ impl TxnManager {
 
         // Orphaned shadow pages from crashes between allocation and logging.
         report.scavenged += vol.scavenge(acct);
+    }
+}
+
+impl TxnService for TxnManager {
+    fn handle_txn(&self, from: SiteId, req: TxnMsg, acct: &mut Account) -> Msg {
+        TxnManager::handle_txn(self, from, req, acct)
     }
 }
 

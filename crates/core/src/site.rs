@@ -19,6 +19,9 @@ pub struct Site {
 impl Site {
     pub fn new(kernel: Arc<Kernel>) -> Self {
         let txn = Arc::new(TxnManager::new(kernel.clone()));
+        // The kernel's service dispatcher routes `Msg::Txn` (standalone or
+        // inside a `Msg::Batch`) to the manager through this registration.
+        kernel.set_txn_service(txn.clone());
         Site { kernel, txn }
     }
 
@@ -46,20 +49,9 @@ impl Site {
 
 impl SiteHandler for Site {
     fn handle(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Msg {
-        match msg {
-            // Transaction control plane → the transaction manager.
-            Msg::Prepare { .. }
-            | Msg::Commit { .. }
-            | Msg::AbortFiles { .. }
-            | Msg::AbortProc { .. }
-            | Msg::StatusInquiry { .. } => {
-                if self.kernel.is_crashed() {
-                    return Msg::Err(locus_types::Error::SiteDown(self.kernel.site));
-                }
-                self.txn.handle_msg(from, msg, acct)
-            }
-            // Everything else → the kernel.
-            other => self.kernel.handle_kernel_msg(from, other, acct),
-        }
+        // All services — including the transaction control plane, which is
+        // registered with the kernel as its `TxnService` — go through the
+        // kernel's typed service dispatcher.
+        self.kernel.handle_kernel_msg(from, msg, acct)
     }
 }

@@ -21,7 +21,6 @@ pub(crate) struct TestCluster {
     pub transport: Arc<SimTransport>,
     pub events: Arc<EventLog>,
     pub counters: Arc<Counters>,
-    pub model: Arc<CostModel>,
 }
 
 impl TestCluster {
@@ -35,7 +34,12 @@ impl TestCluster {
         let events = Arc::new(EventLog::new());
         let registry = Arc::new(ProcessRegistry::new());
         let catalog = Arc::new(Catalog::new());
-        let transport = Arc::new(SimTransport::new(n, model.clone(), counters.clone()));
+        let transport = Arc::new(SimTransport::new(
+            n,
+            model.clone(),
+            counters.clone(),
+            events.clone(),
+        ));
         let mut sites = Vec::new();
         for i in 0..n {
             let sid = SiteId(i as u32);
@@ -76,7 +80,6 @@ impl TestCluster {
             transport,
             events,
             counters,
-            model,
         }
     }
 
@@ -400,7 +403,7 @@ fn coordinator_crash_before_commit_mark_aborts() {
         .iter()
         .copied()
         .collect();
-    s0.kernel.home().coord_log_put(
+    s0.kernel.home().unwrap().coord_log_put(
         &locus_types::CoordLogRecord {
             tid,
             files: files.clone(),
@@ -412,11 +415,11 @@ fn coordinator_crash_before_commit_mark_aborts() {
     s0.kernel
         .rpc(
             SiteId(1),
-            locus_net::Msg::Prepare {
+            locus_net::Msg::Txn(locus_net::TxnMsg::Prepare {
                 tid,
                 coordinator: SiteId(0),
                 files: vec![fid],
-            },
+            }),
             &mut a0,
         )
         .unwrap();
@@ -436,6 +439,7 @@ fn coordinator_crash_before_commit_mark_aborts() {
     assert!(s1
         .kernel
         .home()
+        .unwrap()
         .prepare_log_get(tid, fid, &mut r1)
         .is_none());
 }
@@ -776,7 +780,7 @@ fn duplicate_phase_two_commit_is_idempotent() {
         .kernel
         .rpc(
             SiteId(1),
-            locus_net::Msg::Commit { tid, files },
+            locus_net::Msg::Txn(locus_net::TxnMsg::Commit { tid, files }),
             &mut a0,
         )
         .unwrap();
@@ -915,7 +919,7 @@ fn member_process_end_trans_is_nested_not_commit() {
     ));
 }
 
-fn s_kernel<'a>(c: &'a TestCluster, i: usize) -> &'a Arc<locus_kernel::Kernel> {
+fn s_kernel(c: &TestCluster, i: usize) -> &Arc<locus_kernel::Kernel> {
     &c.site(i).kernel
 }
 

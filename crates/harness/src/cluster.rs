@@ -40,7 +40,12 @@ impl Cluster {
         let events = Arc::new(EventLog::new());
         let registry = Arc::new(ProcessRegistry::new());
         let catalog = Arc::new(Catalog::new());
-        let transport = Arc::new(SimTransport::new(n_sites, model.clone(), counters.clone()));
+        let transport = Arc::new(SimTransport::new(
+            n_sites,
+            model.clone(),
+            counters.clone(),
+            events.clone(),
+        ));
         let mut sites = Vec::with_capacity(n_sites);
         for i in 0..n_sites {
             let sid = SiteId(i as u32);

@@ -7,7 +7,7 @@
 //! paper-vs-measured.
 
 use locus_sim::{Account, CostModel, SimDuration};
-use locus_types::{lockmode, LockRequestMode};
+use locus_types::{lockmode, LockRequestMode, Service};
 
 use locus_kernel::LockOpts;
 
@@ -556,6 +556,186 @@ pub fn commit_path_counts(c: &Cluster) -> (u64, u64) {
     (s.pages_committed_direct, s.pages_committed_diff)
 }
 
+/// One measured phase of the [`service_breakdown`] workload.
+pub struct ServicePhase {
+    pub name: &'static str,
+    /// Network messages (a batch envelope counts as one).
+    pub messages: u64,
+    /// Batch envelopes among those messages.
+    pub batches: u64,
+    /// Logical messages per service, in `Service::ALL` order.
+    pub per_service: [u64; 6],
+    /// Foreground latency of the phase's driving activity.
+    pub latency: SimDuration,
+}
+
+/// Per-service RPC accounting over a mixed workload.
+pub struct ServiceBreakdownReport {
+    pub phases: Vec<ServicePhase>,
+    /// (service, message kind, logical messages, of which batched).
+    pub kinds: Vec<(Service, &'static str, u64, u64)>,
+    /// Whole-run (network messages, batch envelopes).
+    pub totals: (u64, u64),
+}
+
+/// Runs a mixed workload — remote file I/O, record locking, multi-site
+/// transactions, process migration — and reports, per service and per
+/// message kind, how many RPCs crossed the network and how many rode in
+/// batches. This is the operational view of the typed service layer and the
+/// batched 2PC fan-out.
+pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
+    let c = Cluster::with_model(4, model);
+    let mut phases = Vec::new();
+    let mut measure = |c: &Cluster, name: &'static str, f: &mut dyn FnMut(&Cluster) -> Account| {
+        let before = c.counters();
+        let acct = f(c);
+        let after = c.counters();
+        let per = std::array::from_fn(|i| after.service_msgs[i] - before.service_msgs[i]);
+        phases.push(ServicePhase {
+            name,
+            messages: after.messages_sent - before.messages_sent,
+            batches: after.batches_sent - before.batches_sent,
+            per_service: per,
+            latency: acct.elapsed,
+        });
+    };
+
+    // Files live at site 0; remote clients work from site 3.
+    measure(&c, "file I/O (remote)", &mut |c| {
+        let mut a0 = c.account(0);
+        let p0 = c.site(0).kernel.spawn();
+        for name in ["/d0", "/d1", "/d2", "/d3"] {
+            let ch = c.site(0).kernel.creat(p0, name, &mut a0).unwrap();
+            c.site(0).kernel.write(p0, ch, b"initial!", &mut a0).unwrap();
+            c.site(0).kernel.close(p0, ch, &mut a0).unwrap();
+        }
+        let mut a = c.account(3);
+        let p = c.site(3).kernel.spawn();
+        for name in ["/d0", "/d1", "/d2", "/d3"] {
+            let ch = c.site(3).kernel.open(p, name, true, &mut a).unwrap();
+            c.site(3).kernel.read(p, ch, 8, &mut a).unwrap();
+            c.site(3).kernel.lseek(p, ch, 0, &mut a).unwrap();
+            c.site(3).kernel.write(p, ch, b"rewrite!", &mut a).unwrap();
+            c.site(3).kernel.close(p, ch, &mut a).unwrap();
+        }
+        a
+    });
+
+    measure(&c, "record locking", &mut |c| {
+        let mut out = None;
+        for client in [1usize, 2] {
+            let mut a = c.account(client);
+            let p = c.site(client).kernel.spawn();
+            let ch = c.site(client).kernel.open(p, "/d0", true, &mut a).unwrap();
+            for _ in 0..8 {
+                c.site(client)
+                    .kernel
+                    .lock(p, ch, 4, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+                    .unwrap();
+                c.site(client).kernel.unlock(p, ch, 4, &mut a).unwrap();
+            }
+            c.site(client).kernel.close(p, ch, &mut a).unwrap();
+            out.get_or_insert(a);
+        }
+        out.unwrap()
+    });
+
+    // Multi-site transactions: coordinator at 3, storage at 1 and 2 — the
+    // batched 2PC fan-out path.
+    measure(&c, "2PC transactions", &mut |c| {
+        for (site, name) in [(1usize, "/t-a"), (2usize, "/t-b")] {
+            let mut a = c.account(site);
+            let p = c.site(site).kernel.spawn();
+            let ch = c.site(site).kernel.creat(p, name, &mut a).unwrap();
+            c.site(site).kernel.close(p, ch, &mut a).unwrap();
+        }
+        let mut a = c.account(3);
+        for round in 0..4u8 {
+            let pid = c.site(3).kernel.spawn();
+            c.site(3).txn.begin_trans(pid, &mut a).unwrap();
+            for name in ["/t-a", "/t-b"] {
+                let ch = c.site(3).kernel.open(pid, name, true, &mut a).unwrap();
+                c.site(3).kernel.write(pid, ch, &[round; 4], &mut a).unwrap();
+            }
+            c.site(3).txn.end_trans(pid, &mut a).unwrap();
+            // Retained locks release in phase two; drain before the next
+            // round re-locks the same records.
+            c.drain_async();
+        }
+        a
+    });
+
+    measure(&c, "migration + commit", &mut |c| {
+        let mut a = c.account(0);
+        let pid = c.site(0).kernel.spawn();
+        c.site(0).txn.begin_trans(pid, &mut a).unwrap();
+        let ch = c.site(0).kernel.open(pid, "/t-a", true, &mut a).unwrap();
+        c.site(0).kernel.write(pid, ch, b"mig!", &mut a).unwrap();
+        c.site(0)
+            .kernel
+            .migrate(pid, locus_types::SiteId(2), &mut a)
+            .unwrap();
+        let mut a2 = c.account(2);
+        c.site(2).txn.end_trans(pid, &mut a2).unwrap();
+        c.drain_async();
+        a
+    });
+
+    let mut kinds: std::collections::BTreeMap<(Service, &'static str), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for e in c.events.all() {
+        if let locus_sim::Event::Rpc { service, kind, batched, .. } = e {
+            let ent = kinds.entry((service, kind)).or_default();
+            ent.0 += 1;
+            ent.1 += u64::from(batched);
+        }
+    }
+    let snap = c.counters();
+    ServiceBreakdownReport {
+        phases,
+        kinds: kinds
+            .into_iter()
+            .map(|((s, k), (n, b))| (s, k, n, b))
+            .collect(),
+        totals: (snap.messages_sent, snap.batches_sent),
+    }
+}
+
+impl ServiceBreakdownReport {
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Per-service network messages, by workload phase").header([
+            "phase", "net msgs", "batches", "file", "lock", "proc", "txn", "repl", "ctrl",
+            "latency",
+        ]);
+        for p in &self.phases {
+            t.row([
+                p.name.to_string(),
+                p.messages.to_string(),
+                p.batches.to_string(),
+                p.per_service[Service::File.index()].to_string(),
+                p.per_service[Service::Lock.index()].to_string(),
+                p.per_service[Service::Proc.index()].to_string(),
+                p.per_service[Service::Txn.index()].to_string(),
+                p.per_service[Service::Replica.index()].to_string(),
+                p.per_service[Service::Control.index()].to_string(),
+                format!("{}", p.latency),
+            ]);
+        }
+        let mut k = Table::new("Per-kind RPC detail (whole run)")
+            .header(["service", "kind", "msgs", "batched"]);
+        for (svc, kind, n, b) in &self.kinds {
+            k.row([svc.name().to_string(), kind.to_string(), n.to_string(), b.to_string()]);
+        }
+        format!(
+            "{}\n{}\ntotals: {} network messages, {} batch envelopes",
+            t.render(),
+            k.render(),
+            self.totals.0,
+            self.totals.1
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,5 +841,24 @@ mod tests {
         let local = txn_throughput(CostModel::default(), 4, false);
         let remote = txn_throughput(CostModel::default(), 4, true);
         assert!(remote > local);
+    }
+
+    #[test]
+    fn service_breakdown_covers_all_exercised_services() {
+        let r = service_breakdown(CostModel::default());
+        assert_eq!(r.phases.len(), 4);
+        // Each phase exercises its namesake service.
+        let by_name: std::collections::HashMap<_, _> =
+            r.phases.iter().map(|p| (p.name, p)).collect();
+        assert!(by_name["file I/O (remote)"].per_service[Service::File.index()] > 0);
+        assert!(by_name["record locking"].per_service[Service::Lock.index()] > 0);
+        assert!(by_name["2PC transactions"].per_service[Service::Txn.index()] > 0);
+        assert!(by_name["migration + commit"].per_service[Service::Proc.index()] > 0);
+        // The batched close path and per-kind tagging are visible.
+        assert!(r.totals.1 > 0, "no batches recorded");
+        assert!(r.kinds.iter().any(|(s, k, ..)| *s == Service::Txn && *k == "Prepare"));
+        let rendered = r.render();
+        assert!(rendered.contains("Per-service network messages"));
+        assert!(rendered.contains("batch envelopes"));
     }
 }

@@ -208,6 +208,12 @@ impl<'c> Driver<'c> {
         let op = self.procs[idx].ops[self.procs[idx].pc].clone();
         let mut acct = std::mem::replace(&mut self.procs[idx].acct, Account::new(site_id));
         let mut forked: Option<(Pid, Vec<Op>, Vec<Channel>)> = None;
+        // Channel indices come from the script, not the kernel; a program
+        // that references a channel it never opened (e.g. because the open
+        // failed) gets BadChannel back rather than panicking the driver.
+        fn chan(channels: &[Channel], i: usize) -> Result<Channel> {
+            channels.get(i).copied().ok_or(Error::BadChannel)
+        }
         let res: Result<OpResult> = (|| {
             let p = &mut self.procs[idx];
             match op {
@@ -224,36 +230,36 @@ impl<'c> Driver<'c> {
                     OpResult::Channel(ch)
                 }),
                 Op::Close(i) => {
-                    let ch = p.channels[i];
+                    let ch = chan(&p.channels, i)?;
                     k.close(pid, ch, &mut acct).map(|_| OpResult::Unit)
                 }
                 Op::Seek { ch, pos } => {
-                    let ch = p.channels[ch];
+                    let ch = chan(&p.channels, ch)?;
                     k.lseek(pid, ch, pos, &mut acct).map(|_| OpResult::Unit)
                 }
                 Op::Read { ch, len } => {
-                    let ch = p.channels[ch];
+                    let ch = chan(&p.channels, ch)?;
                     k.read(pid, ch, len, &mut acct).map(OpResult::Data)
                 }
                 Op::Write { ch, data } => {
-                    let ch = p.channels[ch];
+                    let ch = chan(&p.channels, ch)?;
                     k.write(pid, ch, &data, &mut acct).map(|_| OpResult::Unit)
                 }
                 Op::Lock { ch, len, mode, opts } => {
-                    let ch = p.channels[ch];
+                    let ch = chan(&p.channels, ch)?;
                     k.lock(pid, ch, len, mode, opts, &mut acct)
                         .map(OpResult::Range)
                 }
                 Op::Unlock { ch, len } => {
-                    let ch = p.channels[ch];
+                    let ch = chan(&p.channels, ch)?;
                     k.unlock(pid, ch, len, &mut acct).map(OpResult::Range)
                 }
                 Op::AbortFile(i) => {
-                    let ch = p.channels[i];
+                    let ch = chan(&p.channels, i)?;
                     k.abort_file(pid, ch, &mut acct).map(|_| OpResult::Unit)
                 }
                 Op::CommitFile(i) => {
-                    let ch = p.channels[i];
+                    let ch = chan(&p.channels, i)?;
                     k.commit_file(pid, ch, &mut acct).map(|_| OpResult::Unit)
                 }
                 Op::BeginTrans => site.txn.begin_trans(pid, &mut acct).map(OpResult::Tid),
@@ -349,12 +355,17 @@ mod tests {
     #[test]
     fn blocked_lock_resumes_after_unlock() {
         let c = Cluster::new(1);
+        // Create the file up front so neither schedule order sees a missing
+        // file; the interleaving under test is lock/unlock, not open order.
+        let mut setup = Driver::new(&c, 1);
+        setup.spawn(0, vec![Op::Creat("/f".into()), Op::Close(0)]);
+        assert_eq!(setup.run(), RunOutcome::Completed);
         let mut d = Driver::new(&c, 7);
         // Holder locks, then unlocks; waiter queues and eventually gets it.
         d.spawn(
             0,
             vec![
-                Op::Creat("/f".into()),
+                Op::Open { name: "/f".into(), write: true },
                 Op::Lock {
                     ch: 0,
                     len: 10,

@@ -27,8 +27,14 @@ pub struct ThreadCtx {
 }
 
 impl ThreadCtx {
-    /// Spawns a fresh process at `site`.
+    /// Spawns a fresh process at `site`. The threaded driver runs processes
+    /// on real OS threads, so the site's transaction manager is switched to
+    /// parallel prepare fan-out: phase one contacts distinct participant
+    /// sites from scoped threads instead of sequentially.
     pub fn new(site: Arc<Site>) -> Self {
+        site.txn
+            .parallel_fanout
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         let pid = site.kernel.spawn();
         ThreadCtx { site, pid }
     }
@@ -183,6 +189,34 @@ mod tests {
         let ch = reader.open("/counter", false).unwrap();
         let v = reader.read(ch, 8).unwrap();
         assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 100);
+    }
+
+    #[test]
+    fn parallel_prepare_fanout_commits_multi_site_transaction() {
+        use std::sync::atomic::Ordering;
+        let c = Cluster::new(3);
+        for (i, name) in [(1usize, "/p1"), (2usize, "/p2")] {
+            let setup = ThreadCtx::new(c.site(i).clone());
+            let ch = setup.creat(name).unwrap();
+            setup.write(ch, b"old!").unwrap();
+            setup.close(ch).unwrap();
+        }
+        let ctx = ThreadCtx::new(c.site(0).clone());
+        // The threaded driver switched this site to parallel fan-out; with
+        // two participant sites the prepares go out from scoped threads.
+        assert!(c.site(0).txn.parallel_fanout.load(Ordering::Relaxed));
+        ctx.begin_trans().unwrap();
+        for name in ["/p1", "/p2"] {
+            let ch = ctx.open(name, true).unwrap();
+            ctx.write(ch, b"new!").unwrap();
+        }
+        assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
+        c.drain_async();
+        for (i, name) in [(1usize, "/p1"), (2usize, "/p2")] {
+            let reader = ThreadCtx::new(c.site(i).clone());
+            let ch = reader.open(name, false).unwrap();
+            assert_eq!(reader.read(ch, 4).unwrap(), b"new!", "{name}");
+        }
     }
 
     #[test]

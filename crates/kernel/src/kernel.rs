@@ -1,6 +1,11 @@
-//! The per-site kernel: system-call surface (open/close/read/write/lseek/
-//! lock/fork/exit/migrate) and the storage-site request handlers that serve
-//! remote kernels.
+//! The per-site kernel object: shared state (volumes, locks, processes,
+//! wakeups, lease tables) and the transport plumbing every service rides on.
+//!
+//! The system-call surface and the storage-site request handlers live in
+//! [`crate::services`], one module per subsystem (file, lock, lease, proc,
+//! replica, txn); this file owns the `Kernel` struct itself and the
+//! cross-cutting machinery: RPC/notify/batch send paths, wakeups for blocked
+//! lock requests, and failure injection.
 //!
 //! Data-plane requests for a file are processed at the file's *storage site*
 //! (its primary update site when replicated, Section 5.2); the kernel routes
@@ -14,33 +19,14 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use locus_fs::Volume;
-use locus_locks::{GrantedWaiter, LockCache, LockManager, LockOutcome, LockRequest};
+use locus_locks::{LockCache, LockManager};
 use locus_net::{Msg, SiteHandler, Transport};
 use locus_proc::{OpenFile, ProcessRegistry, ProcessTable};
 use locus_sim::{Account, CostModel, Counters, Event, EventLog};
-use locus_types::{
-    ByteRange, Channel, Error, Fid, LockClass, LockRequestMode, Owner, Pid, Result, SiteId,
-    TransId, VolumeId,
-};
+use locus_types::{Channel, Error, Fid, Owner, Pid, Result, SiteId, TransId, VolumeId};
 
-use crate::catalog::{Catalog, FileLoc};
-
-/// Options for the `Lock(file, length, mode)` system call (Section 3.2).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LockOpts {
-    /// Queue behind conflicts instead of failing immediately.
-    pub wait: bool,
-    /// Request a *non-transaction lock* (Section 3.4): same compatibility
-    /// rules, but exempt from two-phase locking even inside a transaction.
-    pub non_transaction: bool,
-    /// Interpret the range relative to end-of-file and atomically extend
-    /// (Section 3.2 append mode).
-    pub append: bool,
-}
-
-/// How many times a file-list merge or member-count update is retried around
-/// in-transit processes before giving up.
-const MERGE_RETRY_LIMIT: usize = 16;
+use crate::catalog::Catalog;
+use crate::services::{self, TxnService};
 
 /// One site's kernel.
 pub struct Kernel {
@@ -57,6 +43,9 @@ pub struct Kernel {
     pub catalog: Arc<Catalog>,
     pub cache: Arc<LockCache>,
     transport: RwLock<Option<Arc<dyn Transport>>>,
+    /// The transaction control plane serving `Msg::Txn` at this site
+    /// (registered by `locus-core` when the site assembly is built).
+    txn_service: RwLock<Option<Arc<dyn TxnService>>>,
     wakeups: Mutex<BTreeSet<Pid>>,
     wakeup_cv: Condvar,
     crashed: AtomicBool,
@@ -70,12 +59,12 @@ pub struct Kernel {
     pub lease_threshold: std::sync::atomic::AtomicU32,
     /// Storage-site view: files whose lock management is currently leased
     /// out, and to whom.
-    delegated: Mutex<std::collections::HashMap<Fid, SiteId>>,
+    pub(crate) delegated: Mutex<std::collections::HashMap<Fid, SiteId>>,
     /// Delegate view: files whose lock lists this site currently manages on
     /// behalf of their storage sites.
-    leased: Mutex<std::collections::HashSet<Fid>>,
+    pub(crate) leased: Mutex<std::collections::HashSet<Fid>>,
     /// Storage-site streak tracking for the delegation trigger.
-    lock_streaks: Mutex<std::collections::HashMap<Fid, (SiteId, u32)>>,
+    pub(crate) lock_streaks: Mutex<std::collections::HashMap<Fid, (SiteId, u32)>>,
 }
 
 impl Kernel {
@@ -108,6 +97,7 @@ impl Kernel {
             catalog,
             cache: Arc::new(LockCache::new()),
             transport: RwLock::new(None),
+            txn_service: RwLock::new(None),
             wakeups: Mutex::new(BTreeSet::new()),
             wakeup_cv: Condvar::new(),
             crashed: AtomicBool::new(false),
@@ -125,6 +115,19 @@ impl Kernel {
         *self.transport.write() = Some(t);
     }
 
+    /// Registers the transaction control plane that serves `Msg::Txn`
+    /// requests addressed to this site.
+    pub fn set_txn_service(&self, s: Arc<dyn TxnService>) {
+        *self.txn_service.write() = Some(s);
+    }
+
+    pub(crate) fn txn_service_ref(&self) -> Result<Arc<dyn TxnService>> {
+        self.txn_service
+            .read()
+            .clone()
+            .ok_or_else(|| Error::ProtocolViolation("no transaction service registered".into()))
+    }
+
     /// Mounts an additional volume (a replica of another site's filesystem).
     pub fn mount(&self, v: Arc<Volume>) {
         self.volumes.write().insert(v.id(), v);
@@ -139,9 +142,11 @@ impl Kernel {
             .ok_or(Error::StaleFid(Fid::new(id, 0)))
     }
 
-    /// The home volume.
-    pub fn home(&self) -> Arc<Volume> {
-        self.volume(self.home_volume).expect("home volume mounted")
+    /// The home volume. Fails (rather than panicking) if the home volume was
+    /// somehow unmounted — the error surfaces as `Msg::Err` to remote
+    /// callers instead of poisoning the serving thread.
+    pub fn home(&self) -> Result<Arc<Volume>> {
+        self.volume(self.home_volume)
     }
 
     /// Every volume currently mounted at this site (recovery scans them
@@ -161,7 +166,7 @@ impl Kernel {
             .ok_or_else(|| Error::ProtocolViolation("transport not wired".into()))
     }
 
-    fn check_up(&self) -> Result<()> {
+    pub(crate) fn check_up(&self) -> Result<()> {
         if self.crashed.load(Ordering::Relaxed) {
             Err(Error::Crashed(self.site))
         } else {
@@ -188,202 +193,42 @@ impl Kernel {
         self.transport_ref()?.notify(self.site, to, msg, acct)
     }
 
-    // ----- Syscalls: processes ---------------------------------------------
+    /// Sends several messages to one site as a single network message
+    /// ([`Msg::Batch`]: one round trip) and returns the per-message
+    /// responses positionally. A single message is sent unbatched; the first
+    /// member-level error, if any, is surfaced as the call's error after the
+    /// whole batch was processed at the destination.
+    pub fn rpc_batch(&self, to: SiteId, msgs: Vec<Msg>, acct: &mut Account) -> Result<Vec<Msg>> {
+        match msgs.len() {
+            0 => Ok(Vec::new()),
+            1 => {
+                let msg = msgs.into_iter().next().ok_or(Error::ProtocolViolation(
+                    "batch length changed underfoot".into(),
+                ))?;
+                Ok(vec![self.rpc(to, msg, acct)?])
+            }
+            _ => match self.rpc(to, Msg::Batch(msgs), acct)? {
+                Msg::Batch(resps) => {
+                    let mut out = Vec::with_capacity(resps.len());
+                    for r in resps {
+                        out.push(r.into_result()?);
+                    }
+                    Ok(out)
+                }
+                other => Err(Error::ProtocolViolation(format!(
+                    "unexpected batch response {other:?}"
+                ))),
+            },
+        }
+    }
+
+    // ----- Process/channel bookkeeping shared by the services ---------------
 
     /// Creates a fresh top-level process at this site.
     pub fn spawn(&self) -> Pid {
         let pid = self.procs.spawn();
         self.registry.set(pid, self.site);
         pid
-    }
-
-    /// Forks `pid`, inheriting open files and transaction membership
-    /// (Section 3.1). The new process runs at this site.
-    pub fn fork(&self, pid: Pid, acct: &mut Account) -> Result<Pid> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let child = self.procs.fork(pid)?;
-        self.registry.set(child, self.site);
-        let rec = self.procs.get(child).expect("just forked");
-        if let (Some(tid), Some(top)) = (rec.tid, rec.top) {
-            self.send_member_delta(tid, top, 1, acct)?;
-        }
-        Ok(child)
-    }
-
-    /// Migrates a process to `dest` (Section 4.1). The process must be idle
-    /// (between system calls) — migration appears atomic to the rest of the
-    /// protocol thanks to the in-transit marking.
-    pub fn migrate(&self, pid: Pid, dest: SiteId, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        if dest == self.site {
-            return Ok(());
-        }
-        let blob = self.procs.begin_migrate(pid)?;
-        self.events.push(Event::MigrateStart {
-            pid,
-            from: self.site,
-            to: dest,
-        });
-        match self.rpc(dest, Msg::MigrateReq { pid, blob }, acct) {
-            Ok(_) => {
-                self.procs.finish_migrate_out(pid);
-                self.registry.set(pid, dest);
-                self.counters.migrations();
-                self.events.push(Event::MigrateEnd { pid, at: dest });
-                Ok(())
-            }
-            Err(e) => {
-                // Destination unreachable: the process resumes here.
-                self.procs.cancel_migrate(pid);
-                Err(e)
-            }
-        }
-    }
-
-    /// Terminates a process: closes its files (committing non-transaction
-    /// changes, Unix-style), releases its process-owned locks, merges its
-    /// file-list toward the transaction's top-level process, and unlinks it
-    /// from the process tree.
-    pub fn exit(&self, pid: Pid, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let rec = self.procs.get(pid).ok_or(Error::NoSuchProcess(pid))?;
-        let in_txn = rec.tid.is_some();
-        for of in rec.open_files.values() {
-            if !in_txn {
-                // Base Locus commits files atomically as its default mode.
-                acct.cpu_instrs(&self.model, self.model.commit_requester_instrs);
-                let _ = self.rpc(
-                    of.storage_site,
-                    Msg::CommitFileReq {
-                        fid: of.fid,
-                        owner: Owner::Proc(pid),
-                    },
-                    acct,
-                );
-            }
-            let _ = self.rpc(
-                of.storage_site,
-                Msg::UnlockAllReq { fid: of.fid, pid },
-                acct,
-            );
-        }
-        self.cache.drop_owner(Owner::Proc(pid));
-        // A transaction member reports its completion and its file-list to
-        // the top-level process (Section 4.1).
-        if let (Some(tid), Some(top)) = (rec.tid, rec.top) {
-            if top != pid {
-                let entries: Vec<_> = rec.file_list.iter().copied().collect();
-                self.merge_file_list_with_retry(tid, top, pid, entries, acct)?;
-                self.send_member_delta(tid, top, -1, acct)?;
-            }
-        }
-        // Unlink from the parent's children set.
-        if let Some(parent) = rec.parent {
-            if let Some(psite) = self.registry.lookup(parent) {
-                let _ = self.notify(
-                    psite,
-                    Msg::ChildExited {
-                        tid: rec.tid.unwrap_or(TransId::new(self.site, 0)),
-                        top: parent,
-                        child: pid,
-                    },
-                    acct,
-                );
-            }
-        }
-        self.procs.remove(pid);
-        self.registry.remove(pid);
-        let granted = self.locks.drop_waiters_of(pid);
-        self.push_grants(granted, acct);
-        Ok(())
-    }
-
-    /// Sends a completed child's file-list to the top-level process, with
-    /// the bounce-and-retry protocol around in-transit targets
-    /// (Section 4.1).
-    pub fn merge_file_list_with_retry(
-        &self,
-        tid: TransId,
-        top: Pid,
-        from: Pid,
-        entries: Vec<locus_types::FileListEntry>,
-        acct: &mut Account,
-    ) -> Result<()> {
-        if entries.is_empty() {
-            return Ok(());
-        }
-        for _ in 0..MERGE_RETRY_LIMIT {
-            let site = self
-                .registry
-                .lookup(top)
-                .ok_or(Error::NoSuchProcess(top))?;
-            match self.rpc(
-                site,
-                Msg::FileListMerge {
-                    tid,
-                    top,
-                    from,
-                    entries: entries.clone(),
-                },
-                acct,
-            ) {
-                Ok(_) => {
-                    self.counters.file_list_merges();
-                    self.events.push(Event::FileListMerged { tid, from });
-                    return Ok(());
-                }
-                Err(Error::InTransit(_)) | Err(Error::NoSuchProcess(_)) => {
-                    // The top-level process is migrating (or already moved):
-                    // re-resolve and retry (Section 4.1's failure message).
-                    self.counters.file_list_retries();
-                    self.events.push(Event::FileListRetry { tid, from });
-                    continue;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Err(Error::ProtocolViolation(format!(
-            "file-list merge for {tid} could not reach {top}"
-        )))
-    }
-
-    fn send_member_delta(
-        &self,
-        tid: TransId,
-        top: Pid,
-        delta: i64,
-        acct: &mut Account,
-    ) -> Result<()> {
-        for _ in 0..MERGE_RETRY_LIMIT {
-            let site = self
-                .registry
-                .lookup(top)
-                .ok_or(Error::NoSuchProcess(top))?;
-            let msg = if delta >= 0 {
-                Msg::MemberAdded { tid, top }
-            } else {
-                Msg::MemberExited { tid, top }
-            };
-            match self.rpc(site, msg, acct) {
-                Ok(_) => return Ok(()),
-                Err(Error::InTransit(_)) | Err(Error::NoSuchProcess(_)) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(Error::ProtocolViolation(format!(
-            "member update for {tid} could not reach {top}"
-        )))
-    }
-
-    // ----- Syscalls: files --------------------------------------------------
-
-    fn with_channel(&self, pid: Pid, ch: Channel) -> Result<(OpenFile, Option<TransId>)> {
-        let rec = self.procs.get(pid).ok_or(Error::NoSuchProcess(pid))?;
-        let of = rec.open_files.get(&ch).copied().ok_or(Error::BadChannel)?;
-        Ok((of, rec.tid))
     }
 
     /// The synchronization owner a process acts as (its transaction, if any).
@@ -394,711 +239,23 @@ impl Kernel {
         }
     }
 
-    /// Creates a file on this site's home volume and opens it read/write.
-    pub fn creat(&self, pid: Pid, name: &str, acct: &mut Account) -> Result<Channel> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4); // Name mapping is expensive.
-        let fid = self.home().create_file(acct)?;
-        self.catalog.register(
-            name,
-            FileLoc {
-                fid,
-                sites: vec![self.site],
-                primary: self.site,
-            },
-        )?;
-        self.locks.ensure_file(fid, 0);
-        self.open_fid(pid, fid, self.site, true, false, acct)
+    pub(crate) fn with_channel(&self, pid: Pid, ch: Channel) -> Result<(OpenFile, Option<TransId>)> {
+        let rec = self.procs.get(pid).ok_or(Error::NoSuchProcess(pid))?;
+        let of = rec.open_files.get(&ch).copied().ok_or(Error::BadChannel)?;
+        Ok((of, rec.tid))
     }
 
-    /// Opens a file by name. Name mapping happens once here; subsequent
-    /// lock/read/write calls skip it (Section 3.2).
-    pub fn open(&self, pid: Pid, name: &str, write: bool, acct: &mut Account) -> Result<Channel> {
-        self.open_with(pid, name, write, false, acct)
-    }
+    // ----- Request dispatch ---------------------------------------------------
 
-    /// Opens with Section 3.2 append mode: future lock requests on the
-    /// channel are interpreted relative to end-of-file.
-    pub fn open_append(&self, pid: Pid, name: &str, acct: &mut Account) -> Result<Channel> {
-        self.open_with(pid, name, true, true, acct)
-    }
-
-    fn open_with(
-        &self,
-        pid: Pid,
-        name: &str,
-        write: bool,
-        append: bool,
-        acct: &mut Account,
-    ) -> Result<Channel> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4);
-        let loc = self.catalog.resolve(name)?;
-        // Reads may be served by a closer replica; updates are funneled to
-        // the primary update site (Section 5.2).
-        let serving = if !write && loc.sites.contains(&self.site) {
-            self.site
-        } else {
-            loc.primary
-        };
-        self.open_fid(pid, loc.fid, serving, write, append, acct)
-    }
-
-    fn open_fid(
-        &self,
-        pid: Pid,
-        fid: Fid,
-        serving: SiteId,
-        write: bool,
-        append: bool,
-        acct: &mut Account,
-    ) -> Result<Channel> {
-        let resp = self.rpc(serving, Msg::OpenReq { fid, pid, write }, acct)?;
-        let len = match resp {
-            Msg::OpenResp { len } => len,
-            other => {
-                return Err(Error::ProtocolViolation(format!(
-                    "unexpected open response {other:?}"
-                )))
-            }
-        };
-        let pos = if append { len } else { 0 };
-        self.procs.with_mut(pid, |rec| {
-            let ch = rec.add_open(OpenFile {
-                fid,
-                storage_site: serving,
-                pos,
-                append,
-                write,
-            });
-            if rec.tid.is_some() {
-                rec.note_file(fid, serving);
-            }
-            ch
-        })
-    }
-
-    /// Closes a channel. Outside a transaction this commits the process's
-    /// changes to the file (base Locus' atomic file update) and releases its
-    /// locks; inside a transaction, changes and locks belong to the
-    /// transaction and persist until its outcome.
-    pub fn close(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let (of, tid) = self.with_channel(pid, ch)?;
-        if tid.is_none() {
-            acct.cpu_instrs(&self.model, self.model.commit_requester_instrs);
-            self.rpc(
-                of.storage_site,
-                Msg::CommitFileReq {
-                    fid: of.fid,
-                    owner: Owner::Proc(pid),
-                },
-                acct,
-            )?;
-            self.rpc(
-                of.storage_site,
-                Msg::UnlockAllReq { fid: of.fid, pid },
-                acct,
-            )?;
-            self.cache.remove(of.fid, Owner::Proc(pid), ByteRange::new(0, u64::MAX));
-        }
-        self.procs.with_mut(pid, |rec| {
-            rec.open_files.remove(&ch);
-        })?;
-        Ok(())
-    }
-
-    /// Repositions the file pointer.
-    pub fn lseek(&self, pid: Pid, ch: Channel, pos: u64, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        self.with_channel(pid, ch)?;
-        self.procs.with_mut(pid, |rec| {
-            if let Some(of) = rec.open_files.get_mut(&ch) {
-                of.pos = pos;
-            }
-        })
-    }
-
-    /// Reads `len` bytes at the current position. Transactions lock
-    /// implicitly ("implicitly (at the time of record access)",
-    /// Section 3.1); a queued implicit lock surfaces as
-    /// [`Error::WouldBlock`] and the caller retries after its wakeup.
-    pub fn read(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<Vec<u8>> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let (of, tid) = self.with_channel(pid, ch)?;
-        let range = ByteRange::new(of.pos, len);
-        if tid.is_some() {
-            self.ensure_locked(pid, ch, &of, range, false, acct)?;
-        }
-        let owner = self.owner_of(pid);
-        let resp = self.rpc(
-            of.storage_site,
-            Msg::ReadReq {
-                fid: of.fid,
-                pid,
-                owner,
-                range,
-            },
-            acct,
-        )?;
-        let data = match resp {
-            Msg::ReadResp { data } => data,
-            other => {
-                return Err(Error::ProtocolViolation(format!(
-                    "unexpected read response {other:?}"
-                )))
-            }
-        };
-        self.procs.with_mut(pid, |rec| {
-            if let Some(of) = rec.open_files.get_mut(&ch) {
-                of.pos += data.len() as u64;
-            }
-        })?;
-        Ok(data)
-    }
-
-    /// Writes `data` at the current position. Requires write-mode open;
-    /// transactions lock the range exclusively, implicitly.
-    pub fn write(&self, pid: Pid, ch: Channel, data: &[u8], acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let (of, tid) = self.with_channel(pid, ch)?;
-        if !of.write {
-            return Err(Error::PermissionDenied { fid: of.fid });
-        }
-        let range = ByteRange::new(of.pos, data.len() as u64);
-        if tid.is_some() {
-            self.ensure_locked(pid, ch, &of, range, true, acct)?;
-        }
-        let owner = self.owner_of(pid);
-        self.rpc(
-            of.storage_site,
-            Msg::WriteReq {
-                fid: of.fid,
-                pid,
-                owner,
-                range,
-                data: data.to_vec(),
-            },
-            acct,
-        )?;
-        self.procs.with_mut(pid, |rec| {
-            if let Some(of) = rec.open_files.get_mut(&ch) {
-                of.pos = range.end();
-            }
-            if rec.tid.is_some() {
-                // Lazily added for files opened before BeginTrans but used
-                // within the transaction.
-                let serving = of.storage_site;
-                rec.note_file(of.fid, serving);
-            }
-        })?;
-        Ok(())
-    }
-
-    /// Implicit two-phase locking on data access for transaction processes.
-    fn ensure_locked(
-        &self,
-        pid: Pid,
-        ch: Channel,
-        of: &OpenFile,
-        range: ByteRange,
-        write: bool,
-        acct: &mut Account,
-    ) -> Result<()> {
-        let owner = self.owner_of(pid);
-        if self.cache.covers(of.fid, owner, range, write) {
-            self.counters.lock_cache_hits();
-            acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
-            return Ok(());
-        }
-        let mode = if write {
-            LockRequestMode::Exclusive
-        } else {
-            LockRequestMode::Shared
-        };
-        let mut temp_of = *of;
-        temp_of.pos = range.start;
-        temp_of.append = false;
-        self.lock_channel(pid, ch, &temp_of, range.len, mode, LockOpts { wait: true, ..LockOpts::default() }, acct)
-            .map(|_| ())
-    }
-
-    /// The `Lock(file, length, mode)` system call (Section 3.2). The range
-    /// starts at the channel's current file pointer. Returns the effective
-    /// locked range (append-mode locks land at end-of-file).
-    pub fn lock(
-        &self,
-        pid: Pid,
-        ch: Channel,
-        len: u64,
-        mode: LockRequestMode,
-        opts: LockOpts,
-        acct: &mut Account,
-    ) -> Result<ByteRange> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let (of, _) = self.with_channel(pid, ch)?;
-        // Policy (Section 3.1): enforced locks can deny access, so a process
-        // must have write access to the file to issue locking requests.
-        if !of.write {
-            return Err(Error::PermissionDenied { fid: of.fid });
-        }
-        self.lock_channel(pid, ch, &of, len, mode, opts, acct)
-    }
-
-    fn lock_channel(
-        &self,
-        pid: Pid,
-        ch: Channel,
-        of: &OpenFile,
-        len: u64,
-        mode: LockRequestMode,
-        opts: LockOpts,
-        acct: &mut Account,
-    ) -> Result<ByteRange> {
-        let rec_tid = self.procs.get(pid).and_then(|r| r.tid);
-        let class = if opts.non_transaction || rec_tid.is_none() {
-            LockClass::NonTransaction
-        } else {
-            LockClass::Transaction
-        };
-        // Unlock requests address already-held ranges at the current file
-        // pointer; only acquisitions are placed append-relative.
-        let append = (opts.append || of.append) && mode != LockRequestMode::Unlock;
-        let start = if append { 0 } else { of.pos };
-        let req = LockRequest {
-            pid,
-            tid: rec_tid,
-            class,
-            mode,
-            range: ByteRange::new(start, len),
-            append,
-            wait: opts.wait,
-            reply_site: self.site,
-        };
-        let owner = req.owner();
-        // Section 5.2 lock-control migration: if this site holds the lease
-        // on the file's lock list, the request is processed locally.
-        let target = if self.leased.lock().contains(&of.fid) {
-            self.site
-        } else {
-            of.storage_site
-        };
-        let resp = self.rpc(
-            target,
-            Msg::LockReq {
-                fid: of.fid,
-                pid: req.pid,
-                tid: req.tid,
-                mode: req.mode,
-                class: req.class,
-                range: req.range,
-                append: req.append,
-                wait: req.wait,
-                reply_site: req.reply_site,
-            },
-            acct,
-        )?;
-        match resp {
-            Msg::LockResp { granted } => {
-                match mode.as_mode() {
-                    Some(m) => self.cache.insert(of.fid, owner, m, granted),
-                    None => self.cache.remove(of.fid, owner, granted),
-                }
-                self.procs.with_mut(pid, |rec| {
-                    if rec.tid.is_some() {
-                        rec.note_file(of.fid, of.storage_site);
-                    }
-                    if append && mode != LockRequestMode::Unlock {
-                        // Position the pointer at the locked area so the
-                        // following write lands under the lock.
-                        if let Some(o) = rec.open_files.get_mut(&ch) {
-                            o.pos = granted.start;
-                        }
-                    }
-                })?;
-                Ok(granted)
-            }
-            other => Err(Error::ProtocolViolation(format!(
-                "unexpected lock response {other:?}"
-            ))),
-        }
-    }
-
-    /// Unlocks `len` bytes at the current position (transaction locks are
-    /// retained rather than released, Section 3.3).
-    pub fn unlock(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<ByteRange> {
-        self.lock(pid, ch, len, LockRequestMode::Unlock, LockOpts::default(), acct)
-    }
-
-    /// Explicitly aborts (rolls back) this process's uncommitted changes to
-    /// an open file — the non-transaction `abort x` of Figure 2.
-    pub fn abort_file(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        let (of, _) = self.with_channel(pid, ch)?;
-        self.rpc(
-            of.storage_site,
-            Msg::AbortFileReq {
-                fid: of.fid,
-                owner: Owner::Proc(pid),
-            },
-            acct,
-        )?;
-        Ok(())
-    }
-
-    /// Commits this process's changes to an open file immediately (fsync-like
-    /// single-file commit for non-transaction processes).
-    pub fn commit_file(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
-        self.check_up()?;
-        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
-        // Figure 6: the requesting site's kernel does the bulk of the
-        // commit processing (~7200 instructions in the paper's remote rows).
-        acct.cpu_instrs(&self.model, self.model.commit_requester_instrs);
-        let (of, _) = self.with_channel(pid, ch)?;
-        self.rpc(
-            of.storage_site,
-            Msg::CommitFileReq {
-                fid: of.fid,
-                owner: Owner::Proc(pid),
-            },
-            acct,
-        )?;
-        Ok(())
-    }
-
-    // ----- Storage-site message handlers ------------------------------------
-
-    /// Handles a kernel-level message at this (storage) site.
+    /// Handles a kernel-level message at this (storage) site by routing it to
+    /// the owning service handler.
     pub fn handle_kernel_msg(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Msg {
         if self.check_up().is_err() {
             return Msg::Err(Error::SiteDown(self.site));
         }
-        match self.dispatch(from, msg, acct) {
+        match services::dispatch(self, from, msg, acct) {
             Ok(m) => m,
             Err(e) => Msg::Err(e),
-        }
-    }
-
-    fn dispatch(&self, from: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
-        match msg {
-            Msg::OpenReq { fid, pid: _, write: _ } => {
-                let vol = self.volume(fid.volume)?;
-                let len = vol.len(fid, acct)?;
-                self.locks.ensure_file(fid, len);
-                Ok(Msg::OpenResp { len })
-            }
-            Msg::ReadReq {
-                fid,
-                pid,
-                owner,
-                range,
-            } => {
-                self.locks.validate_access(fid, owner, pid, range, false)?;
-                let vol = self.volume(fid.volume)?;
-                let data = vol.read(fid, range, acct)?;
-                Ok(Msg::ReadResp { data })
-            }
-            Msg::WriteReq {
-                fid,
-                pid,
-                owner,
-                range,
-                data,
-            } => {
-                self.locks.validate_access(fid, owner, pid, range, true)?;
-                let vol = self.volume(fid.volume)?;
-                let new_len = vol.write(fid, owner, range, &data, acct)?;
-                self.locks.set_eof(fid, new_len);
-                Ok(Msg::WriteResp { new_len })
-            }
-            Msg::LockReq {
-                fid,
-                pid,
-                tid,
-                mode,
-                class,
-                range,
-                append,
-                wait,
-                reply_site,
-            } => {
-                let req = LockRequest {
-                    pid,
-                    tid,
-                    class,
-                    mode,
-                    range,
-                    append,
-                    wait,
-                    reply_site,
-                };
-                if self.leased.lock().contains(&fid) {
-                    // This site is the delegate: grant from the leased list.
-                    return self.delegate_lock(fid, req, acct);
-                }
-                // Storage site: if the lease is out and someone other than
-                // the delegate is asking, the locking pattern changed —
-                // recall the lease first (Section 5.2: control "would
-                // migrate if the locking patterns changed").
-                self.reclaim_lease(fid, acct)?;
-                let out = self.storage_site_lock(fid, req, acct);
-                if out.is_ok() {
-                    self.maybe_delegate(fid, from, acct);
-                }
-                out
-            }
-            Msg::LockLeaseGrant { fid, state } => {
-                self.locks.import_file(fid, &state)?;
-                self.leased.lock().insert(fid);
-                Ok(Msg::Ok)
-            }
-            Msg::LockLeaseRecall { fid } => {
-                self.leased.lock().remove(&fid);
-                match self.locks.remove_file(fid) {
-                    Some(state) => Ok(Msg::LockLeaseState { state }),
-                    None => Err(Error::StaleFid(fid)),
-                }
-            }
-            Msg::UnlockAllReq { fid, pid } => {
-                self.reclaim_lease(fid, acct)?;
-                let granted =
-                    self.locks
-                        .release_owner_file(fid, Owner::Proc(pid), acct);
-                self.push_grants(granted, acct);
-                Ok(Msg::Ok)
-            }
-            Msg::PrefetchReq { fid, pages } => {
-                let vol = self.volume(fid.volume)?;
-                for p in pages {
-                    let _ = vol.prefetch_page(fid, p, acct);
-                    self.counters.prefetches();
-                }
-                Ok(Msg::Ok)
-            }
-            Msg::CommitFileReq { fid, owner } => {
-                self.reclaim_lease(fid, acct)?;
-                acct.cpu_instrs(&self.model, self.model.commit_storage_instrs);
-                let vol = self.volume(fid.volume)?;
-                let il = vol.commit_file(fid, owner, acct)?;
-                self.locks.set_eof(fid, il.new_len.max(vol.len(fid, acct)?));
-                self.sync_replicas(fid, &il, acct)?;
-                Ok(Msg::Ok)
-            }
-            Msg::AbortFileReq { fid, owner } => {
-                self.reclaim_lease(fid, acct)?;
-                let vol = self.volume(fid.volume)?;
-                vol.abort_owner(fid, owner, acct)?;
-                Ok(Msg::Ok)
-            }
-            Msg::ReplicaSync {
-                fid,
-                new_len,
-                pages,
-            } => {
-                let vol = self.volume(fid.volume)?;
-                vol.replica_install(fid, new_len, &pages, acct)?;
-                Ok(Msg::Ok)
-            }
-            Msg::MigrateReq { pid: _, blob } => {
-                let pid = self.procs.finish_migrate_in(&blob)?;
-                self.registry.set(pid, self.site);
-                Ok(Msg::Ok)
-            }
-            Msg::FileListMerge {
-                tid: _,
-                top,
-                from: _,
-                entries,
-            } => {
-                self.procs.merge_file_list(top, &entries)?;
-                Ok(Msg::Ok)
-            }
-            Msg::MemberAdded { tid: _, top } => {
-                self.procs.adjust_members(top, 1)?;
-                Ok(Msg::Ok)
-            }
-            Msg::MemberExited { tid: _, top } => {
-                self.procs.adjust_members(top, -1)?;
-                // The top-level process may be blocked in EndTrans waiting
-                // for its children to complete (Section 4.2).
-                self.wake(top);
-                Ok(Msg::Ok)
-            }
-            Msg::ChildExited { top, child, .. } => {
-                // `top` carries the parent pid for tree unlinking.
-                let _ = self.procs.with_mut(top, |rec| {
-                    rec.children.remove(&child);
-                });
-                Ok(Msg::Ok)
-            }
-            Msg::LockGranted { fid, pid, range } => {
-                // A queued request of a local process was granted at the
-                // storage site; wake the process so it retries its call.
-                let _ = (fid, range);
-                self.wakeups.lock().insert(pid);
-                self.wakeup_cv.notify_all();
-                Ok(Msg::Ok)
-            }
-            other => Err(Error::ProtocolViolation(format!(
-                "kernel cannot handle {other:?} (from {from})"
-            ))),
-        }
-    }
-
-    /// Storage-site lock processing: grant/deny/queue, then apply the
-    /// Section 3.3 rule-2 adoption of modified-uncommitted records.
-    fn storage_site_lock(&self, fid: Fid, req: LockRequest, acct: &mut Account) -> Result<Msg> {
-        let vol = self.volume(fid.volume)?;
-        self.locks.ensure_file(fid, vol.len(fid, acct)?);
-        let owner = req.owner();
-        let is_txn_lock = owner.is_transaction();
-        let is_unlock = req.mode == LockRequestMode::Unlock;
-        match self.locks.request(fid, req, acct) {
-            LockOutcome::Granted { range } => {
-                if is_txn_lock && !is_unlock {
-                    // Rule 2: a transaction locking modified-but-uncommitted
-                    // records adopts them — they are pinned and committed (or
-                    // aborted) with the transaction.
-                    let mods = vol.uncommitted_mods_overlapping(fid, range, owner);
-                    if !mods.is_empty() {
-                        vol.adopt(fid, range, owner);
-                        self.locks.pin_retained(fid, owner, range);
-                    }
-                }
-                if !is_unlock && self.prefetch_on_lock.load(Ordering::Relaxed) {
-                    // Section 5.2: prefetch the locked pages in anticipation
-                    // of their use. Charged to a background account — the
-                    // point of the optimization is to overlap this I/O with
-                    // the requester's network round trip.
-                    let mut bg = Account::new(self.site);
-                    for p in range.pages(self.model.page_size) {
-                        if vol.prefetch_page(fid, p, &mut bg).unwrap_or(false) {
-                            self.counters.prefetches();
-                        }
-                    }
-                }
-                // Unlock may unblock queued waiters.
-                if is_unlock {
-                    let granted = self.locks.pump_file(fid, acct);
-                    self.push_grants(granted, acct);
-                }
-                Ok(Msg::LockResp { granted: range })
-            }
-            LockOutcome::Denied { conflicting } => Err(Error::LockConflict {
-                fid,
-                range: conflicting,
-            }),
-            LockOutcome::Queued => Err(Error::WouldBlock {
-                fid,
-                range: ByteRange::new(0, 0),
-            }),
-        }
-    }
-
-    /// Processes a lock request against a leased lock list (the delegate
-    /// side of lock-control migration). No volume is available here, so the
-    /// Section 3.3 rule-2 adoption check and prefetch are skipped — the
-    /// optimization targets lock-intensive patterns where the data plane is
-    /// quiet; a commit or unlock-all recalls the lease and restores full
-    /// semantics at the storage site.
-    fn delegate_lock(&self, fid: Fid, req: LockRequest, acct: &mut Account) -> Result<Msg> {
-        let is_unlock = req.mode == LockRequestMode::Unlock;
-        match self.locks.request(fid, req, acct) {
-            LockOutcome::Granted { range } => {
-                if is_unlock {
-                    let granted = self.locks.pump_file(fid, acct);
-                    self.push_grants(granted, acct);
-                }
-                Ok(Msg::LockResp { granted: range })
-            }
-            LockOutcome::Denied { conflicting } => Err(Error::LockConflict {
-                fid,
-                range: conflicting,
-            }),
-            LockOutcome::Queued => Err(Error::WouldBlock {
-                fid,
-                range: ByteRange::new(0, 0),
-            }),
-        }
-    }
-
-    /// Storage-site delegation trigger: after `lease_threshold` consecutive
-    /// remote lock requests from one site, lease that file's lock management
-    /// to it.
-    fn maybe_delegate(&self, fid: Fid, from: SiteId, acct: &mut Account) {
-        let threshold = self.lease_threshold.load(Ordering::Relaxed);
-        if threshold == 0 || from == self.site {
-            if from == self.site {
-                self.lock_streaks.lock().remove(&fid);
-            }
-            return;
-        }
-        let streak = {
-            let mut streaks = self.lock_streaks.lock();
-            let entry = streaks.entry(fid).or_insert((from, 0));
-            if entry.0 == from {
-                entry.1 += 1;
-            } else {
-                *entry = (from, 1);
-            }
-            entry.1
-        };
-        if streak < threshold {
-            return;
-        }
-        let Some(state) = self.locks.export_file(fid) else {
-            return;
-        };
-        if self
-            .rpc(from, Msg::LockLeaseGrant { fid, state }, acct)
-            .is_ok()
-        {
-            // The local list stays as a conservative snapshot for data-access
-            // validation; the delegate's copy is now authoritative.
-            self.delegated.lock().insert(fid, from);
-            self.lock_streaks.lock().remove(&fid);
-        }
-    }
-
-    /// Recalls an outstanding lock lease for `fid`, re-importing the
-    /// authoritative lock list. If the delegate has crashed, the local
-    /// snapshot (grants as of delegation; the dead site's processes are gone
-    /// anyway) remains in force.
-    pub fn reclaim_lease(&self, fid: Fid, acct: &mut Account) -> Result<()> {
-        let delegate = self.delegated.lock().get(&fid).copied();
-        let Some(site) = delegate else {
-            return Ok(());
-        };
-        match self.rpc(site, Msg::LockLeaseRecall { fid }, acct) {
-            Ok(Msg::LockLeaseState { state }) => {
-                self.locks.import_file(fid, &state)?;
-            }
-            Ok(_) | Err(_) => {
-                // Delegate unreachable or lost the lease: fall back to the
-                // local snapshot.
-            }
-        }
-        self.delegated.lock().remove(&fid);
-        self.lock_streaks.lock().remove(&fid);
-        Ok(())
-    }
-
-    /// Pushes grant notifications to the requesting sites of newly granted
-    /// waiters.
-    pub fn push_grants(&self, granted: Vec<GrantedWaiter>, acct: &mut Account) {
-        for g in granted {
-            let msg = Msg::LockGranted {
-                fid: g.fid,
-                pid: g.waiter.request.pid,
-                range: g.range,
-            };
-            let _ = self.notify(g.waiter.request.reply_site, msg, acct);
         }
     }
 
@@ -1133,48 +290,6 @@ impl Kernel {
     pub fn wake(&self, pid: Pid) {
         self.wakeups.lock().insert(pid);
         self.wakeup_cv.notify_all();
-    }
-
-    // ----- Replication ------------------------------------------------------
-
-    /// Pushes the committed image of the pages in `il` to the other replica
-    /// sites (primary-site update strategy, Section 5.2).
-    pub fn sync_replicas(
-        &self,
-        fid: Fid,
-        il: &locus_types::IntentionsList,
-        acct: &mut Account,
-    ) -> Result<()> {
-        if il.is_empty() {
-            return Ok(());
-        }
-        let Some(loc) = self.catalog.loc_of(fid) else {
-            return Ok(());
-        };
-        let others: Vec<SiteId> = loc
-            .sites
-            .iter()
-            .copied()
-            .filter(|s| *s != self.site)
-            .collect();
-        if others.is_empty() {
-            return Ok(());
-        }
-        let vol = self.volume(fid.volume)?;
-        let pages: Vec<_> = il.entries.iter().map(|e| e.page).collect();
-        let data = vol.committed_pages(fid, &pages, acct)?;
-        for site in others {
-            let _ = self.notify(
-                site,
-                Msg::ReplicaSync {
-                    fid,
-                    new_len: il.new_len,
-                    pages: data.clone(),
-                },
-                acct,
-            );
-        }
-        Ok(())
     }
 
     // ----- Failure injection --------------------------------------------------

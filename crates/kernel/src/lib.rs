@@ -11,9 +11,11 @@
 
 pub mod catalog;
 pub mod kernel;
+pub mod services;
 
 pub use catalog::{Catalog, FileLoc};
-pub use kernel::{Kernel, LockOpts};
+pub use kernel::Kernel;
+pub use services::{LockOpts, TxnService};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,300 @@
+//! The file service: filesystem data plane.
+//!
+//! Client side: the `creat`/`open`/`close`/`lseek`/`read`/`write` system
+//! calls plus the explicit single-file `commit_file`/`abort_file` (base
+//! Locus commits files atomically as its default operating mode, Section 4).
+//! Server side: the storage-site handler for [`FileMsg`] requests.
+
+use locus_net::{FileMsg, LockMsg, Msg};
+use locus_proc::OpenFile;
+use locus_sim::Account;
+use locus_types::{ByteRange, Channel, Error, Fid, Owner, Pid, Result, SiteId};
+
+use crate::catalog::FileLoc;
+use crate::kernel::Kernel;
+use crate::services::ServiceHandler;
+
+/// Storage-site handler for the filesystem data plane.
+pub(crate) struct FileService;
+
+impl ServiceHandler for FileService {
+    type Request = FileMsg;
+
+    fn handle(k: &Kernel, _from: SiteId, req: FileMsg, acct: &mut Account) -> Result<Msg> {
+        match req {
+            FileMsg::OpenReq { fid, pid: _, write: _ } => {
+                let vol = k.volume(fid.volume)?;
+                let len = vol.len(fid, acct)?;
+                k.locks.ensure_file(fid, len);
+                Ok(Msg::File(FileMsg::OpenResp { len }))
+            }
+            FileMsg::ReadReq { fid, pid, owner, range } => {
+                k.locks.validate_access(fid, owner, pid, range, false)?;
+                let vol = k.volume(fid.volume)?;
+                let data = vol.read(fid, range, acct)?;
+                Ok(Msg::File(FileMsg::ReadResp { data }))
+            }
+            FileMsg::WriteReq { fid, pid, owner, range, data } => {
+                k.locks.validate_access(fid, owner, pid, range, true)?;
+                let vol = k.volume(fid.volume)?;
+                let new_len = vol.write(fid, owner, range, &data, acct)?;
+                k.locks.set_eof(fid, new_len);
+                Ok(Msg::File(FileMsg::WriteResp { new_len }))
+            }
+            FileMsg::PrefetchReq { fid, pages } => {
+                let vol = k.volume(fid.volume)?;
+                for p in pages {
+                    let _ = vol.prefetch_page(fid, p, acct);
+                    k.counters.prefetches();
+                }
+                Ok(Msg::Ok)
+            }
+            FileMsg::CommitReq { fid, owner } => {
+                k.reclaim_lease(fid, acct)?;
+                acct.cpu_instrs(&k.model, k.model.commit_storage_instrs);
+                let vol = k.volume(fid.volume)?;
+                let il = vol.commit_file(fid, owner, acct)?;
+                k.locks.set_eof(fid, il.new_len.max(vol.len(fid, acct)?));
+                k.sync_replicas(fid, &il, acct)?;
+                Ok(Msg::Ok)
+            }
+            FileMsg::AbortReq { fid, owner } => {
+                k.reclaim_lease(fid, acct)?;
+                let vol = k.volume(fid.volume)?;
+                vol.abort_owner(fid, owner, acct)?;
+                Ok(Msg::Ok)
+            }
+            // Response variants and the (unused) CloseReq are not requests.
+            other => Err(Error::ProtocolViolation(format!(
+                "file service cannot handle {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Kernel {
+    /// Creates a file on this site's home volume and opens it read/write.
+    pub fn creat(&self, pid: Pid, name: &str, acct: &mut Account) -> Result<Channel> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4); // Name mapping is expensive.
+        let fid = self.home()?.create_file(acct)?;
+        self.catalog.register(
+            name,
+            FileLoc {
+                fid,
+                sites: vec![self.site],
+                primary: self.site,
+            },
+        )?;
+        self.locks.ensure_file(fid, 0);
+        self.open_fid(pid, fid, self.site, true, false, acct)
+    }
+
+    /// Opens a file by name. Name mapping happens once here; subsequent
+    /// lock/read/write calls skip it (Section 3.2).
+    pub fn open(&self, pid: Pid, name: &str, write: bool, acct: &mut Account) -> Result<Channel> {
+        self.open_with(pid, name, write, false, acct)
+    }
+
+    /// Opens with Section 3.2 append mode: future lock requests on the
+    /// channel are interpreted relative to end-of-file.
+    pub fn open_append(&self, pid: Pid, name: &str, acct: &mut Account) -> Result<Channel> {
+        self.open_with(pid, name, true, true, acct)
+    }
+
+    fn open_with(
+        &self,
+        pid: Pid,
+        name: &str,
+        write: bool,
+        append: bool,
+        acct: &mut Account,
+    ) -> Result<Channel> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4);
+        let loc = self.catalog.resolve(name)?;
+        // Reads may be served by a closer replica; updates are funneled to
+        // the primary update site (Section 5.2).
+        let serving = if !write && loc.sites.contains(&self.site) {
+            self.site
+        } else {
+            loc.primary
+        };
+        self.open_fid(pid, loc.fid, serving, write, append, acct)
+    }
+
+    pub(crate) fn open_fid(
+        &self,
+        pid: Pid,
+        fid: Fid,
+        serving: SiteId,
+        write: bool,
+        append: bool,
+        acct: &mut Account,
+    ) -> Result<Channel> {
+        let resp = self.rpc(serving, Msg::File(FileMsg::OpenReq { fid, pid, write }), acct)?;
+        let Msg::File(FileMsg::OpenResp { len }) = resp else {
+            return Err(Error::ProtocolViolation(format!(
+                "unexpected open response {resp:?}"
+            )));
+        };
+        let pos = if append { len } else { 0 };
+        self.procs.with_mut(pid, |rec| {
+            let ch = rec.add_open(OpenFile {
+                fid,
+                storage_site: serving,
+                pos,
+                append,
+                write,
+            });
+            if rec.tid.is_some() {
+                rec.note_file(fid, serving);
+            }
+            ch
+        })
+    }
+
+    /// Closes a channel. Outside a transaction this commits the process's
+    /// changes to the file (base Locus' atomic file update) and releases its
+    /// locks — sent as one batched network message to the storage site;
+    /// inside a transaction, changes and locks belong to the transaction and
+    /// persist until its outcome.
+    pub fn close(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let (of, tid) = self.with_channel(pid, ch)?;
+        if tid.is_none() {
+            acct.cpu_instrs(&self.model, self.model.commit_requester_instrs);
+            let commit = Msg::File(FileMsg::CommitReq {
+                fid: of.fid,
+                owner: Owner::Proc(pid),
+            });
+            let unlock = Msg::Lock(LockMsg::UnlockAll { fid: of.fid, pid });
+            self.rpc_batch(of.storage_site, vec![commit, unlock], acct)?;
+            self.cache
+                .remove(of.fid, Owner::Proc(pid), ByteRange::new(0, u64::MAX));
+        }
+        self.procs.with_mut(pid, |rec| {
+            rec.open_files.remove(&ch);
+        })?;
+        Ok(())
+    }
+
+    /// Repositions the file pointer.
+    pub fn lseek(&self, pid: Pid, ch: Channel, pos: u64, acct: &mut Account) -> Result<()> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        self.with_channel(pid, ch)?;
+        self.procs.with_mut(pid, |rec| {
+            if let Some(of) = rec.open_files.get_mut(&ch) {
+                of.pos = pos;
+            }
+        })
+    }
+
+    /// Reads `len` bytes at the current position. Transactions lock
+    /// implicitly ("implicitly (at the time of record access)",
+    /// Section 3.1); a queued implicit lock surfaces as
+    /// [`Error::WouldBlock`] and the caller retries after its wakeup.
+    pub fn read(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<Vec<u8>> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let (of, tid) = self.with_channel(pid, ch)?;
+        let range = ByteRange::new(of.pos, len);
+        if tid.is_some() {
+            self.ensure_locked(pid, ch, &of, range, false, acct)?;
+        }
+        let owner = self.owner_of(pid);
+        let resp = self.rpc(
+            of.storage_site,
+            Msg::File(FileMsg::ReadReq {
+                fid: of.fid,
+                pid,
+                owner,
+                range,
+            }),
+            acct,
+        )?;
+        let Msg::File(FileMsg::ReadResp { data }) = resp else {
+            return Err(Error::ProtocolViolation(format!(
+                "unexpected read response {resp:?}"
+            )));
+        };
+        self.procs.with_mut(pid, |rec| {
+            if let Some(of) = rec.open_files.get_mut(&ch) {
+                of.pos += data.len() as u64;
+            }
+        })?;
+        Ok(data)
+    }
+
+    /// Writes `data` at the current position. Requires write-mode open;
+    /// transactions lock the range exclusively, implicitly.
+    pub fn write(&self, pid: Pid, ch: Channel, data: &[u8], acct: &mut Account) -> Result<()> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let (of, tid) = self.with_channel(pid, ch)?;
+        if !of.write {
+            return Err(Error::PermissionDenied { fid: of.fid });
+        }
+        let range = ByteRange::new(of.pos, data.len() as u64);
+        if tid.is_some() {
+            self.ensure_locked(pid, ch, &of, range, true, acct)?;
+        }
+        let owner = self.owner_of(pid);
+        self.rpc(
+            of.storage_site,
+            Msg::File(FileMsg::WriteReq {
+                fid: of.fid,
+                pid,
+                owner,
+                range,
+                data: data.to_vec(),
+            }),
+            acct,
+        )?;
+        self.procs.with_mut(pid, |rec| {
+            if let Some(of) = rec.open_files.get_mut(&ch) {
+                of.pos = range.end();
+            }
+            if rec.tid.is_some() {
+                // Lazily added for files opened before BeginTrans but used
+                // within the transaction.
+                let serving = of.storage_site;
+                rec.note_file(of.fid, serving);
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Explicitly aborts (rolls back) this process's uncommitted changes to
+    /// an open file — the non-transaction `abort x` of Figure 2.
+    pub fn abort_file(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let (of, _) = self.with_channel(pid, ch)?;
+        let msg = Msg::File(FileMsg::AbortReq {
+            fid: of.fid,
+            owner: Owner::Proc(pid),
+        });
+        self.rpc(of.storage_site, msg, acct)?;
+        Ok(())
+    }
+
+    /// Commits this process's changes to an open file immediately (fsync-like
+    /// single-file commit for non-transaction processes).
+    pub fn commit_file(&self, pid: Pid, ch: Channel, acct: &mut Account) -> Result<()> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        // Figure 6: the requesting site's kernel does the bulk of the
+        // commit processing (~7200 instructions in the paper's remote rows).
+        acct.cpu_instrs(&self.model, self.model.commit_requester_instrs);
+        let (of, _) = self.with_channel(pid, ch)?;
+        let msg = Msg::File(FileMsg::CommitReq {
+            fid: of.fid,
+            owner: Owner::Proc(pid),
+        });
+        self.rpc(of.storage_site, msg, acct)?;
+        Ok(())
+    }
+}

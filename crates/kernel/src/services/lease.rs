@@ -1,0 +1,127 @@
+//! Section 5.2 lock-control migration ("the site where the lock control
+//! resides could migrate if the locking patterns changed"): after a streak of
+//! consecutive remote lock requests from one site, the storage site leases
+//! that file's lock management to it. Commits, unlock-alls, and
+//! foreign-site lock traffic recall the lease.
+//!
+//! This module owns both ends: the storage-site trigger/recall machinery
+//! ([`maybe_delegate`], [`Kernel::reclaim_lease`]) and the delegate-side
+//! handlers for the lease arms of [`locus_net::LockMsg`].
+
+use locus_locks::{LockOutcome, LockRequest};
+use locus_net::{LockMsg, Msg};
+use locus_sim::Account;
+use locus_types::{ByteRange, Error, Fid, LockRequestMode, Result, SiteId};
+
+use crate::kernel::Kernel;
+
+/// Delegate side: installs a leased lock list received from the storage site.
+pub(crate) fn accept_lease(k: &Kernel, fid: Fid, state: &[u8]) -> Result<Msg> {
+    k.locks.import_file(fid, state)?;
+    k.leased.lock().insert(fid);
+    Ok(Msg::Ok)
+}
+
+/// Delegate side: returns the (authoritative) leased lock list to the
+/// storage site on recall.
+pub(crate) fn surrender_lease(k: &Kernel, fid: Fid) -> Result<Msg> {
+    k.leased.lock().remove(&fid);
+    match k.locks.remove_file(fid) {
+        Some(state) => Ok(Msg::Lock(LockMsg::LeaseState { state })),
+        None => Err(Error::StaleFid(fid)),
+    }
+}
+
+/// Processes a lock request against a leased lock list (the delegate side
+/// of lock-control migration). No volume is available here, so the
+/// Section 3.3 rule-2 adoption check and prefetch are skipped — the
+/// optimization targets lock-intensive patterns where the data plane is
+/// quiet; a commit or unlock-all recalls the lease and restores full
+/// semantics at the storage site.
+pub(crate) fn delegate_lock(
+    k: &Kernel,
+    fid: Fid,
+    req: LockRequest,
+    acct: &mut Account,
+) -> Result<Msg> {
+    let is_unlock = req.mode == LockRequestMode::Unlock;
+    match k.locks.request(fid, req, acct) {
+        LockOutcome::Granted { range } => {
+            if is_unlock {
+                let granted = k.locks.pump_file(fid, acct);
+                k.push_grants(granted, acct);
+            }
+            Ok(Msg::Lock(LockMsg::Resp { granted: range }))
+        }
+        LockOutcome::Denied { conflicting } => Err(Error::LockConflict {
+            fid,
+            range: conflicting,
+        }),
+        LockOutcome::Queued => Err(Error::WouldBlock {
+            fid,
+            range: ByteRange::new(0, 0),
+        }),
+    }
+}
+
+/// Storage-site delegation trigger: after `lease_threshold` consecutive
+/// remote lock requests from one site, lease that file's lock management
+/// to it.
+pub(crate) fn maybe_delegate(k: &Kernel, fid: Fid, from: SiteId, acct: &mut Account) {
+    let threshold = k.lease_threshold.load(std::sync::atomic::Ordering::Relaxed);
+    if threshold == 0 || from == k.site {
+        if from == k.site {
+            k.lock_streaks.lock().remove(&fid);
+        }
+        return;
+    }
+    let streak = {
+        let mut streaks = k.lock_streaks.lock();
+        let entry = streaks.entry(fid).or_insert((from, 0));
+        if entry.0 == from {
+            entry.1 += 1;
+        } else {
+            *entry = (from, 1);
+        }
+        entry.1
+    };
+    if streak < threshold {
+        return;
+    }
+    let Some(state) = k.locks.export_file(fid) else {
+        return;
+    };
+    if k.rpc(from, Msg::Lock(LockMsg::LeaseGrant { fid, state }), acct)
+        .is_ok()
+    {
+        // The local list stays as a conservative snapshot for data-access
+        // validation; the delegate's copy is now authoritative.
+        k.delegated.lock().insert(fid, from);
+        k.lock_streaks.lock().remove(&fid);
+    }
+}
+
+impl Kernel {
+    /// Recalls an outstanding lock lease for `fid`, re-importing the
+    /// authoritative lock list. If the delegate has crashed, the local
+    /// snapshot (grants as of delegation; the dead site's processes are gone
+    /// anyway) remains in force.
+    pub fn reclaim_lease(&self, fid: Fid, acct: &mut Account) -> Result<()> {
+        let delegate = self.delegated.lock().get(&fid).copied();
+        let Some(site) = delegate else {
+            return Ok(());
+        };
+        match self.rpc(site, Msg::Lock(LockMsg::LeaseRecall { fid }), acct) {
+            Ok(Msg::Lock(LockMsg::LeaseState { state })) => {
+                self.locks.import_file(fid, &state)?;
+            }
+            Ok(_) | Err(_) => {
+                // Delegate unreachable or lost the lease: fall back to the
+                // local snapshot.
+            }
+        }
+        self.delegated.lock().remove(&fid);
+        self.lock_streaks.lock().remove(&fid);
+        Ok(())
+    }
+}

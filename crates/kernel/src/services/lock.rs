@@ -1,0 +1,299 @@
+//! The lock service: the `Lock(file, length, mode)` system call of
+//! Section 3.2 on the client side, and the storage-site lock list processing
+//! (grant/deny/queue, Section 3.3 rule-2 adoption, grant pushes) on the
+//! server side. The Section 5.2 lease arms of [`LockMsg`] are delegated to
+//! the [`crate::services::lease`] module.
+
+use std::sync::atomic::Ordering;
+
+use locus_locks::{GrantedWaiter, LockOutcome, LockRequest};
+use locus_net::{LockMsg, Msg};
+use locus_proc::OpenFile;
+use locus_sim::Account;
+use locus_types::{
+    ByteRange, Channel, Error, Fid, LockClass, LockRequestMode, Pid, Result, SiteId,
+};
+
+use crate::kernel::Kernel;
+use crate::services::{lease, ServiceHandler};
+
+/// Options for the `Lock(file, length, mode)` system call (Section 3.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockOpts {
+    /// Queue behind conflicts instead of failing immediately.
+    pub wait: bool,
+    /// Request a *non-transaction lock* (Section 3.4): same compatibility
+    /// rules, but exempt from two-phase locking even inside a transaction.
+    pub non_transaction: bool,
+    /// Interpret the range relative to end-of-file and atomically extend
+    /// (Section 3.2 append mode).
+    pub append: bool,
+}
+
+/// Storage-site (and delegate-site) handler for the lock protocol.
+pub(crate) struct LockService;
+
+impl ServiceHandler for LockService {
+    type Request = LockMsg;
+
+    fn handle(k: &Kernel, from: SiteId, req: LockMsg, acct: &mut Account) -> Result<Msg> {
+        match req {
+            LockMsg::Req {
+                fid,
+                pid,
+                tid,
+                mode,
+                class,
+                range,
+                append,
+                wait,
+                reply_site,
+            } => {
+                let req = LockRequest {
+                    pid,
+                    tid,
+                    class,
+                    mode,
+                    range,
+                    append,
+                    wait,
+                    reply_site,
+                };
+                if k.leased.lock().contains(&fid) {
+                    // This site is the delegate: grant from the leased list.
+                    return lease::delegate_lock(k, fid, req, acct);
+                }
+                // Storage site: if the lease is out and someone other than
+                // the delegate is asking, the locking pattern changed —
+                // recall the lease first (Section 5.2: control "would
+                // migrate if the locking patterns changed").
+                k.reclaim_lease(fid, acct)?;
+                let out = k.storage_site_lock(fid, req, acct);
+                if out.is_ok() {
+                    lease::maybe_delegate(k, fid, from, acct);
+                }
+                out
+            }
+            LockMsg::Granted { fid, pid, range } => {
+                // A queued request of a local process was granted at the
+                // storage site; wake the process so it retries its call.
+                let _ = (fid, range);
+                k.wake(pid);
+                Ok(Msg::Ok)
+            }
+            LockMsg::UnlockAll { fid, pid } => {
+                k.reclaim_lease(fid, acct)?;
+                let granted = k
+                    .locks
+                    .release_owner_file(fid, locus_types::Owner::Proc(pid), acct);
+                k.push_grants(granted, acct);
+                Ok(Msg::Ok)
+            }
+            LockMsg::LeaseGrant { fid, state } => lease::accept_lease(k, fid, &state),
+            LockMsg::LeaseRecall { fid } => lease::surrender_lease(k, fid),
+            other @ (LockMsg::Resp { .. } | LockMsg::LeaseState { .. }) => Err(
+                Error::ProtocolViolation(format!("lock service cannot handle {other:?}")),
+            ),
+        }
+    }
+}
+
+impl Kernel {
+    /// The `Lock(file, length, mode)` system call (Section 3.2). The range
+    /// starts at the channel's current file pointer. Returns the effective
+    /// locked range (append-mode locks land at end-of-file).
+    pub fn lock(
+        &self,
+        pid: Pid,
+        ch: Channel,
+        len: u64,
+        mode: LockRequestMode,
+        opts: LockOpts,
+        acct: &mut Account,
+    ) -> Result<ByteRange> {
+        self.check_up()?;
+        acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let (of, _) = self.with_channel(pid, ch)?;
+        // Policy (Section 3.1): enforced locks can deny access, so a process
+        // must have write access to the file to issue locking requests.
+        if !of.write {
+            return Err(Error::PermissionDenied { fid: of.fid });
+        }
+        self.lock_channel(pid, ch, &of, len, mode, opts, acct)
+    }
+
+    /// Unlocks `len` bytes at the current position (transaction locks are
+    /// retained rather than released, Section 3.3).
+    pub fn unlock(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<ByteRange> {
+        self.lock(pid, ch, len, LockRequestMode::Unlock, LockOpts::default(), acct)
+    }
+
+    /// Implicit two-phase locking on data access for transaction processes.
+    pub(crate) fn ensure_locked(
+        &self,
+        pid: Pid,
+        ch: Channel,
+        of: &OpenFile,
+        range: ByteRange,
+        write: bool,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let owner = self.owner_of(pid);
+        if self.cache.covers(of.fid, owner, range, write) {
+            self.counters.lock_cache_hits();
+            acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
+            return Ok(());
+        }
+        let mode = if write {
+            LockRequestMode::Exclusive
+        } else {
+            LockRequestMode::Shared
+        };
+        let mut temp_of = *of;
+        temp_of.pos = range.start;
+        temp_of.append = false;
+        let opts = LockOpts {
+            wait: true,
+            ..LockOpts::default()
+        };
+        self.lock_channel(pid, ch, &temp_of, range.len, mode, opts, acct)
+            .map(|_| ())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lock_channel(
+        &self,
+        pid: Pid,
+        ch: Channel,
+        of: &OpenFile,
+        len: u64,
+        mode: LockRequestMode,
+        opts: LockOpts,
+        acct: &mut Account,
+    ) -> Result<ByteRange> {
+        let rec_tid = self.procs.get(pid).and_then(|r| r.tid);
+        let class = if opts.non_transaction || rec_tid.is_none() {
+            LockClass::NonTransaction
+        } else {
+            LockClass::Transaction
+        };
+        // Unlock requests address already-held ranges at the current file
+        // pointer; only acquisitions are placed append-relative.
+        let append = (opts.append || of.append) && mode != LockRequestMode::Unlock;
+        let start = if append { 0 } else { of.pos };
+        let owner = if let (Some(tid), LockClass::Transaction) = (rec_tid, class) {
+            locus_types::Owner::Trans(tid)
+        } else {
+            locus_types::Owner::Proc(pid)
+        };
+        // Section 5.2 lock-control migration: if this site holds the lease
+        // on the file's lock list, the request is processed locally.
+        let target = if self.leased.lock().contains(&of.fid) {
+            self.site
+        } else {
+            of.storage_site
+        };
+        let resp = self.rpc(
+            target,
+            Msg::Lock(LockMsg::Req {
+                fid: of.fid,
+                pid,
+                tid: rec_tid,
+                mode,
+                class,
+                range: ByteRange::new(start, len),
+                append,
+                wait: opts.wait,
+                reply_site: self.site,
+            }),
+            acct,
+        )?;
+        match resp {
+            Msg::Lock(LockMsg::Resp { granted }) => {
+                match mode.as_mode() {
+                    Some(m) => self.cache.insert(of.fid, owner, m, granted),
+                    None => self.cache.remove(of.fid, owner, granted),
+                }
+                self.procs.with_mut(pid, |rec| {
+                    if rec.tid.is_some() {
+                        rec.note_file(of.fid, of.storage_site);
+                    }
+                    if append && mode != LockRequestMode::Unlock {
+                        // Position the pointer at the locked area so the
+                        // following write lands under the lock.
+                        if let Some(o) = rec.open_files.get_mut(&ch) {
+                            o.pos = granted.start;
+                        }
+                    }
+                })?;
+                Ok(granted)
+            }
+            other => Err(Error::ProtocolViolation(format!(
+                "unexpected lock response {other:?}"
+            ))),
+        }
+    }
+
+    /// Storage-site lock processing: grant/deny/queue, then apply the
+    /// Section 3.3 rule-2 adoption of modified-uncommitted records.
+    fn storage_site_lock(&self, fid: Fid, req: LockRequest, acct: &mut Account) -> Result<Msg> {
+        let vol = self.volume(fid.volume)?;
+        self.locks.ensure_file(fid, vol.len(fid, acct)?);
+        let owner = req.owner();
+        let is_txn_lock = owner.is_transaction();
+        let is_unlock = req.mode == LockRequestMode::Unlock;
+        match self.locks.request(fid, req, acct) {
+            LockOutcome::Granted { range } => {
+                if is_txn_lock && !is_unlock {
+                    // Rule 2: a transaction locking modified-but-uncommitted
+                    // records adopts them — they are pinned and committed (or
+                    // aborted) with the transaction.
+                    let mods = vol.uncommitted_mods_overlapping(fid, range, owner);
+                    if !mods.is_empty() {
+                        vol.adopt(fid, range, owner);
+                        self.locks.pin_retained(fid, owner, range);
+                    }
+                }
+                if !is_unlock && self.prefetch_on_lock.load(Ordering::Relaxed) {
+                    // Section 5.2: prefetch the locked pages in anticipation
+                    // of their use. Charged to a background account — the
+                    // point of the optimization is to overlap this I/O with
+                    // the requester's network round trip.
+                    let mut bg = Account::new(self.site);
+                    for p in range.pages(self.model.page_size) {
+                        if vol.prefetch_page(fid, p, &mut bg).unwrap_or(false) {
+                            self.counters.prefetches();
+                        }
+                    }
+                }
+                // Unlock may unblock queued waiters.
+                if is_unlock {
+                    let granted = self.locks.pump_file(fid, acct);
+                    self.push_grants(granted, acct);
+                }
+                Ok(Msg::Lock(LockMsg::Resp { granted: range }))
+            }
+            LockOutcome::Denied { conflicting } => Err(Error::LockConflict {
+                fid,
+                range: conflicting,
+            }),
+            LockOutcome::Queued => Err(Error::WouldBlock {
+                fid,
+                range: ByteRange::new(0, 0),
+            }),
+        }
+    }
+
+    /// Pushes grant notifications to the requesting sites of newly granted
+    /// waiters.
+    pub fn push_grants(&self, granted: Vec<GrantedWaiter>, acct: &mut Account) {
+        for g in granted {
+            let msg = Msg::Lock(LockMsg::Granted {
+                fid: g.fid,
+                pid: g.waiter.request.pid,
+                range: g.range,
+            });
+            let _ = self.notify(g.waiter.request.reply_site, msg, acct);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The replica service: primary-site replication (Section 5.2). The primary
+//! update site pushes the committed image of changed pages to the other
+//! replica sites; this module owns both the push ([`Kernel::sync_replicas`])
+//! and the receiving install handler.
+
+use locus_net::{Msg, ReplicaMsg};
+use locus_sim::Account;
+use locus_types::{Fid, Result, SiteId};
+
+use crate::kernel::Kernel;
+use crate::services::ServiceHandler;
+
+/// Replica-site handler: installs committed page images from the primary.
+pub(crate) struct ReplicaService;
+
+impl ServiceHandler for ReplicaService {
+    type Request = ReplicaMsg;
+
+    fn handle(k: &Kernel, _from: SiteId, req: ReplicaMsg, acct: &mut Account) -> Result<Msg> {
+        match req {
+            ReplicaMsg::Sync {
+                fid,
+                new_len,
+                pages,
+            } => {
+                let vol = k.volume(fid.volume)?;
+                vol.replica_install(fid, new_len, &pages, acct)?;
+                Ok(Msg::Ok)
+            }
+        }
+    }
+}
+
+impl Kernel {
+    /// Pushes the committed image of the pages in `il` to the other replica
+    /// sites (primary-site update strategy, Section 5.2).
+    pub fn sync_replicas(
+        &self,
+        fid: Fid,
+        il: &locus_types::IntentionsList,
+        acct: &mut Account,
+    ) -> Result<()> {
+        if il.is_empty() {
+            return Ok(());
+        }
+        let Some(loc) = self.catalog.loc_of(fid) else {
+            return Ok(());
+        };
+        let others: Vec<SiteId> = loc
+            .sites
+            .iter()
+            .copied()
+            .filter(|s| *s != self.site)
+            .collect();
+        if others.is_empty() {
+            return Ok(());
+        }
+        let vol = self.volume(fid.volume)?;
+        let pages: Vec<_> = il.entries.iter().map(|e| e.page).collect();
+        let data = vol.committed_pages(fid, &pages, acct)?;
+        for site in others {
+            let _ = self.notify(
+                site,
+                Msg::Replica(ReplicaMsg::Sync {
+                    fid,
+                    new_len: il.new_len,
+                    pages: data.clone(),
+                }),
+                acct,
+            );
+        }
+        Ok(())
+    }
+}

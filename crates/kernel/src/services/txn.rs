@@ -1,0 +1,20 @@
+//! The transaction service hook.
+//!
+//! Two-phase commit, cascading abort, and recovery status inquiries are the
+//! transaction manager's business, and that lives above the kernel (in
+//! `locus-core`). The kernel still routes `Msg::Txn` — including members of
+//! a [`locus_net::Msg::Batch`] — so the control plane gets batching, tracing,
+//! and per-service accounting for free; it does so through this trait, which
+//! the transaction manager implements and registers via
+//! [`crate::Kernel::set_txn_service`].
+
+use locus_net::{Msg, TxnMsg};
+use locus_sim::Account;
+use locus_types::SiteId;
+
+/// The transaction control plane of a site, as seen by its kernel.
+pub trait TxnService: Send + Sync {
+    /// Handles one transaction control-plane request, returning the response
+    /// message (`Msg::Err` for failures — the kernel embeds it verbatim).
+    fn handle_txn(&self, from: SiteId, req: TxnMsg, acct: &mut Account) -> Msg;
+}

@@ -6,15 +6,16 @@ use std::sync::Arc;
 
 use locus_disk::SimDisk;
 use locus_fs::Volume;
-use locus_net::{SimTransport, Transport};
+use locus_net::SimTransport;
 use locus_proc::ProcessRegistry;
 use locus_sim::{Account, CostModel, Counters, EventLog, SimDuration};
 use locus_types::{
-    ByteRange, Error, LockRequestMode, Owner, SiteId, VolumeId,
+    ByteRange, Error, LockRequestMode, SiteId, VolumeId,
 };
 
 use crate::catalog::Catalog;
-use crate::kernel::{Kernel, LockOpts};
+use crate::kernel::Kernel;
+use crate::services::LockOpts;
 
 pub(crate) struct MiniCluster {
     pub kernels: Vec<Arc<Kernel>>,
@@ -32,7 +33,12 @@ pub(crate) fn mini_cluster_with(n: usize, model: CostModel) -> MiniCluster {
     let events = Arc::new(EventLog::new());
     let registry = Arc::new(ProcessRegistry::new());
     let catalog = Arc::new(Catalog::new());
-    let transport = Arc::new(SimTransport::new(n, model.clone(), counters.clone()));
+    let transport = Arc::new(SimTransport::new(
+        n,
+        model.clone(),
+        counters.clone(),
+        events.clone(),
+    ));
     let mut kernels = Vec::new();
     for i in 0..n {
         let site = SiteId(i as u32);

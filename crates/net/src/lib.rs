@@ -17,6 +17,6 @@ pub mod msg;
 pub mod transport;
 pub mod wire;
 
-pub use msg::Msg;
+pub use msg::{FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg};
 pub use wire::{decode as decode_msg, encode as encode_msg, wire_len};
 pub use transport::{SimTransport, SiteHandler, Transport};

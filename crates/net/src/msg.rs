@@ -1,23 +1,29 @@
-//! The kernel-to-kernel message vocabulary.
+//! The kernel-to-kernel message vocabulary, grouped by service.
 //!
-//! One enum covers the filesystem data plane (remote open/read/write), the
-//! distributed lock protocol, process migration and file-list merging, and
-//! the two-phase commit control plane. Payload structures live in
-//! `locus-types` so both the kernel and transaction crates can build and
-//! consume them.
+//! Each subsystem owns its wire surface as a typed request/response enum —
+//! [`FileMsg`] for the filesystem data plane, [`LockMsg`] for the distributed
+//! lock protocol, [`ProcMsg`] for migration and file-list merging, [`TxnMsg`]
+//! for the two-phase-commit control plane, and [`ReplicaMsg`] for primary-site
+//! replication pushes. [`Msg`] is the envelope that unites them, plus the
+//! protocol plumbing: [`Msg::Batch`] coalesces several messages destined for
+//! one site into a single network message (one RTT), and `Ok`/`Err` are the
+//! generic acknowledgement and error responses.
+//!
+//! Payload structures live in `locus-types` so both the kernel and
+//! transaction crates can build and consume them.
 
 use serde::{Deserialize, Serialize};
 
 use locus_types::{
     ByteRange, Error, FileListEntry, Fid, IntentionsList, LockClass, LockRequestMode, Owner,
-    PageNo, Pid, SiteId, TransId, TxnStatus,
+    PageNo, Pid, Service, SiteId, TransId, TxnStatus,
 };
 
-/// A kernel-to-kernel message: requests, their responses, and one-way
-/// notifications.
+/// Filesystem data plane: remote open/read/write and the single-file
+/// commit/abort mechanism (the non-transaction path: base Locus commits
+/// files atomically as its default operating mode, Section 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Msg {
-    // ----- Filesystem data plane -----
+pub enum FileMsg {
     /// Register an open of `fid` by `pid` at the storage site.
     OpenReq { fid: Fid, pid: Pid, write: bool },
     /// Open succeeded; current file length returned.
@@ -35,23 +41,20 @@ pub enum Msg {
     /// Ask the storage site to prefetch pages ahead of a locked range
     /// (Section 5.2 optimization).
     PrefetchReq { fid: Fid, pages: Vec<PageNo> },
-    /// Commit one owner's changes to a file via the single-file commit
-    /// mechanism (the non-transaction close path: base Locus commits files
-    /// atomically as its default operating mode, Section 4).
-    CommitFileReq { fid: Fid, owner: Owner },
+    /// Commit one owner's changes to a file via the single-file commit.
+    CommitReq { fid: Fid, owner: Owner },
     /// Discard one owner's uncommitted changes to a file.
-    AbortFileReq { fid: Fid, owner: Owner },
-    /// Primary update site → replica site: install the committed image of
-    /// the file's changed pages (Section 5.2 replication; the primary-site
-    /// strategy funnels updates through one site, which then refreshes the
-    /// other storage sites).
-    ReplicaSync { fid: Fid, new_len: u64, pages: Vec<(PageNo, Vec<u8>)> },
+    AbortReq { fid: Fid, owner: Owner },
+}
 
-    // ----- Record locking -----
-    /// `Lock(file, length, mode)` forwarded to the storage site
-    /// (Section 5.1). `append` requests the atomic extend-and-lock of
-    /// Section 3.2; `wait` selects queueing over a conflict error.
-    LockReq {
+/// Record locking: `Lock(file, length, mode)` forwarding (Section 5.1),
+/// grant pushes, and the lock-control lease migration of Section 5.2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LockMsg {
+    /// Lock request forwarded to the storage site. `append` requests the
+    /// atomic extend-and-lock of Section 3.2; `wait` selects queueing over a
+    /// conflict error.
+    Req {
         fid: Fid,
         pid: Pid,
         tid: Option<TransId>,
@@ -64,41 +67,47 @@ pub enum Msg {
     },
     /// Lock granted; the effective range is returned (append-mode locks are
     /// placed relative to end-of-file by the storage site).
-    LockResp { granted: ByteRange },
+    Resp { granted: ByteRange },
     /// One-way notification: a queued lock request has been granted.
-    LockGranted { fid: Fid, pid: Pid, range: ByteRange },
+    Granted { fid: Fid, pid: Pid, range: ByteRange },
     /// Release all locks held by a process on a file (close / exit path).
-    UnlockAllReq { fid: Fid, pid: Pid },
+    UnlockAll { fid: Fid, pid: Pid },
     /// Storage site → delegate: take over lock management for `fid`
-    /// (Section 5.2's lock-control migration; `state` is the encoded lock
-    /// list).
-    LockLeaseGrant { fid: Fid, state: Vec<u8> },
+    /// (`state` is the encoded lock list).
+    LeaseGrant { fid: Fid, state: Vec<u8> },
     /// Storage site → delegate: return the lease (locking patterns changed,
     /// or a commit needs the authoritative lock list home).
-    LockLeaseRecall { fid: Fid },
+    LeaseRecall { fid: Fid },
     /// Delegate → storage site: the returned lock-list state.
-    LockLeaseState { state: Vec<u8> },
+    LeaseState { state: Vec<u8> },
+}
 
-    // ----- Process migration & file lists -----
+/// Process machinery: migration, file-list merging toward the top-level
+/// process (Section 4.1), and transaction-member tracking (Section 4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProcMsg {
     /// Carry a migrating process to its new site (opaque to the transport;
     /// the kernel serializes its process record).
-    MigrateReq { pid: Pid, blob: Vec<u8> },
+    Migrate { pid: Pid, blob: Vec<u8> },
     /// A completed child's file-list, merged toward the transaction's
-    /// top-level process (Section 4.1). Bounces with [`Error::InTransit`]
-    /// when the top-level process is mid-migration.
+    /// top-level process. Bounces with [`Error::InTransit`] when the
+    /// top-level process is mid-migration.
     FileListMerge { tid: TransId, top: Pid, from: Pid, entries: Vec<FileListEntry> },
-    /// One-way: a member process of `tid` exited (used to track when all
-    /// children have completed). `top` is the process whose children set
-    /// should drop `child`.
+    /// One-way: a member process of `tid` exited. `top` is the process whose
+    /// children set should drop `child`.
     ChildExited { tid: TransId, top: Pid, child: Pid },
     /// A new member process joined the transaction (fork inside a
     /// transaction); increments the top-level process's live-member count.
     MemberAdded { tid: TransId, top: Pid },
     /// A member process completed; decrements the live-member count the
-    /// top-level process's `EndTrans` waits on (Section 4.2).
+    /// top-level process's `EndTrans` waits on.
     MemberExited { tid: TransId, top: Pid },
+}
 
-    // ----- Two-phase commit control plane (Section 4.2) -----
+/// Two-phase commit control plane (Section 4.2) plus the cascading-abort and
+/// recovery inquiries of Sections 4.3/4.4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxnMsg {
     /// Coordinator → participant: prepare these files of `tid`.
     Prepare { tid: TransId, coordinator: SiteId, files: Vec<Fid> },
     /// Participant → coordinator: prepare completed (or failed).
@@ -108,30 +117,146 @@ pub enum Msg {
     Commit { tid: TransId, files: Vec<Fid> },
     /// Coordinator → participant: roll these files back.
     AbortFiles { tid: TransId, files: Vec<Fid> },
-    /// Abort the transaction's processes at a site (cascading abort,
-    /// Section 4.3).
+    /// Abort the transaction's processes at a site (cascading abort).
     AbortProc { tid: TransId, pid: Pid },
-    /// Recovery inquiry: what was the outcome of `tid`? (Section 4.4).
+    /// Recovery inquiry: what was the outcome of `tid`?
     StatusInquiry { tid: TransId },
     /// Outcome answer; `None` when the coordinator log has been purged
     /// (which can only happen after all participants finished).
     StatusAnswer { status: Option<TxnStatus> },
+}
 
-    // ----- Generic -----
+/// Primary update site → replica site: install the committed image of the
+/// file's changed pages (Section 5.2 replication; the primary-site strategy
+/// funnels updates through one site, which then refreshes the others).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplicaMsg {
+    Sync { fid: Fid, new_len: u64, pages: Vec<(PageNo, Vec<u8>)> },
+}
+
+/// A kernel-to-kernel message: one service's request/response/notification,
+/// a batch of them, or a generic acknowledgement/error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    File(FileMsg),
+    Lock(LockMsg),
+    Proc(ProcMsg),
+    Txn(TxnMsg),
+    Replica(ReplicaMsg),
+    /// Several messages for the same destination site, delivered in order as
+    /// one network message (one round trip). The response is a `Batch` of
+    /// the per-message responses, positionally matched. Batches do not nest.
+    Batch(Vec<Msg>),
     /// Positive acknowledgement with no payload.
     Ok,
     /// Remote error returned as a response.
     Err(Error),
 }
 
+impl From<FileMsg> for Msg {
+    fn from(m: FileMsg) -> Msg {
+        Msg::File(m)
+    }
+}
+
+impl From<LockMsg> for Msg {
+    fn from(m: LockMsg) -> Msg {
+        Msg::Lock(m)
+    }
+}
+
+impl From<ProcMsg> for Msg {
+    fn from(m: ProcMsg) -> Msg {
+        Msg::Proc(m)
+    }
+}
+
+impl From<TxnMsg> for Msg {
+    fn from(m: TxnMsg) -> Msg {
+        Msg::Txn(m)
+    }
+}
+
+impl From<ReplicaMsg> for Msg {
+    fn from(m: ReplicaMsg) -> Msg {
+        Msg::Replica(m)
+    }
+}
+
 impl Msg {
+    /// The service this message belongs to.
+    pub fn service(&self) -> Service {
+        match self {
+            Msg::File(_) => Service::File,
+            Msg::Lock(_) => Service::Lock,
+            Msg::Proc(_) => Service::Proc,
+            Msg::Txn(_) => Service::Txn,
+            Msg::Replica(_) => Service::Replica,
+            Msg::Batch(_) | Msg::Ok | Msg::Err(_) => Service::Control,
+        }
+    }
+
+    /// Stable message-kind tag for traces and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::File(m) => match m {
+                FileMsg::OpenReq { .. } => "OpenReq",
+                FileMsg::OpenResp { .. } => "OpenResp",
+                FileMsg::CloseReq { .. } => "CloseReq",
+                FileMsg::ReadReq { .. } => "ReadReq",
+                FileMsg::ReadResp { .. } => "ReadResp",
+                FileMsg::WriteReq { .. } => "WriteReq",
+                FileMsg::WriteResp { .. } => "WriteResp",
+                FileMsg::PrefetchReq { .. } => "PrefetchReq",
+                FileMsg::CommitReq { .. } => "CommitReq",
+                FileMsg::AbortReq { .. } => "AbortReq",
+            },
+            Msg::Lock(m) => match m {
+                LockMsg::Req { .. } => "LockReq",
+                LockMsg::Resp { .. } => "LockResp",
+                LockMsg::Granted { .. } => "LockGranted",
+                LockMsg::UnlockAll { .. } => "UnlockAll",
+                LockMsg::LeaseGrant { .. } => "LeaseGrant",
+                LockMsg::LeaseRecall { .. } => "LeaseRecall",
+                LockMsg::LeaseState { .. } => "LeaseState",
+            },
+            Msg::Proc(m) => match m {
+                ProcMsg::Migrate { .. } => "Migrate",
+                ProcMsg::FileListMerge { .. } => "FileListMerge",
+                ProcMsg::ChildExited { .. } => "ChildExited",
+                ProcMsg::MemberAdded { .. } => "MemberAdded",
+                ProcMsg::MemberExited { .. } => "MemberExited",
+            },
+            Msg::Txn(m) => match m {
+                TxnMsg::Prepare { .. } => "Prepare",
+                TxnMsg::PrepareDone { .. } => "PrepareDone",
+                TxnMsg::Commit { .. } => "Commit",
+                TxnMsg::AbortFiles { .. } => "AbortFiles",
+                TxnMsg::AbortProc { .. } => "AbortProc",
+                TxnMsg::StatusInquiry { .. } => "StatusInquiry",
+                TxnMsg::StatusAnswer { .. } => "StatusAnswer",
+            },
+            Msg::Replica(ReplicaMsg::Sync { .. }) => "ReplicaSync",
+            Msg::Batch(_) => "Batch",
+            Msg::Ok => "Ok",
+            Msg::Err(_) => "Err",
+        }
+    }
+
     /// Approximate number of data pages carried, used by the transport to
     /// charge per-page transfer time on top of the base round trip.
     pub fn pages_carried(&self, page_size: usize) -> u64 {
         let bytes = match self {
-            Msg::ReadResp { data } | Msg::WriteReq { data, .. } => data.len(),
-            Msg::MigrateReq { blob, .. } => blob.len(),
-            Msg::ReplicaSync { pages, .. } => pages.iter().map(|(_, d)| d.len()).sum(),
+            Msg::File(FileMsg::ReadResp { data }) | Msg::File(FileMsg::WriteReq { data, .. }) => {
+                data.len()
+            }
+            Msg::Proc(ProcMsg::Migrate { blob, .. }) => blob.len(),
+            Msg::Replica(ReplicaMsg::Sync { pages, .. }) => {
+                pages.iter().map(|(_, d)| d.len()).sum()
+            }
+            Msg::Batch(msgs) => {
+                return msgs.iter().map(|m| m.pages_carried(page_size)).sum();
+            }
             _ => 0,
         };
         (bytes as u64).div_ceil(page_size as u64)
@@ -139,17 +264,17 @@ impl Msg {
 
     /// Whether this is a response-kind message.
     pub fn is_response(&self) -> bool {
-        matches!(
-            self,
-            Msg::OpenResp { .. }
-                | Msg::ReadResp { .. }
-                | Msg::WriteResp { .. }
-                | Msg::LockResp { .. }
-                | Msg::PrepareDone { .. }
-                | Msg::StatusAnswer { .. }
-                | Msg::Ok
-                | Msg::Err(_)
-        )
+        match self {
+            Msg::File(m) => matches!(
+                m,
+                FileMsg::OpenResp { .. } | FileMsg::ReadResp { .. } | FileMsg::WriteResp { .. }
+            ),
+            Msg::Lock(m) => matches!(m, LockMsg::Resp { .. }),
+            Msg::Txn(m) => matches!(m, TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }),
+            Msg::Batch(msgs) => msgs.iter().all(Msg::is_response),
+            Msg::Ok | Msg::Err(_) => true,
+            _ => false,
+        }
     }
 
     /// Converts an `Err` response into a Rust error, passing others through.
@@ -161,13 +286,10 @@ impl Msg {
     }
 }
 
-/// Builds an intentions-list-bearing prepare log payload (serialized with
-/// `serde` so the "log" bytes on the simulated disk are real).
+/// Builds an intentions-list-bearing prepare log payload so the "log" bytes
+/// on the simulated disk are real (compact custom layout; no serialization
+/// format crate is in the dependency set).
 pub fn encode_intentions(lists: &[IntentionsList]) -> Vec<u8> {
-    // A compact, dependency-free encoding: length-prefixed debug of the
-    // serde data model would be overkill; we use a simple manual layout via
-    // serde's derived traits through `bincode`-free JSON-ish encoding is not
-    // available, so encode with a stable custom format.
     let mut out = Vec::new();
     out.extend_from_slice(&(lists.len() as u32).to_le_bytes());
     for l in lists {
@@ -220,11 +342,25 @@ mod tests {
 
     #[test]
     fn pages_carried_counts_payload() {
-        let m = Msg::ReadResp {
+        let m = Msg::File(FileMsg::ReadResp {
             data: vec![0; 2500],
-        };
+        });
         assert_eq!(m.pages_carried(1024), 3);
         assert_eq!(Msg::Ok.pages_carried(1024), 0);
+    }
+
+    #[test]
+    fn pages_carried_sums_batch_members() {
+        let batch = Msg::Batch(vec![
+            Msg::File(FileMsg::ReadResp { data: vec![0; 2048] }),
+            Msg::Replica(ReplicaMsg::Sync {
+                fid: Fid::new(VolumeId(0), 1),
+                new_len: 1024,
+                pages: vec![(PageNo(0), vec![0; 1024])],
+            }),
+            Msg::Ok,
+        ]);
+        assert_eq!(batch.pages_carried(1024), 3);
     }
 
     #[test]
@@ -232,6 +368,29 @@ mod tests {
         let e = Msg::Err(Error::VolumeFull);
         assert_eq!(e.into_result(), Err(Error::VolumeFull));
         assert!(Msg::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn service_tags_match_variants() {
+        let m = Msg::Txn(TxnMsg::StatusInquiry {
+            tid: TransId::new(SiteId(1), 4),
+        });
+        assert_eq!(m.service(), Service::Txn);
+        assert_eq!(m.kind(), "StatusInquiry");
+        assert_eq!(Msg::Batch(vec![]).service(), Service::Control);
+        assert_eq!(
+            Msg::from(LockMsg::LeaseRecall { fid: Fid::new(VolumeId(0), 1) }).service(),
+            Service::Lock
+        );
+    }
+
+    #[test]
+    fn batch_response_detection() {
+        assert!(Msg::Batch(vec![Msg::Ok, Msg::Err(Error::VolumeFull)]).is_response());
+        assert!(!Msg::Batch(vec![Msg::Ok, Msg::Txn(TxnMsg::StatusInquiry {
+            tid: TransId::new(SiteId(1), 4),
+        })])
+        .is_response());
     }
 
     #[test]

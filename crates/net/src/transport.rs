@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use locus_sim::{Account, CostModel, Counters};
+use locus_sim::{Account, CostModel, Counters, Event, EventLog};
 use locus_types::{Error, Result, SiteId};
 
 use crate::msg::Msg;
@@ -63,11 +63,17 @@ pub struct SimTransport {
     state: RwLock<NetState>,
     model: Arc<CostModel>,
     counters: Arc<Counters>,
+    events: Arc<EventLog>,
     listeners: RwLock<Vec<TopologyListener>>,
 }
 
 impl SimTransport {
-    pub fn new(n_sites: usize, model: Arc<CostModel>, counters: Arc<Counters>) -> Self {
+    pub fn new(
+        n_sites: usize,
+        model: Arc<CostModel>,
+        counters: Arc<Counters>,
+        events: Arc<EventLog>,
+    ) -> Self {
         SimTransport {
             state: RwLock::new(NetState {
                 handlers: (0..n_sites).map(|_| None).collect(),
@@ -76,6 +82,7 @@ impl SimTransport {
             }),
             model,
             counters,
+            events,
             listeners: RwLock::new(Vec::new()),
         }
     }
@@ -170,8 +177,40 @@ impl SimTransport {
             .ok_or(Error::SiteDown(to))
     }
 
-    fn charge_send(&self, msg: &Msg, acct: &mut Account, round_trip: bool) {
+    /// Tags the outgoing message in the event log and per-service counters.
+    /// A batch counts as one network message but each member is traced and
+    /// counted under its own service.
+    fn trace_msg(&self, from: SiteId, to: SiteId, msg: &Msg) {
+        match msg {
+            Msg::Batch(members) => {
+                self.counters.batches_sent();
+                for m in members {
+                    self.counters.service_msg(m.service());
+                    self.events.push(Event::Rpc {
+                        from,
+                        to,
+                        service: m.service(),
+                        kind: m.kind(),
+                        batched: true,
+                    });
+                }
+            }
+            m => {
+                self.counters.service_msg(m.service());
+                self.events.push(Event::Rpc {
+                    from,
+                    to,
+                    service: m.service(),
+                    kind: m.kind(),
+                    batched: false,
+                });
+            }
+        }
+    }
+
+    fn charge_send(&self, from: SiteId, to: SiteId, msg: &Msg, acct: &mut Account, round_trip: bool) {
         self.counters.messages_sent();
+        self.trace_msg(from, to, msg);
         acct.messages += 1;
         acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
         let flight = if round_trip {
@@ -195,7 +234,7 @@ impl Transport for SimTransport {
             return Ok(handler.handle(from, msg, acct));
         }
         let handler = self.check_path(from, to)?;
-        self.charge_send(&msg, acct, true);
+        self.charge_send(from, to, &msg, acct, true);
         self.counters.messages_handled();
         let resp = acct.at_site(to, |acct| {
             acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
@@ -216,7 +255,7 @@ impl Transport for SimTransport {
             return Ok(());
         }
         let handler = self.check_path(from, to)?;
-        self.charge_send(&msg, acct, false);
+        self.charge_send(from, to, &msg, acct, false);
         self.counters.messages_handled();
         acct.at_site(to, |acct| {
             acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
@@ -262,7 +301,12 @@ mod tests {
 
     fn net() -> (SimTransport, Arc<Echo>, Arc<Echo>) {
         let model = Arc::new(CostModel::default());
-        let t = SimTransport::new(2, model, Arc::new(Counters::default()));
+        let t = SimTransport::new(
+            2,
+            model,
+            Arc::new(Counters::default()),
+            Arc::new(EventLog::new()),
+        );
         let a = Arc::new(Echo {
             hits: AtomicU64::new(0),
         });
@@ -334,13 +378,13 @@ mod tests {
         t.rpc(
             SiteId(0),
             SiteId(1),
-            Msg::WriteReq {
+            Msg::File(crate::msg::FileMsg::WriteReq {
                 fid: locus_types::Fid::new(locus_types::VolumeId(0), 1),
                 pid: locus_types::Pid::new(SiteId(0), 1),
                 owner: locus_types::Owner::Proc(locus_types::Pid::new(SiteId(0), 1)),
                 range: locus_types::ByteRange::new(0, 2048),
                 data: vec![0; 2048],
-            },
+            }),
             &mut big,
         )
         .unwrap();
@@ -360,6 +404,71 @@ mod tests {
         t.on_topology_change(Arc::new(move |s| c2.lock().push(s)));
         t.site_down(SiteId(1));
         assert_eq!(calls.lock().clone(), vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn rpc_traces_service_and_kind() {
+        use locus_types::Service;
+        let model = Arc::new(CostModel::default());
+        let counters = Arc::new(Counters::default());
+        let events = Arc::new(EventLog::new());
+        let t = SimTransport::new(2, model, counters.clone(), events.clone());
+        t.register(SiteId(0), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        t.register(SiteId(1), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        let mut acct = Account::new(SiteId(0));
+        let tid = locus_types::TransId::new(SiteId(0), 1);
+        t.rpc(
+            SiteId(0),
+            SiteId(1),
+            Msg::Txn(crate::msg::TxnMsg::StatusInquiry { tid }),
+            &mut acct,
+        )
+        .unwrap();
+        let s = counters.snapshot();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.msgs_for(Service::Txn), 1);
+        assert_eq!(s.batches_sent, 0);
+        assert_eq!(
+            events.all(),
+            vec![Event::Rpc {
+                from: SiteId(0),
+                to: SiteId(1),
+                service: Service::Txn,
+                kind: "StatusInquiry",
+                batched: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn batch_counts_one_network_message_but_traces_members() {
+        use locus_types::Service;
+        let model = Arc::new(CostModel::default());
+        let counters = Arc::new(Counters::default());
+        let events = Arc::new(EventLog::new());
+        let t = SimTransport::new(2, model, counters.clone(), events.clone());
+        t.register(SiteId(0), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        t.register(SiteId(1), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        let mut acct = Account::new(SiteId(0));
+        let fid = locus_types::Fid::new(locus_types::VolumeId(0), 1);
+        let pid = locus_types::Pid::new(SiteId(0), 1);
+        let batch = Msg::Batch(vec![
+            Msg::File(crate::msg::FileMsg::CommitReq {
+                fid,
+                owner: locus_types::Owner::Proc(pid),
+            }),
+            Msg::Lock(crate::msg::LockMsg::UnlockAll { fid, pid }),
+        ]);
+        t.rpc(SiteId(0), SiteId(1), batch, &mut acct).unwrap();
+        let s = counters.snapshot();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.batches_sent, 1);
+        assert_eq!(s.msgs_for(Service::File), 1);
+        assert_eq!(s.msgs_for(Service::Lock), 1);
+        assert_eq!(acct.messages, 1);
+        let evs = events.all();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|e| matches!(e, Event::Rpc { batched: true, .. })));
     }
 
     #[test]

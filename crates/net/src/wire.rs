@@ -6,6 +6,11 @@
 //! exact on-the-wire size for transfer-time charging. (No serialization
 //! *format* crate is in the approved dependency list, so the codec is
 //! hand-rolled over `locus_types::codec`.)
+//!
+//! Layout (version 2): a version byte, then a service tag, then a variant
+//! byte within the service, then the variant fields. A batch is the service
+//! tag [`TAG_BATCH`] followed by a message count and the member encodings
+//! (sans version byte); batches cannot nest, which the decoder enforces.
 
 use locus_types::codec::{Dec, Enc};
 use locus_types::{
@@ -13,10 +18,21 @@ use locus_types::{
     Pid, SiteId, TransId, TxnStatus, VolumeId,
 };
 
-use crate::msg::Msg;
+use crate::msg::{FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg};
 
-/// Format version byte, bumped on incompatible layout changes.
-pub const WIRE_VERSION: u8 = 1;
+/// Format version byte, bumped on incompatible layout changes. Version 2
+/// introduced the service-grouped tag space and `Batch`.
+pub const WIRE_VERSION: u8 = 2;
+
+// Top-level service tags.
+const TAG_FILE: u8 = 0;
+const TAG_LOCK: u8 = 1;
+const TAG_PROC: u8 = 2;
+const TAG_TXN: u8 = 3;
+const TAG_REPLICA: u8 = 4;
+const TAG_BATCH: u8 = 5;
+const TAG_OK: u8 = 6;
+const TAG_ERR: u8 = 7;
 
 fn enc_fid(e: &mut Enc, f: Fid) {
     e.u32(f.volume.0);
@@ -106,300 +122,188 @@ fn dec_status_opt(d: &mut Dec<'_>) -> Option<Option<TxnStatus>> {
     })
 }
 
-/// Serializes a message to bytes.
-pub fn encode(msg: &Msg) -> Vec<u8> {
-    let mut e = Enc::new();
-    e.u8(WIRE_VERSION);
-    match msg {
-        Msg::OpenReq { fid, pid, write } => {
+fn enc_fids(e: &mut Enc, files: &[Fid]) {
+    e.u32(files.len() as u32);
+    for f in files {
+        enc_fid(e, *f);
+    }
+}
+
+fn dec_fids(d: &mut Dec<'_>) -> Option<Vec<Fid>> {
+    let n = d.u32()?;
+    let mut files = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        files.push(dec_fid(d)?);
+    }
+    Some(files)
+}
+
+fn enc_file(e: &mut Enc, m: &FileMsg) {
+    match m {
+        FileMsg::OpenReq { fid, pid, write } => {
             e.u8(0);
-            enc_fid(&mut e, *fid);
+            enc_fid(e, *fid);
             e.u64(pid.0);
             e.u8(*write as u8);
         }
-        Msg::OpenResp { len } => {
+        FileMsg::OpenResp { len } => {
             e.u8(1);
             e.u64(*len);
         }
-        Msg::CloseReq { fid, pid } => {
+        FileMsg::CloseReq { fid, pid } => {
             e.u8(2);
-            enc_fid(&mut e, *fid);
+            enc_fid(e, *fid);
             e.u64(pid.0);
         }
-        Msg::ReadReq { fid, pid, owner, range } => {
+        FileMsg::ReadReq { fid, pid, owner, range } => {
             e.u8(3);
-            enc_fid(&mut e, *fid);
+            enc_fid(e, *fid);
             e.u64(pid.0);
-            enc_owner(&mut e, *owner);
-            enc_range(&mut e, *range);
+            enc_owner(e, *owner);
+            enc_range(e, *range);
         }
-        Msg::ReadResp { data } => {
+        FileMsg::ReadResp { data } => {
             e.u8(4);
             e.bytes(data);
         }
-        Msg::WriteReq { fid, pid, owner, range, data } => {
+        FileMsg::WriteReq { fid, pid, owner, range, data } => {
             e.u8(5);
-            enc_fid(&mut e, *fid);
+            enc_fid(e, *fid);
             e.u64(pid.0);
-            enc_owner(&mut e, *owner);
-            enc_range(&mut e, *range);
+            enc_owner(e, *owner);
+            enc_range(e, *range);
             e.bytes(data);
         }
-        Msg::WriteResp { new_len } => {
+        FileMsg::WriteResp { new_len } => {
             e.u8(6);
             e.u64(*new_len);
         }
-        Msg::PrefetchReq { fid, pages } => {
+        FileMsg::PrefetchReq { fid, pages } => {
             e.u8(7);
-            enc_fid(&mut e, *fid);
+            enc_fid(e, *fid);
             e.u32(pages.len() as u32);
             for p in pages {
                 e.u32(p.0);
             }
         }
-        Msg::CommitFileReq { fid, owner } => {
+        FileMsg::CommitReq { fid, owner } => {
             e.u8(8);
-            enc_fid(&mut e, *fid);
-            enc_owner(&mut e, *owner);
+            enc_fid(e, *fid);
+            enc_owner(e, *owner);
         }
-        Msg::AbortFileReq { fid, owner } => {
+        FileMsg::AbortReq { fid, owner } => {
             e.u8(9);
-            enc_fid(&mut e, *fid);
-            enc_owner(&mut e, *owner);
+            enc_fid(e, *fid);
+            enc_owner(e, *owner);
         }
-        Msg::ReplicaSync { fid, new_len, pages } => {
-            e.u8(10);
-            enc_fid(&mut e, *fid);
-            e.u64(*new_len);
-            e.u32(pages.len() as u32);
-            for (p, data) in pages {
-                e.u32(p.0);
-                e.bytes(data);
+    }
+}
+
+fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
+    Some(match d.u8()? {
+        0 => FileMsg::OpenReq {
+            fid: dec_fid(d)?,
+            pid: Pid(d.u64()?),
+            write: d.u8()? != 0,
+        },
+        1 => FileMsg::OpenResp { len: d.u64()? },
+        2 => FileMsg::CloseReq {
+            fid: dec_fid(d)?,
+            pid: Pid(d.u64()?),
+        },
+        3 => FileMsg::ReadReq {
+            fid: dec_fid(d)?,
+            pid: Pid(d.u64()?),
+            owner: dec_owner(d)?,
+            range: dec_range(d)?,
+        },
+        4 => FileMsg::ReadResp {
+            data: d.bytes()?.to_vec(),
+        },
+        5 => FileMsg::WriteReq {
+            fid: dec_fid(d)?,
+            pid: Pid(d.u64()?),
+            owner: dec_owner(d)?,
+            range: dec_range(d)?,
+            data: d.bytes()?.to_vec(),
+        },
+        6 => FileMsg::WriteResp { new_len: d.u64()? },
+        7 => {
+            let fid = dec_fid(d)?;
+            let n = d.u32()?;
+            let mut pages = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                pages.push(PageNo(d.u32()?));
             }
+            FileMsg::PrefetchReq { fid, pages }
         }
-        Msg::LockReq { fid, pid, tid, mode, class, range, append, wait, reply_site } => {
-            e.u8(11);
-            enc_fid(&mut e, *fid);
+        8 => FileMsg::CommitReq {
+            fid: dec_fid(d)?,
+            owner: dec_owner(d)?,
+        },
+        9 => FileMsg::AbortReq {
+            fid: dec_fid(d)?,
+            owner: dec_owner(d)?,
+        },
+        _ => return None,
+    })
+}
+
+fn enc_lock(e: &mut Enc, m: &LockMsg) {
+    match m {
+        LockMsg::Req { fid, pid, tid, mode, class, range, append, wait, reply_site } => {
+            e.u8(0);
+            enc_fid(e, *fid);
             e.u64(pid.0);
-            enc_tid_opt(&mut e, *tid);
+            enc_tid_opt(e, *tid);
             e.u8(match mode {
                 LockRequestMode::Shared => 0,
                 LockRequestMode::Exclusive => 1,
                 LockRequestMode::Unlock => 2,
             });
             e.u8(matches!(class, LockClass::NonTransaction) as u8);
-            enc_range(&mut e, *range);
+            enc_range(e, *range);
             e.u8(*append as u8);
             e.u8(*wait as u8);
             e.u32(reply_site.0);
         }
-        Msg::LockResp { granted } => {
-            e.u8(12);
-            enc_range(&mut e, *granted);
+        LockMsg::Resp { granted } => {
+            e.u8(1);
+            enc_range(e, *granted);
         }
-        Msg::LockGranted { fid, pid, range } => {
-            e.u8(13);
-            enc_fid(&mut e, *fid);
+        LockMsg::Granted { fid, pid, range } => {
+            e.u8(2);
+            enc_fid(e, *fid);
             e.u64(pid.0);
-            enc_range(&mut e, *range);
+            enc_range(e, *range);
         }
-        Msg::UnlockAllReq { fid, pid } => {
-            e.u8(14);
-            enc_fid(&mut e, *fid);
+        LockMsg::UnlockAll { fid, pid } => {
+            e.u8(3);
+            enc_fid(e, *fid);
             e.u64(pid.0);
         }
-        Msg::LockLeaseGrant { fid, state } => {
-            e.u8(15);
-            enc_fid(&mut e, *fid);
+        LockMsg::LeaseGrant { fid, state } => {
+            e.u8(4);
+            enc_fid(e, *fid);
             e.bytes(state);
         }
-        Msg::LockLeaseRecall { fid } => {
-            e.u8(16);
-            enc_fid(&mut e, *fid);
+        LockMsg::LeaseRecall { fid } => {
+            e.u8(5);
+            enc_fid(e, *fid);
         }
-        Msg::LockLeaseState { state } => {
-            e.u8(17);
+        LockMsg::LeaseState { state } => {
+            e.u8(6);
             e.bytes(state);
-        }
-        Msg::MigrateReq { pid, blob } => {
-            e.u8(18);
-            e.u64(pid.0);
-            e.bytes(blob);
-        }
-        Msg::FileListMerge { tid, top, from, entries } => {
-            e.u8(19);
-            enc_tid(&mut e, *tid);
-            e.u64(top.0);
-            e.u64(from.0);
-            e.u32(entries.len() as u32);
-            for ent in entries {
-                enc_fid(&mut e, ent.fid);
-                e.u32(ent.storage_site.0);
-            }
-        }
-        Msg::ChildExited { tid, top, child } => {
-            e.u8(20);
-            enc_tid(&mut e, *tid);
-            e.u64(top.0);
-            e.u64(child.0);
-        }
-        Msg::MemberAdded { tid, top } => {
-            e.u8(21);
-            enc_tid(&mut e, *tid);
-            e.u64(top.0);
-        }
-        Msg::MemberExited { tid, top } => {
-            e.u8(22);
-            enc_tid(&mut e, *tid);
-            e.u64(top.0);
-        }
-        Msg::Prepare { tid, coordinator, files } => {
-            e.u8(23);
-            enc_tid(&mut e, *tid);
-            e.u32(coordinator.0);
-            e.u32(files.len() as u32);
-            for f in files {
-                enc_fid(&mut e, *f);
-            }
-        }
-        Msg::PrepareDone { tid, ok } => {
-            e.u8(24);
-            enc_tid(&mut e, *tid);
-            e.u8(*ok as u8);
-        }
-        Msg::Commit { tid, files } => {
-            e.u8(25);
-            enc_tid(&mut e, *tid);
-            e.u32(files.len() as u32);
-            for f in files {
-                enc_fid(&mut e, *f);
-            }
-        }
-        Msg::AbortFiles { tid, files } => {
-            e.u8(26);
-            enc_tid(&mut e, *tid);
-            e.u32(files.len() as u32);
-            for f in files {
-                enc_fid(&mut e, *f);
-            }
-        }
-        Msg::AbortProc { tid, pid } => {
-            e.u8(27);
-            enc_tid(&mut e, *tid);
-            e.u64(pid.0);
-        }
-        Msg::StatusInquiry { tid } => {
-            e.u8(28);
-            enc_tid(&mut e, *tid);
-        }
-        Msg::StatusAnswer { status } => {
-            e.u8(29);
-            enc_status_opt(&mut e, *status);
-        }
-        Msg::Ok => e.u8(30),
-        Msg::Err(err) => {
-            e.u8(31);
-            // Errors travel as their display form plus a coarse class tag
-            // sufficient for the caller's control flow.
-            let (tag, fid, range, pid_v): (u8, Option<Fid>, Option<ByteRange>, Option<u64>) =
-                match err {
-                    Error::LockConflict { fid, range } => (0, Some(*fid), Some(*range), None),
-                    Error::WouldBlock { fid, range } => (1, Some(*fid), Some(*range), None),
-                    Error::AccessDenied { fid, range } => (2, Some(*fid), Some(*range), None),
-                    Error::InTransit(p) => (3, None, None, Some(p.0)),
-                    Error::NoSuchProcess(p) => (4, None, None, Some(p.0)),
-                    Error::TxnAborted(t) => {
-                        e.u8(5);
-                        enc_tid(&mut e, *t);
-                        return e.finish();
-                    }
-                    other => {
-                        e.u8(6);
-                        e.bytes(other.to_string().as_bytes());
-                        return e.finish();
-                    }
-                };
-            e.u8(tag);
-            if let Some(f) = fid {
-                enc_fid(&mut e, f);
-            }
-            if let Some(r) = range {
-                enc_range(&mut e, r);
-            }
-            if let Some(p) = pid_v {
-                e.u64(p);
-            }
         }
     }
-    e.finish()
 }
 
-/// Deserializes a message. Returns `None` on corruption or version skew.
-pub fn decode(bytes: &[u8]) -> Option<Msg> {
-    let mut d = Dec::new(bytes);
-    if d.u8()? != WIRE_VERSION {
-        return None;
-    }
-    let msg = match d.u8()? {
-        0 => Msg::OpenReq {
-            fid: dec_fid(&mut d)?,
+fn dec_lock(d: &mut Dec<'_>) -> Option<LockMsg> {
+    Some(match d.u8()? {
+        0 => LockMsg::Req {
+            fid: dec_fid(d)?,
             pid: Pid(d.u64()?),
-            write: d.u8()? != 0,
-        },
-        1 => Msg::OpenResp { len: d.u64()? },
-        2 => Msg::CloseReq {
-            fid: dec_fid(&mut d)?,
-            pid: Pid(d.u64()?),
-        },
-        3 => Msg::ReadReq {
-            fid: dec_fid(&mut d)?,
-            pid: Pid(d.u64()?),
-            owner: dec_owner(&mut d)?,
-            range: dec_range(&mut d)?,
-        },
-        4 => Msg::ReadResp {
-            data: d.bytes()?.to_vec(),
-        },
-        5 => Msg::WriteReq {
-            fid: dec_fid(&mut d)?,
-            pid: Pid(d.u64()?),
-            owner: dec_owner(&mut d)?,
-            range: dec_range(&mut d)?,
-            data: d.bytes()?.to_vec(),
-        },
-        6 => Msg::WriteResp { new_len: d.u64()? },
-        7 => {
-            let fid = dec_fid(&mut d)?;
-            let n = d.u32()?;
-            let mut pages = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                pages.push(PageNo(d.u32()?));
-            }
-            Msg::PrefetchReq { fid, pages }
-        }
-        8 => Msg::CommitFileReq {
-            fid: dec_fid(&mut d)?,
-            owner: dec_owner(&mut d)?,
-        },
-        9 => Msg::AbortFileReq {
-            fid: dec_fid(&mut d)?,
-            owner: dec_owner(&mut d)?,
-        },
-        10 => {
-            let fid = dec_fid(&mut d)?;
-            let new_len = d.u64()?;
-            let n = d.u32()?;
-            let mut pages = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                let p = PageNo(d.u32()?);
-                pages.push((p, d.bytes()?.to_vec()));
-            }
-            Msg::ReplicaSync { fid, new_len, pages }
-        }
-        11 => Msg::LockReq {
-            fid: dec_fid(&mut d)?,
-            pid: Pid(d.u64()?),
-            tid: dec_tid_opt(&mut d)?,
+            tid: dec_tid_opt(d)?,
             mode: match d.u8()? {
                 0 => LockRequestMode::Shared,
                 1 => LockRequestMode::Exclusive,
@@ -411,130 +315,339 @@ pub fn decode(bytes: &[u8]) -> Option<Msg> {
             } else {
                 LockClass::Transaction
             },
-            range: dec_range(&mut d)?,
+            range: dec_range(d)?,
             append: d.u8()? != 0,
             wait: d.u8()? != 0,
             reply_site: SiteId(d.u32()?),
         },
-        12 => Msg::LockResp {
-            granted: dec_range(&mut d)?,
+        1 => LockMsg::Resp {
+            granted: dec_range(d)?,
         },
-        13 => Msg::LockGranted {
-            fid: dec_fid(&mut d)?,
+        2 => LockMsg::Granted {
+            fid: dec_fid(d)?,
             pid: Pid(d.u64()?),
-            range: dec_range(&mut d)?,
+            range: dec_range(d)?,
         },
-        14 => Msg::UnlockAllReq {
-            fid: dec_fid(&mut d)?,
+        3 => LockMsg::UnlockAll {
+            fid: dec_fid(d)?,
             pid: Pid(d.u64()?),
         },
-        15 => Msg::LockLeaseGrant {
-            fid: dec_fid(&mut d)?,
+        4 => LockMsg::LeaseGrant {
+            fid: dec_fid(d)?,
             state: d.bytes()?.to_vec(),
         },
-        16 => Msg::LockLeaseRecall {
-            fid: dec_fid(&mut d)?,
-        },
-        17 => Msg::LockLeaseState {
+        5 => LockMsg::LeaseRecall { fid: dec_fid(d)? },
+        6 => LockMsg::LeaseState {
             state: d.bytes()?.to_vec(),
         },
-        18 => Msg::MigrateReq {
+        _ => return None,
+    })
+}
+
+fn enc_proc(e: &mut Enc, m: &ProcMsg) {
+    match m {
+        ProcMsg::Migrate { pid, blob } => {
+            e.u8(0);
+            e.u64(pid.0);
+            e.bytes(blob);
+        }
+        ProcMsg::FileListMerge { tid, top, from, entries } => {
+            e.u8(1);
+            enc_tid(e, *tid);
+            e.u64(top.0);
+            e.u64(from.0);
+            e.u32(entries.len() as u32);
+            for ent in entries {
+                enc_fid(e, ent.fid);
+                e.u32(ent.storage_site.0);
+            }
+        }
+        ProcMsg::ChildExited { tid, top, child } => {
+            e.u8(2);
+            enc_tid(e, *tid);
+            e.u64(top.0);
+            e.u64(child.0);
+        }
+        ProcMsg::MemberAdded { tid, top } => {
+            e.u8(3);
+            enc_tid(e, *tid);
+            e.u64(top.0);
+        }
+        ProcMsg::MemberExited { tid, top } => {
+            e.u8(4);
+            enc_tid(e, *tid);
+            e.u64(top.0);
+        }
+    }
+}
+
+fn dec_proc(d: &mut Dec<'_>) -> Option<ProcMsg> {
+    Some(match d.u8()? {
+        0 => ProcMsg::Migrate {
             pid: Pid(d.u64()?),
             blob: d.bytes()?.to_vec(),
         },
-        19 => {
-            let tid = dec_tid(&mut d)?;
+        1 => {
+            let tid = dec_tid(d)?;
             let top = Pid(d.u64()?);
             let from = Pid(d.u64()?);
             let n = d.u32()?;
             let mut entries = Vec::with_capacity(n as usize);
             for _ in 0..n {
                 entries.push(FileListEntry {
-                    fid: dec_fid(&mut d)?,
+                    fid: dec_fid(d)?,
                     storage_site: SiteId(d.u32()?),
                 });
             }
-            Msg::FileListMerge { tid, top, from, entries }
+            ProcMsg::FileListMerge { tid, top, from, entries }
         }
-        20 => Msg::ChildExited {
-            tid: dec_tid(&mut d)?,
+        2 => ProcMsg::ChildExited {
+            tid: dec_tid(d)?,
             top: Pid(d.u64()?),
             child: Pid(d.u64()?),
         },
-        21 => Msg::MemberAdded {
-            tid: dec_tid(&mut d)?,
+        3 => ProcMsg::MemberAdded {
+            tid: dec_tid(d)?,
             top: Pid(d.u64()?),
         },
-        22 => Msg::MemberExited {
-            tid: dec_tid(&mut d)?,
+        4 => ProcMsg::MemberExited {
+            tid: dec_tid(d)?,
             top: Pid(d.u64()?),
-        },
-        23 => {
-            let tid = dec_tid(&mut d)?;
-            let coordinator = SiteId(d.u32()?);
-            let n = d.u32()?;
-            let mut files = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                files.push(dec_fid(&mut d)?);
-            }
-            Msg::Prepare { tid, coordinator, files }
-        }
-        24 => Msg::PrepareDone {
-            tid: dec_tid(&mut d)?,
-            ok: d.u8()? != 0,
-        },
-        25 => {
-            let tid = dec_tid(&mut d)?;
-            let n = d.u32()?;
-            let mut files = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                files.push(dec_fid(&mut d)?);
-            }
-            Msg::Commit { tid, files }
-        }
-        26 => {
-            let tid = dec_tid(&mut d)?;
-            let n = d.u32()?;
-            let mut files = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                files.push(dec_fid(&mut d)?);
-            }
-            Msg::AbortFiles { tid, files }
-        }
-        27 => Msg::AbortProc {
-            tid: dec_tid(&mut d)?,
-            pid: Pid(d.u64()?),
-        },
-        28 => Msg::StatusInquiry {
-            tid: dec_tid(&mut d)?,
-        },
-        29 => Msg::StatusAnswer {
-            status: dec_status_opt(&mut d)?,
-        },
-        30 => Msg::Ok,
-        31 => match d.u8()? {
-            0 => Msg::Err(Error::LockConflict {
-                fid: dec_fid(&mut d)?,
-                range: dec_range(&mut d)?,
-            }),
-            1 => Msg::Err(Error::WouldBlock {
-                fid: dec_fid(&mut d)?,
-                range: dec_range(&mut d)?,
-            }),
-            2 => Msg::Err(Error::AccessDenied {
-                fid: dec_fid(&mut d)?,
-                range: dec_range(&mut d)?,
-            }),
-            3 => Msg::Err(Error::InTransit(Pid(d.u64()?))),
-            4 => Msg::Err(Error::NoSuchProcess(Pid(d.u64()?))),
-            5 => Msg::Err(Error::TxnAborted(dec_tid(&mut d)?)),
-            6 => Msg::Err(Error::ProtocolViolation(
-                String::from_utf8_lossy(d.bytes()?).into_owned(),
-            )),
-            _ => return None,
         },
         _ => return None,
-    };
+    })
+}
+
+fn enc_txn(e: &mut Enc, m: &TxnMsg) {
+    match m {
+        TxnMsg::Prepare { tid, coordinator, files } => {
+            e.u8(0);
+            enc_tid(e, *tid);
+            e.u32(coordinator.0);
+            enc_fids(e, files);
+        }
+        TxnMsg::PrepareDone { tid, ok } => {
+            e.u8(1);
+            enc_tid(e, *tid);
+            e.u8(*ok as u8);
+        }
+        TxnMsg::Commit { tid, files } => {
+            e.u8(2);
+            enc_tid(e, *tid);
+            enc_fids(e, files);
+        }
+        TxnMsg::AbortFiles { tid, files } => {
+            e.u8(3);
+            enc_tid(e, *tid);
+            enc_fids(e, files);
+        }
+        TxnMsg::AbortProc { tid, pid } => {
+            e.u8(4);
+            enc_tid(e, *tid);
+            e.u64(pid.0);
+        }
+        TxnMsg::StatusInquiry { tid } => {
+            e.u8(5);
+            enc_tid(e, *tid);
+        }
+        TxnMsg::StatusAnswer { status } => {
+            e.u8(6);
+            enc_status_opt(e, *status);
+        }
+    }
+}
+
+fn dec_txn(d: &mut Dec<'_>) -> Option<TxnMsg> {
+    Some(match d.u8()? {
+        0 => TxnMsg::Prepare {
+            tid: dec_tid(d)?,
+            coordinator: SiteId(d.u32()?),
+            files: dec_fids(d)?,
+        },
+        1 => TxnMsg::PrepareDone {
+            tid: dec_tid(d)?,
+            ok: d.u8()? != 0,
+        },
+        2 => TxnMsg::Commit {
+            tid: dec_tid(d)?,
+            files: dec_fids(d)?,
+        },
+        3 => TxnMsg::AbortFiles {
+            tid: dec_tid(d)?,
+            files: dec_fids(d)?,
+        },
+        4 => TxnMsg::AbortProc {
+            tid: dec_tid(d)?,
+            pid: Pid(d.u64()?),
+        },
+        5 => TxnMsg::StatusInquiry { tid: dec_tid(d)? },
+        6 => TxnMsg::StatusAnswer {
+            status: dec_status_opt(d)?,
+        },
+        _ => return None,
+    })
+}
+
+fn enc_err(e: &mut Enc, err: &Error) {
+    // Errors travel as a coarse class tag sufficient for the caller's
+    // control flow; unclassified errors carry their display form.
+    match err {
+        Error::LockConflict { fid, range } => {
+            e.u8(0);
+            enc_fid(e, *fid);
+            enc_range(e, *range);
+        }
+        Error::WouldBlock { fid, range } => {
+            e.u8(1);
+            enc_fid(e, *fid);
+            enc_range(e, *range);
+        }
+        Error::AccessDenied { fid, range } => {
+            e.u8(2);
+            enc_fid(e, *fid);
+            enc_range(e, *range);
+        }
+        Error::InTransit(p) => {
+            e.u8(3);
+            e.u64(p.0);
+        }
+        Error::NoSuchProcess(p) => {
+            e.u8(4);
+            e.u64(p.0);
+        }
+        Error::TxnAborted(t) => {
+            e.u8(5);
+            enc_tid(e, *t);
+        }
+        other => {
+            e.u8(6);
+            e.bytes(other.to_string().as_bytes());
+        }
+    }
+}
+
+fn dec_err(d: &mut Dec<'_>) -> Option<Error> {
+    Some(match d.u8()? {
+        0 => Error::LockConflict {
+            fid: dec_fid(d)?,
+            range: dec_range(d)?,
+        },
+        1 => Error::WouldBlock {
+            fid: dec_fid(d)?,
+            range: dec_range(d)?,
+        },
+        2 => Error::AccessDenied {
+            fid: dec_fid(d)?,
+            range: dec_range(d)?,
+        },
+        3 => Error::InTransit(Pid(d.u64()?)),
+        4 => Error::NoSuchProcess(Pid(d.u64()?)),
+        5 => Error::TxnAborted(dec_tid(d)?),
+        6 => Error::ProtocolViolation(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        _ => return None,
+    })
+}
+
+fn enc_msg(e: &mut Enc, msg: &Msg) {
+    match msg {
+        Msg::File(m) => {
+            e.u8(TAG_FILE);
+            enc_file(e, m);
+        }
+        Msg::Lock(m) => {
+            e.u8(TAG_LOCK);
+            enc_lock(e, m);
+        }
+        Msg::Proc(m) => {
+            e.u8(TAG_PROC);
+            enc_proc(e, m);
+        }
+        Msg::Txn(m) => {
+            e.u8(TAG_TXN);
+            enc_txn(e, m);
+        }
+        Msg::Replica(ReplicaMsg::Sync { fid, new_len, pages }) => {
+            e.u8(TAG_REPLICA);
+            e.u8(0);
+            enc_fid(e, *fid);
+            e.u64(*new_len);
+            e.u32(pages.len() as u32);
+            for (p, data) in pages {
+                e.u32(p.0);
+                e.bytes(data);
+            }
+        }
+        Msg::Batch(msgs) => {
+            e.u8(TAG_BATCH);
+            e.u32(msgs.len() as u32);
+            for m in msgs {
+                enc_msg(e, m);
+            }
+        }
+        Msg::Ok => e.u8(TAG_OK),
+        Msg::Err(err) => {
+            e.u8(TAG_ERR);
+            enc_err(e, err);
+        }
+    }
+}
+
+fn dec_msg(d: &mut Dec<'_>, allow_batch: bool) -> Option<Msg> {
+    Some(match d.u8()? {
+        TAG_FILE => Msg::File(dec_file(d)?),
+        TAG_LOCK => Msg::Lock(dec_lock(d)?),
+        TAG_PROC => Msg::Proc(dec_proc(d)?),
+        TAG_TXN => Msg::Txn(dec_txn(d)?),
+        TAG_REPLICA => {
+            if d.u8()? != 0 {
+                return None;
+            }
+            let fid = dec_fid(d)?;
+            let new_len = d.u64()?;
+            let n = d.u32()?;
+            let mut pages = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let p = PageNo(d.u32()?);
+                pages.push((p, d.bytes()?.to_vec()));
+            }
+            Msg::Replica(ReplicaMsg::Sync { fid, new_len, pages })
+        }
+        TAG_BATCH => {
+            // Nested batches are a protocol violation: one level of grouping
+            // is all the batching layer produces, and the depth bound keeps
+            // the decoder non-recursive on hostile input.
+            if !allow_batch {
+                return None;
+            }
+            let n = d.u32()?;
+            let mut msgs = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                msgs.push(dec_msg(d, false)?);
+            }
+            Msg::Batch(msgs)
+        }
+        TAG_OK => Msg::Ok,
+        TAG_ERR => Msg::Err(dec_err(d)?),
+        _ => return None,
+    })
+}
+
+/// Serializes a message to bytes.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(WIRE_VERSION);
+    enc_msg(&mut e, msg);
+    e.finish()
+}
+
+/// Deserializes a message. Returns `None` on corruption, version skew, or a
+/// nested batch.
+pub fn decode(bytes: &[u8]) -> Option<Msg> {
+    let mut d = Dec::new(bytes);
+    if d.u8()? != WIRE_VERSION {
+        return None;
+    }
+    let msg = dec_msg(&mut d, true)?;
     if d.done() {
         Some(msg)
     } else {
@@ -563,35 +676,35 @@ mod tests {
         TransId::new(SiteId(3), 44)
     }
 
-    fn sample_messages() -> Vec<Msg> {
+    pub(crate) fn sample_messages() -> Vec<Msg> {
         vec![
-            Msg::OpenReq { fid: fid(), pid: pid(), write: true },
-            Msg::OpenResp { len: 4096 },
-            Msg::CloseReq { fid: fid(), pid: pid() },
-            Msg::ReadReq {
+            Msg::File(FileMsg::OpenReq { fid: fid(), pid: pid(), write: true }),
+            Msg::File(FileMsg::OpenResp { len: 4096 }),
+            Msg::File(FileMsg::CloseReq { fid: fid(), pid: pid() }),
+            Msg::File(FileMsg::ReadReq {
                 fid: fid(),
                 pid: pid(),
                 owner: Owner::Trans(tid()),
                 range: ByteRange::new(10, 20),
-            },
-            Msg::ReadResp { data: vec![1, 2, 3] },
-            Msg::WriteReq {
+            }),
+            Msg::File(FileMsg::ReadResp { data: vec![1, 2, 3] }),
+            Msg::File(FileMsg::WriteReq {
                 fid: fid(),
                 pid: pid(),
                 owner: Owner::Proc(pid()),
                 range: ByteRange::new(0, 3),
                 data: vec![9, 9, 9],
-            },
-            Msg::WriteResp { new_len: 3 },
-            Msg::PrefetchReq { fid: fid(), pages: vec![PageNo(0), PageNo(5)] },
-            Msg::CommitFileReq { fid: fid(), owner: Owner::Proc(pid()) },
-            Msg::AbortFileReq { fid: fid(), owner: Owner::Trans(tid()) },
-            Msg::ReplicaSync {
+            }),
+            Msg::File(FileMsg::WriteResp { new_len: 3 }),
+            Msg::File(FileMsg::PrefetchReq { fid: fid(), pages: vec![PageNo(0), PageNo(5)] }),
+            Msg::File(FileMsg::CommitReq { fid: fid(), owner: Owner::Proc(pid()) }),
+            Msg::File(FileMsg::AbortReq { fid: fid(), owner: Owner::Trans(tid()) }),
+            Msg::Replica(ReplicaMsg::Sync {
                 fid: fid(),
                 new_len: 2048,
                 pages: vec![(PageNo(1), vec![7u8; 16])],
-            },
-            Msg::LockReq {
+            }),
+            Msg::Lock(LockMsg::Req {
                 fid: fid(),
                 pid: pid(),
                 tid: Some(tid()),
@@ -601,31 +714,37 @@ mod tests {
                 append: true,
                 wait: true,
                 reply_site: SiteId(2),
-            },
-            Msg::LockResp { granted: ByteRange::new(100, 50) },
-            Msg::LockGranted { fid: fid(), pid: pid(), range: ByteRange::new(0, 8) },
-            Msg::UnlockAllReq { fid: fid(), pid: pid() },
-            Msg::LockLeaseGrant { fid: fid(), state: vec![1, 2, 3, 4] },
-            Msg::LockLeaseRecall { fid: fid() },
-            Msg::LockLeaseState { state: vec![5, 6] },
-            Msg::MigrateReq { pid: pid(), blob: vec![0xAB; 32] },
-            Msg::FileListMerge {
+            }),
+            Msg::Lock(LockMsg::Resp { granted: ByteRange::new(100, 50) }),
+            Msg::Lock(LockMsg::Granted { fid: fid(), pid: pid(), range: ByteRange::new(0, 8) }),
+            Msg::Lock(LockMsg::UnlockAll { fid: fid(), pid: pid() }),
+            Msg::Lock(LockMsg::LeaseGrant { fid: fid(), state: vec![1, 2, 3, 4] }),
+            Msg::Lock(LockMsg::LeaseRecall { fid: fid() }),
+            Msg::Lock(LockMsg::LeaseState { state: vec![5, 6] }),
+            Msg::Proc(ProcMsg::Migrate { pid: pid(), blob: vec![0xAB; 32] }),
+            Msg::Proc(ProcMsg::FileListMerge {
                 tid: tid(),
                 top: pid(),
                 from: Pid::new(SiteId(0), 1),
                 entries: vec![FileListEntry { fid: fid(), storage_site: SiteId(4) }],
-            },
-            Msg::ChildExited { tid: tid(), top: pid(), child: Pid::new(SiteId(0), 2) },
-            Msg::MemberAdded { tid: tid(), top: pid() },
-            Msg::MemberExited { tid: tid(), top: pid() },
-            Msg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] },
-            Msg::PrepareDone { tid: tid(), ok: false },
-            Msg::Commit { tid: tid(), files: vec![fid(), Fid::new(VolumeId(1), 1)] },
-            Msg::AbortFiles { tid: tid(), files: vec![] },
-            Msg::AbortProc { tid: tid(), pid: pid() },
-            Msg::StatusInquiry { tid: tid() },
-            Msg::StatusAnswer { status: Some(TxnStatus::Committed) },
-            Msg::StatusAnswer { status: None },
+            }),
+            Msg::Proc(ProcMsg::ChildExited { tid: tid(), top: pid(), child: Pid::new(SiteId(0), 2) }),
+            Msg::Proc(ProcMsg::MemberAdded { tid: tid(), top: pid() }),
+            Msg::Proc(ProcMsg::MemberExited { tid: tid(), top: pid() }),
+            Msg::Txn(TxnMsg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] }),
+            Msg::Txn(TxnMsg::PrepareDone { tid: tid(), ok: false }),
+            Msg::Txn(TxnMsg::Commit { tid: tid(), files: vec![fid(), Fid::new(VolumeId(1), 1)] }),
+            Msg::Txn(TxnMsg::AbortFiles { tid: tid(), files: vec![] }),
+            Msg::Txn(TxnMsg::AbortProc { tid: tid(), pid: pid() }),
+            Msg::Txn(TxnMsg::StatusInquiry { tid: tid() }),
+            Msg::Txn(TxnMsg::StatusAnswer { status: Some(TxnStatus::Committed) }),
+            Msg::Txn(TxnMsg::StatusAnswer { status: None }),
+            Msg::Batch(vec![
+                Msg::Txn(TxnMsg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] }),
+                Msg::Lock(LockMsg::UnlockAll { fid: fid(), pid: pid() }),
+                Msg::File(FileMsg::CommitReq { fid: fid(), owner: Owner::Proc(pid()) }),
+            ]),
+            Msg::Batch(vec![]),
             Msg::Ok,
             Msg::Err(Error::LockConflict { fid: fid(), range: ByteRange::new(0, 4) }),
             Msg::Err(Error::WouldBlock { fid: fid(), range: ByteRange::new(0, 4) }),
@@ -681,9 +800,21 @@ mod tests {
     }
 
     #[test]
+    fn nested_batch_is_rejected() {
+        // Hand-build version || Batch(1) || Batch(0): a batch inside a batch.
+        let mut e = Enc::new();
+        e.u8(WIRE_VERSION);
+        e.u8(TAG_BATCH);
+        e.u32(1);
+        e.u8(TAG_BATCH);
+        e.u32(0);
+        assert!(decode(&e.finish()).is_none());
+    }
+
+    #[test]
     fn wire_len_tracks_payload() {
         let small = wire_len(&Msg::Ok);
-        let big = wire_len(&Msg::ReadResp { data: vec![0; 1000] });
+        let big = wire_len(&Msg::File(FileMsg::ReadResp { data: vec![0; 1000] }));
         assert!(big > small + 999);
     }
 }

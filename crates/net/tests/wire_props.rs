@@ -1,0 +1,229 @@
+//! Wire-codec property tests: arbitrary messages from every service enum —
+//! and arbitrary `Msg::Batch` groupings of them — must round-trip through
+//! `encode`/`decode` bit-exactly, and the advertised `wire_len` must match
+//! the encoding.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use locus_net::{decode_msg, encode_msg, wire_len, FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg};
+use locus_types::{
+    ByteRange, Error, FileListEntry, Fid, LockClass, LockRequestMode, Owner, PageNo, Pid, SiteId,
+    TransId, TxnStatus, VolumeId,
+};
+
+fn site() -> impl Strategy<Value = SiteId> {
+    (0u32..8).prop_map(SiteId)
+}
+
+fn fid() -> impl Strategy<Value = Fid> {
+    (0u32..8, 0u32..1000).prop_map(|(v, i)| Fid::new(VolumeId(v), i))
+}
+
+fn pid() -> impl Strategy<Value = Pid> {
+    (0u32..8, 1u32..1000).prop_map(|(s, n)| Pid::new(SiteId(s), n))
+}
+
+fn tid() -> impl Strategy<Value = TransId> {
+    (0u32..8, any::<u64>()).prop_map(|(s, n)| TransId::new(SiteId(s), n))
+}
+
+fn owner() -> BoxedStrategy<Owner> {
+    prop_oneof![
+        tid().prop_map(Owner::Trans),
+        pid().prop_map(Owner::Proc),
+    ]
+    .boxed()
+}
+
+fn range() -> impl Strategy<Value = ByteRange> {
+    (any::<u64>(), any::<u64>()).prop_map(|(s, l)| ByteRange::new(s, l))
+}
+
+fn fids() -> impl Strategy<Value = Vec<Fid>> {
+    vec(fid(), 0..6)
+}
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..64)
+}
+
+fn file_msg() -> BoxedStrategy<FileMsg> {
+    prop_oneof![
+        (fid(), pid(), any::<bool>())
+            .prop_map(|(fid, pid, write)| FileMsg::OpenReq { fid, pid, write }),
+        any::<u64>().prop_map(|len| FileMsg::OpenResp { len }),
+        (fid(), pid()).prop_map(|(fid, pid)| FileMsg::CloseReq { fid, pid }),
+        (fid(), pid(), owner(), range())
+            .prop_map(|(fid, pid, owner, range)| FileMsg::ReadReq { fid, pid, owner, range }),
+        payload().prop_map(|data| FileMsg::ReadResp { data }),
+        (fid(), pid(), owner(), range(), payload())
+            .prop_map(|(fid, pid, owner, range, data)| FileMsg::WriteReq {
+                fid, pid, owner, range, data,
+            }),
+        any::<u64>().prop_map(|new_len| FileMsg::WriteResp { new_len }),
+        (fid(), vec((0u32..64).prop_map(PageNo), 0..5))
+            .prop_map(|(fid, pages)| FileMsg::PrefetchReq { fid, pages }),
+        (fid(), owner()).prop_map(|(fid, owner)| FileMsg::CommitReq { fid, owner }),
+        (fid(), owner()).prop_map(|(fid, owner)| FileMsg::AbortReq { fid, owner }),
+    ]
+    .boxed()
+}
+
+fn lock_msg() -> BoxedStrategy<LockMsg> {
+    let req = (
+        fid(),
+        pid(),
+        prop_oneof![Just(None), tid().prop_map(Some)],
+        prop_oneof![
+            Just(LockRequestMode::Shared),
+            Just(LockRequestMode::Exclusive),
+            Just(LockRequestMode::Unlock),
+        ],
+        prop_oneof![Just(LockClass::Transaction), Just(LockClass::NonTransaction)],
+        range(),
+        (any::<bool>(), any::<bool>()),
+        site(),
+    )
+        .prop_map(|(fid, pid, tid, mode, class, range, (append, wait), reply_site)| {
+            LockMsg::Req { fid, pid, tid, mode, class, range, append, wait, reply_site }
+        });
+    prop_oneof![
+        req,
+        range().prop_map(|granted| LockMsg::Resp { granted }),
+        (fid(), pid(), range()).prop_map(|(fid, pid, range)| LockMsg::Granted { fid, pid, range }),
+        (fid(), pid()).prop_map(|(fid, pid)| LockMsg::UnlockAll { fid, pid }),
+        (fid(), payload()).prop_map(|(fid, state)| LockMsg::LeaseGrant { fid, state }),
+        fid().prop_map(|fid| LockMsg::LeaseRecall { fid }),
+        payload().prop_map(|state| LockMsg::LeaseState { state }),
+    ]
+    .boxed()
+}
+
+fn proc_msg() -> BoxedStrategy<ProcMsg> {
+    let entries = vec(
+        (fid(), site()).prop_map(|(fid, storage_site)| FileListEntry { fid, storage_site }),
+        0..5,
+    );
+    prop_oneof![
+        (pid(), payload()).prop_map(|(pid, blob)| ProcMsg::Migrate { pid, blob }),
+        (tid(), pid(), pid(), entries)
+            .prop_map(|(tid, top, from, entries)| ProcMsg::FileListMerge { tid, top, from, entries }),
+        (tid(), pid(), pid()).prop_map(|(tid, top, child)| ProcMsg::ChildExited { tid, top, child }),
+        (tid(), pid()).prop_map(|(tid, top)| ProcMsg::MemberAdded { tid, top }),
+        (tid(), pid()).prop_map(|(tid, top)| ProcMsg::MemberExited { tid, top }),
+    ]
+    .boxed()
+}
+
+fn txn_msg() -> BoxedStrategy<TxnMsg> {
+    let status = prop_oneof![
+        Just(None),
+        Just(Some(TxnStatus::Unknown)),
+        Just(Some(TxnStatus::Committed)),
+        Just(Some(TxnStatus::Aborted)),
+    ];
+    prop_oneof![
+        (tid(), site(), fids())
+            .prop_map(|(tid, coordinator, files)| TxnMsg::Prepare { tid, coordinator, files }),
+        (tid(), any::<bool>()).prop_map(|(tid, ok)| TxnMsg::PrepareDone { tid, ok }),
+        (tid(), fids()).prop_map(|(tid, files)| TxnMsg::Commit { tid, files }),
+        (tid(), fids()).prop_map(|(tid, files)| TxnMsg::AbortFiles { tid, files }),
+        (tid(), pid()).prop_map(|(tid, pid)| TxnMsg::AbortProc { tid, pid }),
+        tid().prop_map(|tid| TxnMsg::StatusInquiry { tid }),
+        status.prop_map(|status| TxnMsg::StatusAnswer { status }),
+    ]
+    .boxed()
+}
+
+fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
+    (fid(), any::<u64>(), vec(((0u32..64).prop_map(PageNo), payload()), 0..4))
+        .prop_map(|(fid, new_len, pages)| ReplicaMsg::Sync { fid, new_len, pages })
+        .boxed()
+}
+
+/// Errors whose wire encoding is lossless (the catch-all class collapses to
+/// `ProtocolViolation`, so it is excluded from exact round-trip checks).
+fn err() -> BoxedStrategy<Error> {
+    prop_oneof![
+        (fid(), range()).prop_map(|(fid, range)| Error::LockConflict { fid, range }),
+        (fid(), range()).prop_map(|(fid, range)| Error::WouldBlock { fid, range }),
+        (fid(), range()).prop_map(|(fid, range)| Error::AccessDenied { fid, range }),
+        pid().prop_map(Error::InTransit),
+        pid().prop_map(Error::NoSuchProcess),
+        tid().prop_map(Error::TxnAborted),
+    ]
+    .boxed()
+}
+
+/// Any non-batch message: one variant from each service, plus responses.
+fn leaf_msg() -> BoxedStrategy<Msg> {
+    prop_oneof![
+        5 => file_msg().prop_map(Msg::File),
+        5 => lock_msg().prop_map(Msg::Lock),
+        5 => proc_msg().prop_map(Msg::Proc),
+        5 => txn_msg().prop_map(Msg::Txn),
+        2 => replica_msg().prop_map(Msg::Replica),
+        1 => Just(Msg::Ok),
+        2 => err().prop_map(Msg::Err),
+    ]
+    .boxed()
+}
+
+fn any_msg() -> BoxedStrategy<Msg> {
+    prop_oneof![
+        6 => leaf_msg(),
+        2 => vec(leaf_msg(), 0..8).prop_map(Msg::Batch),
+    ]
+    .boxed()
+}
+
+fn roundtrip(msg: &Msg) -> Result<(), TestCaseError> {
+    let bytes = encode_msg(msg);
+    prop_assert_eq!(wire_len(msg), bytes.len());
+    let got = decode_msg(&bytes);
+    prop_assert_eq!(got.as_ref(), Some(msg));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every message — from every per-service enum — round-trips exactly.
+    #[test]
+    fn arbitrary_messages_roundtrip(msg in any_msg()) {
+        roundtrip(&msg)?;
+    }
+
+    /// Batches of arbitrary size and mixed member services round-trip, and
+    /// member order is preserved.
+    #[test]
+    fn batches_roundtrip(members in vec(leaf_msg(), 0..16)) {
+        let batch = Msg::Batch(members.clone());
+        roundtrip(&batch)?;
+        let Some(Msg::Batch(got)) = decode_msg(&encode_msg(&batch)) else {
+            return Err(TestCaseError::fail("batch decoded to non-batch"));
+        };
+        prop_assert_eq!(got, members);
+    }
+
+    /// Truncating any encoding makes it undecodable — no partial parses.
+    #[test]
+    fn truncation_never_decodes(msg in any_msg(), cut in 0u64..64) {
+        let bytes = encode_msg(&msg);
+        if bytes.len() > 1 {
+            let keep = 1 + (cut as usize % (bytes.len() - 1));
+            prop_assert!(decode_msg(&bytes[..keep]).is_none());
+        }
+    }
+
+    /// The batched encoding of N messages costs less wire than N separate
+    /// messages (the per-message version byte amortizes) — the invariant the
+    /// 2PC fan-out batching relies on for its transfer-cost win.
+    #[test]
+    fn batching_never_inflates_wire_size(members in vec(leaf_msg(), 2..8)) {
+        let separate: usize = members.iter().map(wire_len).sum();
+        let batched = wire_len(&Msg::Batch(members));
+        prop_assert!(batched <= separate + 5);
+    }
+}

@@ -95,6 +95,27 @@ impl Account {
         out
     }
 
+    /// Folds the costs of activities that ran *in parallel* on this
+    /// activity's behalf (e.g. a 2PC fan-out where each participant site was
+    /// driven by its own thread). Latency is the slowest branch; CPU, I/O,
+    /// and message counts are the sum of all branches — the work happened,
+    /// it just overlapped in time. Each branch account should start from
+    /// `Account::new` so its totals are pure deltas.
+    pub fn absorb_parallel<'a>(&mut self, branches: impl IntoIterator<Item = &'a Account>) {
+        let mut max_elapsed = SimDuration::ZERO;
+        for b in branches {
+            max_elapsed = max_elapsed.max(b.elapsed);
+            self.cpu_home += b.cpu_home;
+            self.cpu_remote += b.cpu_remote;
+            self.disk_reads += b.disk_reads;
+            self.disk_writes += b.disk_writes;
+            self.seq_ios += b.seq_ios;
+            self.messages += b.messages;
+            self.pages_differenced += b.pages_differenced;
+        }
+        self.elapsed += max_elapsed;
+    }
+
     /// Difference `self − earlier`, for measuring a span of activity.
     pub fn delta_since(&self, earlier: &Account) -> Account {
         Account {
@@ -147,6 +168,27 @@ mod tests {
         a.wait(SimDuration::from_millis(26));
         assert_eq!(a.elapsed, SimDuration::from_millis(26));
         assert_eq!(a.cpu_total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn absorb_parallel_takes_max_latency_and_sums_counts() {
+        let model = CostModel::default();
+        let mut main = Account::new(SiteId(1));
+        main.cpu_instrs(&model, 100);
+        let base = main.elapsed;
+
+        let mut b1 = Account::new(SiteId(1));
+        b1.wait(SimDuration::from_millis(30));
+        b1.messages += 2;
+        let mut b2 = Account::new(SiteId(1));
+        b2.wait(SimDuration::from_millis(50));
+        b2.messages += 3;
+        b2.disk_writes += 1;
+
+        main.absorb_parallel([&b1, &b2]);
+        assert_eq!(main.elapsed, base + SimDuration::from_millis(50));
+        assert_eq!(main.messages, 5);
+        assert_eq!(main.disk_writes, 1);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use locus_types::Service;
+
 /// Monotonically increasing event counters for one site.
 #[derive(Debug, Default)]
 pub struct Counters {
@@ -15,6 +17,11 @@ pub struct Counters {
     pub disk_seq_writes: AtomicU64,
     pub messages_sent: AtomicU64,
     pub messages_handled: AtomicU64,
+    /// Network messages that were batches (each also counts once in
+    /// `messages_sent`); the batch members are counted per-service below.
+    pub batches_sent: AtomicU64,
+    /// Logical messages per service (batch members counted individually).
+    pub service_msgs: [AtomicU64; 6],
     pub locks_granted: AtomicU64,
     pub locks_denied: AtomicU64,
     pub locks_queued: AtomicU64,
@@ -53,6 +60,7 @@ bump!(
     disk_seq_writes,
     messages_sent,
     messages_handled,
+    batches_sent,
     locks_granted,
     locks_denied,
     locks_queued,
@@ -73,6 +81,11 @@ bump!(
 );
 
 impl Counters {
+    /// Increments the logical-message counter for `service`.
+    pub fn service_msg(&self, service: Service) {
+        self.service_msgs[service.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> CountersSnapshot {
         CountersSnapshot {
@@ -81,6 +94,8 @@ impl Counters {
             disk_seq_writes: self.disk_seq_writes.load(Ordering::Relaxed),
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             messages_handled: self.messages_handled.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            service_msgs: std::array::from_fn(|i| self.service_msgs[i].load(Ordering::Relaxed)),
             locks_granted: self.locks_granted.load(Ordering::Relaxed),
             locks_denied: self.locks_denied.load(Ordering::Relaxed),
             locks_queued: self.locks_queued.load(Ordering::Relaxed),
@@ -111,6 +126,8 @@ pub struct CountersSnapshot {
     pub disk_seq_writes: u64,
     pub messages_sent: u64,
     pub messages_handled: u64,
+    pub batches_sent: u64,
+    pub service_msgs: [u64; 6],
     pub locks_granted: u64,
     pub locks_denied: u64,
     pub locks_queued: u64,
@@ -139,6 +156,10 @@ impl CountersSnapshot {
             disk_seq_writes: self.disk_seq_writes - earlier.disk_seq_writes,
             messages_sent: self.messages_sent - earlier.messages_sent,
             messages_handled: self.messages_handled - earlier.messages_handled,
+            batches_sent: self.batches_sent - earlier.batches_sent,
+            service_msgs: std::array::from_fn(|i| {
+                self.service_msgs[i] - earlier.service_msgs[i]
+            }),
             locks_granted: self.locks_granted - earlier.locks_granted,
             locks_denied: self.locks_denied - earlier.locks_denied,
             locks_queued: self.locks_queued - earlier.locks_queued,
@@ -162,6 +183,17 @@ impl CountersSnapshot {
     /// Total physical disk operations.
     pub fn total_ios(&self) -> u64 {
         self.disk_reads + self.disk_writes + self.disk_seq_writes
+    }
+
+    /// Logical message count for one service.
+    pub fn msgs_for(&self, service: Service) -> u64 {
+        self.service_msgs[service.index()]
+    }
+
+    /// Per-service logical message counts, in `Service::ALL` order, for
+    /// reporting tables.
+    pub fn per_service(&self) -> [(Service, u64); 6] {
+        std::array::from_fn(|i| (Service::ALL[i], self.service_msgs[i]))
     }
 }
 
@@ -192,6 +224,21 @@ mod tests {
         let d = after.since(&before);
         assert_eq!(d.disk_reads, 1);
         assert_eq!(d.txns_committed, 1);
+    }
+
+    #[test]
+    fn per_service_counts() {
+        let c = Counters::default();
+        c.service_msg(Service::Txn);
+        c.service_msg(Service::Txn);
+        c.service_msg(Service::Lock);
+        c.batches_sent();
+        let s = c.snapshot();
+        assert_eq!(s.msgs_for(Service::Txn), 2);
+        assert_eq!(s.msgs_for(Service::Lock), 1);
+        assert_eq!(s.msgs_for(Service::File), 0);
+        assert_eq!(s.batches_sent, 1);
+        assert_eq!(s.per_service()[Service::Txn.index()], (Service::Txn, 2));
     }
 
     #[test]

@@ -10,11 +10,23 @@ use std::fmt;
 
 use parking_lot::Mutex;
 
-use locus_types::{Fid, PageNo, Pid, SiteId, TransId, TxnStatus};
+use locus_types::{Fid, PageNo, Pid, Service, SiteId, TransId, TxnStatus};
 
 /// One traced protocol event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
+    /// A kernel-to-kernel RPC crossed the network, tagged with its service
+    /// and message kind. Batch members are logged individually with
+    /// `batched: true` (the batch envelope itself is not logged), so the
+    /// count of `Rpc` events is the count of logical messages while
+    /// `Counters::messages_sent` counts network messages.
+    Rpc {
+        from: SiteId,
+        to: SiteId,
+        service: Service,
+        kind: &'static str,
+        batched: bool,
+    },
     /// Coordinator log record written/updated with the given status.
     CoordLog { site: SiteId, tid: TransId, status: TxnStatus },
     /// Prepare message sent from coordinator to a participant.
@@ -108,7 +120,7 @@ impl EventLog {
 
     /// Index of the first event satisfying `pred`, if any.
     pub fn position(&self, pred: impl Fn(&Event) -> bool) -> Option<usize> {
-        self.events.lock().iter().position(|e| pred(e))
+        self.events.lock().iter().position(pred)
     }
 
     /// Whether an event satisfying `a` occurs strictly before the first event

@@ -16,6 +16,7 @@ pub mod lockmode;
 pub mod logrec;
 pub mod proto;
 pub mod range;
+pub mod service;
 
 pub use error::{Error, Result};
 pub use id::{Channel, Fid, InodeNo, PageNo, PhysPage, Pid, SiteId, TransId, VolumeId};
@@ -23,6 +24,7 @@ pub use lockmode::{AccessKind, LockClass, LockMode, LockRequestMode};
 pub use logrec::{CoordLogRecord, PrepareLogRecord};
 pub use proto::{FileListEntry, IntentionsEntry, IntentionsList, LockDescriptor, Owner, TxnStatus};
 pub use range::ByteRange;
+pub use service::Service;
 
 /// Default page size, in bytes.
 ///

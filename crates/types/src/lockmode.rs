@@ -164,7 +164,6 @@ mod tests {
     #[test]
     fn figure1_matrix_is_exact() {
         use AccessKind::*;
-        use LockMode::*;
         let expect = [
             // Rows: Unix, Shared, Exclusive; cols the same.
             [ReadWrite, ReadOnly, None],

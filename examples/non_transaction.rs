@@ -24,7 +24,7 @@ fn main() {
     // x is a two-record file: x[1] at offset 0, x[2] at offset 1.
     let setup = k.spawn();
     let ch = k.creat(setup, "/x", &mut acct).unwrap();
-    k.write(setup, ch, &[b'0', b'0'], &mut acct).unwrap();
+    k.write(setup, ch, b"00", &mut acct).unwrap();
     k.close(setup, ch, &mut acct).unwrap();
     println!("initial:         x[1]='0'  x[2]='0'");
 

@@ -84,7 +84,7 @@ fn scenario_crash_before_mark() {
         .iter()
         .copied()
         .collect();
-    c.site(0).kernel.home().coord_log_put(
+    c.site(0).kernel.home().unwrap().coord_log_put(
         &locus::types::CoordLogRecord {
             tid,
             files: files.clone(),
@@ -96,11 +96,11 @@ fn scenario_crash_before_mark() {
         .kernel
         .rpc(
             locus::types::SiteId(1),
-            locus::net::Msg::Prepare {
+            locus::net::Msg::Txn(locus::net::TxnMsg::Prepare {
                 tid,
                 coordinator: locus::types::SiteId(0),
                 files: files.iter().map(|f| f.fid).collect(),
-            },
+            }),
             &mut a,
         )
         .unwrap();

@@ -1,0 +1,244 @@
+//! Network-economy tests for the batched 2PC fan-out: a multi-file
+//! transaction must cost at most one network message per participant site
+//! per protocol phase, phase-two work queued for the same site coalesces
+//! into a single `Msg::Batch`, and a participant crash between the prepares
+//! of a fan-out cascades into an abort that rolls back the already-prepared
+//! site.
+
+use locus::harness::Cluster;
+use locus::sim::Event;
+use locus::types::{Service, SiteId};
+
+/// Creates `names[i]` at `sites[i]` with initial contents `old!`.
+fn seed_files(c: &Cluster, files: &[(usize, &str)]) {
+    for &(site, name) in files {
+        let mut acct = c.account(site);
+        let p = c.site(site).kernel.spawn();
+        let ch = c.site(site).kernel.creat(p, name, &mut acct).unwrap();
+        c.site(site).kernel.write(p, ch, b"old!", &mut acct).unwrap();
+        c.site(site).kernel.close(p, ch, &mut acct).unwrap();
+    }
+}
+
+fn read_value(c: &Cluster, site: usize, name: &str) -> Vec<u8> {
+    let mut a = c.account(site);
+    let p = c.site(site).kernel.spawn();
+    let ch = c.site(site).kernel.open(p, name, false, &mut a).unwrap();
+    c.site(site).kernel.read(p, ch, 4, &mut a).unwrap()
+}
+
+/// ISSUE acceptance criterion: a two-participant, five-file transaction
+/// sends at most one network message per site per 2PC phase.
+#[test]
+fn commit_sends_one_message_per_site_per_phase() {
+    let c = Cluster::new(3);
+    // Three files at site 1, two at site 2; coordinator at site 0.
+    let files = [
+        (1usize, "/a1"),
+        (1, "/a2"),
+        (1, "/a3"),
+        (2, "/b1"),
+        (2, "/b2"),
+    ];
+    seed_files(&c, &files);
+
+    let mut acct = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+    for &(_, name) in &files {
+        let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
+        c.site(0).kernel.write(pid, ch, b"new!", &mut acct).unwrap();
+    }
+
+    // Phase one: `EndTrans` runs the prepare fan-out synchronously.
+    c.events.clear();
+    let before = c.counters();
+    c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+    let after = c.counters();
+    // Two participant sites, five files: exactly two network messages, one
+    // Prepare per site carrying all of that site's fids.
+    assert_eq!(after.messages_sent - before.messages_sent, 2);
+    assert_eq!(after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn), 2);
+    let prepares: Vec<_> = c
+        .events
+        .all()
+        .into_iter()
+        .filter(|e| matches!(e, Event::Rpc { kind: "Prepare", .. }))
+        .collect();
+    assert_eq!(prepares.len(), 2, "{prepares:?}");
+    for site in [SiteId(1), SiteId(2)] {
+        assert_eq!(
+            prepares
+                .iter()
+                .filter(|e| matches!(e, Event::Rpc { to, .. } if *to == site))
+                .count(),
+            1,
+            "site {site} must receive exactly one prepare"
+        );
+    }
+
+    // Phase two: one Commit message per participant site.
+    c.events.clear();
+    let before = c.counters();
+    assert_eq!(c.drain_async(), 1);
+    let after = c.counters();
+    assert_eq!(after.messages_sent - before.messages_sent, 2);
+    for site in [SiteId(1), SiteId(2)] {
+        let commits = c.events.count(|e| {
+            matches!(e, Event::Rpc { to, kind: "Commit", .. } if *to == site)
+        });
+        assert_eq!(commits, 1, "site {site} must receive exactly one commit");
+    }
+
+    for &(site, name) in &files {
+        assert_eq!(read_value(&c, site, name), b"new!", "{name}");
+    }
+}
+
+/// Phase-two work queued for the same storage site — here from two separate
+/// transactions — rides one `Msg::Batch`: one network message, counted as a
+/// batch, with each member still traced under the Txn service.
+#[test]
+fn phase_two_commits_to_one_site_coalesce_into_a_batch() {
+    let c = Cluster::new(2);
+    seed_files(&c, &[(1, "/f1"), (1, "/f2")]);
+
+    let mut acct = c.account(0);
+    for name in ["/f1", "/f2"] {
+        let pid = c.site(0).kernel.spawn();
+        c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+        let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
+        c.site(0).kernel.write(pid, ch, b"new!", &mut acct).unwrap();
+        c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+    }
+
+    // Both transactions are past their commit points with phase two queued.
+    c.events.clear();
+    let before = c.counters();
+    assert_eq!(c.drain_async(), 2);
+    let after = c.counters();
+    assert_eq!(
+        after.messages_sent - before.messages_sent,
+        1,
+        "two phase-two commits to one site must share one network message"
+    );
+    assert_eq!(after.batches_sent - before.batches_sent, 1);
+    assert_eq!(after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn), 2);
+    let batched_commits = c.events.count(|e| {
+        matches!(e, Event::Rpc { kind: "Commit", batched: true, .. })
+    });
+    assert_eq!(batched_commits, 2);
+
+    assert_eq!(read_value(&c, 1, "/f1"), b"new!");
+    assert_eq!(read_value(&c, 1, "/f2"), b"new!");
+}
+
+/// Fault injection: one participant crashes between the prepares of the
+/// fan-out. The coordinator must cascade the abort to the site that already
+/// prepared, rolling its changes back and purging its prepare log.
+#[test]
+fn participant_crash_mid_prepare_fanout_cascades_abort() {
+    let c = Cluster::new(3);
+    seed_files(&c, &[(1, "/a"), (2, "/b")]);
+
+    let mut acct = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+    for name in ["/a", "/b"] {
+        let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
+        c.site(0).kernel.write(pid, ch, b"new!", &mut acct).unwrap();
+    }
+
+    // Site 2 dies before the fan-out reaches it. The sequential fan-out
+    // prepares site 1 first (prepare log written, pages pinned), then fails
+    // against site 2 and must abort the whole transaction.
+    c.crash_site(2);
+    c.events.clear();
+    let before = c.counters();
+    assert!(c.site(0).txn.end_trans(pid, &mut acct).is_err());
+    let after = c.counters();
+    assert_eq!(after.txns_aborted - before.txns_aborted, 1);
+
+    // Site 1 prepared, then was told to abort.
+    assert_eq!(
+        c.events.count(|e| matches!(
+            e,
+            Event::Rpc { to: SiteId(1), kind: "Prepare", .. }
+        )),
+        1
+    );
+    // The cascade rides the asynchronous phase-two queue.
+    c.drain_async();
+    assert!(
+        c.events.count(|e| matches!(
+            e,
+            Event::Rpc { to: SiteId(1), kind: "AbortFiles", .. }
+        )) >= 1,
+        "abort must cascade to the prepared participant: {:?}",
+        c.events.all()
+    );
+
+    // The prepared site rolled back: old data, no leftover prepare log.
+    assert_eq!(read_value(&c, 1, "/a"), b"old!");
+    let mut a1 = c.account(1);
+    assert!(c
+        .site(1)
+        .kernel
+        .home()
+        .unwrap()
+        .prepare_log_scan(&mut a1)
+        .is_empty());
+
+    // The crashed site recovers to the old value too (abort was never
+    // delivered; recovery resolves the in-doubt transaction by asking the
+    // coordinator).
+    c.reboot_site(2);
+    c.drain_async();
+    assert_eq!(read_value(&c, 2, "/b"), b"old!");
+}
+
+/// Every cross-site RPC in a mixed workload is tagged with its service and
+/// message kind in the event log.
+#[test]
+fn every_cross_site_rpc_is_service_tagged() {
+    let c = Cluster::new(2);
+    seed_files(&c, &[(1, "/t")]);
+    c.events.clear();
+
+    let mut acct = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+    let ch = c.site(0).kernel.open(pid, "/t", true, &mut acct).unwrap();
+    assert_eq!(c.site(0).kernel.read(pid, ch, 4, &mut acct).unwrap(), b"old!");
+    c.site(0).kernel.lseek(pid, ch, 0, &mut acct).unwrap();
+    c.site(0).kernel.write(pid, ch, b"new!", &mut acct).unwrap();
+    c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+    c.drain_async();
+
+    let rpcs: Vec<_> = c
+        .events
+        .all()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Rpc { service, kind, .. } => Some((service, kind)),
+            _ => None,
+        })
+        .collect();
+    assert!(!rpcs.is_empty());
+    for (_, kind) in &rpcs {
+        assert!(!kind.is_empty());
+    }
+    // The workload exercises at least the file, lock, and txn services.
+    for svc in [Service::File, Service::Lock, Service::Txn] {
+        assert!(
+            rpcs.iter().any(|(s, _)| *s == svc),
+            "no {svc:?} RPC traced: {rpcs:?}"
+        );
+    }
+    // Logical per-service counts match the event log.
+    let snap = c.counters();
+    for svc in [Service::File, Service::Lock, Service::Txn] {
+        let logged = rpcs.iter().filter(|(s, _)| *s == svc).count() as u64;
+        assert!(snap.msgs_for(svc) >= logged);
+    }
+}

@@ -27,7 +27,7 @@ fn volume_carried_to_another_site_recovers_prepared_transaction() {
     // Site 1 dies for good before phase two reaches it. Its disk — with the
     // data blocks, the shadow pages, AND the prepare log — is physically
     // moved to site 2.
-    let volume = c.site(1).kernel.home();
+    let volume = c.site(1).kernel.home().unwrap();
     c.transport.site_down(SiteId(1));
     c.drain_async(); // Phase two cannot deliver; stays queued at site 0.
     // Pulling the disk out of the dead machine: volatile buffers are gone,
@@ -80,7 +80,7 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
         .iter()
         .copied()
         .collect();
-    c.site(0).kernel.home().coord_log_put(
+    c.site(0).kernel.home().unwrap().coord_log_put(
         &locus::types::CoordLogRecord {
             tid,
             files: files.clone(),
@@ -92,15 +92,15 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
         .kernel
         .rpc(
             SiteId(1),
-            locus::net::Msg::Prepare {
+            locus::net::Msg::Txn(locus::net::TxnMsg::Prepare {
                 tid,
                 coordinator: SiteId(0),
                 files: files.iter().map(|f| f.fid).collect(),
-            },
+            }),
             &mut a0,
         )
         .unwrap();
-    let volume = c.site(1).kernel.home();
+    let volume = c.site(1).kernel.home().unwrap();
     c.crash_site(0);
     c.transport.site_down(SiteId(1));
     volume.crash();

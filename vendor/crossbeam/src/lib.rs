@@ -1,0 +1,31 @@
+//! Offline stand-in for the `crossbeam` crate, backed by std.
+//!
+//! `crossbeam::thread::scope` re-exports `std::thread::scope` (structured
+//! scoped spawning has been in std since 1.63, with the same join-on-exit
+//! guarantee crossbeam pioneered), and `crossbeam::channel` maps onto
+//! `std::sync::mpsc`. Only the surface the workspace uses is provided.
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+pub mod channel {
+    pub use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut totals = vec![0u64; data.len()];
+        crate::thread::scope(|s| {
+            for (slot, v) in totals.iter_mut().zip(&data) {
+                s.spawn(move || {
+                    *slot = v * 10;
+                });
+            }
+        });
+        assert_eq!(totals, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace never serializes through serde — the wire format is the
+//! hand-rolled codec in `locus_types::codec` — but several types carry
+//! `#[derive(Serialize, Deserialize)]` as documentation of what crosses the
+//! wire. This shim provides marker traits and (via the `derive` feature)
+//! no-op derive macros so those annotations compile without a registry.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,14 @@
+//! No-op derive macros for the offline `serde` shim. The derives expand to
+//! nothing; the shim's `Serialize`/`Deserialize` traits are pure markers.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

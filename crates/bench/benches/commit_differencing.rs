@@ -24,16 +24,12 @@ fn bench_commit_image(c: &mut Criterion) {
                 &[w as u8 + 1; 100],
             );
         }
-        group.bench_with_input(
-            BenchmarkId::new("writers", writers),
-            &writers,
-            |b, _| {
-                b.iter(|| {
-                    let (img, diffed, _) = page.commit_image(owner_t(1)).unwrap();
-                    criterion::black_box((img, diffed));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("writers", writers), &writers, |b, _| {
+            b.iter(|| {
+                let (img, diffed, _) = page.commit_image(owner_t(1)).unwrap();
+                criterion::black_box((img, diffed));
+            });
+        });
     }
     group.finish();
 }
@@ -59,14 +55,28 @@ fn bench_single_file_commit(c: &mut Criterion) {
                         let o = k.spawn();
                         let oc = k.open(o, "/f", true, &mut a).unwrap();
                         k.lseek(o, oc, 700, &mut a).unwrap();
-                        k.lock(o, oc, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-                            .unwrap();
+                        k.lock(
+                            o,
+                            oc,
+                            64,
+                            LockRequestMode::Exclusive,
+                            LockOpts::default(),
+                            &mut a,
+                        )
+                        .unwrap();
                         k.write(o, oc, &[9u8; 64], &mut a).unwrap();
                     }
                     let w = k.spawn();
                     let wc = k.open(w, "/f", true, &mut a).unwrap();
-                    k.lock(w, wc, 128, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-                        .unwrap();
+                    k.lock(
+                        w,
+                        wc,
+                        128,
+                        LockRequestMode::Exclusive,
+                        LockOpts::default(),
+                        &mut a,
+                    )
+                    .unwrap();
                     k.write(w, wc, &[7u8; 128], &mut a).unwrap();
                     (cluster, w, wc)
                 },

@@ -47,7 +47,14 @@ fn bench_lock_ops(c: &mut Criterion) {
                 cluster
                     .site(site)
                     .kernel
-                    .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                    .lock(
+                        p,
+                        ch,
+                        16,
+                        LockRequestMode::Exclusive,
+                        LockOpts::default(),
+                        &mut acct,
+                    )
                     .unwrap();
                 cluster
                     .site(site)
@@ -78,17 +85,33 @@ fn bench_lock_list_scaling(c: &mut Criterion) {
         k.write(p, ch, &vec![0u8; 1 << 20], &mut a).unwrap();
         for i in 0..held {
             k.lseek(p, ch, (i as u64) * 32, &mut a).unwrap();
-            k.lock(p, ch, 16, LockRequestMode::Shared, LockOpts::default(), &mut a)
-                .unwrap();
+            k.lock(
+                p,
+                ch,
+                16,
+                LockRequestMode::Shared,
+                LockOpts::default(),
+                &mut a,
+            )
+            .unwrap();
         }
         let probe = k.spawn();
         let pch = k.open(probe, "/f", true, &mut a).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(held), &held, |b, _| {
             b.iter(|| {
-                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a).unwrap();
-                k.lock(probe, pch, 8, LockRequestMode::Shared, LockOpts::default(), &mut a)
+                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a)
                     .unwrap();
-                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a).unwrap();
+                k.lock(
+                    probe,
+                    pch,
+                    8,
+                    LockRequestMode::Shared,
+                    LockOpts::default(),
+                    &mut a,
+                )
+                .unwrap();
+                k.lseek(probe, pch, (held as u64) * 64 + 17, &mut a)
+                    .unwrap();
                 k.unlock(probe, pch, 8, &mut a).unwrap();
             });
         });

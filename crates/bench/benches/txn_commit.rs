@@ -61,8 +61,16 @@ fn bench_abort(c: &mut Criterion) {
                 let ch = cluster.site(0).kernel.creat(pid, "/f", &mut a).unwrap();
                 cluster.site(0).kernel.close(pid, ch, &mut a).unwrap();
                 cluster.site(0).txn.begin_trans(pid, &mut a).unwrap();
-                let ch = cluster.site(0).kernel.open(pid, "/f", true, &mut a).unwrap();
-                cluster.site(0).kernel.write(pid, ch, &[2u8; 256], &mut a).unwrap();
+                let ch = cluster
+                    .site(0)
+                    .kernel
+                    .open(pid, "/f", true, &mut a)
+                    .unwrap();
+                cluster
+                    .site(0)
+                    .kernel
+                    .write(pid, ch, &[2u8; 256], &mut a)
+                    .unwrap();
                 (cluster, pid)
             },
             |(cluster, pid)| {

@@ -4,5 +4,8 @@ use locus_harness::experiments::lock_migration_ablation;
 use locus_sim::CostModel;
 
 fn main() {
-    println!("{}", lock_migration_ablation(CostModel::default(), 32).render());
+    println!(
+        "{}",
+        lock_migration_ablation(CostModel::default(), 32).render()
+    );
 }

@@ -1,5 +1,8 @@
 //! Prints Figure 3: a live lock list at a storage site.
 use locus_sim::CostModel;
 fn main() {
-    print!("{}", locus_harness::experiments::fig3_lock_list(CostModel::default()));
+    print!(
+        "{}",
+        locus_harness::experiments::fig3_lock_list(CostModel::default())
+    );
 }

@@ -1,5 +1,8 @@
 //! Prints Figure 4: direct vs differencing record commit.
 use locus_sim::CostModel;
 fn main() {
-    print!("{}", locus_harness::experiments::fig4_record_commit(CostModel::default()).render());
+    print!(
+        "{}",
+        locus_harness::experiments::fig4_record_commit(CostModel::default()).render()
+    );
 }

@@ -5,7 +5,10 @@ use locus_sim::CostModel;
 
 fn main() {
     println!("{}", fig6_commit_performance(CostModel::default()).render());
-    let big_pages = CostModel { page_size: 4096, ..CostModel::default() };
+    let big_pages = CostModel {
+        page_size: 4096,
+        ..CostModel::default()
+    };
     println!("-- footnote 11: 4 KB pages --");
     println!("{}", fig6_commit_performance(big_pages).render());
 }

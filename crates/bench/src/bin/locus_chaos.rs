@@ -1,0 +1,232 @@
+//! The chaos driver: seeded fault-schedule runs with invariant oracles.
+//!
+//! ```text
+//! locus-chaos --seed 7                 # one seed, full report
+//! locus-chaos --seeds 1..16            # inclusive seed range (CI matrix)
+//! locus-chaos --seeds-from-entropy --duration 300s   # nightly sweep
+//! locus-chaos --schedule sched.txt --seed 7          # replay a schedule
+//! locus-chaos --seeds 1..16 --check-determinism      # trace equality
+//! locus-chaos ... --artifacts out/     # write failing repros to out/
+//! ```
+//!
+//! Exits nonzero if any run violates an oracle (or, under
+//! `--check-determinism`, replays to a different trace). On violation the
+//! seed, the full schedule, and a greedily minimized schedule are printed;
+//! `--seed N` with the same binary reproduces the run exactly.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use locus_harness::chaos::{minimize, run_schedule, run_seed, ChaosConfig, Schedule};
+
+struct Args {
+    seeds: Vec<u64>,
+    entropy: bool,
+    duration: Option<Duration>,
+    schedule: Option<PathBuf>,
+    check_determinism: bool,
+    artifacts: Option<PathBuf>,
+    trace: bool,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("locus-chaos: {err}");
+    eprintln!(
+        "usage: locus-chaos [--seed N | --seeds A..B | --seeds-from-entropy] \
+         [--duration SECS] [--schedule FILE] [--check-determinism] [--artifacts DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let digits = s.strip_suffix('s').unwrap_or(s);
+    digits.parse::<u64>().ok().map(Duration::from_secs)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: Vec::new(),
+        entropy: false,
+        duration: None,
+        schedule: None,
+        check_determinism: false,
+        artifacts: None,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                args.seeds
+                    .push(v.parse().unwrap_or_else(|_| usage("bad --seed")));
+            }
+            "--seeds" => {
+                let v = value("--seeds");
+                let (a, b) = v
+                    .split_once("..")
+                    .unwrap_or_else(|| usage("--seeds wants A..B (inclusive)"));
+                let (a, b): (u64, u64) = match (a.parse(), b.parse()) {
+                    (Ok(a), Ok(b)) if a <= b => (a, b),
+                    _ => usage("bad --seeds range"),
+                };
+                args.seeds.extend(a..=b);
+            }
+            "--seeds-from-entropy" => args.entropy = true,
+            "--duration" => {
+                let v = value("--duration");
+                args.duration = Some(parse_duration(&v).unwrap_or_else(|| usage("bad --duration")));
+            }
+            "--schedule" => args.schedule = Some(PathBuf::from(value("--schedule"))),
+            "--check-determinism" => args.check_determinism = true,
+            "--artifacts" => args.artifacts = Some(PathBuf::from(value("--artifacts"))),
+            "--trace" => args.trace = true,
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if args.seeds.is_empty() && !args.entropy && args.schedule.is_none() {
+        usage("nothing to run: give --seed, --seeds, --seeds-from-entropy, or --schedule");
+    }
+    args
+}
+
+/// Runs one seed (optionally against an explicit schedule), prints its
+/// report, and on violation prints + stores the minimized repro. Returns
+/// whether the run was clean.
+fn run_one(
+    seed: u64,
+    explicit: Option<&Schedule>,
+    check_determinism: bool,
+    artifacts: Option<&PathBuf>,
+    trace: bool,
+) -> bool {
+    let cfg = ChaosConfig::with_seed(seed);
+    let report = match explicit {
+        Some(s) => run_schedule(&cfg, s),
+        None => run_seed(&cfg),
+    };
+    print!("{report}");
+    if trace {
+        println!("--- trace ---");
+        print!("{}", report.trace);
+    }
+    let mut ok = report.ok();
+    if ok && check_determinism {
+        let again = match explicit {
+            Some(s) => run_schedule(&cfg, s),
+            None => run_seed(&cfg),
+        };
+        if again.trace != report.trace {
+            println!("seed {seed}: NONDETERMINISTIC (replay produced a different trace)");
+            ok = false;
+        } else {
+            println!(
+                "seed {seed}: trace is replay-identical ({} events)",
+                report.trace.lines().count()
+            );
+        }
+    }
+    if !report.ok() {
+        let min = minimize(&report.schedule, |cand| {
+            !run_schedule(&cfg, cand).violations.is_empty()
+        });
+        println!(
+            "--- minimized schedule ({} of {} faults) ---",
+            min.len(),
+            report.schedule.len()
+        );
+        print!("{min}");
+        if let Some(dir) = artifacts {
+            let _ = fs::create_dir_all(dir);
+            let _ = fs::write(
+                dir.join(format!("seed-{seed}.report.txt")),
+                report.to_string(),
+            );
+            let _ = fs::write(
+                dir.join(format!("seed-{seed}.schedule.txt")),
+                report.schedule.to_string(),
+            );
+            let _ = fs::write(
+                dir.join(format!("seed-{seed}.minimized.txt")),
+                min.to_string(),
+            );
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let explicit = args.schedule.as_ref().map(|p| {
+        let text = fs::read_to_string(p)
+            .unwrap_or_else(|e| usage(&format!("cannot read {}: {e}", p.display())));
+        text.parse::<Schedule>()
+            .unwrap_or_else(|e| usage(&format!("cannot parse {}: {e}", p.display())))
+    });
+
+    let mut failures = 0usize;
+    let mut explored = 0usize;
+    if explicit.is_some() && args.seeds.len() <= 1 && !args.entropy {
+        // Schedule replay: single run under the given (or default 0) seed.
+        let seed = args.seeds.first().copied().unwrap_or(0);
+        explored += 1;
+        if !run_one(
+            seed,
+            explicit.as_ref(),
+            args.check_determinism,
+            args.artifacts.as_ref(),
+            args.trace,
+        ) {
+            failures += 1;
+        }
+    } else {
+        for &seed in &args.seeds {
+            explored += 1;
+            if !run_one(
+                seed,
+                explicit.as_ref(),
+                args.check_determinism,
+                args.artifacts.as_ref(),
+                args.trace,
+            ) {
+                failures += 1;
+            }
+        }
+        if args.entropy {
+            // Nightly sweep: start from a wall-clock-derived seed and keep
+            // exploring until the duration budget runs out.
+            let start = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0xDEAD_BEEF);
+            let budget = args.duration.unwrap_or(Duration::from_secs(60));
+            let t0 = Instant::now();
+            let mut seed = start;
+            while t0.elapsed() < budget {
+                explored += 1;
+                if !run_one(
+                    seed,
+                    None,
+                    args.check_determinism,
+                    args.artifacts.as_ref(),
+                    args.trace,
+                ) {
+                    failures += 1;
+                }
+                seed = seed.wrapping_add(1);
+            }
+        }
+    }
+    println!("explored {explored} run(s), {failures} with violations");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -14,7 +14,10 @@ fn main() {
     println!("{}", exp::fig5_txn_io(model(), 1, 4).render());
     println!("{}", exp::fig5_txn_io(model(), 3, 1).render());
     println!("-- footnote 9 variant (1985 prototype, double log writes) --");
-    println!("{}", exp::fig5_txn_io(CostModel::paper_1985(), 1, 1).render());
+    println!(
+        "{}",
+        exp::fig5_txn_io(CostModel::paper_1985(), 1, 1).render()
+    );
     println!("{}", exp::lock_latency(model()).render());
     println!("{}", exp::fig6_commit_performance(model()).render());
     println!("{}", exp::prefetch_ablation(model()).render());

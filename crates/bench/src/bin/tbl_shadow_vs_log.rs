@@ -14,18 +14,16 @@ use locus_wal::model::{sweep, wal_cost};
 fn main() {
     let model = CostModel::default();
     let rows = sweep(8, 1, &model);
-    let mut t = Table::new(
-        "Section 6: shadow paging vs commit log — 8-record transaction, 1 file",
-    )
-    .header([
-        "record B",
-        "rec/page",
-        "shadow sync I/O",
-        "wal sync I/O",
-        "sync ratio",
-        "total ratio",
-        "competitive?",
-    ]);
+    let mut t = Table::new("Section 6: shadow paging vs commit log — 8-record transaction, 1 file")
+        .header([
+            "record B",
+            "rec/page",
+            "shadow sync I/O",
+            "wal sync I/O",
+            "sync ratio",
+            "total ratio",
+            "competitive?",
+        ]);
     let mut competitive = 0;
     for row in &rows {
         let sr = row.sync_ratio(&model);

@@ -1,6 +1,6 @@
 //! The per-site transaction manager.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -49,6 +49,14 @@ pub struct TxnManager {
     next_seq: AtomicU64,
     coordinating: Mutex<HashMap<TransId, CoordState>>,
     async_work: Mutex<VecDeque<Phase2Work>>,
+    /// Transactions this site has rolled back as a participant (presumed
+    /// abort, Section 4.3). Once a transaction's state has been discarded
+    /// here — typically unilaterally, after a partition cut off its home
+    /// site — the site must vote no on any later prepare for it, even if the
+    /// transaction's processes re-established locks or dirty pages after the
+    /// partition healed: the discarded writes are unrecoverable, so letting
+    /// the commit proceed would silently lose them.
+    refused: Mutex<BTreeSet<TransId>>,
     /// When set, 2PC prepare messages to distinct participant sites are sent
     /// concurrently from scoped threads (enabled by the threaded driver; the
     /// deterministic simulation keeps the sequential order). The
@@ -64,6 +72,7 @@ impl TxnManager {
             next_seq: AtomicU64::new(1),
             coordinating: Mutex::new(HashMap::new()),
             async_work: Mutex::new(VecDeque::new()),
+            refused: Mutex::new(BTreeSet::new()),
             parallel_fanout: AtomicBool::new(false),
         }
     }
@@ -165,10 +174,9 @@ impl TxnManager {
             .registry
             .lookup(top)
             .ok_or(Error::NoSuchProcess(top))?;
-        self.kernel.events.push(Event::AbortSent {
-            tid,
-            to: top_site,
-        });
+        self.kernel
+            .events
+            .push(Event::AbortSent { tid, to: top_site });
         self.txn_rpc(top_site, TxnMsg::AbortProc { tid, pid: top }, acct)?;
         self.kernel.counters.txns_aborted();
         self.kernel.events.push(Event::Aborted { tid });
@@ -257,7 +265,9 @@ impl TxnManager {
         acct: &mut Account,
     ) -> bool {
         let prepare_one = |site: SiteId, fids: &[Fid], a: &mut Account| -> bool {
-            self.kernel.events.push(Event::PrepareSent { tid, to: site });
+            self.kernel
+                .events
+                .push(Event::PrepareSent { tid, to: site });
             let resp = self.txn_rpc(
                 site,
                 TxnMsg::Prepare {
@@ -478,11 +488,9 @@ impl TxnManager {
                     .map(|r| r.status);
                 Ok(Msg::Txn(TxnMsg::StatusAnswer { status }))
             }
-            other @ (TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }) => {
-                Err(Error::ProtocolViolation(format!(
-                    "transaction manager cannot handle {other:?}"
-                )))
-            }
+            other @ (TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }) => Err(
+                Error::ProtocolViolation(format!("transaction manager cannot handle {other:?}")),
+            ),
         }
     }
 
@@ -497,11 +505,38 @@ impl TxnManager {
         files: &[Fid],
         acct: &mut Account,
     ) -> bool {
+        // A transaction this site has already rolled back can never prepare
+        // here again, no matter what state its processes re-established
+        // since: the discarded writes are gone (presumed abort).
+        if self.refused.lock().contains(&tid) {
+            return false;
+        }
         let owner = Owner::Trans(tid);
+        // Outstanding lock leases must come home before the lock lists are
+        // snapshotted into the prepare logs (Section 5.2 + 4.2) — and before
+        // the known-transaction check below, which consults the lock tables.
         for fid in files {
-            // An outstanding lock lease must come home before the lock list
-            // is snapshotted into the prepare log (Section 5.2 + 4.2).
             let _ = self.kernel.reclaim_lease(*fid, acct);
+        }
+        // Presumed abort: vote no on a transaction this site knows nothing
+        // about — no live coordinator entry, no locks, no uncommitted
+        // modifications, no prepare log. That is exactly the state after a
+        // crash or partition rolled the transaction back here unilaterally;
+        // answering yes would let the coordinator commit a write set this
+        // site already discarded, silently losing the writes. A coordinator
+        // entry counts as knowledge so the coordinator's own site can vote
+        // yes on a write-free participation (nothing to flush, nothing lost).
+        let known = self.coordinating.lock().contains_key(&tid)
+            || self.kernel.locks.owner_has_locks(owner)
+            || files.iter().any(|fid| {
+                self.kernel.volume(fid.volume).ok().is_some_and(|vol| {
+                    vol.owner_dirty(*fid, owner) || vol.prepare_log_get(tid, *fid, acct).is_some()
+                })
+            });
+        if !known {
+            return false;
+        }
+        for fid in files {
             let Ok(vol) = self.kernel.volume(fid.volume) else {
                 return false;
             };
@@ -572,6 +607,8 @@ impl TxnManager {
     /// Participant abort: roll the files back and release the transaction's
     /// locks. Duplicate aborts are harmless (temporally unique ids).
     fn participant_abort(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
+        // Once rolled back here, always refused here (presumed abort).
+        self.refused.lock().insert(tid);
         let owner = Owner::Trans(tid);
         for fid in files {
             let _ = self.kernel.reclaim_lease(*fid, acct);
@@ -649,16 +686,17 @@ impl TxnManager {
         // participants.
         let to_abort: Vec<(TransId, Vec<FileListEntry>)> = {
             let coord = self.coordinating.lock();
-            coord
+            let mut v: Vec<(TransId, Vec<FileListEntry>)> = coord
                 .iter()
                 .filter(|(_, c)| c.status == TxnStatus::Unknown)
-                .filter(|(_, c)| {
-                    c.files
-                        .iter()
-                        .any(|f| !reachable.contains(&f.storage_site))
-                })
+                .filter(|(_, c)| c.files.iter().any(|f| !reachable.contains(&f.storage_site)))
                 .map(|(tid, c)| (*tid, c.files.clone()))
-                .collect()
+                .collect();
+            // Deterministic abort order: the coordinating map is a HashMap
+            // and its iteration order must not leak into the event trace
+            // (seed-replayability requires byte-identical traces).
+            v.sort_by_key(|(tid, _)| *tid);
+            v
         };
         for (tid, files) in to_abort {
             let Ok(vol) = self.kernel.home() else {
@@ -700,7 +738,9 @@ impl TxnManager {
         // that already has a prepare log stays in doubt — once prepared, the
         // outcome belongs to the coordinator and recovery will resolve it.
         let snapshot = self.kernel.locks.snapshot();
-        let mut lost: HashMap<TransId, Vec<Fid>> = HashMap::new();
+        // BTreeMap, not HashMap: the rollback order below emits events and
+        // must be identical across runs of the same seed.
+        let mut lost: BTreeMap<TransId, Vec<Fid>> = BTreeMap::new();
         for (fid, descs) in &snapshot.held {
             for d in descs {
                 if let (Some(tid), locus_types::LockClass::Transaction) = (d.tid, d.class) {
@@ -752,9 +792,9 @@ impl TxnManager {
     /// Reboot-time transaction recovery: "before transactions are permitted
     /// to run, the transaction recovery mechanism is started."
     pub fn recover(&self, acct: &mut Account) -> RecoveryReport {
-        self.kernel.events.push(Event::RecoveryStart {
-            site: self.site(),
-        });
+        self.kernel
+            .events
+            .push(Event::RecoveryStart { site: self.site() });
         let mut report = RecoveryReport::default();
         for vol in self.kernel.mounted_volumes() {
             self.recover_volume(&vol, acct, &mut report);
@@ -777,7 +817,9 @@ impl TxnManager {
             let participants = group_by_site(&rec.files);
             match rec.status {
                 TxnStatus::Committed => {
-                    self.kernel.events.push(Event::RecoveryRedo { tid: rec.tid });
+                    self.kernel
+                        .events
+                        .push(Event::RecoveryRedo { tid: rec.tid });
                     self.queue_phase2(rec.tid, true, participants);
                     self.coordinating.lock().insert(
                         rec.tid,
@@ -789,7 +831,9 @@ impl TxnManager {
                     report.redone += 1;
                 }
                 TxnStatus::Unknown | TxnStatus::Aborted => {
-                    self.kernel.events.push(Event::RecoveryAbort { tid: rec.tid });
+                    self.kernel
+                        .events
+                        .push(Event::RecoveryAbort { tid: rec.tid });
                     let _ = vol.coord_log_set_status(rec.tid, TxnStatus::Aborted, acct);
                     self.queue_phase2(rec.tid, false, participants);
                     self.coordinating.lock().insert(
@@ -810,7 +854,11 @@ impl TxnManager {
             let status = if rec.coordinator == self.site() {
                 vol.coord_log_get(rec.tid, acct).map(|r| r.status)
             } else {
-                match self.txn_rpc(rec.coordinator, TxnMsg::StatusInquiry { tid: rec.tid }, acct) {
+                match self.txn_rpc(
+                    rec.coordinator,
+                    TxnMsg::StatusInquiry { tid: rec.tid },
+                    acct,
+                ) {
                     Ok(Msg::Txn(TxnMsg::StatusAnswer { status })) => status,
                     _ => {
                         // Coordinator unreachable: stay in doubt, keep the

@@ -9,9 +9,7 @@ use locus_kernel::{Catalog, Kernel, LockOpts};
 use locus_net::SimTransport;
 use locus_proc::ProcessRegistry;
 use locus_sim::{Account, CostModel, Counters, Event, EventLog};
-use locus_types::{
-    ByteRange, Error, LockRequestMode, SiteId, TxnStatus, VolumeId,
-};
+use locus_types::{ByteRange, Error, LockRequestMode, SiteId, TxnStatus, VolumeId};
 
 use crate::manager::EndOutcome;
 use crate::site::Site;
@@ -313,7 +311,13 @@ fn commit_protocol_event_ordering() {
     // Coordinator log (unknown) → prepare sent → data flush → prepare log →
     // commit mark → phase-two commit → file commit.
     assert!(ev.happens_before(
-        |e| matches!(e, Event::CoordLog { status: TxnStatus::Unknown, .. }),
+        |e| matches!(
+            e,
+            Event::CoordLog {
+                status: TxnStatus::Unknown,
+                ..
+            }
+        ),
         |e| matches!(e, Event::PrepareSent { .. }),
     ));
     assert!(ev.happens_before(
@@ -502,8 +506,15 @@ fn figure2_adoption_preserves_serializability() {
     // Non-transaction program: writelock x[1]; x[1] := C; unlock x[1].
     let nontxn = k.spawn();
     let nch = k.open(nontxn, "/x", true, &mut a).unwrap();
-    k.lock(nontxn, nch, 1, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        nontxn,
+        nch,
+        1,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     k.write(nontxn, nch, b"C", &mut a).unwrap();
     k.lseek(nontxn, nch, 0, &mut a).unwrap();
     k.unlock(nontxn, nch, 1, &mut a).unwrap();
@@ -545,8 +556,15 @@ fn retained_locks_block_until_commit() {
     let txn = k.spawn();
     s.txn.begin_trans(txn, &mut a).unwrap();
     let tch = k.open(txn, "/f", true, &mut a).unwrap();
-    k.lock(txn, tch, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        txn,
+        tch,
+        10,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     k.write(txn, tch, b"dirty", &mut a).unwrap();
     // Explicit unlock inside the transaction: the lock is RETAINED.
     k.lseek(txn, tch, 0, &mut a).unwrap();
@@ -556,7 +574,14 @@ fn retained_locks_block_until_commit() {
     let other = k.spawn();
     let och = k.open(other, "/f", true, &mut a).unwrap();
     assert!(matches!(
-        k.lock(other, och, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        k.lock(
+            other,
+            och,
+            10,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        ),
         Err(Error::LockConflict { .. })
     ));
 
@@ -564,12 +589,20 @@ fn retained_locks_block_until_commit() {
     s.txn.end_trans(txn, &mut a).unwrap();
     c.drain_async();
     assert!(k
-        .lock(other, och, 10, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .lock(
+            other,
+            och,
+            10,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
-    assert!(c
-        .events
-        .count(|e| matches!(e, Event::RetainedReleased { .. }))
-        >= 1);
+    assert!(
+        c.events
+            .count(|e| matches!(e, Event::RetainedReleased { .. }))
+            >= 1
+    );
 }
 
 #[test]
@@ -601,10 +634,11 @@ fn child_file_list_merges_into_commit() {
     // Now the commit includes the child's file.
     s0.txn.end_trans(parent, &mut a0).unwrap();
     c.drain_async();
-    assert!(c
-        .events
-        .count(|e| matches!(e, Event::FileListMerged { .. }))
-        >= 1);
+    assert!(
+        c.events
+            .count(|e| matches!(e, Event::FileListMerged { .. }))
+            >= 1
+    );
     let p = s1.kernel.spawn();
     let mut r1 = acct(1);
     let ch = s1.kernel.open(p, "/remote", false, &mut r1).unwrap();
@@ -698,7 +732,14 @@ fn partition_aborts_cross_partition_transaction() {
     s0.txn.begin_trans(pid, &mut a0).unwrap();
     let ch = s0.kernel.open(pid, "/f", true, &mut a0).unwrap();
     s0.kernel
-        .lock(pid, ch, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a0)
+        .lock(
+            pid,
+            ch,
+            8,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a0,
+        )
         .unwrap();
     s0.kernel.write(pid, ch, b"unstable", &mut a0).unwrap();
 
@@ -805,7 +846,14 @@ fn locks_acquired_before_begin_trans_are_not_converted() {
     k.commit_file(pid, ch, &mut a).unwrap();
     k.lseek(pid, ch, 0, &mut a).unwrap();
     let got = k
-        .lock(pid, ch, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            pid,
+            ch,
+            8,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a,
+        )
         .unwrap();
     assert_eq!(got, ByteRange::new(0, 8));
 
@@ -817,7 +865,14 @@ fn locks_acquired_before_begin_trans_are_not_converted() {
     let other = k.spawn();
     let och = k.open(other, "/f", true, &mut a).unwrap();
     assert!(k
-        .lock(other, och, 8, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .lock(
+            other,
+            och,
+            8,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
     s.txn.end_trans(pid, &mut a).unwrap();
 }
@@ -858,7 +913,14 @@ fn non_transaction_lock_escapes_two_phase_locking() {
     let other = k.spawn();
     let och = k.open(other, "/cat", true, &mut a).unwrap();
     assert!(k
-        .lock(other, och, 8, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            other,
+            och,
+            8,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
 }
 
@@ -941,9 +1003,15 @@ fn child_issued_abort_kills_members_and_spares_top() {
     // The grandchild aborts the whole transaction.
     s0.txn.abort_trans(grandchild, &mut a).unwrap();
 
-    assert!(s0.kernel.procs.get(top).unwrap().tid.is_none(), "top survives");
+    assert!(
+        s0.kernel.procs.get(top).unwrap().tid.is_none(),
+        "top survives"
+    );
     assert!(s0.kernel.procs.get(child).is_none(), "child terminated");
-    assert!(s0.kernel.procs.get(grandchild).is_none(), "grandchild terminated");
+    assert!(
+        s0.kernel.procs.get(grandchild).is_none(),
+        "grandchild terminated"
+    );
     // The top's write was rolled back.
     let mut a2 = acct(0);
     let p = s0.kernel.spawn();
@@ -976,7 +1044,14 @@ fn commit_includes_files_only_read_by_the_transaction() {
     let wch = s1.kernel.open(w, "/ro", true, &mut a1).unwrap();
     assert!(s1
         .kernel
-        .lock(w, wch, 6, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
+        .lock(
+            w,
+            wch,
+            6,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a1
+        )
         .is_ok());
 }
 

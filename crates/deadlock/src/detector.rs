@@ -123,10 +123,7 @@ impl DeadlockDetector {
         // directly so the system can make progress.
         for site in &self.sites {
             if !site.kernel.is_crashed() {
-                let granted = site
-                    .kernel
-                    .locks
-                    .release_owner(Owner::Trans(tid), acct);
+                let granted = site.kernel.locks.release_owner(Owner::Trans(tid), acct);
                 site.kernel.push_grants(granted, acct);
             }
         }

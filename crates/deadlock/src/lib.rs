@@ -12,9 +12,9 @@
 //! policy, and aborts them through the transaction facility.
 
 pub mod detector;
-pub mod probe;
 pub mod graph;
+pub mod probe;
 
 pub use detector::{DeadlockDetector, ResolvedDeadlock, VictimPolicy};
-pub use probe::{Probe, ProbeDetector};
 pub use graph::WaitForGraph;
+pub use probe::{Probe, ProbeDetector};

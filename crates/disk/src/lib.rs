@@ -62,11 +62,7 @@ pub struct SimDisk {
 
 impl SimDisk {
     /// Creates a disk with the given number of data blocks.
-    pub fn new(
-        capacity: usize,
-        model: Arc<CostModel>,
-        counters: Arc<Counters>,
-    ) -> Self {
+    pub fn new(capacity: usize, model: Arc<CostModel>, counters: Arc<Counters>) -> Self {
         let page_size = model.page_size;
         SimDisk {
             inner: Mutex::new(DiskInner {

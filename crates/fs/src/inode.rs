@@ -127,14 +127,10 @@ mod tests {
         ino.len = 2048;
         ino.pages = vec![Some(PhysPage(10)), Some(PhysPage(11))];
         let mut il = IntentionsList::new(fid(), 3072);
-        il.entries.push(IntentionsEntry {
-            page: PageNo(1),
-            new_phys: PhysPage(20),
-        });
-        il.entries.push(IntentionsEntry {
-            page: PageNo(2),
-            new_phys: PhysPage(21),
-        });
+        il.entries
+            .push(IntentionsEntry::whole(PageNo(1), PhysPage(20)));
+        il.entries
+            .push(IntentionsEntry::whole(PageNo(2), PhysPage(21)));
         let freed = ino.apply(&il);
         assert_eq!(freed, vec![PhysPage(11)]);
         assert_eq!(ino.page(PageNo(0)), Some(PhysPage(10)));

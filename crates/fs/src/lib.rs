@@ -59,7 +59,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = proc_owner(1);
-        v.write(fid, o, ByteRange::new(0, 5), b"hello", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 5), b"hello", &mut a)
+            .unwrap();
         assert_eq!(v.read(fid, ByteRange::new(0, 5), &mut a).unwrap(), b"hello");
         assert_eq!(v.len(fid, &mut a).unwrap(), 5);
     }
@@ -68,14 +69,18 @@ mod tests {
     fn uncommitted_data_is_visible_but_not_durable() {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
-        v.write(fid, proc_owner(1), ByteRange::new(0, 3), b"abc", &mut a).unwrap();
+        v.write(fid, proc_owner(1), ByteRange::new(0, 3), b"abc", &mut a)
+            .unwrap();
         // Visible before commit...
         assert_eq!(v.read(fid, ByteRange::new(0, 3), &mut a).unwrap(), b"abc");
         // ...but a crash loses it.
         v.crash();
         v.reboot();
         assert_eq!(v.len(fid, &mut a).unwrap(), 0);
-        assert!(v.read(fid, ByteRange::new(0, 3), &mut a).unwrap().is_empty());
+        assert!(v
+            .read(fid, ByteRange::new(0, 3), &mut a)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -83,7 +88,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = proc_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a)
+            .unwrap();
         v.commit_file(fid, o, &mut a).unwrap();
         v.crash();
         v.reboot();
@@ -97,7 +103,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = proc_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a)
+            .unwrap();
         let before = a.clone();
         v.commit_file(fid, o, &mut a).unwrap();
         let d = a.delta_since(&before);
@@ -114,7 +121,8 @@ mod tests {
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
         for page in 0..4u64 {
-            v.write(fid, o, ByteRange::new(page * 1024, 4), b"page", &mut a).unwrap();
+            v.write(fid, o, ByteRange::new(page * 1024, 4), b"page", &mut a)
+                .unwrap();
         }
         let before = a.clone();
         v.commit_file(fid, o, &mut a).unwrap();
@@ -129,8 +137,10 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let (t1, t2) = (txn_owner(1), txn_owner(2));
-        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
-        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a)
+            .unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a)
+            .unwrap();
         let before = a.clone();
         v.commit_file(fid, t1, &mut a).unwrap();
         assert_eq!(a.delta_since(&before).pages_differenced, 1);
@@ -148,8 +158,10 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let (t1, t2) = (txn_owner(1), txn_owner(2));
-        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
-        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a)
+            .unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a)
+            .unwrap();
         v.commit_file(fid, t1, &mut a).unwrap();
         v.commit_file(fid, t2, &mut a).unwrap();
         v.crash();
@@ -164,7 +176,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a)
+            .unwrap();
         v.abort_owner(fid, o, &mut a).unwrap();
         assert_eq!(v.len(fid, &mut a).unwrap(), 0);
         assert!(!v.owner_dirty(fid, o));
@@ -175,8 +188,10 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let (t1, t2) = (txn_owner(1), txn_owner(2));
-        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a).unwrap();
-        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a).unwrap();
+        v.write(fid, t1, ByteRange::new(0, 4), b"AAAA", &mut a)
+            .unwrap();
+        v.write(fid, t2, ByteRange::new(8, 4), b"BBBB", &mut a)
+            .unwrap();
         v.abort_owner(fid, t1, &mut a).unwrap();
         let data = v.read(fid, ByteRange::new(0, 12), &mut a).unwrap();
         assert_eq!(&data[0..4], &[0, 0, 0, 0]);
@@ -188,7 +203,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a)
+            .unwrap();
         let allocated_before = v.disk().allocated_count();
         let il = v.prepare(fid, o, &mut a).unwrap();
         assert_eq!(il.entries.len(), 1);
@@ -202,7 +218,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a)
+            .unwrap();
         let il1 = v.prepare(fid, o, &mut a).unwrap();
         let il2 = v.prepare(fid, o, &mut a).unwrap();
         assert_eq!(il1, il2);
@@ -217,7 +234,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"data", &mut a)
+            .unwrap();
         let il = v.prepare(fid, o, &mut a).unwrap();
         let rec = locus_types::PrepareLogRecord {
             tid: TransId::new(SiteId(0), 1),
@@ -246,7 +264,8 @@ mod tests {
         };
         v.coord_log_put(&rec, &mut a);
         let before = a.clone();
-        v.coord_log_set_status(tid, TxnStatus::Committed, &mut a).unwrap();
+        v.coord_log_set_status(tid, TxnStatus::Committed, &mut a)
+            .unwrap();
         // The commit mark is exactly one random I/O (Figure 5 step 4).
         assert_eq!(a.delta_since(&before).disk_writes, 1);
         assert_eq!(
@@ -280,7 +299,8 @@ mod tests {
         let fid = v.create_file(&mut a).unwrap();
         let p = proc_owner(5);
         let t = txn_owner(9);
-        v.write(fid, p, ByteRange::new(0, 8), b"UUUUUUUU", &mut a).unwrap();
+        v.write(fid, p, ByteRange::new(0, 8), b"UUUUUUUU", &mut a)
+            .unwrap();
         let mods = v.uncommitted_mods_overlapping(fid, ByteRange::new(0, 4), t);
         assert_eq!(mods, vec![(p, ByteRange::new(0, 4))]);
         let adopted = v.adopt(fid, ByteRange::new(0, 4), t);
@@ -300,7 +320,8 @@ mod tests {
         let fid = v.create_file(&mut a).unwrap();
         let o = proc_owner(1);
         let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
-        v.write(fid, o, ByteRange::new(0, 3000), &data, &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 3000), &data, &mut a)
+            .unwrap();
         v.commit_file(fid, o, &mut a).unwrap();
         let got = v.read(fid, ByteRange::new(500, 2000), &mut a).unwrap();
         assert_eq!(got, &data[500..2500]);
@@ -310,7 +331,8 @@ mod tests {
     fn read_clips_at_visible_length() {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
-        v.write(fid, proc_owner(1), ByteRange::new(0, 4), b"abcd", &mut a).unwrap();
+        v.write(fid, proc_owner(1), ByteRange::new(0, 4), b"abcd", &mut a)
+            .unwrap();
         let got = v.read(fid, ByteRange::new(2, 100), &mut a).unwrap();
         assert_eq!(got, b"cd");
     }
@@ -320,7 +342,8 @@ mod tests {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
         let o = txn_owner(1);
-        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a).unwrap();
+        v.write(fid, o, ByteRange::new(0, 4), b"XXXX", &mut a)
+            .unwrap();
         v.prepare(fid, o, &mut a).unwrap();
         let before_crash = v.disk().allocated_count();
         // Crash WITHOUT writing the prepare log: the shadow block is orphaned.

@@ -21,8 +21,8 @@ use parking_lot::Mutex;
 use locus_disk::SimDisk;
 use locus_sim::{Account, CostModel, Counters, Event, EventLog};
 use locus_types::{
-    ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner,
-    PageNo, PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
+    ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner, PageNo,
+    PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
 };
 
 use crate::inode::Inode;
@@ -125,19 +125,10 @@ impl Volume {
 
     /// Whether the file exists on this volume (committed on disk).
     pub fn file_exists(&self, fid: Fid) -> bool {
-        fid.volume == self.id
-            && self
-                .disk
-                .stable_peek(&Self::inode_key(fid.inode))
-                .is_some()
+        fid.volume == self.id && self.disk.stable_peek(&Self::inode_key(fid.inode)).is_some()
     }
 
-    fn load_inode(
-        &self,
-        st: &mut VolState,
-        ino: InodeNo,
-        acct: &mut Account,
-    ) -> Result<()> {
+    fn load_inode(&self, st: &mut VolState, ino: InodeNo, acct: &mut Account) -> Result<()> {
         if st.incore.contains_key(&ino) {
             return Ok(());
         }
@@ -160,11 +151,7 @@ impl Volume {
         let mut st = self.state.lock();
         self.load_inode(&mut st, ino, acct)?;
         let committed = st.incore[&ino].len;
-        let uncommitted = st
-            .files
-            .get(&ino)
-            .map(|f| f.uncommitted_len)
-            .unwrap_or(0);
+        let uncommitted = st.files.get(&ino).map(|f| f.uncommitted_len).unwrap_or(0);
         Ok(committed.max(uncommitted))
     }
 
@@ -411,9 +398,16 @@ impl Volume {
             }
             let shadow = self.disk.alloc(acct)?;
             self.disk.write(shadow, &image, acct)?;
+            // Remember which stable block the image was built against and
+            // which bytes this owner wrote, so a concurrently prepared
+            // commit of the same page (allowed: record locks are
+            // byte-granular) can be merged at install time instead of
+            // being clobbered by this stale image.
             il.entries.push(IntentionsEntry {
                 page,
                 new_phys: shadow,
+                old_phys: st.incore[&ino].page(page),
+                ranges: buf.writers.get(&owner).cloned().unwrap_or_default(),
             });
         }
         fstate.prepared.insert(owner, il.clone());
@@ -447,7 +441,12 @@ impl Volume {
 
     /// Combined prepare + commit: the *single-file commit* used for normal
     /// (non-transaction) file updates — the default Locus operating mode.
-    pub fn commit_file(&self, fid: Fid, owner: Owner, acct: &mut Account) -> Result<IntentionsList> {
+    pub fn commit_file(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        acct: &mut Account,
+    ) -> Result<IntentionsList> {
         let il = self.prepare(fid, owner, acct)?;
         self.commit_prepared(fid, owner, acct)?;
         Ok(il)
@@ -472,6 +471,37 @@ impl Volume {
                 f.writer_ends.remove(&o);
             }
             return Ok(());
+        }
+        // Figure 4b's commit-time half: when the page moved since the shadow
+        // image was built (a concurrently prepared owner committed it in the
+        // interim — possible because record locks are byte-granular), the
+        // "previous version of the page is re-read from non-volatile
+        // storage" and only this owner's ranges are transferred onto it.
+        // Installing the stale image wholesale would silently undo the
+        // interleaved commit; seen in practice when crash recovery installs
+        // several surviving prepare logs against the same page.
+        for ent in &il.entries {
+            let current = inode.page(ent.page);
+            if ent.ranges.is_empty() || current == ent.old_phys {
+                continue;
+            }
+            let Some(cur_phys) = current else { continue };
+            let mut merged = self.disk.read(cur_phys, acct)?;
+            let img = self.disk.read(ent.new_phys, acct)?;
+            if merged.len() < img.len() {
+                merged.resize(img.len(), 0);
+            }
+            let mut moved = 0u64;
+            for r in &ent.ranges {
+                let (s, e) = (r.start as usize, (r.end() as usize).min(img.len()));
+                if s < e {
+                    merged[s..e].copy_from_slice(&img[s..e]);
+                    moved += (e - s) as u64;
+                }
+            }
+            acct.cpu_instrs(&self.model, self.model.diff_instrs(moved));
+            acct.pages_differenced += 1;
+            self.disk.write(ent.new_phys, &merged, acct)?;
         }
         let mut freed = inode.apply(il);
         freed.extend(inode.trim_to(self.page_size()));
@@ -533,11 +563,7 @@ impl Volume {
             }
         }
         fstate.writer_ends.remove(&owner);
-        let committed_len = st
-            .incore
-            .get(&ino)
-            .map(|i| i.len)
-            .unwrap_or(0);
+        let committed_len = st.incore.get(&ino).map(|i| i.len).unwrap_or(0);
         let fstate = st.files.get_mut(&ino).expect("present");
         let writers_max = fstate.writer_ends.values().copied().max().unwrap_or(0);
         fstate.uncommitted_len = writers_max.max(committed_len);
@@ -579,10 +605,7 @@ impl Volume {
         for (page, data) in pages {
             let blk = self.disk.alloc(acct)?;
             self.disk.write(blk, data, acct)?;
-            il.entries.push(IntentionsEntry {
-                page: *page,
-                new_phys: blk,
-            });
+            il.entries.push(IntentionsEntry::whole(*page, blk));
         }
         self.install_intentions(&il, None, acct)
     }
@@ -616,7 +639,10 @@ impl Volume {
     }
 
     fn prepare_key(tid: TransId, fid: Fid) -> String {
-        format!("preplog/{}.{}/{}.{}", tid.site.0, tid.seq, fid.volume.0, fid.inode.0)
+        format!(
+            "preplog/{}.{}/{}.{}",
+            tid.site.0, tid.seq, fid.volume.0, fid.inode.0
+        )
     }
 
     /// Writes (or rewrites) a coordinator log record. Charged as a log
@@ -710,8 +736,7 @@ impl Volume {
     }
 
     pub fn prepare_log_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) {
-        self.disk
-            .stable_delete(&Self::prepare_key(tid, fid), acct);
+        self.disk.stable_delete(&Self::prepare_key(tid, fid), acct);
     }
 
     /// All prepare log records on this volume (reboot recovery scan).

@@ -18,8 +18,12 @@ enum Step {
 
 fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0u8..3, 0u8..120, 1u8..16, any::<u8>())
-            .prop_map(|(owner, at, len, val)| Step::Write { owner, at, len, val }),
+        (0u8..3, 0u8..120, 1u8..16, any::<u8>()).prop_map(|(owner, at, len, val)| Step::Write {
+            owner,
+            at,
+            len,
+            val
+        }),
         (0u8..3).prop_map(|owner| Step::Commit { owner }),
         (0u8..3).prop_map(|owner| Step::Abort { owner }),
     ]

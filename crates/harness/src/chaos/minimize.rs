@@ -1,0 +1,98 @@
+//! Greedy schedule minimization.
+//!
+//! When a seed produces a violation, the full schedule usually contains
+//! faults that are irrelevant to the failure. Minimization re-runs candidate
+//! schedules with one fault removed at a time, keeping any removal that
+//! still fails, and repeats to a fixpoint. The result is a locally minimal
+//! schedule: removing any single remaining fault makes the violation
+//! disappear.
+
+use super::schedule::Schedule;
+
+/// Shrinks `sched` against the failure predicate. `fails` must return true
+/// when the candidate schedule still reproduces the violation (it is called
+/// O(n²) times in the worst case — each call is a full chaos run).
+pub fn minimize(sched: &Schedule, fails: impl Fn(&Schedule) -> bool) -> Schedule {
+    let mut cur = sched.clone();
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < cur.cluster.len() {
+            let mut cand = cur.clone();
+            cand.cluster.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < cur.wire.len() {
+            let mut cand = cur.clone();
+            cand.wire.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::schedule::{ClusterFault, ClusterFaultKind, WireFault, WireFaultKind};
+
+    fn crash(step: usize, site: usize) -> ClusterFault {
+        ClusterFault {
+            step,
+            kind: ClusterFaultKind::Crash { site },
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_culprits() {
+        // Failure requires the site-1 crash AND the wire drop at seq 9.
+        let sched = Schedule {
+            cluster: vec![crash(3, 0), crash(7, 1), crash(12, 2)],
+            wire: vec![
+                WireFault {
+                    seq: 2,
+                    kind: WireFaultKind::Dup,
+                },
+                WireFault {
+                    seq: 9,
+                    kind: WireFaultKind::Drop,
+                },
+            ],
+        };
+        let min = minimize(&sched, |s| {
+            s.cluster
+                .iter()
+                .any(|c| matches!(c.kind, ClusterFaultKind::Crash { site: 1 }))
+                && s.wire.iter().any(|w| w.seq == 9)
+        });
+        assert_eq!(min.cluster, vec![crash(7, 1)]);
+        assert_eq!(min.wire.len(), 1);
+        assert_eq!(min.wire[0].seq, 9);
+    }
+
+    #[test]
+    fn fixpoint_on_always_failing_predicate_is_empty() {
+        let sched = Schedule {
+            cluster: vec![crash(1, 0), crash(2, 1)],
+            wire: vec![WireFault {
+                seq: 5,
+                kind: WireFaultKind::Drop,
+            }],
+        };
+        let min = minimize(&sched, |_| true);
+        assert!(min.is_empty());
+    }
+}

@@ -1,0 +1,645 @@
+//! Deterministic chaos harness: seeded fault schedules, invariant oracles,
+//! and schedule minimization.
+//!
+//! One seed fully determines a run: it derives the workload (a set of
+//! record-update transactions spread across the cluster), the fault schedule
+//! (site crashes, reboots, partitions, heals, forced mid-transaction
+//! migrations at driver steps; message drop / reply-drop / duplication /
+//! delay at transport sequence numbers), and the script driver's
+//! interleaving. Replaying the same seed reproduces a byte-identical event
+//! trace, so any violation found by a sweep is a one-command repro:
+//!
+//! ```text
+//! cargo run --release --bin locus-chaos -- --seed N
+//! ```
+//!
+//! After every schedule the harness heals the network, reboots crashed
+//! sites, drains asynchronous phase two, and runs the invariant oracles in
+//! [`oracle`] plus the durable-state check here. On violation the report
+//! carries the seed, the schedule text, and (in the binary) a greedily
+//! minimized schedule.
+
+pub mod minimize;
+pub mod oracle;
+pub mod schedule;
+
+pub use minimize::minimize;
+pub use oracle::Violation;
+pub use schedule::{ClusterFault, ClusterFaultKind, Schedule, WireFault, WireFaultKind};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use locus_kernel::LockOpts;
+use locus_net::{FaultDecision, FaultInjector, Msg};
+use locus_sim::DetRng;
+use locus_types::{LockRequestMode, SiteId, TransId};
+
+use crate::cluster::Cluster;
+use crate::script::{Driver, Op, OpResult, RunOutcome};
+
+/// Salt for the RNG stream that generates the workload, so workload and
+/// fault schedule are independent draws from one seed.
+const WORKLOAD_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Salt for the fault-schedule stream.
+const SCHEDULE_SALT: u64 = 0x6a09_e667_f3bc_c909;
+
+/// Parameters of one chaos run. [`ChaosConfig::with_seed`] gives the
+/// defaults used by the CI matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    /// Number of sites; each hosts one workload file `/chaos<i>`.
+    pub sites: usize,
+    /// Number of workload transactions (one script process each).
+    pub procs: usize,
+    /// 8-byte records per workload file.
+    pub records_per_file: u64,
+    /// Distinct (file, record) targets each transaction writes.
+    pub writes_per_txn: usize,
+    /// Cluster-fault draws in the schedule (crash/reboot and partition/heal
+    /// pairs count as one draw).
+    pub cluster_faults: usize,
+    /// Wire-fault draws in the schedule.
+    pub wire_faults: usize,
+    /// Driver-step horizon for cluster faults.
+    pub step_horizon: usize,
+    /// Transport-sequence horizon for wire faults.
+    pub seq_horizon: u64,
+}
+
+impl ChaosConfig {
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            sites: 3,
+            procs: 6,
+            records_per_file: 8,
+            writes_per_txn: 3,
+            cluster_faults: 4,
+            wire_faults: 6,
+            step_horizon: 240,
+            seq_horizon: 160,
+        }
+    }
+}
+
+/// The tag value written by transaction `slot`'s `k`-th write. Tags are
+/// unique across the whole run and decodable, so the state oracle can name
+/// the writer of any durable byte pattern.
+fn tag(slot: usize, k: usize) -> u64 {
+    ((slot as u64 + 1) << 16) | (k as u64 + 1)
+}
+
+/// Decodes a durable record value back to its writer, if it is a tag.
+fn untag(v: u64) -> Option<(usize, usize)> {
+    let slot = (v >> 16) as usize;
+    let k = (v & 0xffff) as usize;
+    if slot == 0 || k == 0 {
+        return None;
+    }
+    Some((slot - 1, k - 1))
+}
+
+/// One workload transaction: a script process at site `home` that opens the
+/// files it touches, then locks and writes each target in globally sorted
+/// order (sorted order keeps the workload deadlock-free, so every stall is
+/// the fault schedule's doing).
+#[derive(Debug, Clone)]
+pub struct TxnSpec {
+    pub home: usize,
+    /// `(op index of the Write, file, record, tag value)` per target.
+    pub writes: Vec<(usize, usize, u64, u64)>,
+    pub ops: Vec<Op>,
+}
+
+/// Generates the workload for a config from the seed's workload stream.
+pub fn generate_workload(cfg: &ChaosConfig, rng: &mut DetRng) -> Vec<TxnSpec> {
+    let mut specs = Vec::with_capacity(cfg.procs);
+    for slot in 0..cfg.procs {
+        let home = slot % cfg.sites;
+        let mut targets: BTreeSet<(usize, u64)> = BTreeSet::new();
+        // Bounded draw count so a tiny record space cannot loop forever.
+        let want = cfg
+            .writes_per_txn
+            .min(cfg.sites * cfg.records_per_file as usize);
+        for _ in 0..cfg.writes_per_txn * 8 {
+            if targets.len() >= want {
+                break;
+            }
+            targets.insert((
+                rng.below(cfg.sites as u64) as usize,
+                rng.below(cfg.records_per_file),
+            ));
+        }
+        let targets: Vec<(usize, u64)> = targets.into_iter().collect();
+        let files: Vec<usize> = {
+            let set: BTreeSet<usize> = targets.iter().map(|(f, _)| *f).collect();
+            set.into_iter().collect()
+        };
+        let chan_of = |f: usize| files.iter().position(|x| *x == f).expect("file opened");
+        let mut ops = vec![Op::BeginTrans];
+        for f in &files {
+            ops.push(Op::Open {
+                name: format!("/chaos{f}"),
+                write: true,
+            });
+        }
+        let mut writes = Vec::with_capacity(targets.len());
+        for (k, (f, r)) in targets.iter().enumerate() {
+            let ch = chan_of(*f);
+            ops.push(Op::Seek { ch, pos: r * 8 });
+            ops.push(Op::Lock {
+                ch,
+                len: 8,
+                mode: LockRequestMode::Exclusive,
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
+            });
+            ops.push(Op::Seek { ch, pos: r * 8 });
+            writes.push((ops.len(), *f, *r, tag(slot, k)));
+            ops.push(Op::Write {
+                ch,
+                data: tag(slot, k).to_le_bytes().to_vec(),
+            });
+        }
+        ops.push(Op::EndTrans);
+        specs.push(TxnSpec { home, writes, ops });
+    }
+    specs
+}
+
+/// Generates the fault schedule for a config from the seed's schedule
+/// stream.
+pub fn generate_schedule(cfg: &ChaosConfig) -> Schedule {
+    let mut rng = DetRng::seeded(cfg.seed ^ SCHEDULE_SALT);
+    Schedule::generate(
+        &mut rng,
+        cfg.sites,
+        cfg.procs,
+        cfg.cluster_faults,
+        cfg.wire_faults,
+        cfg.step_horizon,
+        cfg.seq_horizon,
+    )
+}
+
+/// The wire-layer fault injector: counts every non-local message on a
+/// deterministic sequence clock and fires the scheduled fault when the clock
+/// hits a scheduled number.
+struct ChaosInjector {
+    seq: AtomicU64,
+    faults: BTreeMap<u64, WireFaultKind>,
+}
+
+impl FaultInjector for ChaosInjector {
+    fn decide(&self, _from: SiteId, _to: SiteId, _msg: &Msg, oneway: bool) -> FaultDecision {
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        match self.faults.get(&n) {
+            None => FaultDecision::Deliver,
+            // One-way notifies carry kernel wakeups (lock grants, child
+            // exits) with no retry path; losing one wedges the driver rather
+            // than exercising the protocol, so drops degrade to a delay.
+            Some(WireFaultKind::Drop) | Some(WireFaultKind::DropReply) if oneway => {
+                FaultDecision::Delay(8)
+            }
+            Some(WireFaultKind::Drop) => FaultDecision::Drop,
+            Some(WireFaultKind::DropReply) => FaultDecision::DropReply,
+            Some(WireFaultKind::Dup) => FaultDecision::Duplicate,
+            Some(WireFaultKind::Delay { millis }) => FaultDecision::Delay(*millis),
+        }
+    }
+}
+
+/// Everything one chaos run produced. `trace` is the full event trace in a
+/// canonical text form; two runs of the same seed must produce identical
+/// traces (asserted by the determinism test and `--check-determinism`).
+pub struct ChaosReport {
+    pub seed: u64,
+    pub schedule: Schedule,
+    pub outcome: RunOutcome,
+    pub committed: usize,
+    pub aborted: usize,
+    pub violations: Vec<Violation>,
+    pub notes: Vec<String>,
+    pub trace: String,
+}
+
+impl ChaosReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "seed {}: {} ({} committed, {} aborted, {} faults, {} events)",
+            self.seed,
+            if self.ok() { "ok" } else { "VIOLATION" },
+            self.committed,
+            self.aborted,
+            self.schedule.len(),
+            self.trace.lines().count(),
+        )?;
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if !self.ok() {
+            writeln!(f, "--- schedule ---")?;
+            write!(f, "{}", self.schedule)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the seed's generated schedule. The standard entry point: seed →
+/// workload + schedule + interleaving → oracles.
+pub fn run_seed(cfg: &ChaosConfig) -> ChaosReport {
+    let schedule = generate_schedule(cfg);
+    run_schedule(cfg, &schedule)
+}
+
+/// Runs one explicit schedule under the config's seed (used by `--schedule`
+/// replay and by minimization, which re-runs candidate schedules).
+pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
+    let c = Cluster::new(cfg.sites);
+    let mut notes = Vec::new();
+
+    // Faultless setup: one file per site, zero-filled.
+    let mut setup = Driver::new(&c, 1);
+    for i in 0..cfg.sites {
+        setup.spawn(
+            i,
+            vec![
+                Op::Creat(format!("/chaos{i}")),
+                Op::Write {
+                    ch: 0,
+                    data: vec![0; (cfg.records_per_file * 8) as usize],
+                },
+                Op::Close(0),
+            ],
+        );
+    }
+    if setup.run() != RunOutcome::Completed || setup.any_failures() {
+        notes.push(format!("setup failed: {}", setup.failure_report()));
+    }
+    c.drain_async();
+    c.events.clear();
+
+    // Workload + faults.
+    let mut wrng = DetRng::seeded(cfg.seed ^ WORKLOAD_SALT);
+    let specs = generate_workload(cfg, &mut wrng);
+    let mut drv = Driver::new(&c, cfg.seed);
+    for spec in &specs {
+        drv.spawn(spec.home, spec.ops.clone());
+    }
+    c.transport.set_fault_injector(Some(Arc::new(ChaosInjector {
+        seq: AtomicU64::new(0),
+        faults: schedule.wire.iter().map(|w| (w.seq, w.kind)).collect(),
+    })));
+    let mut by_step: BTreeMap<usize, Vec<ClusterFaultKind>> = BTreeMap::new();
+    for cf in &schedule.cluster {
+        by_step.entry(cf.step).or_default().push(cf.kind.clone());
+    }
+    let mut violations = Vec::new();
+    let outcome = drv.run_with_hook(&mut |step, d| {
+        if let Some(faults) = by_step.get(&step) {
+            for fk in faults {
+                apply_cluster_fault(&c, d, fk);
+            }
+        }
+        if step % 16 == 0 {
+            oracle::check_lock_safety(&c, &mut violations);
+        }
+    });
+
+    // Recovery epilogue: lift all faults, reboot the dead, finish phase two,
+    // and give stalled processes one faultless chance to complete. Residual
+    // blockage after that would be a real deadlock — the workload's sorted
+    // lock order rules that out, so it is reported as a note, not hidden.
+    c.transport.set_fault_injector(None);
+    c.transport.heal();
+    for i in 0..cfg.sites {
+        if c.site(i).kernel.is_crashed() {
+            c.reboot_site(i);
+        }
+    }
+    c.drain_async();
+    let outcome = match outcome {
+        RunOutcome::Completed => RunOutcome::Completed,
+        RunOutcome::Stuck { .. } => {
+            let rerun = drv.run();
+            if let RunOutcome::Stuck { ref blocked } = rerun {
+                notes.push(format!(
+                    "{} process(es) still blocked after recovery epilogue",
+                    blocked.len()
+                ));
+            }
+            rerun
+        }
+    };
+    c.drain_async();
+
+    // Capture the trace before the oracle probes read files (probes emit
+    // events of their own and must not pollute the determinism comparison).
+    let events = c.events.all();
+    let trace: String = events.iter().map(|e| format!("{e:?}\n")).collect();
+
+    oracle::check_lock_safety(&c, &mut violations);
+    oracle::check_lock_leaks(&c, &events, &mut violations);
+    oracle::check_two_phase(&events, &mut violations);
+    let fates = oracle::txn_fates(&events);
+    check_durable_state(cfg, &c, &specs, &drv, &fates, &mut violations, &mut notes);
+
+    let tids: Vec<Option<TransId>> = (0..specs.len()).map(|s| slot_tid(&drv, s)).collect();
+    let committed = tids
+        .iter()
+        .flatten()
+        .filter(|t| fates.commit_mark.contains_key(t))
+        .count();
+    let aborted = tids
+        .iter()
+        .flatten()
+        .filter(|t| fates.aborted.contains(t))
+        .count();
+
+    ChaosReport {
+        seed: cfg.seed,
+        schedule: schedule.clone(),
+        outcome,
+        committed,
+        aborted,
+        violations,
+        notes,
+        trace,
+    }
+}
+
+/// The transaction id slot `s` started, read from its `BeginTrans` result.
+fn slot_tid(drv: &Driver<'_>, slot: usize) -> Option<TransId> {
+    match drv.results(slot).first() {
+        Some(OpResult::Tid(t)) => Some(*t),
+        _ => None,
+    }
+}
+
+fn apply_cluster_fault(c: &Cluster, d: &Driver<'_>, fk: &ClusterFaultKind) {
+    match fk {
+        ClusterFaultKind::Crash { site } => {
+            if *site < c.n_sites() && !c.site(*site).kernel.is_crashed() {
+                c.crash_site(*site);
+            }
+        }
+        ClusterFaultKind::Reboot { site } => {
+            if *site < c.n_sites() && c.site(*site).kernel.is_crashed() {
+                c.reboot_site(*site);
+            }
+        }
+        ClusterFaultKind::Partition { sites } => {
+            let ids: Vec<SiteId> = sites
+                .iter()
+                .filter(|s| **s < c.n_sites())
+                .map(|s| SiteId(*s as u32))
+                .collect();
+            if !ids.is_empty() && ids.len() < c.n_sites() {
+                c.transport.partition(&ids);
+            }
+        }
+        ClusterFaultKind::Heal => c.transport.heal(),
+        ClusterFaultKind::Migrate { slot, to } => {
+            if *slot >= d.n_procs() || *to >= c.n_sites() || d.is_blocked(*slot) {
+                return;
+            }
+            if c.site(*to).kernel.is_crashed() {
+                return;
+            }
+            let pid = d.pid(*slot);
+            let Some(here) = c.registry.lookup(pid) else {
+                return;
+            };
+            let src = &c.sites[here.0 as usize];
+            if here.0 as usize == *to || src.kernel.is_crashed() {
+                return;
+            }
+            // Only migrate mid-transaction — that is the interesting case
+            // (the transaction's file list and locks must follow the
+            // process, Section 4.1).
+            let in_txn = src
+                .kernel
+                .procs
+                .get(pid)
+                .map(|r| r.tid.is_some())
+                .unwrap_or(false);
+            if in_txn {
+                let mut acct = c.account(here.0 as usize);
+                let _ = src.kernel.migrate(pid, SiteId(*to as u32), &mut acct);
+            }
+        }
+    }
+}
+
+/// The file each of a slot's channel indices actually refers to. Channel
+/// indices in a script are open-order positions, and a failed `Open` (its
+/// storage site was crashed or partitioned away) pushes no channel — every
+/// later index shifts down, silently redirecting the script's remaining
+/// seeks, locks, and writes to a *different* file. That redirection is
+/// deterministic and visible in the driver results, so the state oracle
+/// replays writes against the file they actually hit, not the one the
+/// generator intended.
+fn actual_channels(spec: &TxnSpec, results: &[OpResult]) -> Vec<usize> {
+    let mut files = Vec::new();
+    for (i, op) in spec.ops.iter().enumerate() {
+        if let Op::Open { name, .. } = op {
+            if matches!(results.get(i), Some(OpResult::Channel(_))) {
+                let f: usize = name
+                    .strip_prefix("/chaos")
+                    .and_then(|n| n.parse().ok())
+                    .expect("workload file name");
+                files.push(f);
+            }
+        }
+    }
+    files
+}
+
+/// The durable-state oracle: atomicity + serializability.
+///
+/// Replays the committed transactions in commit-mark order over a model of
+/// every record, computing the set of *acceptable* final values. A write
+/// whose driver result was `Unit` definitely reached the storage site and
+/// replaces the acceptance set; a write whose result was an error is
+/// *ambiguous* (a dropped reply loses the acknowledgement, not the write)
+/// and widens the set. The actual durable value of every record must land
+/// in the set; misses are classified by who wrote the stray value.
+#[allow(clippy::too_many_arguments)]
+fn check_durable_state(
+    cfg: &ChaosConfig,
+    c: &Cluster,
+    specs: &[TxnSpec],
+    drv: &Driver<'_>,
+    fates: &oracle::TxnFates,
+    out: &mut Vec<Violation>,
+    notes: &mut Vec<String>,
+) {
+    // Commit order of workload slots.
+    let mut committed: Vec<(usize, usize)> = Vec::new(); // (commit mark pos, slot)
+    for (slot, _) in specs.iter().enumerate() {
+        if let Some(t) = slot_tid(drv, slot) {
+            if let Some(pos) = fates.commit_mark.get(&t) {
+                committed.push((*pos, slot));
+            }
+        }
+    }
+    committed.sort_unstable();
+
+    let mut acc: BTreeMap<(usize, u64), BTreeSet<u64>> = BTreeMap::new();
+    for f in 0..cfg.sites {
+        for r in 0..cfg.records_per_file {
+            acc.insert((f, r), BTreeSet::from([0]));
+        }
+    }
+    let mut writers_of: BTreeMap<(usize, u64), Vec<String>> = BTreeMap::new();
+    for (_, slot) in &committed {
+        let chans = actual_channels(&specs[*slot], drv.results(*slot));
+        for (op_idx, _, r, val) in &specs[*slot].writes {
+            let Some(Op::Write { ch, .. }) = specs[*slot].ops.get(*op_idx) else {
+                unreachable!("write index points at a Write op");
+            };
+            let Some(actual_f) = chans.get(*ch).copied() else {
+                // The channel never existed (BadChannel): the write hit
+                // nothing, definitely.
+                continue;
+            };
+            let definite = matches!(drv.results(*slot).get(*op_idx), Some(OpResult::Unit));
+            let set = acc.entry((actual_f, *r)).or_default();
+            if definite {
+                set.clear();
+            }
+            set.insert(*val);
+            writers_of.entry((actual_f, *r)).or_default().push(format!(
+                "slot {slot} val {val:#x} ({})",
+                if definite { "acked" } else { "unacked" }
+            ));
+        }
+    }
+
+    for f in 0..cfg.sites {
+        let k = &c.site(f).kernel;
+        let mut a = c.account(f);
+        let probe = k.spawn();
+        let data = k
+            .open(probe, &format!("/chaos{f}"), false, &mut a)
+            .and_then(|ch| k.read(probe, ch, cfg.records_per_file * 8, &mut a));
+        let _ = k.exit(probe, &mut a);
+        let data = match data {
+            Ok(d) => d,
+            Err(e) => {
+                notes.push(format!("state probe of /chaos{f} failed: {e}"));
+                continue;
+            }
+        };
+        for r in 0..cfg.records_per_file {
+            let bytes = &data[(r * 8) as usize..((r + 1) * 8) as usize];
+            let v = u64::from_le_bytes(bytes.try_into().expect("8-byte record"));
+            if acc[&(f, r)].contains(&v) {
+                continue;
+            }
+            let writer = untag(v).filter(|(slot, kk)| {
+                specs
+                    .get(*slot)
+                    .map(|s| *kk < s.writes.len())
+                    .unwrap_or(false)
+            });
+            out.push(match writer {
+                None => Violation::Durability {
+                    file: f,
+                    record: r,
+                    found: v,
+                    detail: format!(
+                        "value matches no writer (lost or torn write); committed writers: [{}]",
+                        writers_of
+                            .get(&(f, r))
+                            .map(|w| w.join(", "))
+                            .unwrap_or_default()
+                    ),
+                },
+                Some((slot, _)) => {
+                    let slot_committed = committed.iter().any(|(_, s)| *s == slot);
+                    if slot_committed {
+                        Violation::Serializability {
+                            file: f,
+                            record: r,
+                            found: v,
+                            detail: format!(
+                                "stale write of committed slot {slot} survives out of order"
+                            ),
+                        }
+                    } else {
+                        Violation::Atomicity {
+                            file: f,
+                            record: r,
+                            found: v,
+                            detail: format!("write of uncommitted slot {slot} is durable"),
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips() {
+        for slot in 0..16 {
+            for k in 0..8 {
+                assert_eq!(untag(tag(slot, k)), Some((slot, k)));
+            }
+        }
+        assert_eq!(untag(0), None);
+        assert_eq!(untag(7), None); // k without slot
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_sorted() {
+        let cfg = ChaosConfig::with_seed(11);
+        let a = generate_workload(&cfg, &mut DetRng::seeded(3));
+        let b = generate_workload(&cfg, &mut DetRng::seeded(3));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        for spec in &a {
+            let targets: Vec<(usize, u64)> =
+                spec.writes.iter().map(|(_, f, r, _)| (*f, *r)).collect();
+            let mut sorted = targets.clone();
+            sorted.sort_unstable();
+            assert_eq!(targets, sorted, "lock order must be global");
+        }
+    }
+
+    #[test]
+    fn faultless_schedule_commits_everything() {
+        let cfg = ChaosConfig::with_seed(5);
+        let report = run_schedule(&cfg, &Schedule::default());
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert_eq!(report.committed, cfg.procs, "{report}");
+        assert_eq!(report.aborted, 0);
+    }
+
+    #[test]
+    fn seeded_run_finds_no_violations() {
+        let report = run_seed(&ChaosConfig::with_seed(2));
+        assert!(report.ok(), "{report}");
+    }
+}

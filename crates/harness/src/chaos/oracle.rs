@@ -1,0 +1,349 @@
+//! Invariant oracles run against every chaos schedule.
+//!
+//! Four machine-checked invariants from the paper's correctness claims:
+//!
+//! 1. **Lock safety** (Section 3.1): no two distinct owners ever hold
+//!    incompatible locks on overlapping byte ranges, probed periodically
+//!    during the run and at the end.
+//! 2. **Lock hygiene**: after the post-run heal/reboot/drain epilogue, no
+//!    lock belongs to a process that no longer exists anywhere, and no lock
+//!    belongs to a transaction whose outcome was decided (committed or
+//!    aborted) — retained locks must die with phase two (Section 3.3).
+//! 3. **2PC safety** (Section 4.2): the commit mark is the commit point. No
+//!    participant installs a transaction's changes, and no commit message is
+//!    sent, before the coordinator's commit mark; a commit mark requires a
+//!    positive prepare acknowledgement from every participant; no
+//!    transaction is both committed and aborted.
+//! 4. **Atomicity + serializability** (checked in [`super::run_schedule`]):
+//!    the recovered durable state must be explainable by replaying the
+//!    committed transactions in commit-mark order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use locus_sim::Event;
+use locus_types::{Fid, TransId};
+
+use crate::cluster::Cluster;
+
+/// One oracle violation. `Display` renders a single CI-greppable line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two incompatible locks granted on overlapping ranges.
+    LockSafety {
+        site: usize,
+        fid: Fid,
+        a: String,
+        b: String,
+    },
+    /// A lock survived its owner (dead process or decided transaction).
+    LockLeak { site: usize, fid: Fid, desc: String },
+    /// A two-phase-commit ordering rule was broken.
+    TwoPhase { tid: TransId, rule: String },
+    /// An uncommitted transaction's write is visible in durable state.
+    Atomicity {
+        file: usize,
+        record: u64,
+        found: u64,
+        detail: String,
+    },
+    /// The durable state is not the commit-order replay of committed writes.
+    Serializability {
+        file: usize,
+        record: u64,
+        found: u64,
+        detail: String,
+    },
+    /// A durable value matches no writer at all (corruption / lost write).
+    Durability {
+        file: usize,
+        record: u64,
+        found: u64,
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LockSafety { site, fid, a, b } => {
+                write!(f, "LOCK-SAFETY site {site} {fid}: {a} overlaps {b}")
+            }
+            Violation::LockLeak { site, fid, desc } => {
+                write!(f, "LOCK-LEAK site {site} {fid}: {desc}")
+            }
+            Violation::TwoPhase { tid, rule } => write!(f, "2PC-SAFETY {tid}: {rule}"),
+            Violation::Atomicity {
+                file,
+                record,
+                found,
+                detail,
+            } => write!(
+                f,
+                "ATOMICITY file {file} record {record}: found {found:#x} ({detail})"
+            ),
+            Violation::Serializability {
+                file,
+                record,
+                found,
+                detail,
+            } => write!(
+                f,
+                "SERIALIZABILITY file {file} record {record}: found {found:#x} ({detail})"
+            ),
+            Violation::Durability {
+                file,
+                record,
+                found,
+                detail,
+            } => write!(
+                f,
+                "DURABILITY file {file} record {record}: found {found:#x} ({detail})"
+            ),
+        }
+    }
+}
+
+/// Oracle 1: no two incompatible granted locks overlap (checked on every
+/// live site's lock tables).
+pub fn check_lock_safety(c: &Cluster, out: &mut Vec<Violation>) {
+    for (site, s) in c.sites.iter().enumerate() {
+        if s.kernel.is_crashed() {
+            continue;
+        }
+        for (fid, descs) in s.kernel.locks.snapshot().held {
+            for i in 0..descs.len() {
+                for j in i + 1..descs.len() {
+                    let (a, b) = (&descs[i], &descs[j]);
+                    if a.owner() != b.owner()
+                        && a.range.overlaps(&b.range)
+                        && !a.mode.compatible(b.mode)
+                    {
+                        let v = Violation::LockSafety {
+                            site,
+                            fid,
+                            a: format!("{a:?}"),
+                            b: format!("{b:?}"),
+                        };
+                        if !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Transaction fate as read from the event trace.
+pub struct TxnFates {
+    /// Position of each transaction's commit mark, in trace order.
+    pub commit_mark: BTreeMap<TransId, usize>,
+    /// Transactions with an abort event (coordinator, cascade, or recovery).
+    pub aborted: BTreeSet<TransId>,
+}
+
+pub fn txn_fates(events: &[Event]) -> TxnFates {
+    let mut commit_mark = BTreeMap::new();
+    let mut aborted = BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            Event::CommitMark { tid } => {
+                commit_mark.entry(*tid).or_insert(i);
+            }
+            Event::Aborted { tid } | Event::RecoveryAbort { tid } => {
+                aborted.insert(*tid);
+            }
+            _ => {}
+        }
+    }
+    TxnFates {
+        commit_mark,
+        aborted,
+    }
+}
+
+/// Oracle 2: lock hygiene after the recovery epilogue. Every surviving lock
+/// must belong to a live process or an undecided transaction.
+pub fn check_lock_leaks(c: &Cluster, events: &[Event], out: &mut Vec<Violation>) {
+    let fates = txn_fates(events);
+    for (site, s) in c.sites.iter().enumerate() {
+        for (fid, d) in s.kernel.orphan_proc_locks() {
+            out.push(Violation::LockLeak {
+                site,
+                fid,
+                desc: format!("dead process still holds {d:?}"),
+            });
+        }
+        for (fid, d) in s.kernel.held_locks() {
+            let Some(tid) = d.tid else { continue };
+            let decided = fates.commit_mark.contains_key(&tid) || fates.aborted.contains(&tid);
+            if decided && d.retained {
+                out.push(Violation::LockLeak {
+                    site,
+                    fid,
+                    desc: format!("decided {tid} still retains {d:?}"),
+                });
+            }
+        }
+    }
+}
+
+/// Oracle 3: 2PC ordering rules, checked purely against the event trace.
+pub fn check_two_phase(events: &[Event], out: &mut Vec<Violation>) {
+    let fates = txn_fates(events);
+    let mut push = |tid: TransId, rule: String| {
+        let v = Violation::TwoPhase { tid, rule };
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            Event::CommitSent { tid, to } => match fates.commit_mark.get(tid) {
+                None => push(*tid, format!("commit sent to {to} without a commit mark")),
+                Some(cm) if *cm > i => {
+                    push(*tid, format!("commit sent to {to} before the commit mark"))
+                }
+                _ => {}
+            },
+            Event::FileCommit {
+                fid,
+                tid: Some(tid),
+            } => match fates.commit_mark.get(tid) {
+                None => push(
+                    *tid,
+                    format!("participant installed {fid} without a commit mark"),
+                ),
+                Some(cm) if *cm > i => push(
+                    *tid,
+                    format!("participant installed {fid} before the commit mark"),
+                ),
+                _ => {}
+            },
+            Event::RecoveryRedo { tid } if !fates.commit_mark.contains_key(tid) => {
+                push(*tid, "recovery redo without a commit mark".into());
+            }
+            Event::Committed { tid } if !fates.commit_mark.contains_key(tid) => {
+                // A transaction that touched no files commits trivially
+                // with no coordinator log; anything that prepared or
+                // installed state needed the commit mark.
+                let touched = events.iter().any(|e| {
+                    matches!(e, Event::PrepareSent { tid: t, .. }
+                                 | Event::CommitSent { tid: t, .. }
+                                 | Event::FileCommit { tid: Some(t), .. } if t == tid)
+                });
+                if touched {
+                    push(
+                        *tid,
+                        "committed with participants but no commit mark".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    // A commit mark requires a positive prepare ack from every participant
+    // that was later told to commit, and a committed transaction must never
+    // also abort.
+    for (tid, cm) in &fates.commit_mark {
+        if fates.aborted.contains(tid) {
+            push(*tid, "both committed and aborted".into());
+        }
+        let participants: BTreeSet<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::CommitSent { tid: t, to } if t == tid => Some(*to),
+                _ => None,
+            })
+            .collect();
+        for p in participants {
+            let acked = events[..*cm].iter().any(|e| {
+                matches!(e, Event::PrepareAck { tid: t, from, ok: true }
+                         if t == tid && *from == p)
+            });
+            if !acked {
+                push(
+                    *tid,
+                    format!("commit mark without a positive prepare ack from {p}"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_types::SiteId;
+
+    fn tid(n: u64) -> TransId {
+        TransId::new(SiteId(0), n)
+    }
+
+    #[test]
+    fn two_phase_catches_commit_before_mark() {
+        let events = vec![
+            Event::CommitSent {
+                tid: tid(1),
+                to: SiteId(1),
+            },
+            Event::CommitMark { tid: tid(1) },
+        ];
+        let mut v = Vec::new();
+        check_two_phase(&events, &mut v);
+        assert_eq!(v.len(), 2, "{v:?}"); // early send + missing prepare ack
+    }
+
+    #[test]
+    fn two_phase_accepts_correct_order() {
+        let events = vec![
+            Event::PrepareSent {
+                tid: tid(1),
+                to: SiteId(1),
+            },
+            Event::PrepareAck {
+                tid: tid(1),
+                from: SiteId(1),
+                ok: true,
+            },
+            Event::CommitMark { tid: tid(1) },
+            Event::CommitSent {
+                tid: tid(1),
+                to: SiteId(1),
+            },
+            Event::Committed { tid: tid(1) },
+        ];
+        let mut v = Vec::new();
+        check_two_phase(&events, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn two_phase_catches_commit_and_abort() {
+        let events = vec![
+            Event::PrepareAck {
+                tid: tid(2),
+                from: SiteId(1),
+                ok: true,
+            },
+            Event::CommitMark { tid: tid(2) },
+            Event::Aborted { tid: tid(2) },
+        ];
+        let mut v = Vec::new();
+        check_two_phase(&events, &mut v);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::TwoPhase { rule, .. } if rule.contains("both"))),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn trivial_commit_needs_no_mark() {
+        let events = vec![Event::Committed { tid: tid(3) }];
+        let mut v = Vec::new();
+        check_two_phase(&events, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

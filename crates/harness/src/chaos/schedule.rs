@@ -1,0 +1,323 @@
+//! Seeded fault schedules: generation, text serialization, and the replay
+//! parser.
+//!
+//! A schedule has two layers keyed by two independent deterministic clocks:
+//!
+//! * **Cluster faults** fire at driver *scheduling steps* (site crashes,
+//!   reboots, partitions, heals, forced mid-transaction migrations).
+//! * **Wire faults** fire at the transport's *message sequence numbers*
+//!   (drop the request, drop the reply, duplicate, delay).
+//!
+//! Both clocks are deterministic under the script driver, so a schedule plus
+//! a seed replays the exact same execution — the text form below is what the
+//! chaos binary prints on a violation and what `--schedule` replays.
+
+use std::fmt;
+use std::str::FromStr;
+
+use locus_sim::DetRng;
+
+/// A cluster-level fault kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterFaultKind {
+    /// Crash a site (volatile state lost, network marks it down).
+    Crash { site: usize },
+    /// Reboot a crashed site and run transaction recovery.
+    Reboot { site: usize },
+    /// Split the network: the listed sites form their own partition.
+    Partition { sites: Vec<usize> },
+    /// Heal all partitions.
+    Heal,
+    /// Force workload process `slot` to migrate to site `to` (applied only
+    /// if the process is alive, unblocked, and inside a transaction).
+    Migrate { slot: usize, to: usize },
+}
+
+/// A cluster fault scheduled at a driver step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterFault {
+    pub step: usize,
+    pub kind: ClusterFaultKind,
+}
+
+/// A wire-level fault kind (see `locus_net::FaultDecision`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    Drop,
+    DropReply,
+    Dup,
+    Delay { millis: u64 },
+}
+
+/// A wire fault keyed by the transport's global message sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFault {
+    pub seq: u64,
+    pub kind: WireFaultKind,
+}
+
+/// A complete fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    pub cluster: Vec<ClusterFault>,
+    pub wire: Vec<WireFault>,
+}
+
+impl Schedule {
+    pub fn is_empty(&self) -> bool {
+        self.cluster.is_empty() && self.wire.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cluster.len() + self.wire.len()
+    }
+
+    /// Generates a schedule from a seeded RNG. Crashes and partitions are
+    /// paired with a later reboot/heal so most schedules exercise recovery
+    /// paths, not just amputation; unpaired endings are tolerated because
+    /// the chaos runner's epilogue heals and reboots everything anyway.
+    pub fn generate(
+        rng: &mut DetRng,
+        sites: usize,
+        slots: usize,
+        n_cluster: usize,
+        n_wire: usize,
+        step_horizon: usize,
+        seq_horizon: u64,
+    ) -> Schedule {
+        let mut cluster = Vec::new();
+        for _ in 0..n_cluster {
+            let step = rng.below(step_horizon as u64) as usize;
+            match rng.below(4) {
+                0 => {
+                    let site = rng.below(sites as u64) as usize;
+                    let gap = 4 + rng.below(step_horizon as u64 / 2) as usize;
+                    cluster.push(ClusterFault {
+                        step,
+                        kind: ClusterFaultKind::Crash { site },
+                    });
+                    cluster.push(ClusterFault {
+                        step: step + gap,
+                        kind: ClusterFaultKind::Reboot { site },
+                    });
+                }
+                1 => {
+                    // Isolate a random nonempty strict subset of sites.
+                    let k = 1 + rng.below(sites.saturating_sub(1) as u64) as usize;
+                    let mut all: Vec<usize> = (0..sites).collect();
+                    rng.shuffle(&mut all);
+                    let mut isolated: Vec<usize> = all.into_iter().take(k).collect();
+                    isolated.sort_unstable();
+                    let gap = 4 + rng.below(step_horizon as u64 / 2) as usize;
+                    cluster.push(ClusterFault {
+                        step,
+                        kind: ClusterFaultKind::Partition { sites: isolated },
+                    });
+                    cluster.push(ClusterFault {
+                        step: step + gap,
+                        kind: ClusterFaultKind::Heal,
+                    });
+                }
+                _ => {
+                    cluster.push(ClusterFault {
+                        step,
+                        kind: ClusterFaultKind::Migrate {
+                            slot: rng.below(slots as u64) as usize,
+                            to: rng.below(sites as u64) as usize,
+                        },
+                    });
+                }
+            }
+        }
+        cluster.sort_by_key(|f| f.step);
+        let mut wire: Vec<WireFault> = Vec::new();
+        for _ in 0..n_wire {
+            let seq = rng.below(seq_horizon);
+            if wire.iter().any(|w| w.seq == seq) {
+                continue;
+            }
+            let kind = match rng.below(4) {
+                0 => WireFaultKind::Drop,
+                1 => WireFaultKind::DropReply,
+                2 => WireFaultKind::Dup,
+                _ => WireFaultKind::Delay {
+                    millis: 5 + rng.below(95),
+                },
+            };
+            wire.push(WireFault { seq, kind });
+        }
+        wire.sort_by_key(|w| w.seq);
+        Schedule { cluster, wire }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# locus-chaos schedule v1")?;
+        for c in &self.cluster {
+            match &c.kind {
+                ClusterFaultKind::Crash { site } => {
+                    writeln!(f, "step {} crash site={}", c.step, site)?
+                }
+                ClusterFaultKind::Reboot { site } => {
+                    writeln!(f, "step {} reboot site={}", c.step, site)?
+                }
+                ClusterFaultKind::Partition { sites } => {
+                    let list: Vec<String> = sites.iter().map(|s| s.to_string()).collect();
+                    writeln!(f, "step {} partition sites={}", c.step, list.join(","))?
+                }
+                ClusterFaultKind::Heal => writeln!(f, "step {} heal", c.step)?,
+                ClusterFaultKind::Migrate { slot, to } => {
+                    writeln!(f, "step {} migrate slot={} to={}", c.step, slot, to)?
+                }
+            }
+        }
+        for w in &self.wire {
+            match w.kind {
+                WireFaultKind::Drop => writeln!(f, "wire {} drop", w.seq)?,
+                WireFaultKind::DropReply => writeln!(f, "wire {} drop-reply", w.seq)?,
+                WireFaultKind::Dup => writeln!(f, "wire {} dup", w.seq)?,
+                WireFaultKind::Delay { millis } => {
+                    writeln!(f, "wire {} delay ms={}", w.seq, millis)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A malformed schedule line, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule line {}: {}", self.line, self.msg)
+    }
+}
+
+fn kv<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, ParseError> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| ParseError {
+            line,
+            msg: format!("expected {key}=<value>, got {tok:?}"),
+        })
+}
+
+fn num<T: FromStr>(s: &str, line: usize) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError {
+        line,
+        msg: format!("bad number {s:?}"),
+    })
+}
+
+impl FromStr for Schedule {
+    type Err = ParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut sched = Schedule::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let l = raw.trim();
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            match toks.as_slice() {
+                ["step", step, rest @ ..] => {
+                    let step: usize = num(step, line)?;
+                    let kind = match rest {
+                        ["crash", site] => ClusterFaultKind::Crash {
+                            site: num(kv(site, "site", line)?, line)?,
+                        },
+                        ["reboot", site] => ClusterFaultKind::Reboot {
+                            site: num(kv(site, "site", line)?, line)?,
+                        },
+                        ["partition", sites] => {
+                            let list = kv(sites, "sites", line)?;
+                            let mut parsed = Vec::new();
+                            for part in list.split(',') {
+                                parsed.push(num(part, line)?);
+                            }
+                            ClusterFaultKind::Partition { sites: parsed }
+                        }
+                        ["heal"] => ClusterFaultKind::Heal,
+                        ["migrate", slot, to] => ClusterFaultKind::Migrate {
+                            slot: num(kv(slot, "slot", line)?, line)?,
+                            to: num(kv(to, "to", line)?, line)?,
+                        },
+                        _ => {
+                            return Err(ParseError {
+                                line,
+                                msg: format!("unknown cluster fault {l:?}"),
+                            })
+                        }
+                    };
+                    sched.cluster.push(ClusterFault { step, kind });
+                }
+                ["wire", seq, rest @ ..] => {
+                    let seq: u64 = num(seq, line)?;
+                    let kind = match rest {
+                        ["drop"] => WireFaultKind::Drop,
+                        ["drop-reply"] => WireFaultKind::DropReply,
+                        ["dup"] => WireFaultKind::Dup,
+                        ["delay", ms] => WireFaultKind::Delay {
+                            millis: num(kv(ms, "ms", line)?, line)?,
+                        },
+                        _ => {
+                            return Err(ParseError {
+                                line,
+                                msg: format!("unknown wire fault {l:?}"),
+                            })
+                        }
+                    };
+                    sched.wire.push(WireFault { seq, kind });
+                }
+                _ => {
+                    return Err(ParseError {
+                        line,
+                        msg: format!("unrecognized line {l:?}"),
+                    })
+                }
+            }
+        }
+        Ok(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut rng = DetRng::seeded(99);
+        for _ in 0..50 {
+            let s = Schedule::generate(&mut rng, 4, 6, 5, 8, 300, 200);
+            let text = s.to_string();
+            let back: Schedule = text.parse().expect("parse back");
+            assert_eq!(s, back, "text was:\n{text}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Schedule::generate(&mut DetRng::seeded(7), 3, 4, 4, 6, 240, 160);
+        let b = Schedule::generate(&mut DetRng::seeded(7), 3, 4, 4, 6, 240, 160);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!("step x crash site=1".parse::<Schedule>().is_err());
+        assert!("wire 3 explode".parse::<Schedule>().is_err());
+        assert!("nonsense".parse::<Schedule>().is_err());
+        let with_comments = "# hi\n\nstep 3 heal\n";
+        let s: Schedule = with_comments.parse().unwrap();
+        assert_eq!(s.cluster.len(), 1);
+    }
+}

@@ -80,7 +80,14 @@ pub fn lock_latency(model: CostModel) -> LockLatencyReport {
             c.site(site).kernel.lseek(p, ch, i * 16, &mut acct).unwrap();
             c.site(site)
                 .kernel
-                .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .lock(
+                    p,
+                    ch,
+                    16,
+                    LockRequestMode::Exclusive,
+                    LockOpts::default(),
+                    &mut acct,
+                )
                 .unwrap();
         }
         let mut d = acct.delta_since(&before);
@@ -104,8 +111,12 @@ pub fn lock_latency(model: CostModel) -> LockLatencyReport {
 
 impl LockLatencyReport {
     pub fn render(&self) -> String {
-        let mut t = Table::new("Section 6.2: Record Locking Performance")
-            .header(["case", "service", "instructions", "latency"]);
+        let mut t = Table::new("Section 6.2: Record Locking Performance").header([
+            "case",
+            "service",
+            "instructions",
+            "latency",
+        ]);
         for r in &self.rows {
             t.row([
                 r.label.clone(),
@@ -144,11 +155,22 @@ pub fn fig6_commit_performance(model: CostModel) -> Fig6Report {
                 // A second user modifies a disjoint record on the same page
                 // and holds its update uncommitted.
                 let other = c.site(0).kernel.spawn();
-                let och = c.site(0).kernel.open(other, "/data", true, &mut a0).unwrap();
+                let och = c
+                    .site(0)
+                    .kernel
+                    .open(other, "/data", true, &mut a0)
+                    .unwrap();
                 c.site(0).kernel.lseek(other, och, 600, &mut a0).unwrap();
                 c.site(0)
                     .kernel
-                    .lock(other, och, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a0)
+                    .lock(
+                        other,
+                        och,
+                        100,
+                        LockRequestMode::Exclusive,
+                        LockOpts::default(),
+                        &mut a0,
+                    )
                     .unwrap();
                 c.site(0)
                     .kernel
@@ -167,7 +189,14 @@ pub fn fig6_commit_performance(model: CostModel) -> Fig6Report {
                 .unwrap();
             c.site(req_site)
                 .kernel
-                .lock(p, ch, 200, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .lock(
+                    p,
+                    ch,
+                    200,
+                    LockRequestMode::Exclusive,
+                    LockOpts::default(),
+                    &mut acct,
+                )
                 .unwrap();
             c.site(req_site)
                 .kernel
@@ -175,7 +204,10 @@ pub fn fig6_commit_performance(model: CostModel) -> Fig6Report {
                 .unwrap();
             // …and commits them (the record commit of Section 6.3).
             let before = acct.clone();
-            c.site(req_site).kernel.commit_file(p, ch, &mut acct).unwrap();
+            c.site(req_site)
+                .kernel
+                .commit_file(p, ch, &mut acct)
+                .unwrap();
             let d = acct.delta_since(&before);
             rows.push(Measured::from_delta(
                 &format!("{site_label} / {ov_label}"),
@@ -189,8 +221,11 @@ pub fn fig6_commit_performance(model: CostModel) -> Fig6Report {
 
 impl Fig6Report {
     pub fn render(&self) -> String {
-        let mut t = Table::new("Figure 6: Measured Commit Performance")
-            .header(["case", "service time (requesting site)", "latency"]);
+        let mut t = Table::new("Figure 6: Measured Commit Performance").header([
+            "case",
+            "service time (requesting site)",
+            "latency",
+        ]);
         for r in &self.rows {
             t.row([
                 r.label.clone(),
@@ -235,7 +270,10 @@ pub fn fig5_txn_io(model: CostModel, files: usize, pages: u64) -> Fig5Report {
     for name in &names {
         let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
         for pg in 0..pages {
-            c.site(0).kernel.lseek(pid, ch, pg * 1024, &mut acct).unwrap();
+            c.site(0)
+                .kernel
+                .lseek(pid, ch, pg * 1024, &mut acct)
+                .unwrap();
             c.site(0).kernel.write(pid, ch, b"rec", &mut acct).unwrap();
         }
     }
@@ -253,7 +291,10 @@ pub fn fig5_txn_io(model: CostModel, files: usize, pages: u64) -> Fig5Report {
     }
 
     let steps = vec![
-        ("1. write transaction structure to coordinator log".to_string(), log_ios),
+        (
+            "1. write transaction structure to coordinator log".to_string(),
+            log_ios,
+        ),
         (
             format!("2. flush modified data pages ({} × {} files)", pages, files),
             pages * files as u64,
@@ -332,7 +373,14 @@ pub fn prefetch_ablation(model: CostModel) -> PrefetchReport {
         let ch = c.site(1).kernel.open(p, "/big", true, &mut acct).unwrap();
         c.site(1)
             .kernel
-            .lock(p, ch, 4096, LockRequestMode::Shared, LockOpts::default(), &mut acct)
+            .lock(
+                p,
+                ch,
+                4096,
+                LockRequestMode::Shared,
+                LockOpts::default(),
+                &mut acct,
+            )
             .unwrap();
         let before = acct.clone();
         c.site(1).kernel.read(p, ch, 4096, &mut acct).unwrap();
@@ -349,7 +397,10 @@ impl PrefetchReport {
         let mut t = Table::new("Ablation: prefetch-on-lock (Section 5.2)")
             .header(["configuration", "read-after-lock latency"]);
         t.row(["no prefetch".to_string(), format!("{}", self.without)]);
-        t.row(["prefetch on lock".to_string(), format!("{}", self.with_prefetch)]);
+        t.row([
+            "prefetch on lock".to_string(),
+            format!("{}", self.with_prefetch),
+        ]);
         t.render()
     }
 }
@@ -387,7 +438,14 @@ pub fn lock_migration_ablation(model: CostModel, burst: u64) -> LeaseReport {
             c.site(1).kernel.lseek(p, ch, i * 16, &mut acct).unwrap();
             c.site(1)
                 .kernel
-                .lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+                .lock(
+                    p,
+                    ch,
+                    16,
+                    LockRequestMode::Exclusive,
+                    LockOpts::default(),
+                    &mut acct,
+                )
                 .unwrap();
         }
         acct.delta_since(&before).elapsed / burst
@@ -433,7 +491,15 @@ pub fn fig4_record_commit(model: CostModel) -> Fig4Report {
     // Direct (Figure 4a): one writer on the page.
     let w1 = k.spawn();
     let c1 = k.open(w1, "/page", true, &mut a).unwrap();
-    k.lock(w1, c1, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.lock(
+        w1,
+        c1,
+        100,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     k.write(w1, c1, &[1u8; 100], &mut a).unwrap();
     let before = a.clone();
     k.commit_file(w1, c1, &mut a).unwrap();
@@ -444,12 +510,28 @@ pub fn fig4_record_commit(model: CostModel) -> Fig4Report {
     let w2 = k.spawn();
     let c2 = k.open(w2, "/page", true, &mut a).unwrap();
     k.lseek(w2, c2, 200, &mut a).unwrap();
-    k.lock(w2, c2, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.lock(
+        w2,
+        c2,
+        100,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     k.write(w2, c2, &[2u8; 100], &mut a).unwrap();
     let w3 = k.spawn();
     let c3 = k.open(w3, "/page", true, &mut a).unwrap();
     k.lseek(w3, c3, 400, &mut a).unwrap();
-    k.lock(w3, c3, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.lock(
+        w3,
+        c3,
+        100,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     k.write(w3, c3, &[3u8; 100], &mut a).unwrap();
     let before = a.clone();
     k.commit_file(w2, c2, &mut a).unwrap();
@@ -466,8 +548,8 @@ pub fn fig4_record_commit(model: CostModel) -> Fig4Report {
 
 impl Fig4Report {
     pub fn render(&self) -> String {
-        let mut t = Table::new("Figure 4: Record Commit Mechanism")
-            .header(["path", "service", "latency"]);
+        let mut t =
+            Table::new("Figure 4: Record Commit Mechanism").header(["path", "service", "latency"]);
         for r in [&self.direct, &self.differenced] {
             t.row([
                 r.label.clone(),
@@ -496,15 +578,37 @@ pub fn fig3_lock_list(model: CostModel) -> String {
     k.commit_file(p1, ch, &mut a).unwrap();
     c.site(0).txn.begin_trans(p1, &mut a).unwrap();
     k.lseek(p1, ch, 0, &mut a).unwrap();
-    k.lock(p1, ch, 512, LockRequestMode::Exclusive, LockOpts::default(), &mut a).unwrap();
+    k.lock(
+        p1,
+        ch,
+        512,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     let p2 = k.spawn();
     let ch2 = k.open(p2, "/db", true, &mut a).unwrap();
     k.lseek(p2, ch2, 1024, &mut a).unwrap();
-    k.lock(p2, ch2, 256, LockRequestMode::Shared, LockOpts::default(), &mut a).unwrap();
+    k.lock(
+        p2,
+        ch2,
+        256,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
 
     let snap = k.locks.snapshot();
-    let mut t = Table::new("Figure 3: Lock List Structure (live)")
-        .header(["file", "process", "transaction", "mode", "range", "retained"]);
+    let mut t = Table::new("Figure 3: Lock List Structure (live)").header([
+        "file",
+        "process",
+        "transaction",
+        "mode",
+        "range",
+        "retained",
+    ]);
     for (fid, descs) in &snap.held {
         for d in descs {
             t.row([
@@ -530,7 +634,10 @@ pub fn txn_throughput(model: CostModel, n: usize, remote: bool) -> SimDuration {
     let mut a = c.account(storage);
     let p = c.site(storage).kernel.spawn();
     let ch = c.site(storage).kernel.creat(p, "/t", &mut a).unwrap();
-    c.site(storage).kernel.write(p, ch, &vec![0u8; 1024], &mut a).unwrap();
+    c.site(storage)
+        .kernel
+        .write(p, ch, &vec![0u8; 1024], &mut a)
+        .unwrap();
     c.site(storage).kernel.close(p, ch, &mut a).unwrap();
 
     let mut acct = c.account(runner);
@@ -538,12 +645,19 @@ pub fn txn_throughput(model: CostModel, n: usize, remote: bool) -> SimDuration {
     let before = acct.clone();
     for i in 0..n {
         c.site(runner).txn.begin_trans(pid, &mut acct).unwrap();
-        let ch = c.site(runner).kernel.open(pid, "/t", true, &mut acct).unwrap();
+        let ch = c
+            .site(runner)
+            .kernel
+            .open(pid, "/t", true, &mut acct)
+            .unwrap();
         c.site(runner)
             .kernel
             .lseek(pid, ch, (i as u64 % 16) * 64, &mut acct)
             .unwrap();
-        c.site(runner).kernel.write(pid, ch, &[5u8; 64], &mut acct).unwrap();
+        c.site(runner)
+            .kernel
+            .write(pid, ch, &[5u8; 64], &mut acct)
+            .unwrap();
         c.site(runner).txn.end_trans(pid, &mut acct).unwrap();
         c.drain_async();
     }
@@ -606,7 +720,10 @@ pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
         let p0 = c.site(0).kernel.spawn();
         for name in ["/d0", "/d1", "/d2", "/d3"] {
             let ch = c.site(0).kernel.creat(p0, name, &mut a0).unwrap();
-            c.site(0).kernel.write(p0, ch, b"initial!", &mut a0).unwrap();
+            c.site(0)
+                .kernel
+                .write(p0, ch, b"initial!", &mut a0)
+                .unwrap();
             c.site(0).kernel.close(p0, ch, &mut a0).unwrap();
         }
         let mut a = c.account(3);
@@ -630,7 +747,14 @@ pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
             for _ in 0..8 {
                 c.site(client)
                     .kernel
-                    .lock(p, ch, 4, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+                    .lock(
+                        p,
+                        ch,
+                        4,
+                        LockRequestMode::Exclusive,
+                        LockOpts::default(),
+                        &mut a,
+                    )
                     .unwrap();
                 c.site(client).kernel.unlock(p, ch, 4, &mut a).unwrap();
             }
@@ -655,7 +779,10 @@ pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
             c.site(3).txn.begin_trans(pid, &mut a).unwrap();
             for name in ["/t-a", "/t-b"] {
                 let ch = c.site(3).kernel.open(pid, name, true, &mut a).unwrap();
-                c.site(3).kernel.write(pid, ch, &[round; 4], &mut a).unwrap();
+                c.site(3)
+                    .kernel
+                    .write(pid, ch, &[round; 4], &mut a)
+                    .unwrap();
             }
             c.site(3).txn.end_trans(pid, &mut a).unwrap();
             // Retained locks release in phase two; drain before the next
@@ -684,7 +811,13 @@ pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
     let mut kinds: std::collections::BTreeMap<(Service, &'static str), (u64, u64)> =
         std::collections::BTreeMap::new();
     for e in c.events.all() {
-        if let locus_sim::Event::Rpc { service, kind, batched, .. } = e {
+        if let locus_sim::Event::Rpc {
+            service,
+            kind,
+            batched,
+            ..
+        } = e
+        {
             let ent = kinds.entry((service, kind)).or_default();
             ent.0 += 1;
             ent.1 += u64::from(batched);
@@ -724,7 +857,12 @@ impl ServiceBreakdownReport {
         let mut k = Table::new("Per-kind RPC detail (whole run)")
             .header(["service", "kind", "msgs", "batched"]);
         for (svc, kind, n, b) in &self.kinds {
-            k.row([svc.name().to_string(), kind.to_string(), n.to_string(), b.to_string()]);
+            k.row([
+                svc.name().to_string(),
+                kind.to_string(),
+                n.to_string(),
+                b.to_string(),
+            ]);
         }
         format!(
             "{}\n{}\ntotals: {} network messages, {} batch envelopes",
@@ -856,7 +994,10 @@ mod tests {
         assert!(by_name["migration + commit"].per_service[Service::Proc.index()] > 0);
         // The batched close path and per-kind tagging are visible.
         assert!(r.totals.1 > 0, "no batches recorded");
-        assert!(r.kinds.iter().any(|(s, k, ..)| *s == Service::Txn && *k == "Prepare"));
+        assert!(r
+            .kinds
+            .iter()
+            .any(|(s, k, ..)| *s == Service::Txn && *k == "Prepare"));
         let rendered = r.render();
         assert!(rendered.contains("Per-service network messages"));
         assert!(rendered.contains("batch envelopes"));

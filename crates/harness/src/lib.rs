@@ -14,6 +14,7 @@
 //!   condition variable). Used by the stress tests and examples to show the
 //!   kernels are genuinely thread-safe.
 
+pub mod chaos;
 pub mod cluster;
 pub mod experiments;
 pub mod script;
@@ -22,5 +23,5 @@ pub mod threaded;
 pub mod workload;
 
 pub use cluster::Cluster;
-pub use script::{Driver, Op, OpResult, RunOutcome};
+pub use script::{Driver, FailureReport, Op, OpResult, RunOutcome};
 pub use threaded::ThreadCtx;

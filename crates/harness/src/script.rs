@@ -9,11 +9,10 @@
 //! call would restart.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use locus_sim::{Account, DetRng};
-use locus_types::{
-    ByteRange, Channel, Error, LockRequestMode, Pid, Result, SiteId, TransId,
-};
+use locus_types::{ByteRange, Channel, Error, LockRequestMode, Pid, Result, SiteId, TransId};
 
 use locus_kernel::LockOpts;
 
@@ -25,16 +24,36 @@ pub enum Op {
     /// Create a file on the process's current site and open it read/write.
     Creat(String),
     /// Open by name; `write` selects update mode.
-    Open { name: String, write: bool },
+    Open {
+        name: String,
+        write: bool,
+    },
     /// Open in Section 3.2 append mode.
     OpenAppend(String),
     /// Close a channel (by local open order: 0 = first opened).
     Close(usize),
-    Seek { ch: usize, pos: u64 },
-    Read { ch: usize, len: u64 },
-    Write { ch: usize, data: Vec<u8> },
-    Lock { ch: usize, len: u64, mode: LockRequestMode, opts: LockOpts },
-    Unlock { ch: usize, len: u64 },
+    Seek {
+        ch: usize,
+        pos: u64,
+    },
+    Read {
+        ch: usize,
+        len: u64,
+    },
+    Write {
+        ch: usize,
+        data: Vec<u8>,
+    },
+    Lock {
+        ch: usize,
+        len: u64,
+        mode: LockRequestMode,
+        opts: LockOpts,
+    },
+    Unlock {
+        ch: usize,
+        len: u64,
+    },
     /// Roll back this process's uncommitted changes to the channel's file.
     AbortFile(usize),
     /// Commit them via the single-file commit.
@@ -85,6 +104,50 @@ pub enum RunOutcome {
     /// No process is runnable and no wakeups are pending — the blocked
     /// processes are deadlocked (hand them to the deadlock detector).
     Stuck { blocked: Vec<Pid> },
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => write!(f, "completed"),
+            RunOutcome::Stuck { blocked } => {
+                write!(f, "stuck ({} blocked:", blocked.len())?;
+                for p in blocked {
+                    write!(f, " {p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Per-process operation failures of a run, with a readable rendering for
+/// chaos reports and CI logs (the `Debug` form of `failures()` is noisy).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureReport(pub BTreeMap<usize, Vec<Error>>);
+
+impl FailureReport {
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "no failures");
+        }
+        for (i, (proc_idx, errs)) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "proc {proc_idx}:")?;
+            for e in errs {
+                write!(f, " [{e}]")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Deterministic multi-process driver over a cluster.
@@ -138,7 +201,16 @@ impl<'c> Driver<'c> {
 
     /// Runs until completion or deadlock.
     pub fn run(&mut self) -> RunOutcome {
-        for _ in 0..self.max_steps {
+        self.run_with_hook(&mut |_, _| {})
+    }
+
+    /// Runs until completion or deadlock, invoking `hook` with the step
+    /// number before every scheduling decision. The chaos harness uses the
+    /// hook to apply scheduled faults (crashes, partitions, forced
+    /// migrations) at deterministic points and to probe invariants mid-run.
+    pub fn run_with_hook(&mut self, hook: &mut dyn FnMut(usize, &Self)) -> RunOutcome {
+        for step in 0..self.max_steps {
+            hook(step, self);
             // Deliver pending wakeups.
             for p in self.procs.iter_mut() {
                 if p.status == ProcStatus::Blocked {
@@ -245,7 +317,12 @@ impl<'c> Driver<'c> {
                     let ch = chan(&p.channels, ch)?;
                     k.write(pid, ch, &data, &mut acct).map(|_| OpResult::Unit)
                 }
-                Op::Lock { ch, len, mode, opts } => {
+                Op::Lock {
+                    ch,
+                    len,
+                    mode,
+                    opts,
+                } => {
                     let ch = chan(&p.channels, ch)?;
                     k.lock(pid, ch, len, mode, opts, &mut acct)
                         .map(OpResult::Range)
@@ -328,6 +405,21 @@ impl<'c> Driver<'c> {
         }
         out
     }
+
+    /// [`Driver::failures`] wrapped for human-readable display.
+    pub fn failure_report(&self) -> FailureReport {
+        FailureReport(self.failures())
+    }
+
+    /// Number of spawned processes (including forked children so far).
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether process `idx` is still blocked (waiting on a wakeup).
+    pub fn is_blocked(&self, idx: usize) -> bool {
+        self.procs[idx].status == ProcStatus::Blocked
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +434,10 @@ mod tests {
             0,
             vec![
                 Op::Creat("/f".into()),
-                Op::Write { ch: 0, data: b"hello".to_vec() },
+                Op::Write {
+                    ch: 0,
+                    data: b"hello".to_vec(),
+                },
                 Op::Seek { ch: 0, pos: 0 },
                 Op::Read { ch: 0, len: 5 },
             ],
@@ -365,7 +460,10 @@ mod tests {
         d.spawn(
             0,
             vec![
-                Op::Open { name: "/f".into(), write: true },
+                Op::Open {
+                    name: "/f".into(),
+                    write: true,
+                },
                 Op::Lock {
                     ch: 0,
                     len: 10,
@@ -379,12 +477,18 @@ mod tests {
         d.spawn(
             0,
             vec![
-                Op::Open { name: "/f".into(), write: true },
+                Op::Open {
+                    name: "/f".into(),
+                    write: true,
+                },
                 Op::Lock {
                     ch: 0,
                     len: 10,
                     mode: LockRequestMode::Exclusive,
-                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                    opts: LockOpts {
+                        wait: true,
+                        ..LockOpts::default()
+                    },
                 },
             ],
         );
@@ -398,28 +502,37 @@ mod tests {
         let mut d = Driver::new(&c, 1);
         // Classic two-file deadlock: each transaction locks one file then
         // waits for the other.
-        let setup = d.spawn(
-            0,
-            vec![Op::Creat("/a".into()), Op::Creat("/b".into())],
-        );
+        let setup = d.spawn(0, vec![Op::Creat("/a".into()), Op::Creat("/b".into())]);
         let _ = setup;
         assert_eq!(d.run(), RunOutcome::Completed);
         let prog = |first: &str, second: &str| {
             vec![
                 Op::BeginTrans,
-                Op::Open { name: first.into(), write: true },
-                Op::Open { name: second.into(), write: true },
+                Op::Open {
+                    name: first.into(),
+                    write: true,
+                },
+                Op::Open {
+                    name: second.into(),
+                    write: true,
+                },
                 Op::Lock {
                     ch: 0,
                     len: 1,
                     mode: LockRequestMode::Exclusive,
-                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                    opts: LockOpts {
+                        wait: true,
+                        ..LockOpts::default()
+                    },
                 },
                 Op::Lock {
                     ch: 1,
                     len: 1,
                     mode: LockRequestMode::Exclusive,
-                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                    opts: LockOpts {
+                        wait: true,
+                        ..LockOpts::default()
+                    },
                 },
                 Op::EndTrans,
             ]
@@ -447,11 +560,11 @@ mod tests {
             0,
             vec![
                 Op::Creat("/f".into()),
-                Op::Write { ch: 0, data: b"parent".to_vec() },
-                Op::Fork(vec![
-                    Op::Seek { ch: 0, pos: 0 },
-                    Op::Read { ch: 0, len: 6 },
-                ]),
+                Op::Write {
+                    ch: 0,
+                    data: b"parent".to_vec(),
+                },
+                Op::Fork(vec![Op::Seek { ch: 0, pos: 0 }, Op::Read { ch: 0, len: 6 }]),
             ],
         );
         assert_eq!(d.run(), RunOutcome::Completed);

@@ -48,7 +48,9 @@ impl ThreadCtx {
     }
 
     pub fn open(&self, name: &str, write: bool) -> Result<Channel> {
-        self.site.kernel.open(self.pid, name, write, &mut self.acct())
+        self.site
+            .kernel
+            .open(self.pid, name, write, &mut self.acct())
     }
 
     pub fn close(&self, ch: Channel) -> Result<()> {
@@ -75,7 +77,10 @@ impl ThreadCtx {
                 ch,
                 len,
                 mode,
-                LockOpts { wait: true, ..LockOpts::default() },
+                LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
                 &mut self.acct(),
             )
         })
@@ -83,9 +88,14 @@ impl ThreadCtx {
 
     /// Non-blocking lock attempt.
     pub fn try_lock(&self, ch: Channel, len: u64, mode: LockRequestMode) -> Result<ByteRange> {
-        self.site
-            .kernel
-            .lock(self.pid, ch, len, mode, LockOpts::default(), &mut self.acct())
+        self.site.kernel.lock(
+            self.pid,
+            ch,
+            len,
+            mode,
+            LockOpts::default(),
+            &mut self.acct(),
+        )
     }
 
     pub fn unlock(&self, ch: Channel, len: u64) -> Result<ByteRange> {

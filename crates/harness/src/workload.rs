@@ -73,24 +73,42 @@ pub fn transfer_txn(file: &str, from: u64, to: u64, amount: u64) -> Vec<Op> {
             name: file.into(),
             write: true,
         },
-        Op::Seek { ch: 0, pos: from * 8 },
+        Op::Seek {
+            ch: 0,
+            pos: from * 8,
+        },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
         Op::Seek { ch: 0, pos: to * 8 },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
-        Op::Seek { ch: 0, pos: from * 8 },
-        Op::Write { ch: 0, data: amount.to_le_bytes().to_vec() },
+        Op::Seek {
+            ch: 0,
+            pos: from * 8,
+        },
+        Op::Write {
+            ch: 0,
+            data: amount.to_le_bytes().to_vec(),
+        },
         Op::Seek { ch: 0, pos: to * 8 },
-        Op::Write { ch: 0, data: amount.to_le_bytes().to_vec() },
+        Op::Write {
+            ch: 0,
+            data: amount.to_le_bytes().to_vec(),
+        },
         Op::EndTrans,
     ]
 }
@@ -104,7 +122,10 @@ pub fn log_appender(file: &str, appends: usize, entry: usize) -> Vec<Op> {
             ch: 0,
             len: entry as u64,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         });
         ops.push(Op::Write {
             ch: 0,
@@ -136,15 +157,27 @@ pub fn random_update_mix(
         ];
         for _ in 0..per_txn {
             let rec = rng.below(file_records);
-            ops.push(Op::Seek { ch: 0, pos: rec * 8 });
+            ops.push(Op::Seek {
+                ch: 0,
+                pos: rec * 8,
+            });
             ops.push(Op::Lock {
                 ch: 0,
                 len: 8,
                 mode: LockRequestMode::Exclusive,
-                opts: LockOpts { wait: true, ..LockOpts::default() },
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
             });
-            ops.push(Op::Seek { ch: 0, pos: rec * 8 });
-            ops.push(Op::Write { ch: 0, data: vec![1; 8] });
+            ops.push(Op::Seek {
+                ch: 0,
+                pos: rec * 8,
+            });
+            ops.push(Op::Write {
+                ch: 0,
+                data: vec![1; 8],
+            });
         }
         ops.push(Op::EndTrans);
         txns.push(ops);
@@ -162,7 +195,17 @@ mod tests {
     fn ascending_locks_never_conflict() {
         let c = Cluster::new(1);
         let mut d = Driver::new(&c, 3);
-        d.spawn(0, vec![Op::Creat("/m".into()), Op::Write { ch: 0, data: vec![0; 4096] }, Op::Close(0)]);
+        d.spawn(
+            0,
+            vec![
+                Op::Creat("/m".into()),
+                Op::Write {
+                    ch: 0,
+                    data: vec![0; 4096],
+                },
+                Op::Close(0),
+            ],
+        );
         assert_eq!(d.run(), RunOutcome::Completed);
         let mut d = Driver::new(&c, 3);
         d.spawn(0, ascending_lock_loop("/m", 100, 16));

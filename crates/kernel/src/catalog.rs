@@ -57,11 +57,7 @@ impl Catalog {
 
     /// Location by fid (reverse lookup).
     pub fn loc_of(&self, fid: Fid) -> Option<FileLoc> {
-        self.by_name
-            .read()
-            .values()
-            .find(|l| l.fid == fid)
-            .cloned()
+        self.by_name.read().values().find(|l| l.fid == fid).cloned()
     }
 
     /// Adds a replica site for a file.
@@ -127,10 +123,7 @@ mod tests {
         c.register("/db/accounts", loc(0, 1, 0)).unwrap();
         let got = c.resolve("/db/accounts").unwrap();
         assert_eq!(got.fid, Fid::new(VolumeId(0), 1));
-        assert!(matches!(
-            c.resolve("/nope"),
-            Err(Error::NoSuchFile(_))
-        ));
+        assert!(matches!(c.resolve("/nope"), Err(Error::NoSuchFile(_))));
     }
 
     #[test]

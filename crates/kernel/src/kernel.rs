@@ -239,7 +239,11 @@ impl Kernel {
         }
     }
 
-    pub(crate) fn with_channel(&self, pid: Pid, ch: Channel) -> Result<(OpenFile, Option<TransId>)> {
+    pub(crate) fn with_channel(
+        &self,
+        pid: Pid,
+        ch: Channel,
+    ) -> Result<(OpenFile, Option<TransId>)> {
         let rec = self.procs.get(pid).ok_or(Error::NoSuchProcess(pid))?;
         let of = rec.open_files.get(&ch).copied().ok_or(Error::BadChannel)?;
         Ok((of, rec.tid))
@@ -326,6 +330,34 @@ impl Kernel {
 
     pub fn is_crashed(&self) -> bool {
         self.crashed.load(Ordering::Relaxed)
+    }
+
+    // ----- Chaos / oracle inspection -----------------------------------------
+
+    /// Every granted lock descriptor at this site, flattened. The chaos
+    /// harness's post-run oracles read these (Section 3.1's "interface to
+    /// operating system data", extended for fault-injection audits).
+    pub fn held_locks(&self) -> Vec<(Fid, locus_types::LockDescriptor)> {
+        self.locks
+            .snapshot()
+            .held
+            .into_iter()
+            .flat_map(|(fid, ds)| ds.into_iter().map(move |d| (fid, d)))
+            .collect()
+    }
+
+    /// Granted process-class locks whose owning process no longer exists
+    /// anywhere in the network — orphans that survived a crash they should
+    /// not have. Transaction-class locks are judged by their transaction's
+    /// fate instead (the chaos oracles check those against the event log).
+    pub fn orphan_proc_locks(&self) -> Vec<(Fid, locus_types::LockDescriptor)> {
+        self.held_locks()
+            .into_iter()
+            .filter(|(_, d)| match d.owner() {
+                Owner::Proc(pid) => self.registry.lookup(pid).is_none(),
+                Owner::Trans(_) => false,
+            })
+            .collect()
     }
 
     /// The sites currently reachable from this one (this site's partition).

@@ -22,19 +22,34 @@ impl ServiceHandler for FileService {
 
     fn handle(k: &Kernel, _from: SiteId, req: FileMsg, acct: &mut Account) -> Result<Msg> {
         match req {
-            FileMsg::OpenReq { fid, pid: _, write: _ } => {
+            FileMsg::OpenReq {
+                fid,
+                pid: _,
+                write: _,
+            } => {
                 let vol = k.volume(fid.volume)?;
                 let len = vol.len(fid, acct)?;
                 k.locks.ensure_file(fid, len);
                 Ok(Msg::File(FileMsg::OpenResp { len }))
             }
-            FileMsg::ReadReq { fid, pid, owner, range } => {
+            FileMsg::ReadReq {
+                fid,
+                pid,
+                owner,
+                range,
+            } => {
                 k.locks.validate_access(fid, owner, pid, range, false)?;
                 let vol = k.volume(fid.volume)?;
                 let data = vol.read(fid, range, acct)?;
                 Ok(Msg::File(FileMsg::ReadResp { data }))
             }
-            FileMsg::WriteReq { fid, pid, owner, range, data } => {
+            FileMsg::WriteReq {
+                fid,
+                pid,
+                owner,
+                range,
+                data,
+            } => {
                 k.locks.validate_access(fid, owner, pid, range, true)?;
                 let vol = k.volume(fid.volume)?;
                 let new_len = vol.write(fid, owner, range, &data, acct)?;
@@ -132,7 +147,11 @@ impl Kernel {
         append: bool,
         acct: &mut Account,
     ) -> Result<Channel> {
-        let resp = self.rpc(serving, Msg::File(FileMsg::OpenReq { fid, pid, write }), acct)?;
+        let resp = self.rpc(
+            serving,
+            Msg::File(FileMsg::OpenReq { fid, pid, write }),
+            acct,
+        )?;
         let Msg::File(FileMsg::OpenResp { len }) = resp else {
             return Err(Error::ProtocolViolation(format!(
                 "unexpected open response {resp:?}"

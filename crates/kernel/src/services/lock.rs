@@ -125,7 +125,14 @@ impl Kernel {
     /// Unlocks `len` bytes at the current position (transaction locks are
     /// retained rather than released, Section 3.3).
     pub fn unlock(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<ByteRange> {
-        self.lock(pid, ch, len, LockRequestMode::Unlock, LockOpts::default(), acct)
+        self.lock(
+            pid,
+            ch,
+            len,
+            LockRequestMode::Unlock,
+            LockOpts::default(),
+            acct,
+        )
     }
 
     /// Implicit two-phase locking on data access for transaction processes.

@@ -181,10 +181,7 @@ impl Kernel {
             return Ok(());
         }
         for _ in 0..MERGE_RETRY_LIMIT {
-            let site = self
-                .registry
-                .lookup(top)
-                .ok_or(Error::NoSuchProcess(top))?;
+            let site = self.registry.lookup(top).ok_or(Error::NoSuchProcess(top))?;
             match self.rpc(
                 site,
                 Msg::Proc(ProcMsg::FileListMerge {
@@ -223,10 +220,7 @@ impl Kernel {
         acct: &mut Account,
     ) -> Result<()> {
         for _ in 0..MERGE_RETRY_LIMIT {
-            let site = self
-                .registry
-                .lookup(top)
-                .ok_or(Error::NoSuchProcess(top))?;
+            let site = self.registry.lookup(top).ok_or(Error::NoSuchProcess(top))?;
             let msg = if delta >= 0 {
                 Msg::Proc(ProcMsg::MemberAdded { tid, top })
             } else {

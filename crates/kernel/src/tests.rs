@@ -9,9 +9,7 @@ use locus_fs::Volume;
 use locus_net::SimTransport;
 use locus_proc::ProcessRegistry;
 use locus_sim::{Account, CostModel, Counters, EventLog, SimDuration};
-use locus_types::{
-    ByteRange, Error, LockRequestMode, SiteId, VolumeId,
-};
+use locus_types::{ByteRange, Error, LockRequestMode, SiteId, VolumeId};
 
 use crate::catalog::Catalog;
 use crate::kernel::Kernel;
@@ -127,8 +125,15 @@ fn enforced_locks_deny_unix_writers() {
     let ch = k.creat(locker, "/f", &mut a).unwrap();
     k.write(locker, ch, b"xxxxxxxxxx", &mut a).unwrap();
     k.lseek(locker, ch, 0, &mut a).unwrap();
-    k.lock(locker, ch, 10, LockRequestMode::Shared, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        locker,
+        ch,
+        10,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
 
     // Another (unlocked, Unix) process may read but not write (Figure 1).
     let unix = k.spawn();
@@ -153,7 +158,14 @@ fn lock_requires_write_permission() {
     k.close(p, ch, &mut a).unwrap();
     let ro = k.open(p, "/f", false, &mut a).unwrap();
     assert!(matches!(
-        k.lock(p, ro, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        k.lock(
+            p,
+            ro,
+            10,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        ),
         Err(Error::PermissionDenied { .. })
     ));
 }
@@ -165,14 +177,28 @@ fn conflicting_lock_denied_or_queued() {
     let mut a = acct(0);
     let p1 = k.spawn();
     let ch1 = k.creat(p1, "/f", &mut a).unwrap();
-    k.lock(p1, ch1, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p1,
+        ch1,
+        10,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
 
     let p2 = k.spawn();
     let ch2 = k.open(p2, "/f", true, &mut a).unwrap();
     // No-wait: conflict error.
     assert!(matches!(
-        k.lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a),
+        k.lock(
+            p2,
+            ch2,
+            10,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a
+        ),
         Err(Error::LockConflict { .. })
     ));
     // Wait: queued.
@@ -182,7 +208,10 @@ fn conflicting_lock_denied_or_queued() {
             ch2,
             10,
             LockRequestMode::Exclusive,
-            LockOpts { wait: true, ..LockOpts::default() },
+            LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
             &mut a
         ),
         Err(Error::WouldBlock { .. })
@@ -193,7 +222,14 @@ fn conflicting_lock_denied_or_queued() {
     assert!(k.take_wakeup(p2));
     // The retried request now succeeds instantly.
     let got = k
-        .lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            p2,
+            ch2,
+            10,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a,
+        )
         .unwrap();
     assert_eq!(got, ByteRange::new(0, 10));
 }
@@ -212,8 +248,15 @@ fn remote_lock_costs_one_round_trip() {
     let mut a1 = acct(1);
     let ch1 = k1.open(p1, "/f", true, &mut a1).unwrap();
     let before = a1.clone();
-    k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-        .unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        16,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
     let d = a1.delta_since(&before);
     // ≈ 2 ms of lock processing + 1 ms handling + 15 ms RTT = 18 ms.
     let ms = d.elapsed.as_millis_f64();
@@ -229,8 +272,15 @@ fn local_lock_costs_about_two_ms() {
     let p = k.spawn();
     let ch = k.creat(p, "/f", &mut a).unwrap();
     let before = a.clone();
-    k.lock(p, ch, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p,
+        ch,
+        16,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     let ms = a.delta_since(&before).elapsed.as_millis_f64();
     assert!((1.5..3.0).contains(&ms), "local lock took {ms} ms");
 }
@@ -248,12 +298,22 @@ fn append_lock_extends_and_positions() {
     let appender = k.spawn();
     let ch2 = k.open_append(appender, "/log", &mut a).unwrap();
     let got = k
-        .lock(appender, ch2, 5, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            appender,
+            ch2,
+            5,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a,
+        )
         .unwrap();
     assert_eq!(got, ByteRange::new(10, 5));
     k.write(appender, ch2, b"ABCDE", &mut a).unwrap();
     k.lseek(appender, ch2, 0, &mut a).unwrap();
-    assert_eq!(k.read(appender, ch2, 15, &mut a).unwrap(), b"0123456789ABCDE");
+    assert_eq!(
+        k.read(appender, ch2, 15, &mut a).unwrap(),
+        b"0123456789ABCDE"
+    );
 }
 
 #[test]
@@ -372,8 +432,15 @@ fn exit_releases_locks_and_wakes_waiters() {
     let mut a = acct(0);
     let p1 = k.spawn();
     let ch1 = k.creat(p1, "/f", &mut a).unwrap();
-    k.lock(p1, ch1, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p1,
+        ch1,
+        10,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     let p2 = k.spawn();
     let ch2 = k.open(p2, "/f", true, &mut a).unwrap();
     assert!(matches!(
@@ -382,7 +449,10 @@ fn exit_releases_locks_and_wakes_waiters() {
             ch2,
             10,
             LockRequestMode::Exclusive,
-            LockOpts { wait: true, ..LockOpts::default() },
+            LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
             &mut a
         ),
         Err(Error::WouldBlock { .. })
@@ -390,7 +460,14 @@ fn exit_releases_locks_and_wakes_waiters() {
     k.exit(p1, &mut a).unwrap();
     assert!(k.take_wakeup(p2));
     assert!(k
-        .lock(p2, ch2, 10, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            p2,
+            ch2,
+            10,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
 }
 
@@ -414,7 +491,8 @@ fn duplicate_create_fails_before_commit() {
 fn prefetch_on_lock_fills_buffers() {
     let c = mini_cluster(1);
     let k = &c.kernels[0];
-    k.prefetch_on_lock.store(true, std::sync::atomic::Ordering::Relaxed);
+    k.prefetch_on_lock
+        .store(true, std::sync::atomic::Ordering::Relaxed);
     let mut a = acct(0);
     let p = k.spawn();
     let ch = k.creat(p, "/f", &mut a).unwrap();
@@ -425,8 +503,15 @@ fn prefetch_on_lock_fills_buffers() {
     let p2 = k.spawn();
     let mut a2 = acct(0);
     let ch2 = k.open(p2, "/f", true, &mut a2).unwrap();
-    k.lock(p2, ch2, 3000, LockRequestMode::Shared, LockOpts::default(), &mut a2)
-        .unwrap();
+    k.lock(
+        p2,
+        ch2,
+        3000,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a2,
+    )
+    .unwrap();
     // The subsequent read hits buffers: no disk reads charged to the reader.
     let before = a2.clone();
     k.read(p2, ch2, 3000, &mut a2).unwrap();
@@ -451,14 +536,28 @@ fn lock_lease_migrates_control_to_heavy_user() {
     // Three remote locks trip the delegation threshold.
     for i in 0..3u64 {
         k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
-        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-            .unwrap();
+        k1.lock(
+            p1,
+            ch1,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a1,
+        )
+        .unwrap();
     }
     // The fourth lock is processed at the delegate: no network messages.
     let before = a1.clone();
     k1.lseek(p1, ch1, 100 * 16, &mut a1).unwrap();
-    k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-        .unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        16,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
     let d = a1.delta_since(&before);
     assert_eq!(d.messages, 0, "leased lock must not cross the network");
     let ms = d.elapsed.as_millis_f64();
@@ -483,8 +582,15 @@ fn lock_lease_recalled_when_pattern_changes() {
     let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
     for i in 0..2u64 {
         k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
-        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-            .unwrap();
+        k1.lock(
+            p1,
+            ch1,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a1,
+        )
+        .unwrap();
     }
     // Site 2 now asks: the storage site recalls the lease and still sees
     // site 1's locks — conflict is detected.
@@ -492,13 +598,27 @@ fn lock_lease_recalled_when_pattern_changes() {
     let p2 = k2.spawn();
     let ch2 = k2.open(p2, "/hot", true, &mut a2).unwrap();
     assert!(matches!(
-        k2.lock(p2, ch2, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a2),
+        k2.lock(
+            p2,
+            ch2,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a2
+        ),
         Err(Error::LockConflict { .. })
     ));
     // A disjoint range is granted at the storage site again.
     k2.lseek(p2, ch2, 512, &mut a2).unwrap();
     assert!(k2
-        .lock(p2, ch2, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a2)
+        .lock(
+            p2,
+            ch2,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a2
+        )
         .is_ok());
 }
 
@@ -521,8 +641,15 @@ fn lock_lease_survives_commit_cycle() {
     let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
     for i in 0..3u64 {
         k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
-        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-            .unwrap();
+        k1.lock(
+            p1,
+            ch1,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a1,
+        )
+        .unwrap();
     }
     k1.write(p1, ch1, b"leased-write", &mut a1).unwrap();
     k1.close(p1, ch1, &mut a1).unwrap(); // Commit + unlock-all recalls.
@@ -532,7 +659,14 @@ fn lock_lease_survives_commit_cycle() {
     let p0b = k0.spawn();
     let ch0b = k0.open(p0b, "/hot", true, &mut a0b).unwrap();
     assert!(k0
-        .lock(p0b, ch0b, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a0b)
+        .lock(
+            p0b,
+            ch0b,
+            64,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a0b
+        )
         .is_ok());
     // And the leased-era write (at the third lock's offset 32) committed.
     k0.lseek(p0b, ch0b, 32, &mut a0b).unwrap();
@@ -556,8 +690,15 @@ fn lock_lease_delegate_crash_falls_back_to_snapshot() {
     let ch1 = k1.open(p1, "/hot", true, &mut a1).unwrap();
     for i in 0..2u64 {
         k1.lseek(p1, ch1, i * 16, &mut a1).unwrap();
-        k1.lock(p1, ch1, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a1)
-            .unwrap();
+        k1.lock(
+            p1,
+            ch1,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a1,
+        )
+        .unwrap();
     }
     // Delegate dies with the lease.
     k1.crash();
@@ -568,7 +709,14 @@ fn lock_lease_delegate_crash_falls_back_to_snapshot() {
     let ch0b = k0.open(p0b, "/hot", true, &mut a0b).unwrap();
     k0.lseek(p0b, ch0b, 512, &mut a0b).unwrap();
     assert!(k0
-        .lock(p0b, ch0b, 16, LockRequestMode::Exclusive, LockOpts::default(), &mut a0b)
+        .lock(
+            p0b,
+            ch0b,
+            16,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a0b
+        )
         .is_ok());
 }
 
@@ -655,9 +803,18 @@ fn bad_channel_operations_error() {
     let mut a = acct(0);
     let p = k.spawn();
     let bogus = locus_types::Channel(42);
-    assert!(matches!(k.read(p, bogus, 4, &mut a), Err(Error::BadChannel)));
-    assert!(matches!(k.write(p, bogus, b"x", &mut a), Err(Error::BadChannel)));
-    assert!(matches!(k.lseek(p, bogus, 0, &mut a), Err(Error::BadChannel)));
+    assert!(matches!(
+        k.read(p, bogus, 4, &mut a),
+        Err(Error::BadChannel)
+    ));
+    assert!(matches!(
+        k.write(p, bogus, b"x", &mut a),
+        Err(Error::BadChannel)
+    ));
+    assert!(matches!(
+        k.lseek(p, bogus, 0, &mut a),
+        Err(Error::BadChannel)
+    ));
     assert!(matches!(k.close(p, bogus, &mut a), Err(Error::BadChannel)));
 }
 
@@ -698,8 +855,15 @@ fn partial_unlock_contracts_through_kernel() {
     let ch = k.creat(p, "/f", &mut a).unwrap();
     k.write(p, ch, &[0u8; 100], &mut a).unwrap();
     k.lseek(p, ch, 0, &mut a).unwrap();
-    k.lock(p, ch, 100, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p,
+        ch,
+        100,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     // Contract: release the first 40 bytes.
     k.lseek(p, ch, 0, &mut a).unwrap();
     k.unlock(p, ch, 40, &mut a).unwrap();
@@ -707,11 +871,25 @@ fn partial_unlock_contracts_through_kernel() {
     let q = k.spawn();
     let qch = k.open(q, "/f", true, &mut a).unwrap();
     assert!(k
-        .lock(q, qch, 40, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
+        .lock(
+            q,
+            qch,
+            40,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
     k.lseek(q, qch, 40, &mut a).unwrap();
     assert!(matches!(
-        k.lock(q, qch, 10, LockRequestMode::Shared, LockOpts::default(), &mut a),
+        k.lock(
+            q,
+            qch,
+            10,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        ),
         Err(Error::LockConflict { .. })
     ));
 }
@@ -725,15 +903,36 @@ fn downgrade_admits_readers() {
     let ch = k.creat(p, "/f", &mut a).unwrap();
     k.write(p, ch, &[0u8; 64], &mut a).unwrap();
     k.lseek(p, ch, 0, &mut a).unwrap();
-    k.lock(p, ch, 64, LockRequestMode::Exclusive, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p,
+        ch,
+        64,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     // Downgrade exclusive → shared; a second reader is then admitted.
     k.lseek(p, ch, 0, &mut a).unwrap();
-    k.lock(p, ch, 64, LockRequestMode::Shared, LockOpts::default(), &mut a)
-        .unwrap();
+    k.lock(
+        p,
+        ch,
+        64,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a,
+    )
+    .unwrap();
     let q = k.spawn();
     let qch = k.open(q, "/f", true, &mut a).unwrap();
     assert!(k
-        .lock(q, qch, 64, LockRequestMode::Shared, LockOpts::default(), &mut a)
+        .lock(
+            q,
+            qch,
+            64,
+            LockRequestMode::Shared,
+            LockOpts::default(),
+            &mut a
+        )
         .is_ok());
 }

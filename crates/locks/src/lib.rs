@@ -19,5 +19,5 @@ pub mod transfer;
 
 pub use cache::LockCache;
 pub use lock_list::{FileLocks, LockEntry, LockOutcome, LockRequest, Waiter};
-pub use transfer::{decode_file_locks, encode_file_locks};
 pub use manager::{GrantedWaiter, LockManager, LockTableSnapshot, WaitEdge};
+pub use transfer::{decode_file_locks, encode_file_locks};

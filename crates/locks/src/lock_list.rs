@@ -124,10 +124,15 @@ impl FileLocks {
 
     /// The first granted entry by a *different* owner whose range overlaps
     /// `range` and whose mode is incompatible with `mode`.
-    pub fn first_conflict(&self, owner: Owner, mode: LockMode, range: ByteRange) -> Option<&LockEntry> {
-        self.entries.iter().find(|e| {
-            e.owner() != owner && e.range.overlaps(&range) && !e.mode.compatible(mode)
-        })
+    pub fn first_conflict(
+        &self,
+        owner: Owner,
+        mode: LockMode,
+        range: ByteRange,
+    ) -> Option<&LockEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.owner() != owner && e.range.overlaps(&range) && !e.mode.compatible(mode))
     }
 
     /// Resolves an append-relative range against the current end-of-file
@@ -156,7 +161,12 @@ impl FileLocks {
     /// The first *queued* request from a different owner whose range overlaps
     /// and whose mode is incompatible. New arrivals may not barge past such
     /// waiters, or queued writers would starve behind a stream of readers.
-    fn first_queued_conflict(&self, owner: Owner, mode: LockMode, range: ByteRange) -> Option<ByteRange> {
+    fn first_queued_conflict(
+        &self,
+        owner: Owner,
+        mode: LockMode,
+        range: ByteRange,
+    ) -> Option<ByteRange> {
         self.waiters.iter().find_map(|w| {
             let wmode = w.request.mode.as_mode()?;
             let wrange = self.effective_range(&w.request);
@@ -595,7 +605,10 @@ mod tests {
         let mut fl = FileLocks::new(0);
         fl.request(req(1, None, LockRequestMode::Exclusive, 0, 100));
         fl.request(req(1, None, LockRequestMode::Unlock, 0, 40));
-        assert_eq!(fl.ranges_of(Owner::Proc(pid(1))), vec![ByteRange::new(40, 60)]);
+        assert_eq!(
+            fl.ranges_of(Owner::Proc(pid(1))),
+            vec![ByteRange::new(40, 60)]
+        );
     }
 
     #[test]
@@ -675,16 +688,26 @@ mod tests {
         fl.request(req(1, None, LockRequestMode::Shared, 0, 10));
         let unix = Owner::Proc(pid(9));
         // Unix vs Shared: read allowed, write denied.
-        assert!(fl.validate_access(unix, pid(9), ByteRange::new(0, 5), false).is_ok());
-        assert!(fl.validate_access(unix, pid(9), ByteRange::new(0, 5), true).is_err());
+        assert!(fl
+            .validate_access(unix, pid(9), ByteRange::new(0, 5), false)
+            .is_ok());
+        assert!(fl
+            .validate_access(unix, pid(9), ByteRange::new(0, 5), true)
+            .is_err());
         // Upgrade to exclusive: everything denied to others.
         fl.request(req(1, None, LockRequestMode::Exclusive, 0, 10));
-        assert!(fl.validate_access(unix, pid(9), ByteRange::new(0, 5), false).is_err());
+        assert!(fl
+            .validate_access(unix, pid(9), ByteRange::new(0, 5), false)
+            .is_err());
         // The exclusive holder itself may read and write.
         let holder = Owner::Proc(pid(1));
-        assert!(fl.validate_access(holder, pid(1), ByteRange::new(0, 10), true).is_ok());
+        assert!(fl
+            .validate_access(holder, pid(1), ByteRange::new(0, 10), true)
+            .is_ok());
         // Outside the locked range, Unix access is unrestricted.
-        assert!(fl.validate_access(unix, pid(9), ByteRange::new(50, 5), true).is_ok());
+        assert!(fl
+            .validate_access(unix, pid(9), ByteRange::new(50, 5), true)
+            .is_ok());
     }
 
     #[test]
@@ -692,8 +715,12 @@ mod tests {
         let mut fl = FileLocks::new(0);
         fl.request(req(1, None, LockRequestMode::Shared, 0, 10));
         let holder = Owner::Proc(pid(1));
-        assert!(fl.validate_access(holder, pid(1), ByteRange::new(0, 10), true).is_err());
-        assert!(fl.validate_access(holder, pid(1), ByteRange::new(0, 10), false).is_ok());
+        assert!(fl
+            .validate_access(holder, pid(1), ByteRange::new(0, 10), true)
+            .is_err());
+        assert!(fl
+            .validate_access(holder, pid(1), ByteRange::new(0, 10), false)
+            .is_ok());
     }
 
     #[test]

@@ -155,7 +155,12 @@ impl LockManager {
 
     /// Releases `owner`'s locks on a single file (used on file close by
     /// non-transaction processes) and pumps that file's queue.
-    pub fn release_owner_file(&self, fid: Fid, owner: Owner, acct: &mut Account) -> Vec<GrantedWaiter> {
+    pub fn release_owner_file(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        acct: &mut Account,
+    ) -> Vec<GrantedWaiter> {
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 2);
         let mut granted = Vec::new();
         let mut files = self.files.lock();
@@ -347,7 +352,14 @@ mod tests {
         Fid::new(VolumeId(0), n)
     }
 
-    fn txreq(p: u32, t: u64, mode: LockRequestMode, start: u64, len: u64, wait: bool) -> LockRequest {
+    fn txreq(
+        p: u32,
+        t: u64,
+        mode: LockRequestMode,
+        start: u64,
+        len: u64,
+        wait: bool,
+    ) -> LockRequest {
         LockRequest {
             pid: Pid::new(SiteId(0), p),
             tid: Some(TransId::new(SiteId(0), t)),
@@ -363,21 +375,41 @@ mod tests {
     #[test]
     fn lock_request_charges_750_instructions() {
         let (m, mut a) = mgr();
-        m.request(fid(1), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
+        m.request(
+            fid(1),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
         assert_eq!(a.cpu_home, CostModel::default().instrs(750));
     }
 
     #[test]
     fn release_owner_pumps_queues_across_files() {
         let (m, mut a) = mgr();
-        m.request(fid(1), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
-        m.request(fid(2), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
+        m.request(
+            fid(1),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
+        m.request(
+            fid(2),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
         assert_eq!(
-            m.request(fid(1), txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true), &mut a),
+            m.request(
+                fid(1),
+                txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true),
+                &mut a
+            ),
             LockOutcome::Queued
         );
         assert_eq!(
-            m.request(fid(2), txreq(2, 2, LockRequestMode::Shared, 0, 8, true), &mut a),
+            m.request(
+                fid(2),
+                txreq(2, 2, LockRequestMode::Shared, 0, 8, true),
+                &mut a
+            ),
             LockOutcome::Queued
         );
         let granted = m.release_owner(Owner::Trans(TransId::new(SiteId(0), 1)), &mut a);
@@ -389,8 +421,16 @@ mod tests {
     #[test]
     fn snapshot_builds_wait_edges() {
         let (m, mut a) = mgr();
-        m.request(fid(1), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
-        m.request(fid(1), txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true), &mut a);
+        m.request(
+            fid(1),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
+        m.request(
+            fid(1),
+            txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true),
+            &mut a,
+        );
         let snap = m.snapshot();
         assert_eq!(snap.edges.len(), 1);
         assert_eq!(
@@ -407,24 +447,37 @@ mod tests {
     #[test]
     fn snapshot_includes_waiter_on_waiter_edges() {
         let (m, mut a) = mgr();
-        m.request(fid(1), txreq(1, 1, LockRequestMode::Shared, 0, 8, false), &mut a);
+        m.request(
+            fid(1),
+            txreq(1, 1, LockRequestMode::Shared, 0, 8, false),
+            &mut a,
+        );
         // t2 queues an exclusive behind the shared holder; t3's shared then
         // queues behind t2 in FIFO order.
-        m.request(fid(1), txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true), &mut a);
-        m.request(fid(1), txreq(3, 3, LockRequestMode::Shared, 0, 8, true), &mut a);
+        m.request(
+            fid(1),
+            txreq(2, 2, LockRequestMode::Exclusive, 0, 8, true),
+            &mut a,
+        );
+        m.request(
+            fid(1),
+            txreq(3, 3, LockRequestMode::Shared, 0, 8, true),
+            &mut a,
+        );
         let snap = m.snapshot();
         let t3 = Owner::Trans(TransId::new(SiteId(0), 3));
         let t2 = Owner::Trans(TransId::new(SiteId(0), 2));
-        assert!(snap
-            .edges
-            .iter()
-            .any(|e| e.waiter == t3 && e.holder == t2));
+        assert!(snap.edges.iter().any(|e| e.waiter == t3 && e.holder == t2));
     }
 
     #[test]
     fn crash_clears_volatile_lock_state() {
         let (m, mut a) = mgr();
-        m.request(fid(1), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
+        m.request(
+            fid(1),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
         m.crash();
         assert!(m.snapshot().held.is_empty());
         assert!(!m.owner_has_locks(Owner::Trans(TransId::new(SiteId(0), 1))));
@@ -433,7 +486,11 @@ mod tests {
     #[test]
     fn validate_access_fills_in_fid() {
         let (m, mut a) = mgr();
-        m.request(fid(7), txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false), &mut a);
+        m.request(
+            fid(7),
+            txreq(1, 1, LockRequestMode::Exclusive, 0, 8, false),
+            &mut a,
+        );
         let err = m
             .validate_access(
                 fid(7),

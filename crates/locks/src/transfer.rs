@@ -10,9 +10,7 @@
 use std::collections::VecDeque;
 
 use locus_types::codec::{Dec, Enc};
-use locus_types::{
-    ByteRange, LockClass, LockMode, LockRequestMode, Pid, SiteId, TransId,
-};
+use locus_types::{ByteRange, LockClass, LockMode, LockRequestMode, Pid, SiteId, TransId};
 
 use crate::lock_list::{FileLocks, LockEntry, LockRequest, Waiter};
 

@@ -10,9 +10,24 @@ use locus_types::{ByteRange, LockClass, LockRequestMode, Owner, Pid, SiteId, Tra
 
 #[derive(Debug, Clone)]
 enum Cmd {
-    Lock { who: u8, txn: bool, excl: bool, at: u8, len: u8, wait: bool },
-    Unlock { who: u8, txn: bool, at: u8, len: u8 },
-    ReleaseOwner { who: u8, txn: bool },
+    Lock {
+        who: u8,
+        txn: bool,
+        excl: bool,
+        at: u8,
+        len: u8,
+        wait: bool,
+    },
+    Unlock {
+        who: u8,
+        txn: bool,
+        at: u8,
+        len: u8,
+    },
+    ReleaseOwner {
+        who: u8,
+        txn: bool,
+    },
 }
 
 fn cmd() -> impl Strategy<Value = Cmd> {

@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use locus_types::{
-    ByteRange, Error, FileListEntry, Fid, IntentionsList, LockClass, LockRequestMode, Owner,
+    ByteRange, Error, Fid, FileListEntry, IntentionsList, LockClass, LockRequestMode, Owner,
     PageNo, Pid, Service, SiteId, TransId, TxnStatus,
 };
 
@@ -31,11 +31,22 @@ pub enum FileMsg {
     /// Deregister an open.
     CloseReq { fid: Fid, pid: Pid },
     /// Read `range` of `fid` on behalf of `owner`.
-    ReadReq { fid: Fid, pid: Pid, owner: Owner, range: ByteRange },
+    ReadReq {
+        fid: Fid,
+        pid: Pid,
+        owner: Owner,
+        range: ByteRange,
+    },
     /// Data returned from a read.
     ReadResp { data: Vec<u8> },
     /// Write `data` at `range.start` of `fid` on behalf of `owner`.
-    WriteReq { fid: Fid, pid: Pid, owner: Owner, range: ByteRange, data: Vec<u8> },
+    WriteReq {
+        fid: Fid,
+        pid: Pid,
+        owner: Owner,
+        range: ByteRange,
+        data: Vec<u8>,
+    },
     /// Write accepted; new file length returned.
     WriteResp { new_len: u64 },
     /// Ask the storage site to prefetch pages ahead of a locked range
@@ -69,7 +80,11 @@ pub enum LockMsg {
     /// placed relative to end-of-file by the storage site).
     Resp { granted: ByteRange },
     /// One-way notification: a queued lock request has been granted.
-    Granted { fid: Fid, pid: Pid, range: ByteRange },
+    Granted {
+        fid: Fid,
+        pid: Pid,
+        range: ByteRange,
+    },
     /// Release all locks held by a process on a file (close / exit path).
     UnlockAll { fid: Fid, pid: Pid },
     /// Storage site → delegate: take over lock management for `fid`
@@ -92,7 +107,12 @@ pub enum ProcMsg {
     /// A completed child's file-list, merged toward the transaction's
     /// top-level process. Bounces with [`Error::InTransit`] when the
     /// top-level process is mid-migration.
-    FileListMerge { tid: TransId, top: Pid, from: Pid, entries: Vec<FileListEntry> },
+    FileListMerge {
+        tid: TransId,
+        top: Pid,
+        from: Pid,
+        entries: Vec<FileListEntry>,
+    },
     /// One-way: a member process of `tid` exited. `top` is the process whose
     /// children set should drop `child`.
     ChildExited { tid: TransId, top: Pid, child: Pid },
@@ -109,7 +129,11 @@ pub enum ProcMsg {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TxnMsg {
     /// Coordinator → participant: prepare these files of `tid`.
-    Prepare { tid: TransId, coordinator: SiteId, files: Vec<Fid> },
+    Prepare {
+        tid: TransId,
+        coordinator: SiteId,
+        files: Vec<Fid>,
+    },
     /// Participant → coordinator: prepare completed (or failed).
     PrepareDone { tid: TransId, ok: bool },
     /// Coordinator → participant, phase two: commit these files and release
@@ -131,7 +155,11 @@ pub enum TxnMsg {
 /// funnels updates through one site, which then refreshes the others).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ReplicaMsg {
-    Sync { fid: Fid, new_len: u64, pages: Vec<(PageNo, Vec<u8>)> },
+    Sync {
+        fid: Fid,
+        new_len: u64,
+        pages: Vec<(PageNo, Vec<u8>)>,
+    },
 }
 
 /// A kernel-to-kernel message: one service's request/response/notification,
@@ -325,10 +353,8 @@ pub fn decode_intentions(bytes: &[u8]) -> Option<Vec<IntentionsList>> {
         for _ in 0..n {
             let page = u32::from_le_bytes(take(4)?.try_into().ok()?);
             let phys = u32::from_le_bytes(take(4)?.try_into().ok()?);
-            list.entries.push(IntentionsEntry {
-                page: PageNo(page),
-                new_phys: PhysPage(phys),
-            });
+            list.entries
+                .push(IntentionsEntry::whole(PageNo(page), PhysPage(phys)));
         }
         lists.push(list);
     }
@@ -352,7 +378,9 @@ mod tests {
     #[test]
     fn pages_carried_sums_batch_members() {
         let batch = Msg::Batch(vec![
-            Msg::File(FileMsg::ReadResp { data: vec![0; 2048] }),
+            Msg::File(FileMsg::ReadResp {
+                data: vec![0; 2048],
+            }),
             Msg::Replica(ReplicaMsg::Sync {
                 fid: Fid::new(VolumeId(0), 1),
                 new_len: 1024,
@@ -379,7 +407,10 @@ mod tests {
         assert_eq!(m.kind(), "StatusInquiry");
         assert_eq!(Msg::Batch(vec![]).service(), Service::Control);
         assert_eq!(
-            Msg::from(LockMsg::LeaseRecall { fid: Fid::new(VolumeId(0), 1) }).service(),
+            Msg::from(LockMsg::LeaseRecall {
+                fid: Fid::new(VolumeId(0), 1)
+            })
+            .service(),
             Service::Lock
         );
     }
@@ -387,23 +418,22 @@ mod tests {
     #[test]
     fn batch_response_detection() {
         assert!(Msg::Batch(vec![Msg::Ok, Msg::Err(Error::VolumeFull)]).is_response());
-        assert!(!Msg::Batch(vec![Msg::Ok, Msg::Txn(TxnMsg::StatusInquiry {
-            tid: TransId::new(SiteId(1), 4),
-        })])
+        assert!(!Msg::Batch(vec![
+            Msg::Ok,
+            Msg::Txn(TxnMsg::StatusInquiry {
+                tid: TransId::new(SiteId(1), 4),
+            })
+        ])
         .is_response());
     }
 
     #[test]
     fn intentions_roundtrip() {
         let mut a = IntentionsList::new(Fid::new(VolumeId(1), 7), 4096);
-        a.entries.push(IntentionsEntry {
-            page: PageNo(0),
-            new_phys: PhysPage(40),
-        });
-        a.entries.push(IntentionsEntry {
-            page: PageNo(3),
-            new_phys: PhysPage(41),
-        });
+        a.entries
+            .push(IntentionsEntry::whole(PageNo(0), PhysPage(40)));
+        a.entries
+            .push(IntentionsEntry::whole(PageNo(3), PhysPage(41)));
         let b = IntentionsList::new(Fid::new(VolumeId(2), 9), 0);
         let bytes = encode_intentions(&[a.clone(), b.clone()]);
         let got = decode_intentions(&bytes).unwrap();
@@ -413,10 +443,8 @@ mod tests {
     #[test]
     fn decode_rejects_truncation() {
         let mut a = IntentionsList::new(Fid::new(VolumeId(1), 7), 4096);
-        a.entries.push(IntentionsEntry {
-            page: PageNo(0),
-            new_phys: PhysPage(40),
-        });
+        a.entries
+            .push(IntentionsEntry::whole(PageNo(0), PhysPage(40)));
         let bytes = encode_intentions(&[a]);
         assert!(decode_intentions(&bytes[..bytes.len() - 1]).is_none());
     }

@@ -50,6 +50,33 @@ pub trait Transport: Send + Sync {
 /// The new reachability is queried through the transport itself.
 pub type TopologyListener = Arc<dyn Fn(SiteId) + Send + Sync>;
 
+/// What the fault injector decided for one wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// The request is lost on the wire: the handler never runs and the
+    /// sender sees a transport failure (indistinguishable from a timeout).
+    /// For one-way notifications the loss is silent.
+    Drop,
+    /// The request is delivered and processed, but the reply is lost: the
+    /// sender sees a transport failure even though the side effect happened.
+    /// Equivalent to `Deliver` for one-way notifications.
+    DropReply,
+    /// The message is delivered twice (handlers must be idempotent).
+    Duplicate,
+    /// The message is delayed by this many extra milliseconds of flight
+    /// time before normal delivery.
+    Delay(u64),
+}
+
+/// Wire-level fault policy consulted for every remote message. Implemented
+/// by the chaos harness; `oneway` distinguishes notifications (no reply)
+/// from request/response RPCs so policies can avoid unrecoverable losses.
+pub trait FaultInjector: Send + Sync {
+    fn decide(&self, from: SiteId, to: SiteId, msg: &Msg, oneway: bool) -> FaultDecision;
+}
+
 struct NetState {
     handlers: Vec<Option<Arc<dyn SiteHandler>>>,
     up: Vec<bool>,
@@ -65,6 +92,7 @@ pub struct SimTransport {
     counters: Arc<Counters>,
     events: Arc<EventLog>,
     listeners: RwLock<Vec<TopologyListener>>,
+    injector: RwLock<Option<Arc<dyn FaultInjector>>>,
 }
 
 impl SimTransport {
@@ -84,6 +112,20 @@ impl SimTransport {
             counters,
             events,
             listeners: RwLock::new(Vec::new()),
+            injector: RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears) the wire-level fault injector consulted for
+    /// every remote message. Used by the chaos harness.
+    pub fn set_fault_injector(&self, inj: Option<Arc<dyn FaultInjector>>) {
+        *self.injector.write() = inj;
+    }
+
+    fn decide_fault(&self, from: SiteId, to: SiteId, msg: &Msg, oneway: bool) -> FaultDecision {
+        match self.injector.read().as_ref() {
+            Some(inj) => inj.decide(from, to, msg, oneway),
+            None => FaultDecision::Deliver,
         }
     }
 
@@ -172,9 +214,7 @@ impl SimTransport {
         if st.groups[fi] != st.groups[ti] {
             return Err(Error::Partitioned { from, to });
         }
-        st.handlers[ti]
-            .clone()
-            .ok_or(Error::SiteDown(to))
+        st.handlers[ti].clone().ok_or(Error::SiteDown(to))
     }
 
     /// Tags the outgoing message in the event log and per-service counters.
@@ -208,7 +248,14 @@ impl SimTransport {
         }
     }
 
-    fn charge_send(&self, from: SiteId, to: SiteId, msg: &Msg, acct: &mut Account, round_trip: bool) {
+    fn charge_send(
+        &self,
+        from: SiteId,
+        to: SiteId,
+        msg: &Msg,
+        acct: &mut Account,
+        round_trip: bool,
+    ) {
         self.counters.messages_sent();
         self.trace_msg(from, to, msg);
         acct.messages += 1;
@@ -234,12 +281,66 @@ impl Transport for SimTransport {
             return Ok(handler.handle(from, msg, acct));
         }
         let handler = self.check_path(from, to)?;
+        let fault = self.decide_fault(from, to, &msg, false);
         self.charge_send(from, to, &msg, acct, true);
+        match fault {
+            FaultDecision::Drop => {
+                // The request vanished on the wire: nothing ran at the
+                // destination, the sender's timeout fires.
+                self.events.push(Event::ChaosDrop {
+                    from,
+                    to,
+                    service: msg.service(),
+                    kind: msg.kind(),
+                });
+                return Err(Error::SiteDown(to));
+            }
+            FaultDecision::Delay(ms) => {
+                self.events.push(Event::ChaosDelay {
+                    from,
+                    to,
+                    millis: ms,
+                });
+                acct.wait(locus_sim::SimDuration::from_millis(ms));
+            }
+            _ => {}
+        }
         self.counters.messages_handled();
-        let resp = acct.at_site(to, |acct| {
-            acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
-            handler.handle(from, msg, acct)
-        });
+        let deliveries = if fault == FaultDecision::Duplicate {
+            self.events.push(Event::ChaosDup {
+                from,
+                to,
+                service: msg.service(),
+                kind: msg.kind(),
+            });
+            2
+        } else {
+            1
+        };
+        let mut resp = None;
+        for _ in 0..deliveries {
+            let m = msg.clone();
+            let r = acct.at_site(to, |acct| {
+                acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
+                handler.handle(from, m, acct)
+            });
+            // The sender acts on the first reply; a duplicate's reply is
+            // discarded (it would arrive after the exchange completed).
+            if resp.is_none() {
+                resp = Some(r);
+            }
+        }
+        let resp = resp.expect("at least one delivery");
+        if fault == FaultDecision::DropReply {
+            // The side effect happened but the reply was lost.
+            self.events.push(Event::ChaosDropReply {
+                from,
+                to,
+                service: msg.service(),
+                kind: msg.kind(),
+            });
+            return Err(Error::SiteDown(to));
+        }
         // Response payload (e.g. remote read data) pays transfer time too.
         let pages = resp.pages_carried(self.model.page_size);
         if pages > 0 {
@@ -255,12 +356,48 @@ impl Transport for SimTransport {
             return Ok(());
         }
         let handler = self.check_path(from, to)?;
+        let fault = self.decide_fault(from, to, &msg, true);
         self.charge_send(from, to, &msg, acct, false);
+        match fault {
+            FaultDecision::Drop => {
+                // A lost notification is silent: the sender proceeds.
+                self.events.push(Event::ChaosDrop {
+                    from,
+                    to,
+                    service: msg.service(),
+                    kind: msg.kind(),
+                });
+                return Ok(());
+            }
+            FaultDecision::Delay(ms) => {
+                self.events.push(Event::ChaosDelay {
+                    from,
+                    to,
+                    millis: ms,
+                });
+                acct.wait(locus_sim::SimDuration::from_millis(ms));
+            }
+            _ => {}
+        }
         self.counters.messages_handled();
-        acct.at_site(to, |acct| {
-            acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
-            handler.handle(from, msg, acct);
-        });
+        let deliveries = if fault == FaultDecision::Duplicate {
+            self.events.push(Event::ChaosDup {
+                from,
+                to,
+                service: msg.service(),
+                kind: msg.kind(),
+            });
+            2
+        } else {
+            1
+        };
+        for _ in 0..deliveries {
+            let m = msg.clone();
+            acct.at_site(to, |acct| {
+                acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
+                handler.handle(from, m, acct);
+            });
+        }
         Ok(())
     }
 
@@ -390,10 +527,7 @@ mod tests {
         .unwrap();
         assert!(big.elapsed > small.elapsed);
         // Two pages at 10 ms each way (the echo handler returns the payload).
-        assert_eq!(
-            big.elapsed - small.elapsed,
-            SimDuration::from_millis(40)
-        );
+        assert_eq!(big.elapsed - small.elapsed, SimDuration::from_millis(40));
     }
 
     #[test]
@@ -413,8 +547,18 @@ mod tests {
         let counters = Arc::new(Counters::default());
         let events = Arc::new(EventLog::new());
         let t = SimTransport::new(2, model, counters.clone(), events.clone());
-        t.register(SiteId(0), Arc::new(Echo { hits: AtomicU64::new(0) }));
-        t.register(SiteId(1), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        t.register(
+            SiteId(0),
+            Arc::new(Echo {
+                hits: AtomicU64::new(0),
+            }),
+        );
+        t.register(
+            SiteId(1),
+            Arc::new(Echo {
+                hits: AtomicU64::new(0),
+            }),
+        );
         let mut acct = Account::new(SiteId(0));
         let tid = locus_types::TransId::new(SiteId(0), 1);
         t.rpc(
@@ -447,8 +591,18 @@ mod tests {
         let counters = Arc::new(Counters::default());
         let events = Arc::new(EventLog::new());
         let t = SimTransport::new(2, model, counters.clone(), events.clone());
-        t.register(SiteId(0), Arc::new(Echo { hits: AtomicU64::new(0) }));
-        t.register(SiteId(1), Arc::new(Echo { hits: AtomicU64::new(0) }));
+        t.register(
+            SiteId(0),
+            Arc::new(Echo {
+                hits: AtomicU64::new(0),
+            }),
+        );
+        t.register(
+            SiteId(1),
+            Arc::new(Echo {
+                hits: AtomicU64::new(0),
+            }),
+        );
         let mut acct = Account::new(SiteId(0));
         let fid = locus_types::Fid::new(locus_types::VolumeId(0), 1);
         let pid = locus_types::Pid::new(SiteId(0), 1);
@@ -468,7 +622,9 @@ mod tests {
         assert_eq!(acct.messages, 1);
         let evs = events.all();
         assert_eq!(evs.len(), 2);
-        assert!(evs.iter().all(|e| matches!(e, Event::Rpc { batched: true, .. })));
+        assert!(evs
+            .iter()
+            .all(|e| matches!(e, Event::Rpc { batched: true, .. })));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use locus_types::codec::{Dec, Enc};
 use locus_types::{
-    ByteRange, Error, FileListEntry, Fid, InodeNo, LockClass, LockRequestMode, Owner, PageNo,
-    Pid, SiteId, TransId, TxnStatus, VolumeId,
+    ByteRange, Error, Fid, FileListEntry, InodeNo, LockClass, LockRequestMode, Owner, PageNo, Pid,
+    SiteId, TransId, TxnStatus, VolumeId,
 };
 
 use crate::msg::{FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg};
@@ -155,7 +155,12 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             enc_fid(e, *fid);
             e.u64(pid.0);
         }
-        FileMsg::ReadReq { fid, pid, owner, range } => {
+        FileMsg::ReadReq {
+            fid,
+            pid,
+            owner,
+            range,
+        } => {
             e.u8(3);
             enc_fid(e, *fid);
             e.u64(pid.0);
@@ -166,7 +171,13 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             e.u8(4);
             e.bytes(data);
         }
-        FileMsg::WriteReq { fid, pid, owner, range, data } => {
+        FileMsg::WriteReq {
+            fid,
+            pid,
+            owner,
+            range,
+            data,
+        } => {
             e.u8(5);
             enc_fid(e, *fid);
             e.u64(pid.0);
@@ -251,7 +262,17 @@ fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
 
 fn enc_lock(e: &mut Enc, m: &LockMsg) {
     match m {
-        LockMsg::Req { fid, pid, tid, mode, class, range, append, wait, reply_site } => {
+        LockMsg::Req {
+            fid,
+            pid,
+            tid,
+            mode,
+            class,
+            range,
+            append,
+            wait,
+            reply_site,
+        } => {
             e.u8(0);
             enc_fid(e, *fid);
             e.u64(pid.0);
@@ -351,7 +372,12 @@ fn enc_proc(e: &mut Enc, m: &ProcMsg) {
             e.u64(pid.0);
             e.bytes(blob);
         }
-        ProcMsg::FileListMerge { tid, top, from, entries } => {
+        ProcMsg::FileListMerge {
+            tid,
+            top,
+            from,
+            entries,
+        } => {
             e.u8(1);
             enc_tid(e, *tid);
             e.u64(top.0);
@@ -399,7 +425,12 @@ fn dec_proc(d: &mut Dec<'_>) -> Option<ProcMsg> {
                     storage_site: SiteId(d.u32()?),
                 });
             }
-            ProcMsg::FileListMerge { tid, top, from, entries }
+            ProcMsg::FileListMerge {
+                tid,
+                top,
+                from,
+                entries,
+            }
         }
         2 => ProcMsg::ChildExited {
             tid: dec_tid(d)?,
@@ -420,7 +451,11 @@ fn dec_proc(d: &mut Dec<'_>) -> Option<ProcMsg> {
 
 fn enc_txn(e: &mut Enc, m: &TxnMsg) {
     match m {
-        TxnMsg::Prepare { tid, coordinator, files } => {
+        TxnMsg::Prepare {
+            tid,
+            coordinator,
+            files,
+        } => {
             e.u8(0);
             enc_tid(e, *tid);
             e.u32(coordinator.0);
@@ -566,7 +601,11 @@ fn enc_msg(e: &mut Enc, msg: &Msg) {
             e.u8(TAG_TXN);
             enc_txn(e, m);
         }
-        Msg::Replica(ReplicaMsg::Sync { fid, new_len, pages }) => {
+        Msg::Replica(ReplicaMsg::Sync {
+            fid,
+            new_len,
+            pages,
+        }) => {
             e.u8(TAG_REPLICA);
             e.u8(0);
             enc_fid(e, *fid);
@@ -610,7 +649,11 @@ fn dec_msg(d: &mut Dec<'_>, allow_batch: bool) -> Option<Msg> {
                 let p = PageNo(d.u32()?);
                 pages.push((p, d.bytes()?.to_vec()));
             }
-            Msg::Replica(ReplicaMsg::Sync { fid, new_len, pages })
+            Msg::Replica(ReplicaMsg::Sync {
+                fid,
+                new_len,
+                pages,
+            })
         }
         TAG_BATCH => {
             // Nested batches are a protocol violation: one level of grouping
@@ -678,16 +721,25 @@ mod tests {
 
     pub(crate) fn sample_messages() -> Vec<Msg> {
         vec![
-            Msg::File(FileMsg::OpenReq { fid: fid(), pid: pid(), write: true }),
+            Msg::File(FileMsg::OpenReq {
+                fid: fid(),
+                pid: pid(),
+                write: true,
+            }),
             Msg::File(FileMsg::OpenResp { len: 4096 }),
-            Msg::File(FileMsg::CloseReq { fid: fid(), pid: pid() }),
+            Msg::File(FileMsg::CloseReq {
+                fid: fid(),
+                pid: pid(),
+            }),
             Msg::File(FileMsg::ReadReq {
                 fid: fid(),
                 pid: pid(),
                 owner: Owner::Trans(tid()),
                 range: ByteRange::new(10, 20),
             }),
-            Msg::File(FileMsg::ReadResp { data: vec![1, 2, 3] }),
+            Msg::File(FileMsg::ReadResp {
+                data: vec![1, 2, 3],
+            }),
             Msg::File(FileMsg::WriteReq {
                 fid: fid(),
                 pid: pid(),
@@ -696,9 +748,18 @@ mod tests {
                 data: vec![9, 9, 9],
             }),
             Msg::File(FileMsg::WriteResp { new_len: 3 }),
-            Msg::File(FileMsg::PrefetchReq { fid: fid(), pages: vec![PageNo(0), PageNo(5)] }),
-            Msg::File(FileMsg::CommitReq { fid: fid(), owner: Owner::Proc(pid()) }),
-            Msg::File(FileMsg::AbortReq { fid: fid(), owner: Owner::Trans(tid()) }),
+            Msg::File(FileMsg::PrefetchReq {
+                fid: fid(),
+                pages: vec![PageNo(0), PageNo(5)],
+            }),
+            Msg::File(FileMsg::CommitReq {
+                fid: fid(),
+                owner: Owner::Proc(pid()),
+            }),
+            Msg::File(FileMsg::AbortReq {
+                fid: fid(),
+                owner: Owner::Trans(tid()),
+            }),
             Msg::Replica(ReplicaMsg::Sync {
                 fid: fid(),
                 new_len: 2048,
@@ -715,40 +776,105 @@ mod tests {
                 wait: true,
                 reply_site: SiteId(2),
             }),
-            Msg::Lock(LockMsg::Resp { granted: ByteRange::new(100, 50) }),
-            Msg::Lock(LockMsg::Granted { fid: fid(), pid: pid(), range: ByteRange::new(0, 8) }),
-            Msg::Lock(LockMsg::UnlockAll { fid: fid(), pid: pid() }),
-            Msg::Lock(LockMsg::LeaseGrant { fid: fid(), state: vec![1, 2, 3, 4] }),
+            Msg::Lock(LockMsg::Resp {
+                granted: ByteRange::new(100, 50),
+            }),
+            Msg::Lock(LockMsg::Granted {
+                fid: fid(),
+                pid: pid(),
+                range: ByteRange::new(0, 8),
+            }),
+            Msg::Lock(LockMsg::UnlockAll {
+                fid: fid(),
+                pid: pid(),
+            }),
+            Msg::Lock(LockMsg::LeaseGrant {
+                fid: fid(),
+                state: vec![1, 2, 3, 4],
+            }),
             Msg::Lock(LockMsg::LeaseRecall { fid: fid() }),
             Msg::Lock(LockMsg::LeaseState { state: vec![5, 6] }),
-            Msg::Proc(ProcMsg::Migrate { pid: pid(), blob: vec![0xAB; 32] }),
+            Msg::Proc(ProcMsg::Migrate {
+                pid: pid(),
+                blob: vec![0xAB; 32],
+            }),
             Msg::Proc(ProcMsg::FileListMerge {
                 tid: tid(),
                 top: pid(),
                 from: Pid::new(SiteId(0), 1),
-                entries: vec![FileListEntry { fid: fid(), storage_site: SiteId(4) }],
+                entries: vec![FileListEntry {
+                    fid: fid(),
+                    storage_site: SiteId(4),
+                }],
             }),
-            Msg::Proc(ProcMsg::ChildExited { tid: tid(), top: pid(), child: Pid::new(SiteId(0), 2) }),
-            Msg::Proc(ProcMsg::MemberAdded { tid: tid(), top: pid() }),
-            Msg::Proc(ProcMsg::MemberExited { tid: tid(), top: pid() }),
-            Msg::Txn(TxnMsg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] }),
-            Msg::Txn(TxnMsg::PrepareDone { tid: tid(), ok: false }),
-            Msg::Txn(TxnMsg::Commit { tid: tid(), files: vec![fid(), Fid::new(VolumeId(1), 1)] }),
-            Msg::Txn(TxnMsg::AbortFiles { tid: tid(), files: vec![] }),
-            Msg::Txn(TxnMsg::AbortProc { tid: tid(), pid: pid() }),
+            Msg::Proc(ProcMsg::ChildExited {
+                tid: tid(),
+                top: pid(),
+                child: Pid::new(SiteId(0), 2),
+            }),
+            Msg::Proc(ProcMsg::MemberAdded {
+                tid: tid(),
+                top: pid(),
+            }),
+            Msg::Proc(ProcMsg::MemberExited {
+                tid: tid(),
+                top: pid(),
+            }),
+            Msg::Txn(TxnMsg::Prepare {
+                tid: tid(),
+                coordinator: SiteId(0),
+                files: vec![fid()],
+            }),
+            Msg::Txn(TxnMsg::PrepareDone {
+                tid: tid(),
+                ok: false,
+            }),
+            Msg::Txn(TxnMsg::Commit {
+                tid: tid(),
+                files: vec![fid(), Fid::new(VolumeId(1), 1)],
+            }),
+            Msg::Txn(TxnMsg::AbortFiles {
+                tid: tid(),
+                files: vec![],
+            }),
+            Msg::Txn(TxnMsg::AbortProc {
+                tid: tid(),
+                pid: pid(),
+            }),
             Msg::Txn(TxnMsg::StatusInquiry { tid: tid() }),
-            Msg::Txn(TxnMsg::StatusAnswer { status: Some(TxnStatus::Committed) }),
+            Msg::Txn(TxnMsg::StatusAnswer {
+                status: Some(TxnStatus::Committed),
+            }),
             Msg::Txn(TxnMsg::StatusAnswer { status: None }),
             Msg::Batch(vec![
-                Msg::Txn(TxnMsg::Prepare { tid: tid(), coordinator: SiteId(0), files: vec![fid()] }),
-                Msg::Lock(LockMsg::UnlockAll { fid: fid(), pid: pid() }),
-                Msg::File(FileMsg::CommitReq { fid: fid(), owner: Owner::Proc(pid()) }),
+                Msg::Txn(TxnMsg::Prepare {
+                    tid: tid(),
+                    coordinator: SiteId(0),
+                    files: vec![fid()],
+                }),
+                Msg::Lock(LockMsg::UnlockAll {
+                    fid: fid(),
+                    pid: pid(),
+                }),
+                Msg::File(FileMsg::CommitReq {
+                    fid: fid(),
+                    owner: Owner::Proc(pid()),
+                }),
             ]),
             Msg::Batch(vec![]),
             Msg::Ok,
-            Msg::Err(Error::LockConflict { fid: fid(), range: ByteRange::new(0, 4) }),
-            Msg::Err(Error::WouldBlock { fid: fid(), range: ByteRange::new(0, 4) }),
-            Msg::Err(Error::AccessDenied { fid: fid(), range: ByteRange::new(0, 4) }),
+            Msg::Err(Error::LockConflict {
+                fid: fid(),
+                range: ByteRange::new(0, 4),
+            }),
+            Msg::Err(Error::WouldBlock {
+                fid: fid(),
+                range: ByteRange::new(0, 4),
+            }),
+            Msg::Err(Error::AccessDenied {
+                fid: fid(),
+                range: ByteRange::new(0, 4),
+            }),
             Msg::Err(Error::InTransit(pid())),
             Msg::Err(Error::NoSuchProcess(pid())),
             Msg::Err(Error::TxnAborted(tid())),
@@ -814,7 +940,9 @@ mod tests {
     #[test]
     fn wire_len_tracks_payload() {
         let small = wire_len(&Msg::Ok);
-        let big = wire_len(&Msg::File(FileMsg::ReadResp { data: vec![0; 1000] }));
+        let big = wire_len(&Msg::File(FileMsg::ReadResp {
+            data: vec![0; 1000],
+        }));
         assert!(big > small + 999);
     }
 }

@@ -6,9 +6,11 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use locus_net::{decode_msg, encode_msg, wire_len, FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg};
+use locus_net::{
+    decode_msg, encode_msg, wire_len, FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg,
+};
 use locus_types::{
-    ByteRange, Error, FileListEntry, Fid, LockClass, LockRequestMode, Owner, PageNo, Pid, SiteId,
+    ByteRange, Error, Fid, FileListEntry, LockClass, LockRequestMode, Owner, PageNo, Pid, SiteId,
     TransId, TxnStatus, VolumeId,
 };
 
@@ -29,11 +31,7 @@ fn tid() -> impl Strategy<Value = TransId> {
 }
 
 fn owner() -> BoxedStrategy<Owner> {
-    prop_oneof![
-        tid().prop_map(Owner::Trans),
-        pid().prop_map(Owner::Proc),
-    ]
-    .boxed()
+    prop_oneof![tid().prop_map(Owner::Trans), pid().prop_map(Owner::Proc),].boxed()
 }
 
 fn range() -> impl Strategy<Value = ByteRange> {
@@ -50,17 +48,29 @@ fn payload() -> impl Strategy<Value = Vec<u8>> {
 
 fn file_msg() -> BoxedStrategy<FileMsg> {
     prop_oneof![
-        (fid(), pid(), any::<bool>())
-            .prop_map(|(fid, pid, write)| FileMsg::OpenReq { fid, pid, write }),
+        (fid(), pid(), any::<bool>()).prop_map(|(fid, pid, write)| FileMsg::OpenReq {
+            fid,
+            pid,
+            write
+        }),
         any::<u64>().prop_map(|len| FileMsg::OpenResp { len }),
         (fid(), pid()).prop_map(|(fid, pid)| FileMsg::CloseReq { fid, pid }),
-        (fid(), pid(), owner(), range())
-            .prop_map(|(fid, pid, owner, range)| FileMsg::ReadReq { fid, pid, owner, range }),
+        (fid(), pid(), owner(), range()).prop_map(|(fid, pid, owner, range)| FileMsg::ReadReq {
+            fid,
+            pid,
+            owner,
+            range
+        }),
         payload().prop_map(|data| FileMsg::ReadResp { data }),
-        (fid(), pid(), owner(), range(), payload())
-            .prop_map(|(fid, pid, owner, range, data)| FileMsg::WriteReq {
-                fid, pid, owner, range, data,
-            }),
+        (fid(), pid(), owner(), range(), payload()).prop_map(|(fid, pid, owner, range, data)| {
+            FileMsg::WriteReq {
+                fid,
+                pid,
+                owner,
+                range,
+                data,
+            }
+        }),
         any::<u64>().prop_map(|new_len| FileMsg::WriteResp { new_len }),
         (fid(), vec((0u32..64).prop_map(PageNo), 0..5))
             .prop_map(|(fid, pages)| FileMsg::PrefetchReq { fid, pages }),
@@ -80,14 +90,27 @@ fn lock_msg() -> BoxedStrategy<LockMsg> {
             Just(LockRequestMode::Exclusive),
             Just(LockRequestMode::Unlock),
         ],
-        prop_oneof![Just(LockClass::Transaction), Just(LockClass::NonTransaction)],
+        prop_oneof![
+            Just(LockClass::Transaction),
+            Just(LockClass::NonTransaction)
+        ],
         range(),
         (any::<bool>(), any::<bool>()),
         site(),
     )
-        .prop_map(|(fid, pid, tid, mode, class, range, (append, wait), reply_site)| {
-            LockMsg::Req { fid, pid, tid, mode, class, range, append, wait, reply_site }
-        });
+        .prop_map(
+            |(fid, pid, tid, mode, class, range, (append, wait), reply_site)| LockMsg::Req {
+                fid,
+                pid,
+                tid,
+                mode,
+                class,
+                range,
+                append,
+                wait,
+                reply_site,
+            },
+        );
     prop_oneof![
         req,
         range().prop_map(|granted| LockMsg::Resp { granted }),
@@ -107,9 +130,19 @@ fn proc_msg() -> BoxedStrategy<ProcMsg> {
     );
     prop_oneof![
         (pid(), payload()).prop_map(|(pid, blob)| ProcMsg::Migrate { pid, blob }),
-        (tid(), pid(), pid(), entries)
-            .prop_map(|(tid, top, from, entries)| ProcMsg::FileListMerge { tid, top, from, entries }),
-        (tid(), pid(), pid()).prop_map(|(tid, top, child)| ProcMsg::ChildExited { tid, top, child }),
+        (tid(), pid(), pid(), entries).prop_map(|(tid, top, from, entries)| {
+            ProcMsg::FileListMerge {
+                tid,
+                top,
+                from,
+                entries,
+            }
+        }),
+        (tid(), pid(), pid()).prop_map(|(tid, top, child)| ProcMsg::ChildExited {
+            tid,
+            top,
+            child
+        }),
         (tid(), pid()).prop_map(|(tid, top)| ProcMsg::MemberAdded { tid, top }),
         (tid(), pid()).prop_map(|(tid, top)| ProcMsg::MemberExited { tid, top }),
     ]
@@ -124,8 +157,11 @@ fn txn_msg() -> BoxedStrategy<TxnMsg> {
         Just(Some(TxnStatus::Aborted)),
     ];
     prop_oneof![
-        (tid(), site(), fids())
-            .prop_map(|(tid, coordinator, files)| TxnMsg::Prepare { tid, coordinator, files }),
+        (tid(), site(), fids()).prop_map(|(tid, coordinator, files)| TxnMsg::Prepare {
+            tid,
+            coordinator,
+            files
+        }),
         (tid(), any::<bool>()).prop_map(|(tid, ok)| TxnMsg::PrepareDone { tid, ok }),
         (tid(), fids()).prop_map(|(tid, files)| TxnMsg::Commit { tid, files }),
         (tid(), fids()).prop_map(|(tid, files)| TxnMsg::AbortFiles { tid, files }),
@@ -137,8 +173,16 @@ fn txn_msg() -> BoxedStrategy<TxnMsg> {
 }
 
 fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
-    (fid(), any::<u64>(), vec(((0u32..64).prop_map(PageNo), payload()), 0..4))
-        .prop_map(|(fid, new_len, pages)| ReplicaMsg::Sync { fid, new_len, pages })
+    (
+        fid(),
+        any::<u64>(),
+        vec(((0u32..64).prop_map(PageNo), payload()), 0..4),
+    )
+        .prop_map(|(fid, new_len, pages)| ReplicaMsg::Sync {
+            fid,
+            new_len,
+            pages,
+        })
         .boxed()
 }
 

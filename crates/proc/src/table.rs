@@ -102,11 +102,7 @@ impl ProcessTable {
     /// mid-migration — the sender must retry (Section 4.1); fails with
     /// [`Error::NoSuchProcess`] if it has moved on, so the sender re-resolves
     /// the location.
-    pub fn merge_file_list(
-        &self,
-        top: Pid,
-        entries: &[FileListEntry],
-    ) -> Result<()> {
+    pub fn merge_file_list(&self, top: Pid, entries: &[FileListEntry]) -> Result<()> {
         let mut procs = self.procs.lock();
         let rec = procs.get_mut(&top).ok_or(Error::NoSuchProcess(top))?;
         match rec.state {
@@ -187,7 +183,12 @@ impl ProcessTable {
 
     /// All pids hosted here.
     pub fn all_pids(&self) -> Vec<Pid> {
-        self.procs.lock().keys().copied().collect()
+        // Sorted: callers iterate this while emitting trace events, and the
+        // event order must be reproducible from a seed (the backing map is
+        // a HashMap whose order varies run to run).
+        let mut pids: Vec<Pid> = self.procs.lock().keys().copied().collect();
+        pids.sort_unstable();
+        pids
     }
 
     /// Site crash: every hosted process dies with the volatile kernel state.
@@ -250,10 +251,7 @@ mod tests {
         };
         assert!(t.merge_file_list(top, &[entry]).is_ok());
         t.begin_migrate(top).unwrap();
-        assert_eq!(
-            t.merge_file_list(top, &[entry]),
-            Err(Error::InTransit(top))
-        );
+        assert_eq!(t.merge_file_list(top, &[entry]), Err(Error::InTransit(top)));
         t.finish_migrate_out(top);
         assert_eq!(
             t.merge_file_list(top, &[entry]),

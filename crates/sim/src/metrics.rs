@@ -157,9 +157,7 @@ impl CountersSnapshot {
             messages_sent: self.messages_sent - earlier.messages_sent,
             messages_handled: self.messages_handled - earlier.messages_handled,
             batches_sent: self.batches_sent - earlier.batches_sent,
-            service_msgs: std::array::from_fn(|i| {
-                self.service_msgs[i] - earlier.service_msgs[i]
-            }),
+            service_msgs: std::array::from_fn(|i| self.service_msgs[i] - earlier.service_msgs[i]),
             locks_granted: self.locks_granted - earlier.locks_granted,
             locks_denied: self.locks_denied - earlier.locks_denied,
             locks_queued: self.locks_queued - earlier.locks_queued,

@@ -17,8 +17,13 @@ impl DetRng {
         }
     }
 
-    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    /// Uniform integer in `[0, bound)`. Returns 0 when `bound == 0` so that
+    /// generators drawing from a possibly-empty choice set (e.g. a chaos
+    /// schedule with no candidate faults left) need no special case.
     pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
         self.inner.gen_range(0..bound)
     }
 
@@ -71,6 +76,18 @@ mod tests {
         let va: Vec<u64> = (0..32).map(|_| a.below(1_000_000)).collect();
         let vb: Vec<u64> = (0..32).map(|_| b.below(1_000_000)).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_zero_bound_returns_zero() {
+        let mut r = DetRng::seeded(3);
+        assert_eq!(r.below(0), 0);
+        // The zero-bound draw must not consume RNG state: the stream after
+        // it matches a fresh RNG's stream.
+        let mut fresh = DetRng::seeded(3);
+        for _ in 0..16 {
+            assert_eq!(r.below(100), fresh.below(100));
+        }
     }
 
     #[test]

@@ -28,15 +28,31 @@ pub enum Event {
         batched: bool,
     },
     /// Coordinator log record written/updated with the given status.
-    CoordLog { site: SiteId, tid: TransId, status: TxnStatus },
+    CoordLog {
+        site: SiteId,
+        tid: TransId,
+        status: TxnStatus,
+    },
     /// Prepare message sent from coordinator to a participant.
     PrepareSent { tid: TransId, to: SiteId },
     /// Participant flushed a dirty data page during prepare.
-    DataFlush { tid: TransId, fid: Fid, page: PageNo },
+    DataFlush {
+        tid: TransId,
+        fid: Fid,
+        page: PageNo,
+    },
     /// Participant wrote its prepare log for one file.
-    PrepareLog { site: SiteId, tid: TransId, fid: Fid },
+    PrepareLog {
+        site: SiteId,
+        tid: TransId,
+        fid: Fid,
+    },
     /// Participant acknowledged prepare.
-    PrepareAck { tid: TransId, from: SiteId, ok: bool },
+    PrepareAck {
+        tid: TransId,
+        from: SiteId,
+        ok: bool,
+    },
     /// Commit mark written to the coordinator log — *the commit point*.
     CommitMark { tid: TransId },
     /// Phase-two commit message sent to a participant.
@@ -70,6 +86,36 @@ pub enum Event {
     /// A file-list merge bounced off an in-transit top-level process and must
     /// be retried (the Section 4.1 race).
     FileListRetry { tid: TransId, from: Pid },
+    /// Chaos injection: a wire message (request) was dropped — the handler
+    /// never ran and the sender saw a transport failure.
+    ChaosDrop {
+        from: SiteId,
+        to: SiteId,
+        service: Service,
+        kind: &'static str,
+    },
+    /// Chaos injection: the request was delivered and processed, but the
+    /// reply was lost — the sender saw a transport failure anyway.
+    ChaosDropReply {
+        from: SiteId,
+        to: SiteId,
+        service: Service,
+        kind: &'static str,
+    },
+    /// Chaos injection: a wire message was delivered twice (tests handler
+    /// idempotency — Section 4.4 argues duplicates are harmless).
+    ChaosDup {
+        from: SiteId,
+        to: SiteId,
+        service: Service,
+        kind: &'static str,
+    },
+    /// Chaos injection: a wire message was delayed by extra flight time.
+    ChaosDelay {
+        from: SiteId,
+        to: SiteId,
+        millis: u64,
+    },
     /// Site crashed (volatile state lost).
     SiteCrash { site: SiteId },
     /// Site rebooted and recovery began.
@@ -125,11 +171,7 @@ impl EventLog {
 
     /// Whether an event satisfying `a` occurs strictly before the first event
     /// satisfying `b`. Both must occur.
-    pub fn happens_before(
-        &self,
-        a: impl Fn(&Event) -> bool,
-        b: impl Fn(&Event) -> bool,
-    ) -> bool {
+    pub fn happens_before(&self, a: impl Fn(&Event) -> bool, b: impl Fn(&Event) -> bool) -> bool {
         match (self.position(a), self.position(b)) {
             (Some(ia), Some(ib)) => ia < ib,
             _ => false,

@@ -94,6 +94,18 @@ impl PrepareLogRecord {
         for ent in &self.intentions.entries {
             e.u32(ent.page.0);
             e.u32(ent.new_phys.0);
+            match ent.old_phys {
+                Some(p) => {
+                    e.u8(1);
+                    e.u32(p.0);
+                }
+                None => e.u8(0),
+            }
+            e.u32(ent.ranges.len() as u32);
+            for r in &ent.ranges {
+                e.u64(r.start);
+                e.u64(r.len);
+            }
         }
         e.u32(self.locks.len() as u32);
         for l in &self.locks {
@@ -133,9 +145,23 @@ impl PrepareLogRecord {
         let mut intentions = IntentionsList::new(fid, new_len);
         let n = d.u32()?;
         for _ in 0..n {
+            let page = PageNo(d.u32()?);
+            let new_phys = PhysPage(d.u32()?);
+            let old_phys = match d.u8()? {
+                1 => Some(PhysPage(d.u32()?)),
+                0 => None,
+                _ => return None,
+            };
+            let nr = d.u32()?;
+            let mut ranges = Vec::with_capacity(nr as usize);
+            for _ in 0..nr {
+                ranges.push(ByteRange::new(d.u64()?, d.u64()?));
+            }
             intentions.entries.push(IntentionsEntry {
-                page: PageNo(d.u32()?),
-                new_phys: PhysPage(d.u32()?),
+                page,
+                new_phys,
+                old_phys,
+                ranges,
             });
         }
         let nl = d.u32()?;
@@ -233,7 +259,12 @@ mod tests {
         intentions.entries.push(IntentionsEntry {
             page: PageNo(0),
             new_phys: PhysPage(55),
+            old_phys: Some(PhysPage(12)),
+            ranges: vec![ByteRange::new(40, 8), ByteRange::new(72, 16)],
         });
+        intentions
+            .entries
+            .push(IntentionsEntry::whole(PageNo(1), PhysPage(56)));
         let rec = PrepareLogRecord {
             tid: TransId::new(SiteId(1), 3),
             coordinator: SiteId(0),

@@ -46,10 +46,37 @@ impl fmt::Display for Owner {
 
 /// One entry of an intentions list: logical page `page` of the file is to be
 /// re-pointed at physical block `new_phys` when the list is committed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `old_phys` and `ranges` implement Figure 4b's commit differencing across
+/// the prepare/commit gap: the shadow image was merged against `old_phys` at
+/// prepare time, so if another owner commits the page in between (the inode
+/// no longer points at `old_phys` at install time), the installer must
+/// re-read the *current* stable page and transfer only `ranges` onto it —
+/// installing the stale image wholesale would silently undo the interleaved
+/// commit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IntentionsEntry {
     pub page: PageNo,
     pub new_phys: PhysPage,
+    /// Stable block the page occupied when the shadow image was built
+    /// (`None`: the page did not exist yet).
+    pub old_phys: Option<PhysPage>,
+    /// Page-relative byte ranges the committing owner actually wrote. Empty
+    /// means the shadow image is authoritative for the whole page (replica
+    /// pushes of committed content).
+    pub ranges: Vec<ByteRange>,
+}
+
+impl IntentionsEntry {
+    /// A whole-page entry: the shadow image replaces the page outright.
+    pub fn whole(page: PageNo, new_phys: PhysPage) -> Self {
+        IntentionsEntry {
+            page,
+            new_phys,
+            old_phys: None,
+            ranges: Vec::new(),
+        }
+    }
 }
 
 /// An intentions list for a single file (Section 4): "The list consists of a
@@ -182,14 +209,10 @@ mod tests {
     fn intentions_list_tracks_new_pages() {
         let mut il = IntentionsList::new(fid(), 2048);
         assert!(il.is_empty());
-        il.entries.push(IntentionsEntry {
-            page: PageNo(0),
-            new_phys: PhysPage(17),
-        });
-        il.entries.push(IntentionsEntry {
-            page: PageNo(1),
-            new_phys: PhysPage(18),
-        });
+        il.entries
+            .push(IntentionsEntry::whole(PageNo(0), PhysPage(17)));
+        il.entries
+            .push(IntentionsEntry::whole(PageNo(1), PhysPage(18)));
         let pages: Vec<_> = il.new_pages().collect();
         assert_eq!(pages, vec![PhysPage(17), PhysPage(18)]);
     }

@@ -37,7 +37,10 @@ impl ByteRange {
 
     /// Whether two ranges share at least one byte.
     pub fn overlaps(&self, other: &ByteRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// Whether `other` lies entirely within `self`.
@@ -102,13 +105,7 @@ impl ByteRange {
             (self.end() - 1) / ps
         };
         let empty = self.is_empty();
-        (first..=last).filter_map(move |p| {
-            if empty {
-                None
-            } else {
-                Some(PageNo(p as u32))
-            }
-        })
+        (first..=last).filter_map(move |p| if empty { None } else { Some(PageNo(p as u32)) })
     }
 
     /// The portion of this range falling on logical page `page`, expressed as
@@ -178,8 +175,14 @@ mod tests {
     #[test]
     fn subtract_prefix_suffix_and_cover() {
         let a = ByteRange::new(10, 20);
-        assert_eq!(a.subtract(&ByteRange::new(0, 15)), vec![ByteRange::new(15, 15)]);
-        assert_eq!(a.subtract(&ByteRange::new(25, 50)), vec![ByteRange::new(10, 15)]);
+        assert_eq!(
+            a.subtract(&ByteRange::new(0, 15)),
+            vec![ByteRange::new(15, 15)]
+        );
+        assert_eq!(
+            a.subtract(&ByteRange::new(25, 50)),
+            vec![ByteRange::new(10, 15)]
+        );
         assert!(a.subtract(&ByteRange::new(0, 100)).is_empty());
         assert_eq!(a.subtract(&ByteRange::new(50, 5)), vec![a]);
     }
@@ -193,7 +196,10 @@ mod tests {
             r.slice_on_page(PageNo(0), 1024),
             Some(ByteRange::new(1000, 24))
         );
-        assert_eq!(r.slice_on_page(PageNo(1), 1024), Some(ByteRange::new(0, 76)));
+        assert_eq!(
+            r.slice_on_page(PageNo(1), 1024),
+            Some(ByteRange::new(0, 76))
+        );
         assert_eq!(r.slice_on_page(PageNo(2), 1024), None);
     }
 

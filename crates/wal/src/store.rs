@@ -17,10 +17,22 @@ use locus_types::{ByteRange, Error, Fid, InodeNo, Owner, Result, VolumeId};
 /// One log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum LogRec {
-    Begin { owner: Owner },
-    Update { owner: Owner, fid: Fid, at: u64, undo: Vec<u8>, redo: Vec<u8> },
-    Commit { owner: Owner },
-    Abort { owner: Owner },
+    Begin {
+        owner: Owner,
+    },
+    Update {
+        owner: Owner,
+        fid: Fid,
+        at: u64,
+        undo: Vec<u8>,
+        redo: Vec<u8>,
+    },
+    Commit {
+        owner: Owner,
+    },
+    Abort {
+        owner: Owner,
+    },
 }
 
 impl LogRec {
@@ -321,7 +333,11 @@ impl WalStore {
             .iter()
             .filter_map(|r| match r {
                 LogRec::Update {
-                    owner, fid, at, redo, ..
+                    owner,
+                    fid,
+                    at,
+                    redo,
+                    ..
                 } if committed.contains(owner) => Some((*fid, *at, redo.clone())),
                 _ => None,
             })
@@ -367,7 +383,8 @@ mod tests {
         let (w, mut a) = store();
         let fid = w.create_file(&mut a);
         w.begin(t(1));
-        w.write(fid, t(1), ByteRange::new(0, 16), &[7u8; 16], &mut a).unwrap();
+        w.write(fid, t(1), ByteRange::new(0, 16), &[7u8; 16], &mut a)
+            .unwrap();
         let before = a.clone();
         let pages = w.commit(t(1), &mut a);
         assert_eq!(pages, 1);
@@ -381,7 +398,8 @@ mod tests {
         let (w, mut a) = store();
         let fid = w.create_file(&mut a);
         w.begin(t(1));
-        w.write(fid, t(1), ByteRange::new(0, 5), b"saved", &mut a).unwrap();
+        w.write(fid, t(1), ByteRange::new(0, 5), b"saved", &mut a)
+            .unwrap();
         w.commit(t(1), &mut a);
         w.crash(); // Dirty page never checkpointed.
         w.recover(&mut a);
@@ -393,10 +411,14 @@ mod tests {
         let (w, mut a) = store();
         let fid = w.create_file(&mut a);
         w.begin(t(1));
-        w.write(fid, t(1), ByteRange::new(0, 4), b"lost", &mut a).unwrap();
+        w.write(fid, t(1), ByteRange::new(0, 4), b"lost", &mut a)
+            .unwrap();
         w.crash();
         w.recover(&mut a);
-        assert!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap().is_empty());
+        assert!(w
+            .read(fid, ByteRange::new(0, 4), &mut a)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -404,10 +426,12 @@ mod tests {
         let (w, mut a) = store();
         let fid = w.create_file(&mut a);
         w.begin(p(1));
-        w.write(fid, p(1), ByteRange::new(0, 4), b"base", &mut a).unwrap();
+        w.write(fid, p(1), ByteRange::new(0, 4), b"base", &mut a)
+            .unwrap();
         w.commit(p(1), &mut a);
         w.begin(t(2));
-        w.write(fid, t(2), ByteRange::new(0, 4), b"oops", &mut a).unwrap();
+        w.write(fid, t(2), ByteRange::new(0, 4), b"oops", &mut a)
+            .unwrap();
         w.abort(t(2), &mut a);
         assert_eq!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"base");
     }
@@ -419,7 +443,8 @@ mod tests {
         w.begin(t(1));
         // Touch three pages.
         for pg in 0..3u64 {
-            w.write(fid, t(1), ByteRange::new(pg * 1024, 4), b"page", &mut a).unwrap();
+            w.write(fid, t(1), ByteRange::new(pg * 1024, 4), b"page", &mut a)
+                .unwrap();
         }
         w.commit(t(1), &mut a);
         let before = a.clone();
@@ -438,7 +463,14 @@ mod tests {
         w.begin(t(1));
         // ~4 KB of redo (plus undo) spans several 1 KB log pages.
         for i in 0..4u64 {
-            w.write(fid, t(1), ByteRange::new(i * 1024, 512), &[1u8; 512], &mut a).unwrap();
+            w.write(
+                fid,
+                t(1),
+                ByteRange::new(i * 1024, 512),
+                &[1u8; 512],
+                &mut a,
+            )
+            .unwrap();
         }
         let pages = w.commit(t(1), &mut a);
         assert!(pages >= 4, "got {pages}");
@@ -450,8 +482,10 @@ mod tests {
         let fid = w.create_file(&mut a);
         w.begin(t(1));
         w.begin(t(2));
-        w.write(fid, t(1), ByteRange::new(0, 2), b"AA", &mut a).unwrap();
-        w.write(fid, t(2), ByteRange::new(4, 2), b"BB", &mut a).unwrap();
+        w.write(fid, t(1), ByteRange::new(0, 2), b"AA", &mut a)
+            .unwrap();
+        w.write(fid, t(2), ByteRange::new(4, 2), b"BB", &mut a)
+            .unwrap();
         w.commit(t(1), &mut a);
         w.abort(t(2), &mut a);
         w.crash();

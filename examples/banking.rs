@@ -132,7 +132,9 @@ fn main() {
     for i in 0..ACCOUNTS {
         total += read_u64(&auditor, ch, i);
     }
-    println!("transfers committed: {committed}, aborted: {aborted}, deadlocks resolved: {resolved}");
+    println!(
+        "transfers committed: {committed}, aborted: {aborted}, deadlocks resolved: {resolved}"
+    );
     println!("ledger total = {total} (expected {})", ACCOUNTS * INITIAL);
     assert_eq!(total, ACCOUNTS * INITIAL, "money was created or destroyed!");
     println!("invariant holds: money conserved under concurrency, aborts and deadlock resolution");

@@ -31,8 +31,15 @@ fn main() {
     // --- Program A (non-transaction): writelock x[1]; x[1] := 'C'; unlock.
     let a = k.spawn();
     let ach = k.open(a, "/x", true, &mut acct).unwrap();
-    k.lock(a, ach, 1, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
-        .unwrap();
+    k.lock(
+        a,
+        ach,
+        1,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut acct,
+    )
+    .unwrap();
     k.write(a, ach, b"C", &mut acct).unwrap();
     k.lseek(a, ach, 0, &mut acct).unwrap();
     k.unlock(a, ach, 1, &mut acct).unwrap();
@@ -42,8 +49,15 @@ fn main() {
     let b = k.spawn();
     let tid = site.txn.begin_trans(b, &mut acct).unwrap();
     let bch = k.open(b, "/x", true, &mut acct).unwrap();
-    k.lock(b, bch, 1, LockRequestMode::Shared, LockOpts::default(), &mut acct)
-        .unwrap();
+    k.lock(
+        b,
+        bch,
+        1,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut acct,
+    )
+    .unwrap();
     let t = k.read(b, bch, 1, &mut acct).unwrap();
     println!(
         "transaction {tid}: read x[1]='{}' — ADOPTED under rule 2 (modified, uncommitted)",
@@ -52,7 +66,10 @@ fn main() {
     k.write(b, bch, &t, &mut acct).unwrap(); // x[2] := t at offset 1.
     site.txn.end_trans(b, &mut acct).unwrap();
     cluster.drain_async();
-    println!("transaction {tid}: committed x[2] := '{}' AND the adopted x[1]", t[0] as char);
+    println!(
+        "transaction {tid}: committed x[2] := '{}' AND the adopted x[1]",
+        t[0] as char
+    );
 
     // --- Program A now aborts x[1]. Without adoption this would roll back
     // the value B's commit depends on.

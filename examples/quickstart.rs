@@ -36,16 +36,29 @@ fn main() {
     let tid = site0.txn.begin_trans(pid, &mut acct).unwrap();
     println!("\nBeginTrans → {tid}");
 
-    let inv = site0.kernel.open(pid, "/inventory", true, &mut acct).unwrap();
+    let inv = site0
+        .kernel
+        .open(pid, "/inventory", true, &mut acct)
+        .unwrap();
     let ord = site0.kernel.open(pid, "/orders", true, &mut acct).unwrap();
 
     // Record-level locking: lock just the bytes we update (implicit locking
     // would also kick in on access; here we lock explicitly).
     site0
         .kernel
-        .lock(pid, inv, 11, LockRequestMode::Exclusive, LockOpts::default(), &mut acct)
+        .lock(
+            pid,
+            inv,
+            11,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut acct,
+        )
         .unwrap();
-    site0.kernel.write(pid, inv, b"widgets= 99", &mut acct).unwrap();
+    site0
+        .kernel
+        .write(pid, inv, b"widgets= 99", &mut acct)
+        .unwrap();
     site0
         .kernel
         .write(pid, ord, b"order#1: 1 widget", &mut acct)
@@ -76,7 +89,10 @@ fn main() {
         let p = k.spawn();
         let ch = k.open(p, name, false, &mut a).unwrap();
         let data = k.read(p, ch, len, &mut a).unwrap();
-        println!("after crash+recovery, {name} = {:?}", String::from_utf8_lossy(&data));
+        println!(
+            "after crash+recovery, {name} = {:?}",
+            String::from_utf8_lossy(&data)
+        );
     }
 
     let snap = cluster.counters();

@@ -36,7 +36,10 @@ fn scenario_commit_mark_then_crash() {
     assert_eq!(report.redone, 1);
 
     let data = read_file(&c, 1, "/f", 7);
-    println!("participant file now reads {:?}", String::from_utf8_lossy(&data));
+    println!(
+        "participant file now reads {:?}",
+        String::from_utf8_lossy(&data)
+    );
     assert_eq!(data, b"durable");
 }
 

@@ -20,7 +20,11 @@ fn main() {
     // The log lives at site 0.
     let mut a0 = cluster.account(0);
     let p0 = cluster.site(0).kernel.spawn();
-    let ch = cluster.site(0).kernel.creat(p0, "/audit.log", &mut a0).unwrap();
+    let ch = cluster
+        .site(0)
+        .kernel
+        .creat(p0, "/audit.log", &mut a0)
+        .unwrap();
     cluster.site(0).kernel.close(p0, ch, &mut a0).unwrap();
 
     // Appenders at every site take turns (interleaved rounds, as the script
@@ -43,12 +47,19 @@ fn main() {
                     *ch,
                     entry.len() as u64,
                     LockRequestMode::Exclusive,
-                    LockOpts { wait: true, ..LockOpts::default() },
+                    LockOpts {
+                        wait: true,
+                        ..LockOpts::default()
+                    },
                     acct,
                 )
                 .unwrap();
             k.write(*pid, *ch, entry.as_bytes(), acct).unwrap();
-            println!("site{site} appended {} bytes at offset {}", entry.len(), range.start);
+            println!(
+                "site{site} appended {} bytes at offset {}",
+                entry.len(),
+                range.start
+            );
         }
     }
 
@@ -63,7 +74,10 @@ fn main() {
         ch,
         entry.len() as u64,
         LockRequestMode::Exclusive,
-        LockOpts { wait: true, ..LockOpts::default() },
+        LockOpts {
+            wait: true,
+            ..LockOpts::default()
+        },
         &mut acct,
     )
     .unwrap();
@@ -81,7 +95,11 @@ fn main() {
     // Verify: no torn or overlapping entries.
     let mut a = cluster.account(0);
     let p = cluster.site(0).kernel.spawn();
-    let rch = cluster.site(0).kernel.open(p, "/audit.log", false, &mut a).unwrap();
+    let rch = cluster
+        .site(0)
+        .kernel
+        .open(p, "/audit.log", false, &mut a)
+        .unwrap();
     let data = cluster.site(0).kernel.read(p, rch, 4096, &mut a).unwrap();
     let text = String::from_utf8_lossy(&data);
     println!("\nfinal log ({} bytes):\n{text}", data.len());

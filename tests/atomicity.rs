@@ -15,7 +15,10 @@ fn crash_after_n_events(n: usize) -> &'static str {
         let mut acct = c.account(site);
         let p = c.site(site).kernel.spawn();
         let ch = c.site(site).kernel.creat(p, name, &mut acct).unwrap();
-        c.site(site).kernel.write(p, ch, b"old!", &mut acct).unwrap();
+        c.site(site)
+            .kernel
+            .write(p, ch, b"old!", &mut acct)
+            .unwrap();
         c.site(site).kernel.close(p, ch, &mut acct).unwrap();
     }
     c.events.clear();
@@ -64,10 +67,7 @@ fn crash_after_n_events(n: usize) -> &'static str {
         let ch = c.site(site).kernel.open(p, name, false, &mut a).unwrap();
         values.push(c.site(site).kernel.read(p, ch, 4, &mut a).unwrap());
     }
-    assert_eq!(
-        values[0], values[1],
-        "atomicity violated: /a={values:?}"
-    );
+    assert_eq!(values[0], values[1], "atomicity violated: /a={values:?}");
     match outcome {
         "committed" => assert_eq!(values[0], b"new!"),
         _ => assert_eq!(values[0], b"old!"),
@@ -92,7 +92,10 @@ fn participant_crash_between_prepare_and_commit_preserves_atomicity() {
         let mut acct = c.account(site);
         let p = c.site(site).kernel.spawn();
         let ch = c.site(site).kernel.creat(p, name, &mut acct).unwrap();
-        c.site(site).kernel.write(p, ch, b"old!", &mut acct).unwrap();
+        c.site(site)
+            .kernel
+            .write(p, ch, b"old!", &mut acct)
+            .unwrap();
         c.site(site).kernel.close(p, ch, &mut acct).unwrap();
     }
     let mut acct = c.account(0);
@@ -153,7 +156,10 @@ fn commit_mark_is_the_commit_point() {
             }
             // The status flip and the CommitMark marker are pushed as a
             // pair; the status event immediately precedes the marker.
-            Event::CoordLog { status: TxnStatus::Committed, .. } => assert!(i + 1 >= mark),
+            Event::CoordLog {
+                status: TxnStatus::Committed,
+                ..
+            } => assert!(i + 1 >= mark),
             _ => {}
         }
     }

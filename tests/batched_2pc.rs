@@ -15,7 +15,10 @@ fn seed_files(c: &Cluster, files: &[(usize, &str)]) {
         let mut acct = c.account(site);
         let p = c.site(site).kernel.spawn();
         let ch = c.site(site).kernel.creat(p, name, &mut acct).unwrap();
-        c.site(site).kernel.write(p, ch, b"old!", &mut acct).unwrap();
+        c.site(site)
+            .kernel
+            .write(p, ch, b"old!", &mut acct)
+            .unwrap();
         c.site(site).kernel.close(p, ch, &mut acct).unwrap();
     }
 }
@@ -58,12 +61,23 @@ fn commit_sends_one_message_per_site_per_phase() {
     // Two participant sites, five files: exactly two network messages, one
     // Prepare per site carrying all of that site's fids.
     assert_eq!(after.messages_sent - before.messages_sent, 2);
-    assert_eq!(after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn), 2);
+    assert_eq!(
+        after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn),
+        2
+    );
     let prepares: Vec<_> = c
         .events
         .all()
         .into_iter()
-        .filter(|e| matches!(e, Event::Rpc { kind: "Prepare", .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                Event::Rpc {
+                    kind: "Prepare",
+                    ..
+                }
+            )
+        })
         .collect();
     assert_eq!(prepares.len(), 2, "{prepares:?}");
     for site in [SiteId(1), SiteId(2)] {
@@ -84,9 +98,9 @@ fn commit_sends_one_message_per_site_per_phase() {
     let after = c.counters();
     assert_eq!(after.messages_sent - before.messages_sent, 2);
     for site in [SiteId(1), SiteId(2)] {
-        let commits = c.events.count(|e| {
-            matches!(e, Event::Rpc { to, kind: "Commit", .. } if *to == site)
-        });
+        let commits = c
+            .events
+            .count(|e| matches!(e, Event::Rpc { to, kind: "Commit", .. } if *to == site));
         assert_eq!(commits, 1, "site {site} must receive exactly one commit");
     }
 
@@ -123,9 +137,19 @@ fn phase_two_commits_to_one_site_coalesce_into_a_batch() {
         "two phase-two commits to one site must share one network message"
     );
     assert_eq!(after.batches_sent - before.batches_sent, 1);
-    assert_eq!(after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn), 2);
+    assert_eq!(
+        after.msgs_for(Service::Txn) - before.msgs_for(Service::Txn),
+        2
+    );
     let batched_commits = c.events.count(|e| {
-        matches!(e, Event::Rpc { kind: "Commit", batched: true, .. })
+        matches!(
+            e,
+            Event::Rpc {
+                kind: "Commit",
+                batched: true,
+                ..
+            }
+        )
     });
     assert_eq!(batched_commits, 2);
 
@@ -163,7 +187,11 @@ fn participant_crash_mid_prepare_fanout_cascades_abort() {
     assert_eq!(
         c.events.count(|e| matches!(
             e,
-            Event::Rpc { to: SiteId(1), kind: "Prepare", .. }
+            Event::Rpc {
+                to: SiteId(1),
+                kind: "Prepare",
+                ..
+            }
         )),
         1
     );
@@ -172,7 +200,11 @@ fn participant_crash_mid_prepare_fanout_cascades_abort() {
     assert!(
         c.events.count(|e| matches!(
             e,
-            Event::Rpc { to: SiteId(1), kind: "AbortFiles", .. }
+            Event::Rpc {
+                to: SiteId(1),
+                kind: "AbortFiles",
+                ..
+            }
         )) >= 1,
         "abort must cascade to the prepared participant: {:?}",
         c.events.all()
@@ -209,7 +241,10 @@ fn every_cross_site_rpc_is_service_tagged() {
     let pid = c.site(0).kernel.spawn();
     c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
     let ch = c.site(0).kernel.open(pid, "/t", true, &mut acct).unwrap();
-    assert_eq!(c.site(0).kernel.read(pid, ch, 4, &mut acct).unwrap(), b"old!");
+    assert_eq!(
+        c.site(0).kernel.read(pid, ch, 4, &mut acct).unwrap(),
+        b"old!"
+    );
     c.site(0).kernel.lseek(pid, ch, 0, &mut acct).unwrap();
     c.site(0).kernel.write(pid, ch, b"new!", &mut acct).unwrap();
     c.site(0).txn.end_trans(pid, &mut acct).unwrap();

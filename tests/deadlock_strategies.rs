@@ -11,19 +11,31 @@ fn ab_ba_programs() -> (Vec<Op>, Vec<Op>) {
     let prog = |first: &str, second: &str| -> Vec<Op> {
         vec![
             Op::BeginTrans,
-            Op::Open { name: first.into(), write: true },
-            Op::Open { name: second.into(), write: true },
+            Op::Open {
+                name: first.into(),
+                write: true,
+            },
+            Op::Open {
+                name: second.into(),
+                write: true,
+            },
             Op::Lock {
                 ch: 0,
                 len: 1,
                 mode: LockRequestMode::Exclusive,
-                opts: LockOpts { wait: true, ..LockOpts::default() },
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
             },
             Op::Lock {
                 ch: 1,
                 len: 1,
                 mode: LockRequestMode::Exclusive,
-                opts: LockOpts { wait: true, ..LockOpts::default() },
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
             },
             Op::EndTrans,
         ]

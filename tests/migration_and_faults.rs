@@ -22,11 +22,20 @@ fn transaction_commits_after_top_level_migrates_mid_flight() {
         0,
         vec![
             Op::BeginTrans,
-            Op::Open { name: "/data".into(), write: true },
-            Op::Write { ch: 0, data: b"phase-a".to_vec() },
+            Op::Open {
+                name: "/data".into(),
+                write: true,
+            },
+            Op::Write {
+                ch: 0,
+                data: b"phase-a".to_vec(),
+            },
             Op::Migrate(SiteId(1)),
             Op::Seek { ch: 0, pos: 7 },
-            Op::Write { ch: 0, data: b"phase-b".to_vec() },
+            Op::Write {
+                ch: 0,
+                data: b"phase-b".to_vec(),
+            },
             Op::Migrate(SiteId(2)),
             Op::EndTrans,
         ],
@@ -61,8 +70,14 @@ fn children_on_three_sites_merge_file_lists() {
     let child = |site: u32, name: &str| -> Vec<Op> {
         vec![
             Op::Migrate(SiteId(site)),
-            Op::Open { name: name.into(), write: true },
-            Op::Write { ch: 0, data: format!("from-{site}").into_bytes() },
+            Op::Open {
+                name: name.into(),
+                write: true,
+            },
+            Op::Write {
+                ch: 0,
+                data: format!("from-{site}").into_bytes(),
+            },
         ]
     };
     d.spawn(
@@ -71,8 +86,14 @@ fn children_on_three_sites_merge_file_lists() {
             Op::BeginTrans,
             Op::Fork(child(1, "/f1")),
             Op::Fork(child(2, "/f2")),
-            Op::Open { name: "/f0".into(), write: true },
-            Op::Write { ch: 0, data: b"from-0".to_vec() },
+            Op::Open {
+                name: "/f0".into(),
+                write: true,
+            },
+            Op::Write {
+                ch: 0,
+                data: b"from-0".to_vec(),
+            },
             Op::EndTrans,
         ],
     );
@@ -105,19 +126,31 @@ fn deadlocked_schedule_resolved_by_detector() {
     let prog = |first: &str, second: &str| -> Vec<Op> {
         vec![
             Op::BeginTrans,
-            Op::Open { name: first.into(), write: true },
-            Op::Open { name: second.into(), write: true },
+            Op::Open {
+                name: first.into(),
+                write: true,
+            },
+            Op::Open {
+                name: second.into(),
+                write: true,
+            },
             Op::Lock {
                 ch: 0,
                 len: 1,
                 mode: LockRequestMode::Exclusive,
-                opts: LockOpts { wait: true, ..LockOpts::default() },
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
             },
             Op::Lock {
                 ch: 1,
                 len: 1,
                 mode: LockRequestMode::Exclusive,
-                opts: LockOpts { wait: true, ..LockOpts::default() },
+                opts: LockOpts {
+                    wait: true,
+                    ..LockOpts::default()
+                },
             },
             Op::EndTrans,
         ]
@@ -137,8 +170,7 @@ fn deadlocked_schedule_resolved_by_detector() {
             RunOutcome::Stuck { blocked } => {
                 assert_eq!(blocked.len(), 2, "seed {seed}");
                 // The Section 3.1 system process takes over.
-                let det =
-                    DeadlockDetector::new(c.sites.clone(), VictimPolicy::Youngest);
+                let det = DeadlockDetector::new(c.sites.clone(), VictimPolicy::Youngest);
                 let mut acct = c.account(0);
                 let resolutions = det.run_once(&mut acct);
                 assert_eq!(resolutions.len(), 1, "one cycle, one victim");
@@ -166,7 +198,10 @@ fn partition_then_heal_allows_new_transactions() {
     let pid = c.site(0).kernel.spawn();
     c.site(0).txn.begin_trans(pid, &mut a0).unwrap();
     let ch = c.site(0).kernel.open(pid, "/f", true, &mut a0).unwrap();
-    c.site(0).kernel.write(pid, ch, b"stranded", &mut a0).unwrap();
+    c.site(0)
+        .kernel
+        .write(pid, ch, b"stranded", &mut a0)
+        .unwrap();
     c.transport.partition(&[SiteId(1)]);
     assert!(c.site(0).txn.end_trans(pid, &mut a0).is_err());
 
@@ -184,7 +219,10 @@ fn partition_then_heal_allows_new_transactions() {
     let mut ar = c.account(1);
     let pr = c.site(1).kernel.spawn();
     let chr = c.site(1).kernel.open(pr, "/f", false, &mut ar).unwrap();
-    assert_eq!(c.site(1).kernel.read(pr, chr, 8, &mut ar).unwrap(), b"healed!!");
+    assert_eq!(
+        c.site(1).kernel.read(pr, chr, 8, &mut ar).unwrap(),
+        b"healed!!"
+    );
 }
 
 #[test]
@@ -201,7 +239,10 @@ fn replicated_file_served_locally_after_commit() {
     let pid = c.site(0).kernel.spawn();
     c.site(0).txn.begin_trans(pid, &mut a).unwrap();
     let ch = c.site(0).kernel.open(pid, "/rep", true, &mut a).unwrap();
-    c.site(0).kernel.write(pid, ch, b"everywhere", &mut a).unwrap();
+    c.site(0)
+        .kernel
+        .write(pid, ch, b"everywhere", &mut a)
+        .unwrap();
     c.site(0).txn.end_trans(pid, &mut a).unwrap();
     c.drain_async();
 

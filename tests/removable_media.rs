@@ -21,7 +21,10 @@ fn volume_carried_to_another_site_recovers_prepared_transaction() {
     let pid = c.site(0).kernel.spawn();
     c.site(0).txn.begin_trans(pid, &mut a0).unwrap();
     let ch = c.site(0).kernel.open(pid, "/media", true, &mut a0).unwrap();
-    c.site(0).kernel.write(pid, ch, b"carried!", &mut a0).unwrap();
+    c.site(0)
+        .kernel
+        .write(pid, ch, b"carried!", &mut a0)
+        .unwrap();
     c.site(0).txn.end_trans(pid, &mut a0).unwrap();
 
     // Site 1 dies for good before phase two reaches it. Its disk — with the
@@ -30,8 +33,8 @@ fn volume_carried_to_another_site_recovers_prepared_transaction() {
     let volume = c.site(1).kernel.home().unwrap();
     c.transport.site_down(SiteId(1));
     c.drain_async(); // Phase two cannot deliver; stays queued at site 0.
-    // Pulling the disk out of the dead machine: volatile buffers are gone,
-    // the platters (including the prepare log) survive.
+                     // Pulling the disk out of the dead machine: volatile buffers are gone,
+                     // the platters (including the prepare log) survive.
     volume.crash();
     volume.reboot();
     c.site(2).kernel.mount(volume.clone());
@@ -40,9 +43,7 @@ fn volume_carried_to_another_site_recovers_prepared_transaction() {
     // the outcome, and installs the logged intentions.
     let mut a2 = c.account(2);
     let mut report = Default::default();
-    c.site(2)
-        .txn
-        .recover_volume(&volume, &mut a2, &mut report);
+    c.site(2).txn.recover_volume(&volume, &mut a2, &mut report);
     assert_eq!(report.participant_committed, 1, "{report:?}");
 
     // The committed data is now readable straight off the carried volume.
@@ -111,9 +112,7 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
     // (in doubt) — it may yet commit.
     let mut a2 = c.account(2);
     let mut report = Default::default();
-    c.site(2)
-        .txn
-        .recover_volume(&volume, &mut a2, &mut report);
+    c.site(2).txn.recover_volume(&volume, &mut a2, &mut report);
     assert_eq!(report.in_doubt, 1, "{report:?}");
     assert_eq!(volume.prepare_log_scan(&mut a2).len(), 1);
 
@@ -121,9 +120,7 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
     // a second recovery pass on the carried volume now resolves to abort.
     c.reboot_site(0);
     let mut report2 = Default::default();
-    c.site(2)
-        .txn
-        .recover_volume(&volume, &mut a2, &mut report2);
+    c.site(2).txn.recover_volume(&volume, &mut a2, &mut report2);
     assert_eq!(report2.participant_aborted, 1, "{report2:?}");
     let fid = c.catalog.resolve("/doubt").unwrap().fid;
     assert!(volume

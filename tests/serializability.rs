@@ -12,7 +12,10 @@ fn setup_ledger(c: &Cluster, accounts: u64) {
     let ch = c.site(0).kernel.creat(p, "/ledger", &mut a).unwrap();
     for i in 0..accounts {
         c.site(0).kernel.lseek(p, ch, i * 8, &mut a).unwrap();
-        c.site(0).kernel.write(p, ch, &100u64.to_le_bytes(), &mut a).unwrap();
+        c.site(0)
+            .kernel
+            .write(p, ch, &100u64.to_le_bytes(), &mut a)
+            .unwrap();
     }
     c.site(0).kernel.close(p, ch, &mut a).unwrap();
 }
@@ -38,25 +41,43 @@ fn swap_txn(from: u64, to: u64) -> Vec<Op> {
     let (lo, hi) = (from.min(to), from.max(to));
     vec![
         Op::BeginTrans,
-        Op::Open { name: "/ledger".into(), write: true },
+        Op::Open {
+            name: "/ledger".into(),
+            write: true,
+        },
         Op::Seek { ch: 0, pos: lo * 8 },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
         Op::Seek { ch: 0, pos: hi * 8 },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
-        Op::Seek { ch: 0, pos: from * 8 },
-        Op::Write { ch: 0, data: 99u64.to_le_bytes().to_vec() },
+        Op::Seek {
+            ch: 0,
+            pos: from * 8,
+        },
+        Op::Write {
+            ch: 0,
+            data: 99u64.to_le_bytes().to_vec(),
+        },
         Op::Seek { ch: 0, pos: to * 8 },
-        Op::Write { ch: 0, data: 101u64.to_le_bytes().to_vec() },
+        Op::Write {
+            ch: 0,
+            data: 101u64.to_le_bytes().to_vec(),
+        },
         Op::EndTrans,
     ]
 }
@@ -91,18 +112,30 @@ fn conflicting_transfers_serialize_not_interleave() {
         let txn = |v: u64| -> Vec<Op> {
             vec![
                 Op::BeginTrans,
-                Op::Open { name: "/ledger".into(), write: true },
+                Op::Open {
+                    name: "/ledger".into(),
+                    write: true,
+                },
                 Op::Seek { ch: 0, pos: 0 },
                 Op::Lock {
                     ch: 0,
                     len: 16,
                     mode: LockRequestMode::Exclusive,
-                    opts: LockOpts { wait: true, ..LockOpts::default() },
+                    opts: LockOpts {
+                        wait: true,
+                        ..LockOpts::default()
+                    },
                 },
                 Op::Seek { ch: 0, pos: 0 },
-                Op::Write { ch: 0, data: v.to_le_bytes().to_vec() },
+                Op::Write {
+                    ch: 0,
+                    data: v.to_le_bytes().to_vec(),
+                },
                 Op::Seek { ch: 0, pos: 8 },
-                Op::Write { ch: 0, data: v.to_le_bytes().to_vec() },
+                Op::Write {
+                    ch: 0,
+                    data: v.to_le_bytes().to_vec(),
+                },
                 Op::EndTrans,
             ]
         };
@@ -131,13 +164,19 @@ fn repeatable_reads_within_transaction() {
     setup_ledger(&c, 1);
     let reader = vec![
         Op::BeginTrans,
-        Op::Open { name: "/ledger".into(), write: true },
+        Op::Open {
+            name: "/ledger".into(),
+            write: true,
+        },
         Op::Seek { ch: 0, pos: 0 },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Shared,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
         Op::Seek { ch: 0, pos: 0 },
         Op::Read { ch: 0, len: 8 },
@@ -146,15 +185,24 @@ fn repeatable_reads_within_transaction() {
         Op::EndTrans,
     ];
     let writer = vec![
-        Op::Open { name: "/ledger".into(), write: true },
+        Op::Open {
+            name: "/ledger".into(),
+            write: true,
+        },
         Op::Lock {
             ch: 0,
             len: 8,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
         Op::Seek { ch: 0, pos: 0 },
-        Op::Write { ch: 0, data: 55u64.to_le_bytes().to_vec() },
+        Op::Write {
+            ch: 0,
+            data: 55u64.to_le_bytes().to_vec(),
+        },
     ];
     for seed in [5u64, 50, 500] {
         let c = Cluster::new(1);

@@ -12,16 +12,31 @@ use locus_kernel::LockOpts;
 fn tagged_writer(file: &str, record: u64, tag: u8, abort: bool) -> Vec<Op> {
     let mut ops = vec![
         Op::BeginTrans,
-        Op::Open { name: file.into(), write: true },
-        Op::Seek { ch: 0, pos: record * 64 },
+        Op::Open {
+            name: file.into(),
+            write: true,
+        },
+        Op::Seek {
+            ch: 0,
+            pos: record * 64,
+        },
         Op::Lock {
             ch: 0,
             len: 64,
             mode: LockRequestMode::Exclusive,
-            opts: LockOpts { wait: true, ..LockOpts::default() },
+            opts: LockOpts {
+                wait: true,
+                ..LockOpts::default()
+            },
         },
-        Op::Seek { ch: 0, pos: record * 64 },
-        Op::Write { ch: 0, data: vec![tag; 64] },
+        Op::Seek {
+            ch: 0,
+            pos: record * 64,
+        },
+        Op::Write {
+            ch: 0,
+            data: vec![tag; 64],
+        },
     ];
     ops.push(if abort { Op::AbortTrans } else { Op::EndTrans });
     ops
@@ -31,7 +46,11 @@ fn check_records_uniform(c: &Cluster, site: usize, file: &str, records: u64) {
     let mut a = c.account(site);
     let p = c.site(site).kernel.spawn();
     let ch = c.site(site).kernel.open(p, file, false, &mut a).unwrap();
-    let data = c.site(site).kernel.read(p, ch, records * 64, &mut a).unwrap();
+    let data = c
+        .site(site)
+        .kernel
+        .read(p, ch, records * 64, &mut a)
+        .unwrap();
     for r in 0..(data.len() as u64 / 64) {
         let rec = &data[(r * 64) as usize..((r + 1) * 64) as usize];
         assert!(
@@ -51,8 +70,15 @@ fn random_mixes_never_tear_records() {
         for s in 0..3usize {
             let mut a = c.account(s);
             let p = c.site(s).kernel.spawn();
-            let ch = c.site(s).kernel.creat(p, &format!("/d{s}"), &mut a).unwrap();
-            c.site(s).kernel.write(p, ch, &vec![0u8; 8 * 64], &mut a).unwrap();
+            let ch = c
+                .site(s)
+                .kernel
+                .creat(p, &format!("/d{s}"), &mut a)
+                .unwrap();
+            c.site(s)
+                .kernel
+                .write(p, ch, &vec![0u8; 8 * 64], &mut a)
+                .unwrap();
             c.site(s).kernel.close(p, ch, &mut a).unwrap();
         }
         let mut d = Driver::new(&c, rng.below(1 << 32));
@@ -80,8 +106,15 @@ fn crash_between_batches_preserves_atomicity() {
         for s in 0..2usize {
             let mut a = c.account(s);
             let p = c.site(s).kernel.spawn();
-            let ch = c.site(s).kernel.creat(p, &format!("/d{s}"), &mut a).unwrap();
-            c.site(s).kernel.write(p, ch, &vec![0u8; 8 * 64], &mut a).unwrap();
+            let ch = c
+                .site(s)
+                .kernel
+                .creat(p, &format!("/d{s}"), &mut a)
+                .unwrap();
+            c.site(s)
+                .kernel
+                .write(p, ch, &vec![0u8; 8 * 64], &mut a)
+                .unwrap();
             c.site(s).kernel.close(p, ch, &mut a).unwrap();
         }
         // Batch 1 commits normally.
@@ -89,7 +122,12 @@ fn crash_between_batches_preserves_atomicity() {
         for i in 0..6u64 {
             d.spawn(
                 (rng.below(2)) as usize,
-                tagged_writer(&format!("/d{}", rng.below(2)), rng.below(8), (i + 1) as u8, false),
+                tagged_writer(
+                    &format!("/d{}", rng.below(2)),
+                    rng.below(8),
+                    (i + 1) as u8,
+                    false,
+                ),
             );
         }
         assert_eq!(d.run(), RunOutcome::Completed);
@@ -108,7 +146,12 @@ fn crash_between_batches_preserves_atomicity() {
         for i in 0..4u64 {
             d.spawn(
                 (rng.below(2)) as usize,
-                tagged_writer(&format!("/d{}", rng.below(2)), rng.below(8), (i + 40) as u8, false),
+                tagged_writer(
+                    &format!("/d{}", rng.below(2)),
+                    rng.below(8),
+                    (i + 40) as u8,
+                    false,
+                ),
             );
         }
         assert_eq!(d.run(), RunOutcome::Completed, "round {round} post-crash");

@@ -83,9 +83,15 @@ impl Bencher {
 
 fn run_sample(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
     // One untimed warm-up pass, then the measured pass.
-    let mut warm = Bencher { iters: 1, total: Duration::ZERO };
+    let mut warm = Bencher {
+        iters: 1,
+        total: Duration::ZERO,
+    };
     f(&mut warm);
-    let mut b = Bencher { iters, total: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.total.as_nanos() / u128::from(iters.max(1));
     println!("bench: {name:<48} {per_iter:>12} ns/iter ({iters} iters)");
@@ -148,12 +154,7 @@ impl BenchmarkGroup {
         self
     }
 
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

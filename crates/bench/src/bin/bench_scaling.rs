@@ -1,0 +1,343 @@
+//! Contended-throughput scaling benchmark for the per-site hot paths.
+//!
+//! Drives N OS threads of lock and commit workloads through the threaded
+//! harness against one site, at 1/2/4/8 threads, and reports ops/sec plus
+//! p50/p99 per-operation latency for each phase:
+//!
+//! * `lock_distinct`   — each thread lock/unlock-cycles its own file; the
+//!   threads contend on the site's shared structures (lock-manager stripes,
+//!   process-table stripes, event log), not on each other's ranges. This is
+//!   the headline scalability number.
+//! * `lock_same_file`  — every thread cycles a disjoint 8-byte range of one
+//!   shared file: all requests serialize on that file's lock list, so this
+//!   bounds the single-stripe worst case.
+//! * `lock_handoff`    — every thread queues on the *same* 8-byte range:
+//!   each cycle is a blocking lock that parks until the previous holder
+//!   unlocks. This measures grant-wakeup latency (the old driver polled on a
+//!   50 ms timer here; wakeups are now targeted per pid).
+//! * `commit_distinct` — each thread runs one-write transactions against its
+//!   own file (begin, write, end), exercising the transaction path end to
+//!   end.
+//!
+//! Note that wall-clock *scaling* across the thread ladder is only
+//! meaningful on a multi-core host; on a single-core container the distinct
+//! phases hold flat and only `lock_handoff` shows the concurrency win.
+//!
+//! ```text
+//! bench_scaling                        # full run, writes BENCH_scaling.json
+//! bench_scaling --quick                # CI-sized run
+//! bench_scaling --out path.json        # choose the report path
+//! bench_scaling --baseline base.json   # exit 1 on >20% 1-thread regression
+//! bench_scaling --threads 1,2,4,8      # override the thread ladder
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use locus_core::manager::EndOutcome;
+use locus_harness::cluster::Cluster;
+use locus_harness::threaded::ThreadCtx;
+use locus_types::LockRequestMode;
+
+/// A single-thread throughput drop beyond this fraction vs the baseline
+/// fails the run (CI regression gate).
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    threads: Vec<usize>,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("bench_scaling: {err}");
+    eprintln!("usage: bench_scaling [--quick] [--out FILE] [--baseline FILE] [--threads A,B,..]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("BENCH_scaling.json"),
+        baseline: None,
+        threads: vec![1, 2, 4, 8],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--threads" => {
+                let v = value("--threads");
+                args.threads = v
+                    .split(',')
+                    .map(|t| t.parse().unwrap_or_else(|_| usage("bad --threads")))
+                    .collect();
+                if args.threads.is_empty() {
+                    usage("--threads wants at least one count");
+                }
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    args
+}
+
+/// One (phase, thread-count) measurement.
+struct Sample {
+    phase: &'static str,
+    threads: usize,
+    ops: usize,
+    elapsed_ms: f64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Runs `per_thread` timed cycles on `n` threads, one `ThreadCtx` each, and
+/// folds the per-cycle latencies into a [`Sample`]. `prep` runs once per
+/// thread (open files, position the pointer) and returns the cycle closure;
+/// only the cycles are timed.
+fn run_phase<F>(phase: &'static str, n: usize, per_thread: usize, prep: F) -> Sample
+where
+    F: for<'a> Fn(usize, &'a ThreadCtx) -> Box<dyn FnMut() + 'a> + Sync,
+{
+    let cluster = Cluster::new(1);
+    let site = cluster.site(0).clone();
+    // Pre-create one file per thread plus the shared one so the timed loop
+    // measures locking, not file creation.
+    let setup = ThreadCtx::new(site.clone());
+    for t in 0..n {
+        let ch = setup.creat(&format!("/bench{t}")).unwrap();
+        setup.write(ch, &[0u8; 64]).unwrap();
+        setup.close(ch).unwrap();
+    }
+    let ch = setup.creat("/shared").unwrap();
+    setup.write(ch, &vec![0u8; 8 * n]).unwrap();
+    setup.close(ch).unwrap();
+
+    let prep = &prep;
+    let t0 = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n {
+            let site = site.clone();
+            handles.push(s.spawn(move || {
+                let ctx = ThreadCtx::new(site);
+                let mut cycle = prep(t, &ctx);
+                let mut lat = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    let c0 = Instant::now();
+                    cycle();
+                    lat.push(c0.elapsed().as_nanos() as u64);
+                }
+                drop(cycle);
+                ctx.exit().unwrap();
+                lat
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+    cluster.drain_async();
+
+    let mut all: Vec<u64> = lat.into_iter().flatten().collect();
+    all.sort_unstable();
+    let ops = n * per_thread;
+    Sample {
+        phase,
+        threads: n,
+        ops,
+        elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
+        ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile_us(&all, 0.50),
+        p99_us: percentile_us(&all, 0.99),
+    }
+}
+
+fn render_json(quick: bool, samples: &[Sample]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scaling\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"phases\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"phase\": \"{}\", \"threads\": {}, \"ops\": {}, \"elapsed_ms\": {:.3}, \
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}{}\n",
+            s.phase,
+            s.threads,
+            s.ops,
+            s.elapsed_ms,
+            s.ops_per_sec,
+            s.p50_us,
+            s.p99_us,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Pulls `(phase, threads, ops_per_sec)` triples back out of a report
+/// produced by [`render_json`] (one phase object per line; no external JSON
+/// dependency needed for that shape).
+fn parse_report(text: &str) -> Vec<(String, usize, f64)> {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let at = line.find(&tag)? + tag.len();
+        Some(line[at..].split('"').next()?.to_string())
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let tag = format!("\"{key}\": ");
+        let at = line.find(&tag)? + tag.len();
+        line[at..].split([',', ' ', '}']).next()?.parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            Some((
+                str_field(line, "phase")?,
+                num_field(line, "threads")? as usize,
+                num_field(line, "ops_per_sec")?,
+            ))
+        })
+        .collect()
+}
+
+/// Compares the 1-thread throughput of every phase against the baseline
+/// report; returns the failures.
+fn check_baseline(baseline: &str, samples: &[Sample]) -> Vec<String> {
+    let base = parse_report(baseline);
+    let mut failures = Vec::new();
+    for s in samples.iter().filter(|s| s.threads == 1) {
+        let Some((_, _, base_ops)) = base.iter().find(|(p, t, _)| p == s.phase && *t == 1) else {
+            continue;
+        };
+        let floor = base_ops * (1.0 - REGRESSION_TOLERANCE);
+        if s.ops_per_sec < floor {
+            failures.push(format!(
+                "{}: 1-thread throughput {:.0} ops/s is below {:.0} \
+                 (baseline {:.0} ops/s, tolerance {:.0}%)",
+                s.phase,
+                s.ops_per_sec,
+                floor,
+                base_ops,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (lock_ops, handoff_ops, txn_ops) = if args.quick {
+        (2_000, 100, 100)
+    } else {
+        (20_000, 500, 1_000)
+    };
+
+    let mut samples = Vec::new();
+    for &n in &args.threads {
+        samples.push(run_phase("lock_distinct", n, lock_ops, |t, ctx| {
+            let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+            Box::new(move || {
+                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                ctx.unlock(ch, 8).unwrap();
+            })
+        }));
+        samples.push(run_phase("lock_same_file", n, lock_ops, |t, ctx| {
+            let ch = ctx.open("/shared", true).unwrap();
+            ctx.seek(ch, 8 * t as u64).unwrap();
+            Box::new(move || {
+                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                ctx.unlock(ch, 8).unwrap();
+            })
+        }));
+        samples.push(run_phase("lock_handoff", n, handoff_ops, |_, ctx| {
+            let ch = ctx.open("/shared", true).unwrap();
+            Box::new(move || {
+                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                ctx.unlock(ch, 8).unwrap();
+            })
+        }));
+        samples.push(run_phase("commit_distinct", n, txn_ops, |t, ctx| {
+            let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+            Box::new(move || {
+                ctx.begin_trans().unwrap();
+                ctx.seek(ch, 0).unwrap();
+                ctx.write(ch, &(t as u64).to_le_bytes()).unwrap();
+                assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
+            })
+        }));
+    }
+
+    println!("phase            threads      ops/sec    p50 µs    p99 µs");
+    for s in &samples {
+        println!(
+            "{:<16} {:>7} {:>12.0} {:>9.1} {:>9.1}",
+            s.phase, s.threads, s.ops_per_sec, s.p50_us, s.p99_us
+        );
+    }
+    for phase in [
+        "lock_distinct",
+        "lock_same_file",
+        "lock_handoff",
+        "commit_distinct",
+    ] {
+        let at = |n: usize| {
+            samples
+                .iter()
+                .find(|s| s.phase == phase && s.threads == n)
+                .map(|s| s.ops_per_sec)
+        };
+        if let (Some(one), Some(four)) = (at(1), at(4)) {
+            println!("{phase}: 1→4 thread scaling {:.2}x", four / one);
+        }
+    }
+
+    let report = render_json(args.quick, &samples);
+    if let Err(e) = fs::write(&args.out, &report) {
+        eprintln!("bench_scaling: cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if let Some(path) = &args.baseline {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_scaling: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check_baseline(&text, &samples);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("baseline check passed ({})", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -15,9 +15,11 @@ use locus_kernel::LockOpts;
 use locus_sim::Account;
 use locus_types::{ByteRange, Channel, Error, LockRequestMode, Pid, Result, TransId};
 
-/// How long a blocking call waits for a wakeup before rechecking (guards
-/// against lost wakeups in shutdown races).
-const WAKEUP_RECHECK: Duration = Duration::from_millis(50);
+/// How long a blocking call waits for a wakeup before rechecking. Wakeups
+/// are delivered to a per-pid slot (set-then-notify under the slot's own
+/// mutex), so this is only a safety net against shutdown races — a grant
+/// never has to wait it out.
+const WAKEUP_RECHECK: Duration = Duration::from_secs(1);
 
 /// Per-thread handle to a process on a site.
 #[derive(Clone)]

@@ -12,7 +12,6 @@
 //! local requests directly and remote ones through the transport. All
 //! modeled costs accrue on the calling activity's [`Account`].
 
-use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -46,8 +45,7 @@ pub struct Kernel {
     /// The transaction control plane serving `Msg::Txn` at this site
     /// (registered by `locus-core` when the site assembly is built).
     txn_service: RwLock<Option<Arc<dyn TxnService>>>,
-    wakeups: Mutex<BTreeSet<Pid>>,
-    wakeup_cv: Condvar,
+    wake_slots: Mutex<std::collections::HashMap<Pid, Arc<WakeSlot>>>,
     crashed: AtomicBool,
     /// Section 5.2 optimization: prefetch the locked byte range's pages into
     /// the storage site's buffers when a lock is granted.
@@ -58,13 +56,23 @@ pub struct Kernel {
     /// the paper proposed but did not implement it).
     pub lease_threshold: std::sync::atomic::AtomicU32,
     /// Storage-site view: files whose lock management is currently leased
-    /// out, and to whom.
-    pub(crate) delegated: Mutex<std::collections::HashMap<Fid, SiteId>>,
+    /// out, and to whom. RwLock: every lock request checks it, only lease
+    /// grants/recalls write it.
+    pub(crate) delegated: RwLock<std::collections::HashMap<Fid, SiteId>>,
     /// Delegate view: files whose lock lists this site currently manages on
-    /// behalf of their storage sites.
-    pub(crate) leased: Mutex<std::collections::HashSet<Fid>>,
+    /// behalf of their storage sites. RwLock for the same reason.
+    pub(crate) leased: RwLock<std::collections::HashSet<Fid>>,
     /// Storage-site streak tracking for the delegation trigger.
     pub(crate) lock_streaks: Mutex<std::collections::HashMap<Fid, (SiteId, u32)>>,
+}
+
+/// Per-process wakeup slot: a flag plus a condvar private to the process, so
+/// waking one blocked process neither contends with nor spuriously wakes the
+/// others (the old single site-wide condvar did both).
+#[derive(Debug, Default)]
+struct WakeSlot {
+    pending: Mutex<bool>,
+    cv: Condvar,
 }
 
 impl Kernel {
@@ -98,13 +106,12 @@ impl Kernel {
             cache: Arc::new(LockCache::new()),
             transport: RwLock::new(None),
             txn_service: RwLock::new(None),
-            wakeups: Mutex::new(BTreeSet::new()),
-            wakeup_cv: Condvar::new(),
+            wake_slots: Mutex::new(std::collections::HashMap::new()),
             crashed: AtomicBool::new(false),
             prefetch_on_lock: AtomicBool::new(false),
             lease_threshold: std::sync::atomic::AtomicU32::new(0),
-            delegated: Mutex::new(std::collections::HashMap::new()),
-            leased: Mutex::new(std::collections::HashSet::new()),
+            delegated: RwLock::new(std::collections::HashMap::new()),
+            leased: RwLock::new(std::collections::HashSet::new()),
             lock_streaks: Mutex::new(std::collections::HashMap::new()),
         }
     }
@@ -265,22 +272,34 @@ impl Kernel {
 
     // ----- Wakeups (blocked lock requests) ----------------------------------
 
+    /// The wakeup slot for `pid`, created on first use. A wake arriving
+    /// before the process ever waits must persist (the old set-insert
+    /// semantics), so `wake` also creates the slot.
+    fn wake_slot(&self, pid: Pid) -> Arc<WakeSlot> {
+        self.wake_slots.lock().entry(pid).or_default().clone()
+    }
+
     /// Consumes a pending wakeup for `pid`, if any.
     pub fn take_wakeup(&self, pid: Pid) -> bool {
-        self.wakeups.lock().remove(&pid)
+        let slot = self.wake_slots.lock().get(&pid).cloned();
+        match slot {
+            Some(s) => std::mem::take(&mut *s.pending.lock()),
+            None => false,
+        }
     }
 
     /// Blocks (real time) until `pid` has a wakeup — used by the threaded
     /// driver. Returns false on timeout.
     pub fn wait_wakeup(&self, pid: Pid, timeout: std::time::Duration) -> bool {
-        let mut w = self.wakeups.lock();
-        if w.remove(&pid) {
+        let slot = self.wake_slot(pid);
+        let mut pending = slot.pending.lock();
+        if std::mem::take(&mut *pending) {
             return true;
         }
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            let res = self.wakeup_cv.wait_until(&mut w, deadline);
-            if w.remove(&pid) {
+            let res = slot.cv.wait_until(&mut pending, deadline);
+            if std::mem::take(&mut *pending) {
                 return true;
             }
             if res.timed_out() {
@@ -290,10 +309,17 @@ impl Kernel {
     }
 
     /// Wakes a process unconditionally (used when a transaction abort must
-    /// unblock its queued members).
+    /// unblock its queued members). The flag is set under the slot mutex, so
+    /// a wake racing a waiter's deadline check cannot be lost.
     pub fn wake(&self, pid: Pid) {
-        self.wakeups.lock().insert(pid);
-        self.wakeup_cv.notify_all();
+        let slot = self.wake_slot(pid);
+        *slot.pending.lock() = true;
+        slot.cv.notify_all();
+    }
+
+    /// Discards a process's wakeup slot (process exit).
+    pub(crate) fn drop_wake_slot(&self, pid: Pid) {
+        self.wake_slots.lock().remove(&pid);
     }
 
     // ----- Failure injection --------------------------------------------------
@@ -313,9 +339,9 @@ impl Kernel {
         for pid in self.registry.drop_site(self.site) {
             let _ = pid;
         }
-        self.wakeups.lock().clear();
-        self.delegated.lock().clear();
-        self.leased.lock().clear();
+        self.wake_slots.lock().clear();
+        self.delegated.write().clear();
+        self.leased.write().clear();
         self.lock_streaks.lock().clear();
     }
 

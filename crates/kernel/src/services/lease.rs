@@ -18,14 +18,14 @@ use crate::kernel::Kernel;
 /// Delegate side: installs a leased lock list received from the storage site.
 pub(crate) fn accept_lease(k: &Kernel, fid: Fid, state: &[u8]) -> Result<Msg> {
     k.locks.import_file(fid, state)?;
-    k.leased.lock().insert(fid);
+    k.leased.write().insert(fid);
     Ok(Msg::Ok)
 }
 
 /// Delegate side: returns the (authoritative) leased lock list to the
 /// storage site on recall.
 pub(crate) fn surrender_lease(k: &Kernel, fid: Fid) -> Result<Msg> {
-    k.leased.lock().remove(&fid);
+    k.leased.write().remove(&fid);
     match k.locks.remove_file(fid) {
         Some(state) => Ok(Msg::Lock(LockMsg::LeaseState { state })),
         None => Err(Error::StaleFid(fid)),
@@ -69,10 +69,14 @@ pub(crate) fn delegate_lock(
 /// to it.
 pub(crate) fn maybe_delegate(k: &Kernel, fid: Fid, from: SiteId, acct: &mut Account) {
     let threshold = k.lease_threshold.load(std::sync::atomic::Ordering::Relaxed);
-    if threshold == 0 || from == k.site {
-        if from == k.site {
-            k.lock_streaks.lock().remove(&fid);
-        }
+    if threshold == 0 {
+        // Optimization disabled (the default): no streak state is ever
+        // recorded, so there is nothing to clear — return without touching
+        // the streak table, which would serialize unrelated local requests.
+        return;
+    }
+    if from == k.site {
+        k.lock_streaks.lock().remove(&fid);
         return;
     }
     let streak = {
@@ -96,7 +100,7 @@ pub(crate) fn maybe_delegate(k: &Kernel, fid: Fid, from: SiteId, acct: &mut Acco
     {
         // The local list stays as a conservative snapshot for data-access
         // validation; the delegate's copy is now authoritative.
-        k.delegated.lock().insert(fid, from);
+        k.delegated.write().insert(fid, from);
         k.lock_streaks.lock().remove(&fid);
     }
 }
@@ -107,7 +111,7 @@ impl Kernel {
     /// snapshot (grants as of delegation; the dead site's processes are gone
     /// anyway) remains in force.
     pub fn reclaim_lease(&self, fid: Fid, acct: &mut Account) -> Result<()> {
-        let delegate = self.delegated.lock().get(&fid).copied();
+        let delegate = self.delegated.read().get(&fid).copied();
         let Some(site) = delegate else {
             return Ok(());
         };
@@ -120,7 +124,7 @@ impl Kernel {
                 // local snapshot.
             }
         }
-        self.delegated.lock().remove(&fid);
+        self.delegated.write().remove(&fid);
         self.lock_streaks.lock().remove(&fid);
         Ok(())
     }

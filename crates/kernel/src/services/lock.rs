@@ -59,7 +59,7 @@ impl ServiceHandler for LockService {
                     wait,
                     reply_site,
                 };
-                if k.leased.lock().contains(&fid) {
+                if k.leased.read().contains(&fid) {
                     // This site is the delegate: grant from the leased list.
                     return lease::delegate_lock(k, fid, req, acct);
                 }
@@ -195,7 +195,7 @@ impl Kernel {
         };
         // Section 5.2 lock-control migration: if this site holds the lease
         // on the file's lock list, the request is processed locally.
-        let target = if self.leased.lock().contains(&of.fid) {
+        let target = if self.leased.read().contains(&of.fid) {
             self.site
         } else {
             of.storage_site
@@ -245,7 +245,13 @@ impl Kernel {
     /// Section 3.3 rule-2 adoption of modified-uncommitted records.
     fn storage_site_lock(&self, fid: Fid, req: LockRequest, acct: &mut Account) -> Result<Msg> {
         let vol = self.volume(fid.volume)?;
-        self.locks.ensure_file(fid, vol.len(fid, acct)?);
+        // First contact with the file needs its end-of-file to place
+        // append-mode locks; after that the lock list maintains the hint
+        // itself, and skipping the lookup keeps the lock hot path off the
+        // volume's inode table entirely.
+        if !self.locks.has_file(fid) {
+            self.locks.ensure_file(fid, vol.len(fid, acct)?);
+        }
         let owner = req.owner();
         let is_txn_lock = owner.is_transaction();
         let is_unlock = req.mode == LockRequestMode::Unlock;

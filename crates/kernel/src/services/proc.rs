@@ -161,6 +161,7 @@ impl Kernel {
         }
         self.procs.remove(pid);
         self.registry.remove(pid);
+        self.drop_wake_slot(pid);
         let granted = self.locks.drop_waiters_of(pid);
         self.push_grants(granted, acct);
         Ok(())

@@ -11,6 +11,7 @@
 //! lock, so the data access needs no extra validation round trip.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -23,10 +24,25 @@ struct CacheInner {
     exclusive: HashMap<(Fid, Owner), Vec<ByteRange>>,
 }
 
+/// Number of cache stripes: the cache sits on the no-RPC fast path of every
+/// read/write validation, so it is striped like the lock manager.
+const CACHE_SHARDS: usize = 16;
+
+/// Deterministic stripe for a fid (same scheme as the lock manager's).
+fn shard_of(fid: Fid) -> usize {
+    let h = fid.volume.0 ^ fid.inode.0.wrapping_mul(0x9E37_79B1);
+    h as usize % CACHE_SHARDS
+}
+
 /// Per-site cache of locks granted to local processes.
 #[derive(Debug, Default)]
 pub struct LockCache {
-    inner: Mutex<CacheInner>,
+    shards: [Mutex<CacheInner>; CACHE_SHARDS],
+    /// Per-shard entry counts (shared + exclusive keys), written under the
+    /// shard lock. [`LockCache::drop_owner`] runs on every transaction end
+    /// and process exit; the counts let it skip empty stripes without taking
+    /// their mutexes.
+    occupancy: [AtomicUsize; CACHE_SHARDS],
 }
 
 impl LockCache {
@@ -36,7 +52,8 @@ impl LockCache {
 
     /// Records a granted lock.
     pub fn insert(&self, fid: Fid, owner: Owner, mode: LockMode, r: ByteRange) {
-        let mut inner = self.inner.lock();
+        let idx = shard_of(fid);
+        let mut inner = self.shards[idx].lock();
         let CacheInner { shared, exclusive } = &mut *inner;
         // A new grant replaces the owner's previous coverage of the range in
         // both maps (upgrades/downgrades mirror the storage site's carve).
@@ -53,11 +70,13 @@ impl LockCache {
         let ranges = map.entry((fid, owner)).or_default();
         ranges.push(r);
         *ranges = range::coalesce(std::mem::take(ranges));
+        let count = inner.shared.len() + inner.exclusive.len();
+        self.occupancy[idx].store(count, Ordering::Relaxed);
     }
 
     /// Removes coverage after an unlock.
     pub fn remove(&self, fid: Fid, owner: Owner, r: ByteRange) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[shard_of(fid)].lock();
         let CacheInner { shared, exclusive } = &mut *inner;
         for map in [shared, exclusive] {
             if let Some(ranges) = map.get_mut(&(fid, owner)) {
@@ -68,22 +87,32 @@ impl LockCache {
 
     /// Drops everything the owner holds (transaction end, process exit).
     pub fn drop_owner(&self, owner: Owner) {
-        let mut inner = self.inner.lock();
-        inner.shared.retain(|(_, o), _| *o != owner);
-        inner.exclusive.retain(|(_, o), _| *o != owner);
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.occupancy[i].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let mut inner = shard.lock();
+            inner.shared.retain(|(_, o), _| *o != owner);
+            inner.exclusive.retain(|(_, o), _| *o != owner);
+            let count = inner.shared.len() + inner.exclusive.len();
+            self.occupancy[i].store(count, Ordering::Relaxed);
+        }
     }
 
     /// Drops all cached locks for a file.
     pub fn drop_file(&self, fid: Fid) {
-        let mut inner = self.inner.lock();
+        let idx = shard_of(fid);
+        let mut inner = self.shards[idx].lock();
         inner.shared.retain(|(f, _), _| *f != fid);
         inner.exclusive.retain(|(f, _), _| *f != fid);
+        let count = inner.shared.len() + inner.exclusive.len();
+        self.occupancy[idx].store(count, Ordering::Relaxed);
     }
 
     /// Whether `owner` is known to hold a lock sufficient for the access:
     /// exclusive coverage for writes, shared-or-exclusive for reads.
     pub fn covers(&self, fid: Fid, owner: Owner, r: ByteRange, write: bool) -> bool {
-        let inner = self.inner.lock();
+        let inner = self.shards[shard_of(fid)].lock();
         let mut remaining = vec![r];
         let subtract_map = |remaining: Vec<ByteRange>, held: Option<&Vec<ByteRange>>| {
             let Some(held) = held else {
@@ -104,9 +133,12 @@ impl LockCache {
 
     /// Clears the cache (site crash; it is volatile state).
     pub fn crash(&self) {
-        let mut inner = self.inner.lock();
-        inner.shared.clear();
-        inner.exclusive.clear();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut inner = shard.lock();
+            inner.shared.clear();
+            inner.exclusive.clear();
+            self.occupancy[i].store(0, Ordering::Relaxed);
+        }
     }
 }
 

@@ -96,11 +96,114 @@ pub struct Waiter {
     pub seq: u64,
 }
 
+/// The granted entries of one file, kept sorted by `range.start` so lookups
+/// probe only the entries that can overlap a query range instead of scanning
+/// the whole list — the Figure 3 list made sublinear.
+///
+/// `max_len` is an upper bound on the length of any entry ever inserted. It
+/// survives removals (so it only grows), which keeps it cheap to maintain
+/// and still correct as a bound: an entry can overlap a query starting at
+/// `s` only if its own start lies in `[s - max_len, query.end())`, a window
+/// located with two binary searches.
+#[derive(Debug, Default, Clone)]
+pub struct EntryList {
+    items: Vec<LockEntry>,
+    max_len: u64,
+}
+
+impl EntryList {
+    /// Inserts an entry, preserving start order (stable: equal starts keep
+    /// insertion order).
+    pub fn push(&mut self, e: LockEntry) {
+        self.max_len = self.max_len.max(e.range.len);
+        let at = self
+            .items
+            .partition_point(|x| x.range.start <= e.range.start);
+        self.items.insert(at, e);
+    }
+
+    /// Index window of entries whose range could overlap `range`.
+    fn window(&self, range: &ByteRange) -> (usize, usize) {
+        let lo = self
+            .items
+            .partition_point(|x| x.range.start.saturating_add(self.max_len) <= range.start);
+        let hi = self.items.partition_point(|x| x.range.start < range.end());
+        (lo, hi.max(lo))
+    }
+
+    /// Entries overlapping `range`, in start order.
+    pub fn overlapping(&self, range: ByteRange) -> impl Iterator<Item = &LockEntry> + '_ {
+        let (lo, hi) = self.window(&range);
+        self.items[lo..hi]
+            .iter()
+            .filter(move |e| e.range.overlaps(&range))
+    }
+
+    /// Mutable variant of [`EntryList::overlapping`]. Callers may flip flags
+    /// but must not change ranges, which would break the sort order.
+    pub fn overlapping_mut(
+        &mut self,
+        range: ByteRange,
+    ) -> impl Iterator<Item = &mut LockEntry> + '_ {
+        let (lo, hi) = self.window(&range);
+        self.items[lo..hi]
+            .iter_mut()
+            .filter(move |e| e.range.overlaps(&range))
+    }
+
+    /// Removes and returns `owner`'s entries overlapping `range`.
+    fn take_overlapping(&mut self, owner: Owner, range: &ByteRange) -> Vec<LockEntry> {
+        let (lo, mut hi) = self.window(range);
+        let mut taken = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            if self.items[i].owner() == owner && self.items[i].range.overlaps(range) {
+                taken.push(self.items.remove(i));
+                hi -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// Keeps only entries matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&LockEntry) -> bool) {
+        self.items.retain(f);
+    }
+}
+
+impl std::ops::Deref for EntryList {
+    type Target = [LockEntry];
+    fn deref(&self) -> &[LockEntry] {
+        &self.items
+    }
+}
+
+impl<'a> IntoIterator for &'a EntryList {
+    type Item = &'a LockEntry;
+    type IntoIter = std::slice::Iter<'a, LockEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+// Equality ignores `max_len`: it is a probe bound, not state. Two lists with
+// the same entries behave identically even if their bounds differ (one may
+// have seen longer, since-removed entries).
+impl PartialEq for EntryList {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl Eq for EntryList {}
+
 /// The lock state of one file at its storage site: granted entries plus the
 /// wait queue (Figure 3).
 #[derive(Debug, Default)]
 pub struct FileLocks {
-    pub entries: Vec<LockEntry>,
+    pub entries: EntryList,
     pub waiters: VecDeque<Waiter>,
     /// Current end-of-file, maintained by the kernel, used to place
     /// append-mode locks.
@@ -131,8 +234,8 @@ impl FileLocks {
         range: ByteRange,
     ) -> Option<&LockEntry> {
         self.entries
-            .iter()
-            .find(|e| e.owner() != owner && e.range.overlaps(&range) && !e.mode.compatible(mode))
+            .overlapping(range)
+            .find(|e| e.owner() != owner && !e.mode.compatible(mode))
     }
 
     /// Resolves an append-relative range against the current end-of-file
@@ -182,7 +285,7 @@ impl FileLocks {
     /// at least as strong as `mode`.
     fn holds_sufficient(&self, owner: Owner, mode: LockMode, range: ByteRange) -> bool {
         let mut remaining = vec![range];
-        for e in &self.entries {
+        for e in self.entries.overlapping(range) {
             if e.owner() != owner {
                 continue;
             }
@@ -262,19 +365,13 @@ impl FileLocks {
 
     /// Removes the owner's coverage of `range`, splitting partial overlaps.
     fn carve(&mut self, owner: Owner, range: ByteRange) {
-        let mut replacement = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
-            if e.owner() != owner || !e.range.overlaps(&range) {
-                replacement.push(e);
-                continue;
-            }
+        for e in self.entries.take_overlapping(owner, &range) {
             for piece in e.range.subtract(&range) {
                 let mut part = e.clone();
                 part.range = piece;
-                replacement.push(part);
+                self.entries.push(part);
             }
         }
-        self.entries = replacement;
     }
 
     /// Explicit unlock. The requesting process's *transaction* locks over
@@ -284,8 +381,8 @@ impl FileLocks {
     fn unlock(&mut self, req: &LockRequest, range: ByteRange) {
         if let Some(tid) = req.tid {
             let towner = Owner::Trans(tid);
-            for e in self.entries.iter_mut() {
-                if e.owner() == towner && e.range.overlaps(&range) {
+            for e in self.entries.overlapping_mut(range) {
+                if e.owner() == towner {
                     e.retained = true;
                 }
             }
@@ -297,8 +394,8 @@ impl FileLocks {
     /// regard to class — used for Section 3.3 rule 2 (locks over modified
     /// uncommitted data are pinned until transaction outcome).
     pub fn pin_retained(&mut self, owner: Owner, range: ByteRange) {
-        for e in self.entries.iter_mut() {
-            if e.owner() == owner && e.range.overlaps(&range) {
+        for e in self.entries.overlapping_mut(range) {
+            if e.owner() == owner {
                 e.retained = true;
             }
         }
@@ -387,8 +484,8 @@ impl FileLocks {
             range: r,
         };
         let _ = pid;
-        for e in &self.entries {
-            if e.owner() == accessor || !e.range.overlaps(&range) {
+        for e in self.entries.overlapping(range) {
+            if e.owner() == accessor {
                 continue;
             }
             // What access does Figure 1 leave the accessor, given `e`?
@@ -406,9 +503,8 @@ impl FileLocks {
         }
         // A shared lock does not entitle its own holder to write.
         if write {
-            for e in &self.entries {
+            for e in self.entries.overlapping(range) {
                 if e.owner() == accessor
-                    && e.range.overlaps(&range)
                     && e.mode == LockMode::Shared
                     && !self.holds_exclusive_over(accessor, e.range.intersection(&range).unwrap())
                 {
@@ -421,8 +517,8 @@ impl FileLocks {
 
     fn strongest_mode(&self, owner: Owner, range: ByteRange) -> LockMode {
         let mut mode = LockMode::Unix;
-        for e in &self.entries {
-            if e.owner() == owner && e.range.overlaps(&range) {
+        for e in self.entries.overlapping(range) {
+            if e.owner() == owner {
                 if e.mode == LockMode::Exclusive {
                     return LockMode::Exclusive;
                 }
@@ -434,7 +530,7 @@ impl FileLocks {
 
     fn holds_exclusive_over(&self, owner: Owner, range: ByteRange) -> bool {
         let mut remaining = vec![range];
-        for e in &self.entries {
+        for e in self.entries.overlapping(range) {
             if e.owner() == owner && e.mode == LockMode::Exclusive {
                 remaining = remaining
                     .into_iter()

@@ -6,6 +6,7 @@
 //! cost model.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -42,9 +43,26 @@ pub struct LockTableSnapshot {
     pub edges: Vec<WaitEdge>,
 }
 
-/// Lock manager for all files stored at one site.
+/// Number of lock-table stripes. Lock traffic on files in different stripes
+/// never shares a mutex, so distinct-file requests proceed in parallel.
+pub const LOCK_SHARDS: usize = 16;
+
+/// Deterministic stripe for a fid. No `RandomState`: the chaos harness
+/// replays traces byte-for-byte from a seed, so placement must not vary
+/// between runs of the same binary.
+fn shard_of(fid: Fid) -> usize {
+    let h = fid.volume.0 ^ fid.inode.0.wrapping_mul(0x9E37_79B1);
+    h as usize % LOCK_SHARDS
+}
+
+/// Lock manager for all files stored at one site, striped by fid hash.
 pub struct LockManager {
-    files: Mutex<HashMap<Fid, FileLocks>>,
+    shards: [Mutex<HashMap<Fid, FileLocks>>; LOCK_SHARDS],
+    /// Per-shard file counts, written under the shard lock. Cross-shard
+    /// sweeps ([`LockManager::for_each_file`]) read them to skip empty
+    /// stripes without taking their mutexes — a release that runs on every
+    /// commit must not pay 16 lock acquisitions for two occupied stripes.
+    occupancy: [AtomicUsize; LOCK_SHARDS],
     model: Arc<CostModel>,
     counters: Arc<Counters>,
     log: Arc<EventLog>,
@@ -53,19 +71,36 @@ pub struct LockManager {
 impl LockManager {
     pub fn new(model: Arc<CostModel>, counters: Arc<Counters>, log: Arc<EventLog>) -> Self {
         LockManager {
-            files: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            occupancy: std::array::from_fn(|_| AtomicUsize::new(0)),
             model,
             counters,
             log,
         }
     }
 
+    fn shard(&self, fid: Fid) -> &Mutex<HashMap<Fid, FileLocks>> {
+        &self.shards[shard_of(fid)]
+    }
+
+    /// Records a shard's file count after a mutation made under its lock.
+    fn note_occupancy(&self, idx: usize, len: usize) {
+        self.occupancy[idx].store(len, Ordering::Relaxed);
+    }
+
     /// Ensures a lock list exists for `fid` with the given end-of-file.
     pub fn ensure_file(&self, fid: Fid, eof: u64) {
-        self.files
-            .lock()
-            .entry(fid)
-            .or_insert_with(|| FileLocks::new(eof));
+        let idx = shard_of(fid);
+        let mut files = self.shards[idx].lock();
+        files.entry(fid).or_insert_with(|| FileLocks::new(eof));
+        self.note_occupancy(idx, files.len());
+    }
+
+    /// Whether a lock list already exists for `fid`. Callers use this to
+    /// skip the end-of-file lookup [`LockManager::ensure_file`] needs on
+    /// first contact — the common case on the lock hot path.
+    pub fn has_file(&self, fid: Fid) -> bool {
+        self.shard(fid).lock().contains_key(&fid)
     }
 
     /// Raises the end-of-file hint used to place append-mode locks. The
@@ -73,7 +108,7 @@ impl LockManager {
     /// data, and a write landing earlier in the file must not clobber the
     /// reservation. (File truncation is not supported.)
     pub fn set_eof(&self, fid: Fid, eof: u64) {
-        if let Some(fl) = self.files.lock().get_mut(&fid) {
+        if let Some(fl) = self.shard(fid).lock().get_mut(&fid) {
             fl.eof = fl.eof.max(eof);
         }
     }
@@ -81,8 +116,11 @@ impl LockManager {
     /// Processes one lock/unlock request, charging the paper's lock cost.
     pub fn request(&self, fid: Fid, req: LockRequest, acct: &mut Account) -> LockOutcome {
         acct.cpu_instrs(&self.model, self.model.lock_instrs);
-        let mut files = self.files.lock();
-        let fl = files.entry(fid).or_insert_with(|| FileLocks::new(0));
+        let idx = shard_of(fid);
+        let mut files = self.shards[idx].lock();
+        files.entry(fid).or_insert_with(|| FileLocks::new(0));
+        self.occupancy[idx].store(files.len(), Ordering::Relaxed);
+        let fl = files.get_mut(&fid).expect("just inserted");
         let pid = req.pid;
         let out = fl.request(req);
         match &out {
@@ -108,7 +146,7 @@ impl LockManager {
         range: ByteRange,
         write: bool,
     ) -> Result<()> {
-        let files = self.files.lock();
+        let files = self.shard(fid).lock();
         let Some(fl) = files.get(&fid) else {
             return Ok(()); // No locks on the file: plain Unix semantics.
         };
@@ -121,8 +159,45 @@ impl LockManager {
 
     /// Pins locks covering modified-uncommitted data (Section 3.3 rule 2).
     pub fn pin_retained(&self, fid: Fid, owner: Owner, range: ByteRange) {
-        if let Some(fl) = self.files.lock().get_mut(&fid) {
+        if let Some(fl) = self.shard(fid).lock().get_mut(&fid) {
             fl.pin_retained(owner, range);
+        }
+    }
+
+    /// Runs `f` over every lock list: shards in index order, fids in sorted
+    /// order within each shard. The fixed visiting order matters — cross-file
+    /// operations emit trace events, and the chaos harness replays traces
+    /// byte-for-byte from a seed (HashMap iteration order varies run to run).
+    /// Only one shard's mutex is held at a time.
+    fn for_each_file(&self, mut f: impl FnMut(Fid, &mut FileLocks)) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.occupancy[i].load(Ordering::Relaxed) == 0 {
+                // A file inserted concurrently with this unlocked check may
+                // be skipped, but such an interleaving has no defined order
+                // anyway; the deterministic driver is single-threaded, so
+                // the count is always exact where replay equality matters.
+                continue;
+            }
+            let mut files = shard.lock();
+            match files.len() {
+                0 => {}
+                1 => {
+                    // Most shards hold zero or one file; skip the sort (and
+                    // its allocation) that multi-file shards need for a
+                    // deterministic visit order.
+                    let (&fid, fl) = files.iter_mut().next().expect("len checked");
+                    f(fid, fl);
+                }
+                _ => {
+                    let mut fids: Vec<Fid> = files.keys().copied().collect();
+                    fids.sort_unstable();
+                    for fid in fids {
+                        if let Some(fl) = files.get_mut(&fid) {
+                            f(fid, fl);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -132,24 +207,19 @@ impl LockManager {
     pub fn release_owner(&self, owner: Owner, acct: &mut Account) -> Vec<GrantedWaiter> {
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 2);
         let mut granted = Vec::new();
-        let mut files = self.files.lock();
-        for (fid, fl) in files.iter_mut() {
+        self.for_each_file(|fid, fl| {
             let released = fl.release_owner(owner);
             if released > 0 {
                 self.counters.locks_released();
                 if let Owner::Trans(tid) = owner {
-                    self.log.push(Event::RetainedReleased { tid, fid: *fid });
+                    self.log.push(Event::RetainedReleased { tid, fid });
                 }
             }
             for (waiter, range) in fl.pump() {
                 self.counters.locks_granted();
-                granted.push(GrantedWaiter {
-                    fid: *fid,
-                    waiter,
-                    range,
-                });
+                granted.push(GrantedWaiter { fid, waiter, range });
             }
-        }
+        });
         granted
     }
 
@@ -163,7 +233,7 @@ impl LockManager {
     ) -> Vec<GrantedWaiter> {
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 2);
         let mut granted = Vec::new();
-        let mut files = self.files.lock();
+        let mut files = self.shard(fid).lock();
         if let Some(fl) = files.get_mut(&fid) {
             if fl.release_owner(owner) > 0 {
                 self.counters.locks_released();
@@ -181,7 +251,7 @@ impl LockManager {
     pub fn pump_file(&self, fid: Fid, acct: &mut Account) -> Vec<GrantedWaiter> {
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 4);
         let mut granted = Vec::new();
-        if let Some(fl) = self.files.lock().get_mut(&fid) {
+        if let Some(fl) = self.shard(fid).lock().get_mut(&fid) {
             for (waiter, range) in fl.pump() {
                 self.counters.locks_granted();
                 granted.push(GrantedWaiter { fid, waiter, range });
@@ -196,7 +266,7 @@ impl LockManager {
     /// is out it serves as a conservative snapshot for enforced-lock
     /// validation of data accesses.
     pub fn export_file(&self, fid: Fid) -> Option<Vec<u8>> {
-        self.files
+        self.shard(fid)
             .lock()
             .get(&fid)
             .map(crate::transfer::encode_file_locks)
@@ -206,17 +276,21 @@ impl LockManager {
     pub fn import_file(&self, fid: Fid, bytes: &[u8]) -> Result<()> {
         let fl = crate::transfer::decode_file_locks(bytes)
             .ok_or_else(|| Error::InvalidArgument("corrupt lock-lease state".into()))?;
-        self.files.lock().insert(fid, fl);
+        let idx = shard_of(fid);
+        let mut files = self.shards[idx].lock();
+        files.insert(fid, fl);
+        self.note_occupancy(idx, files.len());
         Ok(())
     }
 
     /// Removes a file's lock state entirely, returning its encoded form
     /// (the delegate handing a lease back).
     pub fn remove_file(&self, fid: Fid) -> Option<Vec<u8>> {
-        self.files
-            .lock()
-            .remove(&fid)
-            .map(|fl| crate::transfer::encode_file_locks(&fl))
+        let idx = shard_of(fid);
+        let mut files = self.shards[idx].lock();
+        let fl = files.remove(&fid);
+        self.note_occupancy(idx, files.len());
+        fl.map(|fl| crate::transfer::encode_file_locks(&fl))
     }
 
     /// Drops queued requests of an exiting process across all files, then
@@ -224,27 +298,22 @@ impl LockManager {
     /// thing blocking later ones. Returns the newly granted waiters.
     pub fn drop_waiters_of(&self, pid: Pid) -> Vec<GrantedWaiter> {
         let mut granted = Vec::new();
-        let mut files = self.files.lock();
-        for (fid, fl) in files.iter_mut() {
+        self.for_each_file(|fid, fl| {
             let before = fl.waiters.len();
             fl.drop_waiters_of(pid);
             if fl.waiters.len() != before {
                 for (waiter, range) in fl.pump() {
                     self.counters.locks_granted();
-                    granted.push(GrantedWaiter {
-                        fid: *fid,
-                        waiter,
-                        range,
-                    });
+                    granted.push(GrantedWaiter { fid, waiter, range });
                 }
             }
-        }
+        });
         granted
     }
 
     /// Ranges currently locked (or retained) by `owner` on `fid`.
     pub fn ranges_of(&self, fid: Fid, owner: Owner) -> Vec<ByteRange> {
-        self.files
+        self.shard(fid)
             .lock()
             .get(&fid)
             .map(|fl| fl.ranges_of(owner))
@@ -254,7 +323,7 @@ impl LockManager {
     /// Lock descriptors for one file (prepare logging stores these alongside
     /// the intentions lists, Section 4.2).
     pub fn descriptors(&self, fid: Fid) -> Vec<LockDescriptor> {
-        self.files
+        self.shard(fid)
             .lock()
             .get(&fid)
             .map(|fl| fl.descriptors())
@@ -263,21 +332,23 @@ impl LockManager {
 
     /// Whether any lock list mentions `owner`.
     pub fn owner_has_locks(&self, owner: Owner) -> bool {
-        self.files
-            .lock()
-            .values()
-            .any(|fl| fl.entries.iter().any(|e| e.owner() == owner))
+        self.shards.iter().enumerate().any(|(i, shard)| {
+            self.occupancy[i].load(Ordering::Relaxed) != 0
+                && shard
+                    .lock()
+                    .values()
+                    .any(|fl| fl.entries.iter().any(|e| e.owner() == owner))
+        })
     }
 
     /// Exports the full lock-table snapshot for the user-level deadlock
     /// detector (Section 3.1: "an interface to operating system data is
     /// provided").
     pub fn snapshot(&self) -> LockTableSnapshot {
-        let files = self.files.lock();
         let mut snap = LockTableSnapshot::default();
-        for (fid, fl) in files.iter() {
+        self.for_each_file(|fid, fl| {
             if !fl.entries.is_empty() {
-                snap.held.push((*fid, fl.descriptors()));
+                snap.held.push((fid, fl.descriptors()));
             }
             for w in &fl.waiters {
                 let Some(mode) = w.request.mode.as_mode() else {
@@ -285,13 +356,10 @@ impl LockManager {
                 };
                 let wowner = w.request.owner();
                 // Blocked behind every incompatible holder...
-                for e in &fl.entries {
-                    if e.owner() != wowner
-                        && e.range.overlaps(&w.request.range)
-                        && !e.mode.compatible(mode)
-                    {
+                for e in fl.entries.overlapping(w.request.range) {
+                    if e.owner() != wowner && !e.mode.compatible(mode) {
                         snap.edges.push(WaitEdge {
-                            fid: *fid,
+                            fid,
                             waiter: wowner,
                             holder: e.owner(),
                         });
@@ -313,14 +381,14 @@ impl LockManager {
                             .unwrap_or(false)
                     {
                         snap.edges.push(WaitEdge {
-                            fid: *fid,
+                            fid,
                             waiter: wowner,
                             holder: eowner,
                         });
                     }
                 }
             }
-        }
+        });
         snap.held.sort_by_key(|(fid, _)| *fid);
         snap
     }
@@ -328,7 +396,11 @@ impl LockManager {
     /// Drops every lock list (site crash: lock lists are volatile kernel
     /// state).
     pub fn crash(&self) {
-        self.files.lock().clear();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut files = shard.lock();
+            files.clear();
+            self.note_occupancy(i, 0);
+        }
     }
 }
 

@@ -1,0 +1,240 @@
+//! Sharded lock-manager equivalence: for any command sequence over many
+//! files, the striped [`LockManager`] must behave exactly like the old
+//! single-map manager — same per-request outcomes, the same set of waiters
+//! granted by cross-shard sweeps (`release_owner`, `drop_waiters_of`), and
+//! the same final lock tables. The reference model below *is* the old
+//! implementation: one `HashMap<Fid, FileLocks>` swept in sorted-fid order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use locus_locks::{FileLocks, GrantedWaiter, LockManager, LockRequest};
+use locus_sim::{Account, CostModel, Counters, EventLog};
+use locus_types::{
+    ByteRange, Fid, LockClass, LockRequestMode, Owner, Pid, SiteId, TransId, VolumeId,
+};
+
+/// Enough distinct files to populate several stripes (16 exist).
+const FILES: u8 = 12;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Lock {
+        file: u8,
+        who: u8,
+        txn: bool,
+        excl: bool,
+        at: u8,
+        len: u8,
+        wait: bool,
+    },
+    Unlock {
+        file: u8,
+        who: u8,
+        txn: bool,
+        at: u8,
+        len: u8,
+    },
+    ReleaseOwner {
+        who: u8,
+        txn: bool,
+    },
+    DropWaiters {
+        who: u8,
+    },
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        5 => (0..FILES, 0u8..4, any::<bool>(), any::<bool>(), 0u8..64, 1u8..32, any::<bool>())
+            .prop_map(|(file, who, txn, excl, at, len, wait)| {
+                Cmd::Lock { file, who, txn, excl, at, len, wait }
+            }),
+        2 => (0..FILES, 0u8..4, any::<bool>(), 0u8..64, 1u8..32)
+            .prop_map(|(file, who, txn, at, len)| Cmd::Unlock { file, who, txn, at, len }),
+        2 => (0u8..4, any::<bool>()).prop_map(|(who, txn)| Cmd::ReleaseOwner { who, txn }),
+        1 => (0u8..4,).prop_map(|(who,)| Cmd::DropWaiters { who }),
+    ]
+}
+
+fn fid(file: u8) -> Fid {
+    Fid::new(VolumeId(0), u32::from(file) + 1)
+}
+
+fn pid(who: u8) -> Pid {
+    Pid::new(SiteId(0), u32::from(who) + 1)
+}
+
+fn owner(who: u8, txn: bool) -> Owner {
+    if txn {
+        Owner::Trans(TransId::new(SiteId(0), u64::from(who) + 1))
+    } else {
+        Owner::Proc(pid(who))
+    }
+}
+
+fn request(who: u8, txn: bool, mode: LockRequestMode, at: u8, len: u8, wait: bool) -> LockRequest {
+    LockRequest {
+        pid: pid(who),
+        tid: txn.then(|| TransId::new(SiteId(0), u64::from(who) + 1)),
+        class: if txn {
+            LockClass::Transaction
+        } else {
+            LockClass::NonTransaction
+        },
+        mode,
+        range: ByteRange::new(u64::from(at), u64::from(len)),
+        append: false,
+        wait,
+        reply_site: SiteId(0),
+    }
+}
+
+fn manager() -> (LockManager, Account) {
+    (
+        LockManager::new(
+            Arc::new(CostModel::default()),
+            Arc::new(Counters::default()),
+            Arc::new(EventLog::new()),
+        ),
+        Account::new(SiteId(0)),
+    )
+}
+
+/// The pre-sharding manager semantics: one map, cross-file sweeps in sorted
+/// fid order, pump after every mutation that can unblock waiters.
+#[derive(Default)]
+struct SingleMapModel {
+    files: HashMap<Fid, FileLocks>,
+}
+
+impl SingleMapModel {
+    fn request(&mut self, fid: Fid, req: LockRequest) -> locus_locks::LockOutcome {
+        self.files
+            .entry(fid)
+            .or_insert_with(|| FileLocks::new(0))
+            .request(req)
+    }
+
+    fn sorted_fids(&self) -> Vec<Fid> {
+        let mut fids: Vec<Fid> = self.files.keys().copied().collect();
+        fids.sort_unstable();
+        fids
+    }
+
+    fn release_owner(&mut self, owner: Owner) -> Vec<GrantedWaiter> {
+        let mut granted = Vec::new();
+        for fid in self.sorted_fids() {
+            let fl = self.files.get_mut(&fid).expect("listed");
+            fl.release_owner(owner);
+            for (waiter, range) in fl.pump() {
+                granted.push(GrantedWaiter { fid, waiter, range });
+            }
+        }
+        granted
+    }
+
+    fn drop_waiters_of(&mut self, pid: Pid) -> Vec<GrantedWaiter> {
+        let mut granted = Vec::new();
+        for fid in self.sorted_fids() {
+            let fl = self.files.get_mut(&fid).expect("listed");
+            let before = fl.waiters.len();
+            fl.drop_waiters_of(pid);
+            if fl.waiters.len() != before {
+                for (waiter, range) in fl.pump() {
+                    granted.push(GrantedWaiter { fid, waiter, range });
+                }
+            }
+        }
+        granted
+    }
+}
+
+/// Grants compared as multisets: the sharded manager visits stripes in
+/// stripe order (fids sorted within each), the single map visits fids in
+/// globally sorted order — a different but equally valid sweep order. Within
+/// one file the grant order must match exactly (FIFO), which the per-file
+/// waiter seq in the sort key preserves.
+fn canonical(mut grants: Vec<GrantedWaiter>) -> Vec<GrantedWaiter> {
+    grants.sort_by_key(|g| (g.fid, g.waiter.seq));
+    grants
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_manager_matches_single_map_semantics(
+        cmds in proptest::collection::vec(cmd(), 1..80),
+    ) {
+        let (m, mut acct) = manager();
+        let mut model = SingleMapModel::default();
+
+        for c in cmds {
+            match c {
+                Cmd::Lock { file, who, txn, excl, at, len, wait } => {
+                    let mode = if excl {
+                        LockRequestMode::Exclusive
+                    } else {
+                        LockRequestMode::Shared
+                    };
+                    let got = m.request(fid(file), request(who, txn, mode, at, len, wait), &mut acct);
+                    let want = model.request(fid(file), request(who, txn, mode, at, len, wait));
+                    prop_assert_eq!(got, want, "lock outcome diverged");
+                }
+                Cmd::Unlock { file, who, txn, at, len } => {
+                    let got = m.request(
+                        fid(file),
+                        request(who, txn, LockRequestMode::Unlock, at, len, false),
+                        &mut acct,
+                    );
+                    let want =
+                        model.request(fid(file), request(who, txn, LockRequestMode::Unlock, at, len, false));
+                    prop_assert_eq!(got, want, "unlock outcome diverged");
+                    // An explicit unlock may unblock waiters; both sides pump.
+                    let got = canonical(m.pump_file(fid(file), &mut acct));
+                    let mut want = Vec::new();
+                    if let Some(fl) = model.files.get_mut(&fid(file)) {
+                        for (waiter, range) in fl.pump() {
+                            want.push(GrantedWaiter { fid: fid(file), waiter, range });
+                        }
+                    }
+                    prop_assert_eq!(got, canonical(want), "pump grants diverged");
+                }
+                Cmd::ReleaseOwner { who, txn } => {
+                    let got = canonical(m.release_owner(owner(who, txn), &mut acct));
+                    let want = canonical(model.release_owner(owner(who, txn)));
+                    prop_assert_eq!(got, want, "release_owner grants diverged");
+                }
+                Cmd::DropWaiters { who } => {
+                    let got = canonical(m.drop_waiters_of(pid(who)));
+                    let want = canonical(model.drop_waiters_of(pid(who)));
+                    prop_assert_eq!(got, want, "drop_waiters_of grants diverged");
+                }
+            }
+        }
+
+        // Final state: every file's descriptors and the full snapshot agree.
+        for file in 0..FILES {
+            let got = m.descriptors(fid(file));
+            let want = model
+                .files
+                .get(&fid(file))
+                .map(|fl| fl.descriptors())
+                .unwrap_or_default();
+            prop_assert_eq!(got, want, "descriptors diverged for file {}", file);
+        }
+        let snap = m.snapshot();
+        let held: Vec<Fid> = snap.held.iter().map(|(f, _)| *f).collect();
+        let mut want_held: Vec<Fid> = model
+            .files
+            .iter()
+            .filter(|(_, fl)| !fl.entries.is_empty())
+            .map(|(f, _)| *f)
+            .collect();
+        want_held.sort_unstable();
+        prop_assert_eq!(held, want_held, "snapshot held-set diverged");
+    }
+}

@@ -13,11 +13,21 @@ use locus_types::{Error, FileListEntry, Pid, Result, SiteId, TransId};
 
 use crate::record::{ProcState, ProcessRecord};
 
-/// Process table of one site.
+/// Number of process-table stripes: every system call reads the caller's
+/// record, so unrelated processes must not share a mutex.
+const PROC_SHARDS: usize = 16;
+
+/// `Pid::new` packs the per-site sequence number into the low bits, so
+/// consecutive spawns land on different stripes.
+fn shard_of(pid: Pid) -> usize {
+    pid.0 as usize % PROC_SHARDS
+}
+
+/// Process table of one site, striped by pid.
 #[derive(Debug)]
 pub struct ProcessTable {
     site: SiteId,
-    procs: Mutex<HashMap<Pid, ProcessRecord>>,
+    shards: [Mutex<HashMap<Pid, ProcessRecord>>; PROC_SHARDS],
     next_seq: AtomicU32,
 }
 
@@ -25,7 +35,7 @@ impl ProcessTable {
     pub fn new(site: SiteId) -> Self {
         ProcessTable {
             site,
-            procs: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             next_seq: AtomicU32::new(1),
         }
     }
@@ -34,10 +44,14 @@ impl ProcessTable {
         self.site
     }
 
+    fn shard(&self, pid: Pid) -> &Mutex<HashMap<Pid, ProcessRecord>> {
+        &self.shards[shard_of(pid)]
+    }
+
     /// Creates a brand-new process (no parent), hosted here.
     pub fn spawn(&self) -> Pid {
         let pid = Pid::new(self.site, self.next_seq.fetch_add(1, Ordering::Relaxed));
-        self.procs.lock().insert(pid, ProcessRecord::new(pid));
+        self.shard(pid).lock().insert(pid, ProcessRecord::new(pid));
         pid
     }
 
@@ -46,25 +60,29 @@ impl ProcessTable {
     /// file access from their parents", Section 3.1) and transaction
     /// membership. The parent must be hosted here.
     pub fn fork(&self, parent: Pid) -> Result<Pid> {
-        let mut procs = self.procs.lock();
-        let parent_rec = procs.get(&parent).ok_or(Error::NoSuchProcess(parent))?;
-        if parent_rec.state != ProcState::Running {
-            return Err(Error::InTransit(parent));
-        }
-        let child_pid = Pid::new(self.site, self.next_seq.fetch_add(1, Ordering::Relaxed));
-        let mut child = ProcessRecord::new(child_pid);
-        child.parent = Some(parent);
-        child.tid = parent_rec.tid;
-        child.nest = parent_rec.nest;
-        child.top = parent_rec.top;
-        child.open_files = parent_rec.open_files.clone();
-        child.next_channel = parent_rec.next_channel;
-        procs
-            .get_mut(&parent)
-            .expect("parent checked above")
-            .children
-            .insert(child_pid);
-        procs.insert(child_pid, child);
+        // Build the child and link it under the parent's stripe, then insert
+        // it into its own stripe. The caller *is* the parent, so the parent
+        // cannot exit or migrate between the two critical sections; a site
+        // crash in the window just drains both records anyway.
+        let child = {
+            let mut shard = self.shard(parent).lock();
+            let parent_rec = shard.get_mut(&parent).ok_or(Error::NoSuchProcess(parent))?;
+            if parent_rec.state != ProcState::Running {
+                return Err(Error::InTransit(parent));
+            }
+            let child_pid = Pid::new(self.site, self.next_seq.fetch_add(1, Ordering::Relaxed));
+            let mut child = ProcessRecord::new(child_pid);
+            child.parent = Some(parent);
+            child.tid = parent_rec.tid;
+            child.nest = parent_rec.nest;
+            child.top = parent_rec.top;
+            child.open_files = parent_rec.open_files.clone();
+            child.next_channel = parent_rec.next_channel;
+            parent_rec.children.insert(child_pid);
+            child
+        };
+        let child_pid = child.pid;
+        self.shard(child_pid).lock().insert(child_pid, child);
         Ok(child_pid)
     }
 
@@ -72,12 +90,12 @@ impl ProcessTable {
     /// *remote* site goes through the kernel, which builds the record from
     /// the parent's encoded state and installs it at the destination).
     pub fn install(&self, rec: ProcessRecord) {
-        self.procs.lock().insert(rec.pid, rec);
+        self.shard(rec.pid).lock().insert(rec.pid, rec);
     }
 
     /// Whether the pid is hosted here and running.
     pub fn is_running(&self, pid: Pid) -> bool {
-        self.procs
+        self.shard(pid)
             .lock()
             .get(&pid)
             .map(|r| r.state == ProcState::Running)
@@ -86,13 +104,13 @@ impl ProcessTable {
 
     /// Read access to a record.
     pub fn get(&self, pid: Pid) -> Option<ProcessRecord> {
-        self.procs.lock().get(&pid).cloned()
+        self.shard(pid).lock().get(&pid).cloned()
     }
 
     /// Runs `f` with mutable access to the record, or errors if the process
     /// is not hosted here.
     pub fn with_mut<T>(&self, pid: Pid, f: impl FnOnce(&mut ProcessRecord) -> T) -> Result<T> {
-        let mut procs = self.procs.lock();
+        let mut procs = self.shard(pid).lock();
         let rec = procs.get_mut(&pid).ok_or(Error::NoSuchProcess(pid))?;
         Ok(f(rec))
     }
@@ -103,13 +121,13 @@ impl ProcessTable {
     /// [`Error::NoSuchProcess`] if it has moved on, so the sender re-resolves
     /// the location.
     pub fn merge_file_list(&self, top: Pid, entries: &[FileListEntry]) -> Result<()> {
-        let mut procs = self.procs.lock();
+        let mut procs = self.shard(top).lock();
         let rec = procs.get_mut(&top).ok_or(Error::NoSuchProcess(top))?;
         match rec.state {
             ProcState::Running => {
                 // The paper "locks the process from migrating, for a short
                 // duration, until the operation has been completed" — holding
-                // the table mutex across the merge is exactly that.
+                // the record's stripe mutex across the merge is exactly that.
                 rec.file_list.extend(entries.iter().copied());
                 Ok(())
             }
@@ -135,7 +153,7 @@ impl ProcessTable {
     /// serialized record. Fails if it is already migrating or has children
     /// state that forbids it.
     pub fn begin_migrate(&self, pid: Pid) -> Result<Vec<u8>> {
-        let mut procs = self.procs.lock();
+        let mut procs = self.shard(pid).lock();
         let rec = procs.get_mut(&pid).ok_or(Error::NoSuchProcess(pid))?;
         if rec.state != ProcState::Running {
             return Err(Error::InTransit(pid));
@@ -146,13 +164,13 @@ impl ProcessTable {
 
     /// Completes an outbound migration: removes the local record.
     pub fn finish_migrate_out(&self, pid: Pid) {
-        self.procs.lock().remove(&pid);
+        self.shard(pid).lock().remove(&pid);
     }
 
     /// Aborts an outbound migration (destination unreachable): the process
     /// resumes running here.
     pub fn cancel_migrate(&self, pid: Pid) {
-        if let Some(rec) = self.procs.lock().get_mut(&pid) {
+        if let Some(rec) = self.shard(pid).lock().get_mut(&pid) {
             rec.state = ProcState::Running;
         }
     }
@@ -162,38 +180,55 @@ impl ProcessTable {
         let rec = ProcessRecord::decode(blob)
             .ok_or_else(|| Error::InvalidArgument("corrupt migration blob".into()))?;
         let pid = rec.pid;
-        self.procs.lock().insert(pid, rec);
+        self.shard(pid).lock().insert(pid, rec);
         Ok(pid)
     }
 
     /// Removes an exited process, returning its final record.
     pub fn remove(&self, pid: Pid) -> Option<ProcessRecord> {
-        self.procs.lock().remove(&pid)
+        self.shard(pid).lock().remove(&pid)
     }
 
     /// Pids of all local member processes of transaction `tid`.
     pub fn members_of(&self, tid: TransId) -> Vec<Pid> {
-        self.procs
-            .lock()
-            .values()
-            .filter(|r| r.tid == Some(tid) && r.state != ProcState::Exited)
-            .map(|r| r.pid)
-            .collect()
+        // Sorted for the same reason as `all_pids`: callers act on members
+        // while emitting trace events.
+        let mut pids = Vec::new();
+        for s in &self.shards {
+            let procs = s.lock();
+            pids.extend(
+                procs
+                    .values()
+                    .filter(|r| r.tid == Some(tid) && r.state != ProcState::Exited)
+                    .map(|r| r.pid),
+            );
+        }
+        pids.sort_unstable();
+        pids
     }
 
     /// All pids hosted here.
     pub fn all_pids(&self) -> Vec<Pid> {
         // Sorted: callers iterate this while emitting trace events, and the
-        // event order must be reproducible from a seed (the backing map is
-        // a HashMap whose order varies run to run).
-        let mut pids: Vec<Pid> = self.procs.lock().keys().copied().collect();
+        // event order must be reproducible from a seed (the backing maps are
+        // HashMaps whose order varies run to run).
+        let mut pids = Vec::new();
+        for s in &self.shards {
+            pids.extend(s.lock().keys().copied());
+        }
         pids.sort_unstable();
         pids
     }
 
     /// Site crash: every hosted process dies with the volatile kernel state.
     pub fn crash(&self) -> Vec<ProcessRecord> {
-        self.procs.lock().drain().map(|(_, r)| r).collect()
+        let mut dead = Vec::new();
+        for s in &self.shards {
+            dead.extend(s.lock().drain().map(|(_, r)| r));
+        }
+        // Deterministic order for callers that trace the casualties.
+        dead.sort_unstable_by_key(|r| r.pid);
+        dead
     }
 }
 

@@ -211,7 +211,7 @@ impl TxnManager {
                 status: TxnStatus::Unknown,
             },
             acct,
-        );
+        )?;
         self.coordinating.lock().insert(
             tid,
             CoordState {
@@ -225,7 +225,8 @@ impl TxnManager {
         // transaction's files stored there; with `parallel_fanout` the
         // distinct sites are contacted concurrently.
         let participants = group_by_site(&files);
-        let all_ok = self.send_prepares(tid, &participants, acct);
+        let epochs = site_epochs(&files);
+        let all_ok = self.send_prepares(tid, &participants, &epochs, acct);
 
         if !all_ok {
             // Failure before the commit point is an abort (Section 4.3).
@@ -262,6 +263,7 @@ impl TxnManager {
         &self,
         tid: TransId,
         participants: &[(SiteId, Vec<Fid>)],
+        epochs: &BTreeMap<SiteId, u64>,
         acct: &mut Account,
     ) -> bool {
         let prepare_one = |site: SiteId, fids: &[Fid], a: &mut Account| -> bool {
@@ -274,6 +276,11 @@ impl TxnManager {
                     tid,
                     coordinator: self.site(),
                     files: fids.to_vec(),
+                    // The earliest boot epoch the transaction observed at
+                    // this site; the participant refuses if it has rebooted
+                    // since (its volatile buffers, possibly holding acked
+                    // writes of this transaction, were lost).
+                    epoch: epochs.get(&site).copied().unwrap_or(0),
                 },
                 a,
             );
@@ -464,8 +471,9 @@ impl TxnManager {
                 tid,
                 coordinator,
                 files,
+                epoch,
             } => {
-                let ok = self.participant_prepare(tid, coordinator, &files, acct);
+                let ok = self.participant_prepare(tid, coordinator, &files, epoch, acct);
                 Ok(Msg::Txn(TxnMsg::PrepareDone { tid, ok }))
             }
             TxnMsg::Commit { tid, files } => {
@@ -503,12 +511,24 @@ impl TxnManager {
         tid: TransId,
         coordinator: SiteId,
         files: &[Fid],
+        epoch: u64,
         acct: &mut Account,
     ) -> bool {
         // A transaction this site has already rolled back can never prepare
         // here again, no matter what state its processes re-established
         // since: the discarded writes are gone (presumed abort).
         if self.refused.lock().contains(&tid) {
+            return false;
+        }
+        // Boot-epoch check: the coordinator sends the earliest epoch at
+        // which the transaction used this site. A different current epoch
+        // means this site crashed and rebooted mid-transaction — every
+        // buffered modification (including writes already acked to the
+        // transaction) was discarded with the volatile state. The `known`
+        // check below cannot catch this case when the transaction kept
+        // running after the reboot and re-established locks and dirty pages
+        // here, so the epoch is the durable witness of the loss.
+        if epoch != self.kernel.boot_epoch() {
             return false;
         }
         let owner = Owner::Trans(tid);
@@ -552,7 +572,7 @@ impl TxnManager {
                 });
             }
             let locks = self.kernel.locks.descriptors(*fid);
-            vol.prepare_log_put(
+            let logged = vol.prepare_log_put(
                 &PrepareLogRecord {
                     tid,
                     coordinator,
@@ -561,6 +581,11 @@ impl TxnManager {
                 },
                 acct,
             );
+            if logged.is_err() {
+                // The prepare record never reached stable storage (the disk
+                // died mid-write): this site cannot promise to commit.
+                return false;
+            }
         }
         true
     }
@@ -573,10 +598,15 @@ impl TxnManager {
             let vol = self.kernel.volume(fid.volume)?;
             let il = match vol.commit_prepared(*fid, owner, acct) {
                 Ok(il) => il,
-                Err(e) => {
+                // The disk died mid-install. The commit did NOT complete
+                // here, and the (currently unreadable) prepare log must
+                // survive for recovery — acking now would let the
+                // coordinator purge its log, and a later status inquiry
+                // would presume abort, rolling back acknowledged writes.
+                Err(Error::DiskOffline) => return Err(Error::DiskOffline),
+                Err(_) => {
                     // After a crash the in-memory prepared list is gone; the
                     // prepare log carries the intentions (Section 4.4).
-                    let _ = e;
                     match vol.prepare_log_get(tid, *fid, acct) {
                         Some(rec) => {
                             vol.install_intentions(&rec.intentions, None, acct)?;
@@ -597,7 +627,10 @@ impl TxnManager {
                 }
             }
             let _ = self.kernel.sync_replicas(*fid, &il, acct);
-            vol.prepare_log_delete(tid, *fid, acct);
+            // The purge must stick before the commit is acknowledged: a
+            // surviving prepare log plus a purged coordinator log reads as
+            // presumed abort at recovery and would roll back installed data.
+            vol.prepare_log_delete(tid, *fid, acct)?;
         }
         let granted = self.kernel.locks.release_owner(owner, acct);
         self.kernel.push_grants(granted, acct);
@@ -618,7 +651,7 @@ impl TxnManager {
                     for p in rec.intentions.new_pages() {
                         vol.disk().free(p);
                     }
-                    vol.prepare_log_delete(tid, *fid, acct);
+                    let _ = vol.prepare_log_delete(tid, *fid, acct);
                 }
                 vol.abort_owner(*fid, owner, acct)?;
             }
@@ -872,7 +905,7 @@ impl TxnManager {
                 Some(TxnStatus::Committed) => {
                     vol.install_intentions(&rec.intentions, None, acct)
                         .unwrap_or(());
-                    vol.prepare_log_delete(rec.tid, fid, acct);
+                    let _ = vol.prepare_log_delete(rec.tid, fid, acct);
                     report.participant_committed += 1;
                 }
                 Some(TxnStatus::Aborted) | None => {
@@ -882,7 +915,7 @@ impl TxnManager {
                     for p in rec.intentions.new_pages() {
                         vol.disk().free(p);
                     }
-                    vol.prepare_log_delete(rec.tid, fid, acct);
+                    let _ = vol.prepare_log_delete(rec.tid, fid, acct);
                     report.participant_aborted += 1;
                 }
                 Some(TxnStatus::Unknown) => {
@@ -921,7 +954,8 @@ pub struct RecoveryReport {
     pub scavenged: usize,
 }
 
-/// Groups a file list by storage site.
+/// Groups a file list by storage site. Entries differing only in boot epoch
+/// collapse to one fid per site.
 pub fn group_by_site(files: &[FileListEntry]) -> Vec<(SiteId, Vec<Fid>)> {
     let mut map: HashMap<SiteId, Vec<Fid>> = HashMap::new();
     for f in files {
@@ -931,6 +965,20 @@ pub fn group_by_site(files: &[FileListEntry]) -> Vec<(SiteId, Vec<Fid>)> {
     v.sort_by_key(|(s, _)| *s);
     for (_, fids) in v.iter_mut() {
         fids.sort();
+        fids.dedup();
     }
     v
+}
+
+/// The earliest boot epoch at which the transaction used each storage site.
+/// The minimum matters: if any entry predates a reboot of the site, writes
+/// acked under the old incarnation may be gone, and prepare must fail there.
+pub fn site_epochs(files: &[FileListEntry]) -> BTreeMap<SiteId, u64> {
+    let mut map: BTreeMap<SiteId, u64> = BTreeMap::new();
+    for f in files {
+        map.entry(f.storage_site)
+            .and_modify(|e| *e = (*e).min(f.epoch))
+            .or_insert(f.epoch);
+    }
+    map
 }

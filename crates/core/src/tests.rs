@@ -407,14 +407,18 @@ fn coordinator_crash_before_commit_mark_aborts() {
         .iter()
         .copied()
         .collect();
-    s0.kernel.home().unwrap().coord_log_put(
-        &locus_types::CoordLogRecord {
-            tid,
-            files: files.clone(),
-            status: TxnStatus::Unknown,
-        },
-        &mut a0,
-    );
+    s0.kernel
+        .home()
+        .unwrap()
+        .coord_log_put(
+            &locus_types::CoordLogRecord {
+                tid,
+                files: files.clone(),
+                status: TxnStatus::Unknown,
+            },
+            &mut a0,
+        )
+        .unwrap();
     let fid = files[0].fid;
     s0.kernel
         .rpc(
@@ -423,6 +427,7 @@ fn coordinator_crash_before_commit_mark_aborts() {
                 tid,
                 coordinator: SiteId(0),
                 files: vec![fid],
+                epoch: 0,
             }),
             &mut a0,
         )
@@ -700,6 +705,7 @@ fn in_transit_merge_bounces_and_retries() {
     let entries = vec![locus_types::FileListEntry {
         fid: locus_types::Fid::new(VolumeId(0), 1),
         storage_site: SiteId(0),
+        epoch: 0,
     }];
     let direct = s0.kernel.procs.merge_file_list(top, &entries);
     assert_eq!(direct, Err(Error::InTransit(top)));

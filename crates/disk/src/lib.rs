@@ -15,6 +15,21 @@
 //! caches, lock lists, process tables are volatile and owned by the
 //! filesystem/kernel crates); the disk records the crash so tests can assert
 //! that post-crash state derives solely from committed data.
+//!
+//! # Crash points
+//!
+//! The recovery torture harness needs crashes *between* two specific durable
+//! writes, not merely "at some step". Every durable mutation (block write or
+//! stable-store operation) increments a counter; [`SimDisk::arm_crash_point`]
+//! declares that mutation number `n` is where the machine dies. When the
+//! armed mutation arrives the disk *trips*: depending on the
+//! [`CrashPointMode`] the mutation is dropped entirely, applied torn
+//! (block writes only — the stable store is sector-atomic), or dropped
+//! together with recent block writes that never reached the platters
+//! (the buffered-write model: stable-store operations are write barriers).
+//! A tripped disk fails all subsequent transfers until [`SimDisk::reboot`].
+//! [`SimDisk::set_recording`] captures the mutation stream of a clean run so
+//! the torture driver can enumerate and classify every crash point.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,6 +53,53 @@ pub enum IoKind {
 /// One page-sized block of data.
 pub type Block = Vec<u8>;
 
+/// How an armed crash point severs the write stream, relative to the
+/// volatile / non-volatile split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPointMode {
+    /// The tripping mutation is lost entirely; every earlier mutation is
+    /// intact. The classic "crash between two writes".
+    Clean,
+    /// A block write is severed mid-transfer: the first `keep_bytes` bytes of
+    /// the new data land over the old contents, the rest keep their previous
+    /// value (a torn page). Stable-store operations are sector-atomic and
+    /// degrade to [`CrashPointMode::Clean`].
+    Torn { keep_bytes: usize },
+    /// Buffered block writes that never reached the platters are lost: the
+    /// tripping mutation is dropped and up to `max_rollback` of the most
+    /// recent block writes *since the last stable-store operation* are rolled
+    /// back. Stable-store operations act as write barriers — they flush the
+    /// buffer, so nothing older than the latest one can be lost.
+    LostBuffer { max_rollback: usize },
+}
+
+/// One durable mutation, as recorded while [`SimDisk::set_recording`] is on.
+/// The torture driver classifies crash points by inspecting these (block
+/// write vs. which stable key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationKind {
+    /// A data-block write.
+    Write(PhysPage),
+    /// An atomic stable-store overwrite (inode table, commit-point write).
+    StablePut(String),
+    /// A stable log append or append-replace (transaction log records).
+    StableAppend(String),
+    /// A stable record deletion (log truncation/purge).
+    StableDelete(String),
+}
+
+impl MutationKind {
+    /// The stable key this mutation touches, if it is a stable-store op.
+    pub fn stable_key(&self) -> Option<&str> {
+        match self {
+            MutationKind::Write(_) => None,
+            MutationKind::StablePut(k)
+            | MutationKind::StableAppend(k)
+            | MutationKind::StableDelete(k) => Some(k),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct DiskInner {
     /// Non-volatile data blocks; `None` means never written.
@@ -49,6 +111,70 @@ struct DiskInner {
     stable: BTreeMap<String, Vec<u8>>,
     /// Number of crashes this device has survived (diagnostic).
     crashes: u64,
+    /// Monotone count of durable mutations (block writes + stable ops).
+    mutations: u64,
+    /// When present, every durable mutation is appended here.
+    recording: Option<Vec<MutationKind>>,
+    /// Armed crash point: trip when mutation number `.0` arrives.
+    armed: Option<(u64, CrashPointMode)>,
+    /// Set once a crash point fires; all transfers fail until `reboot`.
+    tripped: bool,
+    /// Prior contents of blocks written since the last stable-store barrier.
+    /// Populated only while armed with `LostBuffer`; used for rollback.
+    journal: Vec<(PhysPage, Option<Block>)>,
+}
+
+impl DiskInner {
+    /// Accounts one durable mutation. Returns the crash mode when this
+    /// mutation is the armed crash point (the caller applies mode-specific
+    /// damage and fails the transfer), or an error when already offline.
+    fn gate(&mut self, kind: impl FnOnce() -> MutationKind) -> Result<Option<CrashPointMode>> {
+        if self.tripped {
+            return Err(Error::DiskOffline);
+        }
+        let idx = self.mutations;
+        self.mutations += 1;
+        if let Some(log) = self.recording.as_mut() {
+            log.push(kind());
+        }
+        if let Some((at, mode)) = self.armed {
+            if idx == at {
+                self.tripped = true;
+                return Ok(Some(mode));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Gate for a stable-store mutation. Stable ops are sector-atomic and
+    /// act as write barriers: a trip drops the op (plus, in `LostBuffer`
+    /// mode, recent un-barriered block writes); a successful op flushes the
+    /// buffered-write journal so nothing before it can be lost any more.
+    fn stable_gate(&mut self, kind: impl FnOnce() -> MutationKind) -> Result<()> {
+        match self.gate(kind)? {
+            None => {
+                self.journal.clear();
+                Ok(())
+            }
+            Some(CrashPointMode::LostBuffer { max_rollback }) => {
+                self.rollback_journal(max_rollback);
+                Err(Error::DiskOffline)
+            }
+            Some(_) => Err(Error::DiskOffline),
+        }
+    }
+
+    /// Rolls back up to `max` journaled block writes, newest first.
+    fn rollback_journal(&mut self, max: usize) {
+        for _ in 0..max {
+            let Some((page, old)) = self.journal.pop() else {
+                break;
+            };
+            if let Some(slot) = self.blocks.get_mut(page.0 as usize) {
+                *slot = old;
+            }
+        }
+    }
 }
 
 /// A simulated disk with `capacity` data blocks of `page_size` bytes.
@@ -70,6 +196,11 @@ impl SimDisk {
                 allocated: vec![false; capacity],
                 stable: BTreeMap::new(),
                 crashes: 0,
+                mutations: 0,
+                recording: None,
+                armed: None,
+                tripped: false,
+                journal: Vec::new(),
             }),
             page_size,
             model,
@@ -115,6 +246,9 @@ impl SimDisk {
     pub fn alloc(&self, acct: &mut Account) -> Result<PhysPage> {
         acct.cpu_instrs(&self.model, 50);
         let mut inner = self.inner.lock();
+        if inner.tripped {
+            return Err(Error::DiskOffline);
+        }
         for (i, used) in inner.allocated.iter().enumerate() {
             if !used {
                 inner.allocated[i] = true;
@@ -148,6 +282,9 @@ impl SimDisk {
     pub fn read(&self, page: PhysPage, acct: &mut Account) -> Result<Block> {
         self.charge(acct, IoKind::Read);
         let inner = self.inner.lock();
+        if inner.tripped {
+            return Err(Error::DiskOffline);
+        }
         let blk = inner
             .blocks
             .get(page.0 as usize)
@@ -162,6 +299,29 @@ impl SimDisk {
         let mut block = data.to_vec();
         block.resize(self.page_size, 0);
         let mut inner = self.inner.lock();
+        match inner.gate(|| MutationKind::Write(page))? {
+            None => {}
+            Some(CrashPointMode::Clean) => return Err(Error::DiskOffline),
+            Some(CrashPointMode::Torn { keep_bytes }) => {
+                // The transfer died mid-page: the head wrote the first
+                // `keep_bytes` bytes of the new image over the old contents.
+                let keep = keep_bytes.min(block.len());
+                if let Some(slot) = inner.blocks.get_mut(page.0 as usize) {
+                    let mut torn = slot.clone().unwrap_or_else(|| vec![0; self.page_size]);
+                    torn[..keep].copy_from_slice(&block[..keep]);
+                    *slot = Some(torn);
+                }
+                return Err(Error::DiskOffline);
+            }
+            Some(CrashPointMode::LostBuffer { max_rollback }) => {
+                inner.rollback_journal(max_rollback);
+                return Err(Error::DiskOffline);
+            }
+        }
+        if matches!(inner.armed, Some((_, CrashPointMode::LostBuffer { .. }))) {
+            let old = inner.blocks.get(page.0 as usize).cloned().flatten();
+            inner.journal.push((page, old));
+        }
         let slot = inner
             .blocks
             .get_mut(page.0 as usize)
@@ -173,44 +333,61 @@ impl SimDisk {
     /// Atomically overwrites a stable-store record (inode table entry,
     /// log record). One random I/O — this is the filesystem's "atomically
     /// overwriting the inode on disk" primitive (Section 4).
-    pub fn stable_put(&self, key: &str, value: Vec<u8>, acct: &mut Account) {
+    pub fn stable_put(&self, key: &str, value: Vec<u8>, acct: &mut Account) -> Result<()> {
         self.charge(acct, IoKind::Write);
-        self.inner.lock().stable.insert(key.to_string(), value);
+        let mut inner = self.inner.lock();
+        inner.stable_gate(|| MutationKind::StablePut(key.to_string()))?;
+        inner.stable.insert(key.to_string(), value);
+        Ok(())
     }
 
     /// Appends to a stable log record. Charged as a sequential I/O, plus an
     /// extra inode-style write when the cost model's footnote-9 flag is set.
-    pub fn stable_append(&self, key: &str, value: &[u8], acct: &mut Account) {
+    pub fn stable_append(&self, key: &str, value: &[u8], acct: &mut Account) -> Result<()> {
         self.charge(acct, IoKind::SeqWrite);
         if self.model.log_double_write {
             // Footnote 9: the 1985 prototype also rewrote the log's inode.
             self.charge(acct, IoKind::Write);
         }
         let mut inner = self.inner.lock();
+        inner.stable_gate(|| MutationKind::StableAppend(key.to_string()))?;
         inner
             .stable
             .entry(key.to_string())
             .or_default()
             .extend_from_slice(value);
+        Ok(())
     }
 
     /// Writes or overwrites a stable record *charged as a log append*
     /// (sequential I/O, plus the footnote-9 inode write when enabled). Used
     /// for transaction log records, which are appended once and then
     /// replaced in place on status updates.
-    pub fn stable_append_replace(&self, key: &str, value: Vec<u8>, acct: &mut Account) {
+    pub fn stable_append_replace(
+        &self,
+        key: &str,
+        value: Vec<u8>,
+        acct: &mut Account,
+    ) -> Result<()> {
         self.charge(acct, IoKind::SeqWrite);
         if self.model.log_double_write {
             // Footnote 9: the 1985 prototype also rewrote the log's inode.
             self.charge(acct, IoKind::Write);
         }
-        self.inner.lock().stable.insert(key.to_string(), value);
+        let mut inner = self.inner.lock();
+        inner.stable_gate(|| MutationKind::StableAppend(key.to_string()))?;
+        inner.stable.insert(key.to_string(), value);
+        Ok(())
     }
 
     /// Reads a stable-store record (one random I/O), if present.
     pub fn stable_get(&self, key: &str, acct: &mut Account) -> Option<Vec<u8>> {
         self.charge(acct, IoKind::Read);
-        self.inner.lock().stable.get(key).cloned()
+        let inner = self.inner.lock();
+        if inner.tripped {
+            return None;
+        }
+        inner.stable.get(key).cloned()
     }
 
     /// Reads a stable record without charging I/O — models a cached copy
@@ -223,9 +400,12 @@ impl SimDisk {
     /// lazily (a real log truncates by advancing its tail pointer on the
     /// next append), and the paper's Figure 5 accounting does not count log
     /// purging either.
-    pub fn stable_delete(&self, key: &str, acct: &mut Account) {
+    pub fn stable_delete(&self, key: &str, acct: &mut Account) -> Result<()> {
         let _ = acct;
-        self.inner.lock().stable.remove(key);
+        let mut inner = self.inner.lock();
+        inner.stable_gate(|| MutationKind::StableDelete(key.to_string()))?;
+        inner.stable.remove(key);
+        Ok(())
     }
 
     /// All stable keys with the given prefix, in order. No I/O is charged —
@@ -249,6 +429,71 @@ impl SimDisk {
 
     pub fn crash_count(&self) -> u64 {
         self.inner.lock().crashes
+    }
+
+    // ----- Crash-point injection (torture harness) -------------------------
+
+    /// Starts (or stops) recording the durable-mutation stream. Starting
+    /// discards any previously recorded log.
+    pub fn set_recording(&self, on: bool) {
+        let mut inner = self.inner.lock();
+        inner.recording = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the recorded mutation log, leaving recording on if it was on.
+    pub fn take_mutation_log(&self) -> Vec<MutationKind> {
+        let mut inner = self.inner.lock();
+        match inner.recording.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total durable mutations performed since creation.
+    pub fn mutation_count(&self) -> u64 {
+        self.inner.lock().mutations
+    }
+
+    /// Arms a crash point: the disk trips when durable mutation number `at`
+    /// (0-based, in [`SimDisk::mutation_count`] numbering) arrives. Replaces
+    /// any previously armed point.
+    pub fn arm_crash_point(&self, at: u64, mode: CrashPointMode) {
+        let mut inner = self.inner.lock();
+        inner.armed = Some((at, mode));
+        inner.journal.clear();
+    }
+
+    /// Disarms a pending crash point (a tripped disk stays tripped).
+    pub fn disarm(&self) {
+        let mut inner = self.inner.lock();
+        inner.armed = None;
+        inner.journal.clear();
+    }
+
+    /// Whether an armed crash point has fired.
+    pub fn tripped(&self) -> bool {
+        self.inner.lock().tripped
+    }
+
+    /// Brings a tripped disk back online (power restored): clears the trip,
+    /// disarms, and drops the rollback journal. Platter contents are exactly
+    /// as the crash left them.
+    pub fn reboot(&self) {
+        let mut inner = self.inner.lock();
+        inner.tripped = false;
+        inner.armed = None;
+        inner.journal.clear();
+    }
+
+    /// Raw platter contents of a block — uncharged, unaffected by trip
+    /// state. The durability oracle's view of non-volatile storage.
+    pub fn peek_block(&self, page: PhysPage) -> Option<Block> {
+        self.inner
+            .lock()
+            .blocks
+            .get(page.0 as usize)
+            .cloned()
+            .flatten()
     }
 }
 
@@ -318,7 +563,7 @@ mod tests {
     #[test]
     fn stable_store_roundtrip_and_survives_crash() {
         let (d, mut a) = disk();
-        d.stable_put("inode/3", vec![1, 2, 3], &mut a);
+        d.stable_put("inode/3", vec![1, 2, 3], &mut a).unwrap();
         d.crash();
         assert_eq!(d.stable_get("inode/3", &mut a), Some(vec![1, 2, 3]));
         assert_eq!(d.crash_count(), 1);
@@ -328,7 +573,7 @@ mod tests {
     fn stable_append_respects_footnote9() {
         // Corrected design: one sequential I/O per append.
         let (d, mut a) = disk();
-        d.stable_append("log/1", b"rec", &mut a);
+        d.stable_append("log/1", b"rec", &mut a).unwrap();
         assert_eq!(a.seq_ios, 1);
         assert_eq!(a.disk_writes, 0);
 
@@ -336,7 +581,7 @@ mod tests {
         let model = Arc::new(CostModel::paper_1985());
         let d2 = SimDisk::new(8, model, Arc::new(Counters::default()));
         let mut a2 = Account::new(SiteId(1));
-        d2.stable_append("log/1", b"rec", &mut a2);
+        d2.stable_append("log/1", b"rec", &mut a2).unwrap();
         assert_eq!(a2.seq_ios, 1);
         assert_eq!(a2.disk_writes, 1);
     }
@@ -344,10 +589,115 @@ mod tests {
     #[test]
     fn stable_keys_filters_by_prefix() {
         let (d, mut a) = disk();
-        d.stable_put("coord/1", vec![], &mut a);
-        d.stable_put("coord/2", vec![], &mut a);
-        d.stable_put("prepare/1", vec![], &mut a);
+        d.stable_put("coord/1", vec![], &mut a).unwrap();
+        d.stable_put("coord/2", vec![], &mut a).unwrap();
+        d.stable_put("prepare/1", vec![], &mut a).unwrap();
         assert_eq!(d.stable_keys("coord/"), vec!["coord/1", "coord/2"]);
+    }
+
+    #[test]
+    fn recording_captures_mutation_stream() {
+        let (d, mut a) = disk();
+        d.set_recording(true);
+        let p = d.alloc(&mut a).unwrap();
+        d.write(p, b"x", &mut a).unwrap();
+        d.stable_put("inode/1", vec![1], &mut a).unwrap();
+        d.stable_append("log/1", b"r", &mut a).unwrap();
+        d.stable_delete("log/1", &mut a).unwrap();
+        assert_eq!(
+            d.take_mutation_log(),
+            vec![
+                MutationKind::Write(p),
+                MutationKind::StablePut("inode/1".into()),
+                MutationKind::StableAppend("log/1".into()),
+                MutationKind::StableDelete("log/1".into()),
+            ]
+        );
+        assert_eq!(d.mutation_count(), 4);
+    }
+
+    #[test]
+    fn clean_crash_point_drops_the_tripping_write_only() {
+        let (d, mut a) = disk();
+        let p = d.alloc(&mut a).unwrap();
+        let q = d.alloc(&mut a).unwrap();
+        d.write(p, b"first", &mut a).unwrap(); // mutation 0
+        d.arm_crash_point(1, CrashPointMode::Clean);
+        assert_eq!(d.write(q, b"second", &mut a), Err(Error::DiskOffline));
+        assert!(d.tripped());
+        // Offline: everything fails until reboot; peeks still see platters.
+        assert_eq!(d.read(p, &mut a), Err(Error::DiskOffline));
+        assert_eq!(d.write(p, b"z", &mut a), Err(Error::DiskOffline));
+        assert_eq!(d.stable_get("k", &mut a), None);
+        assert_eq!(&d.peek_block(p).unwrap()[..5], b"first");
+        assert_eq!(d.peek_block(q), None);
+        d.reboot();
+        assert!(!d.tripped());
+        assert_eq!(&d.read(p, &mut a).unwrap()[..5], b"first");
+        assert_eq!(d.read(q, &mut a).unwrap(), vec![0u8; 1024]);
+    }
+
+    #[test]
+    fn torn_crash_point_leaves_partial_page() {
+        let (d, mut a) = disk();
+        let p = d.alloc(&mut a).unwrap();
+        d.write(p, b"AAAAAA", &mut a).unwrap();
+        d.arm_crash_point(1, CrashPointMode::Torn { keep_bytes: 3 });
+        assert_eq!(d.write(p, b"BBBBBB", &mut a), Err(Error::DiskOffline));
+        d.reboot();
+        assert_eq!(&d.read(p, &mut a).unwrap()[..6], b"BBBAAA");
+    }
+
+    #[test]
+    fn torn_crash_point_on_stable_op_is_atomic() {
+        let (d, mut a) = disk();
+        d.stable_put("inode/1", vec![1], &mut a).unwrap(); // mutation 0
+        d.arm_crash_point(1, CrashPointMode::Torn { keep_bytes: 3 });
+        assert_eq!(
+            d.stable_put("inode/1", vec![9, 9, 9, 9], &mut a),
+            Err(Error::DiskOffline)
+        );
+        d.reboot();
+        // Sector-atomic: the old record survives untouched, no torn bytes.
+        assert_eq!(d.stable_get("inode/1", &mut a), Some(vec![1]));
+    }
+
+    #[test]
+    fn lost_buffer_rolls_back_unbarriered_block_writes() {
+        let (d, mut a) = disk();
+        let p = d.alloc(&mut a).unwrap();
+        let q = d.alloc(&mut a).unwrap();
+        d.write(p, b"old-p", &mut a).unwrap(); // 0
+        d.arm_crash_point(4, CrashPointMode::LostBuffer { max_rollback: 8 });
+        d.write(p, b"new-p", &mut a).unwrap(); // 1: buffered
+        d.stable_put("inode/1", vec![1], &mut a).unwrap(); // 2: barrier flushes
+        d.write(q, b"new-q", &mut a).unwrap(); // 3: buffered
+        assert_eq!(
+            d.stable_put("inode/1", vec![2], &mut a), // 4: trips
+            Err(Error::DiskOffline)
+        );
+        d.reboot();
+        // new-p survived (flushed by the barrier at mutation 2); new-q was
+        // still buffered and is gone; the tripping put never happened.
+        assert_eq!(&d.read(p, &mut a).unwrap()[..5], b"new-p");
+        assert_eq!(d.read(q, &mut a).unwrap(), vec![0u8; 1024]);
+        assert_eq!(d.stable_get("inode/1", &mut a), Some(vec![1]));
+    }
+
+    #[test]
+    fn lost_buffer_respects_max_rollback() {
+        let (d, mut a) = disk();
+        let p = d.alloc(&mut a).unwrap();
+        let q = d.alloc(&mut a).unwrap();
+        let r = d.alloc(&mut a).unwrap();
+        d.arm_crash_point(2, CrashPointMode::LostBuffer { max_rollback: 1 });
+        d.write(p, b"keep", &mut a).unwrap(); // 0: buffered, beyond rollback
+        d.write(q, b"lose", &mut a).unwrap(); // 1: buffered, rolled back
+        assert_eq!(d.write(r, b"trip", &mut a), Err(Error::DiskOffline));
+        d.reboot();
+        assert_eq!(&d.read(p, &mut a).unwrap()[..4], b"keep");
+        assert_eq!(d.read(q, &mut a).unwrap(), vec![0u8; 1024]);
+        assert_eq!(d.read(r, &mut a).unwrap(), vec![0u8; 1024]);
     }
 
     #[test]

@@ -243,7 +243,7 @@ mod tests {
             intentions: il,
             locks: vec![],
         };
-        v.prepare_log_put(&rec, &mut a);
+        v.prepare_log_put(&rec, &mut a).unwrap();
         v.crash(); // Buffers gone; prepared shadow blocks + log survive.
         v.reboot();
         let got = v
@@ -262,7 +262,7 @@ mod tests {
             files: vec![],
             status: TxnStatus::Unknown,
         };
-        v.coord_log_put(&rec, &mut a);
+        v.coord_log_put(&rec, &mut a).unwrap();
         let before = a.clone();
         v.coord_log_set_status(tid, TxnStatus::Committed, &mut a)
             .unwrap();
@@ -288,7 +288,7 @@ mod tests {
             status: TxnStatus::Unknown,
         };
         let before = a.clone();
-        v.coord_log_put(&rec, &mut a);
+        v.coord_log_put(&rec, &mut a).unwrap();
         let d = a.delta_since(&before);
         assert_eq!(d.seq_ios + d.disk_writes, 2, "data page + log inode");
     }

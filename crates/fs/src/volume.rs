@@ -118,7 +118,7 @@ impl Volume {
         };
         let inode = Inode::new(fid);
         self.disk
-            .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+            .stable_put(&Self::inode_key(ino), inode.encode(), acct)?;
         self.state.lock().incore.insert(ino, inode);
         Ok(fid)
     }
@@ -435,7 +435,21 @@ impl Volume {
                 None => return Ok(IntentionsList::new(fid, 0)),
             }
         };
-        self.install_intentions(&il, Some(owner), acct)?;
+        if let Err(e) = self.install_intentions(&il, Some(owner), acct) {
+            // Put the intentions back: a failed install (the disk died
+            // mid-commit) must stay retryable. Losing the volatile copy
+            // here would make the coordinator's retry look like a
+            // read-only participant and acknowledge a commit that never
+            // reached non-volatile storage.
+            self.state
+                .lock()
+                .files
+                .entry(ino)
+                .or_default()
+                .prepared
+                .insert(owner, il);
+            return Err(e);
+        }
         Ok(il)
     }
 
@@ -508,7 +522,7 @@ impl Volume {
         // The atomic overwrite of the descriptor block — one I/O, the heart
         // of the intentions-list mechanism.
         self.disk
-            .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+            .stable_put(&Self::inode_key(ino), inode.encode(), acct)?;
         for p in freed {
             self.disk.free(p);
         }
@@ -598,7 +612,7 @@ impl Volume {
             // First replica copy: materialize an empty inode.
             let inode = Inode::new(fid);
             self.disk
-                .stable_put(&Self::inode_key(ino), inode.encode(), acct);
+                .stable_put(&Self::inode_key(ino), inode.encode(), acct)?;
             self.state.lock().incore.insert(ino, inode);
         }
         let mut il = IntentionsList::new(fid, new_len);
@@ -647,14 +661,15 @@ impl Volume {
 
     /// Writes (or rewrites) a coordinator log record. Charged as a log
     /// append (footnote 9: two I/Os on the 1985 prototype, one corrected).
-    pub fn coord_log_put(&self, rec: &CoordLogRecord, acct: &mut Account) {
+    pub fn coord_log_put(&self, rec: &CoordLogRecord, acct: &mut Account) -> Result<()> {
         self.disk
-            .stable_append_replace(&Self::coord_key(rec.tid), rec.encode(), acct);
+            .stable_append_replace(&Self::coord_key(rec.tid), rec.encode(), acct)?;
         self.events.push(Event::CoordLog {
             site: self.site,
             tid: rec.tid,
             status: rec.status,
         });
+        Ok(())
     }
 
     /// Updates only the status marker of a coordinator log record — the
@@ -673,7 +688,7 @@ impl Volume {
         let mut rec = CoordLogRecord::decode(&bytes)
             .ok_or_else(|| Error::ProtocolViolation("corrupt coordinator log".into()))?;
         rec.status = status;
-        self.disk.stable_put(&key, rec.encode(), acct);
+        self.disk.stable_put(&key, rec.encode(), acct)?;
         self.events.push(Event::CoordLog {
             site: self.site,
             tid,
@@ -696,7 +711,9 @@ impl Volume {
     /// (Section 4.4: logs "are retained until all commit or abort processing
     /// has successfully completed").
     pub fn coord_log_delete(&self, tid: TransId, acct: &mut Account) {
-        self.disk.stable_delete(&Self::coord_key(tid), acct);
+        // A purge lost to a crash is harmless: recovery re-resolves the
+        // transaction from the surviving record and purges again.
+        let _ = self.disk.stable_delete(&Self::coord_key(tid), acct);
     }
 
     /// All coordinator log records on this volume (reboot recovery scan);
@@ -711,17 +728,18 @@ impl Volume {
     }
 
     /// Writes a participant prepare log record for one file.
-    pub fn prepare_log_put(&self, rec: &PrepareLogRecord, acct: &mut Account) {
+    pub fn prepare_log_put(&self, rec: &PrepareLogRecord, acct: &mut Account) -> Result<()> {
         self.disk.stable_append_replace(
             &Self::prepare_key(rec.tid, rec.intentions.fid),
             rec.encode(),
             acct,
-        );
+        )?;
         self.events.push(Event::PrepareLog {
             site: self.site,
             tid: rec.tid,
             fid: rec.intentions.fid,
         });
+        Ok(())
     }
 
     pub fn prepare_log_get(
@@ -735,8 +753,14 @@ impl Volume {
             .and_then(|b| PrepareLogRecord::decode(&b))
     }
 
-    pub fn prepare_log_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) {
-        self.disk.stable_delete(&Self::prepare_key(tid, fid), acct);
+    /// Deletes a participant prepare log. Unlike a coordinator-log purge,
+    /// the caller on the *commit* path must not ignore failure: the prepare
+    /// log is the participant's completion record, and acknowledging a
+    /// commit while it survives lets the coordinator purge its own log —
+    /// after which a recovery status inquiry presumes abort and rolls back
+    /// installed data.
+    pub fn prepare_log_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) -> Result<()> {
+        self.disk.stable_delete(&Self::prepare_key(tid, fid), acct)
     }
 
     /// All prepare log records on this volume (reboot recovery scan).
@@ -747,6 +771,42 @@ impl Volume {
             .filter_map(|k| self.disk.stable_get(&k, acct))
             .filter_map(|b| PrepareLogRecord::decode(&b))
             .collect()
+    }
+
+    /// Reads `range` of the *durably committed* file image straight off the
+    /// platters: decodes the stable inode and peeks each referenced block,
+    /// bypassing every volatile layer (buffer cache, in-core inodes) and
+    /// charging no I/O. This is the durability oracle's view of the file —
+    /// exactly what a fresh reboot could reconstruct without any log replay.
+    /// Returns `None` when the inode is absent or undecodable.
+    pub fn durable_peek(&self, fid: Fid, range: ByteRange) -> Option<Vec<u8>> {
+        if fid.volume != self.id {
+            return None;
+        }
+        let bytes = self.disk.stable_peek(&Self::inode_key(fid.inode))?;
+        let inode = Inode::decode(&bytes)?;
+        let end = range.end().min(inode.len);
+        if range.start >= end {
+            return Some(Vec::new());
+        }
+        let clipped = ByteRange::new(range.start, end - range.start);
+        let ps = self.page_size();
+        let mut out = vec![0u8; clipped.len as usize];
+        for page in clipped.pages(ps) {
+            let content = match inode.page(page) {
+                Some(p) => self.disk.peek_block(p).unwrap_or_default(),
+                None => Vec::new(),
+            };
+            let slice = clipped.slice_on_page(page, ps).expect("page from range");
+            let page_base = u64::from(page.0) * ps as u64;
+            let dst_off = (page_base + slice.start - clipped.start) as usize;
+            let s = slice.start as usize;
+            let e = (slice.start + slice.len) as usize;
+            for (i, idx) in (s..e).enumerate() {
+                out[dst_off + i] = content.get(idx).copied().unwrap_or(0);
+            }
+        }
+        Some(out)
     }
 
     // ----- Failure handling -------------------------------------------------
@@ -760,9 +820,10 @@ impl Volume {
         st.files.clear();
     }
 
-    /// Reboot housekeeping: re-derives the inode allocation cursor from the
-    /// stable store.
+    /// Reboot housekeeping: brings a tripped disk back online and re-derives
+    /// the inode allocation cursor from the stable store.
     pub fn reboot(&self) {
+        self.disk.reboot();
         let max = self
             .disk
             .stable_keys("inode/")

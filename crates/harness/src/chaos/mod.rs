@@ -22,6 +22,7 @@
 pub mod minimize;
 pub mod oracle;
 pub mod schedule;
+pub mod torture;
 
 pub use minimize::minimize;
 pub use oracle::Violation;
@@ -32,6 +33,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use locus_disk::{CrashPointMode, MutationKind};
 use locus_kernel::LockOpts;
 use locus_net::{FaultDecision, FaultInjector, Msg};
 use locus_sim::DetRng;
@@ -268,11 +270,72 @@ pub fn run_seed(cfg: &ChaosConfig) -> ChaosReport {
     run_schedule(cfg, &schedule)
 }
 
+/// A disk-level crash point applied to one site's home volume during a run:
+/// the site's disk dies at its `at`-th durable mutation (as counted by
+/// [`locus_disk::SimDisk`]'s mutation clock), in the given mode. The harness
+/// crashes the site at the next driver step after the point fires, then
+/// recovers it in the epilogue and re-runs every oracle — including the
+/// durability ledger — against the recovered state.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskCrashPoint {
+    pub site: usize,
+    pub at: u64,
+    pub mode: CrashPointMode,
+}
+
+/// A chaos run with disk-torture instrumentation attached (see
+/// [`run_torture`]).
+pub struct TortureRun {
+    pub report: ChaosReport,
+    /// Per-site recorded mutation streams of the home volumes (empty unless
+    /// recording was requested).
+    pub mutation_logs: Vec<Vec<MutationKind>>,
+    /// Per-site mutation counts at the end of faultless setup; crash points
+    /// below this boundary would hit file creation, not the commit path.
+    pub setup_boundary: Vec<u64>,
+    /// Whether the armed crash point fired during the run.
+    pub fired: bool,
+}
+
 /// Runs one explicit schedule under the config's seed (used by `--schedule`
 /// replay and by minimization, which re-runs candidate schedules).
 pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
+    run_inner(cfg, schedule, false, None).report
+}
+
+/// Runs one schedule with disk-torture instrumentation: optionally records
+/// every durable mutation of every site's home volume, and optionally arms
+/// one [`DiskCrashPoint`]. The torture driver first records a clean run to
+/// enumerate commit-path mutations, then replays the same seed once per
+/// selected point.
+pub fn run_torture(
+    cfg: &ChaosConfig,
+    schedule: &Schedule,
+    record: bool,
+    crash_point: Option<DiskCrashPoint>,
+) -> TortureRun {
+    run_inner(cfg, schedule, record, crash_point)
+}
+
+fn run_inner(
+    cfg: &ChaosConfig,
+    schedule: &Schedule,
+    record: bool,
+    crash_point: Option<DiskCrashPoint>,
+) -> TortureRun {
     let c = Cluster::new(cfg.sites);
     let mut notes = Vec::new();
+
+    let home_disk = |i: usize| c.site(i).kernel.home().expect("home volume").disk().clone();
+    if record {
+        for i in 0..cfg.sites {
+            home_disk(i).set_recording(true);
+        }
+    }
+    if let Some(p) = crash_point {
+        assert!(p.site < cfg.sites, "crash point site out of range");
+        home_disk(p.site).arm_crash_point(p.at, p.mode);
+    }
 
     // Faultless setup: one file per site, zero-filled.
     let mut setup = Driver::new(&c, 1);
@@ -294,6 +357,9 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
     }
     c.drain_async();
     c.events.clear();
+    let setup_boundary: Vec<u64> = (0..cfg.sites)
+        .map(|i| home_disk(i).mutation_count())
+        .collect();
 
     // Workload + faults.
     let mut wrng = DetRng::seeded(cfg.seed ^ WORKLOAD_SALT);
@@ -311,10 +377,40 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
         by_step.entry(cf.step).or_default().push(cf.kind.clone());
     }
     let mut violations = Vec::new();
+    let mut fired = false;
     let outcome = drv.run_with_hook(&mut |step, d| {
         if let Some(faults) = by_step.get(&step) {
             for fk in faults {
                 apply_cluster_fault(&c, d, fk);
+            }
+            // The durability ledger is asserted at every reboot: each
+            // acknowledged write of a commit-marked transaction must
+            // already be on the platters (or reachable through a pending
+            // commit-marked prepare log). The check reads raw durable
+            // state only, so it emits no events and cannot perturb the
+            // deterministic trace.
+            if faults
+                .iter()
+                .any(|fk| matches!(fk, ClusterFaultKind::Reboot { .. }))
+            {
+                check_durability(
+                    &c,
+                    &specs,
+                    d,
+                    &format!("(reboot at step {step})"),
+                    &mut violations,
+                );
+            }
+        }
+        // An armed disk crash point that fired leaves the site's disk
+        // offline; crash the site so the run proceeds like any other site
+        // failure and the epilogue recovers it.
+        if let Some(p) = crash_point {
+            if !fired && home_disk(p.site).tripped() {
+                fired = true;
+                if !c.site(p.site).kernel.is_crashed() {
+                    c.crash_site(p.site);
+                }
             }
         }
         if step % 16 == 0 {
@@ -328,12 +424,35 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
     // lock order rules that out, so it is reported as a note, not hidden.
     c.transport.set_fault_injector(None);
     c.transport.heal();
+    if let Some(p) = crash_point {
+        // The point may have fired after the last driver step (e.g. during
+        // draining); make sure the site goes through a full crash + reboot.
+        if !fired && home_disk(p.site).tripped() {
+            fired = true;
+            if !c.site(p.site).kernel.is_crashed() {
+                c.crash_site(p.site);
+            }
+        }
+        if fired {
+            notes.push(format!(
+                "disk crash point fired: site {} mutation {} ({:?})",
+                p.site, p.at, p.mode
+            ));
+        }
+    }
     for i in 0..cfg.sites {
         if c.site(i).kernel.is_crashed() {
             c.reboot_site(i);
         }
     }
     c.drain_async();
+    check_durability(
+        &c,
+        &specs,
+        &drv,
+        "(after recovery epilogue)",
+        &mut violations,
+    );
     let outcome = match outcome {
         RunOutcome::Completed => RunOutcome::Completed,
         RunOutcome::Stuck { .. } => {
@@ -348,6 +467,19 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
         }
     };
     c.drain_async();
+    if let Some(p) = crash_point {
+        // A trip during the stuck-process rerun leaves the disk offline with
+        // no scheduled recovery; finish the crash/reboot cycle so the final
+        // oracles judge recovered state, not a half-dead site.
+        if home_disk(p.site).tripped() {
+            fired = true;
+            if !c.site(p.site).kernel.is_crashed() {
+                c.crash_site(p.site);
+            }
+            c.reboot_site(p.site);
+            c.drain_async();
+        }
+    }
 
     // Capture the trace before the oracle probes read files (probes emit
     // events of their own and must not pollute the determinism comparison).
@@ -359,6 +491,7 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
     oracle::check_two_phase(&events, &mut violations);
     let fates = oracle::txn_fates(&events);
     check_durable_state(cfg, &c, &specs, &drv, &fates, &mut violations, &mut notes);
+    check_durability(&c, &specs, &drv, "(at end of run)", &mut violations);
 
     let tids: Vec<Option<TransId>> = (0..specs.len()).map(|s| slot_tid(&drv, s)).collect();
     let committed = tids
@@ -372,16 +505,71 @@ pub fn run_schedule(cfg: &ChaosConfig, schedule: &Schedule) -> ChaosReport {
         .filter(|t| fates.aborted.contains(t))
         .count();
 
-    ChaosReport {
-        seed: cfg.seed,
-        schedule: schedule.clone(),
-        outcome,
-        committed,
-        aborted,
-        violations,
-        notes,
-        trace,
+    let mutation_logs = if record {
+        (0..cfg.sites)
+            .map(|i| home_disk(i).take_mutation_log())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    TortureRun {
+        report: ChaosReport {
+            seed: cfg.seed,
+            schedule: schedule.clone(),
+            outcome,
+            committed,
+            aborted,
+            violations,
+            notes,
+            trace,
+        },
+        mutation_logs,
+        setup_boundary,
+        fired,
     }
+}
+
+/// Builds the acked-write ledger from the driver's results and the event
+/// trace's commit marks, then asserts it against raw durable state (see
+/// [`oracle::DurabilityLedger`]). Runs at every mid-schedule reboot, after
+/// the recovery epilogue, and at end of run; emits no events.
+fn check_durability(
+    c: &Cluster,
+    specs: &[TxnSpec],
+    drv: &Driver<'_>,
+    context: &str,
+    out: &mut Vec<Violation>,
+) {
+    let events = c.events.all();
+    let fates = oracle::txn_fates(&events);
+    let mut ledger = oracle::DurabilityLedger::default();
+    let mut committed: BTreeSet<TransId> = BTreeSet::new();
+    for (slot, spec) in specs.iter().enumerate() {
+        let Some(t) = slot_tid(drv, slot) else {
+            continue;
+        };
+        let Some(pos) = fates.commit_mark.get(&t) else {
+            continue;
+        };
+        committed.insert(t);
+        let chans = actual_channels(spec, drv.results(slot));
+        for (op_idx, _, r, val) in &spec.writes {
+            let Some(Op::Write { ch, .. }) = spec.ops.get(*op_idx) else {
+                continue;
+            };
+            let Some(actual_f) = chans.get(*ch).copied() else {
+                continue;
+            };
+            let acked = matches!(drv.results(slot).get(*op_idx), Some(OpResult::Unit));
+            ledger.record_write(actual_f, *r, *pos, *val, acked);
+        }
+    }
+    let sub = oracle::ClusterSubstrate {
+        cluster: c,
+        committed,
+    };
+    ledger.check(&sub, context, out);
 }
 
 /// The transaction id slot `s` started, read from its `BeginTrans` result.

@@ -17,12 +17,20 @@
 //! 4. **Atomicity + serializability** (checked in [`super::run_schedule`]):
 //!    the recovered durable state must be explainable by replaying the
 //!    committed transactions in commit-mark order.
+//! 5. **Durability** ([`DurabilityLedger`]): every acknowledged write of a
+//!    commit-marked transaction must be readable from non-volatile storage
+//!    — or reconstructible from a commit-marked prepare log awaiting
+//!    installation — after every reboot and at the end of the run. This is
+//!    the oracle that catches acked-write loss (the
+//!    seed-1785987737512144065 class of bug), which the end-state
+//!    acceptance check alone can miss when a crashed transaction silently
+//!    re-prepares with a subset of its writes.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use locus_sim::Event;
-use locus_types::{Fid, TransId};
+use locus_types::{ByteRange, Fid, PrepareLogRecord, TransId};
 
 use crate::cluster::Cluster;
 
@@ -272,6 +280,183 @@ pub fn check_two_phase(events: &[Event], out: &mut Vec<Violation>) {
     }
 }
 
+/// The durability oracle's window onto non-volatile storage. Implementations
+/// must read raw platter state — no volatile buffers, no recovery side
+/// effects, no simulated I/O charges — so a check can run mid-schedule
+/// without perturbing the deterministic trace.
+pub trait DurableSubstrate {
+    /// The durable value of workload record `record` of file `file`, as a
+    /// fresh reboot would reconstruct it without any log replay. Unwritten
+    /// records read as zero.
+    fn durable_record(&self, file: usize, record: u64) -> u64;
+
+    /// Values for the record still reachable through commit-marked prepare
+    /// logs awaiting installation: the write is durable by way of the log
+    /// even though the in-place image has not caught up yet.
+    fn recoverable_values(&self, file: usize, record: u64) -> Vec<u64>;
+}
+
+/// One committed write as the ledger saw it.
+#[derive(Debug, Clone, Copy)]
+struct LedgerWrite {
+    /// Commit-mark position of the writing transaction (total order).
+    order: usize,
+    value: u64,
+    /// Whether the storage site acknowledged the write to the client.
+    acked: bool,
+}
+
+/// The acked-write ledger: every write of every commit-marked transaction,
+/// keyed by (file, record). [`DurabilityLedger::check`] asserts that the
+/// *latest* committed write of each record — when it was acknowledged — is
+/// durable or log-recoverable. Records whose latest committed write went
+/// unacknowledged are skipped (a dropped reply makes the write ambiguous,
+/// and the end-state acceptance oracle already bounds those).
+#[derive(Debug, Default)]
+pub struct DurabilityLedger {
+    writes: BTreeMap<(usize, u64), Vec<LedgerWrite>>,
+}
+
+impl DurabilityLedger {
+    /// Records one write of a commit-marked transaction. `order` is the
+    /// transaction's commit-mark position in the event trace.
+    pub fn record_write(
+        &mut self,
+        file: usize,
+        record: u64,
+        order: usize,
+        value: u64,
+        acked: bool,
+    ) {
+        self.writes
+            .entry((file, record))
+            .or_default()
+            .push(LedgerWrite {
+                order,
+                value,
+                acked,
+            });
+    }
+
+    /// Number of (file, record) targets with at least one committed write.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Asserts every applicable ledger entry against the substrate,
+    /// appending a [`Violation::Durability`] per lost acked write.
+    pub fn check(&self, sub: &dyn DurableSubstrate, context: &str, out: &mut Vec<Violation>) {
+        for ((file, record), ws) in &self.writes {
+            let mut ws = ws.clone();
+            // Stable sort: same-transaction rewrites of one record keep
+            // their program order under the shared commit-mark position.
+            ws.sort_by_key(|w| w.order);
+            let Some(last) = ws.last() else { continue };
+            if !last.acked {
+                continue;
+            }
+            let found = sub.durable_record(*file, *record);
+            if found == last.value {
+                continue;
+            }
+            if sub.recoverable_values(*file, *record).contains(&last.value) {
+                continue;
+            }
+            let v = Violation::Durability {
+                file: *file,
+                record: *record,
+                found,
+                detail: format!("acked committed write {:#x} lost {context}", last.value),
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+}
+
+/// [`DurableSubstrate`] over a live chaos cluster: workload file `f` is
+/// `/chaos<f>` stored on site `f`'s home volume; records are 8-byte
+/// little-endian slots. Reads go through [`locus_fs::Volume::durable_peek`]
+/// and raw stable-store peeks only.
+pub struct ClusterSubstrate<'a> {
+    pub cluster: &'a Cluster,
+    /// Commit-marked transactions (prepare logs of any other transaction
+    /// are not recovery-installable and never count as recoverable).
+    pub committed: BTreeSet<TransId>,
+}
+
+impl ClusterSubstrate<'_> {
+    fn resolve(&self, file: usize) -> Option<Fid> {
+        self.cluster
+            .catalog
+            .resolve(&format!("/chaos{file}"))
+            .ok()
+            .map(|e| e.fid)
+    }
+}
+
+impl DurableSubstrate for ClusterSubstrate<'_> {
+    fn durable_record(&self, file: usize, record: u64) -> u64 {
+        let Some(fid) = self.resolve(file) else {
+            return 0;
+        };
+        let Ok(vol) = self.cluster.site(file).kernel.volume(fid.volume) else {
+            return 0;
+        };
+        let bytes = vol
+            .durable_peek(fid, ByteRange::new(record * 8, 8))
+            .unwrap_or_default();
+        let mut b = [0u8; 8];
+        for (i, x) in bytes.iter().take(8).enumerate() {
+            b[i] = *x;
+        }
+        u64::from_le_bytes(b)
+    }
+
+    fn recoverable_values(&self, file: usize, record: u64) -> Vec<u64> {
+        let Some(fid) = self.resolve(file) else {
+            return Vec::new();
+        };
+        let Ok(vol) = self.cluster.site(file).kernel.volume(fid.volume) else {
+            return Vec::new();
+        };
+        let disk = vol.disk();
+        let ps = disk.page_size() as u64;
+        let target_page = record * 8 / ps;
+        let off = (record * 8 % ps) as usize;
+        let mut out = Vec::new();
+        for key in disk.stable_keys("preplog/") {
+            let Some(bytes) = disk.stable_peek(&key) else {
+                continue;
+            };
+            let Some(rec) = PrepareLogRecord::decode(&bytes) else {
+                continue;
+            };
+            if rec.intentions.fid != fid || !self.committed.contains(&rec.tid) {
+                continue;
+            }
+            for ent in &rec.intentions.entries {
+                if u64::from(ent.page.0) != target_page {
+                    continue;
+                }
+                if let Some(blk) = disk.peek_block(ent.new_phys) {
+                    if blk.len() >= off + 8 {
+                        out.push(u64::from_le_bytes(
+                            blk[off..off + 8].try_into().expect("8-byte slice"),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +529,119 @@ mod tests {
         let events = vec![Event::Committed { tid: tid(3) }];
         let mut v = Vec::new();
         check_two_phase(&events, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// A hand-rolled substrate standing in for the cluster: a "buggy"
+    /// instance (records missing, nothing recoverable) must trip the
+    /// durability ledger; a faithful one must not.
+    #[derive(Default)]
+    struct MockSubstrate {
+        records: BTreeMap<(usize, u64), u64>,
+        recoverable: BTreeMap<(usize, u64), Vec<u64>>,
+    }
+
+    impl DurableSubstrate for MockSubstrate {
+        fn durable_record(&self, file: usize, record: u64) -> u64 {
+            self.records.get(&(file, record)).copied().unwrap_or(0)
+        }
+        fn recoverable_values(&self, file: usize, record: u64) -> Vec<u64> {
+            self.recoverable
+                .get(&(file, record))
+                .cloned()
+                .unwrap_or_default()
+        }
+    }
+
+    #[test]
+    fn durability_ledger_trips_on_lost_acked_write() {
+        let mut ledger = DurabilityLedger::default();
+        ledger.record_write(0, 3, 1, 0x10001, true);
+        let buggy = MockSubstrate::default(); // lost the write entirely
+        let mut v = Vec::new();
+        ledger.check(&buggy, "(test)", &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(
+                &v[0],
+                Violation::Durability {
+                    file: 0,
+                    record: 3,
+                    found: 0,
+                    ..
+                }
+            ),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn durability_ledger_accepts_durable_write() {
+        let mut ledger = DurabilityLedger::default();
+        ledger.record_write(0, 3, 1, 0x10001, true);
+        let mut good = MockSubstrate::default();
+        good.records.insert((0, 3), 0x10001);
+        let mut v = Vec::new();
+        ledger.check(&good, "(test)", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn durability_ledger_accepts_log_recoverable_write() {
+        // The in-place image lags (install still pending), but the value is
+        // reachable through a commit-marked prepare log: durable by way of
+        // the log, not a violation.
+        let mut ledger = DurabilityLedger::default();
+        ledger.record_write(1, 5, 2, 0x20002, true);
+        let mut lagging = MockSubstrate::default();
+        lagging.recoverable.insert((1, 5), vec![0x20002]);
+        let mut v = Vec::new();
+        ledger.check(&lagging, "(test)", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn durability_ledger_skips_record_with_unacked_latest_write() {
+        // The latest committed write was never acknowledged (its reply was
+        // dropped): the record's expected value is ambiguous and the ledger
+        // must not assert it.
+        let mut ledger = DurabilityLedger::default();
+        ledger.record_write(0, 1, 1, 0x10001, true);
+        ledger.record_write(0, 1, 2, 0x20001, false);
+        let stale = MockSubstrate::default(); // holds neither value
+        let mut v = Vec::new();
+        ledger.check(&stale, "(test)", &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn durability_ledger_asserts_latest_write_in_commit_order() {
+        let mut ledger = DurabilityLedger::default();
+        // Inserted out of order; commit-mark order decides which value wins.
+        ledger.record_write(2, 0, 9, 0x30001, true);
+        ledger.record_write(2, 0, 4, 0x10001, true);
+        let mut stale = MockSubstrate::default();
+        stale.records.insert((2, 0), 0x10001); // the *earlier* write
+        let mut v = Vec::new();
+        ledger.check(&stale, "(test)", &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(
+                &v[0],
+                Violation::Durability {
+                    file: 2,
+                    record: 0,
+                    found: 0x10001,
+                    ..
+                }
+            ),
+            "{v:?}"
+        );
+
+        let mut good = MockSubstrate::default();
+        good.records.insert((2, 0), 0x30001);
+        let mut v = Vec::new();
+        ledger.check(&good, "(test)", &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -66,6 +66,37 @@ fn migrate_then_coordinator_crash() {
     );
 }
 
+/// Seed 1785987737512144065's minimized schedule: a site crashes while
+/// transactions it acknowledged writes for are mid-flight and reboots four
+/// steps later. The rebooted site still carried its pre-crash boot epoch,
+/// so it voted *yes* at prepare for transactions whose acknowledged
+/// (volatile) writes died with the crash — the re-prepared intentions held
+/// only the post-reboot subset, and the commit durably lost acked bytes.
+/// The fix plumbs a boot epoch through open/write/prepare so a participant
+/// votes no for any transaction that spans one of its reboots. The
+/// durability ledger (asserted after every reboot inside `run_schedule`)
+/// now catches this class directly.
+#[test]
+fn seed_1785987737512144065_acked_write_survives() {
+    let report = run_text(
+        1785987737512144065,
+        "step 55 crash site=0\nstep 59 reboot site=0\n",
+    );
+    assert!(
+        report.ok(),
+        "acked-write durability regression (minimized): {:?}",
+        report.violations
+    );
+
+    // And the full generated schedule of the original failing seed.
+    let report = run_seed(&ChaosConfig::with_seed(1785987737512144065));
+    assert!(
+        report.ok(),
+        "acked-write durability regression (full seed): {:?}",
+        report.violations
+    );
+}
+
 /// One seed fully determines a run: replaying it must reproduce a
 /// byte-identical event trace (the property `--check-determinism` asserts in
 /// CI, and the property schedule minimization depends on).

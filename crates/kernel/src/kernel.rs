@@ -12,7 +12,7 @@
 //! local requests directly and remote ones through the transport. All
 //! modeled costs accrue on the calling activity's [`Account`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -47,6 +47,12 @@ pub struct Kernel {
     txn_service: RwLock<Option<Arc<dyn TxnService>>>,
     wake_slots: Mutex<std::collections::HashMap<Pid, Arc<WakeSlot>>>,
     crashed: AtomicBool,
+    /// Boot epoch (incarnation number): incremented on every reboot and
+    /// persisted on the home volume. Storage-site responses carry it so a
+    /// transaction's file-list records which incarnation served each file;
+    /// a mismatch at prepare time means this site rebooted mid-transaction
+    /// and its volatile buffers (possibly holding acked writes) were lost.
+    boot_epoch: AtomicU64,
     /// Section 5.2 optimization: prefetch the locked byte range's pages into
     /// the storage site's buffers when a lock is granted.
     pub prefetch_on_lock: AtomicBool,
@@ -86,6 +92,11 @@ impl Kernel {
         catalog: Arc<Catalog>,
     ) -> Self {
         let home_volume = home.id();
+        let boot_epoch = home
+            .disk()
+            .stable_peek(Self::EPOCH_KEY)
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0);
         let mut volumes = std::collections::HashMap::new();
         volumes.insert(home_volume, home);
         Kernel {
@@ -108,6 +119,7 @@ impl Kernel {
             txn_service: RwLock::new(None),
             wake_slots: Mutex::new(std::collections::HashMap::new()),
             crashed: AtomicBool::new(false),
+            boot_epoch: AtomicU64::new(boot_epoch),
             prefetch_on_lock: AtomicBool::new(false),
             lease_threshold: std::sync::atomic::AtomicU32::new(0),
             delegated: RwLock::new(std::collections::HashMap::new()),
@@ -345,12 +357,29 @@ impl Kernel {
         self.lock_streaks.lock().clear();
     }
 
+    const EPOCH_KEY: &'static str = "site/boot_epoch";
+
+    /// This incarnation's boot epoch.
+    pub fn boot_epoch(&self) -> u64 {
+        self.boot_epoch.load(Ordering::Relaxed)
+    }
+
     /// Reboots the site (filesystem housekeeping only; transaction recovery
-    /// is driven by the transaction manager in `locus-core`).
+    /// is driven by the transaction manager in `locus-core`). The boot epoch
+    /// advances and is persisted first, so no post-reboot response can ever
+    /// carry a pre-crash epoch.
     pub fn reboot(&self) {
         for v in self.volumes.read().values() {
             v.reboot();
         }
+        let epoch = self.boot_epoch.load(Ordering::Relaxed) + 1;
+        if let Ok(home) = self.home() {
+            let mut acct = Account::new(self.site);
+            let _ =
+                home.disk()
+                    .stable_put(Self::EPOCH_KEY, epoch.to_le_bytes().to_vec(), &mut acct);
+        }
+        self.boot_epoch.store(epoch, Ordering::Relaxed);
         self.crashed.store(false, Ordering::Relaxed);
     }
 

@@ -30,7 +30,10 @@ impl ServiceHandler for FileService {
                 let vol = k.volume(fid.volume)?;
                 let len = vol.len(fid, acct)?;
                 k.locks.ensure_file(fid, len);
-                Ok(Msg::File(FileMsg::OpenResp { len }))
+                Ok(Msg::File(FileMsg::OpenResp {
+                    len,
+                    epoch: k.boot_epoch(),
+                }))
             }
             FileMsg::ReadReq {
                 fid,
@@ -54,7 +57,10 @@ impl ServiceHandler for FileService {
                 let vol = k.volume(fid.volume)?;
                 let new_len = vol.write(fid, owner, range, &data, acct)?;
                 k.locks.set_eof(fid, new_len);
-                Ok(Msg::File(FileMsg::WriteResp { new_len }))
+                Ok(Msg::File(FileMsg::WriteResp {
+                    new_len,
+                    epoch: k.boot_epoch(),
+                }))
             }
             FileMsg::PrefetchReq { fid, pages } => {
                 let vol = k.volume(fid.volume)?;
@@ -152,7 +158,7 @@ impl Kernel {
             Msg::File(FileMsg::OpenReq { fid, pid, write }),
             acct,
         )?;
-        let Msg::File(FileMsg::OpenResp { len }) = resp else {
+        let Msg::File(FileMsg::OpenResp { len, epoch }) = resp else {
             return Err(Error::ProtocolViolation(format!(
                 "unexpected open response {resp:?}"
             )));
@@ -162,12 +168,13 @@ impl Kernel {
             let ch = rec.add_open(OpenFile {
                 fid,
                 storage_site: serving,
+                epoch,
                 pos,
                 append,
                 write,
             });
             if rec.tid.is_some() {
-                rec.note_file(fid, serving);
+                rec.note_file(fid, serving, epoch);
             }
             ch
         })
@@ -261,7 +268,7 @@ impl Kernel {
             self.ensure_locked(pid, ch, &of, range, true, acct)?;
         }
         let owner = self.owner_of(pid);
-        self.rpc(
+        let resp = self.rpc(
             of.storage_site,
             Msg::File(FileMsg::WriteReq {
                 fid: of.fid,
@@ -272,6 +279,13 @@ impl Kernel {
             }),
             acct,
         )?;
+        // The storage site's boot epoch at the moment it acked this write;
+        // recorded in the file-list so prepare can detect a later reboot
+        // that discarded the buffered (acked) bytes.
+        let write_epoch = match resp {
+            Msg::File(FileMsg::WriteResp { epoch, .. }) => epoch,
+            _ => of.epoch,
+        };
         self.procs.with_mut(pid, |rec| {
             if let Some(of) = rec.open_files.get_mut(&ch) {
                 of.pos = range.end();
@@ -280,7 +294,7 @@ impl Kernel {
                 // Lazily added for files opened before BeginTrans but used
                 // within the transaction.
                 let serving = of.storage_site;
-                rec.note_file(of.fid, serving);
+                rec.note_file(of.fid, serving, write_epoch);
             }
         })?;
         Ok(())

@@ -223,7 +223,7 @@ impl Kernel {
                 }
                 self.procs.with_mut(pid, |rec| {
                     if rec.tid.is_some() {
-                        rec.note_file(of.fid, of.storage_site);
+                        rec.note_file(of.fid, of.storage_site, of.epoch);
                     }
                     if append && mode != LockRequestMode::Unlock {
                         // Position the pointer at the locked area so the

@@ -26,8 +26,10 @@ use locus_types::{
 pub enum FileMsg {
     /// Register an open of `fid` by `pid` at the storage site.
     OpenReq { fid: Fid, pid: Pid, write: bool },
-    /// Open succeeded; current file length returned.
-    OpenResp { len: u64 },
+    /// Open succeeded; current file length and the storage site's boot
+    /// epoch returned (the epoch feeds the transaction file-list so commit
+    /// can detect a mid-transaction storage-site reboot).
+    OpenResp { len: u64, epoch: u64 },
     /// Deregister an open.
     CloseReq { fid: Fid, pid: Pid },
     /// Read `range` of `fid` on behalf of `owner`.
@@ -47,8 +49,9 @@ pub enum FileMsg {
         range: ByteRange,
         data: Vec<u8>,
     },
-    /// Write accepted; new file length returned.
-    WriteResp { new_len: u64 },
+    /// Write accepted; new file length and the storage site's boot epoch
+    /// returned.
+    WriteResp { new_len: u64, epoch: u64 },
     /// Ask the storage site to prefetch pages ahead of a locked range
     /// (Section 5.2 optimization).
     PrefetchReq { fid: Fid, pages: Vec<PageNo> },
@@ -128,11 +131,16 @@ pub enum ProcMsg {
 /// recovery inquiries of Sections 4.3/4.4.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TxnMsg {
-    /// Coordinator → participant: prepare these files of `tid`.
+    /// Coordinator → participant: prepare these files of `tid`. `epoch` is
+    /// the participant's boot epoch as first observed by the transaction; a
+    /// participant whose current epoch differs rebooted mid-transaction
+    /// (losing volatile buffers that may have held acked writes) and must
+    /// vote no.
     Prepare {
         tid: TransId,
         coordinator: SiteId,
         files: Vec<Fid>,
+        epoch: u64,
     },
     /// Participant → coordinator: prepare completed (or failed).
     PrepareDone { tid: TransId, ok: bool },

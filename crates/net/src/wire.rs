@@ -146,9 +146,10 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             e.u64(pid.0);
             e.u8(*write as u8);
         }
-        FileMsg::OpenResp { len } => {
+        FileMsg::OpenResp { len, epoch } => {
             e.u8(1);
             e.u64(*len);
+            e.u64(*epoch);
         }
         FileMsg::CloseReq { fid, pid } => {
             e.u8(2);
@@ -185,9 +186,10 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             enc_range(e, *range);
             e.bytes(data);
         }
-        FileMsg::WriteResp { new_len } => {
+        FileMsg::WriteResp { new_len, epoch } => {
             e.u8(6);
             e.u64(*new_len);
+            e.u64(*epoch);
         }
         FileMsg::PrefetchReq { fid, pages } => {
             e.u8(7);
@@ -217,7 +219,10 @@ fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
             pid: Pid(d.u64()?),
             write: d.u8()? != 0,
         },
-        1 => FileMsg::OpenResp { len: d.u64()? },
+        1 => FileMsg::OpenResp {
+            len: d.u64()?,
+            epoch: d.u64()?,
+        },
         2 => FileMsg::CloseReq {
             fid: dec_fid(d)?,
             pid: Pid(d.u64()?),
@@ -238,7 +243,10 @@ fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
             range: dec_range(d)?,
             data: d.bytes()?.to_vec(),
         },
-        6 => FileMsg::WriteResp { new_len: d.u64()? },
+        6 => FileMsg::WriteResp {
+            new_len: d.u64()?,
+            epoch: d.u64()?,
+        },
         7 => {
             let fid = dec_fid(d)?;
             let n = d.u32()?;
@@ -386,6 +394,7 @@ fn enc_proc(e: &mut Enc, m: &ProcMsg) {
             for ent in entries {
                 enc_fid(e, ent.fid);
                 e.u32(ent.storage_site.0);
+                e.u64(ent.epoch);
             }
         }
         ProcMsg::ChildExited { tid, top, child } => {
@@ -423,6 +432,7 @@ fn dec_proc(d: &mut Dec<'_>) -> Option<ProcMsg> {
                 entries.push(FileListEntry {
                     fid: dec_fid(d)?,
                     storage_site: SiteId(d.u32()?),
+                    epoch: d.u64()?,
                 });
             }
             ProcMsg::FileListMerge {
@@ -455,11 +465,13 @@ fn enc_txn(e: &mut Enc, m: &TxnMsg) {
             tid,
             coordinator,
             files,
+            epoch,
         } => {
             e.u8(0);
             enc_tid(e, *tid);
             e.u32(coordinator.0);
             enc_fids(e, files);
+            e.u64(*epoch);
         }
         TxnMsg::PrepareDone { tid, ok } => {
             e.u8(1);
@@ -498,6 +510,7 @@ fn dec_txn(d: &mut Dec<'_>) -> Option<TxnMsg> {
             tid: dec_tid(d)?,
             coordinator: SiteId(d.u32()?),
             files: dec_fids(d)?,
+            epoch: d.u64()?,
         },
         1 => TxnMsg::PrepareDone {
             tid: dec_tid(d)?,
@@ -726,7 +739,10 @@ mod tests {
                 pid: pid(),
                 write: true,
             }),
-            Msg::File(FileMsg::OpenResp { len: 4096 }),
+            Msg::File(FileMsg::OpenResp {
+                len: 4096,
+                epoch: 2,
+            }),
             Msg::File(FileMsg::CloseReq {
                 fid: fid(),
                 pid: pid(),
@@ -747,7 +763,10 @@ mod tests {
                 range: ByteRange::new(0, 3),
                 data: vec![9, 9, 9],
             }),
-            Msg::File(FileMsg::WriteResp { new_len: 3 }),
+            Msg::File(FileMsg::WriteResp {
+                new_len: 3,
+                epoch: 0,
+            }),
             Msg::File(FileMsg::PrefetchReq {
                 fid: fid(),
                 pages: vec![PageNo(0), PageNo(5)],
@@ -805,6 +824,7 @@ mod tests {
                 entries: vec![FileListEntry {
                     fid: fid(),
                     storage_site: SiteId(4),
+                    epoch: 1,
                 }],
             }),
             Msg::Proc(ProcMsg::ChildExited {
@@ -824,6 +844,7 @@ mod tests {
                 tid: tid(),
                 coordinator: SiteId(0),
                 files: vec![fid()],
+                epoch: 5,
             }),
             Msg::Txn(TxnMsg::PrepareDone {
                 tid: tid(),
@@ -851,6 +872,7 @@ mod tests {
                     tid: tid(),
                     coordinator: SiteId(0),
                     files: vec![fid()],
+                    epoch: 0,
                 }),
                 Msg::Lock(LockMsg::UnlockAll {
                     fid: fid(),

@@ -53,7 +53,7 @@ fn file_msg() -> BoxedStrategy<FileMsg> {
             pid,
             write
         }),
-        any::<u64>().prop_map(|len| FileMsg::OpenResp { len }),
+        (any::<u64>(), any::<u64>()).prop_map(|(len, epoch)| FileMsg::OpenResp { len, epoch }),
         (fid(), pid()).prop_map(|(fid, pid)| FileMsg::CloseReq { fid, pid }),
         (fid(), pid(), owner(), range()).prop_map(|(fid, pid, owner, range)| FileMsg::ReadReq {
             fid,
@@ -71,7 +71,8 @@ fn file_msg() -> BoxedStrategy<FileMsg> {
                 data,
             }
         }),
-        any::<u64>().prop_map(|new_len| FileMsg::WriteResp { new_len }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(new_len, epoch)| FileMsg::WriteResp { new_len, epoch }),
         (fid(), vec((0u32..64).prop_map(PageNo), 0..5))
             .prop_map(|(fid, pages)| FileMsg::PrefetchReq { fid, pages }),
         (fid(), owner()).prop_map(|(fid, owner)| FileMsg::CommitReq { fid, owner }),
@@ -125,7 +126,11 @@ fn lock_msg() -> BoxedStrategy<LockMsg> {
 
 fn proc_msg() -> BoxedStrategy<ProcMsg> {
     let entries = vec(
-        (fid(), site()).prop_map(|(fid, storage_site)| FileListEntry { fid, storage_site }),
+        (fid(), site(), any::<u64>()).prop_map(|(fid, storage_site, epoch)| FileListEntry {
+            fid,
+            storage_site,
+            epoch,
+        }),
         0..5,
     );
     prop_oneof![
@@ -157,10 +162,13 @@ fn txn_msg() -> BoxedStrategy<TxnMsg> {
         Just(Some(TxnStatus::Aborted)),
     ];
     prop_oneof![
-        (tid(), site(), fids()).prop_map(|(tid, coordinator, files)| TxnMsg::Prepare {
-            tid,
-            coordinator,
-            files
+        (tid(), site(), fids(), any::<u64>()).prop_map(|(tid, coordinator, files, epoch)| {
+            TxnMsg::Prepare {
+                tid,
+                coordinator,
+                files,
+                epoch,
+            }
         }),
         (tid(), any::<bool>()).prop_map(|(tid, ok)| TxnMsg::PrepareDone { tid, ok }),
         (tid(), fids()).prop_map(|(tid, files)| TxnMsg::Commit { tid, files }),

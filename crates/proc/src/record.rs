@@ -24,6 +24,10 @@ pub struct OpenFile {
     pub fid: Fid,
     /// The (primary update) storage site serving this open.
     pub storage_site: SiteId,
+    /// The storage site's boot epoch observed at open time; recorded in the
+    /// file-list so two-phase commit can detect a mid-transaction reboot of
+    /// the storage site (which discards its volatile buffers).
+    pub epoch: u64,
     /// Current file offset, as maintained by read/write/lseek.
     pub pos: u64,
     /// Section 3.2 append mode: lock requests are end-of-file relative.
@@ -79,9 +83,16 @@ impl ProcessRecord {
         self.tid.is_some() && self.top == Some(self.pid)
     }
 
-    /// Records a file use in the process's file-list.
-    pub fn note_file(&mut self, fid: Fid, storage_site: SiteId) {
-        self.file_list.insert(FileListEntry { fid, storage_site });
+    /// Records a file use in the process's file-list, keyed by the storage
+    /// site's boot epoch observed at the time of use. Entries that differ
+    /// only in epoch coexist; the coordinator takes the per-site minimum at
+    /// prepare time, so the earliest observation wins.
+    pub fn note_file(&mut self, fid: Fid, storage_site: SiteId, epoch: u64) {
+        self.file_list.insert(FileListEntry {
+            fid,
+            storage_site,
+            epoch,
+        });
     }
 
     /// Allocates a channel for a new open file.
@@ -118,6 +129,7 @@ impl ProcessRecord {
             e.u32(f.fid.volume.0);
             e.u32(f.fid.inode.0);
             e.u32(f.storage_site.0);
+            e.u64(f.epoch);
         }
         e.u32(self.open_files.len() as u32);
         for (ch, of) in &self.open_files {
@@ -125,6 +137,7 @@ impl ProcessRecord {
             e.u32(of.fid.volume.0);
             e.u32(of.fid.inode.0);
             e.u32(of.storage_site.0);
+            e.u64(of.epoch);
             e.u64(of.pos);
             e.u8(of.append as u8);
             e.u8(of.write as u8);
@@ -160,6 +173,7 @@ impl ProcessRecord {
                     inode: InodeNo(d.u32()?),
                 },
                 storage_site: SiteId(d.u32()?),
+                epoch: d.u64()?,
             });
         }
         let n_open = d.u32()?;
@@ -174,6 +188,7 @@ impl ProcessRecord {
                         inode: InodeNo(d.u32()?),
                     },
                     storage_site: SiteId(d.u32()?),
+                    epoch: d.u64()?,
                     pos: d.u64()?,
                     append: d.u8()? != 0,
                     write: d.u8()? != 0,
@@ -209,10 +224,11 @@ mod tests {
         r.nest = 2;
         r.top = Some(r.pid);
         r.live_members = 1;
-        r.note_file(Fid::new(VolumeId(0), 5), SiteId(2));
+        r.note_file(Fid::new(VolumeId(0), 5), SiteId(2), 3);
         r.add_open(OpenFile {
             fid: Fid::new(VolumeId(0), 5),
             storage_site: SiteId(2),
+            epoch: 3,
             pos: 128,
             append: true,
             write: true,
@@ -252,6 +268,7 @@ mod tests {
         let of = OpenFile {
             fid: Fid::new(VolumeId(0), 1),
             storage_site: SiteId(1),
+            epoch: 0,
             pos: 0,
             append: false,
             write: false,

@@ -261,6 +261,7 @@ mod tests {
             r.add_open(crate::record::OpenFile {
                 fid: Fid::new(VolumeId(0), 9),
                 storage_site: SiteId(2),
+                epoch: 0,
                 pos: 10,
                 append: false,
                 write: true,
@@ -283,6 +284,7 @@ mod tests {
         let entry = FileListEntry {
             fid: Fid::new(VolumeId(0), 1),
             storage_site: SiteId(1),
+            epoch: 0,
         };
         assert!(t.merge_file_list(top, &[entry]).is_ok());
         t.begin_migrate(top).unwrap();
@@ -300,7 +302,7 @@ mod tests {
         let dst = ProcessTable::new(SiteId(2));
         let pid = src.spawn();
         src.with_mut(pid, |r| {
-            r.note_file(Fid::new(VolumeId(0), 3), SiteId(1));
+            r.note_file(Fid::new(VolumeId(0), 3), SiteId(1), 0);
         })
         .unwrap();
         let blob = src.begin_migrate(pid).unwrap();

@@ -65,6 +65,10 @@ pub enum Error {
     /// The operation cannot proceed because the site has crashed (returned to
     /// in-flight callers when a crash is injected).
     Crashed(SiteId),
+    /// The disk stopped accepting transfers mid-stream (an armed crash point
+    /// fired). Durable state is frozen exactly as the crash left it; the
+    /// owning site must be crashed and rebooted to continue.
+    DiskOffline,
 }
 
 impl fmt::Display for Error {
@@ -91,6 +95,7 @@ impl fmt::Display for Error {
             Error::ProtocolViolation(s) => write!(f, "protocol violation: {s}"),
             Error::AlreadyExists(name) => write!(f, "already exists: {name}"),
             Error::Crashed(s) => write!(f, "{s} crashed"),
+            Error::DiskOffline => write!(f, "disk offline (crash point fired)"),
         }
     }
 }
@@ -109,7 +114,7 @@ impl Error {
     pub fn is_failure(&self) -> bool {
         matches!(
             self,
-            Error::SiteDown(_) | Error::Partitioned { .. } | Error::Crashed(_)
+            Error::SiteDown(_) | Error::Partitioned { .. } | Error::Crashed(_) | Error::DiskOffline
         )
     }
 }

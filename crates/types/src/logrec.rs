@@ -37,6 +37,7 @@ impl CoordLogRecord {
             e.u32(f.fid.volume.0);
             e.u32(f.fid.inode.0);
             e.u32(f.storage_site.0);
+            e.u64(f.epoch);
         }
         e.u8(match self.status {
             TxnStatus::Unknown => 0,
@@ -58,6 +59,7 @@ impl CoordLogRecord {
                     inode: InodeNo(d.u32()?),
                 },
                 storage_site: SiteId(d.u32()?),
+                epoch: d.u64()?,
             });
         }
         let status = match d.u8()? {
@@ -224,10 +226,12 @@ mod tests {
                 FileListEntry {
                     fid: Fid::new(VolumeId(0), 1),
                     storage_site: SiteId(0),
+                    epoch: 0,
                 },
                 FileListEntry {
                     fid: Fid::new(VolumeId(3), 9),
                     storage_site: SiteId(3),
+                    epoch: 4,
                 },
             ],
             status: TxnStatus::Unknown,

@@ -144,6 +144,13 @@ impl LockDescriptor {
 pub struct FileListEntry {
     pub fid: Fid,
     pub storage_site: SiteId,
+    /// The storage site's boot epoch (incarnation number) observed when the
+    /// transaction first used the file there. At prepare time the
+    /// coordinator sends the smallest epoch it saw per site; a participant
+    /// whose current epoch is higher rebooted mid-transaction — its volatile
+    /// buffers (possibly holding acked writes) were lost, so it must vote
+    /// no even if post-reboot activity re-established dirty state.
+    pub epoch: u64,
 }
 
 /// Status marker in the coordinator log (Section 4.2): initially `Unknown`,

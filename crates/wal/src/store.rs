@@ -65,6 +65,11 @@ struct WalInner {
     /// Index of the first unforced record.
     forced_upto: usize,
     next_inode: u32,
+    /// Armed crash point: the next commit's log force dies after this many
+    /// pages have reached the platters.
+    armed_commit_crash: Option<u64>,
+    /// Whether an armed commit crash has fired.
+    crash_fired: bool,
 }
 
 /// A write-ahead-logging record store for one volume.
@@ -95,6 +100,8 @@ impl WalStore {
                 unforced_bytes: 0,
                 forced_upto: 0,
                 next_inode: 1,
+                armed_commit_crash: None,
+                crash_fired: false,
             }),
         }
     }
@@ -224,6 +231,38 @@ impl WalStore {
         inner.unforced_bytes += rec.bytes();
         inner.log.push(rec);
         let pages = (inner.unforced_bytes.max(1)).div_ceil(self.model.page_size) as u64;
+        if let Some(k) = inner.armed_commit_crash.take() {
+            // The machine dies mid-force: only `k` of the `pages` log pages
+            // reach the platters. A record survives iff it lies entirely
+            // within the forced bytes — a record torn across the force
+            // boundary is garbage and is discarded, exactly like a torn
+            // commit record on a real log device.
+            inner.crash_fired = true;
+            let forced = k.min(pages);
+            for _ in 0..forced {
+                self.charge_seq_write(acct);
+            }
+            let budget = (forced as usize) * self.model.page_size;
+            // `forced_upto` can exceed the log length: `abort` compacts the
+            // log in place without re-indexing the force watermark.
+            let start = inner.forced_upto.min(inner.log.len());
+            let mut used = 0usize;
+            let mut keep = 0usize;
+            for r in &inner.log[start..] {
+                used += r.bytes();
+                if used > budget {
+                    break;
+                }
+                keep += 1;
+            }
+            let new_len = start + keep;
+            inner.log.truncate(new_len);
+            inner.forced_upto = new_len;
+            inner.unforced_bytes = 0;
+            inner.cache.clear();
+            self.disk.crash();
+            return forced;
+        }
         for _ in 0..pages {
             self.charge_seq_write(acct);
         }
@@ -231,6 +270,19 @@ impl WalStore {
         inner.forced_upto = inner.log.len();
         self.counters.txns_committed();
         pages
+    }
+
+    /// Arms a crash on the next commit: its log force stops after
+    /// `after_pages` pages. `after_pages = 0` loses the whole force (the
+    /// commit record never becomes durable); a value at or beyond the
+    /// force size models a crash immediately after a complete force.
+    pub fn arm_commit_crash(&self, after_pages: u64) {
+        self.inner.lock().armed_commit_crash = Some(after_pages);
+    }
+
+    /// Whether an armed commit crash has fired (sticky until re-armed runs).
+    pub fn crash_fired(&self) -> bool {
+        self.inner.lock().crash_fired
     }
 
     /// Aborts: applies undo records in reverse, then logs the abort.

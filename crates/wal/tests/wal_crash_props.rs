@@ -1,0 +1,182 @@
+//! Crash-at-block-k torture for the WAL store: arbitrary
+//! {begin, write, commit, crash-at-page-k, recover} sequences checked
+//! against an in-memory ledger model.
+//!
+//! The model mirrors the log's byte accounting (header sizes from
+//! `LogRec::bytes`) to predict whether the commit record reached the
+//! platters: the commit record is the last record of the force, so it is
+//! durable iff the whole unforced tail fits in the k forced pages. A
+//! transaction whose commit record survived must be fully redone by
+//! recovery; one whose commit record was torn off must vanish without a
+//! trace — no partial application, ever.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use locus_disk::SimDisk;
+use locus_sim::{Account, CostModel, Counters};
+use locus_types::{ByteRange, Owner, SiteId, TransId, VolumeId};
+use locus_wal::WalStore;
+
+fn store() -> (WalStore, Account, usize) {
+    let model = Arc::new(CostModel::default());
+    let page_size = model.page_size;
+    let counters = Arc::new(Counters::default());
+    let disk = Arc::new(SimDisk::new(64, model.clone(), counters.clone()));
+    (
+        WalStore::new(VolumeId(0), disk, model, counters),
+        Account::new(SiteId(0)),
+        page_size,
+    )
+}
+
+fn t(n: u64) -> Owner {
+    Owner::Trans(TransId::new(SiteId(0), n))
+}
+
+/// One transaction of the generated workload.
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    /// Aborted instead of committed (never applies).
+    abort: bool,
+    /// (offset, bytes) writes, applied in order.
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+// Log record framing, mirrored from `LogRec::bytes`.
+const REC_HDR: usize = 24;
+fn update_bytes(len: usize) -> usize {
+    40 + 2 * len // header + undo + redo (equal length)
+}
+
+/// Applies a transaction's writes to the model image.
+fn apply(model: &mut Vec<u8>, writes: &[(u64, Vec<u8>)]) {
+    for (at, data) in writes {
+        let end = *at as usize + data.len();
+        if model.len() < end {
+            model.resize(end, 0);
+        }
+        model[*at as usize..end].copy_from_slice(data);
+    }
+}
+
+fn txn_strategy() -> impl Strategy<Value = TxnSpec> {
+    (
+        any::<bool>(),
+        vec((0u64..256, vec(any::<u8>(), 1..48)), 1..5),
+    )
+        .prop_map(|(abort, writes)| TxnSpec { abort, writes })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn commit_crash_at_page_k_is_atomic_and_durable(
+        txns in vec(txn_strategy(), 1..6),
+        crash_after_pages in 0u64..6,
+    ) {
+        let (w, mut a, ps) = store();
+        let fid = w.create_file(&mut a);
+
+        let mut expected: Vec<u8> = Vec::new();
+        // Mirror of WalInner::unforced_bytes: only grows between forces
+        // (abort compacts the log but leaves this counter untouched).
+        let mut unforced = 0usize;
+        // Mirror of the actual unforced log tail, as (owner, bytes) —
+        // abort removes the owner's records, so the tail can hold fewer
+        // bytes than `unforced` claims. `None` marks ownerless abort marks.
+        let mut tail: Vec<(Option<usize>, usize)> = Vec::new();
+
+        let last = txns.len() - 1;
+        for (i, txn) in txns.iter().enumerate() {
+            let owner = t(i as u64 + 1);
+            w.begin(owner);
+            unforced += REC_HDR;
+            tail.push((Some(i), REC_HDR));
+            for (at, data) in &txn.writes {
+                w.write(fid, owner, ByteRange::new(*at, data.len() as u64), data, &mut a)
+                    .unwrap();
+                unforced += update_bytes(data.len());
+                tail.push((Some(i), update_bytes(data.len())));
+            }
+            if i == last {
+                // The torture step: the commit's log force dies after
+                // `crash_after_pages` pages.
+                unforced += REC_HDR; // the commit record itself
+                tail.push((None, REC_HDR));
+                w.arm_commit_crash(crash_after_pages);
+                w.commit(owner, &mut a);
+                prop_assert!(w.crash_fired());
+                // The force is sized by `unforced_bytes`; the commit record
+                // is the last record of the (smaller) real tail, so it is
+                // durable iff the whole tail fits in the forced pages.
+                let force_pages = (unforced.max(1)).div_ceil(ps) as u64;
+                let budget = crash_after_pages.min(force_pages) as usize * ps;
+                let tail_bytes: usize = tail.iter().map(|(_, b)| b).sum();
+                if tail_bytes <= budget {
+                    apply(&mut expected, &txn.writes);
+                }
+            } else if txn.abort {
+                w.abort(owner, &mut a);
+                unforced += REC_HDR;
+                tail.retain(|(o, _)| *o != Some(i));
+                tail.push((None, REC_HDR));
+            } else {
+                w.commit(owner, &mut a);
+                unforced = 0;
+                tail.clear();
+                apply(&mut expected, &txn.writes);
+            }
+        }
+
+        w.recover(&mut a);
+        let got = w
+            .read(fid, ByteRange::new(0, expected.len().max(1) as u64 + 512), &mut a)
+            .unwrap();
+        let mut want = expected.clone();
+        want.resize(got.len().max(want.len()), 0);
+        let mut got_padded = got.clone();
+        got_padded.resize(want.len(), 0);
+        prop_assert_eq!(
+            got_padded, want,
+            "post-recovery image diverged from ledger (crash after {} pages)",
+            crash_after_pages
+        );
+    }
+}
+
+#[test]
+fn commit_crash_at_zero_pages_loses_the_transaction() {
+    let (w, mut a, _) = store();
+    let fid = w.create_file(&mut a);
+    w.begin(t(1));
+    w.write(fid, t(1), ByteRange::new(0, 4), b"gone", &mut a)
+        .unwrap();
+    w.arm_commit_crash(0);
+    w.commit(t(1), &mut a);
+    assert!(w.crash_fired());
+    w.recover(&mut a);
+    assert!(w
+        .read(fid, ByteRange::new(0, 4), &mut a)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn commit_crash_after_full_force_keeps_the_transaction() {
+    let (w, mut a, _) = store();
+    let fid = w.create_file(&mut a);
+    w.begin(t(1));
+    w.write(fid, t(1), ByteRange::new(0, 4), b"kept", &mut a)
+        .unwrap();
+    // A small transaction forces one page; crashing after 8 means the force
+    // completed before the machine died.
+    w.arm_commit_crash(8);
+    w.commit(t(1), &mut a);
+    assert!(w.crash_fired());
+    w.recover(&mut a);
+    assert_eq!(w.read(fid, ByteRange::new(0, 4), &mut a).unwrap(), b"kept");
+}

@@ -87,14 +87,19 @@ fn scenario_crash_before_mark() {
         .iter()
         .copied()
         .collect();
-    c.site(0).kernel.home().unwrap().coord_log_put(
-        &locus::types::CoordLogRecord {
-            tid,
-            files: files.clone(),
-            status: TxnStatus::Unknown,
-        },
-        &mut a,
-    );
+    c.site(0)
+        .kernel
+        .home()
+        .unwrap()
+        .coord_log_put(
+            &locus::types::CoordLogRecord {
+                tid,
+                files: files.clone(),
+                status: TxnStatus::Unknown,
+            },
+            &mut a,
+        )
+        .unwrap();
     c.site(0)
         .kernel
         .rpc(
@@ -103,6 +108,7 @@ fn scenario_crash_before_mark() {
                 tid,
                 coordinator: locus::types::SiteId(0),
                 files: files.iter().map(|f| f.fid).collect(),
+                epoch: 0,
             }),
             &mut a,
         )

@@ -81,14 +81,19 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
         .iter()
         .copied()
         .collect();
-    c.site(0).kernel.home().unwrap().coord_log_put(
-        &locus::types::CoordLogRecord {
-            tid,
-            files: files.clone(),
-            status: TxnStatus::Unknown,
-        },
-        &mut a0,
-    );
+    c.site(0)
+        .kernel
+        .home()
+        .unwrap()
+        .coord_log_put(
+            &locus::types::CoordLogRecord {
+                tid,
+                files: files.clone(),
+                status: TxnStatus::Unknown,
+            },
+            &mut a0,
+        )
+        .unwrap();
     c.site(0)
         .kernel
         .rpc(
@@ -97,6 +102,7 @@ fn carried_volume_with_undecided_coordinator_stays_in_doubt() {
                 tid,
                 coordinator: SiteId(0),
                 files: files.iter().map(|f| f.fid).collect(),
+                epoch: 0,
             }),
             &mut a0,
         )

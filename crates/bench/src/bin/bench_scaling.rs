@@ -18,6 +18,15 @@
 //! * `commit_distinct` — each thread runs one-write transactions against its
 //!   own file (begin, write, end), exercising the transaction path end to
 //!   end.
+//! * `commit_group`    — the same commit workload with a wider (100 µs)
+//!   group-commit gather window on the home volume: barrier leaders that
+//!   catch another committer mid-barrier hold the flush open so both
+//!   batches land in one transfer. The per-phase `frames_per_flush` field
+//!   is the group-commit evidence: > 1 means multiple journal records per
+//!   stable barrier (the old per-record KV layout was 1.0 by definition).
+//!   On a single-core host barriers rarely overlap, so the window seldom
+//!   opens and `commit_group` ≈ `commit_distinct` — the ladder only
+//!   separates on real cores.
 //!
 //! Note that wall-clock *scaling* across the thread ladder is only
 //! meaningful on a multi-core host; on a single-core container the distinct
@@ -34,7 +43,7 @@
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use locus_core::manager::EndOutcome;
 use locus_harness::cluster::Cluster;
@@ -100,6 +109,10 @@ struct Sample {
     ops_per_sec: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Journal frames per group-commit flush on the site's home volume —
+    /// anything above 1 means concurrent barriers coalesced (meaningful for
+    /// the commit phases; the lock phases barely touch the journal).
+    frames_per_flush: f64,
 }
 
 fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
@@ -114,12 +127,24 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 /// folds the per-cycle latencies into a [`Sample`]. `prep` runs once per
 /// thread (open files, position the pointer) and returns the cycle closure;
 /// only the cycles are timed.
-fn run_phase<F>(phase: &'static str, n: usize, per_thread: usize, prep: F) -> Sample
+fn run_phase<F>(
+    phase: &'static str,
+    n: usize,
+    per_thread: usize,
+    group_window: Option<Duration>,
+    prep: F,
+) -> Sample
 where
     F: for<'a> Fn(usize, &'a ThreadCtx) -> Box<dyn FnMut() + 'a> + Sync,
 {
     let cluster = Cluster::new(1);
     let site = cluster.site(0).clone();
+    let journal_stats = {
+        let home = site.kernel.home().unwrap();
+        home.journal().set_group_window(group_window);
+        move || home.journal().flush_stats()
+    };
+    let (flushes0, frames0, _) = journal_stats();
     // Pre-create one file per thread plus the shared one so the timed loop
     // measures locking, not file creation.
     let setup = ThreadCtx::new(site.clone());
@@ -155,11 +180,13 @@ where
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = t0.elapsed();
+    let (flushes1, frames1, _) = journal_stats();
     cluster.drain_async();
 
     let mut all: Vec<u64> = lat.into_iter().flatten().collect();
     all.sort_unstable();
     let ops = n * per_thread;
+    let flushes = flushes1 - flushes0;
     Sample {
         phase,
         threads: n,
@@ -168,6 +195,11 @@ where
         ops_per_sec: ops as f64 / elapsed.as_secs_f64(),
         p50_us: percentile_us(&all, 0.50),
         p99_us: percentile_us(&all, 0.99),
+        frames_per_flush: if flushes > 0 {
+            (frames1 - frames0) as f64 / flushes as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -183,7 +215,8 @@ fn render_json(quick: bool, samples: &[Sample]) -> String {
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"phase\": \"{}\", \"threads\": {}, \"ops\": {}, \"elapsed_ms\": {:.3}, \
-             \"ops_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}{}\n",
+             \"ops_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"frames_per_flush\": {:.2} }}{}\n",
             s.phase,
             s.threads,
             s.ops,
@@ -191,6 +224,7 @@ fn render_json(quick: bool, samples: &[Sample]) -> String {
             s.ops_per_sec,
             s.p50_us,
             s.p99_us,
+            s.frames_per_flush,
             if i + 1 < samples.len() { "," } else { "" }
         ));
     }
@@ -258,14 +292,14 @@ fn main() -> ExitCode {
 
     let mut samples = Vec::new();
     for &n in &args.threads {
-        samples.push(run_phase("lock_distinct", n, lock_ops, |t, ctx| {
+        samples.push(run_phase("lock_distinct", n, lock_ops, None, |t, ctx| {
             let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
             Box::new(move || {
                 ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("lock_same_file", n, lock_ops, |t, ctx| {
+        samples.push(run_phase("lock_same_file", n, lock_ops, None, |t, ctx| {
             let ch = ctx.open("/shared", true).unwrap();
             ctx.seek(ch, 8 * t as u64).unwrap();
             Box::new(move || {
@@ -273,14 +307,14 @@ fn main() -> ExitCode {
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("lock_handoff", n, handoff_ops, |_, ctx| {
+        samples.push(run_phase("lock_handoff", n, handoff_ops, None, |_, ctx| {
             let ch = ctx.open("/shared", true).unwrap();
             Box::new(move || {
                 ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("commit_distinct", n, txn_ops, |t, ctx| {
+        samples.push(run_phase("commit_distinct", n, txn_ops, None, |t, ctx| {
             let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
             Box::new(move || {
                 ctx.begin_trans().unwrap();
@@ -289,13 +323,28 @@ fn main() -> ExitCode {
                 assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
             })
         }));
+        samples.push(run_phase(
+            "commit_group",
+            n,
+            txn_ops,
+            Some(Duration::from_micros(100)),
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+                Box::new(move || {
+                    ctx.begin_trans().unwrap();
+                    ctx.seek(ch, 0).unwrap();
+                    ctx.write(ch, &(t as u64).to_le_bytes()).unwrap();
+                    assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
+                })
+            },
+        ));
     }
 
-    println!("phase            threads      ops/sec    p50 µs    p99 µs");
+    println!("phase            threads      ops/sec    p50 µs    p99 µs  frames/flush");
     for s in &samples {
         println!(
-            "{:<16} {:>7} {:>12.0} {:>9.1} {:>9.1}",
-            s.phase, s.threads, s.ops_per_sec, s.p50_us, s.p99_us
+            "{:<16} {:>7} {:>12.0} {:>9.1} {:>9.1} {:>13.2}",
+            s.phase, s.threads, s.ops_per_sec, s.p50_us, s.p99_us, s.frames_per_flush
         );
     }
     for phase in [
@@ -303,6 +352,7 @@ fn main() -> ExitCode {
         "lock_same_file",
         "lock_handoff",
         "commit_distinct",
+        "commit_group",
     ] {
         let at = |n: usize| {
             samples

@@ -423,6 +423,14 @@ impl TxnManager {
                 });
             }
         }
+        if completed > 0 {
+            // Phase two runs off the commit latency path, so one batched
+            // flush here makes the purged coordinator records durable —
+            // otherwise a crash would resurface them and redo phase two.
+            if let Ok(home) = self.kernel.home() {
+                let _ = home.log_barrier(acct);
+            }
+        }
         completed
     }
 
@@ -587,6 +595,21 @@ impl TxnManager {
                 return false;
             }
         }
+        // One group-commit flush per touched volume covers every file's
+        // prepare record (N files, one barrier): the yes vote must be
+        // durable before it is cast, but nothing forces a barrier per file.
+        let mut flushed = std::collections::BTreeSet::new();
+        for fid in files {
+            if !flushed.insert(fid.volume) {
+                continue;
+            }
+            let Ok(vol) = self.kernel.volume(fid.volume) else {
+                return false;
+            };
+            if vol.log_barrier(acct).is_err() {
+                return false;
+            }
+        }
         true
     }
 
@@ -627,9 +650,12 @@ impl TxnManager {
                 }
             }
             let _ = self.kernel.sync_replicas(*fid, &il, acct);
-            // The purge must stick before the commit is acknowledged: a
-            // surviving prepare log plus a purged coordinator log reads as
-            // presumed abort at recovery and would roll back installed data.
+            // The purge is a lazy truncation: it need not hit stable storage
+            // before the ack. If it is lost, recovery resurfaces a stale
+            // prepare record, finds the intentions already installed
+            // (install_intentions is idempotent) or presumes abort and
+            // truncates again — either way no acked write is lost. Only a
+            // dead disk (journal unreachable) blocks the ack.
             vol.prepare_log_delete(tid, *fid, acct)?;
         }
         let granted = self.kernel.locks.release_owner(owner, acct);
@@ -911,10 +937,11 @@ impl TxnManager {
                 Some(TxnStatus::Aborted) | None => {
                     // Absent log ⇒ the transaction finished everywhere; but a
                     // surviving prepare log means *we* did not finish — with
-                    // presumed abort semantics, roll back.
-                    for p in rec.intentions.new_pages() {
-                        vol.disk().free(p);
-                    }
+                    // presumed abort semantics, roll back. Do NOT free the
+                    // shadow pages directly: truncations are lazy, so a
+                    // resurfaced stale record may name blocks that were since
+                    // installed into an inode or reallocated. Truncate only;
+                    // the scavenge pass below reclaims true orphans.
                     let _ = vol.prepare_log_delete(rec.tid, fid, acct);
                     report.participant_aborted += 1;
                 }
@@ -928,6 +955,10 @@ impl TxnManager {
 
         // Orphaned shadow pages from crashes between allocation and logging.
         report.scavenged += vol.scavenge(acct);
+
+        // Persist the replayed truncations and status rewrites in one flush
+        // so a second crash does not redo the whole pass.
+        let _ = vol.log_barrier(acct);
     }
 }
 

@@ -141,21 +141,28 @@ fn figure5_io_counts_for_simple_transaction() {
     let before = a.clone();
     s.txn.end_trans(pid, &mut a).unwrap();
     let d = a.delta_since(&before);
+    // With the commit journal, the coordinator-log and prepare-log appends
+    // are buffered; each phase pays one group-commit flush instead of one
+    // stable write per record: data flush + prepare flush + commit-mark
+    // flush. (Figure 5's 4th I/O, the separate coordinator-log write, rides
+    // in the prepare/commit flushes.)
     assert_eq!(
         d.total_ios(),
-        4,
-        "coordinator log + data flush + prepare log + commit mark"
+        3,
+        "data flush + prepare-log flush + commit-mark flush"
     );
 
     let mut bg = acct(0);
     s.txn.run_async_work(&mut bg);
-    assert_eq!(bg.total_ios(), 1, "asynchronous inode install");
+    // Inode install plus the batched flush of the purged coordinator
+    // record — both off the commit latency path.
+    assert_eq!(bg.total_ios(), 2, "async inode install + log purge flush");
 }
 
 #[test]
 fn figure5_footnote9_doubles_log_writes() {
-    // With the 1985 prototype's double log appends, steps 1 and 3 cost two
-    // I/Os each: 6 before completion instead of 4.
+    // With the 1985 prototype's double log appends, each journal flush costs
+    // two I/Os: 5 before completion instead of 3.
     let c = TestCluster::with_model(1, CostModel::paper_1985());
     let s = c.site(0);
     let k = &s.kernel;
@@ -166,7 +173,7 @@ fn figure5_footnote9_doubles_log_writes() {
     k.write(pid, ch, b"x", &mut a).unwrap();
     let before = a.clone();
     s.txn.end_trans(pid, &mut a).unwrap();
-    assert_eq!(a.delta_since(&before).total_ios(), 6);
+    assert_eq!(a.delta_since(&before).total_ios(), 5);
 }
 
 #[test]
@@ -185,8 +192,8 @@ fn multi_page_transaction_repeats_only_data_flush() {
     }
     let before = a.clone();
     s.txn.end_trans(pid, &mut a).unwrap();
-    // 1 coord log + 4 data flushes + 1 prepare log + 1 commit mark.
-    assert_eq!(a.delta_since(&before).total_ios(), 7);
+    // 4 data flushes + 1 prepare-log flush + 1 commit-mark flush.
+    assert_eq!(a.delta_since(&before).total_ios(), 6);
 }
 
 #[test]
@@ -419,6 +426,10 @@ fn coordinator_crash_before_commit_mark_aborts() {
             &mut a0,
         )
         .unwrap();
+    // The hand-written Unknown record must be durable for the dangerous
+    // window to exist; end_trans would leave it to ride the commit-mark
+    // flush, but this test crashes before any such flush.
+    s0.kernel.home().unwrap().log_barrier(&mut a0).unwrap();
     let fid = files[0].fid;
     s0.kernel
         .rpc(

@@ -86,13 +86,26 @@ pub enum MutationKind {
     StableAppend(String),
     /// A stable record deletion (log truncation/purge).
     StableDelete(String),
+    /// A frame appended to the journal region's volatile tail (the frame
+    /// index in the combined durable+tail stream). Not a barrier: the frame
+    /// reaches the platters only at the next [`MutationKind::JournalFlush`].
+    JournalAppend(u64),
+    /// A group-commit flush of the journal tail — `frames` buffered frames
+    /// reach the platters in one sequential transfer. A write barrier.
+    JournalFlush { frames: u64 },
+    /// A journal compaction: the durable region is atomically rewritten to
+    /// hold only the `kept` live frames. A write barrier.
+    JournalTruncate { kept: u64 },
 }
 
 impl MutationKind {
     /// The stable key this mutation touches, if it is a stable-store op.
     pub fn stable_key(&self) -> Option<&str> {
         match self {
-            MutationKind::Write(_) => None,
+            MutationKind::Write(_)
+            | MutationKind::JournalAppend(_)
+            | MutationKind::JournalFlush { .. }
+            | MutationKind::JournalTruncate { .. } => None,
             MutationKind::StablePut(k)
             | MutationKind::StableAppend(k)
             | MutationKind::StableDelete(k) => Some(k),
@@ -122,6 +135,11 @@ struct DiskInner {
     /// Prior contents of blocks written since the last stable-store barrier.
     /// Populated only while armed with `LostBuffer`; used for rollback.
     journal: Vec<(PhysPage, Option<Block>)>,
+    /// Non-volatile frames of the append-only journal region (commit logs).
+    log_frames: Vec<Vec<u8>>,
+    /// Volatile journal tail: frames appended but not yet flushed. Lost on
+    /// crash/reboot; made durable by [`SimDisk::journal_flush`].
+    log_tail: Vec<Vec<u8>>,
 }
 
 impl DiskInner {
@@ -201,6 +219,8 @@ impl SimDisk {
                 armed: None,
                 tripped: false,
                 journal: Vec::new(),
+                log_frames: Vec::new(),
+                log_tail: Vec::new(),
             }),
             page_size,
             model,
@@ -239,6 +259,12 @@ impl SimDisk {
         };
         ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         acct.wait(latency);
+    }
+
+    /// Charges one transfer of the given kind without touching disk state —
+    /// for layers that model record reads served out of a journal scan.
+    pub fn charge_io(&self, acct: &mut Account, kind: IoKind) {
+        self.charge(acct, kind);
     }
 
     /// Allocates a free block. Costs CPU only (the bitmap is cached in
@@ -307,9 +333,8 @@ impl SimDisk {
                 // `keep_bytes` bytes of the new image over the old contents.
                 let keep = keep_bytes.min(block.len());
                 if let Some(slot) = inner.blocks.get_mut(page.0 as usize) {
-                    let mut torn = slot.clone().unwrap_or_else(|| vec![0; self.page_size]);
+                    let torn = slot.get_or_insert_with(|| vec![0; self.page_size]);
                     torn[..keep].copy_from_slice(&block[..keep]);
-                    *slot = Some(torn);
                 }
                 return Err(Error::DiskOffline);
             }
@@ -420,11 +445,131 @@ impl SimDisk {
             .collect()
     }
 
-    /// Records a crash. Disk contents are non-volatile and survive; the
-    /// call exists so higher layers share one crash notion and tests can
-    /// count crashes.
+    // ----- Append-only journal region (commit logs) ------------------------
+
+    /// Appends one frame to the journal's volatile tail. Costs CPU only —
+    /// the frame is buffered in the controller and reaches the platters at
+    /// the next [`SimDisk::journal_flush`]. Counted as a durable mutation so
+    /// the torture harness can crash between an append and its flush (the
+    /// frame is then simply lost, as a real volatile buffer would be).
+    pub fn journal_append(&self, frame: Vec<u8>, acct: &mut Account) -> Result<()> {
+        acct.cpu_instrs(&self.model, 50);
+        let mut inner = self.inner.lock();
+        let idx = (inner.log_frames.len() + inner.log_tail.len()) as u64;
+        match inner.gate(|| MutationKind::JournalAppend(idx))? {
+            None => {}
+            Some(CrashPointMode::LostBuffer { max_rollback }) => {
+                inner.rollback_journal(max_rollback);
+                return Err(Error::DiskOffline);
+            }
+            // The tail is volatile memory: nothing to tear, the frame is
+            // dropped whole.
+            Some(_) => return Err(Error::DiskOffline),
+        }
+        inner.log_tail.push(frame);
+        Ok(())
+    }
+
+    /// Flushes the journal tail to the platters: one sequential transfer for
+    /// however many frames are buffered — this is the group-commit batching.
+    /// A write barrier (flushes buffered block writes like any stable op).
+    /// Free when the tail is already empty. Returns the number of frames
+    /// made durable.
+    ///
+    /// A [`CrashPointMode::Torn`] trip lands a whole-frame prefix of the
+    /// tail (frames are sector-aligned; `keep_bytes` of the transfer
+    /// completed) — partial group durability, which recovery must tolerate.
+    pub fn journal_flush(&self, acct: &mut Account) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        if inner.tripped {
+            return Err(Error::DiskOffline);
+        }
+        if inner.log_tail.is_empty() {
+            return Ok(0);
+        }
+        self.charge(acct, IoKind::SeqWrite);
+        if self.model.log_double_write {
+            // Footnote 9: the 1985 prototype also rewrote the log's inode.
+            self.charge(acct, IoKind::Write);
+        }
+        let frames = inner.log_tail.len() as u64;
+        match inner.gate(|| MutationKind::JournalFlush { frames })? {
+            None => {
+                inner.journal.clear();
+                let mut tail = std::mem::take(&mut inner.log_tail);
+                inner.log_frames.append(&mut tail);
+                Ok(frames)
+            }
+            Some(CrashPointMode::Torn { keep_bytes }) => {
+                let mut landed = 0usize;
+                let mut budget = keep_bytes;
+                for f in &inner.log_tail {
+                    if f.len() > budget {
+                        break;
+                    }
+                    budget -= f.len();
+                    landed += 1;
+                }
+                let kept: Vec<Vec<u8>> = inner.log_tail.drain(..landed).collect();
+                inner.log_frames.extend(kept);
+                Err(Error::DiskOffline)
+            }
+            Some(CrashPointMode::LostBuffer { max_rollback }) => {
+                inner.rollback_journal(max_rollback);
+                Err(Error::DiskOffline)
+            }
+            Some(CrashPointMode::Clean) => Err(Error::DiskOffline),
+        }
+    }
+
+    /// Number of (durable, buffered) journal frames.
+    pub fn journal_frame_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.log_frames.len() as u64, inner.log_tail.len() as u64)
+    }
+
+    /// The durable journal frames — uncharged, unaffected by trip state.
+    /// This is what reboot recovery replays and what the durability oracle
+    /// inspects; the volatile tail is never visible here.
+    pub fn journal_peek(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().log_frames.clone()
+    }
+
+    /// Compacts the journal: atomically replaces the durable region with the
+    /// given live frames (a real log writes the survivors to a fresh extent
+    /// and swings the tail pointer). One sequential transfer; a write
+    /// barrier. A trip leaves the old region intact — the pointer never
+    /// swung. The volatile tail must be empty (flush first).
+    pub fn journal_compact(&self, live: Vec<Vec<u8>>, acct: &mut Account) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.tripped {
+            return Err(Error::DiskOffline);
+        }
+        debug_assert!(inner.log_tail.is_empty(), "flush before compacting");
+        self.charge(acct, IoKind::SeqWrite);
+        let kept = live.len() as u64;
+        match inner.gate(|| MutationKind::JournalTruncate { kept })? {
+            None => {
+                inner.journal.clear();
+                inner.log_frames = live;
+                Ok(())
+            }
+            Some(CrashPointMode::LostBuffer { max_rollback }) => {
+                inner.rollback_journal(max_rollback);
+                Err(Error::DiskOffline)
+            }
+            Some(_) => Err(Error::DiskOffline),
+        }
+    }
+
+    /// Records a crash. Disk contents are non-volatile and survive — except
+    /// the journal's buffered tail, which was controller memory; the call
+    /// exists so higher layers share one crash notion and tests can count
+    /// crashes.
     pub fn crash(&self) {
-        self.inner.lock().crashes += 1;
+        let mut inner = self.inner.lock();
+        inner.crashes += 1;
+        inner.log_tail.clear();
     }
 
     pub fn crash_count(&self) -> u64 {
@@ -476,13 +621,14 @@ impl SimDisk {
     }
 
     /// Brings a tripped disk back online (power restored): clears the trip,
-    /// disarms, and drops the rollback journal. Platter contents are exactly
-    /// as the crash left them.
+    /// disarms, and drops the rollback journal and any buffered journal
+    /// tail. Platter contents are exactly as the crash left them.
     pub fn reboot(&self) {
         let mut inner = self.inner.lock();
         inner.tripped = false;
         inner.armed = None;
         inner.journal.clear();
+        inner.log_tail.clear();
     }
 
     /// Raw platter contents of a block — uncharged, unaffected by trip
@@ -698,6 +844,111 @@ mod tests {
         assert_eq!(&d.read(p, &mut a).unwrap()[..4], b"keep");
         assert_eq!(d.read(q, &mut a).unwrap(), vec![0u8; 1024]);
         assert_eq!(d.read(r, &mut a).unwrap(), vec![0u8; 1024]);
+    }
+
+    #[test]
+    fn journal_append_is_free_and_flush_is_one_seq_io() {
+        let (d, mut a) = disk();
+        d.journal_append(vec![1, 2, 3], &mut a).unwrap();
+        d.journal_append(vec![4, 5], &mut a).unwrap();
+        assert_eq!(a.seq_ios, 0);
+        assert_eq!(a.disk_writes, 0);
+        assert_eq!(d.journal_frame_counts(), (0, 2));
+        assert_eq!(d.journal_flush(&mut a).unwrap(), 2);
+        assert_eq!(a.seq_ios, 1);
+        assert_eq!(a.disk_writes, 0);
+        assert_eq!(d.journal_frame_counts(), (2, 0));
+        // An empty flush is free.
+        assert_eq!(d.journal_flush(&mut a).unwrap(), 0);
+        assert_eq!(a.seq_ios, 1);
+        assert_eq!(d.journal_peek(), vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn journal_flush_respects_footnote9() {
+        let model = Arc::new(CostModel::paper_1985());
+        let d = SimDisk::new(8, model, Arc::new(Counters::default()));
+        let mut a = Account::new(SiteId(1));
+        d.journal_append(vec![1], &mut a).unwrap();
+        d.journal_flush(&mut a).unwrap();
+        assert_eq!(a.seq_ios, 1);
+        assert_eq!(a.disk_writes, 1);
+    }
+
+    #[test]
+    fn crash_drops_unflushed_journal_tail() {
+        let (d, mut a) = disk();
+        d.journal_append(vec![1], &mut a).unwrap();
+        d.journal_flush(&mut a).unwrap();
+        d.journal_append(vec![2], &mut a).unwrap();
+        d.crash();
+        assert_eq!(d.journal_peek(), vec![vec![1]]);
+        assert_eq!(d.journal_frame_counts(), (1, 0));
+    }
+
+    #[test]
+    fn clean_crash_point_on_flush_loses_whole_tail() {
+        let (d, mut a) = disk();
+        d.journal_append(vec![1], &mut a).unwrap(); // mutation 0
+        d.journal_append(vec![2], &mut a).unwrap(); // mutation 1
+        d.arm_crash_point(2, CrashPointMode::Clean);
+        assert_eq!(d.journal_flush(&mut a), Err(Error::DiskOffline));
+        assert!(d.tripped());
+        assert_eq!(d.journal_append(vec![3], &mut a), Err(Error::DiskOffline));
+        d.reboot();
+        assert!(d.journal_peek().is_empty());
+    }
+
+    #[test]
+    fn torn_flush_lands_whole_frame_prefix() {
+        let (d, mut a) = disk();
+        d.journal_append(vec![1; 4], &mut a).unwrap();
+        d.journal_append(vec![2; 4], &mut a).unwrap();
+        d.journal_append(vec![3; 4], &mut a).unwrap();
+        d.arm_crash_point(3, CrashPointMode::Torn { keep_bytes: 9 });
+        assert_eq!(d.journal_flush(&mut a), Err(Error::DiskOffline));
+        d.reboot();
+        // 9 bytes of the transfer completed: two whole 4-byte frames landed,
+        // the third died mid-sector and is dropped.
+        assert_eq!(d.journal_peek(), vec![vec![1; 4], vec![2; 4]]);
+    }
+
+    #[test]
+    fn journal_flush_is_a_write_barrier() {
+        let (d, mut a) = disk();
+        let p = d.alloc(&mut a).unwrap();
+        let q = d.alloc(&mut a).unwrap();
+        d.arm_crash_point(5, CrashPointMode::LostBuffer { max_rollback: 8 });
+        d.write(p, b"keep", &mut a).unwrap(); // 0: buffered
+        d.journal_append(vec![7], &mut a).unwrap(); // 1: no barrier
+        d.journal_flush(&mut a).unwrap(); // 2: barrier flushes p
+        d.write(q, b"lose", &mut a).unwrap(); // 3: buffered
+        d.journal_append(vec![8], &mut a).unwrap(); // 4: no barrier
+        assert_eq!(d.journal_flush(&mut a), Err(Error::DiskOffline)); // 5: trips, q rolled back
+        d.reboot();
+        assert_eq!(&d.read(p, &mut a).unwrap()[..4], b"keep");
+        assert_eq!(d.read(q, &mut a).unwrap(), vec![0u8; 1024]);
+    }
+
+    #[test]
+    fn journal_compact_replaces_durable_frames_atomically() {
+        let (d, mut a) = disk();
+        for i in 0..4u8 {
+            d.journal_append(vec![i], &mut a).unwrap();
+        }
+        d.journal_flush(&mut a).unwrap();
+        d.journal_compact(vec![vec![2], vec![3]], &mut a).unwrap();
+        assert_eq!(d.journal_peek(), vec![vec![2], vec![3]]);
+
+        // A tripped compaction leaves the old region intact.
+        let at = d.mutation_count();
+        d.arm_crash_point(at, CrashPointMode::Clean);
+        assert_eq!(
+            d.journal_compact(vec![vec![9]], &mut a),
+            Err(Error::DiskOffline)
+        );
+        d.reboot();
+        assert_eq!(d.journal_peek(), vec![vec![2], vec![3]]);
     }
 
     #[test]

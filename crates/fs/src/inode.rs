@@ -14,6 +14,11 @@ pub struct Inode {
     pub len: u64,
     /// Logical-page → physical-block map; `None` for holes.
     pub pages: Vec<Option<PhysPage>>,
+    /// Per-page install counter, bumped every time an intentions list
+    /// re-points the page. Commit differencing compares this — not the
+    /// block number, which the allocator recycles — to decide whether a
+    /// prepared shadow image went stale (see `IntentionsEntry::old_vers`).
+    pub vers: Vec<u64>,
 }
 
 impl Inode {
@@ -22,12 +27,18 @@ impl Inode {
             fid,
             len: 0,
             pages: Vec::new(),
+            vers: Vec::new(),
         }
     }
 
     /// Committed physical block of a logical page, if mapped.
     pub fn page(&self, page: PageNo) -> Option<PhysPage> {
         self.pages.get(page.0 as usize).copied().flatten()
+    }
+
+    /// Install counter of a logical page (0: never installed).
+    pub fn page_version(&self, page: PageNo) -> u64 {
+        self.vers.get(page.0 as usize).copied().unwrap_or(0)
     }
 
     /// Number of logical pages the committed length occupies.
@@ -45,10 +56,14 @@ impl Inode {
             if self.pages.len() <= idx {
                 self.pages.resize(idx + 1, None);
             }
+            if self.vers.len() <= idx {
+                self.vers.resize(idx + 1, 0);
+            }
             if let Some(old) = self.pages[idx] {
                 freed.push(old);
             }
             self.pages[idx] = Some(ent.new_phys);
+            self.vers[idx] += 1;
         }
         // A commit never shrinks the file: an intentions list built while a
         // concurrent extension was still uncommitted carries the shorter
@@ -60,7 +75,9 @@ impl Inode {
     }
 
     /// Drops page mappings wholly beyond `len` for the given page size,
-    /// returning freed blocks.
+    /// returning freed blocks. Install counters are deliberately kept: a
+    /// trimmed-then-regrown page must not restart at version 0, or an old
+    /// prepared image could false-match and skip its merge.
     pub fn trim_to(&mut self, page_size: usize) -> Vec<PhysPage> {
         let keep = self.len.div_ceil(page_size as u64) as usize;
         let mut freed = Vec::new();
@@ -88,6 +105,10 @@ impl Inode {
                 None => e.u8(0),
             }
         }
+        e.u32(self.vers.len() as u32);
+        for v in &self.vers {
+            e.u64(*v);
+        }
         e.finish()
     }
 
@@ -108,7 +129,17 @@ impl Inode {
                 _ => return None,
             });
         }
-        Some(Inode { fid, len, pages })
+        let nv = d.u32()?;
+        let mut vers = Vec::with_capacity(nv as usize);
+        for _ in 0..nv {
+            vers.push(d.u64()?);
+        }
+        Some(Inode {
+            fid,
+            len,
+            pages,
+            vers,
+        })
     }
 }
 

@@ -214,6 +214,48 @@ mod tests {
     }
 
     #[test]
+    fn stale_prepare_merges_even_when_block_number_is_recycled() {
+        // ABA on physical block numbers: t1 prepares against block B, two
+        // other owners then commit the same page — the first install frees
+        // B, the next prepare's first-fit shadow allocation hands B out
+        // again — so at t1's (late, e.g. in-doubt across a coordinator
+        // crash) install the inode points at a block *numbered* B with
+        // entirely different content. Judging staleness by block number
+        // would skip the Figure-4b merge and wipe the interleaved commits;
+        // the per-page install counter must force it.
+        let (v, mut a) = vol();
+        let fid = v.create_file(&mut a).unwrap();
+        let p = proc_owner(9);
+        v.write(fid, p, ByteRange::new(0, 4), b"base", &mut a)
+            .unwrap();
+        v.commit_file(fid, p, &mut a).unwrap();
+
+        let (t1, t2, t3) = (txn_owner(1), txn_owner(2), txn_owner(3));
+        v.write(fid, t1, ByteRange::new(8, 4), b"AAAA", &mut a)
+            .unwrap();
+        let il = v.prepare(fid, t1, &mut a).unwrap();
+        let old = il.entries[0].old_phys.expect("page existed");
+
+        v.write(fid, t2, ByteRange::new(16, 4), b"BBBB", &mut a)
+            .unwrap();
+        v.commit_file(fid, t2, &mut a).unwrap(); // frees `old`
+        v.write(fid, t3, ByteRange::new(24, 4), b"CCCC", &mut a)
+            .unwrap();
+        v.commit_file(fid, t3, &mut a).unwrap(); // first-fit recycles `old`
+        assert!(
+            v.disk().is_allocated(old),
+            "test premise: the freed block number must be recycled"
+        );
+
+        v.commit_prepared(fid, t1, &mut a).unwrap();
+        let data = v.read(fid, ByteRange::new(0, 28), &mut a).unwrap();
+        assert_eq!(&data[0..4], b"base");
+        assert_eq!(&data[8..12], b"AAAA");
+        assert_eq!(&data[16..20], b"BBBB", "t2's commit must survive t1");
+        assert_eq!(&data[24..28], b"CCCC", "t3's commit must survive t1");
+    }
+
+    #[test]
     fn prepare_is_idempotent() {
         let (v, mut a) = vol();
         let fid = v.create_file(&mut a).unwrap();
@@ -244,6 +286,9 @@ mod tests {
             locks: vec![],
         };
         v.prepare_log_put(&rec, &mut a).unwrap();
+        // The participant's pre-vote flush: without it the record would die
+        // in the journal's buffered tail.
+        v.log_barrier(&mut a).unwrap();
         v.crash(); // Buffers gone; prepared shadow blocks + log survive.
         v.reboot();
         let got = v
@@ -262,12 +307,21 @@ mod tests {
             files: vec![],
             status: TxnStatus::Unknown,
         };
+        let before = a.clone();
         v.coord_log_put(&rec, &mut a).unwrap();
+        assert_eq!(
+            a.delta_since(&before).total_ios(),
+            0,
+            "puts are buffered appends"
+        );
         let before = a.clone();
         v.coord_log_set_status(tid, TxnStatus::Committed, &mut a)
             .unwrap();
-        // The commit mark is exactly one random I/O (Figure 5 step 4).
-        assert_eq!(a.delta_since(&before).disk_writes, 1);
+        // The commit point: one group-commit flush makes the `Unknown`
+        // record *and* the status delta durable — one sequential I/O where
+        // the KV layout paid a barrier per record.
+        let d = a.delta_since(&before);
+        assert_eq!((d.seq_ios, d.disk_writes), (1, 0));
         assert_eq!(
             v.coord_log_get(tid, &mut a).unwrap().status,
             TxnStatus::Committed
@@ -276,6 +330,33 @@ mod tests {
         assert_eq!(scanned.len(), 1);
         v.coord_log_delete(tid, &mut a);
         assert!(v.coord_log_scan(&mut a).is_empty());
+    }
+
+    #[test]
+    fn commit_mark_survives_crash_only_after_barrier() {
+        let (v, mut a) = vol();
+        let tid = TransId::new(SiteId(0), 9);
+        let rec = locus_types::CoordLogRecord {
+            tid,
+            files: vec![],
+            status: TxnStatus::Unknown,
+        };
+        v.coord_log_put(&rec, &mut a).unwrap();
+        // Crash with the record still in the buffered tail: gone — which is
+        // safe, `Unknown` means presumed abort.
+        v.crash();
+        v.reboot();
+        assert!(v.coord_log_get(tid, &mut a).is_none());
+        // Committed status flushes as part of the mark itself.
+        v.coord_log_put(&rec, &mut a).unwrap();
+        v.coord_log_set_status(tid, TxnStatus::Committed, &mut a)
+            .unwrap();
+        v.crash();
+        v.reboot();
+        assert_eq!(
+            v.coord_log_get(tid, &mut a).unwrap().status,
+            TxnStatus::Committed
+        );
     }
 
     #[test]
@@ -289,8 +370,11 @@ mod tests {
         };
         let before = a.clone();
         v.coord_log_put(&rec, &mut a).unwrap();
+        assert_eq!(a.delta_since(&before).total_ios(), 0);
+        v.log_barrier(&mut a).unwrap();
         let d = a.delta_since(&before);
-        assert_eq!(d.seq_ios + d.disk_writes, 2, "data page + log inode");
+        assert_eq!(d.seq_ios, 1, "the journal flush");
+        assert_eq!(d.disk_writes, 1, "footnote 9: the log's inode rewrite");
     }
 
     #[test]

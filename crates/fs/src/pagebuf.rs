@@ -15,7 +15,13 @@
 //! Aborts mirror commits: a sole writer's page rolls back wholesale; with
 //! conflicting modifications, only the aborter's ranges are overwritten with
 //! their original (`base`) contents.
+//!
+//! The committed snapshot is lazy: a page buffered for reading stores one
+//! copy of the content, and the snapshot is only materialized by the first
+//! write. Read-heavy workloads (the common case — most pages are never
+//! written between load and eviction) therefore never pay the copy.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use locus_types::{range, ByteRange, Owner};
@@ -25,8 +31,10 @@ use locus_types::{range, ByteRange, Owner};
 pub struct PageBuf {
     /// Visible content, merging all owners' uncommitted writes.
     pub current: Vec<u8>,
-    /// Content as of the last commit affecting this page.
-    pub base: Vec<u8>,
+    /// Content as of the last commit affecting this page, materialized by
+    /// the first uncommitted write (`None`: the page is clean and `current`
+    /// *is* the committed content).
+    base: Option<Vec<u8>>,
     /// Per-owner modified byte ranges (coalesced, page-relative).
     pub writers: BTreeMap<Owner, Vec<ByteRange>>,
 }
@@ -35,7 +43,7 @@ impl PageBuf {
     /// A buffer initialized from committed content.
     pub fn clean(content: Vec<u8>) -> Self {
         PageBuf {
-            base: content.clone(),
+            base: None,
             current: content,
             writers: BTreeMap::new(),
         }
@@ -54,9 +62,18 @@ impl PageBuf {
         self.writers.contains_key(&owner)
     }
 
+    /// Content as of the last commit affecting this page.
+    pub fn committed(&self) -> &[u8] {
+        self.base.as_deref().unwrap_or(&self.current)
+    }
+
     /// Applies a write by `owner` at page-relative `at`.
     pub fn write(&mut self, owner: Owner, at: ByteRange, data: &[u8]) {
         debug_assert_eq!(at.len as usize, data.len());
+        if self.base.is_none() {
+            // First uncommitted write: snapshot the committed content.
+            self.base = Some(self.current.clone());
+        }
         let start = at.start as usize;
         let end = start + data.len();
         if self.current.len() < end {
@@ -69,15 +86,15 @@ impl PageBuf {
     }
 
     /// The committed image for `owner`'s commit: `current` when the owner is
-    /// the sole writer (Figure 4a), else `base` with the owner's ranges
-    /// transferred (Figure 4b). Also reports whether differencing was needed
-    /// and how many bytes were moved.
-    pub fn commit_image(&self, owner: Owner) -> Option<(Vec<u8>, bool, u64)> {
+    /// the sole writer (Figure 4a, borrowed — no copy), else `base` with the
+    /// owner's ranges transferred (Figure 4b). Also reports whether
+    /// differencing was needed and how many bytes were moved.
+    pub fn commit_image(&self, owner: Owner) -> Option<(Cow<'_, [u8]>, bool, u64)> {
         let ranges = self.writers.get(&owner)?;
         if self.writers.len() == 1 {
-            return Some((self.current.clone(), false, 0));
+            return Some((Cow::Borrowed(&self.current), false, 0));
         }
-        let mut img = self.base.clone();
+        let mut img = self.committed().to_vec();
         if img.len() < self.current.len() {
             img.resize(self.current.len(), 0);
         }
@@ -87,36 +104,57 @@ impl PageBuf {
             img[s..e].copy_from_slice(&self.current[s..e]);
             moved += r.len;
         }
-        Some((img, true, moved))
+        Some((Cow::Owned(img), true, moved))
     }
 
     /// Completes `owner`'s commit: its ranges become part of the committed
     /// base, and the owner is dropped from the writer set.
     pub fn finish_commit(&mut self, owner: Owner) {
-        if let Some((img, _, _)) = self.commit_image(owner) {
-            self.base = img;
-            self.writers.remove(&owner);
+        let Some(ranges) = self.writers.remove(&owner) else {
+            return;
+        };
+        if self.writers.is_empty() {
+            // Sole writer: everything visible is now committed; the
+            // snapshot is obsolete.
+            self.base = None;
+            return;
+        }
+        let base = self
+            .base
+            .as_mut()
+            .expect("writers present implies snapshot");
+        if base.len() < self.current.len() {
+            base.resize(self.current.len(), 0);
+        }
+        for r in &ranges {
+            let (s, e) = (r.start as usize, r.end() as usize);
+            base[s..e].copy_from_slice(&self.current[s..e]);
         }
     }
 
     /// Rolls back `owner`'s modifications. Returns `(rolled_back, bytes)`:
     /// bytes copied when differencing was required (other writers present).
     pub fn abort(&mut self, owner: Owner) -> (bool, u64) {
-        let Some(ranges) = self.writers.remove(&owner) else {
+        if !self.writers.contains_key(&owner) {
             return (false, 0);
-        };
+        }
+        let ranges = self.writers.remove(&owner).expect("checked above");
         if self.writers.is_empty() {
             // Sole writer: the whole page reverts (Figure 4a mirror).
-            self.current = self.base.clone();
+            self.current = self.base.take().expect("writer implies snapshot");
             return (true, 0);
         }
         // Conflicting modifications: overwrite only the aborter's records
         // with their original contents (Figure 4b mirror).
+        let base = self
+            .base
+            .as_ref()
+            .expect("writers present implies snapshot");
         let mut moved = 0;
         for r in &ranges {
             let (s, e) = (r.start as usize, r.end() as usize);
             for i in s..e {
-                let orig = self.base.get(i).copied().unwrap_or(0);
+                let orig = base.get(i).copied().unwrap_or(0);
                 if i < self.current.len() {
                     self.current[i] = orig;
                 }
@@ -189,6 +227,7 @@ mod tests {
         p.write(proc_owner(1), ByteRange::new(4, 4), b"AAAA");
         let (img, diffed, moved) = p.commit_image(proc_owner(1)).unwrap();
         assert!(!diffed);
+        assert!(matches!(img, Cow::Borrowed(_)), "fast path must not copy");
         assert_eq!(moved, 0);
         assert_eq!(&img[4..8], b"AAAA");
     }
@@ -214,14 +253,24 @@ mod tests {
         p.write(txn_owner(1), ByteRange::new(0, 4), b"AAAA");
         p.write(txn_owner(2), ByteRange::new(8, 4), b"BBBB");
         p.finish_commit(txn_owner(1));
-        assert_eq!(&p.base[0..4], b"AAAA");
-        assert_eq!(&p.base[8..12], &[0, 0, 0, 0]);
+        assert_eq!(&p.committed()[0..4], b"AAAA");
+        assert_eq!(&p.committed()[8..12], &[0, 0, 0, 0]);
         assert_eq!(p.writer_count(), 1);
         // Committing the second writer now merges onto the new base.
         let (img, diffed, _) = p.commit_image(txn_owner(2)).unwrap();
         assert!(!diffed); // Sole remaining writer: direct commit.
         assert_eq!(&img[0..4], b"AAAA");
         assert_eq!(&img[8..12], b"BBBB");
+    }
+
+    #[test]
+    fn clean_page_defers_snapshot_until_first_write() {
+        let mut p = page();
+        assert_eq!(p.committed().len(), 64);
+        p.write(proc_owner(1), ByteRange::new(0, 4), b"XXXX");
+        // Snapshot holds the pre-write content; current has the write.
+        assert_eq!(&p.committed()[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&p.current[0..4], b"XXXX");
     }
 
     #[test]

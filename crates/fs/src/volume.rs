@@ -18,12 +18,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use locus_disk::SimDisk;
+use locus_disk::{IoKind, SimDisk};
 use locus_sim::{Account, CostModel, Counters, Event, EventLog};
 use locus_types::{
     ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner, PageNo,
     PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
 };
+use locus_wal::Journal;
 
 use crate::inode::Inode;
 use crate::pagebuf::PageBuf;
@@ -61,6 +62,9 @@ pub struct Volume {
     events: Arc<EventLog>,
     state: Mutex<VolState>,
     next_inode: AtomicU32,
+    /// Append-only commit journal holding the coordinator and prepare logs
+    /// (Section 4.4: on the same volume as the files they cover).
+    journal: Journal,
 }
 
 impl Volume {
@@ -72,6 +76,7 @@ impl Volume {
         counters: Arc<Counters>,
         events: Arc<EventLog>,
     ) -> Self {
+        let journal = Journal::new(disk.clone());
         Volume {
             id,
             site,
@@ -81,6 +86,7 @@ impl Volume {
             events,
             state: Mutex::new(VolState::default()),
             next_inode: AtomicU32::new(1),
+            journal,
         }
     }
 
@@ -384,9 +390,13 @@ impl Volume {
                 // interest are transferred to that page". The re-read is
                 // charged (the paper's own Figure 6 overlap latencies show
                 // the extra I/O); the merge itself works from the in-memory
-                // base snapshot, which is byte-identical to the stable page.
-                if let Some(stable) = st.incore[&ino].page(page) {
-                    let _ = self.disk.read(stable, acct)?;
+                // base snapshot, which is byte-identical to the stable page,
+                // so only the I/O is charged — no block is materialized.
+                if st.incore[&ino].page(page).is_some() {
+                    self.disk.charge_io(acct, IoKind::Read);
+                    if self.disk.tripped() {
+                        return Err(locus_types::Error::DiskOffline);
+                    }
                 }
                 acct.cpu_instrs(&self.model, self.model.diff_instrs(moved));
                 acct.pages_differenced += 1;
@@ -407,6 +417,7 @@ impl Volume {
                 page,
                 new_phys: shadow,
                 old_phys: st.incore[&ino].page(page),
+                old_vers: st.incore[&ino].page_version(page),
                 ranges: buf.writers.get(&owner).cloned().unwrap_or_default(),
             });
         }
@@ -461,6 +472,11 @@ impl Volume {
         owner: Owner,
         acct: &mut Account,
     ) -> Result<IntentionsList> {
+        // Journal truncations are lazy; this install may rewrite pages named
+        // by a record whose truncation is still buffered. Flush first (free
+        // when the tail is empty) so a crash cannot resurface a record that
+        // this commit supersedes — replaying one would clobber these writes.
+        self.log_barrier(acct)?;
         let il = self.prepare(fid, owner, acct)?;
         self.commit_prepared(fid, owner, acct)?;
         Ok(il)
@@ -486,6 +502,23 @@ impl Volume {
             }
             return Ok(());
         }
+        // Idempotent re-install: a duplicate Commit during recovery, or a
+        // replay from a prepare record whose truncation was still buffered
+        // in the journal tail at crash time, presents intentions that are
+        // already installed. Re-applying would free the replaced blocks a
+        // second time — blocks that may since have been reallocated.
+        if !il.entries.is_empty()
+            && il.new_len == inode.len
+            && il
+                .entries
+                .iter()
+                .all(|e| inode.page(e.page) == Some(e.new_phys))
+        {
+            if let (Some(o), Some(f)) = (owner, st.files.get_mut(&ino)) {
+                f.writer_ends.remove(&o);
+            }
+            return Ok(());
+        }
         // Figure 4b's commit-time half: when the page moved since the shadow
         // image was built (a concurrently prepared owner committed it in the
         // interim — possible because record locks are byte-granular), the
@@ -493,10 +526,18 @@ impl Volume {
         // storage" and only this owner's ranges are transferred onto it.
         // Installing the stale image wholesale would silently undo the
         // interleaved commit; seen in practice when crash recovery installs
-        // several surviving prepare logs against the same page.
+        // several surviving prepare logs against the same page. Staleness
+        // is judged by the inode's per-page install counter: the block
+        // number alone is ambiguous, because an interim install frees the
+        // old block and a later prepare's shadow allocation can recycle the
+        // same number — an in-doubt transaction resolved after a
+        // coordinator crash would then skip the merge and wipe every
+        // record committed in between.
         for ent in &il.entries {
             let current = inode.page(ent.page);
-            if ent.ranges.is_empty() || current == ent.old_phys {
+            if ent.ranges.is_empty()
+                || (current == ent.old_phys && inode.page_version(ent.page) == ent.old_vers)
+            {
                 continue;
             }
             let Some(cur_phys) = current else { continue };
@@ -615,6 +656,9 @@ impl Volume {
                 .stable_put(&Self::inode_key(ino), inode.encode(), acct)?;
             self.state.lock().incore.insert(ino, inode);
         }
+        // Same rule as `commit_file`: buffered truncations must be durable
+        // before an install that is invisible to the journal frees blocks.
+        self.log_barrier(acct)?;
         let mut il = IntentionsList::new(fid, new_len);
         for (page, data) in pages {
             let blk = self.disk.alloc(acct)?;
@@ -641,29 +685,26 @@ impl Volume {
             // The committed image is the buffer's base (uncommitted writers
             // may still be present on the page).
             let buf = &st.files[&ino].buffers[page];
-            out.push((*page, buf.base.clone()));
+            out.push((*page, buf.committed().to_vec()));
         }
         Ok(out)
     }
 
-    // ----- Per-volume transaction logs -------------------------------------
+    // ----- Per-volume transaction logs (the commit journal) -----------------
+    //
+    // Log records live in the volume's append-only journal region as typed,
+    // sequence-numbered entries (`locus_types::JournalEntry`); appends are
+    // buffered and become durable at the next [`Volume::log_barrier`], which
+    // flushes the whole batch in one sequential transfer (group commit).
+    // Reads are served from the journal's in-core materialized view but stay
+    // charged like the old per-record stable reads, so recovery I/O counts
+    // keep their Figure 5 parity.
 
-    fn coord_key(tid: TransId) -> String {
-        format!("coordlog/{}.{}", tid.site.0, tid.seq)
-    }
-
-    fn prepare_key(tid: TransId, fid: Fid) -> String {
-        format!(
-            "preplog/{}.{}/{}.{}",
-            tid.site.0, tid.seq, fid.volume.0, fid.inode.0
-        )
-    }
-
-    /// Writes (or rewrites) a coordinator log record. Charged as a log
-    /// append (footnote 9: two I/Os on the 1985 prototype, one corrected).
+    /// Appends a coordinator log record to the commit journal. Buffered —
+    /// no I/O is charged here; the record becomes durable (and the cost is
+    /// paid) at the next log barrier.
     pub fn coord_log_put(&self, rec: &CoordLogRecord, acct: &mut Account) -> Result<()> {
-        self.disk
-            .stable_append_replace(&Self::coord_key(rec.tid), rec.encode(), acct)?;
+        self.journal.coord_put(rec, acct)?;
         self.events.push(Event::CoordLog {
             site: self.site,
             tid: rec.tid,
@@ -672,68 +713,68 @@ impl Volume {
         Ok(())
     }
 
-    /// Updates only the status marker of a coordinator log record — the
-    /// single write that is the commit point (Section 4.2). One random I/O.
+    /// Appends a status delta for a coordinator log record. For
+    /// `Committed` this *is* the commit point (Section 4.2): the delta —
+    /// and, via group commit, every other buffered entry, including the
+    /// transaction's own `Unknown` record — is flushed durably in one
+    /// barrier before the commit mark is announced.
     pub fn coord_log_set_status(
         &self,
         tid: TransId,
         status: TxnStatus,
         acct: &mut Account,
     ) -> Result<()> {
-        let key = Self::coord_key(tid);
-        let bytes = self
-            .disk
-            .stable_peek(&key)
-            .ok_or_else(|| Error::ProtocolViolation(format!("no coordinator log for {tid}")))?;
-        let mut rec = CoordLogRecord::decode(&bytes)
-            .ok_or_else(|| Error::ProtocolViolation("corrupt coordinator log".into()))?;
-        rec.status = status;
-        self.disk.stable_put(&key, rec.encode(), acct)?;
+        self.journal.coord_set_status(tid, status, acct)?;
         self.events.push(Event::CoordLog {
             site: self.site,
             tid,
             status,
         });
         if status == TxnStatus::Committed {
+            self.log_barrier(acct)?;
             self.events.push(Event::CommitMark { tid });
         }
         Ok(())
     }
 
-    /// Reads a coordinator log record (recovery inquiry).
+    /// Reads a coordinator log record (recovery inquiry). One read charged,
+    /// as for the old per-record stable fetch.
     pub fn coord_log_get(&self, tid: TransId, acct: &mut Account) -> Option<CoordLogRecord> {
-        self.disk
-            .stable_get(&Self::coord_key(tid), acct)
-            .and_then(|b| CoordLogRecord::decode(&b))
+        self.disk.charge_io(acct, IoKind::Read);
+        if self.disk.tripped() {
+            return None;
+        }
+        self.journal.coord_get(tid)
     }
 
-    /// Deletes a coordinator log once all commit/abort processing finished
+    /// Truncates a coordinator log once all commit/abort processing finished
     /// (Section 4.4: logs "are retained until all commit or abort processing
-    /// has successfully completed").
+    /// has successfully completed"). Lazy: the truncation entry rides the
+    /// next flush — a purge lost to a crash is harmless, recovery
+    /// re-resolves the transaction from the surviving record and purges
+    /// again.
     pub fn coord_log_delete(&self, tid: TransId, acct: &mut Account) {
-        // A purge lost to a crash is harmless: recovery re-resolves the
-        // transaction from the surviving record and purges again.
-        let _ = self.disk.stable_delete(&Self::coord_key(tid), acct);
+        let _ = self.journal.coord_delete(tid, acct);
     }
 
     /// All coordinator log records on this volume (reboot recovery scan);
     /// one read charged per record.
     pub fn coord_log_scan(&self, acct: &mut Account) -> Vec<CoordLogRecord> {
-        self.disk
-            .stable_keys("coordlog/")
-            .into_iter()
-            .filter_map(|k| self.disk.stable_get(&k, acct))
-            .filter_map(|b| CoordLogRecord::decode(&b))
-            .collect()
+        if self.disk.tripped() {
+            return Vec::new();
+        }
+        let recs = self.journal.coord_scan();
+        for _ in &recs {
+            self.disk.charge_io(acct, IoKind::Read);
+        }
+        recs
     }
 
-    /// Writes a participant prepare log record for one file.
+    /// Appends a participant prepare log record for one file. Buffered; the
+    /// participant flushes once, via [`Volume::log_barrier`], before voting
+    /// yes — N files, one barrier.
     pub fn prepare_log_put(&self, rec: &PrepareLogRecord, acct: &mut Account) -> Result<()> {
-        self.disk.stable_append_replace(
-            &Self::prepare_key(rec.tid, rec.intentions.fid),
-            rec.encode(),
-            acct,
-        )?;
+        self.journal.prepare_put(rec, acct)?;
         self.events.push(Event::PrepareLog {
             site: self.site,
             tid: rec.tid,
@@ -748,29 +789,58 @@ impl Volume {
         fid: Fid,
         acct: &mut Account,
     ) -> Option<PrepareLogRecord> {
-        self.disk
-            .stable_get(&Self::prepare_key(tid, fid), acct)
-            .and_then(|b| PrepareLogRecord::decode(&b))
+        self.disk.charge_io(acct, IoKind::Read);
+        if self.disk.tripped() {
+            return None;
+        }
+        self.journal.prepare_get(tid, fid)
     }
 
-    /// Deletes a participant prepare log. Unlike a coordinator-log purge,
-    /// the caller on the *commit* path must not ignore failure: the prepare
-    /// log is the participant's completion record, and acknowledging a
-    /// commit while it survives lets the coordinator purge its own log —
-    /// after which a recovery status inquiry presumes abort and rolls back
-    /// installed data.
+    /// Truncates a participant prepare log. Lazy like the coordinator-side
+    /// purge: recovery tolerates a resurfaced record for an
+    /// already-installed commit (the install is idempotent and presumed
+    /// abort never frees live blocks), so the commit path need not barrier
+    /// the truncation before acknowledging.
     pub fn prepare_log_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) -> Result<()> {
-        self.disk.stable_delete(&Self::prepare_key(tid, fid), acct)
+        self.journal.prepare_delete(tid, fid, acct)
     }
 
-    /// All prepare log records on this volume (reboot recovery scan).
+    /// All prepare log records on this volume (reboot recovery scan); one
+    /// read charged per record.
     pub fn prepare_log_scan(&self, acct: &mut Account) -> Vec<PrepareLogRecord> {
-        self.disk
-            .stable_keys("preplog/")
-            .into_iter()
-            .filter_map(|k| self.disk.stable_get(&k, acct))
-            .filter_map(|b| PrepareLogRecord::decode(&b))
-            .collect()
+        if self.disk.tripped() {
+            return Vec::new();
+        }
+        let recs = self.journal.prepare_scan();
+        for _ in &recs {
+            self.disk.charge_io(acct, IoKind::Read);
+        }
+        recs
+    }
+
+    /// Group-commit barrier: makes every buffered journal entry durable in
+    /// one sequential flush (free when nothing is buffered). Concurrent
+    /// barriers on this volume coalesce into a single flush.
+    pub fn log_barrier(&self, acct: &mut Account) -> Result<()> {
+        self.journal.barrier(acct)
+    }
+
+    /// The volume's commit journal (group-window tuning, flush statistics).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The prepare records reconstructible from durable journal frames alone
+    /// — the durability oracle's view of the prepare log.
+    pub fn durable_prepare_records(&self) -> Vec<PrepareLogRecord> {
+        self.journal.durable_prepare_records()
+    }
+
+    /// The coordinator records reconstructible from durable journal frames
+    /// alone — a durable `Committed` status is the commit point even if the
+    /// coordinator died before announcing it.
+    pub fn durable_coord_records(&self) -> Vec<CoordLogRecord> {
+        self.journal.durable_coord_records()
     }
 
     /// Reads `range` of the *durably committed* file image straight off the
@@ -812,18 +882,23 @@ impl Volume {
     // ----- Failure handling -------------------------------------------------
 
     /// Site crash: all volatile state (buffers, in-core inodes, un-logged
-    /// prepares) is lost. Disk contents survive.
+    /// prepares, the journal's in-core view and buffered tail) is lost.
+    /// Disk contents survive.
     pub fn crash(&self) {
         self.disk.crash();
+        self.journal.crash();
         let mut st = self.state.lock();
         st.incore.clear();
         st.files.clear();
     }
 
-    /// Reboot housekeeping: brings a tripped disk back online and re-derives
-    /// the inode allocation cursor from the stable store.
+    /// Reboot housekeeping: brings a tripped disk back online, rebuilds the
+    /// journal's in-core view by one last-writer-wins scan of the durable
+    /// frames, and re-derives the inode allocation cursor from the stable
+    /// store.
     pub fn reboot(&self) {
         self.disk.reboot();
+        self.journal.recover();
         let max = self
             .disk
             .stable_keys("inode/")

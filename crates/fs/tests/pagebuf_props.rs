@@ -105,7 +105,7 @@ proptest! {
             prop_assert_eq!(&visible, &model.visible(), "visible mismatch");
             // Invariant 2: committed base matches the model.
             let base: Vec<u8> = (0..PAGE)
-                .map(|i| buf.base.get(i).copied().unwrap_or(0))
+                .map(|i| buf.committed().get(i).copied().unwrap_or(0))
                 .collect();
             prop_assert_eq!(&base, &model.committed, "base mismatch");
         }

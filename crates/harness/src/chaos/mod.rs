@@ -37,7 +37,7 @@ use locus_disk::{CrashPointMode, MutationKind};
 use locus_kernel::LockOpts;
 use locus_net::{FaultDecision, FaultInjector, Msg};
 use locus_sim::DetRng;
-use locus_types::{LockRequestMode, SiteId, TransId};
+use locus_types::{LockRequestMode, SiteId, TransId, TxnStatus};
 
 use crate::cluster::Cluster;
 use crate::script::{Driver, Op, OpResult, RunOutcome};
@@ -378,6 +378,10 @@ fn run_inner(
     }
     let mut violations = Vec::new();
     let mut fired = false;
+    // Commit marks that reached the platters without being announced (see
+    // [`durable_journal_marks`]); snapshotted at the moment the armed crash
+    // point fires, keyed to that trace position.
+    let mut journal_marks: BTreeMap<TransId, usize> = BTreeMap::new();
     let outcome = drv.run_with_hook(&mut |step, d| {
         if let Some(faults) = by_step.get(&step) {
             for fk in faults {
@@ -397,6 +401,7 @@ fn run_inner(
                     &c,
                     &specs,
                     d,
+                    &journal_marks,
                     &format!("(reboot at step {step})"),
                     &mut violations,
                 );
@@ -408,6 +413,7 @@ fn run_inner(
         if let Some(p) = crash_point {
             if !fired && home_disk(p.site).tripped() {
                 fired = true;
+                durable_journal_marks(&c, p.site, c.events.len(), &mut journal_marks);
                 if !c.site(p.site).kernel.is_crashed() {
                     c.crash_site(p.site);
                 }
@@ -429,6 +435,7 @@ fn run_inner(
         // draining); make sure the site goes through a full crash + reboot.
         if !fired && home_disk(p.site).tripped() {
             fired = true;
+            durable_journal_marks(&c, p.site, c.events.len(), &mut journal_marks);
             if !c.site(p.site).kernel.is_crashed() {
                 c.crash_site(p.site);
             }
@@ -450,6 +457,7 @@ fn run_inner(
         &c,
         &specs,
         &drv,
+        &journal_marks,
         "(after recovery epilogue)",
         &mut violations,
     );
@@ -473,6 +481,7 @@ fn run_inner(
         // oracles judge recovered state, not a half-dead site.
         if home_disk(p.site).tripped() {
             fired = true;
+            durable_journal_marks(&c, p.site, c.events.len(), &mut journal_marks);
             if !c.site(p.site).kernel.is_crashed() {
                 c.crash_site(p.site);
             }
@@ -488,10 +497,20 @@ fn run_inner(
 
     oracle::check_lock_safety(&c, &mut violations);
     oracle::check_lock_leaks(&c, &events, &mut violations);
-    oracle::check_two_phase(&events, &mut violations);
-    let fates = oracle::txn_fates(&events);
+    oracle::check_two_phase_with_marks(&events, &journal_marks, &mut violations);
+    let mut fates = oracle::txn_fates(&events);
+    for (t, pos) in &journal_marks {
+        fates.commit_mark.entry(*t).or_insert(*pos);
+    }
     check_durable_state(cfg, &c, &specs, &drv, &fates, &mut violations, &mut notes);
-    check_durability(&c, &specs, &drv, "(at end of run)", &mut violations);
+    check_durability(
+        &c,
+        &specs,
+        &drv,
+        &journal_marks,
+        "(at end of run)",
+        &mut violations,
+    );
 
     let tids: Vec<Option<TransId>> = (0..specs.len()).map(|s| slot_tid(&drv, s)).collect();
     let committed = tids
@@ -538,11 +557,17 @@ fn check_durability(
     c: &Cluster,
     specs: &[TxnSpec],
     drv: &Driver<'_>,
+    journal_marks: &BTreeMap<TransId, usize>,
     context: &str,
     out: &mut Vec<Violation>,
 ) {
     let events = c.events.all();
-    let fates = oracle::txn_fates(&events);
+    let mut fates = oracle::txn_fates(&events);
+    // Durable-but-unannounced commit marks (torn flush landed the status
+    // frame before the coordinator could say so) count as marked.
+    for (t, pos) in journal_marks {
+        fates.commit_mark.entry(*t).or_insert(*pos);
+    }
     let mut ledger = oracle::DurabilityLedger::default();
     let mut committed: BTreeSet<TransId> = BTreeSet::new();
     for (slot, spec) in specs.iter().enumerate() {
@@ -570,6 +595,26 @@ fn check_durability(
         committed,
     };
     ledger.check(&sub, context, out);
+}
+
+/// Snapshots the commit marks that reached `site`'s platters without being
+/// announced: a torn group-commit flush can land the durable `Committed`
+/// status frame even as the flush call fails and the site dies before
+/// emitting [`locus_sim::Event::CommitMark`]. The durable frame — not the
+/// in-memory acknowledgement — is the commit point, so recovery redoing
+/// such a transaction is correct and the oracles must treat it as marked.
+/// `pos` is the trace position of the crash (every pre-crash event precedes
+/// the mark). Reads raw durable frames only; emits no events, charges no
+/// I/O.
+fn durable_journal_marks(c: &Cluster, site: usize, pos: usize, out: &mut BTreeMap<TransId, usize>) {
+    let Ok(home) = c.site(site).kernel.home() else {
+        return;
+    };
+    for rec in home.durable_coord_records() {
+        if rec.status == TxnStatus::Committed {
+            out.entry(rec.tid).or_insert(pos);
+        }
+    }
 }
 
 /// The transaction id slot `s` started, read from its `BeginTrans` result.

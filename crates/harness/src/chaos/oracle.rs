@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use locus_sim::Event;
-use locus_types::{ByteRange, Fid, PrepareLogRecord, TransId};
+use locus_types::{ByteRange, Fid, TransId};
 
 use crate::cluster::Cluster;
 
@@ -199,7 +199,25 @@ pub fn check_lock_leaks(c: &Cluster, events: &[Event], out: &mut Vec<Violation>)
 
 /// Oracle 3: 2PC ordering rules, checked purely against the event trace.
 pub fn check_two_phase(events: &[Event], out: &mut Vec<Violation>) {
-    let fates = txn_fates(events);
+    check_two_phase_with_marks(events, &BTreeMap::new(), out);
+}
+
+/// [`check_two_phase`] with supplemental commit marks read off the platters:
+/// a torn group-commit flush can land the durable `Committed` status frame
+/// even though the flush call failed and the coordinator died before
+/// emitting [`Event::CommitMark`]. The durable frame is the commit point,
+/// so recovery redoing such a transaction is correct, not a violation.
+/// `journal_marks` maps each such transaction to the trace position at
+/// which its site crashed (every pre-crash event precedes the mark).
+pub fn check_two_phase_with_marks(
+    events: &[Event],
+    journal_marks: &BTreeMap<TransId, usize>,
+    out: &mut Vec<Violation>,
+) {
+    let mut fates = txn_fates(events);
+    for (tid, pos) in journal_marks {
+        fates.commit_mark.entry(*tid).or_insert(*pos);
+    }
     let mut push = |tid: TransId, rule: String| {
         let v = Violation::TwoPhase { tid, rule };
         if !out.contains(&v) {
@@ -430,13 +448,9 @@ impl DurableSubstrate for ClusterSubstrate<'_> {
         let target_page = record * 8 / ps;
         let off = (record * 8 % ps) as usize;
         let mut out = Vec::new();
-        for key in disk.stable_keys("preplog/") {
-            let Some(bytes) = disk.stable_peek(&key) else {
-                continue;
-            };
-            let Some(rec) = PrepareLogRecord::decode(&bytes) else {
-                continue;
-            };
+        // Durable journal frames only (LWW-replayed): exactly the prepare
+        // records a fresh reboot would reconstruct, with no volatile tail.
+        for rec in vol.durable_prepare_records() {
             if rec.intentions.fid != fid || !self.committed.contains(&rec.tid) {
                 continue;
             }

@@ -2,12 +2,14 @@
 //! prove no acknowledged write is ever lost.
 //!
 //! A clean recording run captures the complete durable-mutation stream of
-//! every site's home volume (block writes plus stable-store operations,
-//! in order). Each workload-phase mutation is classified by what the
-//! commit protocol was doing — writing a shadow/intentions block, a
-//! prepare log, a coordinator log record, the commit record itself, the
-//! atomic inode overwrite that installs an intentions list, or a log
-//! truncation — and the same seed is then replayed once per selected
+//! every site's home volume (block writes, stable-store operations and
+//! commit-journal operations, in order). Each workload-phase mutation is
+//! classified by what the commit protocol was doing — writing a
+//! shadow/intentions block, buffering a journal record, flushing the
+//! journal tail (the group-commit barrier that makes prepare records and
+//! the commit mark durable), compacting the journal, or the atomic inode
+//! overwrite that installs an intentions list — and the same seed is then
+//! replayed once per selected
 //! point with the disk armed to die *at* that mutation (cleanly, torn, or
 //! losing unbarriered buffered writes). The harness crashes the site when
 //! the point fires, recovers it in the epilogue, and the durability
@@ -30,30 +32,29 @@ use super::{run_torture, ChaosConfig, DiskCrashPoint, Schedule, TortureRun};
 pub enum CrashClass {
     /// A data / shadow (intentions) block write.
     BlockWrite,
-    /// A participant's prepare-log append (footnote 10's one-per-file log).
-    PrepareLog,
-    /// A coordinator-log record append (file list, Figure 5 step 1).
-    CoordLog,
-    /// The commit record itself — the stable `coordlog` status overwrite
-    /// that is the transaction's single commit point.
-    CommitRecord,
+    /// A commit-journal append landing in the volatile tail (a prepare
+    /// record, coordinator record, status delta, or lazy truncation that
+    /// is not yet durable).
+    JournalAppend,
+    /// The group-commit flush of the journal tail — the one barrier that
+    /// makes a prepare vote or the commit mark durable. Dying here is the
+    /// paper's commit-point window: the whole batch must land or vanish.
+    JournalFlush,
+    /// The journal compaction rewrite that reclaims truncated records.
+    JournalTruncate,
     /// The atomic inode overwrite installing an intentions list (the
     /// per-file commit point of Figure 4b differencing).
     InodeFlush,
-    /// Purging a coordinator or prepare log after the transaction is fully
-    /// resolved (log truncation).
-    LogTruncate,
 }
 
 impl fmt::Display for CrashClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             CrashClass::BlockWrite => "block-write",
-            CrashClass::PrepareLog => "prepare-log",
-            CrashClass::CoordLog => "coord-log",
-            CrashClass::CommitRecord => "commit-record",
+            CrashClass::JournalAppend => "journal-append",
+            CrashClass::JournalFlush => "journal-flush",
+            CrashClass::JournalTruncate => "journal-truncate",
             CrashClass::InodeFlush => "inode-flush",
-            CrashClass::LogTruncate => "log-truncate",
         };
         f.write_str(s)
     }
@@ -61,36 +62,24 @@ impl fmt::Display for CrashClass {
 
 /// Classifies one recorded durable mutation. Every mutation the commit
 /// path can issue maps to a class; `None` is reserved for mutations that
-/// are not part of any commit (none exist today, but the match is total on
-/// purpose so new stable keys fail soft).
+/// are not part of any commit (the match is total on purpose so new
+/// stable keys fail soft).
 pub fn classify(m: &MutationKind) -> Option<CrashClass> {
     match m {
         MutationKind::Write(_) => Some(CrashClass::BlockWrite),
         MutationKind::StablePut(key) => {
             if key.starts_with("inode/") {
                 Some(CrashClass::InodeFlush)
-            } else if key.starts_with("coordlog/") {
-                Some(CrashClass::CommitRecord)
             } else {
                 None
             }
         }
-        MutationKind::StableAppend(key) => {
-            if key.starts_with("preplog/") {
-                Some(CrashClass::PrepareLog)
-            } else if key.starts_with("coordlog/") {
-                Some(CrashClass::CoordLog)
-            } else {
-                None
-            }
-        }
-        MutationKind::StableDelete(key) => {
-            if key.starts_with("preplog/") || key.starts_with("coordlog/") {
-                Some(CrashClass::LogTruncate)
-            } else {
-                None
-            }
-        }
+        MutationKind::JournalAppend(_) => Some(CrashClass::JournalAppend),
+        MutationKind::JournalFlush { .. } => Some(CrashClass::JournalFlush),
+        MutationKind::JournalTruncate { .. } => Some(CrashClass::JournalTruncate),
+        // The per-record stable log keys are gone — transaction logs live in
+        // the append-only journal now. Stray stable ops are not commit path.
+        MutationKind::StableAppend(_) | MutationKind::StableDelete(_) => None,
     }
 }
 
@@ -191,13 +180,14 @@ pub fn enumerate_points(cfg: &ChaosConfig) -> (Vec<TorturePoint>, TortureRun) {
     (points, clean)
 }
 
-/// The fault modes each class is tortured with. Torn pages only make sense
-/// for block writes — stable-store operations are sector-atomic and torn
-/// degrades to clean there — and a lost buffered write needs preceding
-/// unbarriered block writes to roll back.
+/// The fault modes each class is tortured with. Torn pages make sense for
+/// block writes and for the journal flush (a torn flush lands only a
+/// whole-frame prefix of the batch) — other stable operations are
+/// sector-atomic and torn degrades to clean there. A lost buffered write
+/// needs preceding unbarriered block writes to roll back.
 fn modes_for(class: CrashClass, page_size: usize) -> Vec<CrashPointMode> {
     match class {
-        CrashClass::BlockWrite => vec![
+        CrashClass::BlockWrite | CrashClass::JournalFlush => vec![
             CrashPointMode::Clean,
             CrashPointMode::Torn {
                 keep_bytes: page_size / 2,
@@ -290,23 +280,23 @@ mod tests {
             Some(CrashClass::InodeFlush)
         );
         assert_eq!(
-            classify(&MutationKind::StablePut("coordlog/0.1".into())),
-            Some(CrashClass::CommitRecord)
+            classify(&MutationKind::JournalAppend(7)),
+            Some(CrashClass::JournalAppend)
         );
         assert_eq!(
-            classify(&MutationKind::StableAppend("coordlog/0.1".into())),
-            Some(CrashClass::CoordLog)
+            classify(&MutationKind::JournalFlush { frames: 3 }),
+            Some(CrashClass::JournalFlush)
         );
         assert_eq!(
-            classify(&MutationKind::StableAppend("preplog/0.1/0.5".into())),
-            Some(CrashClass::PrepareLog)
-        );
-        assert_eq!(
-            classify(&MutationKind::StableDelete("preplog/0.1/0.5".into())),
-            Some(CrashClass::LogTruncate)
+            classify(&MutationKind::JournalTruncate { kept: 2 }),
+            Some(CrashClass::JournalTruncate)
         );
         assert_eq!(
             classify(&MutationKind::StablePut("site/boot_epoch".into())),
+            None
+        );
+        assert_eq!(
+            classify(&MutationKind::StableDelete("inode/3".into())),
             None
         );
     }
@@ -318,11 +308,10 @@ mod tests {
         assert!(clean.report.ok(), "{}", clean.report);
         for class in [
             CrashClass::BlockWrite,
-            CrashClass::PrepareLog,
-            CrashClass::CoordLog,
-            CrashClass::CommitRecord,
+            CrashClass::JournalAppend,
+            CrashClass::JournalFlush,
+            CrashClass::JournalTruncate,
             CrashClass::InodeFlush,
-            CrashClass::LogTruncate,
         ] {
             assert!(
                 points.iter().any(|p| p.class == class),

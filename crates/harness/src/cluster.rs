@@ -120,6 +120,18 @@ impl Cluster {
                 break;
             }
         }
+        // Step boundary: flush every live site's home-volume journal so
+        // lazily truncated records do not pile up in the volatile tail (the
+        // deterministic driver's group-commit window closes here).
+        for s in &self.sites {
+            if s.kernel.is_crashed() {
+                continue;
+            }
+            if let Ok(home) = s.kernel.home() {
+                let mut acct = Account::new(s.id());
+                let _ = home.log_barrier(&mut acct);
+            }
+        }
         total
     }
 

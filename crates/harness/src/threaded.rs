@@ -37,6 +37,13 @@ impl ThreadCtx {
         site.txn
             .parallel_fanout
             .store(true, std::sync::atomic::Ordering::Relaxed);
+        // With real concurrency, hold each journal flush open briefly so
+        // commits racing on the same volume coalesce into one barrier
+        // (group commit); the deterministic driver keeps a zero window.
+        if let Ok(home) = site.kernel.home() {
+            home.journal()
+                .set_group_window(Some(Duration::from_micros(50)));
+        }
         let pid = site.kernel.spawn();
         ThreadCtx { site, pid }
     }

@@ -317,9 +317,19 @@ impl Transport for SimTransport {
         } else {
             1
         };
+        // The message is moved into the last delivery; cloning (and with it
+        // copying any data payload) only happens for injected duplicates.
+        let (service, kind) = (msg.service(), msg.kind());
         let mut resp = None;
-        for _ in 0..deliveries {
-            let m = msg.clone();
+        let mut msg = Some(msg);
+        for i in 0..deliveries {
+            let m = if i + 1 == deliveries {
+                msg.take().expect("taken once, on the last delivery")
+            } else {
+                msg.as_ref()
+                    .expect("present until the last delivery")
+                    .clone()
+            };
             let r = acct.at_site(to, |acct| {
                 acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
                 handler.handle(from, m, acct)
@@ -336,8 +346,8 @@ impl Transport for SimTransport {
             self.events.push(Event::ChaosDropReply {
                 from,
                 to,
-                service: msg.service(),
-                kind: msg.kind(),
+                service,
+                kind,
             });
             return Err(Error::SiteDown(to));
         }
@@ -391,8 +401,15 @@ impl Transport for SimTransport {
         } else {
             1
         };
-        for _ in 0..deliveries {
-            let m = msg.clone();
+        let mut msg = Some(msg);
+        for i in 0..deliveries {
+            let m = if i + 1 == deliveries {
+                msg.take().expect("taken once, on the last delivery")
+            } else {
+                msg.as_ref()
+                    .expect("present until the last delivery")
+                    .clone()
+            };
             acct.at_site(to, |acct| {
                 acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
                 handler.handle(from, m, acct);

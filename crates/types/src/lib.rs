@@ -12,6 +12,7 @@
 pub mod codec;
 pub mod error;
 pub mod id;
+pub mod journal;
 pub mod lockmode;
 pub mod logrec;
 pub mod proto;
@@ -20,6 +21,7 @@ pub mod service;
 
 pub use error::{Error, Result};
 pub use id::{Channel, Fid, InodeNo, PageNo, PhysPage, Pid, SiteId, TransId, VolumeId};
+pub use journal::{JournalEntry, JournalKey, JournalOp};
 pub use lockmode::{AccessKind, LockClass, LockMode, LockRequestMode};
 pub use logrec::{CoordLogRecord, PrepareLogRecord};
 pub use proto::{FileListEntry, IntentionsEntry, IntentionsList, LockDescriptor, Owner, TxnStatus};

@@ -103,6 +103,7 @@ impl PrepareLogRecord {
                 }
                 None => e.u8(0),
             }
+            e.u64(ent.old_vers);
             e.u32(ent.ranges.len() as u32);
             for r in &ent.ranges {
                 e.u64(r.start);
@@ -154,6 +155,7 @@ impl PrepareLogRecord {
                 0 => None,
                 _ => return None,
             };
+            let old_vers = d.u64()?;
             let nr = d.u32()?;
             let mut ranges = Vec::with_capacity(nr as usize);
             for _ in 0..nr {
@@ -163,6 +165,7 @@ impl PrepareLogRecord {
                 page,
                 new_phys,
                 old_phys,
+                old_vers,
                 ranges,
             });
         }
@@ -264,6 +267,7 @@ mod tests {
             page: PageNo(0),
             new_phys: PhysPage(55),
             old_phys: Some(PhysPage(12)),
+            old_vers: 3,
             ranges: vec![ByteRange::new(40, 8), ByteRange::new(72, 16)],
         });
         intentions

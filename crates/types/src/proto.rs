@@ -47,13 +47,16 @@ impl fmt::Display for Owner {
 /// One entry of an intentions list: logical page `page` of the file is to be
 /// re-pointed at physical block `new_phys` when the list is committed.
 ///
-/// `old_phys` and `ranges` implement Figure 4b's commit differencing across
-/// the prepare/commit gap: the shadow image was merged against `old_phys` at
-/// prepare time, so if another owner commits the page in between (the inode
-/// no longer points at `old_phys` at install time), the installer must
-/// re-read the *current* stable page and transfer only `ranges` onto it —
-/// installing the stale image wholesale would silently undo the interleaved
-/// commit.
+/// `old_phys`, `old_vers` and `ranges` implement Figure 4b's commit
+/// differencing across the prepare/commit gap: the shadow image was merged
+/// against `old_phys` at prepare time, so if another owner commits the page
+/// in between, the installer must re-read the *current* stable page and
+/// transfer only `ranges` onto it — installing the stale image wholesale
+/// would silently undo the interleaved commit. Staleness is judged by
+/// `old_vers`, the inode's per-page install counter, not by the block
+/// number alone: freed blocks are recycled, so a long-pending prepare (an
+/// in-doubt transaction across a coordinator crash) can find the inode
+/// pointing at a *reallocated* block with its old number.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IntentionsEntry {
     pub page: PageNo,
@@ -61,6 +64,10 @@ pub struct IntentionsEntry {
     /// Stable block the page occupied when the shadow image was built
     /// (`None`: the page did not exist yet).
     pub old_phys: Option<PhysPage>,
+    /// The page's inode install counter when the shadow image was built;
+    /// any later install of the page bumps it, so a mismatch at install
+    /// time means the image is stale and `ranges` must be re-merged.
+    pub old_vers: u64,
     /// Page-relative byte ranges the committing owner actually wrote. Empty
     /// means the shadow image is authoritative for the whole page (replica
     /// pushes of committed content).
@@ -74,6 +81,7 @@ impl IntentionsEntry {
             page,
             new_phys,
             old_phys: None,
+            old_vers: 0,
             ranges: Vec::new(),
         }
     }

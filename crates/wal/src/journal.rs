@@ -1,0 +1,520 @@
+//! The per-volume commit journal: typed, sequence-numbered log entries with
+//! **group commit**.
+//!
+//! Section 4.4 stores each volume's coordinator and prepare logs on the
+//! volume itself. Earlier revisions kept every record as an individually
+//! barriered KV blob, so a multi-participant commit paid one synchronous
+//! stable barrier per record and a status change paid a read-modify-rewrite.
+//! The journal replaces that with an append-only log region on the disk
+//! ([`locus_disk::SimDisk::journal_append`]): puts, status transitions, and
+//! truncations become typed [`JournalEntry`] frames buffered in the
+//! controller, and a single [`Journal::barrier`] flush makes everything
+//! buffered so far durable in one sequential transfer. Concurrent
+//! commit-path barriers on the same volume coalesce: whoever flushes first
+//! covers everyone whose entries were already appended (classic group
+//! commit), and threaded drivers can open a small gather window to widen the
+//! batch.
+//!
+//! Current log state is materialized in memory (the volatile in-core view,
+//! rebuilt on reboot by a single scan of the durable frames with
+//! last-writer-wins replay on [`JournalKey`]); reads never re-parse string
+//! keys by convention.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use locus_disk::SimDisk;
+use locus_sim::Account;
+use locus_types::{
+    CoordLogRecord, Error, Fid, JournalEntry, JournalKey, JournalOp, PrepareLogRecord, Result,
+    TransId, TxnStatus,
+};
+
+/// Compact once the durable region holds this many frames beyond twice the
+/// live-record count. Small enough that torture/chaos runs exercise the
+/// truncation crash class; large enough that compaction stays off the
+/// per-commit fast path.
+const COMPACT_SLACK: u64 = 6;
+
+#[derive(Debug, Default)]
+struct JournalState {
+    /// Sequence number for the next appended entry (starts at 1).
+    next_seq: u64,
+    /// Highest sequence number appended (durable or buffered).
+    appended_seq: u64,
+    /// Highest sequence number known durable.
+    flushed_seq: u64,
+    /// A flush is underway; followers wait on the condvar instead of
+    /// issuing their own (their entries ride along or the next leader
+    /// covers them).
+    flush_in_progress: bool,
+    /// Group-commit gather window for threaded drivers (`None` = flush
+    /// immediately, the deterministic driver's mode).
+    group_window: Option<Duration>,
+    /// Callers currently inside [`Journal::barrier`]. A flush leader only
+    /// holds the gather window open when this exceeds one — a lone
+    /// committer must not trade its latency for a batch that cannot form.
+    barrier_entrants: u64,
+    /// Materialized coordinator log (in-core view incl. buffered entries).
+    coord: BTreeMap<TransId, CoordLogRecord>,
+    /// Materialized prepare log, keyed per file per transaction.
+    prepare: BTreeMap<(TransId, Fid), PrepareLogRecord>,
+    /// Flush count / frames flushed, for the group-commit experiments.
+    flushes: u64,
+    frames_flushed: u64,
+    compactions: u64,
+}
+
+/// Append-only commit journal for one volume.
+pub struct Journal {
+    disk: Arc<SimDisk>,
+    state: Mutex<JournalState>,
+    flushed: Condvar,
+}
+
+impl Journal {
+    pub fn new(disk: Arc<SimDisk>) -> Self {
+        Journal {
+            disk,
+            state: Mutex::new(JournalState {
+                next_seq: 1,
+                ..JournalState::default()
+            }),
+            flushed: Condvar::new(),
+        }
+    }
+
+    /// Sets the threaded driver's group-commit gather window: a barrier that
+    /// becomes flush leader waits this long for concurrent committers to
+    /// append before issuing the single flush.
+    pub fn set_group_window(&self, window: Option<Duration>) {
+        self.state.lock().group_window = window;
+    }
+
+    /// `(flushes, frames_flushed, compactions)` since creation — the
+    /// group-commit coalescing evidence (frames per flush > 1 means barriers
+    /// were merged).
+    pub fn flush_stats(&self) -> (u64, u64, u64) {
+        let st = self.state.lock();
+        (st.flushes, st.frames_flushed, st.compactions)
+    }
+
+    fn append_locked(
+        &self,
+        st: &mut JournalState,
+        op: JournalOp,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let entry = JournalEntry {
+            seq: st.next_seq,
+            op,
+        };
+        self.disk.journal_append(entry.encode(), acct)?;
+        st.next_seq += 1;
+        st.appended_seq = entry.seq;
+        apply(&mut st.coord, &mut st.prepare, &entry.op);
+        Ok(())
+    }
+
+    // ----- Coordinator log -------------------------------------------------
+
+    /// Appends a full coordinator log record. Buffered — durable at the
+    /// next [`Journal::barrier`].
+    pub fn coord_put(&self, rec: &CoordLogRecord, acct: &mut Account) -> Result<()> {
+        let mut st = self.state.lock();
+        self.append_locked(&mut st, JournalOp::CoordPut(rec.clone()), acct)
+    }
+
+    /// Appends a status-only delta for an existing coordinator record.
+    pub fn coord_set_status(
+        &self,
+        tid: TransId,
+        status: TxnStatus,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let mut st = self.state.lock();
+        if !st.coord.contains_key(&tid) {
+            return Err(Error::ProtocolViolation(format!(
+                "no coordinator log for {tid}"
+            )));
+        }
+        self.append_locked(&mut st, JournalOp::CoordStatus { tid, status }, acct)
+    }
+
+    pub fn coord_get(&self, tid: TransId) -> Option<CoordLogRecord> {
+        self.state.lock().coord.get(&tid).cloned()
+    }
+
+    /// Appends a coordinator-log truncation (lazy: rides the next flush; a
+    /// purge lost to a crash is harmless — recovery re-resolves and purges
+    /// again).
+    pub fn coord_delete(&self, tid: TransId, acct: &mut Account) -> Result<()> {
+        let mut st = self.state.lock();
+        if !st.coord.contains_key(&tid) {
+            return Ok(());
+        }
+        self.append_locked(&mut st, JournalOp::Truncate(JournalKey::Coord(tid)), acct)
+    }
+
+    pub fn coord_scan(&self) -> Vec<CoordLogRecord> {
+        self.state.lock().coord.values().cloned().collect()
+    }
+
+    // ----- Prepare log -----------------------------------------------------
+
+    pub fn prepare_put(&self, rec: &PrepareLogRecord, acct: &mut Account) -> Result<()> {
+        let mut st = self.state.lock();
+        self.append_locked(&mut st, JournalOp::PreparePut(rec.clone()), acct)
+    }
+
+    pub fn prepare_get(&self, tid: TransId, fid: Fid) -> Option<PrepareLogRecord> {
+        self.state.lock().prepare.get(&(tid, fid)).cloned()
+    }
+
+    pub fn prepare_delete(&self, tid: TransId, fid: Fid, acct: &mut Account) -> Result<()> {
+        let mut st = self.state.lock();
+        if !st.prepare.contains_key(&(tid, fid)) {
+            return Ok(());
+        }
+        self.append_locked(
+            &mut st,
+            JournalOp::Truncate(JournalKey::Prepare(tid, fid)),
+            acct,
+        )
+    }
+
+    pub fn prepare_scan(&self) -> Vec<PrepareLogRecord> {
+        self.state.lock().prepare.values().cloned().collect()
+    }
+
+    /// Number of live records (coordinator + prepare) in the in-core view.
+    pub fn live_records(&self) -> usize {
+        let st = self.state.lock();
+        st.coord.len() + st.prepare.len()
+    }
+
+    // ----- Group commit ----------------------------------------------------
+
+    /// Makes every entry appended so far durable. This is the *only*
+    /// synchronous stable barrier on the commit path: one sequential
+    /// transfer flushes the whole buffered batch, and concurrent barriers
+    /// coalesce — a caller whose entries were covered by an in-flight or
+    /// just-completed flush returns without issuing another.
+    pub fn barrier(&self, acct: &mut Account) -> Result<()> {
+        let mut st = self.state.lock();
+        st.barrier_entrants += 1;
+        let res = self.barrier_locked(&mut st, acct);
+        st.barrier_entrants -= 1;
+        res
+    }
+
+    fn barrier_locked(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, JournalState>,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let need = st.appended_seq;
+        loop {
+            if st.flushed_seq >= need {
+                return Ok(());
+            }
+            if st.flush_in_progress {
+                // Another thread is flushing; our entries either ride along
+                // or the recheck elects us leader for the remainder.
+                self.flushed.wait(st);
+                continue;
+            }
+            st.flush_in_progress = true;
+            if let Some(window) = st.group_window {
+                // Gather window: let concurrent committers append into this
+                // flush (the wait releases the lock). Only worth holding
+                // open when another barrier caller is already racing us; a
+                // lone committer flushes immediately.
+                if st.barrier_entrants > 1 {
+                    let deadline = std::time::Instant::now() + window;
+                    let _ = self.flushed.wait_until(st, deadline);
+                }
+            }
+            let target = st.appended_seq;
+            let res = self.disk.journal_flush(acct);
+            st.flush_in_progress = false;
+            if let Ok(frames) = res {
+                st.flushed_seq = st.flushed_seq.max(target);
+                st.flushes += 1;
+                st.frames_flushed += frames;
+            }
+            self.flushed.notify_all();
+            res?;
+            // Compaction is an optimization; its failure (the disk died at
+            // the compaction point) must not retract the durability promise
+            // of the flush that already succeeded above.
+            let _ = self.maybe_compact(st, acct);
+        }
+    }
+
+    /// Rewrites the durable region down to the live records once dead
+    /// frames (superseded or truncated entries) dominate. Called with the
+    /// tail empty, right after a successful flush.
+    fn maybe_compact(&self, st: &mut JournalState, acct: &mut Account) -> Result<()> {
+        let (durable, buffered) = self.disk.journal_frame_counts();
+        let live = (st.coord.len() + st.prepare.len()) as u64;
+        if buffered != 0 || durable <= live * 2 + COMPACT_SLACK {
+            return Ok(());
+        }
+        // Assign fresh sequence numbers from a local counter and only adopt
+        // them once the rewrite has landed: a failed compaction leaves both
+        // the durable frames and the in-core sequence state untouched.
+        let mut next = st.next_seq;
+        let mut frames = Vec::with_capacity(live as usize);
+        for rec in st.coord.values() {
+            frames.push(
+                JournalEntry {
+                    seq: next,
+                    op: JournalOp::CoordPut(rec.clone()),
+                }
+                .encode(),
+            );
+            next += 1;
+        }
+        for rec in st.prepare.values() {
+            frames.push(
+                JournalEntry {
+                    seq: next,
+                    op: JournalOp::PreparePut(rec.clone()),
+                }
+                .encode(),
+            );
+            next += 1;
+        }
+        self.disk.journal_compact(frames, acct)?;
+        st.next_seq = next;
+        if next > 1 {
+            st.appended_seq = next - 1;
+        }
+        st.flushed_seq = st.appended_seq;
+        st.compactions += 1;
+        Ok(())
+    }
+
+    // ----- Crash / recovery ------------------------------------------------
+
+    /// Site crash: the in-core materialized view is volatile and gone (the
+    /// disk independently drops its buffered tail).
+    pub fn crash(&self) {
+        let mut st = self.state.lock();
+        st.coord.clear();
+        st.prepare.clear();
+        st.flush_in_progress = false;
+    }
+
+    /// Reboot: rebuilds the in-core view by one scan of the durable frames
+    /// with last-writer-wins replay. Uncharged — the recovery manager
+    /// charges explicitly for each record it processes.
+    pub fn recover(&self) {
+        let frames = self.disk.journal_peek();
+        let (coord, prepare, max_seq) = replay(&frames);
+        let mut st = self.state.lock();
+        st.coord = coord;
+        st.prepare = prepare;
+        st.next_seq = max_seq + 1;
+        st.appended_seq = max_seq;
+        st.flushed_seq = max_seq;
+        st.flush_in_progress = false;
+    }
+
+    /// The prepare records reconstructible from the *durable* frames alone —
+    /// the durability oracle's view of the prepare log (buffered entries
+    /// excluded, exactly what a crash would leave).
+    pub fn durable_prepare_records(&self) -> Vec<PrepareLogRecord> {
+        let frames = self.disk.journal_peek();
+        replay(&frames).1.into_values().collect()
+    }
+
+    /// The coordinator records reconstructible from the *durable* frames
+    /// alone. A record whose status reads `Committed` here is committed no
+    /// matter what the coordinator managed to announce before dying: the
+    /// durable status frame — not the in-memory acknowledgement — is the
+    /// commit point.
+    pub fn durable_coord_records(&self) -> Vec<CoordLogRecord> {
+        let frames = self.disk.journal_peek();
+        replay(&frames).0.into_values().collect()
+    }
+}
+
+fn apply(
+    coord: &mut BTreeMap<TransId, CoordLogRecord>,
+    prepare: &mut BTreeMap<(TransId, Fid), PrepareLogRecord>,
+    op: &JournalOp,
+) {
+    match op {
+        JournalOp::CoordPut(rec) => {
+            coord.insert(rec.tid, rec.clone());
+        }
+        JournalOp::CoordStatus { tid, status } => {
+            // A status delta whose base record did not survive is ignored:
+            // the base was lost with the volatile tail, and presumed abort
+            // covers the transaction.
+            if let Some(rec) = coord.get_mut(tid) {
+                rec.status = *status;
+            }
+        }
+        JournalOp::PreparePut(rec) => {
+            prepare.insert((rec.tid, rec.intentions.fid), rec.clone());
+        }
+        JournalOp::Truncate(JournalKey::Coord(tid)) => {
+            coord.remove(tid);
+        }
+        JournalOp::Truncate(JournalKey::Prepare(tid, fid)) => {
+            prepare.remove(&(*tid, *fid));
+        }
+    }
+}
+
+type Replayed = (
+    BTreeMap<TransId, CoordLogRecord>,
+    BTreeMap<(TransId, Fid), PrepareLogRecord>,
+    u64,
+);
+
+/// Last-writer-wins replay of encoded frames. Frames that fail to decode
+/// are skipped (a torn flush drops partial frames at the disk layer already;
+/// this guards the decoder itself). Entries are applied in sequence order.
+fn replay(frames: &[Vec<u8>]) -> Replayed {
+    let mut entries: Vec<JournalEntry> = frames
+        .iter()
+        .filter_map(|f| JournalEntry::decode(f))
+        .collect();
+    entries.sort_by_key(|e| e.seq);
+    let mut coord = BTreeMap::new();
+    let mut prepare = BTreeMap::new();
+    let mut max_seq = 0;
+    for ent in &entries {
+        apply(&mut coord, &mut prepare, &ent.op);
+        max_seq = max_seq.max(ent.seq);
+    }
+    (coord, prepare, max_seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locus_sim::{CostModel, Counters};
+    use locus_types::{Fid, SiteId, TxnStatus, VolumeId};
+
+    fn setup() -> (Journal, Arc<SimDisk>, Account) {
+        let model = Arc::new(CostModel::default());
+        let disk = Arc::new(SimDisk::new(64, model, Arc::new(Counters::default())));
+        (Journal::new(disk.clone()), disk, Account::new(SiteId(0)))
+    }
+
+    fn coord_rec(seq: u64, status: TxnStatus) -> CoordLogRecord {
+        CoordLogRecord {
+            tid: TransId::new(SiteId(0), seq),
+            files: vec![],
+            status,
+        }
+    }
+
+    fn prep_rec(seq: u64, ino: u32) -> PrepareLogRecord {
+        PrepareLogRecord {
+            tid: TransId::new(SiteId(0), seq),
+            coordinator: SiteId(0),
+            intentions: locus_types::IntentionsList::new(Fid::new(VolumeId(0), ino), 0),
+            locks: vec![],
+        }
+    }
+
+    #[test]
+    fn appends_are_visible_before_flush_but_not_durable() {
+        let (j, _disk, mut a) = setup();
+        let rec = coord_rec(1, TxnStatus::Unknown);
+        j.coord_put(&rec, &mut a).unwrap();
+        assert_eq!(j.coord_get(rec.tid), Some(rec.clone()));
+        assert!(j.durable_prepare_records().is_empty());
+        // Crash before any barrier: the record is gone.
+        j.crash();
+        j.recover();
+        assert_eq!(j.coord_get(rec.tid), None);
+    }
+
+    #[test]
+    fn barrier_coalesces_batched_entries_into_one_flush() {
+        let (j, _disk, mut a) = setup();
+        j.coord_put(&coord_rec(1, TxnStatus::Unknown), &mut a)
+            .unwrap();
+        j.coord_set_status(TransId::new(SiteId(0), 1), TxnStatus::Committed, &mut a)
+            .unwrap();
+        j.prepare_put(&prep_rec(1, 7), &mut a).unwrap();
+        assert_eq!(a.seq_ios, 0);
+        j.barrier(&mut a).unwrap();
+        assert_eq!(a.seq_ios, 1, "three entries, one flush");
+        let (flushes, frames, _) = j.flush_stats();
+        assert_eq!((flushes, frames), (1, 3));
+        // A repeat barrier with nothing new is free.
+        j.barrier(&mut a).unwrap();
+        assert_eq!(a.seq_ios, 1);
+    }
+
+    #[test]
+    fn status_delta_survives_recovery_with_lww_replay() {
+        let (j, _disk, mut a) = setup();
+        let tid = TransId::new(SiteId(0), 3);
+        j.coord_put(&coord_rec(3, TxnStatus::Unknown), &mut a)
+            .unwrap();
+        j.coord_set_status(tid, TxnStatus::Committed, &mut a)
+            .unwrap();
+        j.barrier(&mut a).unwrap();
+        j.crash();
+        j.recover();
+        assert_eq!(j.coord_get(tid).unwrap().status, TxnStatus::Committed);
+    }
+
+    #[test]
+    fn set_status_on_missing_record_is_a_protocol_violation() {
+        let (j, _disk, mut a) = setup();
+        assert!(matches!(
+            j.coord_set_status(TransId::new(SiteId(0), 9), TxnStatus::Aborted, &mut a),
+            Err(Error::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_hides_records_and_compaction_reclaims_frames() {
+        let (j, disk, mut a) = setup();
+        for i in 0..8 {
+            j.coord_put(&coord_rec(i, TxnStatus::Unknown), &mut a)
+                .unwrap();
+            j.coord_set_status(TransId::new(SiteId(0), i), TxnStatus::Committed, &mut a)
+                .unwrap();
+            j.coord_delete(TransId::new(SiteId(0), i), &mut a).unwrap();
+        }
+        j.barrier(&mut a).unwrap();
+        assert!(j.coord_scan().is_empty());
+        // 24 dead frames > 2*0 + slack: compaction rewrote the region empty.
+        let (_, _, compactions) = j.flush_stats();
+        assert_eq!(compactions, 1);
+        assert_eq!(disk.journal_frame_counts(), (0, 0));
+        j.crash();
+        j.recover();
+        assert!(j.coord_scan().is_empty());
+    }
+
+    #[test]
+    fn unflushed_truncation_is_lost_but_flushed_state_survives() {
+        let (j, _disk, mut a) = setup();
+        let rec = prep_rec(5, 2);
+        j.prepare_put(&rec, &mut a).unwrap();
+        j.barrier(&mut a).unwrap();
+        j.prepare_delete(rec.tid, rec.intentions.fid, &mut a)
+            .unwrap();
+        assert!(j.prepare_scan().is_empty(), "in-core view sees the delete");
+        j.crash();
+        j.recover();
+        // The truncation was buffered only: the record resurfaces, and
+        // recovery re-resolves it (presumed abort keeps this safe).
+        assert_eq!(j.prepare_scan(), vec![rec]);
+    }
+}

@@ -16,8 +16,14 @@
 //!   record size and placement, used by the `tbl_shadow_vs_log` experiment
 //!   binary to locate the crossovers.
 
+//! * [`journal::Journal`] — the shadow-page side's own log layer: the
+//!   per-volume append-only **commit journal** with group commit that backs
+//!   the coordinator and prepare logs of Section 4.2/4.4.
+
+pub mod journal;
 pub mod model;
 pub mod store;
 
+pub use journal::Journal;
 pub use model::{CommitCost, TxnProfile};
 pub use store::WalStore;

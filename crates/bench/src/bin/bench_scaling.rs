@@ -47,11 +47,14 @@ use std::time::{Duration, Instant};
 
 use locus_core::manager::EndOutcome;
 use locus_harness::cluster::Cluster;
+use locus_harness::report::{decomposition_table, JsonObj, Report};
 use locus_harness::threaded::ThreadCtx;
+use locus_sim::SpanRegistrySnapshot;
 use locus_types::LockRequestMode;
 
 /// A single-thread throughput drop beyond this fraction vs the baseline
-/// fails the run (CI regression gate).
+/// fails the run (CI regression gate). The same fraction bounds the
+/// commit-phase p99 latency rise and the frames-per-flush drop.
 const REGRESSION_TOLERANCE: f64 = 0.20;
 
 struct Args {
@@ -126,14 +129,16 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 /// Runs `per_thread` timed cycles on `n` threads, one `ThreadCtx` each, and
 /// folds the per-cycle latencies into a [`Sample`]. `prep` runs once per
 /// thread (open files, position the pointer) and returns the cycle closure;
-/// only the cycles are timed.
+/// only the cycles are timed. Also returns the run's span-registry snapshot
+/// (each phase gets a fresh cluster, so the snapshots merge cleanly into the
+/// whole-run decomposition).
 fn run_phase<F>(
     phase: &'static str,
     n: usize,
     per_thread: usize,
     group_window: Option<Duration>,
     prep: F,
-) -> Sample
+) -> (Sample, SpanRegistrySnapshot)
 where
     F: for<'a> Fn(usize, &'a ThreadCtx) -> Box<dyn FnMut() + 'a> + Sync,
 {
@@ -187,7 +192,7 @@ where
     all.sort_unstable();
     let ops = n * per_thread;
     let flushes = flushes1 - flushes0;
-    Sample {
+    let sample = Sample {
         phase,
         threads: n,
         ops,
@@ -200,42 +205,42 @@ where
         } else {
             0.0
         },
-    }
+    };
+    (sample, cluster.spans())
 }
 
-fn render_json(quick: bool, samples: &[Sample]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"scaling\",\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n",
-        if quick { "quick" } else { "full" }
-    ));
-    out.push_str("  \"phases\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"phase\": \"{}\", \"threads\": {}, \"ops\": {}, \"elapsed_ms\": {:.3}, \
-             \"ops_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
-             \"frames_per_flush\": {:.2} }}{}\n",
-            s.phase,
-            s.threads,
-            s.ops,
-            s.elapsed_ms,
-            s.ops_per_sec,
-            s.p50_us,
-            s.p99_us,
-            s.frames_per_flush,
-            if i + 1 < samples.len() { "," } else { "" }
-        ));
+fn render_json(quick: bool, samples: &[Sample], spans: &SpanRegistrySnapshot) -> String {
+    let mut report = Report::new("scaling", if quick { "quick" } else { "full" });
+    for s in samples {
+        report.phase(
+            JsonObj::new()
+                .str("phase", s.phase)
+                .int("threads", s.threads as u64)
+                .int("ops", s.ops as u64)
+                .num("elapsed_ms", s.elapsed_ms, 3)
+                .num("ops_per_sec", s.ops_per_sec, 1)
+                .num("p50_us", s.p50_us, 2)
+                .num("p99_us", s.p99_us, 2)
+                .num("frames_per_flush", s.frames_per_flush, 2),
+        );
     }
-    out.push_str("  ]\n}\n");
-    out
+    report.decomposition(spans);
+    report.render()
 }
 
-/// Pulls `(phase, threads, ops_per_sec)` triples back out of a report
-/// produced by [`render_json`] (one phase object per line; no external JSON
-/// dependency needed for that shape).
-fn parse_report(text: &str) -> Vec<(String, usize, f64)> {
+/// One phase row pulled back out of a baseline report.
+struct BaseRow {
+    phase: String,
+    threads: usize,
+    ops_per_sec: f64,
+    p99_us: f64,
+    frames_per_flush: f64,
+}
+
+/// Pulls the phase rows back out of a report produced by [`render_json`]
+/// (one phase object per line; no external JSON dependency needed for that
+/// shape). Decomposition rows have no `threads` field and are skipped.
+fn parse_report(text: &str) -> Vec<BaseRow> {
     fn str_field(line: &str, key: &str) -> Option<String> {
         let tag = format!("\"{key}\": \"");
         let at = line.find(&tag)? + tag.len();
@@ -248,35 +253,64 @@ fn parse_report(text: &str) -> Vec<(String, usize, f64)> {
     }
     text.lines()
         .filter_map(|line| {
-            Some((
-                str_field(line, "phase")?,
-                num_field(line, "threads")? as usize,
-                num_field(line, "ops_per_sec")?,
-            ))
+            Some(BaseRow {
+                phase: str_field(line, "phase")?,
+                threads: num_field(line, "threads")? as usize,
+                ops_per_sec: num_field(line, "ops_per_sec")?,
+                p99_us: num_field(line, "p99_us").unwrap_or(0.0),
+                frames_per_flush: num_field(line, "frames_per_flush").unwrap_or(0.0),
+            })
         })
         .collect()
 }
 
-/// Compares the 1-thread throughput of every phase against the baseline
-/// report; returns the failures.
+/// Compares the 1-thread rows of every phase against the baseline report;
+/// returns the failures. Three gates, all bounded by
+/// [`REGRESSION_TOLERANCE`]:
+///
+/// * every phase's throughput must not drop below the baseline floor;
+/// * the commit phases' p99 latency must not rise above the baseline
+///   ceiling (skipped while the baseline row carries `p99_us: 0.0`);
+/// * the commit phases' frames-per-flush must not fall below the baseline
+///   floor (group commit quietly degrading to one frame per barrier).
 fn check_baseline(baseline: &str, samples: &[Sample]) -> Vec<String> {
     let base = parse_report(baseline);
     let mut failures = Vec::new();
+    let pct = REGRESSION_TOLERANCE * 100.0;
     for s in samples.iter().filter(|s| s.threads == 1) {
-        let Some((_, _, base_ops)) = base.iter().find(|(p, t, _)| p == s.phase && *t == 1) else {
+        let Some(b) = base.iter().find(|b| b.phase == s.phase && b.threads == 1) else {
             continue;
         };
-        let floor = base_ops * (1.0 - REGRESSION_TOLERANCE);
+        let floor = b.ops_per_sec * (1.0 - REGRESSION_TOLERANCE);
         if s.ops_per_sec < floor {
             failures.push(format!(
                 "{}: 1-thread throughput {:.0} ops/s is below {:.0} \
                  (baseline {:.0} ops/s, tolerance {:.0}%)",
-                s.phase,
-                s.ops_per_sec,
-                floor,
-                base_ops,
-                REGRESSION_TOLERANCE * 100.0
+                s.phase, s.ops_per_sec, floor, b.ops_per_sec, pct
             ));
+        }
+        if !s.phase.starts_with("commit") {
+            continue;
+        }
+        if b.p99_us > 0.0 {
+            let ceiling = b.p99_us * (1.0 + REGRESSION_TOLERANCE);
+            if s.p99_us > ceiling {
+                failures.push(format!(
+                    "{}: 1-thread p99 {:.1} µs is above {:.1} µs \
+                     (baseline {:.1} µs, tolerance {:.0}%)",
+                    s.phase, s.p99_us, ceiling, b.p99_us, pct
+                ));
+            }
+        }
+        if b.frames_per_flush > 0.0 {
+            let floor = b.frames_per_flush * (1.0 - REGRESSION_TOLERANCE);
+            if s.frames_per_flush < floor {
+                failures.push(format!(
+                    "{}: frames/flush {:.2} is below {:.2} \
+                     (baseline {:.2}, tolerance {:.0}%)",
+                    s.phase, s.frames_per_flush, floor, b.frames_per_flush, pct
+                ));
+            }
         }
     }
     failures
@@ -284,22 +318,31 @@ fn check_baseline(baseline: &str, samples: &[Sample]) -> Vec<String> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // Per-thread cycle counts. The quick counts are sized so every phase's
+    // timed region spans at least a few milliseconds: the baseline gate
+    // divides by elapsed time, and a 100-op region (~200 µs) lets a single
+    // scheduler stall on a shared runner masquerade as a 10x regression.
     let (lock_ops, handoff_ops, txn_ops) = if args.quick {
-        (2_000, 100, 100)
+        (2_000, 1_000, 500)
     } else {
-        (20_000, 500, 1_000)
+        (20_000, 2_000, 1_000)
     };
 
     let mut samples = Vec::new();
+    let mut spans = SpanRegistrySnapshot::default();
+    let mut push = |(sample, snap): (Sample, SpanRegistrySnapshot)| {
+        samples.push(sample);
+        spans.merge(&snap);
+    };
     for &n in &args.threads {
-        samples.push(run_phase("lock_distinct", n, lock_ops, None, |t, ctx| {
+        push(run_phase("lock_distinct", n, lock_ops, None, |t, ctx| {
             let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
             Box::new(move || {
                 ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("lock_same_file", n, lock_ops, None, |t, ctx| {
+        push(run_phase("lock_same_file", n, lock_ops, None, |t, ctx| {
             let ch = ctx.open("/shared", true).unwrap();
             ctx.seek(ch, 8 * t as u64).unwrap();
             Box::new(move || {
@@ -307,14 +350,14 @@ fn main() -> ExitCode {
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("lock_handoff", n, handoff_ops, None, |_, ctx| {
+        push(run_phase("lock_handoff", n, handoff_ops, None, |_, ctx| {
             let ch = ctx.open("/shared", true).unwrap();
             Box::new(move || {
                 ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
                 ctx.unlock(ch, 8).unwrap();
             })
         }));
-        samples.push(run_phase("commit_distinct", n, txn_ops, None, |t, ctx| {
+        push(run_phase("commit_distinct", n, txn_ops, None, |t, ctx| {
             let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
             Box::new(move || {
                 ctx.begin_trans().unwrap();
@@ -323,7 +366,7 @@ fn main() -> ExitCode {
                 assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
             })
         }));
-        samples.push(run_phase(
+        push(run_phase(
             "commit_group",
             n,
             txn_ops,
@@ -364,8 +407,13 @@ fn main() -> ExitCode {
             println!("{phase}: 1→4 thread scaling {:.2}x", four / one);
         }
     }
+    println!();
+    print!(
+        "{}",
+        decomposition_table("Latency decomposition (all phases pooled)", &spans)
+    );
 
-    let report = render_json(args.quick, &samples);
+    let report = render_json(args.quick, &samples, &spans);
     if let Err(e) = fs::write(&args.out, &report) {
         eprintln!("bench_scaling: cannot write {}: {e}", args.out.display());
         return ExitCode::FAILURE;

@@ -1,10 +1,39 @@
 //! Prints every reproduced table and figure, in paper order — the one-shot
 //! regeneration target behind EXPERIMENTS.md.
+//!
+//! ```text
+//! locus-summary                 # print every table
+//! locus-summary --json FILE     # also write the schema-versioned
+//!                               # decomposition report (same envelope as
+//!                               # bench_scaling)
+//! ```
+
+use std::path::PathBuf;
 
 use locus_harness::experiments as exp;
+use locus_harness::report::{decomposition_table, JsonObj, Report};
 use locus_sim::CostModel;
 
 fn main() {
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("locus-summary: --json needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("locus-summary: unknown flag {other:?}");
+                eprintln!("usage: locus-summary [--json FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let model = CostModel::default;
 
     println!("{}", exp::fig1_compatibility());
@@ -30,4 +59,31 @@ fn main() {
     println!("remote storage site: {remote} per transaction");
 
     println!("{}", exp::service_breakdown(model()).render());
+
+    // Figure-6-style per-phase latency decomposition over the canonical
+    // mixed workload (local commits, distributed commits, lock handoff),
+    // measured on the virtual clock.
+    let spans = exp::decomposition_workload(model());
+    println!(
+        "{}",
+        decomposition_table(
+            "Latency decomposition (canonical workload, virtual clock)",
+            &spans
+        )
+    );
+
+    if let Some(path) = json_out {
+        let mut report = Report::new("summary", "default-model");
+        report.phase(
+            JsonObj::new()
+                .str("phase", "decomposition_workload")
+                .int("sites", 2),
+        );
+        report.decomposition(&spans);
+        if let Err(e) = std::fs::write(&path, report.render()) {
+            eprintln!("locus-summary: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
 }

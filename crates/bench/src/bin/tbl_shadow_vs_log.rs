@@ -1,5 +1,5 @@
 //! Prints the Section 6 shadow-paging vs commit-log comparison: the
-//! [Weinstein85] operation-counting sweep over record size × placement,
+//! Weinstein '85 operation-counting sweep over record size × placement,
 //! cross-checked against the live [`locus_wal::WalStore`] implementation.
 //!
 //! The paper's claim: "the relative performance ... is highly dependent on

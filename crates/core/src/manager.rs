@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 
 use locus_kernel::{Kernel, TxnService};
 use locus_net::{Msg, TxnMsg};
-use locus_sim::{Account, Event};
+use locus_sim::{Account, Event, SpanPhase, VirtSpan};
 use locus_types::{
     CoordLogRecord, Error, Fid, FileListEntry, Owner, Pid, PrepareLogRecord, Result, SiteId,
     TransId, TxnStatus,
@@ -97,6 +97,15 @@ impl TxnManager {
     /// `BeginTrans` (Section 2): entering a transaction, or deepening the
     /// nesting level when already inside one.
     pub fn begin_trans(&self, pid: Pid, acct: &mut Account) -> Result<TransId> {
+        let span = VirtSpan::begin(SpanPhase::Begin, acct);
+        let res = self.begin_trans_inner(pid, acct);
+        if res.is_ok() {
+            span.finish(&self.kernel.counters.spans, &self.kernel.model, acct);
+        }
+        res
+    }
+
+    fn begin_trans_inner(&self, pid: Pid, acct: &mut Account) -> Result<TransId> {
         acct.cpu_instrs(&self.kernel.model, self.kernel.model.syscall_instrs);
         let site = self.site();
         let existing = self.kernel.procs.with_mut(pid, |rec| {
@@ -150,7 +159,14 @@ impl TxnManager {
         }
         // Nesting returned to zero at the top level: commit.
         self.kernel.procs.with_mut(pid, |r| r.nest = 0)?;
-        match self.commit_transaction(tid, pid, acct) {
+        // The commit span covers the whole two-phase-commit drive: prepare
+        // fan-out, the group-commit flush, and the commit record. Recorded
+        // for aborts too — a failed commit's latency is still commit-path
+        // latency.
+        let span = VirtSpan::begin(SpanPhase::Commit, acct);
+        let res = self.commit_transaction(tid, pid, acct);
+        span.finish(&self.kernel.counters.spans, &self.kernel.model, acct);
+        match res {
             Ok(()) => Ok(EndOutcome::Committed(tid)),
             Err(e) => Err(e),
         }
@@ -267,6 +283,7 @@ impl TxnManager {
         acct: &mut Account,
     ) -> bool {
         let prepare_one = |site: SiteId, fids: &[Fid], a: &mut Account| -> bool {
+            let span = VirtSpan::begin(SpanPhase::Prepare, a);
             self.kernel
                 .events
                 .push(Event::PrepareSent { tid, to: site });
@@ -290,6 +307,7 @@ impl TxnManager {
                 from: site,
                 ok,
             });
+            span.finish(&self.kernel.counters.spans, &self.kernel.model, a);
             ok
         };
         if participants.len() > 1 && self.parallel_fanout.load(Ordering::Relaxed) {
@@ -358,6 +376,7 @@ impl TxnManager {
         if work.is_empty() {
             return 0;
         }
+        let span = VirtSpan::begin(SpanPhase::PhaseTwo, acct);
         // Coalesce the phase-two traffic per participant site — across
         // transactions: every Commit/AbortFiles bound for one site travels
         // in a single batched network message.
@@ -431,6 +450,7 @@ impl TxnManager {
                 let _ = home.log_barrier(acct);
             }
         }
+        span.finish(&self.kernel.counters.spans, &self.kernel.model, acct);
         completed
     }
 

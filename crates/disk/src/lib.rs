@@ -232,6 +232,16 @@ impl SimDisk {
         self.page_size
     }
 
+    /// The site-wide counters (and span registry) this disk charges into.
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// The cost model this disk charges with.
+    pub fn model(&self) -> &Arc<CostModel> {
+        &self.model
+    }
+
     pub fn capacity(&self) -> usize {
         self.inner.lock().blocks.len()
     }

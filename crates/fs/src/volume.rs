@@ -19,7 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use locus_disk::{IoKind, SimDisk};
-use locus_sim::{Account, CostModel, Counters, Event, EventLog};
+use locus_sim::{Account, CostModel, Counters, Event, EventLog, SpanPhase, VirtSpan};
 use locus_types::{
     ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner, PageNo,
     PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
@@ -486,6 +486,18 @@ impl Volume {
     /// frees the old blocks. `owner` is `None` during crash recovery, when
     /// the volatile buffer state is gone and only the logged list remains.
     pub fn install_intentions(
+        &self,
+        il: &IntentionsList,
+        owner: Option<Owner>,
+        acct: &mut Account,
+    ) -> Result<()> {
+        let span = VirtSpan::begin(SpanPhase::Install, acct);
+        let res = self.install_intentions_inner(il, owner, acct);
+        span.finish(&self.counters.spans, &self.model, acct);
+        res
+    }
+
+    fn install_intentions_inner(
         &self,
         il: &IntentionsList,
         owner: Option<Owner>,

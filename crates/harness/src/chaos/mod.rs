@@ -36,7 +36,7 @@ use std::sync::Arc;
 use locus_disk::{CrashPointMode, MutationKind};
 use locus_kernel::LockOpts;
 use locus_net::{FaultDecision, FaultInjector, Msg};
-use locus_sim::DetRng;
+use locus_sim::{DetRng, SpanRegistrySnapshot};
 use locus_types::{LockRequestMode, SiteId, TransId, TxnStatus};
 
 use crate::cluster::Cluster;
@@ -229,6 +229,10 @@ pub struct ChaosReport {
     pub violations: Vec<Violation>,
     pub notes: Vec<String>,
     pub trace: String,
+    /// Per-phase latency decomposition of the whole run (virtual-clock
+    /// bank; the script driver issues no wall-clock spans). Fully seed
+    /// determined, like the trace.
+    pub spans: SpanRegistrySnapshot,
 }
 
 impl ChaosReport {
@@ -542,6 +546,7 @@ fn run_inner(
             violations,
             notes,
             trace,
+            spans: c.spans(),
         },
         mutation_logs,
         setup_boundary,

@@ -9,7 +9,7 @@ use locus_fs::Volume;
 use locus_kernel::{Catalog, Kernel};
 use locus_net::SimTransport;
 use locus_proc::ProcessRegistry;
-use locus_sim::{Account, CostModel, Counters, CountersSnapshot, EventLog};
+use locus_sim::{Account, CostModel, Counters, CountersSnapshot, EventLog, SpanRegistrySnapshot};
 use locus_types::{SiteId, VolumeId};
 
 /// Blocks per simulated disk.
@@ -183,6 +183,17 @@ impl Cluster {
     /// Counter snapshot across the whole cluster (counters are shared).
     pub fn counters(&self) -> CountersSnapshot {
         self.counters.snapshot()
+    }
+
+    /// Span-registry snapshot (per-phase latency decomposition, both clock
+    /// banks) across the whole cluster.
+    pub fn spans(&self) -> SpanRegistrySnapshot {
+        self.counters.spans.snapshot()
+    }
+
+    /// The cluster's cost model.
+    pub fn model(&self) -> &Arc<CostModel> {
+        &self.model
     }
 }
 

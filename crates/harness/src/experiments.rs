@@ -896,6 +896,114 @@ pub fn service_breakdown(model: CostModel) -> ServiceBreakdownReport {
     }
 }
 
+/// Canonical workload behind the Figure-6-style latency-decomposition table:
+/// a mix of local commits, remote (2PC fan-out) commits, and contended
+/// locking on a two-site cluster, all through the deterministic driver so
+/// the virtual-clock span banks fill reproducibly. Returns the cluster's
+/// span-registry snapshot.
+pub fn decomposition_workload(model: CostModel) -> locus_sim::SpanRegistrySnapshot {
+    let c = Cluster::with_model(2, model);
+
+    // Files: one local to site 0, one stored at site 1 (remote from the
+    // runner's perspective).
+    let mut a0 = c.account(0);
+    let p0 = c.site(0).kernel.spawn();
+    let ch = c.site(0).kernel.creat(p0, "/local", &mut a0).unwrap();
+    c.site(0)
+        .kernel
+        .write(p0, ch, &vec![0u8; 1024], &mut a0)
+        .unwrap();
+    c.site(0).kernel.close(p0, ch, &mut a0).unwrap();
+    let mut a1 = c.account(1);
+    let p1 = c.site(1).kernel.spawn();
+    let ch = c.site(1).kernel.creat(p1, "/remote", &mut a1).unwrap();
+    c.site(1)
+        .kernel
+        .write(p1, ch, &vec![0u8; 1024], &mut a1)
+        .unwrap();
+    c.site(1).kernel.close(p1, ch, &mut a1).unwrap();
+
+    let mut acct = c.account(0);
+    let pid = c.site(0).kernel.spawn();
+    for i in 0..8u64 {
+        // Local one-file transaction.
+        c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+        let ch = c
+            .site(0)
+            .kernel
+            .open(pid, "/local", true, &mut acct)
+            .unwrap();
+        c.site(0)
+            .kernel
+            .lseek(pid, ch, (i % 4) * 64, &mut acct)
+            .unwrap();
+        c.site(0)
+            .kernel
+            .write(pid, ch, &[1u8; 64], &mut acct)
+            .unwrap();
+        c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+        c.drain_async();
+
+        // Distributed transaction touching both sites: remote lock, remote
+        // prepare, network phase two.
+        c.site(0).txn.begin_trans(pid, &mut acct).unwrap();
+        for name in ["/local", "/remote"] {
+            let ch = c.site(0).kernel.open(pid, name, true, &mut acct).unwrap();
+            c.site(0)
+                .kernel
+                .lseek(pid, ch, (i % 4) * 32, &mut acct)
+                .unwrap();
+            c.site(0)
+                .kernel
+                .write(pid, ch, &[2u8; 32], &mut acct)
+                .unwrap();
+        }
+        c.site(0).txn.end_trans(pid, &mut acct).unwrap();
+        c.drain_async();
+    }
+
+    // Contended locking: a holder pins a range, a waiter queues, the
+    // release transfers the lock (LockTransfer spans from the queue pump).
+    let holder = c.site(0).kernel.spawn();
+    let waiter = c.site(0).kernel.spawn();
+    let hch = c
+        .site(0)
+        .kernel
+        .open(holder, "/local", true, &mut acct)
+        .unwrap();
+    let wch = c
+        .site(0)
+        .kernel
+        .open(waiter, "/local", true, &mut acct)
+        .unwrap();
+    c.site(0)
+        .kernel
+        .lock(
+            holder,
+            hch,
+            64,
+            LockRequestMode::Exclusive,
+            LockOpts::default(),
+            &mut acct,
+        )
+        .unwrap();
+    let queued = c.site(0).kernel.lock(
+        waiter,
+        wch,
+        64,
+        LockRequestMode::Exclusive,
+        LockOpts {
+            wait: true,
+            ..LockOpts::default()
+        },
+        &mut acct,
+    );
+    assert!(queued.is_err(), "waiter must queue behind the holder");
+    c.site(0).kernel.unlock(holder, hch, 64, &mut acct).unwrap();
+
+    c.spans()
+}
+
 impl ServiceBreakdownReport {
     pub fn render(&self) -> String {
         let mut t = Table::new("Per-service network messages, by workload phase").header([

@@ -17,6 +17,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod experiments;
+pub mod report;
 pub mod script;
 pub mod table;
 pub mod threaded;

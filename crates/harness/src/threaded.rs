@@ -7,12 +7,12 @@
 //! driver under genuine concurrency.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use locus_core::manager::EndOutcome;
 use locus_core::Site;
 use locus_kernel::LockOpts;
-use locus_sim::Account;
+use locus_sim::{Account, SpanPhase, SpanRegistry};
 use locus_types::{ByteRange, Channel, Error, LockRequestMode, Pid, Result, TransId};
 
 /// How long a blocking call waits for a wakeup before rechecking. Wakeups
@@ -52,6 +52,11 @@ impl ThreadCtx {
         Account::new(self.site.id())
     }
 
+    /// The site's span registry (wall-clock bank for this driver).
+    fn spans(&self) -> &SpanRegistry {
+        &self.site.kernel.counters.spans
+    }
+
     pub fn creat(&self, name: &str) -> Result<Channel> {
         self.site.kernel.creat(self.pid, name, &mut self.acct())
     }
@@ -80,7 +85,7 @@ impl ThreadCtx {
 
     /// Blocking lock: queues behind conflicts and waits for the grant.
     pub fn lock_wait(&self, ch: Channel, len: u64, mode: LockRequestMode) -> Result<ByteRange> {
-        self.retry_blocking(|| {
+        let (res, total, parked) = self.retry_blocking_timed(|| {
             self.site.kernel.lock(
                 self.pid,
                 ch,
@@ -92,7 +97,15 @@ impl ThreadCtx {
                 },
                 &mut self.acct(),
             )
-        })
+        });
+        if res.is_ok() {
+            self.spans().record_wall(
+                SpanPhase::LockAcquire,
+                total.as_nanos() as u64,
+                parked.as_nanos() as u64,
+            );
+        }
+        res
     }
 
     /// Non-blocking lock attempt.
@@ -112,7 +125,13 @@ impl ThreadCtx {
     }
 
     pub fn begin_trans(&self) -> Result<TransId> {
-        self.site.txn.begin_trans(self.pid, &mut self.acct())
+        let start = Instant::now();
+        let res = self.site.txn.begin_trans(self.pid, &mut self.acct());
+        if res.is_ok() {
+            self.spans()
+                .record_wall(SpanPhase::Begin, start.elapsed().as_nanos() as u64, 0);
+        }
+        res
     }
 
     /// Whether this process is (still) inside a transaction. A deadlock
@@ -135,10 +154,20 @@ impl ThreadCtx {
     /// the queue; with real threads, waiters would otherwise stall until an
     /// explicit `drain_async`).
     pub fn end_trans(&self) -> Result<EndOutcome> {
-        let out = self.retry_blocking(|| self.site.txn.end_trans(self.pid, &mut self.acct()));
+        let (out, total, parked) =
+            self.retry_blocking_timed(|| self.site.txn.end_trans(self.pid, &mut self.acct()));
         if matches!(out, Ok(EndOutcome::Committed(_))) {
+            self.spans().record_wall(
+                SpanPhase::Commit,
+                total.as_nanos() as u64,
+                parked.as_nanos() as u64,
+            );
+            let p2 = Instant::now();
             let mut bg = self.acct();
-            self.site.txn.run_async_work(&mut bg);
+            if self.site.txn.run_async_work(&mut bg) > 0 {
+                self.spans()
+                    .record_wall(SpanPhase::PhaseTwo, p2.elapsed().as_nanos() as u64, 0);
+            }
         }
         out
     }
@@ -153,16 +182,30 @@ impl ThreadCtx {
 
     /// Retries a call that may report `WouldBlock`/`ChildrenActive`, parking
     /// on the kernel's wakeup condition variable between attempts.
-    fn retry_blocking<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    fn retry_blocking<T>(&self, f: impl FnMut() -> Result<T>) -> Result<T> {
+        self.retry_blocking_timed(f).0
+    }
+
+    /// [`ThreadCtx::retry_blocking`], also reporting the call's total wall
+    /// time and how much of it was spent parked waiting for a wakeup — the
+    /// wall-clock span's `lock_wait` axis.
+    fn retry_blocking_timed<T>(
+        &self,
+        mut f: impl FnMut() -> Result<T>,
+    ) -> (Result<T>, Duration, Duration) {
+        let start = Instant::now();
+        let mut parked = Duration::ZERO;
         loop {
             match f() {
                 Err(Error::WouldBlock { .. }) | Err(Error::ChildrenActive { .. }) => {
+                    let park = Instant::now();
                     self.site.kernel.wait_wakeup(self.pid, WAKEUP_RECHECK);
+                    parked += park.elapsed();
                 }
                 Err(Error::InTransit(_)) => {
                     std::thread::yield_now();
                 }
-                other => return other,
+                other => return (other, start.elapsed(), parked),
             }
         }
     }

@@ -5,12 +5,12 @@
 //! foreign-site lock traffic recall the lease.
 //!
 //! This module owns both ends: the storage-site trigger/recall machinery
-//! ([`maybe_delegate`], [`Kernel::reclaim_lease`]) and the delegate-side
+//! (`maybe_delegate`, [`Kernel::reclaim_lease`]) and the delegate-side
 //! handlers for the lease arms of [`locus_net::LockMsg`].
 
 use locus_locks::{LockOutcome, LockRequest};
 use locus_net::{LockMsg, Msg};
-use locus_sim::Account;
+use locus_sim::{Account, SpanPhase, VirtSpan};
 use locus_types::{ByteRange, Error, Fid, LockRequestMode, Result, SiteId};
 
 use crate::kernel::Kernel;
@@ -95,6 +95,7 @@ pub(crate) fn maybe_delegate(k: &Kernel, fid: Fid, from: SiteId, acct: &mut Acco
     let Some(state) = k.locks.export_file(fid) else {
         return;
     };
+    let span = VirtSpan::begin(SpanPhase::LockTransfer, acct);
     if k.rpc(from, Msg::Lock(LockMsg::LeaseGrant { fid, state }), acct)
         .is_ok()
     {
@@ -102,6 +103,7 @@ pub(crate) fn maybe_delegate(k: &Kernel, fid: Fid, from: SiteId, acct: &mut Acco
         // validation; the delegate's copy is now authoritative.
         k.delegated.write().insert(fid, from);
         k.lock_streaks.lock().remove(&fid);
+        span.finish(&k.counters.spans, &k.model, acct);
     }
 }
 
@@ -115,6 +117,7 @@ impl Kernel {
         let Some(site) = delegate else {
             return Ok(());
         };
+        let span = VirtSpan::begin(SpanPhase::LockTransfer, acct);
         match self.rpc(site, Msg::Lock(LockMsg::LeaseRecall { fid }), acct) {
             Ok(Msg::Lock(LockMsg::LeaseState { state })) => {
                 self.locks.import_file(fid, &state)?;
@@ -126,6 +129,7 @@ impl Kernel {
         }
         self.delegated.write().remove(&fid);
         self.lock_streaks.lock().remove(&fid);
+        span.finish(&self.counters.spans, &self.model, acct);
         Ok(())
     }
 }

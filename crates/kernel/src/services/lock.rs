@@ -9,7 +9,7 @@ use std::sync::atomic::Ordering;
 use locus_locks::{GrantedWaiter, LockOutcome, LockRequest};
 use locus_net::{LockMsg, Msg};
 use locus_proc::OpenFile;
-use locus_sim::Account;
+use locus_sim::{Account, SpanPhase, VirtSpan};
 use locus_types::{
     ByteRange, Channel, Error, Fid, LockClass, LockRequestMode, Pid, Result, SiteId,
 };
@@ -112,6 +112,7 @@ impl Kernel {
         acct: &mut Account,
     ) -> Result<ByteRange> {
         self.check_up()?;
+        let span = VirtSpan::begin(SpanPhase::LockAcquire, acct);
         acct.cpu_instrs(&self.model, self.model.syscall_instrs);
         let (of, _) = self.with_channel(pid, ch)?;
         // Policy (Section 3.1): enforced locks can deny access, so a process
@@ -119,7 +120,14 @@ impl Kernel {
         if !of.write {
             return Err(Error::PermissionDenied { fid: of.fid });
         }
-        self.lock_channel(pid, ch, &of, len, mode, opts, acct)
+        let res = self.lock_channel(pid, ch, &of, len, mode, opts, acct);
+        // The client-visible acquisition span: syscall + routing + (possibly
+        // remote) lock-site processing. Unlocks ride the same syscall but
+        // are not acquisitions.
+        if mode != LockRequestMode::Unlock {
+            span.finish(&self.counters.spans, &self.model, acct);
+        }
+        res
     }
 
     /// Unlocks `len` bytes at the current position (transaction locks are

@@ -11,8 +11,8 @@
 //! | `replica` | [`locus_net::ReplicaMsg`] | primary-site replication       |
 //! | `txn`     | [`locus_net::TxnMsg`] | 2PC control plane (via [`TxnService`]) |
 //!
-//! [`dispatch`] is the single entry point: it routes each [`Msg`] to the
-//! owning service's [`ServiceHandler`] and unrolls [`Msg::Batch`] envelopes
+//! `dispatch` is the single entry point: it routes each [`Msg`] to the
+//! owning service's `ServiceHandler` and unrolls [`Msg::Batch`] envelopes
 //! into positional per-member responses.
 
 pub mod file;

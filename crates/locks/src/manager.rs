@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use locus_sim::{Account, CostModel, Counters, Event, EventLog};
+use locus_sim::{Account, CostModel, Counters, Event, EventLog, SpanPhase, VirtSpan};
 use locus_types::{ByteRange, Error, Fid, LockDescriptor, Owner, Pid, Result};
 
 use crate::lock_list::{FileLocks, LockOutcome, LockRequest, Waiter};
@@ -205,6 +205,7 @@ impl LockManager {
     /// non-transaction process exit) and pumps the queues. Returns the
     /// waiters granted as a result, for grant notification.
     pub fn release_owner(&self, owner: Owner, acct: &mut Account) -> Vec<GrantedWaiter> {
+        let span = VirtSpan::begin(SpanPhase::LockTransfer, acct);
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 2);
         let mut granted = Vec::new();
         self.for_each_file(|fid, fl| {
@@ -220,6 +221,10 @@ impl LockManager {
                 granted.push(GrantedWaiter { fid, waiter, range });
             }
         });
+        // A release only counts as a lock *transfer* when it woke someone.
+        if !granted.is_empty() {
+            span.finish(&self.counters.spans, &self.model, acct);
+        }
         granted
     }
 
@@ -249,6 +254,7 @@ impl LockManager {
     /// Pumps one file's wait queue (after an explicit unlock made room),
     /// returning newly granted waiters.
     pub fn pump_file(&self, fid: Fid, acct: &mut Account) -> Vec<GrantedWaiter> {
+        let span = VirtSpan::begin(SpanPhase::LockTransfer, acct);
         acct.cpu_instrs(&self.model, self.model.lock_instrs / 4);
         let mut granted = Vec::new();
         if let Some(fl) = self.shard(fid).lock().get_mut(&fid) {
@@ -256,6 +262,9 @@ impl LockManager {
                 self.counters.locks_granted();
                 granted.push(GrantedWaiter { fid, waiter, range });
             }
+        }
+        if !granted.is_empty() {
+            span.finish(&self.counters.spans, &self.model, acct);
         }
         granted
     }

@@ -1,5 +1,5 @@
 //! Lock-list state transfer, for the Section 5.2 lock-control migration
-//! optimization: "the storage site [may] *temporarily* transfer its ability
+//! optimization: "the storage site \[may\] *temporarily* transfer its ability
 //! to manage a group of locks to another site ... Control of these locks,
 //! and current locking information, would migrate if the locking patterns
 //! changed."

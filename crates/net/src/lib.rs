@@ -6,12 +6,12 @@
 //! caller performs a synchronous [`Transport::rpc`]: the message is
 //! dispatched directly to the destination site's [`SiteHandler`], the
 //! response returned, and the round-trip's modeled cost charged to the
-//! caller's [`Account`].
+//! caller's [`locus_sim::Account`].
 //!
 //! The [`SimTransport`] adds the failure machinery of Section 4.3/4.4: sites
 //! can crash and reboot, and the network can partition; unreachable
-//! destinations fail the RPC with [`Error::SiteDown`] or
-//! [`Error::Partitioned`], which the transaction layer turns into aborts.
+//! destinations fail the RPC with [`locus_types::Error::SiteDown`] or
+//! [`locus_types::Error::Partitioned`], which the transaction layer turns into aborts.
 
 pub mod msg;
 pub mod transport;

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use locus_sim::{Account, CostModel, Counters, Event, EventLog};
+use locus_sim::{Account, CostModel, Counters, Event, EventLog, SpanPhase, VirtSpan};
 use locus_types::{Error, Result, SiteId};
 
 use crate::msg::Msg;
@@ -280,6 +280,46 @@ impl Transport for SimTransport {
             let handler = self.check_path(from, to)?;
             return Ok(handler.handle(from, msg, acct));
         }
+        let span = VirtSpan::begin(SpanPhase::RpcSend, acct);
+        let res = self.rpc_remote(from, to, msg, acct);
+        span.finish(&self.counters.spans, &self.model, acct);
+        res
+    }
+
+    fn notify(&self, from: SiteId, to: SiteId, msg: Msg, acct: &mut Account) -> Result<()> {
+        if from == to {
+            let handler = self.check_path(from, to)?;
+            handler.handle(from, msg, acct);
+            return Ok(());
+        }
+        let span = VirtSpan::begin(SpanPhase::RpcSend, acct);
+        let res = self.notify_remote(from, to, msg, acct);
+        span.finish(&self.counters.spans, &self.model, acct);
+        res
+    }
+
+    fn reachable(&self, from: SiteId, to: SiteId) -> bool {
+        self.check_path(from, to).is_ok()
+    }
+
+    fn partition_of(&self, site: SiteId) -> Vec<SiteId> {
+        let st = self.state.read();
+        let idx = site.0 as usize;
+        if idx >= st.up.len() || !st.up[idx] {
+            return Vec::new();
+        }
+        let g = st.groups[idx];
+        (0..st.up.len())
+            .filter(|i| st.up[*i] && st.groups[*i] == g)
+            .map(|i| SiteId(i as u32))
+            .collect()
+    }
+}
+
+impl SimTransport {
+    /// Remote request/response exchange ([`Transport::rpc`] after the
+    /// local-call fast path), wrapped in an `RpcSend` span by the caller.
+    fn rpc_remote(&self, from: SiteId, to: SiteId, msg: Msg, acct: &mut Account) -> Result<Msg> {
         let handler = self.check_path(from, to)?;
         let fault = self.decide_fault(from, to, &msg, false);
         self.charge_send(from, to, &msg, acct, true);
@@ -331,8 +371,11 @@ impl Transport for SimTransport {
                     .clone()
             };
             let r = acct.at_site(to, |acct| {
+                let recv = VirtSpan::begin(SpanPhase::RpcRecv, acct);
                 acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
-                handler.handle(from, m, acct)
+                let r = handler.handle(from, m, acct);
+                recv.finish(&self.counters.spans, &self.model, acct);
+                r
             });
             // The sender acts on the first reply; a duplicate's reply is
             // discarded (it would arrive after the exchange completed).
@@ -359,12 +402,9 @@ impl Transport for SimTransport {
         Ok(resp)
     }
 
-    fn notify(&self, from: SiteId, to: SiteId, msg: Msg, acct: &mut Account) -> Result<()> {
-        if from == to {
-            let handler = self.check_path(from, to)?;
-            handler.handle(from, msg, acct);
-            return Ok(());
-        }
+    /// Remote one-way notification ([`Transport::notify`] after the
+    /// local-call fast path), wrapped in an `RpcSend` span by the caller.
+    fn notify_remote(&self, from: SiteId, to: SiteId, msg: Msg, acct: &mut Account) -> Result<()> {
         let handler = self.check_path(from, to)?;
         let fault = self.decide_fault(from, to, &msg, true);
         self.charge_send(from, to, &msg, acct, false);
@@ -411,28 +451,13 @@ impl Transport for SimTransport {
                     .clone()
             };
             acct.at_site(to, |acct| {
+                let recv = VirtSpan::begin(SpanPhase::RpcRecv, acct);
                 acct.cpu_instrs(&self.model, self.model.msg_handler_instrs);
                 handler.handle(from, m, acct);
+                recv.finish(&self.counters.spans, &self.model, acct);
             });
         }
         Ok(())
-    }
-
-    fn reachable(&self, from: SiteId, to: SiteId) -> bool {
-        self.check_path(from, to).is_ok()
-    }
-
-    fn partition_of(&self, site: SiteId) -> Vec<SiteId> {
-        let st = self.state.read();
-        let idx = site.0 as usize;
-        if idx >= st.up.len() || !st.up[idx] {
-            return Vec::new();
-        }
-        let g = st.groups[idx];
-        (0..st.up.len())
-            .filter(|i| st.up[*i] && st.groups[*i] == g)
-            .map(|i| SiteId(i as u32))
-            .collect()
     }
 }
 

@@ -9,7 +9,7 @@
 //!
 //! Layout (version 2): a version byte, then a service tag, then a variant
 //! byte within the service, then the variant fields. A batch is the service
-//! tag [`TAG_BATCH`] followed by a message count and the member encodings
+//! tag `TAG_BATCH` followed by a message count and the member encodings
 //! (sans version byte); batches cannot nest, which the decoder enforces.
 
 use locus_types::codec::{Dec, Enc};

@@ -22,7 +22,10 @@ pub mod trace;
 
 pub use account::Account;
 pub use cost::CostModel;
-pub use metrics::{Counters, CountersSnapshot};
+pub use metrics::{
+    Counters, CountersSnapshot, Histogram, HistogramSnapshot, PhaseSpanSnapshot, SpanPhase,
+    SpanRegistry, SpanRegistrySnapshot, VirtSpan, HIST_BUCKETS,
+};
 pub use rng::DetRng;
 pub use time::SimDuration;
 pub use trace::{Event, EventLog};

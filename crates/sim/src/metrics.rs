@@ -9,9 +9,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use locus_types::Service;
 
+use crate::account::Account;
+use crate::cost::CostModel;
+
 /// Monotonically increasing event counters for one site.
 #[derive(Debug, Default)]
 pub struct Counters {
+    /// Per-phase latency spans with cost-axis decomposition (Figure 6).
+    pub spans: SpanRegistry,
     pub disk_reads: AtomicU64,
     pub disk_writes: AtomicU64,
     pub disk_seq_writes: AtomicU64,
@@ -195,6 +200,453 @@ impl CountersSnapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Spans and histograms (latency decomposition)
+// ---------------------------------------------------------------------------
+
+/// Values below `1 << LINEAR_BITS` nanoseconds get one bucket each.
+const LINEAR_BITS: u32 = 4;
+/// Sub-buckets per power-of-two octave above the linear region.
+const SUB_BUCKETS: u32 = 16;
+/// Highest octave before clamping (2^42 ns ≈ 73 min — far beyond any span).
+const MAX_OCTAVE: u32 = 42;
+/// Total bucket count of every [`Histogram`].
+pub const HIST_BUCKETS: usize =
+    ((1 << LINEAR_BITS) + (MAX_OCTAVE - LINEAR_BITS + 1) * SUB_BUCKETS) as usize;
+
+/// Maps a nanosecond value to its fixed bucket index.
+///
+/// Log-linear: exact below 16 ns, then 16 sub-buckets per octave (≤ 6.25%
+/// relative bucket width). The mapping is a pure function of the value, so
+/// two histograms recording the same multiset of values are byte-identical
+/// regardless of recording or merge order.
+fn bucket_of(v: u64) -> usize {
+    if v < (1 << LINEAR_BITS) {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb > MAX_OCTAVE {
+        return HIST_BUCKETS - 1;
+    }
+    let sub = ((v >> (msb - LINEAR_BITS)) - (1 << LINEAR_BITS)) as u32;
+    ((1 << LINEAR_BITS) + (msb - LINEAR_BITS) * SUB_BUCKETS + sub) as usize
+}
+
+/// Lowest value that maps into bucket `idx` (the reported representative —
+/// deterministic, never interpolated).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < (1 << LINEAR_BITS) {
+        return idx as u64;
+    }
+    let oct = (idx as u32 - (1 << LINEAR_BITS)) / SUB_BUCKETS + LINEAR_BITS;
+    let sub = (idx as u32 - (1 << LINEAR_BITS)) % SUB_BUCKETS;
+    (1u64 << oct) + ((sub as u64) << (oct - LINEAR_BITS))
+}
+
+/// Fixed-bucket log-linear latency histogram (values in nanoseconds).
+///
+/// All mutation is relaxed atomic adds, so concurrent recorders never
+/// contend on a lock and the final contents depend only on the multiset of
+/// recorded values — merge is associative and commutative by construction.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count())
+            .field("sum_ns", &s.sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Records one value (nanoseconds).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], supporting merge and quantiles.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Occupancy per fixed bucket (length [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values, for means.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count())
+            .field("sum_ns", &self.sum)
+            .finish()
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Element-wise merge of another snapshot into this one. Associative and
+    /// commutative: any merge tree over the same set of per-thread snapshots
+    /// yields byte-identical contents. The value sum saturates (saturation
+    /// is itself associative/commutative over non-negative addends).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The `q`-quantile (e.g. 0.5, 0.99) as the floor of the bucket holding
+    /// the rank-`⌈q·n⌉` value. Deterministic: no interpolation.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(HIST_BUCKETS - 1)
+    }
+
+    /// Canonical little-endian byte encoding (sum, then every bucket), for
+    /// byte-determinism assertions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (1 + self.buckets.len()));
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        for b in &self.buckets {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// The commit-path phases a span can cover.
+///
+/// The first six follow a transaction through `begin_trans` →
+/// prepare fan-out → group-commit flush → commit point → async phase two →
+/// participant install; the rest cover the locking and transport layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// `begin_trans`: process-family checks + coordinator setup.
+    Begin,
+    /// One participant site's prepare (diff/shadow write + vote).
+    Prepare,
+    /// Group-commit journal flush barrier (includes wait for the leader).
+    Flush,
+    /// Asynchronous phase-two pump: commit/abort fan-out + coord-log GC.
+    PhaseTwo,
+    /// Participant install of prepared intentions into stable pages.
+    Install,
+    /// Whole `end_trans` commit: prepare fan-out through commit record.
+    Commit,
+    /// Client-visible lock acquisition (`Kernel::lock`), network included.
+    LockAcquire,
+    /// Lock-site transfer: lease delegation, recall, or queued-waiter grant.
+    LockTransfer,
+    /// Remote RPC exchange as seen by the sender (RTT + remote service).
+    RpcSend,
+    /// Remote handler dispatch as seen by the serving site.
+    RpcRecv,
+}
+
+impl SpanPhase {
+    /// Every phase, in reporting order.
+    pub const ALL: [SpanPhase; 10] = [
+        SpanPhase::Begin,
+        SpanPhase::Prepare,
+        SpanPhase::Flush,
+        SpanPhase::PhaseTwo,
+        SpanPhase::Install,
+        SpanPhase::Commit,
+        SpanPhase::LockAcquire,
+        SpanPhase::LockTransfer,
+        SpanPhase::RpcSend,
+        SpanPhase::RpcRecv,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for array-backed registries.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in JSON reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "begin",
+            SpanPhase::Prepare => "prepare",
+            SpanPhase::Flush => "flush",
+            SpanPhase::PhaseTwo => "phase_two",
+            SpanPhase::Install => "install",
+            SpanPhase::Commit => "commit",
+            SpanPhase::LockAcquire => "lock_acquire",
+            SpanPhase::LockTransfer => "lock_transfer",
+            SpanPhase::RpcSend => "rpc_send",
+            SpanPhase::RpcRecv => "rpc_recv",
+        }
+    }
+}
+
+/// Accumulated spans for one phase: the paper's cost axes plus a latency
+/// histogram. All fields are relaxed atomics — order-independent.
+#[derive(Debug, Default)]
+pub struct PhaseSpans {
+    count: AtomicU64,
+    instr_ns: AtomicU64,
+    disk_ns: AtomicU64,
+    net_ns: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    total_ns: AtomicU64,
+    latency: Histogram,
+}
+
+impl PhaseSpans {
+    fn record(&self, axes: &PhaseSpanSnapshot) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.instr_ns.fetch_add(axes.instr_ns, Ordering::Relaxed);
+        self.disk_ns.fetch_add(axes.disk_ns, Ordering::Relaxed);
+        self.net_ns.fetch_add(axes.net_ns, Ordering::Relaxed);
+        self.lock_wait_ns
+            .fetch_add(axes.lock_wait_ns, Ordering::Relaxed);
+        self.total_ns.fetch_add(axes.total_ns, Ordering::Relaxed);
+        self.latency.record(axes.total_ns);
+    }
+
+    fn snapshot(&self) -> PhaseSpanSnapshot {
+        PhaseSpanSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            instr_ns: self.instr_ns.load(Ordering::Relaxed),
+            disk_ns: self.disk_ns.load(Ordering::Relaxed),
+            net_ns: self.net_ns.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Plain-data copy of one phase's accumulated spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseSpanSnapshot {
+    /// Spans recorded.
+    pub count: u64,
+    /// CPU instruction time (the paper's "service time" axis).
+    pub instr_ns: u64,
+    /// Disk rotation/transfer wait.
+    pub disk_ns: u64,
+    /// Network flight time (RTT + page transfer + injected delay).
+    pub net_ns: u64,
+    /// Time parked waiting for a lock (wall-clock spans only).
+    pub lock_wait_ns: u64,
+    /// End-to-end span latency.
+    pub total_ns: u64,
+    /// Distribution of `total_ns` across spans.
+    pub latency: HistogramSnapshot,
+}
+
+impl PhaseSpanSnapshot {
+    /// Element-wise merge (associative, commutative).
+    pub fn merge(&mut self, other: &PhaseSpanSnapshot) {
+        self.count += other.count;
+        self.instr_ns += other.instr_ns;
+        self.disk_ns += other.disk_ns;
+        self.net_ns += other.net_ns;
+        self.lock_wait_ns += other.lock_wait_ns;
+        self.total_ns += other.total_ns;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Per-site span registry: one bank of [`PhaseSpans`] per clock domain.
+///
+/// Virtual-clock spans come from deterministic drivers (latency is
+/// [`Account::elapsed`] deltas); wall-clock spans come from the threaded
+/// driver (latency is `Instant` deltas). The banks are never mixed — a
+/// virtual 26 ms disk wait and a wall-clock 26 ms stall are different
+/// phenomena, and summing them would corrupt both decompositions.
+#[derive(Debug)]
+pub struct SpanRegistry {
+    virt: [PhaseSpans; SpanPhase::COUNT],
+    wall: [PhaseSpans; SpanPhase::COUNT],
+}
+
+impl Default for SpanRegistry {
+    fn default() -> Self {
+        SpanRegistry {
+            virt: std::array::from_fn(|_| PhaseSpans::default()),
+            wall: std::array::from_fn(|_| PhaseSpans::default()),
+        }
+    }
+}
+
+impl SpanRegistry {
+    /// Records a virtual-clock span from an [`Account`] delta.
+    ///
+    /// Axis decomposition: instruction time is the delta's CPU total; disk
+    /// wait is reconstructed exactly from I/O counts × model latencies (the
+    /// disk charges precisely those); network time is the remaining elapsed
+    /// time (RTT, page transfer, injected delays — all of which are `wait`s
+    /// the account cannot otherwise classify). `lock_wait` is zero here:
+    /// deterministic drivers suspend a blocked process instead of waiting.
+    /// Under a parallel fan-out the axes sum over branches while elapsed is
+    /// the slowest branch, so axes may legitimately exceed `total_ns`.
+    pub fn record_virt(&self, phase: SpanPhase, model: &CostModel, delta: &Account) {
+        let total = delta.elapsed.as_nanos();
+        let instr = delta.cpu_total().as_nanos();
+        let disk = (delta.disk_reads + delta.disk_writes) * model.disk_io.as_nanos()
+            + delta.seq_ios * model.disk_seq_io.as_nanos();
+        let net = total.saturating_sub(instr + disk);
+        self.virt[phase.index()].record(&PhaseSpanSnapshot {
+            count: 1,
+            instr_ns: instr,
+            disk_ns: disk,
+            net_ns: net,
+            lock_wait_ns: 0,
+            total_ns: total,
+            latency: HistogramSnapshot::default(),
+        });
+    }
+
+    /// Records a wall-clock span from the threaded driver. Only the total
+    /// and the time parked waiting on a lock are observable; the model axes
+    /// stay zero.
+    pub fn record_wall(&self, phase: SpanPhase, total_ns: u64, lock_wait_ns: u64) {
+        self.wall[phase.index()].record(&PhaseSpanSnapshot {
+            count: 1,
+            lock_wait_ns,
+            total_ns,
+            ..PhaseSpanSnapshot::default()
+        });
+    }
+
+    /// Point-in-time copy of both banks.
+    pub fn snapshot(&self) -> SpanRegistrySnapshot {
+        SpanRegistrySnapshot {
+            virt: self.virt.iter().map(|p| p.snapshot()).collect(),
+            wall: self.wall.iter().map(|p| p.snapshot()).collect(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`SpanRegistry`]; `virt`/`wall` are indexed by
+/// [`SpanPhase::index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRegistrySnapshot {
+    /// Virtual-clock bank (deterministic drivers).
+    pub virt: Vec<PhaseSpanSnapshot>,
+    /// Wall-clock bank (threaded driver).
+    pub wall: Vec<PhaseSpanSnapshot>,
+}
+
+impl Default for SpanRegistrySnapshot {
+    fn default() -> Self {
+        SpanRegistrySnapshot {
+            virt: vec![PhaseSpanSnapshot::default(); SpanPhase::COUNT],
+            wall: vec![PhaseSpanSnapshot::default(); SpanPhase::COUNT],
+        }
+    }
+}
+
+impl SpanRegistrySnapshot {
+    /// Phase-wise merge of another snapshot into this one.
+    pub fn merge(&mut self, other: &SpanRegistrySnapshot) {
+        for (a, b) in self.virt.iter_mut().zip(&other.virt) {
+            a.merge(b);
+        }
+        for (a, b) in self.wall.iter_mut().zip(&other.wall) {
+            a.merge(b);
+        }
+    }
+
+    /// Virtual-bank totals for one phase.
+    pub fn virt_phase(&self, phase: SpanPhase) -> &PhaseSpanSnapshot {
+        &self.virt[phase.index()]
+    }
+
+    /// Wall-bank totals for one phase.
+    pub fn wall_phase(&self, phase: SpanPhase) -> &PhaseSpanSnapshot {
+        &self.wall[phase.index()]
+    }
+}
+
+/// Open virtual-clock span: clones the account at `begin`, records the
+/// delta at `finish`. Cheap (an `Account` is a handful of words) and safe
+/// to drop without recording.
+#[derive(Debug)]
+pub struct VirtSpan {
+    phase: SpanPhase,
+    start: Account,
+}
+
+impl VirtSpan {
+    /// Opens a span over `acct`'s subsequent activity.
+    pub fn begin(phase: SpanPhase, acct: &Account) -> Self {
+        VirtSpan {
+            phase,
+            start: acct.clone(),
+        }
+    }
+
+    /// Closes the span, recording `acct − start` into `reg`.
+    pub fn finish(self, reg: &SpanRegistry, model: &CostModel, acct: &Account) {
+        let delta = acct.delta_since(&self.start);
+        reg.record_virt(self.phase, model, &delta);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +689,140 @@ mod tests {
         assert_eq!(s.msgs_for(Service::File), 0);
         assert_eq!(s.batches_sent, 1);
         assert_eq!(s.per_service()[Service::Txn.index()], (Service::Txn, 2));
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_inverts() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            1 << 20,
+            (1 << 42) + 5,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket_of not monotone at {v}");
+            assert!(b < HIST_BUCKETS);
+            // The bucket floor maps back into the same bucket and is <= v
+            // (except in the clamp region, where floor is the last bucket's).
+            assert!(bucket_floor(b) <= v || v >= (1 << (MAX_OCTAVE + 1)));
+            assert_eq!(bucket_of(bucket_floor(b)), b);
+            prev = b;
+        }
+        // Every bucket index round-trips through its floor.
+        for idx in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.quantile_ns(0.50);
+        let p99 = s.quantile_ns(0.99);
+        // Bucket-floor quantiles: within one bucket width (6.25%) below.
+        assert!((46_000..=50_000).contains(&p50), "p50 = {p50}");
+        assert!((92_000..=99_000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(s.mean_ns(), 50_500);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_recorder() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let all = Histogram::default();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        assert_eq!(merged.to_bytes(), all.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn virt_span_decomposes_axes() {
+        use locus_types::SiteId;
+        let model = CostModel::paper_1985();
+        let reg = SpanRegistry::default();
+        let mut acct = Account::new(SiteId(1));
+        let span = VirtSpan::begin(SpanPhase::Commit, &acct);
+        acct.cpu_instrs(&model, 1000);
+        acct.wait(model.disk_io);
+        acct.disk_writes += 1;
+        acct.wait(model.net_rtt);
+        acct.messages += 1;
+        span.finish(&reg, &model, &acct);
+
+        let s = reg.snapshot();
+        let c = s.virt_phase(SpanPhase::Commit);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.instr_ns, model.instrs(1000).as_nanos());
+        assert_eq!(c.disk_ns, model.disk_io.as_nanos());
+        assert_eq!(c.net_ns, model.net_rtt.as_nanos());
+        assert_eq!(c.lock_wait_ns, 0);
+        assert_eq!(c.total_ns, c.instr_ns + c.disk_ns + c.net_ns);
+        assert_eq!(c.latency.count(), 1);
+        // Other phases and the wall bank untouched.
+        assert_eq!(s.virt_phase(SpanPhase::Prepare).count, 0);
+        assert_eq!(s.wall_phase(SpanPhase::Commit).count, 0);
+    }
+
+    #[test]
+    fn wall_span_records_total_and_lock_wait_only() {
+        let reg = SpanRegistry::default();
+        reg.record_wall(SpanPhase::LockAcquire, 5_000, 3_000);
+        let s = reg.snapshot();
+        let l = s.wall_phase(SpanPhase::LockAcquire);
+        assert_eq!(l.count, 1);
+        assert_eq!(l.total_ns, 5_000);
+        assert_eq!(l.lock_wait_ns, 3_000);
+        assert_eq!(l.instr_ns, 0);
+        assert_eq!(l.disk_ns, 0);
+    }
+
+    #[test]
+    fn registry_snapshot_merge_is_phasewise() {
+        let r1 = SpanRegistry::default();
+        let r2 = SpanRegistry::default();
+        r1.record_wall(SpanPhase::Commit, 100, 0);
+        r2.record_wall(SpanPhase::Commit, 200, 50);
+        r2.record_wall(SpanPhase::Flush, 10, 0);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.wall_phase(SpanPhase::Commit).count, 2);
+        assert_eq!(m.wall_phase(SpanPhase::Commit).total_ns, 300);
+        assert_eq!(m.wall_phase(SpanPhase::Commit).lock_wait_ns, 50);
+        assert_eq!(m.wall_phase(SpanPhase::Flush).count, 1);
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_indexed() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in SpanPhase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(seen.insert(p.name()));
+        }
     }
 
     #[test]

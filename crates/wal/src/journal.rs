@@ -27,7 +27,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use locus_disk::SimDisk;
-use locus_sim::Account;
+use locus_sim::{Account, SpanPhase, VirtSpan};
 use locus_types::{
     CoordLogRecord, Error, Fid, JournalEntry, JournalKey, JournalOp, PrepareLogRecord, Result,
     TransId, TxnStatus,
@@ -204,10 +204,13 @@ impl Journal {
     /// coalesce — a caller whose entries were covered by an in-flight or
     /// just-completed flush returns without issuing another.
     pub fn barrier(&self, acct: &mut Account) -> Result<()> {
+        let span = VirtSpan::begin(SpanPhase::Flush, acct);
         let mut st = self.state.lock();
         st.barrier_entrants += 1;
         let res = self.barrier_locked(&mut st, acct);
         st.barrier_entrants -= 1;
+        drop(st);
+        span.finish(&self.disk.counters().spans, self.disk.model(), acct);
         res
     }
 

@@ -8,10 +8,10 @@
 //! * [`store::WalStore`] — a working undo/redo **write-ahead log** record
 //!   commit mechanism (the ENCOMPASS/TABS-style alternative), exposing the
 //!   same prepare/commit/abort surface as the shadow-page
-//!   [`locus_fs::Volume`], so the transaction layer genuinely "relies only on
+//!   `locus_fs::Volume`, so the transaction layer genuinely "relies only on
 //!   the functionality of the record commit mechanism, and not on the
 //!   specific implementation" (Section 4).
-//! * [`model`] — the [Weinstein85] *operation-counting* analysis: closed-form
+//! * [`model`] — the Weinstein '85 *operation-counting* analysis: closed-form
 //!   I/O counts per transaction for shadow paging vs. commit logging over
 //!   record size and placement, used by the `tbl_shadow_vs_log` experiment
 //!   binary to locate the crossovers.

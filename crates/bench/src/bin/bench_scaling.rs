@@ -27,6 +27,14 @@
 //!   On a single-core host barriers rarely overlap, so the window seldom
 //!   opens and `commit_group` ≈ `commit_distinct` — the ladder only
 //!   separates on real cores.
+//! * `read_hot`        — each thread re-reads 64 bytes of its own file on a
+//!   *remote* storage site (two-site cluster) under a held shared lock.
+//!   After the first miss every read is served from the per-site page
+//!   cache: `cache_hit_rate` ≈ 1 and `remote_msgs_per_op` ≈ 0 are asserted
+//!   (Section 5.1: the token holder "may use local copies").
+//! * `read_cold`       — the same workload with the reader's page cache
+//!   disabled: every read is a remote RPC. `read_hot` must beat this by at
+//!   least 2x at one thread; the gap is the cache's whole value.
 //!
 //! Note that wall-clock *scaling* across the thread ladder is only
 //! meaningful on a multi-core host; on a single-core container the distinct
@@ -116,6 +124,11 @@ struct Sample {
     /// anything above 1 means concurrent barriers coalesced (meaningful for
     /// the commit phases; the lock phases barely touch the journal).
     frames_per_flush: f64,
+    /// Page-cache hits over hits+misses at the worker site (0 when the
+    /// phase issues no cacheable reads).
+    cache_hit_rate: f64,
+    /// Network messages the worker site sent per timed operation.
+    remote_msgs_per_op: f64,
 }
 
 fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
@@ -126,51 +139,93 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1_000.0
 }
 
+/// Shape of one benchmark phase: cluster size, worker count, cycle count,
+/// and the reader-site cache switch.
+struct PhaseSpec {
+    phase: &'static str,
+    threads: usize,
+    per_thread: usize,
+    /// Cluster size. Worker threads always run at site 0 and the bench
+    /// files are created at the *last* site, so `sites > 1` makes every
+    /// file operation remote — the configuration where the page cache has
+    /// something to save.
+    sites: usize,
+    /// Whether the worker site runs with its page cache; `read_cold`
+    /// disables it to measure the uncached reference.
+    page_cache: bool,
+    /// Size of each per-thread `/bench{t}` file.
+    file_len: usize,
+    group_window: Option<Duration>,
+}
+
+impl PhaseSpec {
+    fn local(phase: &'static str, threads: usize, per_thread: usize) -> Self {
+        PhaseSpec {
+            phase,
+            threads,
+            per_thread,
+            sites: 1,
+            page_cache: true,
+            file_len: 64,
+            group_window: None,
+        }
+    }
+}
+
 /// Runs `per_thread` timed cycles on `n` threads, one `ThreadCtx` each, and
 /// folds the per-cycle latencies into a [`Sample`]. `prep` runs once per
 /// thread (open files, position the pointer) and returns the cycle closure;
 /// only the cycles are timed. Also returns the run's span-registry snapshot
 /// (each phase gets a fresh cluster, so the snapshots merge cleanly into the
 /// whole-run decomposition).
-fn run_phase<F>(
-    phase: &'static str,
-    n: usize,
-    per_thread: usize,
-    group_window: Option<Duration>,
-    prep: F,
-) -> (Sample, SpanRegistrySnapshot)
+fn run_phase<F>(spec: PhaseSpec, prep: F) -> (Sample, SpanRegistrySnapshot)
 where
     F: for<'a> Fn(usize, &'a ThreadCtx) -> Box<dyn FnMut() + 'a> + Sync,
 {
-    let cluster = Cluster::new(1);
+    let (phase, n, per_thread) = (spec.phase, spec.threads, spec.per_thread);
+    let cluster = Cluster::new(spec.sites);
     let site = cluster.site(0).clone();
+    if !spec.page_cache {
+        site.kernel
+            .page_cache_enabled
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+    }
     let journal_stats = {
         let home = site.kernel.home().unwrap();
-        home.journal().set_group_window(group_window);
+        home.journal().set_group_window(spec.group_window);
         move || home.journal().flush_stats()
     };
     let (flushes0, frames0, _) = journal_stats();
     // Pre-create one file per thread plus the shared one so the timed loop
-    // measures locking, not file creation.
-    let setup = ThreadCtx::new(site.clone());
+    // measures locking, not file creation. Files live at the last site;
+    // with sites > 1 that makes every worker operation remote.
+    let setup = ThreadCtx::new(cluster.site(spec.sites - 1).clone());
     for t in 0..n {
         let ch = setup.creat(&format!("/bench{t}")).unwrap();
-        setup.write(ch, &[0u8; 64]).unwrap();
+        setup.write(ch, &vec![0u8; spec.file_len]).unwrap();
         setup.close(ch).unwrap();
     }
     let ch = setup.creat("/shared").unwrap();
     setup.write(ch, &vec![0u8; 8 * n]).unwrap();
     setup.close(ch).unwrap();
 
+    // Two barriers fence the timed region: every thread finishes prep
+    // before the clock starts and the message/cache counters are
+    // snapshotted, so warm-up traffic (e.g. the read phases' cache-priming
+    // pass) never pollutes the measurement.
     let prep = &prep;
-    let t0 = Instant::now();
-    let lat: Vec<Vec<u64>> = std::thread::scope(|s| {
+    let ready = std::sync::Barrier::new(n + 1);
+    let go = std::sync::Barrier::new(n + 1);
+    let (counters0, t0, lat): (_, Instant, Vec<Vec<u64>>) = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for t in 0..n {
             let site = site.clone();
+            let (ready, go) = (&ready, &go);
             handles.push(s.spawn(move || {
                 let ctx = ThreadCtx::new(site);
                 let mut cycle = prep(t, &ctx);
+                ready.wait();
+                go.wait();
                 let mut lat = Vec::with_capacity(per_thread);
                 for _ in 0..per_thread {
                     let c0 = Instant::now();
@@ -182,16 +237,23 @@ where
                 lat
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        ready.wait();
+        let counters0 = site.kernel.counters.snapshot();
+        let t0 = Instant::now();
+        go.wait();
+        let lat = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (counters0, t0, lat)
     });
     let elapsed = t0.elapsed();
     let (flushes1, frames1, _) = journal_stats();
+    let delta = site.kernel.counters.snapshot().since(&counters0);
     cluster.drain_async();
 
     let mut all: Vec<u64> = lat.into_iter().flatten().collect();
     all.sort_unstable();
     let ops = n * per_thread;
     let flushes = flushes1 - flushes0;
+    let cache_reads = delta.page_cache_hits + delta.page_cache_misses;
     let sample = Sample {
         phase,
         threads: n,
@@ -205,6 +267,12 @@ where
         } else {
             0.0
         },
+        cache_hit_rate: if cache_reads > 0 {
+            delta.page_cache_hits as f64 / cache_reads as f64
+        } else {
+            0.0
+        },
+        remote_msgs_per_op: delta.messages_sent as f64 / ops as f64,
     };
     (sample, cluster.spans())
 }
@@ -221,7 +289,9 @@ fn render_json(quick: bool, samples: &[Sample], spans: &SpanRegistrySnapshot) ->
                 .num("ops_per_sec", s.ops_per_sec, 1)
                 .num("p50_us", s.p50_us, 2)
                 .num("p99_us", s.p99_us, 2)
-                .num("frames_per_flush", s.frames_per_flush, 2),
+                .num("frames_per_flush", s.frames_per_flush, 2)
+                .num("cache_hit_rate", s.cache_hit_rate, 4)
+                .num("remote_msgs_per_op", s.remote_msgs_per_op, 3),
         );
     }
     report.decomposition(spans);
@@ -322,10 +392,10 @@ fn main() -> ExitCode {
     // timed region spans at least a few milliseconds: the baseline gate
     // divides by elapsed time, and a 100-op region (~200 µs) lets a single
     // scheduler stall on a shared runner masquerade as a 10x regression.
-    let (lock_ops, handoff_ops, txn_ops) = if args.quick {
-        (2_000, 1_000, 500)
+    let (lock_ops, handoff_ops, txn_ops, read_ops) = if args.quick {
+        (2_000, 1_000, 500, 4_000)
     } else {
-        (20_000, 2_000, 1_000)
+        (20_000, 2_000, 1_000, 20_000)
     };
 
     let mut samples = Vec::new();
@@ -335,42 +405,39 @@ fn main() -> ExitCode {
         spans.merge(&snap);
     };
     for &n in &args.threads {
-        push(run_phase("lock_distinct", n, lock_ops, None, |t, ctx| {
-            let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
-            Box::new(move || {
-                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
-                ctx.unlock(ch, 8).unwrap();
-            })
-        }));
-        push(run_phase("lock_same_file", n, lock_ops, None, |t, ctx| {
-            let ch = ctx.open("/shared", true).unwrap();
-            ctx.seek(ch, 8 * t as u64).unwrap();
-            Box::new(move || {
-                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
-                ctx.unlock(ch, 8).unwrap();
-            })
-        }));
-        push(run_phase("lock_handoff", n, handoff_ops, None, |_, ctx| {
-            let ch = ctx.open("/shared", true).unwrap();
-            Box::new(move || {
-                ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
-                ctx.unlock(ch, 8).unwrap();
-            })
-        }));
-        push(run_phase("commit_distinct", n, txn_ops, None, |t, ctx| {
-            let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
-            Box::new(move || {
-                ctx.begin_trans().unwrap();
-                ctx.seek(ch, 0).unwrap();
-                ctx.write(ch, &(t as u64).to_le_bytes()).unwrap();
-                assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
-            })
-        }));
         push(run_phase(
-            "commit_group",
-            n,
-            txn_ops,
-            Some(Duration::from_micros(100)),
+            PhaseSpec::local("lock_distinct", n, lock_ops),
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+                Box::new(move || {
+                    ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                    ctx.unlock(ch, 8).unwrap();
+                })
+            },
+        ));
+        push(run_phase(
+            PhaseSpec::local("lock_same_file", n, lock_ops),
+            |t, ctx| {
+                let ch = ctx.open("/shared", true).unwrap();
+                ctx.seek(ch, 8 * t as u64).unwrap();
+                Box::new(move || {
+                    ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                    ctx.unlock(ch, 8).unwrap();
+                })
+            },
+        ));
+        push(run_phase(
+            PhaseSpec::local("lock_handoff", n, handoff_ops),
+            |_, ctx| {
+                let ch = ctx.open("/shared", true).unwrap();
+                Box::new(move || {
+                    ctx.lock_wait(ch, 8, LockRequestMode::Exclusive).unwrap();
+                    ctx.unlock(ch, 8).unwrap();
+                })
+            },
+        ));
+        push(run_phase(
+            PhaseSpec::local("commit_distinct", n, txn_ops),
             |t, ctx| {
                 let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
                 Box::new(move || {
@@ -381,13 +448,96 @@ fn main() -> ExitCode {
                 })
             },
         ));
+        push(run_phase(
+            PhaseSpec {
+                group_window: Some(Duration::from_micros(100)),
+                ..PhaseSpec::local("commit_group", n, txn_ops)
+            },
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+                Box::new(move || {
+                    ctx.begin_trans().unwrap();
+                    ctx.seek(ch, 0).unwrap();
+                    ctx.write(ch, &(t as u64).to_le_bytes()).unwrap();
+                    assert!(matches!(ctx.end_trans(), Ok(EndOutcome::Committed(_))));
+                })
+            },
+        ));
+        // The read ladder runs against a remote storage site (files live at
+        // site 1, workers at site 0). Each thread walks its own four-page
+        // file sequentially in 64-byte reads under a shared whole-file lock
+        // held for the entire phase, wrapping at end-of-file. The untimed
+        // prep walks the file once so "hot" measures a warmed cache
+        // (readahead fills the later pages on the first miss); cold runs
+        // the identical cycle with the page cache disabled, so every read
+        // is a remote RPC.
+        push(run_phase(
+            PhaseSpec {
+                sites: 2,
+                file_len: 4096,
+                ..PhaseSpec::local("read_hot", n, read_ops)
+            },
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+                ctx.seek(ch, 0).unwrap();
+                ctx.lock_wait(ch, 4096, LockRequestMode::Shared).unwrap();
+                for _ in 0..64 {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                }
+                ctx.seek(ch, 0).unwrap();
+                let mut pos = 0u64;
+                Box::new(move || {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                    pos += 64;
+                    if pos == 4096 {
+                        pos = 0;
+                        ctx.seek(ch, 0).unwrap();
+                    }
+                })
+            },
+        ));
+        push(run_phase(
+            PhaseSpec {
+                sites: 2,
+                page_cache: false,
+                file_len: 4096,
+                ..PhaseSpec::local("read_cold", n, read_ops)
+            },
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), true).unwrap();
+                ctx.seek(ch, 0).unwrap();
+                ctx.lock_wait(ch, 4096, LockRequestMode::Shared).unwrap();
+                for _ in 0..64 {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                }
+                ctx.seek(ch, 0).unwrap();
+                let mut pos = 0u64;
+                Box::new(move || {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                    pos += 64;
+                    if pos == 4096 {
+                        pos = 0;
+                        ctx.seek(ch, 0).unwrap();
+                    }
+                })
+            },
+        ));
     }
 
-    println!("phase            threads      ops/sec    p50 µs    p99 µs  frames/flush");
+    println!(
+        "phase            threads      ops/sec    p50 µs    p99 µs  frames/flush  hit-rate  msgs/op"
+    );
     for s in &samples {
         println!(
-            "{:<16} {:>7} {:>12.0} {:>9.1} {:>9.1} {:>13.2}",
-            s.phase, s.threads, s.ops_per_sec, s.p50_us, s.p99_us, s.frames_per_flush
+            "{:<16} {:>7} {:>12.0} {:>9.1} {:>9.1} {:>13.2} {:>9.2} {:>8.3}",
+            s.phase,
+            s.threads,
+            s.ops_per_sec,
+            s.p50_us,
+            s.p99_us,
+            s.frames_per_flush,
+            s.cache_hit_rate,
+            s.remote_msgs_per_op
         );
     }
     for phase in [
@@ -396,6 +546,8 @@ fn main() -> ExitCode {
         "lock_handoff",
         "commit_distinct",
         "commit_group",
+        "read_hot",
+        "read_cold",
     ] {
         let at = |n: usize| {
             samples
@@ -405,6 +557,33 @@ fn main() -> ExitCode {
         };
         if let (Some(one), Some(four)) = (at(1), at(4)) {
             println!("{phase}: 1→4 thread scaling {:.2}x", four / one);
+        }
+    }
+    // The page cache's acceptance gates, independent of any baseline file:
+    // cached re-reads must at least double single-thread read throughput
+    // over the uncached reference, and a hot phase must serve from the
+    // cache without remote traffic (the first miss per thread plus setup
+    // leaves a little slack under 5%).
+    let one_thread = |phase: &str| samples.iter().find(|s| s.phase == phase && s.threads == 1);
+    let mut gate_failures = Vec::new();
+    if let (Some(hot), Some(cold)) = (one_thread("read_hot"), one_thread("read_cold")) {
+        println!(
+            "read_hot vs read_cold: {:.2}x at 1 thread (hit rate {:.3}, {:.3} msgs/op)",
+            hot.ops_per_sec / cold.ops_per_sec,
+            hot.cache_hit_rate,
+            hot.remote_msgs_per_op
+        );
+        if hot.ops_per_sec < 2.0 * cold.ops_per_sec {
+            gate_failures.push(format!(
+                "read_hot {:.0} ops/s is under 2x read_cold {:.0} ops/s",
+                hot.ops_per_sec, cold.ops_per_sec
+            ));
+        }
+        if hot.remote_msgs_per_op > 0.05 {
+            gate_failures.push(format!(
+                "read_hot sent {:.3} remote messages per op; cached re-reads must stay local",
+                hot.remote_msgs_per_op
+            ));
         }
     }
     println!();
@@ -420,6 +599,12 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", args.out.display());
 
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("REGRESSION {f}");
+        }
+        return ExitCode::FAILURE;
+    }
     if let Some(path) = &args.baseline {
         let text = match fs::read_to_string(path) {
             Ok(t) => t,

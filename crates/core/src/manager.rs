@@ -350,7 +350,7 @@ impl TxnManager {
                 rec.file_list.clear();
             }
         });
-        self.kernel.cache.drop_owner(Owner::Trans(tid));
+        self.kernel.drop_owner_caches(Owner::Trans(tid));
     }
 
     fn queue_phase2(&self, tid: TransId, commit: bool, participants: Vec<(SiteId, Vec<Fid>)>) {
@@ -747,7 +747,7 @@ impl TxnManager {
             let granted = self.kernel.locks.drop_waiters_of(pid);
             self.kernel.push_grants(granted, acct);
         }
-        self.kernel.cache.drop_owner(Owner::Trans(tid));
+        self.kernel.drop_owner_caches(Owner::Trans(tid));
         Ok(())
     }
 

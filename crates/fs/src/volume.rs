@@ -21,8 +21,8 @@ use parking_lot::Mutex;
 use locus_disk::{IoKind, SimDisk};
 use locus_sim::{Account, CostModel, Counters, Event, EventLog, SpanPhase, VirtSpan};
 use locus_types::{
-    ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner, PageNo,
-    PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
+    ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner,
+    PageData, PageNo, PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
 };
 use locus_wal::Journal;
 
@@ -212,7 +212,20 @@ impl Volume {
     pub fn read(&self, fid: Fid, range: ByteRange, acct: &mut Account) -> Result<Vec<u8>> {
         let ino = self.check_fid(fid)?;
         let mut st = self.state.lock();
-        self.load_inode(&mut st, ino, acct)?;
+        self.read_clipped(&mut st, ino, range, acct)
+    }
+
+    /// The clipped-read core shared by [`Volume::read`] and
+    /// [`Volume::read_with_meta`]. Copies whole page slices at a time; bytes
+    /// past a buffer's materialized length read as zero.
+    fn read_clipped(
+        &self,
+        st: &mut VolState,
+        ino: InodeNo,
+        range: ByteRange,
+        acct: &mut Account,
+    ) -> Result<Vec<u8>> {
+        self.load_inode(st, ino, acct)?;
         let visible = st.incore[&ino]
             .len
             .max(st.files.get(&ino).map(|f| f.uncommitted_len).unwrap_or(0));
@@ -224,7 +237,7 @@ impl Volume {
         let ps = self.page_size();
         let mut out = vec![0u8; clipped.len as usize];
         for page in clipped.pages(ps) {
-            self.ensure_buffer(&mut st, ino, page, acct)?;
+            self.ensure_buffer(st, ino, page, acct)?;
             let slice = clipped
                 .slice_on_page(page, ps)
                 .expect("page yielded by range");
@@ -233,12 +246,54 @@ impl Volume {
             let dst_off = (page_base + slice.start - clipped.start) as usize;
             let s = slice.start as usize;
             let e = (slice.start + slice.len) as usize;
-            for (i, idx) in (s..e).enumerate() {
-                out[dst_off + i] = buf.current.get(idx).copied().unwrap_or(0);
+            let avail = buf.current.len().min(e);
+            if avail > s {
+                out[dst_off..dst_off + (avail - s)].copy_from_slice(&buf.current[s..avail]);
             }
         }
         Ok(out)
     }
+
+    /// [`Volume::read`] plus the metadata a remote reader needs to cache the
+    /// result coherently: the file's *committed* length and, for each page of
+    /// the clipped range (in `range.pages` order), the page's install
+    /// version — or [`Volume::VERS_UNCACHEABLE`] when the page carries
+    /// uncommitted bytes from an owner other than `owner`, whose later abort
+    /// could revert bytes the reader legitimately saw.
+    pub fn read_with_meta(
+        &self,
+        fid: Fid,
+        owner: Owner,
+        range: ByteRange,
+        acct: &mut Account,
+    ) -> Result<(Vec<u8>, u64, Vec<u64>)> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        let data = self.read_clipped(&mut st, ino, range, acct)?;
+        let committed_len = st.incore[&ino].len;
+        let clipped = ByteRange::new(range.start, data.len() as u64);
+        let ps = self.page_size();
+        let mut vers = Vec::new();
+        for page in clipped.pages(ps) {
+            let foreign = st.files.get(&ino).is_some_and(|f| {
+                f.buffers.get(&page).is_some_and(|b| {
+                    b.writers
+                        .iter()
+                        .any(|(o, rs)| *o != owner && rs.iter().any(|r| !r.is_empty()))
+                })
+            });
+            vers.push(if foreign {
+                Self::VERS_UNCACHEABLE
+            } else {
+                st.incore[&ino].page_version(page)
+            });
+        }
+        Ok((data, committed_len, vers))
+    }
+
+    /// Install-version sentinel in [`Volume::read_with_meta`] /
+    /// [`Volume::prefetch_page_image`] output: "do not cache this page".
+    pub const VERS_UNCACHEABLE: u64 = u64::MAX;
 
     /// Writes `data` at `range.start` on behalf of `owner`; extends the
     /// (uncommitted) length as needed. Returns the new visible length.
@@ -650,6 +705,45 @@ impl Volume {
         Ok(!hit)
     }
 
+    /// A full page image for pushing to a remote reader's page cache
+    /// (readahead). `None` — not an error — when the page is not entirely
+    /// within the committed length, or carries *any* owner's uncommitted
+    /// bytes (a prefetch request names no owner, so the foreign-writer test
+    /// of [`Volume::read_with_meta`] degrades to "any writer"). Otherwise
+    /// returns the page's install version and its current bytes, which at
+    /// this point equal the committed bytes.
+    pub fn prefetch_page_image(
+        &self,
+        fid: Fid,
+        page: PageNo,
+        acct: &mut Account,
+    ) -> Result<Option<(u64, PageData)>> {
+        let ino = self.check_fid(fid)?;
+        let ps = self.page_size();
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let committed_len = st.incore[&ino].len;
+        if (u64::from(page.0) + 1) * ps as u64 > committed_len {
+            return Ok(None);
+        }
+        self.ensure_buffer(&mut st, ino, page, acct)?;
+        let buf = &st.files[&ino].buffers[&page];
+        if buf
+            .writers
+            .iter()
+            .any(|(_, rs)| rs.iter().any(|r| !r.is_empty()))
+        {
+            return Ok(None);
+        }
+        let mut bytes = vec![0u8; ps];
+        let avail = buf.current.len().min(ps);
+        bytes[..avail].copy_from_slice(&buf.current[..avail]);
+        Ok(Some((
+            st.incore[&ino].page_version(page),
+            PageData::new(bytes),
+        )))
+    }
+
     /// Installs a committed image pushed from the primary update site
     /// (replica refresh, Section 5.2). Writes each page to a fresh block and
     /// atomically installs the inode, exactly like a local commit.
@@ -657,7 +751,7 @@ impl Volume {
         &self,
         fid: Fid,
         new_len: u64,
-        pages: &[(PageNo, Vec<u8>)],
+        pages: &[(PageNo, PageData)],
         acct: &mut Account,
     ) -> Result<()> {
         let ino = self.check_fid(fid)?;
@@ -687,7 +781,7 @@ impl Volume {
         fid: Fid,
         pages: &[PageNo],
         acct: &mut Account,
-    ) -> Result<Vec<(PageNo, Vec<u8>)>> {
+    ) -> Result<Vec<(PageNo, PageData)>> {
         let ino = self.check_fid(fid)?;
         let mut st = self.state.lock();
         self.load_inode(&mut st, ino, acct)?;
@@ -695,9 +789,10 @@ impl Volume {
         for page in pages {
             self.ensure_buffer(&mut st, ino, *page, acct)?;
             // The committed image is the buffer's base (uncommitted writers
-            // may still be present on the page).
+            // may still be present on the page). One copy into a shared
+            // buffer here; fanning out to N replicas clones the handle.
             let buf = &st.files[&ino].buffers[page];
-            out.push((*page, buf.committed().to_vec()));
+            out.push((*page, PageData::new(buf.committed().to_vec())));
         }
         Ok(out)
     }

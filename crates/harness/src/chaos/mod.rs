@@ -61,6 +61,16 @@ pub struct ChaosConfig {
     pub records_per_file: u64,
     /// Distinct (file, record) targets each transaction writes.
     pub writes_per_txn: usize,
+    /// Targets per transaction that get read probes: one read after the
+    /// lock (must see a committed value) and one after the write (must see
+    /// the transaction's own uncommitted tag). The stale-read oracle checks
+    /// both against the run's results. `0` (the CI default) leaves the
+    /// workload — and therefore every pinned trace — untouched.
+    pub reads_per_txn: usize,
+    /// Whether sites run with the kernel page cache enabled. Disabling it
+    /// turns the cluster into the uncached reference the equivalence tests
+    /// compare against.
+    pub page_cache: bool,
     /// Cluster-fault draws in the schedule (crash/reboot and partition/heal
     /// pairs count as one draw).
     pub cluster_faults: usize,
@@ -80,6 +90,8 @@ impl ChaosConfig {
             procs: 6,
             records_per_file: 8,
             writes_per_txn: 3,
+            reads_per_txn: 0,
+            page_cache: true,
             cluster_faults: 4,
             wire_faults: 6,
             step_horizon: 240,
@@ -105,6 +117,22 @@ fn untag(v: u64) -> Option<(usize, usize)> {
     Some((slot - 1, k - 1))
 }
 
+/// One read probe the workload planted for the stale-read oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadProbe {
+    /// Index of the `Op::Read` in the spec's ops.
+    pub op: usize,
+    /// Channel index the read uses (open-order position, like the write's).
+    pub ch: usize,
+    /// Record the probe targets within the channel's file.
+    pub record: u64,
+    /// `Some((write op index, tag))` for a probe placed right after the
+    /// slot's own write — it must observe that uncommitted tag. `None` for a
+    /// probe placed after the lock but before the write — it must observe a
+    /// committed value (zero or some writer's tag).
+    pub after_write: Option<(usize, u64)>,
+}
+
 /// One workload transaction: a script process at site `home` that opens the
 /// files it touches, then locks and writes each target in globally sorted
 /// order (sorted order keeps the workload deadlock-free, so every stall is
@@ -114,6 +142,8 @@ pub struct TxnSpec {
     pub home: usize,
     /// `(op index of the Write, file, record, tag value)` per target.
     pub writes: Vec<(usize, usize, u64, u64)>,
+    /// Read probes planted when [`ChaosConfig::reads_per_txn`] > 0.
+    pub reads: Vec<ReadProbe>,
     pub ops: Vec<Op>,
 }
 
@@ -150,8 +180,10 @@ pub fn generate_workload(cfg: &ChaosConfig, rng: &mut DetRng) -> Vec<TxnSpec> {
             });
         }
         let mut writes = Vec::with_capacity(targets.len());
+        let mut reads = Vec::new();
         for (k, (f, r)) in targets.iter().enumerate() {
             let ch = chan_of(*f);
+            let probed = k < cfg.reads_per_txn;
             ops.push(Op::Seek { ch, pos: r * 8 });
             ops.push(Op::Lock {
                 ch,
@@ -162,15 +194,45 @@ pub fn generate_workload(cfg: &ChaosConfig, rng: &mut DetRng) -> Vec<TxnSpec> {
                     ..LockOpts::default()
                 },
             });
+            if probed {
+                // Under the exclusive lock but before the write: the bytes
+                // must be a committed value.
+                ops.push(Op::Seek { ch, pos: r * 8 });
+                reads.push(ReadProbe {
+                    op: ops.len(),
+                    ch,
+                    record: *r,
+                    after_write: None,
+                });
+                ops.push(Op::Read { ch, len: 8 });
+            }
             ops.push(Op::Seek { ch, pos: r * 8 });
-            writes.push((ops.len(), *f, *r, tag(slot, k)));
+            let write_op = ops.len();
+            writes.push((write_op, *f, *r, tag(slot, k)));
             ops.push(Op::Write {
                 ch,
                 data: tag(slot, k).to_le_bytes().to_vec(),
             });
+            if probed {
+                // After the write, still under the lock: the transaction
+                // must see its own uncommitted bytes.
+                ops.push(Op::Seek { ch, pos: r * 8 });
+                reads.push(ReadProbe {
+                    op: ops.len(),
+                    ch,
+                    record: *r,
+                    after_write: Some((write_op, tag(slot, k))),
+                });
+                ops.push(Op::Read { ch, len: 8 });
+            }
         }
         ops.push(Op::EndTrans);
-        specs.push(TxnSpec { home, writes, ops });
+        specs.push(TxnSpec {
+            home,
+            writes,
+            reads,
+            ops,
+        });
     }
     specs
 }
@@ -328,6 +390,14 @@ fn run_inner(
     crash_point: Option<DiskCrashPoint>,
 ) -> TortureRun {
     let c = Cluster::new(cfg.sites);
+    if !cfg.page_cache {
+        for i in 0..cfg.sites {
+            c.site(i)
+                .kernel
+                .page_cache_enabled
+                .store(false, Ordering::Relaxed);
+        }
+    }
     let mut notes = Vec::new();
 
     let home_disk = |i: usize| c.site(i).kernel.home().expect("home volume").disk().clone();
@@ -507,6 +577,7 @@ fn run_inner(
         fates.commit_mark.entry(*t).or_insert(*pos);
     }
     check_durable_state(cfg, &c, &specs, &drv, &fates, &mut violations, &mut notes);
+    check_stale_reads(&specs, &drv, schedule, crash_point, &mut violations);
     check_durability(
         &c,
         &specs,
@@ -600,6 +671,125 @@ fn check_durability(
         committed,
     };
     ledger.check(&sub, context, out);
+}
+
+/// The stale-read oracle: every read probe the workload planted (see
+/// [`ChaosConfig::reads_per_txn`]) must have observed legal bytes under its
+/// held exclusive lock.
+///
+/// A probe placed *after* the slot's own acknowledged write must return the
+/// slot's own uncommitted tag — the per-site page cache serving anything
+/// older is exactly the stale-read bug this oracle exists to catch. The
+/// check is skipped when the record's storage site crashed during the run
+/// (a crash legitimately discards volatile uncommitted writes, so the
+/// post-reboot read sees the last committed value instead) or when either
+/// the write or the read failed outright.
+///
+/// A probe placed after the lock but *before* the write must return a
+/// committed value: zero (the setup fill) or some slot's tag aimed at that
+/// record. Exclusive locks make anything else — torn bytes, another
+/// record's bytes, a value no writer produced — evidence of a stale or
+/// corrupt read, crash or no crash (crash recovery also lands on committed
+/// values). Channel redirection from failed opens is resolved the same way
+/// the durable-state oracle resolves it, so probes are judged against the
+/// file they actually hit.
+fn check_stale_reads(
+    specs: &[TxnSpec],
+    drv: &Driver<'_>,
+    schedule: &Schedule,
+    crash_point: Option<DiskCrashPoint>,
+    out: &mut Vec<Violation>,
+) {
+    // Sites whose volatile state died at least once during the run.
+    let mut crashed: BTreeSet<usize> = schedule
+        .cluster
+        .iter()
+        .filter_map(|cf| match cf.kind {
+            ClusterFaultKind::Crash { site } => Some(site),
+            _ => None,
+        })
+        .collect();
+    if let Some(p) = crash_point {
+        crashed.insert(p.site);
+    }
+    // A partition can make an isolated participant unilaterally roll a
+    // transaction back (presumed abort), reverting acked uncommitted
+    // writes; which transactions that hits depends on where the cut fell,
+    // so any partition relaxes the own-write checks cluster-wide.
+    let partitioned = schedule
+        .cluster
+        .iter()
+        .any(|cf| matches!(cf.kind, ClusterFaultKind::Partition { .. }));
+    // Every value any slot's write could have left at each (file, record),
+    // resolved through actual channels; pre-write probes must land in here
+    // (or on the zero fill).
+    let mut producible: BTreeMap<(usize, u64), BTreeSet<u64>> = BTreeMap::new();
+    for (slot, spec) in specs.iter().enumerate() {
+        let chans = actual_channels(spec, drv.results(slot));
+        for (op_idx, _, r, val) in &spec.writes {
+            let Some(Op::Write { ch, .. }) = spec.ops.get(*op_idx) else {
+                continue;
+            };
+            if let Some(actual_f) = chans.get(*ch).copied() {
+                producible.entry((actual_f, *r)).or_default().insert(*val);
+            }
+        }
+    }
+    for (slot, spec) in specs.iter().enumerate() {
+        let chans = actual_channels(spec, drv.results(slot));
+        for probe in &spec.reads {
+            let Some(OpResult::Data(data)) = drv.results(slot).get(probe.op) else {
+                // Never executed (process died first) or failed (site down,
+                // partition): no bytes were observed, nothing to judge.
+                continue;
+            };
+            let Some(file) = chans.get(probe.ch).copied() else {
+                continue;
+            };
+            if data.len() != 8 {
+                out.push(Violation::StaleRead {
+                    slot,
+                    file,
+                    record: probe.record,
+                    detail: format!("read returned {} bytes, wanted 8", data.len()),
+                });
+                continue;
+            }
+            let v = u64::from_le_bytes(data[..8].try_into().expect("8-byte record"));
+            match probe.after_write {
+                Some((write_op, tagv)) => {
+                    let acked = matches!(drv.results(slot).get(write_op), Some(OpResult::Unit));
+                    if !acked || partitioned || crashed.contains(&file) {
+                        continue;
+                    }
+                    if v != tagv {
+                        out.push(Violation::StaleRead {
+                            slot,
+                            file,
+                            record: probe.record,
+                            detail: format!(
+                                "read after own acked write saw {v:#x}, wanted own tag {tagv:#x}"
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    let ok = v == 0
+                        || producible
+                            .get(&(file, probe.record))
+                            .is_some_and(|s| s.contains(&v));
+                    if !ok {
+                        out.push(Violation::StaleRead {
+                            slot,
+                            file,
+                            record: probe.record,
+                            detail: format!("read under lock saw {v:#x}, which no writer produces"),
+                        });
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Snapshots the commit marks that reached `site`'s platters without being
@@ -879,5 +1069,79 @@ mod tests {
     fn seeded_run_finds_no_violations() {
         let report = run_seed(&ChaosConfig::with_seed(2));
         assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn read_probes_execute_and_stay_clean_faultlessly() {
+        let mut cfg = ChaosConfig::with_seed(9);
+        cfg.reads_per_txn = 2;
+        let specs = generate_workload(&cfg, &mut DetRng::seeded(cfg.seed ^ WORKLOAD_SALT));
+        let planted: usize = specs.iter().map(|s| s.reads.len()).sum();
+        assert!(planted > 0, "workload planted no read probes");
+        let report = run_schedule(&cfg, &Schedule::default());
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.committed, cfg.procs, "{report}");
+    }
+
+    #[test]
+    fn read_probes_off_leave_the_workload_unchanged() {
+        // reads_per_txn = 0 must not perturb the op stream or the RNG
+        // draws — the pinned seed-1 trace depends on it.
+        let base = ChaosConfig::with_seed(1);
+        let mut probed = base.clone();
+        probed.reads_per_txn = 0;
+        let a = generate_workload(&base, &mut DetRng::seeded(3));
+        let b = generate_workload(&probed, &mut DetRng::seeded(3));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn stale_read_oracle_flags_wrong_bytes() {
+        // Synthesizes a run where the post-write probe observed stale
+        // zeros instead of the slot's own tag, and checks the oracle
+        // actually fires (a vacuous oracle would pass every corpus run).
+        let mut cfg = ChaosConfig::with_seed(9);
+        cfg.sites = 1;
+        cfg.procs = 1;
+        cfg.reads_per_txn = 1;
+        let c = Cluster::new(1);
+        let mut setup = Driver::new(&c, 1);
+        setup.spawn(
+            0,
+            vec![
+                Op::Creat("/chaos0".into()),
+                Op::Write {
+                    ch: 0,
+                    data: vec![0; 64],
+                },
+                Op::Close(0),
+            ],
+        );
+        assert_eq!(setup.run(), RunOutcome::Completed);
+        let specs = generate_workload(&cfg, &mut DetRng::seeded(cfg.seed ^ WORKLOAD_SALT));
+        let mut drv = Driver::new(&c, cfg.seed);
+        drv.spawn(specs[0].home, specs[0].ops.clone());
+        assert_eq!(drv.run(), RunOutcome::Completed);
+        let mut violations = Vec::new();
+        check_stale_reads(&specs, &drv, &Schedule::default(), None, &mut violations);
+        assert!(violations.is_empty(), "clean run misjudged: {violations:?}");
+
+        // Corrupt the recorded observation of the after-write probe.
+        let mut bad = specs.clone();
+        let probe = bad[0]
+            .reads
+            .iter_mut()
+            .find(|p| p.after_write.is_some())
+            .expect("after-write probe planted");
+        let (write_op, _) = probe.after_write.expect("probe carries the write");
+        probe.after_write = Some((write_op, 0xdead_beef));
+        let mut violations = Vec::new();
+        check_stale_reads(&bad, &drv, &Schedule::default(), None, &mut violations);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::StaleRead { .. })),
+            "oracle missed a read that disagrees with the own write"
+        );
     }
 }

@@ -69,6 +69,15 @@ pub enum Violation {
         found: u64,
         detail: String,
     },
+    /// A read under a held lock returned bytes that are neither the last
+    /// committed value nor the reader's own uncommitted write — the page
+    /// cache (or the read path generally) served stale data.
+    StaleRead {
+        slot: usize,
+        file: usize,
+        record: u64,
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -107,6 +116,15 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "DURABILITY file {file} record {record}: found {found:#x} ({detail})"
+            ),
+            Violation::StaleRead {
+                slot,
+                file,
+                record,
+                detail,
+            } => write!(
+                f,
+                "STALE-READ slot {slot} file {file} record {record}: {detail}"
             ),
         }
     }

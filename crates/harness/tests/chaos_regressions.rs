@@ -97,6 +97,29 @@ fn seed_1785987737512144065_acked_write_survives() {
     );
 }
 
+/// The stale-read oracle (probes interleaved under the workload's held
+/// exclusive locks, `reads_per_txn > 0`) across the standing seed corpus
+/// plus every archived violation seed in `ci/known-bad-seeds.txt`: no seed
+/// may produce a read that disagrees with the last committed or own
+/// uncommitted write. This is the page cache's end-to-end coherence gate —
+/// crashes, partitions, reboots, migrations, and wire faults all run with
+/// reads in flight.
+#[test]
+fn stale_read_oracle_passes_seed_corpus() {
+    let archived = include_str!("../../../ci/known-bad-seeds.txt")
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse::<u64>().expect("seed parses"));
+    let corpus: Vec<u64> = [1, 2, 5, 7, 42, 43].into_iter().chain(archived).collect();
+    for seed in corpus {
+        let mut cfg = ChaosConfig::with_seed(seed);
+        cfg.reads_per_txn = 2;
+        let report = run_seed(&cfg);
+        assert!(report.ok(), "seed {seed} with read probes: {report}");
+    }
+}
+
 /// One seed fully determines a run: replaying it must reproduce a
 /// byte-identical event trace (the property `--check-determinism` asserts in
 /// CI, and the property schedule minimization depends on).

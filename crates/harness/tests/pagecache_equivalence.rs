@@ -1,0 +1,185 @@
+//! The page cache must be invisible: a cluster running with per-site page
+//! caching (and its readahead) enabled must produce exactly the results an
+//! uncached cluster produces for any program. These tests drive the same
+//! seeded random scripts against a cached cluster and an uncached reference
+//! cluster and compare every operation result and the final file bytes.
+//!
+//! The driver's interleaving depends only on its own RNG and on which
+//! operations block — never on message counts — so with no fault injector
+//! the two runs take identical schedules and every divergence is a real
+//! coherence bug, not noise.
+
+use std::sync::atomic::Ordering;
+
+use proptest::prelude::*;
+
+use locus_harness::chaos::{run_schedule, ChaosConfig, Schedule};
+use locus_harness::cluster::Cluster;
+use locus_harness::script::{Driver, Op, RunOutcome};
+use locus_kernel::LockOpts;
+use locus_sim::DetRng;
+use locus_types::LockRequestMode;
+
+const SITES: usize = 2;
+/// Three pages' worth at the default 1 KiB page size, so random reads cross
+/// page boundaries.
+const FILE_LEN: u64 = 3000;
+
+/// Generates one seeded random program set: a few processes (some inside a
+/// transaction, some plain) sharing two files on different sites, issuing
+/// interleaved seeks, reads, writes, and explicit shared/exclusive locks.
+fn gen_programs(seed: u64) -> Vec<(usize, Vec<Op>)> {
+    let mut rng = DetRng::seeded(seed);
+    let nprocs = 2 + rng.below(3) as usize;
+    let mut programs = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let home = rng.below(SITES as u64) as usize;
+        let in_txn = rng.chance(0.5);
+        let mut ops = Vec::new();
+        if in_txn {
+            ops.push(Op::BeginTrans);
+        }
+        for f in 0..2 {
+            ops.push(Op::Open {
+                name: format!("/eq{f}"),
+                write: true,
+            });
+        }
+        let n_ops = 8 + rng.below(8);
+        for _ in 0..n_ops {
+            let ch = rng.below(2) as usize;
+            let pos = rng.below(FILE_LEN - 64);
+            match rng.below(10) {
+                // Explicit locks; denials (wait: false) are results too and
+                // must match across the two runs.
+                0 | 1 => {
+                    ops.push(Op::Seek { ch, pos });
+                    ops.push(Op::Lock {
+                        ch,
+                        len: 64,
+                        mode: if rng.chance(0.5) {
+                            LockRequestMode::Shared
+                        } else {
+                            LockRequestMode::Exclusive
+                        },
+                        opts: LockOpts::default(),
+                    });
+                }
+                2 => {
+                    ops.push(Op::Seek { ch, pos });
+                    ops.push(Op::Unlock { ch, len: 64 });
+                }
+                3..=6 => {
+                    ops.push(Op::Seek { ch, pos });
+                    ops.push(Op::Read {
+                        ch,
+                        len: 1 + rng.below(1200),
+                    });
+                }
+                _ => {
+                    let len = 1 + rng.below(24) as usize;
+                    let fill = rng.below(255) as u8 + 1;
+                    ops.push(Op::Seek { ch, pos });
+                    ops.push(Op::Write {
+                        ch,
+                        data: vec![fill; len],
+                    });
+                }
+            }
+        }
+        if in_txn {
+            ops.push(Op::EndTrans);
+        }
+        programs.push((home, ops));
+    }
+    programs
+}
+
+/// Builds a cluster with `/eq0` on site 0 and `/eq1` on site 1, zero-filled.
+fn build_cluster(cached: bool) -> Cluster {
+    let c = Cluster::new(SITES);
+    if !cached {
+        for i in 0..SITES {
+            c.site(i)
+                .kernel
+                .page_cache_enabled
+                .store(false, Ordering::Relaxed);
+        }
+    }
+    let mut setup = Driver::new(&c, 1);
+    for f in 0..SITES {
+        setup.spawn(
+            f,
+            vec![
+                Op::Creat(format!("/eq{f}")),
+                Op::Write {
+                    ch: 0,
+                    data: vec![0; FILE_LEN as usize],
+                },
+                Op::Close(0),
+            ],
+        );
+    }
+    assert_eq!(setup.run(), RunOutcome::Completed);
+    assert!(!setup.any_failures(), "{}", setup.failure_report());
+    c
+}
+
+/// Runs the seed's programs on a cluster and renders everything observable:
+/// per-process results (data, ranges, errors — all of it) and the final
+/// durable bytes of both files read through a fresh probe process.
+fn observe(c: &Cluster, seed: u64) -> String {
+    let programs = gen_programs(seed);
+    let mut drv = Driver::new(c, seed.wrapping_mul(0x9e37_79b9));
+    for (home, ops) in &programs {
+        drv.spawn(*home, ops.clone());
+    }
+    let outcome = drv.run();
+    let mut out = format!("outcome: {outcome}\n");
+    for i in 0..drv.n_procs() {
+        out.push_str(&format!("proc {i}: {:?}\n", drv.results(i)));
+    }
+    for f in 0..SITES {
+        let k = &c.site(f).kernel;
+        let mut a = c.account(f);
+        let probe = k.spawn();
+        let bytes = k
+            .open(probe, &format!("/eq{f}"), false, &mut a)
+            .and_then(|ch| k.read(probe, ch, FILE_LEN, &mut a));
+        let _ = k.exit(probe, &mut a);
+        out.push_str(&format!("file {f}: {bytes:?}\n"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache + invalidation ≡ the uncached reference kernel, for arbitrary
+    /// interleavings of reads, writes, and lock traffic.
+    #[test]
+    fn cached_cluster_matches_uncached_reference(seed in any::<u64>()) {
+        let cached = observe(&build_cluster(true), seed);
+        let reference = observe(&build_cluster(false), seed);
+        prop_assert_eq!(cached, reference, "cache-visible divergence, seed {}", seed);
+    }
+}
+
+/// The chaos workload with read probes, fault-free, cached vs uncached:
+/// both runs must commit everything and the stale-read oracle must stay
+/// quiet in both worlds.
+#[test]
+fn chaos_read_probes_agree_with_uncached_reference() {
+    for seed in [3, 11, 29] {
+        let mut on = ChaosConfig::with_seed(seed);
+        on.reads_per_txn = 2;
+        let mut off = on.clone();
+        off.page_cache = false;
+        let a = run_schedule(&on, &Schedule::default());
+        let b = run_schedule(&off, &Schedule::default());
+        assert!(a.ok(), "cached, seed {seed}: {a}");
+        assert!(b.ok(), "uncached, seed {seed}: {b}");
+        assert_eq!(a.committed, on.procs, "cached, seed {seed}: {a}");
+        assert_eq!(b.committed, on.procs, "uncached, seed {seed}: {b}");
+    }
+}

@@ -25,6 +25,7 @@ use locus_sim::{Account, CostModel, Counters, Event, EventLog};
 use locus_types::{Channel, Error, Fid, Owner, Pid, Result, SiteId, TransId, VolumeId};
 
 use crate::catalog::Catalog;
+use crate::pagecache::PageCache;
 use crate::services::{self, TxnService};
 
 /// One site's kernel.
@@ -41,6 +42,17 @@ pub struct Kernel {
     pub registry: Arc<ProcessRegistry>,
     pub catalog: Arc<Catalog>,
     pub cache: Arc<LockCache>,
+    /// Per-site page cache, coherent through the lock cache (Section 5.1:
+    /// a lock holder "may use local copies" of the locked data). Entries
+    /// exist only while [`Kernel::cache`] coverage justifies them.
+    pub pages: Arc<PageCache>,
+    /// Kill switch for the page cache's read fast path (the equivalence
+    /// proptests compare a caching kernel against one with this off).
+    pub page_cache_enabled: AtomicBool,
+    /// Sequential-read detector state for readahead: last read's end offset
+    /// per open channel. Purely a heuristic — cleaned up on close, exit,
+    /// migration, and crash.
+    read_cursors: Mutex<std::collections::HashMap<(Pid, Channel), (Fid, u64)>>,
     transport: RwLock<Option<Arc<dyn Transport>>>,
     /// The transaction control plane serving `Msg::Txn` at this site
     /// (registered by `locus-core` when the site assembly is built).
@@ -115,6 +127,9 @@ impl Kernel {
             registry,
             catalog,
             cache: Arc::new(LockCache::new()),
+            pages: Arc::new(PageCache::new()),
+            page_cache_enabled: AtomicBool::new(true),
+            read_cursors: Mutex::new(std::collections::HashMap::new()),
             transport: RwLock::new(None),
             txn_service: RwLock::new(None),
             wake_slots: Mutex::new(std::collections::HashMap::new()),
@@ -252,10 +267,45 @@ impl Kernel {
 
     /// The synchronization owner a process acts as (its transaction, if any).
     pub fn owner_of(&self, pid: Pid) -> Owner {
-        match self.procs.get(pid).and_then(|r| r.tid) {
+        // In-place lookup: `procs.get` would clone the whole record (open
+        // files, children, file list) and this runs on every data-path
+        // syscall.
+        match self.procs.with_mut(pid, |r| r.tid).ok().flatten() {
             Some(tid) => Owner::Trans(tid),
             None => Owner::Proc(pid),
         }
+    }
+
+    /// Drops every cache an owner may have populated: lock cache entries and
+    /// the page entries they justified. Called wherever an owner's locks die
+    /// wholesale (transaction end/abort, process exit).
+    pub fn drop_owner_caches(&self, owner: Owner) {
+        self.cache.drop_owner(owner);
+        self.pages.drop_owner(owner);
+    }
+
+    // ----- Sequential-read cursors (readahead heuristic) ---------------------
+
+    /// The previous read's `(fid, end)` for a channel, replaced with the new
+    /// cursor. Returns the old value so the caller can test for sequentiality.
+    pub(crate) fn swap_read_cursor(
+        &self,
+        pid: Pid,
+        ch: Channel,
+        fid: Fid,
+        end: u64,
+    ) -> Option<(Fid, u64)> {
+        self.read_cursors.lock().insert((pid, ch), (fid, end))
+    }
+
+    /// Forgets one channel's cursor (close).
+    pub(crate) fn drop_read_cursor(&self, pid: Pid, ch: Channel) {
+        self.read_cursors.lock().remove(&(pid, ch));
+    }
+
+    /// Forgets every cursor of a process (exit, migration).
+    pub(crate) fn drop_read_cursors_of(&self, pid: Pid) {
+        self.read_cursors.lock().retain(|(p, _), _| *p != pid);
     }
 
     pub(crate) fn with_channel(
@@ -263,9 +313,12 @@ impl Kernel {
         pid: Pid,
         ch: Channel,
     ) -> Result<(OpenFile, Option<TransId>)> {
-        let rec = self.procs.get(pid).ok_or(Error::NoSuchProcess(pid))?;
-        let of = rec.open_files.get(&ch).copied().ok_or(Error::BadChannel)?;
-        Ok((of, rec.tid))
+        // In-place under the stripe lock — cloning the record here would put
+        // a full open-files map copy on every read/write/seek.
+        self.procs.with_mut(pid, |rec| {
+            let of = rec.open_files.get(&ch).copied().ok_or(Error::BadChannel)?;
+            Ok((of, rec.tid))
+        })?
     }
 
     // ----- Request dispatch ---------------------------------------------------
@@ -345,6 +398,8 @@ impl Kernel {
         self.procs.crash();
         self.locks.crash();
         self.cache.crash();
+        self.pages.crash();
+        self.read_cursors.lock().clear();
         for v in self.volumes.read().values() {
             v.crash();
         }

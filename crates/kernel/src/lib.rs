@@ -11,10 +11,12 @@
 
 pub mod catalog;
 pub mod kernel;
+pub mod pagecache;
 pub mod services;
 
 pub use catalog::{Catalog, FileLoc};
 pub use kernel::Kernel;
+pub use pagecache::PageCache;
 pub use services::{LockOpts, TxnService};
 
 #[cfg(test)]

@@ -43,8 +43,12 @@ impl ServiceHandler for FileService {
             } => {
                 k.locks.validate_access(fid, owner, pid, range, false)?;
                 let vol = k.volume(fid.volume)?;
-                let data = vol.read(fid, range, acct)?;
-                Ok(Msg::File(FileMsg::ReadResp { data }))
+                let (data, committed_len, vers) = vol.read_with_meta(fid, owner, range, acct)?;
+                Ok(Msg::File(FileMsg::ReadResp {
+                    data,
+                    committed_len,
+                    vers,
+                }))
             }
             FileMsg::WriteReq {
                 fid,
@@ -64,11 +68,18 @@ impl ServiceHandler for FileService {
             }
             FileMsg::PrefetchReq { fid, pages } => {
                 let vol = k.volume(fid.volume)?;
+                let mut out = Vec::with_capacity(pages.len());
                 for p in pages {
-                    let _ = vol.prefetch_page(fid, p, acct);
+                    // Prefetch failures never fail the caller's read — they
+                    // are dropped, but counted so a sick volume is visible.
+                    match vol.prefetch_page_image(fid, p, acct) {
+                        Ok(Some((vers, data))) => out.push((p, vers, data)),
+                        Ok(None) => {}
+                        Err(_) => k.counters.prefetch_errors(),
+                    }
                     k.counters.prefetches();
                 }
-                Ok(Msg::Ok)
+                Ok(Msg::File(FileMsg::PrefetchResp { pages: out }))
             }
             FileMsg::CommitReq { fid, owner } => {
                 k.reclaim_lease(fid, acct)?;
@@ -199,7 +210,9 @@ impl Kernel {
             self.rpc_batch(of.storage_site, vec![commit, unlock], acct)?;
             self.cache
                 .remove(of.fid, Owner::Proc(pid), ByteRange::new(0, u64::MAX));
+            self.pages.drop_fid_owner(of.fid, Owner::Proc(pid));
         }
+        self.drop_read_cursor(pid, ch);
         self.procs.with_mut(pid, |rec| {
             rec.open_files.remove(&ch);
         })?;
@@ -222,15 +235,93 @@ impl Kernel {
     /// implicitly ("implicitly (at the time of record access)",
     /// Section 3.1); a queued implicit lock surfaces as
     /// [`Error::WouldBlock`] and the caller retries after its wakeup.
+    ///
+    /// Three serving tiers, cheapest first:
+    /// 1. *Local dispatch*: the file is stored here — call straight into the
+    ///    volume, no message construction at all.
+    /// 2. *Page cache*: the bytes were fetched earlier under lock coverage
+    ///    the owner still holds — serve them locally (Section 5.1: the lock
+    ///    holder "may use local copies").
+    /// 3. *Remote read*: fetch from the storage site and, when coverage and
+    ///    the response's version stamps allow, populate the page cache.
     pub fn read(&self, pid: Pid, ch: Channel, len: u64, acct: &mut Account) -> Result<Vec<u8>> {
         self.check_up()?;
         acct.cpu_instrs(&self.model, self.model.syscall_instrs);
+        let ps = self.model.page_size;
+        let caching = self
+            .page_cache_enabled
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if caching {
+            // Non-transactional cached fast path: serve the bytes and advance
+            // the pointer in one pass over the process stripe (the lock-cache
+            // and page-shard locks are leaves, so nesting them here is safe).
+            // Transactions fall through — they need the implicit-lock step
+            // first, which can block.
+            let served = self.procs.with_mut(pid, |rec| {
+                if rec.tid.is_some() {
+                    return None;
+                }
+                let of = rec.open_files.get_mut(&ch)?;
+                if of.storage_site == self.site {
+                    return None;
+                }
+                let range = ByteRange::new(of.pos, len);
+                if range.is_empty() || !self.cache.covers(of.fid, Owner::Proc(pid), range, false) {
+                    return None;
+                }
+                let out = self.pages.read_vec(of.fid, Owner::Proc(pid), range, ps)?;
+                of.pos += out.len() as u64;
+                Some(out)
+            })?;
+            if let Some(out) = served {
+                self.counters.page_cache_hits();
+                acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
+                return Ok(out);
+            }
+        }
         let (of, tid) = self.with_channel(pid, ch)?;
         let range = ByteRange::new(of.pos, len);
         if tid.is_some() {
             self.ensure_locked(pid, ch, &of, range, false, acct)?;
         }
         let owner = self.owner_of(pid);
+        if of.storage_site == self.site {
+            // Local fast path: exactly what the ReadReq handler would do,
+            // minus the message.
+            self.counters.local_fast_paths();
+            self.locks
+                .validate_access(of.fid, owner, pid, range, false)?;
+            let vol = self.volume(of.fid.volume)?;
+            let data = vol.read(of.fid, range, acct)?;
+            self.procs.with_mut(pid, |rec| {
+                if let Some(of) = rec.open_files.get_mut(&ch) {
+                    of.pos += data.len() as u64;
+                }
+            })?;
+            return Ok(data);
+        }
+        if caching && !range.is_empty() && self.cache.covers(of.fid, owner, range, false) {
+            if let Some(out) = self.pages.read_vec(of.fid, owner, range, ps) {
+                // Cached entries only ever cover committed bytes, and the
+                // committed length is monotone — so the uncached read could
+                // not have clipped this range short.
+                self.counters.page_cache_hits();
+                acct.cpu_instrs(&self.model, self.model.buffer_hit_instrs);
+                self.procs.with_mut(pid, |rec| {
+                    if let Some(of) = rec.open_files.get_mut(&ch) {
+                        of.pos += out.len() as u64;
+                    }
+                })?;
+                return Ok(out);
+            }
+        }
+        if caching && !range.is_empty() {
+            self.counters.page_cache_misses();
+        }
+        // Snapshot the owner's write generation *before* the fetch: if a
+        // sibling thread of this owner writes while the read is in flight,
+        // the stale response must not enter the cache.
+        let gen = self.pages.write_gen(of.fid, owner);
         let resp = self.rpc(
             of.storage_site,
             Msg::File(FileMsg::ReadReq {
@@ -241,17 +332,103 @@ impl Kernel {
             }),
             acct,
         )?;
-        let Msg::File(FileMsg::ReadResp { data }) = resp else {
+        let Msg::File(FileMsg::ReadResp {
+            data,
+            committed_len,
+            vers,
+        }) = resp
+        else {
             return Err(Error::ProtocolViolation(format!(
                 "unexpected read response {resp:?}"
             )));
         };
+        let clipped = ByteRange::new(range.start, data.len() as u64);
+        if caching {
+            for (page, v) in clipped.pages(ps).zip(&vers) {
+                let Some(slice) = clipped.slice_on_page(page, ps) else {
+                    continue;
+                };
+                let page_base = u64::from(page.0) * ps as u64;
+                let abs = ByteRange::new(page_base + slice.start, slice.len);
+                // Cache only committed bytes the owner's locks still cover.
+                if abs.end() > committed_len || !self.cache.covers(of.fid, owner, abs, false) {
+                    continue;
+                }
+                let off = (abs.start - clipped.start) as usize;
+                self.pages.insert(
+                    of.fid,
+                    owner,
+                    page,
+                    *v,
+                    slice,
+                    locus_types::PageData::from(&data[off..off + slice.len as usize]),
+                    gen,
+                );
+            }
+            self.readahead(pid, ch, &of, owner, &clipped, committed_len, acct);
+        }
         self.procs.with_mut(pid, |rec| {
             if let Some(of) = rec.open_files.get_mut(&ch) {
                 of.pos += data.len() as u64;
             }
         })?;
         Ok(data)
+    }
+
+    /// Sequential readahead (Section 5.2's prefetch idea applied to the
+    /// requesting site): when a remote read continues exactly where the
+    /// channel's previous read ended, ask the storage site for the next few
+    /// committed pages and stash them in the page cache — if the owner's
+    /// lock coverage extends that far. Never fails the read: prefetch errors
+    /// are dropped and counted.
+    #[allow(clippy::too_many_arguments)]
+    fn readahead(
+        &self,
+        pid: Pid,
+        ch: Channel,
+        of: &OpenFile,
+        owner: Owner,
+        clipped: &ByteRange,
+        committed_len: u64,
+        acct: &mut Account,
+    ) {
+        const READAHEAD_PAGES: u32 = 2;
+        let prev = self.swap_read_cursor(pid, ch, of.fid, clipped.end());
+        if clipped.is_empty() || prev != Some((of.fid, clipped.start)) {
+            return;
+        }
+        let ps = self.model.page_size as u64;
+        let next_page = clipped.end().div_ceil(ps) as u32;
+        let wanted: Vec<_> = (next_page..next_page + READAHEAD_PAGES)
+            .map(locus_types::PageNo)
+            .filter(|p| {
+                let span = ByteRange::new(u64::from(p.0) * ps, ps);
+                span.end() <= committed_len && self.cache.covers(of.fid, owner, span, false)
+            })
+            .collect();
+        if wanted.is_empty() {
+            return;
+        }
+        let gen = self.pages.write_gen(of.fid, owner);
+        let resp = self.rpc(
+            of.storage_site,
+            Msg::File(FileMsg::PrefetchReq {
+                fid: of.fid,
+                pages: wanted,
+            }),
+            acct,
+        );
+        match resp {
+            Ok(Msg::File(FileMsg::PrefetchResp { pages })) => {
+                for (page, vers, bytes) in pages {
+                    let span = ByteRange::new(0, ps);
+                    self.pages
+                        .insert(of.fid, owner, page, vers, span, bytes, gen);
+                }
+            }
+            Ok(_) => {}
+            Err(_) => self.counters.prefetch_errors(),
+        }
     }
 
     /// Writes `data` at the current position. Requires write-mode open;
@@ -268,24 +445,39 @@ impl Kernel {
             self.ensure_locked(pid, ch, &of, range, true, acct)?;
         }
         let owner = self.owner_of(pid);
-        let resp = self.rpc(
-            of.storage_site,
-            Msg::File(FileMsg::WriteReq {
-                fid: of.fid,
-                pid,
-                owner,
-                range,
-                data: data.to_vec(),
-            }),
-            acct,
-        )?;
-        // The storage site's boot epoch at the moment it acked this write;
-        // recorded in the file-list so prepare can detect a later reboot
-        // that discarded the buffered (acked) bytes.
-        let write_epoch = match resp {
-            Msg::File(FileMsg::WriteResp { epoch, .. }) => epoch,
-            _ => of.epoch,
+        let write_epoch = if of.storage_site == self.site {
+            // Local fast path: the WriteReq handler's work, sans message.
+            self.counters.local_fast_paths();
+            self.locks
+                .validate_access(of.fid, owner, pid, range, true)?;
+            let vol = self.volume(of.fid.volume)?;
+            let new_len = vol.write(of.fid, owner, range, data, acct)?;
+            self.locks.set_eof(of.fid, new_len);
+            self.boot_epoch()
+        } else {
+            let resp = self.rpc(
+                of.storage_site,
+                Msg::File(FileMsg::WriteReq {
+                    fid: of.fid,
+                    pid,
+                    owner,
+                    range,
+                    data: data.to_vec(),
+                }),
+                acct,
+            )?;
+            // The storage site's boot epoch at the moment it acked this
+            // write; recorded in the file-list so prepare can detect a later
+            // reboot that discarded the buffered (acked) bytes.
+            match resp {
+                Msg::File(FileMsg::WriteResp { epoch, .. }) => epoch,
+                _ => of.epoch,
+            }
         };
+        // The owner's cached pages overlapping the write are now stale, and
+        // any in-flight read snapshot predating this write must not land.
+        self.pages
+            .note_write(of.fid, owner, range, self.model.page_size);
         self.procs.with_mut(pid, |rec| {
             if let Some(of) = rec.open_files.get_mut(&ch) {
                 of.pos = range.end();
@@ -311,6 +503,9 @@ impl Kernel {
             owner: Owner::Proc(pid),
         });
         self.rpc(of.storage_site, msg, acct)?;
+        // The abort reverted this process's uncommitted bytes at the storage
+        // site; locally cached copies of them are now stale.
+        self.pages.drop_fid_owner(of.fid, Owner::Proc(pid));
         Ok(())
     }
 

@@ -227,7 +227,13 @@ impl Kernel {
             Msg::Lock(LockMsg::Resp { granted }) => {
                 match mode.as_mode() {
                     Some(m) => self.cache.insert(of.fid, owner, m, granted),
-                    None => self.cache.remove(of.fid, owner, granted),
+                    None => {
+                        self.cache.remove(of.fid, owner, granted);
+                        // Pages were cached under the coverage just released;
+                        // without it their coherence guarantee is gone.
+                        self.pages
+                            .remove(of.fid, owner, granted, self.model.page_size);
+                    }
                 }
                 self.procs.with_mut(pid, |rec| {
                     if rec.tid.is_some() {

@@ -25,6 +25,9 @@ impl ServiceHandler for ReplicaService {
             } => {
                 let vol = k.volume(fid.volume)?;
                 vol.replica_install(fid, new_len, &pages, acct)?;
+                // Committed bytes at this site just changed without any
+                // local lock traffic; cached pages of the file are suspect.
+                k.pages.drop_file(fid);
                 Ok(Msg::Ok)
             }
         }
@@ -57,6 +60,8 @@ impl Kernel {
         }
         let vol = self.volume(fid.volume)?;
         let pages: Vec<_> = il.entries.iter().map(|e| e.page).collect();
+        // `committed_pages` hands back shared buffers: the per-site clone
+        // below duplicates handles, not page bytes.
         let data = vol.committed_pages(fid, &pages, acct)?;
         for site in others {
             let _ = self.notify(

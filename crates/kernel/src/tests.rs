@@ -894,6 +894,205 @@ fn partial_unlock_contracts_through_kernel() {
     ));
 }
 
+// ----- Page cache (coherent local reads under lock coverage) ---------------
+
+/// Creates `/cached` at site 0 with `len` committed bytes of value 7.
+fn seed_remote_file(c: &MiniCluster, len: usize) {
+    let k0 = &c.kernels[0];
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.creat(p0, "/cached", &mut a0).unwrap();
+    k0.write(p0, ch0, &vec![7u8; len], &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+}
+
+#[test]
+fn cached_reread_is_local_and_byte_identical() {
+    let c = mini_cluster(2);
+    seed_remote_file(&c, 512);
+    let k1 = &c.kernels[1];
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/cached", true, &mut a1).unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        512,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
+    // First read fetches remotely and populates the page cache.
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    let first = k1.read(p1, ch1, 512, &mut a1).unwrap();
+    assert_eq!(first, vec![7u8; 512]);
+    // Re-read under the held lock: zero remote messages, identical bytes.
+    let hits_before = k1.counters.snapshot().page_cache_hits;
+    let before = a1.clone();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    let second = k1.read(p1, ch1, 512, &mut a1).unwrap();
+    assert_eq!(second, first);
+    assert_eq!(
+        a1.delta_since(&before).messages,
+        0,
+        "cached re-read must not touch the network"
+    );
+    assert_eq!(k1.counters.snapshot().page_cache_hits, hits_before + 1);
+}
+
+#[test]
+fn page_cache_disabled_goes_remote_with_same_bytes() {
+    let c = mini_cluster(2);
+    seed_remote_file(&c, 256);
+    let k1 = &c.kernels[1];
+    k1.page_cache_enabled
+        .store(false, std::sync::atomic::Ordering::Relaxed);
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/cached", true, &mut a1).unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        256,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    k1.read(p1, ch1, 256, &mut a1).unwrap();
+    let before = a1.clone();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    assert_eq!(k1.read(p1, ch1, 256, &mut a1).unwrap(), vec![7u8; 256]);
+    assert!(a1.delta_since(&before).messages > 0);
+}
+
+#[test]
+fn own_write_invalidates_cached_pages() {
+    let c = mini_cluster(2);
+    seed_remote_file(&c, 128);
+    let k1 = &c.kernels[1];
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/cached", true, &mut a1).unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        128,
+        LockRequestMode::Exclusive,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    assert_eq!(k1.read(p1, ch1, 128, &mut a1).unwrap(), vec![7u8; 128]);
+    // Overwrite part of the cached range, then re-read: the stale entry
+    // must not be served.
+    k1.lseek(p1, ch1, 10, &mut a1).unwrap();
+    k1.write(p1, ch1, b"NEW", &mut a1).unwrap();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    let got = k1.read(p1, ch1, 128, &mut a1).unwrap();
+    let mut want = vec![7u8; 128];
+    want[10..13].copy_from_slice(b"NEW");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn unlock_drops_cache_and_later_reads_see_new_commits() {
+    let c = mini_cluster(2);
+    seed_remote_file(&c, 64);
+    let k0 = &c.kernels[0];
+    let k1 = &c.kernels[1];
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/cached", true, &mut a1).unwrap();
+    k1.lock(
+        p1,
+        ch1,
+        64,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    assert_eq!(k1.read(p1, ch1, 64, &mut a1).unwrap(), vec![7u8; 64]);
+    assert!(!k1.pages.is_empty());
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    k1.unlock(p1, ch1, 64, &mut a1).unwrap();
+    assert!(
+        k1.pages.is_empty(),
+        "released coverage must drop cached pages"
+    );
+    // Another process commits new bytes; the uncovered reader sees them.
+    let mut a0 = acct(0);
+    let p0 = k0.spawn();
+    let ch0 = k0.open(p0, "/cached", true, &mut a0).unwrap();
+    k0.write(p0, ch0, b"fresh!", &mut a0).unwrap();
+    k0.close(p0, ch0, &mut a0).unwrap();
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    let got = k1.read(p1, ch1, 6, &mut a1).unwrap();
+    assert_eq!(got, b"fresh!");
+}
+
+#[test]
+fn readahead_lands_pages_in_cache() {
+    let c = mini_cluster(2);
+    seed_remote_file(&c, 4096); // Four committed pages.
+    let k1 = &c.kernels[1];
+    let mut a1 = acct(1);
+    let p1 = k1.spawn();
+    let ch1 = k1.open(p1, "/cached", true, &mut a1).unwrap();
+    // Lock the whole file so readahead pages fall under coverage
+    // (Section 5.2 prefetches the *locked* range).
+    k1.lock(
+        p1,
+        ch1,
+        4096,
+        LockRequestMode::Shared,
+        LockOpts::default(),
+        &mut a1,
+    )
+    .unwrap();
+    let fid = k1.procs.get(p1).unwrap().open_files[&ch1].fid;
+    let owner = locus_types::Owner::Proc(p1);
+    // Two back-to-back sequential reads trigger readahead of pages 1–2.
+    k1.lseek(p1, ch1, 0, &mut a1).unwrap();
+    k1.read(p1, ch1, 100, &mut a1).unwrap();
+    k1.read(p1, ch1, 100, &mut a1).unwrap();
+    let page = |n| locus_types::PageNo(n);
+    let full = ByteRange::new(0, 1024);
+    assert!(
+        k1.pages.covers_page_span(fid, owner, page(1), full),
+        "page 1 must be prefetched into the cache"
+    );
+    assert!(
+        k1.pages.covers_page_span(fid, owner, page(2), full),
+        "page 2 must be prefetched into the cache"
+    );
+    // Reading a prefetched page is free of network traffic.
+    let before = a1.clone();
+    k1.lseek(p1, ch1, 1024, &mut a1).unwrap();
+    assert_eq!(k1.read(p1, ch1, 1024, &mut a1).unwrap(), vec![7u8; 1024]);
+    assert_eq!(a1.delta_since(&before).messages, 0);
+}
+
+#[test]
+fn local_reads_and_writes_skip_message_construction() {
+    let c = mini_cluster(1);
+    let k = &c.kernels[0];
+    let mut a = acct(0);
+    let p = k.spawn();
+    let ch = k.creat(p, "/local", &mut a).unwrap();
+    let before = k.counters.snapshot().local_fast_paths;
+    k.write(p, ch, b"abc", &mut a).unwrap();
+    k.lseek(p, ch, 0, &mut a).unwrap();
+    assert_eq!(k.read(p, ch, 3, &mut a).unwrap(), b"abc");
+    assert_eq!(k.counters.snapshot().local_fast_paths, before + 2);
+    assert_eq!(a.messages, 0);
+}
+
 #[test]
 fn downgrade_admits_readers() {
     let c = mini_cluster(1);

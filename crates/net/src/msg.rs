@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use locus_types::{
     ByteRange, Error, Fid, FileListEntry, IntentionsList, LockClass, LockRequestMode, Owner,
-    PageNo, Pid, Service, SiteId, TransId, TxnStatus,
+    PageData, PageNo, Pid, Service, SiteId, TransId, TxnStatus,
 };
 
 /// Filesystem data plane: remote open/read/write and the single-file
@@ -39,8 +39,17 @@ pub enum FileMsg {
         owner: Owner,
         range: ByteRange,
     },
-    /// Data returned from a read.
-    ReadResp { data: Vec<u8> },
+    /// Data returned from a read. `committed_len` is the file's *committed*
+    /// length at the storage site (monotone under the serving inode), and
+    /// `vers` carries the per-page install counters for every page of the
+    /// requested range — together they let the requesting site cache the
+    /// returned bytes coherently (only sub-committed spans are cacheable,
+    /// and the version stamps resolve racing populations).
+    ReadResp {
+        data: Vec<u8>,
+        committed_len: u64,
+        vers: Vec<u64>,
+    },
     /// Write `data` at `range.start` of `fid` on behalf of `owner`.
     WriteReq {
         fid: Fid,
@@ -55,6 +64,11 @@ pub enum FileMsg {
     /// Ask the storage site to prefetch pages ahead of a locked range
     /// (Section 5.2 optimization).
     PrefetchReq { fid: Fid, pages: Vec<PageNo> },
+    /// Prefetched page images: `(page, install version, current bytes)` for
+    /// every requested page that lies fully within the committed length.
+    /// The requesting site installs these in its page cache (under its lock
+    /// coverage) so sequential readers stop paying one RPC per page.
+    PrefetchResp { pages: Vec<(PageNo, u64, PageData)> },
     /// Commit one owner's changes to a file via the single-file commit.
     CommitReq { fid: Fid, owner: Owner },
     /// Discard one owner's uncommitted changes to a file.
@@ -166,7 +180,9 @@ pub enum ReplicaMsg {
     Sync {
         fid: Fid,
         new_len: u64,
-        pages: Vec<(PageNo, Vec<u8>)>,
+        /// Committed page images; [`PageData`] so the primary builds each
+        /// image once and every replica push shares the same buffer.
+        pages: Vec<(PageNo, PageData)>,
     },
 }
 
@@ -244,6 +260,7 @@ impl Msg {
                 FileMsg::WriteReq { .. } => "WriteReq",
                 FileMsg::WriteResp { .. } => "WriteResp",
                 FileMsg::PrefetchReq { .. } => "PrefetchReq",
+                FileMsg::PrefetchResp { .. } => "PrefetchResp",
                 FileMsg::CommitReq { .. } => "CommitReq",
                 FileMsg::AbortReq { .. } => "AbortReq",
             },
@@ -283,8 +300,10 @@ impl Msg {
     /// charge per-page transfer time on top of the base round trip.
     pub fn pages_carried(&self, page_size: usize) -> u64 {
         let bytes = match self {
-            Msg::File(FileMsg::ReadResp { data }) | Msg::File(FileMsg::WriteReq { data, .. }) => {
-                data.len()
+            Msg::File(FileMsg::ReadResp { data, .. })
+            | Msg::File(FileMsg::WriteReq { data, .. }) => data.len(),
+            Msg::File(FileMsg::PrefetchResp { pages }) => {
+                pages.iter().map(|(_, _, d)| d.len()).sum()
             }
             Msg::Proc(ProcMsg::Migrate { blob, .. }) => blob.len(),
             Msg::Replica(ReplicaMsg::Sync { pages, .. }) => {
@@ -303,7 +322,10 @@ impl Msg {
         match self {
             Msg::File(m) => matches!(
                 m,
-                FileMsg::OpenResp { .. } | FileMsg::ReadResp { .. } | FileMsg::WriteResp { .. }
+                FileMsg::OpenResp { .. }
+                    | FileMsg::ReadResp { .. }
+                    | FileMsg::WriteResp { .. }
+                    | FileMsg::PrefetchResp { .. }
             ),
             Msg::Lock(m) => matches!(m, LockMsg::Resp { .. }),
             Msg::Txn(m) => matches!(m, TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }),
@@ -378,6 +400,8 @@ mod tests {
     fn pages_carried_counts_payload() {
         let m = Msg::File(FileMsg::ReadResp {
             data: vec![0; 2500],
+            committed_len: 2500,
+            vers: vec![1, 1, 1],
         });
         assert_eq!(m.pages_carried(1024), 3);
         assert_eq!(Msg::Ok.pages_carried(1024), 0);
@@ -388,11 +412,13 @@ mod tests {
         let batch = Msg::Batch(vec![
             Msg::File(FileMsg::ReadResp {
                 data: vec![0; 2048],
+                committed_len: 2048,
+                vers: vec![1, 1],
             }),
             Msg::Replica(ReplicaMsg::Sync {
                 fid: Fid::new(VolumeId(0), 1),
                 new_len: 1024,
-                pages: vec![(PageNo(0), vec![0; 1024])],
+                pages: vec![(PageNo(0), PageData::new(vec![0; 1024]))],
             }),
             Msg::Ok,
         ]);

@@ -168,9 +168,18 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             enc_owner(e, *owner);
             enc_range(e, *range);
         }
-        FileMsg::ReadResp { data } => {
+        FileMsg::ReadResp {
+            data,
+            committed_len,
+            vers,
+        } => {
             e.u8(4);
             e.bytes(data);
+            e.u64(*committed_len);
+            e.u32(vers.len() as u32);
+            for v in vers {
+                e.u64(*v);
+            }
         }
         FileMsg::WriteReq {
             fid,
@@ -209,6 +218,15 @@ fn enc_file(e: &mut Enc, m: &FileMsg) {
             enc_fid(e, *fid);
             enc_owner(e, *owner);
         }
+        FileMsg::PrefetchResp { pages } => {
+            e.u8(10);
+            e.u32(pages.len() as u32);
+            for (p, v, data) in pages {
+                e.u32(p.0);
+                e.u64(*v);
+                e.bytes(data);
+            }
+        }
     }
 }
 
@@ -233,9 +251,22 @@ fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
             owner: dec_owner(d)?,
             range: dec_range(d)?,
         },
-        4 => FileMsg::ReadResp {
-            data: d.bytes()?.to_vec(),
-        },
+        4 => {
+            // The payload is copied out of the frame here because this is
+            // the deserialization boundary — the frame buffer is transient.
+            let data = d.bytes()?.to_vec();
+            let committed_len = d.u64()?;
+            let n = d.u32()?;
+            let mut vers = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                vers.push(d.u64()?);
+            }
+            FileMsg::ReadResp {
+                data,
+                committed_len,
+                vers,
+            }
+        }
         5 => FileMsg::WriteReq {
             fid: dec_fid(d)?,
             pid: Pid(d.u64()?),
@@ -264,6 +295,16 @@ fn dec_file(d: &mut Dec<'_>) -> Option<FileMsg> {
             fid: dec_fid(d)?,
             owner: dec_owner(d)?,
         },
+        10 => {
+            let n = d.u32()?;
+            let mut pages = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let p = PageNo(d.u32()?);
+                let v = d.u64()?;
+                pages.push((p, v, locus_types::PageData::from(d.bytes()?)));
+            }
+            FileMsg::PrefetchResp { pages }
+        }
         _ => return None,
     })
 }
@@ -660,7 +701,7 @@ fn dec_msg(d: &mut Dec<'_>, allow_batch: bool) -> Option<Msg> {
             let mut pages = Vec::with_capacity(n as usize);
             for _ in 0..n {
                 let p = PageNo(d.u32()?);
-                pages.push((p, d.bytes()?.to_vec()));
+                pages.push((p, locus_types::PageData::from(d.bytes()?)));
             }
             Msg::Replica(ReplicaMsg::Sync {
                 fid,
@@ -755,6 +796,8 @@ mod tests {
             }),
             Msg::File(FileMsg::ReadResp {
                 data: vec![1, 2, 3],
+                committed_len: 30,
+                vers: vec![4],
             }),
             Msg::File(FileMsg::WriteReq {
                 fid: fid(),
@@ -771,6 +814,12 @@ mod tests {
                 fid: fid(),
                 pages: vec![PageNo(0), PageNo(5)],
             }),
+            Msg::File(FileMsg::PrefetchResp {
+                pages: vec![
+                    (PageNo(0), 2, locus_types::PageData::new(vec![8u8; 12])),
+                    (PageNo(5), 0, locus_types::PageData::new(Vec::new())),
+                ],
+            }),
             Msg::File(FileMsg::CommitReq {
                 fid: fid(),
                 owner: Owner::Proc(pid()),
@@ -782,7 +831,7 @@ mod tests {
             Msg::Replica(ReplicaMsg::Sync {
                 fid: fid(),
                 new_len: 2048,
-                pages: vec![(PageNo(1), vec![7u8; 16])],
+                pages: vec![(PageNo(1), locus_types::PageData::new(vec![7u8; 16]))],
             }),
             Msg::Lock(LockMsg::Req {
                 fid: fid(),
@@ -964,6 +1013,8 @@ mod tests {
         let small = wire_len(&Msg::Ok);
         let big = wire_len(&Msg::File(FileMsg::ReadResp {
             data: vec![0; 1000],
+            committed_len: 1000,
+            vers: vec![1],
         }));
         assert!(big > small + 999);
     }

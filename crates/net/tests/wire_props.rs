@@ -10,8 +10,8 @@ use locus_net::{
     decode_msg, encode_msg, wire_len, FileMsg, LockMsg, Msg, ProcMsg, ReplicaMsg, TxnMsg,
 };
 use locus_types::{
-    ByteRange, Error, Fid, FileListEntry, LockClass, LockRequestMode, Owner, PageNo, Pid, SiteId,
-    TransId, TxnStatus, VolumeId,
+    ByteRange, Error, Fid, FileListEntry, LockClass, LockRequestMode, Owner, PageData, PageNo, Pid,
+    SiteId, TransId, TxnStatus, VolumeId,
 };
 
 fn site() -> impl Strategy<Value = SiteId> {
@@ -46,6 +46,10 @@ fn payload() -> impl Strategy<Value = Vec<u8>> {
     vec(any::<u8>(), 0..64)
 }
 
+fn page_data() -> impl Strategy<Value = PageData> {
+    payload().prop_map(PageData::new)
+}
+
 fn file_msg() -> BoxedStrategy<FileMsg> {
     prop_oneof![
         (fid(), pid(), any::<bool>()).prop_map(|(fid, pid, write)| FileMsg::OpenReq {
@@ -61,7 +65,13 @@ fn file_msg() -> BoxedStrategy<FileMsg> {
             owner,
             range
         }),
-        payload().prop_map(|data| FileMsg::ReadResp { data }),
+        (payload(), any::<u64>(), vec(any::<u64>(), 0..4)).prop_map(
+            |(data, committed_len, vers)| FileMsg::ReadResp {
+                data,
+                committed_len,
+                vers,
+            }
+        ),
         (fid(), pid(), owner(), range(), payload()).prop_map(|(fid, pid, owner, range, data)| {
             FileMsg::WriteReq {
                 fid,
@@ -75,6 +85,11 @@ fn file_msg() -> BoxedStrategy<FileMsg> {
             .prop_map(|(new_len, epoch)| FileMsg::WriteResp { new_len, epoch }),
         (fid(), vec((0u32..64).prop_map(PageNo), 0..5))
             .prop_map(|(fid, pages)| FileMsg::PrefetchReq { fid, pages }),
+        vec(
+            ((0u32..64).prop_map(PageNo), any::<u64>(), page_data()),
+            0..4
+        )
+        .prop_map(|pages| FileMsg::PrefetchResp { pages }),
         (fid(), owner()).prop_map(|(fid, owner)| FileMsg::CommitReq { fid, owner }),
         (fid(), owner()).prop_map(|(fid, owner)| FileMsg::AbortReq { fid, owner }),
     ]
@@ -184,7 +199,7 @@ fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
     (
         fid(),
         any::<u64>(),
-        vec(((0u32..64).prop_map(PageNo), payload()), 0..4),
+        vec(((0u32..64).prop_map(PageNo), page_data()), 0..4),
     )
         .prop_map(|(fid, new_len, pages)| ReplicaMsg::Sync {
             fid,

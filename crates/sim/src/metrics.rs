@@ -44,6 +44,18 @@ pub struct Counters {
     pub buffer_hits: AtomicU64,
     pub buffer_misses: AtomicU64,
     pub prefetches: AtomicU64,
+    /// Reads served entirely from the per-site coherent page cache (no
+    /// storage-site RPC issued).
+    pub page_cache_hits: AtomicU64,
+    /// Reads that went to the storage site because the page cache could not
+    /// cover them (cache disabled, uncovered, or partially cached).
+    pub page_cache_misses: AtomicU64,
+    /// Prefetch requests whose page fetch failed at the storage site (these
+    /// errors are deliberately non-fatal but must not vanish silently).
+    pub prefetch_errors: AtomicU64,
+    /// Reads/writes that bypassed message construction and dispatch because
+    /// the caller is the storage site.
+    pub local_fast_paths: AtomicU64,
 }
 
 macro_rules! bump {
@@ -83,6 +95,10 @@ bump!(
     buffer_hits,
     buffer_misses,
     prefetches,
+    page_cache_hits,
+    page_cache_misses,
+    prefetch_errors,
+    local_fast_paths,
 );
 
 impl Counters {
@@ -118,6 +134,10 @@ impl Counters {
             buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
             prefetches: self.prefetches.load(Ordering::Relaxed),
+            page_cache_hits: self.page_cache_hits.load(Ordering::Relaxed),
+            page_cache_misses: self.page_cache_misses.load(Ordering::Relaxed),
+            prefetch_errors: self.prefetch_errors.load(Ordering::Relaxed),
+            local_fast_paths: self.local_fast_paths.load(Ordering::Relaxed),
         }
     }
 }
@@ -150,6 +170,10 @@ pub struct CountersSnapshot {
     pub buffer_hits: u64,
     pub buffer_misses: u64,
     pub prefetches: u64,
+    pub page_cache_hits: u64,
+    pub page_cache_misses: u64,
+    pub prefetch_errors: u64,
+    pub local_fast_paths: u64,
 }
 
 impl CountersSnapshot {
@@ -180,6 +204,10 @@ impl CountersSnapshot {
             buffer_hits: self.buffer_hits - earlier.buffer_hits,
             buffer_misses: self.buffer_misses - earlier.buffer_misses,
             prefetches: self.prefetches - earlier.prefetches,
+            page_cache_hits: self.page_cache_hits - earlier.page_cache_hits,
+            page_cache_misses: self.page_cache_misses - earlier.page_cache_misses,
+            prefetch_errors: self.prefetch_errors - earlier.prefetch_errors,
+            local_fast_paths: self.local_fast_paths - earlier.local_fast_paths,
         }
     }
 

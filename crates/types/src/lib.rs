@@ -15,6 +15,7 @@ pub mod id;
 pub mod journal;
 pub mod lockmode;
 pub mod logrec;
+pub mod pagedata;
 pub mod proto;
 pub mod range;
 pub mod service;
@@ -24,6 +25,7 @@ pub use id::{Channel, Fid, InodeNo, PageNo, PhysPage, Pid, SiteId, TransId, Volu
 pub use journal::{JournalEntry, JournalKey, JournalOp};
 pub use lockmode::{AccessKind, LockClass, LockMode, LockRequestMode};
 pub use logrec::{CoordLogRecord, PrepareLogRecord};
+pub use pagedata::PageData;
 pub use proto::{FileListEntry, IntentionsEntry, IntentionsList, LockDescriptor, Owner, TxnStatus};
 pub use range::ByteRange;
 pub use service::Service;

@@ -35,6 +35,12 @@
 //! * `read_cold`       — the same workload with the reader's page cache
 //!   disabled: every read is a remote RPC. `read_hot` must beat this by at
 //!   least 2x at one thread; the gap is the cache's whole value.
+//! * `read_replica`    — the cold workload again (page cache still off),
+//!   but each bench file carries a synced replica at the worker site, so
+//!   non-transactional reads are served from the local copy instead of
+//!   crossing the wire. The gate is on traffic, not time: `read_replica`
+//!   must send at most half the remote messages per read that `read_cold`
+//!   does (Section 5.2: replicas offload the primary's read load).
 //!
 //! Note that wall-clock *scaling* across the thread ladder is only
 //! meaningful on a multi-core host; on a single-core container the distinct
@@ -58,7 +64,7 @@ use locus_harness::cluster::Cluster;
 use locus_harness::report::{decomposition_table, JsonObj, Report};
 use locus_harness::threaded::ThreadCtx;
 use locus_sim::SpanRegistrySnapshot;
-use locus_types::LockRequestMode;
+use locus_types::{LockRequestMode, SiteId};
 
 /// A single-thread throughput drop beyond this fraction vs the baseline
 /// fails the run (CI regression gate). The same fraction bounds the
@@ -155,6 +161,9 @@ struct PhaseSpec {
     page_cache: bool,
     /// Size of each per-thread `/bench{t}` file.
     file_len: usize,
+    /// Whether each bench file gets a synced replica at the worker site, so
+    /// non-transactional reads are served locally (`read_replica`).
+    replicate: bool,
     group_window: Option<Duration>,
 }
 
@@ -167,6 +176,7 @@ impl PhaseSpec {
             sites: 1,
             page_cache: true,
             file_len: 64,
+            replicate: false,
             group_window: None,
         }
     }
@@ -208,6 +218,18 @@ where
     let ch = setup.creat("/shared").unwrap();
     setup.write(ch, &vec![0u8; 8 * n]).unwrap();
     setup.close(ch).unwrap();
+    if spec.replicate {
+        // Replicate each bench file to the worker site and pull it synced
+        // before the clock starts; the primary stays at the storage site.
+        for t in 0..n {
+            let name = format!("/bench{t}");
+            cluster.add_replica(&name, spec.sites - 1, 0);
+            if let Ok(loc) = cluster.catalog.resolve(&name) {
+                cluster.catalog.mark_unsynced(loc.fid, SiteId(0));
+            }
+        }
+        assert_eq!(cluster.resync_replicas(), n);
+    }
 
     // Two barriers fence the timed region: every thread finishes prep
     // before the clock starts and the message/cache counters are
@@ -522,6 +544,37 @@ fn main() -> ExitCode {
                 })
             },
         ));
+        // Same cold cycle, but the file has a synced replica at the worker
+        // site: a read-only, non-transactional open serves every read from
+        // the local copy. No lock — the replica fast path is exactly the
+        // unsynchronized read path of Section 5.2. The warm-up pass keeps
+        // the shape identical to the cold phase (it is all local anyway).
+        push(run_phase(
+            PhaseSpec {
+                sites: 2,
+                page_cache: false,
+                file_len: 4096,
+                replicate: true,
+                ..PhaseSpec::local("read_replica", n, read_ops)
+            },
+            |t, ctx| {
+                let ch = ctx.open(&format!("/bench{t}"), false).unwrap();
+                ctx.seek(ch, 0).unwrap();
+                for _ in 0..64 {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                }
+                ctx.seek(ch, 0).unwrap();
+                let mut pos = 0u64;
+                Box::new(move || {
+                    assert_eq!(ctx.read(ch, 64).unwrap().len(), 64);
+                    pos += 64;
+                    if pos == 4096 {
+                        pos = 0;
+                        ctx.seek(ch, 0).unwrap();
+                    }
+                })
+            },
+        ));
     }
 
     println!(
@@ -548,6 +601,7 @@ fn main() -> ExitCode {
         "commit_group",
         "read_hot",
         "read_cold",
+        "read_replica",
     ] {
         let at = |n: usize| {
             samples
@@ -583,6 +637,24 @@ fn main() -> ExitCode {
             gate_failures.push(format!(
                 "read_hot sent {:.3} remote messages per op; cached re-reads must stay local",
                 hot.remote_msgs_per_op
+            ));
+        }
+    }
+    // The replica's acceptance gate: with a synced local copy, uncached
+    // reads must send at most half the remote messages per read that the
+    // all-primary cold phase does (in practice they send none).
+    if let (Some(rep), Some(cold)) = (one_thread("read_replica"), one_thread("read_cold")) {
+        println!(
+            "read_replica vs read_cold: {:.3} vs {:.3} msgs/op at 1 thread ({:.2}x ops/s)",
+            rep.remote_msgs_per_op,
+            cold.remote_msgs_per_op,
+            rep.ops_per_sec / cold.ops_per_sec
+        );
+        if rep.remote_msgs_per_op * 2.0 > cold.remote_msgs_per_op {
+            gate_failures.push(format!(
+                "read_replica sent {:.3} remote messages per op; a synced local \
+                 replica must at least halve read_cold's {:.3}",
+                rep.remote_msgs_per_op, cold.remote_msgs_per_op
             ));
         }
     }

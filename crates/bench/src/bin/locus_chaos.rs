@@ -6,6 +6,7 @@
 //! locus-chaos --seeds-from-entropy --duration 300s   # nightly sweep
 //! locus-chaos --schedule sched.txt --seed 7          # replay a schedule
 //! locus-chaos --seeds 1..16 --check-determinism      # trace equality
+//! locus-chaos --seeds 1..8 --replicas 2              # replicated shard
 //! locus-chaos ... --artifacts out/     # write failing repros to out/
 //! ```
 //!
@@ -29,13 +30,15 @@ struct Args {
     check_determinism: bool,
     artifacts: Option<PathBuf>,
     trace: bool,
+    replicas: usize,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("locus-chaos: {err}");
     eprintln!(
         "usage: locus-chaos [--seed N | --seeds A..B | --seeds-from-entropy] \
-         [--duration SECS] [--schedule FILE] [--check-determinism] [--artifacts DIR]"
+         [--duration SECS] [--schedule FILE] [--check-determinism] [--artifacts DIR] \
+         [--replicas N]"
     );
     std::process::exit(2);
 }
@@ -54,6 +57,7 @@ fn parse_args() -> Args {
         check_determinism: false,
         artifacts: None,
         trace: false,
+        replicas: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,6 +91,10 @@ fn parse_args() -> Args {
             "--check-determinism" => args.check_determinism = true,
             "--artifacts" => args.artifacts = Some(PathBuf::from(value("--artifacts"))),
             "--trace" => args.trace = true,
+            "--replicas" => {
+                let v = value("--replicas");
+                args.replicas = v.parse().unwrap_or_else(|_| usage("bad --replicas"));
+            }
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -105,8 +113,10 @@ fn run_one(
     check_determinism: bool,
     artifacts: Option<&PathBuf>,
     trace: bool,
+    replicas: usize,
 ) -> bool {
-    let cfg = ChaosConfig::with_seed(seed);
+    let mut cfg = ChaosConfig::with_seed(seed);
+    cfg.replicas = replicas;
     let report = match explicit {
         Some(s) => run_schedule(&cfg, s),
         None => run_seed(&cfg),
@@ -182,6 +192,7 @@ fn main() -> ExitCode {
             args.check_determinism,
             args.artifacts.as_ref(),
             args.trace,
+            args.replicas,
         ) {
             failures += 1;
         }
@@ -194,6 +205,7 @@ fn main() -> ExitCode {
                 args.check_determinism,
                 args.artifacts.as_ref(),
                 args.trace,
+                args.replicas,
             ) {
                 failures += 1;
             }
@@ -216,6 +228,7 @@ fn main() -> ExitCode {
                     args.check_determinism,
                     args.artifacts.as_ref(),
                     args.trace,
+                    args.replicas,
                 ) {
                     failures += 1;
                 }

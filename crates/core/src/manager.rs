@@ -258,6 +258,19 @@ impl TxnManager {
         }
 
         // Step 4: the commit mark — THE commit point (Figure 5 step 4).
+        // Raise the commit fence on every replicated file first: between the
+        // commit mark and the end of phase two the new bytes exist only in
+        // prepare logs at the primaries, so a failover in that window would
+        // promote a replica past an acked commit. The fence blocks promotion
+        // until phase two installs and pushes (no-op for single-copy files).
+        for f in &files {
+            self.kernel.catalog.fence_add(f.fid, tid);
+        }
+        // On failure the fence deliberately stays up: a torn flush may have
+        // landed the durable `Committed` frame even as the call errored, and
+        // a failover in that window would promote past the acked commit.
+        // Recovery resolves the mark either way and phase two's completion
+        // drops the fence.
         vol.coord_log_set_status(tid, TxnStatus::Committed, acct)?;
         if let Some(c) = self.coordinating.lock().get_mut(&tid) {
             c.status = TxnStatus::Committed;
@@ -424,6 +437,10 @@ impl TxnManager {
                 if let Ok(home) = self.kernel.home() {
                     home.coord_log_delete(w.tid, acct);
                 }
+                // Phase two has installed (and pushed) everywhere — the
+                // commit no longer pins the primaries, so failover may
+                // proceed. Harmless for aborts (never fenced).
+                self.kernel.catalog.fence_remove(w.tid);
                 self.coordinating.lock().remove(&w.tid);
                 if w.commit {
                     self.kernel.events.push(Event::Committed { tid: w.tid });
@@ -559,6 +576,15 @@ impl TxnManager {
         if epoch != self.kernel.boot_epoch() {
             return false;
         }
+        // A deposed primary must vote no: the transaction's writes were
+        // buffered against a copy that stopped being the file's primary
+        // image when a failover promoted someone else mid-transaction.
+        // Committing them here would fork the replica history.
+        for fid in files {
+            if self.kernel.require_primary(*fid).is_err() {
+                return false;
+            }
+        }
         let owner = Owner::Trans(tid);
         // Outstanding lock leases must come home before the lock lists are
         // snapshotted into the prepare logs (Section 5.2 + 4.2) — and before
@@ -637,9 +663,13 @@ impl TxnManager {
     /// transaction's retained locks, purge the prepare logs.
     fn participant_commit(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
         let owner = Owner::Trans(tid);
+        // Replica pushes for every file are staged here and flushed below as
+        // one batched round trip per replica site, instead of one RPC per
+        // (file, replica, commit).
+        let mut staged: BTreeMap<SiteId, Vec<(Fid, Msg)>> = BTreeMap::new();
         for fid in files {
             let vol = self.kernel.volume(fid.volume)?;
-            let il = match vol.commit_prepared(*fid, owner, acct) {
+            let mut il = match vol.commit_prepared(*fid, owner, acct) {
                 Ok(il) => il,
                 // The disk died mid-install. The commit did NOT complete
                 // here, and the (currently unreadable) prepare log must
@@ -662,14 +692,16 @@ impl TxnManager {
             if il.is_empty() {
                 // The volatile prepared list may have been lost to a crash
                 // even though the volume object survived; fall back to the
-                // logged intentions.
+                // logged intentions — which are also what the replicas must
+                // receive (pushing the empty list would silently skip them).
                 if let Some(rec) = vol.prepare_log_get(tid, *fid, acct) {
                     if !rec.intentions.is_empty() {
                         vol.install_intentions(&rec.intentions, None, acct)?;
+                        il = rec.intentions;
                     }
                 }
             }
-            let _ = self.kernel.sync_replicas(*fid, &il, acct);
+            let _ = self.kernel.stage_replica_sync(*fid, &il, &mut staged, acct);
             // The purge is a lazy truncation: it need not hit stable storage
             // before the ack. If it is lost, recovery resurfaces a stale
             // prepare record, finds the intentions already installed
@@ -678,6 +710,7 @@ impl TxnManager {
             // dead disk (journal unreachable) blocks the ack.
             vol.prepare_log_delete(tid, *fid, acct)?;
         }
+        self.kernel.flush_replica_sync(staged, acct);
         let granted = self.kernel.locks.release_owner(owner, acct);
         self.kernel.push_grants(granted, acct);
         Ok(())
@@ -951,6 +984,10 @@ impl TxnManager {
                 Some(TxnStatus::Committed) => {
                     vol.install_intentions(&rec.intentions, None, acct)
                         .unwrap_or(());
+                    // The replicas missed the phase-two push while this site
+                    // was down; forward the recovered install (best effort —
+                    // an unreachable replica drops to unsynced and pulls).
+                    let _ = self.kernel.sync_replicas(fid, &rec.intentions, acct);
                     let _ = vol.prepare_log_delete(rec.tid, fid, acct);
                     report.participant_committed += 1;
                 }

@@ -22,7 +22,7 @@ use locus_disk::{IoKind, SimDisk};
 use locus_sim::{Account, CostModel, Counters, Event, EventLog, SpanPhase, VirtSpan};
 use locus_types::{
     ByteRange, CoordLogRecord, Error, Fid, InodeNo, IntentionsEntry, IntentionsList, Owner,
-    PageData, PageNo, PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
+    PageData, PageNo, PhysPage, PrepareLogRecord, Result, SiteId, TransId, TxnStatus, VolumeId,
 };
 use locus_wal::Journal;
 
@@ -51,6 +51,10 @@ struct VolState {
     incore: HashMap<InodeNo, Inode>,
     files: HashMap<InodeNo, FileState>,
 }
+
+/// One committed page image served by a catch-up pull: the page, its
+/// install counter, and its bytes.
+pub type PulledPage = (PageNo, u64, PageData);
 
 /// One mounted volume at a storage site.
 pub struct Volume {
@@ -744,14 +748,20 @@ impl Volume {
         )))
     }
 
-    /// Installs a committed image pushed from the primary update site
-    /// (replica refresh, Section 5.2). Writes each page to a fresh block and
-    /// atomically installs the inode, exactly like a local commit.
+    /// Installs committed images pushed (or pulled) from the primary update
+    /// site (replica refresh, Section 5.2). Each image arrives with the
+    /// primary's per-page install counter; the replica *adopts* those
+    /// counters verbatim — rather than bumping its own — so version
+    /// comparisons stay meaningful across sites, and it skips any page whose
+    /// local counter is already at or past the incoming one (a duplicated or
+    /// reordered push must not reinstall older bytes). Writes each fresh
+    /// page to a newly allocated block and atomically overwrites the inode,
+    /// exactly like a local commit.
     pub fn replica_install(
         &self,
         fid: Fid,
         new_len: u64,
-        pages: &[(PageNo, PageData)],
+        pages: &[(PageNo, u64, PageData)],
         acct: &mut Account,
     ) -> Result<()> {
         let ino = self.check_fid(fid)?;
@@ -765,23 +775,140 @@ impl Volume {
         // Same rule as `commit_file`: buffered truncations must be durable
         // before an install that is invisible to the journal frees blocks.
         self.log_barrier(acct)?;
-        let mut il = IntentionsList::new(fid, new_len);
-        for (page, data) in pages {
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let inode = st.incore.get_mut(&ino).expect("loaded above");
+        let mut fresh: Vec<(PageNo, u64, PhysPage)> = Vec::new();
+        for (page, vers, data) in pages {
+            if *vers <= inode.page_version(*page) {
+                continue;
+            }
             let blk = self.disk.alloc(acct)?;
             self.disk.write(blk, data, acct)?;
-            il.entries.push(IntentionsEntry::whole(*page, blk));
+            fresh.push((*page, *vers, blk));
         }
-        self.install_intentions(&il, None, acct)
+        if fresh.is_empty() && new_len <= inode.len {
+            return Ok(());
+        }
+        let mut freed = Vec::new();
+        for (page, vers, blk) in &fresh {
+            let idx = page.0 as usize;
+            if inode.pages.len() <= idx {
+                inode.pages.resize(idx + 1, None);
+            }
+            if inode.vers.len() <= idx {
+                inode.vers.resize(idx + 1, 0);
+            }
+            if let Some(old) = inode.pages[idx] {
+                freed.push(old);
+            }
+            inode.pages[idx] = Some(*blk);
+            inode.vers[idx] = *vers;
+        }
+        inode.len = inode.len.max(new_len);
+        freed.extend(inode.trim_to(self.page_size()));
+        self.disk
+            .stable_put(&Self::inode_key(ino), inode.encode(), acct)?;
+        for p in freed {
+            self.disk.free(p);
+        }
+        self.events.push(Event::FileCommit { fid, tid: None });
+        let committed_len = st.incore[&ino].len;
+        if let Some(fstate) = st.files.get_mut(&ino) {
+            // Any buffered copies of the installed pages are stale.
+            for (page, _, _) in &fresh {
+                fstate.buffers.remove(page);
+            }
+            let writers_max = fstate.writer_ends.values().copied().max().unwrap_or(0);
+            fstate.uncommitted_len = writers_max.max(committed_len);
+        }
+        Ok(())
+    }
+
+    /// The per-page install counters of the committed inode, for building a
+    /// catch-up pull request. Empty when the file has no durable copy here
+    /// yet (the pull then fetches everything).
+    pub fn replica_versions(&self, fid: Fid, acct: &mut Account) -> Vec<u64> {
+        let Ok(ino) = self.check_fid(fid) else {
+            return Vec::new();
+        };
+        let mut st = self.state.lock();
+        if self.load_inode(&mut st, ino, acct).is_err() {
+            return Vec::new();
+        }
+        st.incore[&ino].vers.clone()
+    }
+
+    /// Serves a catch-up pull at the primary: committed images of every page
+    /// whose install counter differs from the puller's (`have`, covering
+    /// pages `start .. start + have.len()`), plus — when `tail` is set —
+    /// every committed page past that window. Reads the committed physical
+    /// blocks directly, so uncommitted writer buffers never leak into a
+    /// replica. Returns the committed length and the page triples.
+    pub fn pull_pages(
+        &self,
+        fid: Fid,
+        start: PageNo,
+        have: &[u64],
+        tail: bool,
+        acct: &mut Account,
+    ) -> Result<(u64, Vec<PulledPage>)> {
+        let ino = self.check_fid(fid)?;
+        let mut st = self.state.lock();
+        self.load_inode(&mut st, ino, acct)?;
+        let inode = &st.incore[&ino];
+        let committed_len = inode.len;
+        let count = inode.page_count(self.page_size()) as usize;
+        let from = start.0 as usize;
+        let mut wanted = Vec::new();
+        for (i, theirs) in have.iter().enumerate() {
+            let idx = from + i;
+            if idx >= count {
+                break;
+            }
+            let page = PageNo(idx as u32);
+            let ours = inode.page_version(page);
+            if ours != *theirs && ours > 0 {
+                wanted.push(page);
+            }
+        }
+        if tail {
+            for idx in (from + have.len()).max(from)..count {
+                let page = PageNo(idx as u32);
+                if inode.page_version(page) > 0 {
+                    wanted.push(page);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(wanted.len());
+        for page in wanted {
+            let Some(phys) = st.incore[&ino].page(page) else {
+                continue;
+            };
+            let mut bytes = self.disk.read(phys, acct)?;
+            let ps = self.page_size();
+            if bytes.len() < ps {
+                bytes.resize(ps, 0);
+            }
+            out.push((
+                page,
+                st.incore[&ino].page_version(page),
+                PageData::new(bytes),
+            ));
+        }
+        Ok((committed_len, out))
     }
 
     /// Committed content of the pages named by an intentions list, for
-    /// pushing to replicas after a commit. Reads via the buffer cache.
+    /// pushing to replicas after a commit. Reads via the buffer cache;
+    /// each image is tagged with its post-install version so the replica
+    /// adopts the primary's counters.
     pub fn committed_pages(
         &self,
         fid: Fid,
         pages: &[PageNo],
         acct: &mut Account,
-    ) -> Result<Vec<(PageNo, PageData)>> {
+    ) -> Result<Vec<(PageNo, u64, PageData)>> {
         let ino = self.check_fid(fid)?;
         let mut st = self.state.lock();
         self.load_inode(&mut st, ino, acct)?;
@@ -791,8 +918,9 @@ impl Volume {
             // The committed image is the buffer's base (uncommitted writers
             // may still be present on the page). One copy into a shared
             // buffer here; fanning out to N replicas clones the handle.
+            let vers = st.incore[&ino].page_version(*page);
             let buf = &st.files[&ino].buffers[page];
-            out.push((*page, PageData::new(buf.committed().to_vec())));
+            out.push((*page, vers, PageData::new(buf.committed().to_vec())));
         }
         Ok(out)
     }

@@ -71,6 +71,13 @@ pub struct ChaosConfig {
     /// turns the cluster into the uncached reference the equivalence tests
     /// compare against.
     pub page_cache: bool,
+    /// Extra replica copies per workload file (`0`, the default, leaves the
+    /// cluster unreplicated and every pinned trace untouched). With `r > 0`
+    /// each `/chaos<i>` is also stored at the next `r` sites round-robin;
+    /// crashes and partitions trigger epoch-guarded failover, reboots and
+    /// heals trigger catch-up resync, and the replica-convergence oracle
+    /// asserts byte-identical copies after quiesce.
+    pub replicas: usize,
     /// Cluster-fault draws in the schedule (crash/reboot and partition/heal
     /// pairs count as one draw).
     pub cluster_faults: usize,
@@ -92,6 +99,7 @@ impl ChaosConfig {
             writes_per_txn: 3,
             reads_per_txn: 0,
             page_cache: true,
+            replicas: 0,
             cluster_faults: 4,
             wire_faults: 6,
             step_horizon: 240,
@@ -430,6 +438,24 @@ fn run_inner(
         notes.push(format!("setup failed: {}", setup.failure_report()));
     }
     c.drain_async();
+    // Replicated volumes: attach `replicas` extra copies of each workload
+    // file round-robin, then pull the setup fill so every copy starts
+    // byte-identical (the attach happens after the fill committed, so the
+    // optimistic synced mark must be cleared before the pull).
+    if cfg.replicas > 0 {
+        let extra = cfg.replicas.min(cfg.sites.saturating_sub(1));
+        for i in 0..cfg.sites {
+            let name = format!("/chaos{i}");
+            for r in 1..=extra {
+                let rep = (i + r) % cfg.sites;
+                c.add_replica(&name, i, rep);
+                if let Ok(loc) = c.catalog.resolve(&name) {
+                    c.catalog.mark_unsynced(loc.fid, SiteId(rep as u32));
+                }
+            }
+        }
+        c.resync_replicas();
+    }
     c.events.clear();
     let setup_boundary: Vec<u64> = (0..cfg.sites)
         .map(|i| home_disk(i).mutation_count())
@@ -460,6 +486,20 @@ fn run_inner(
         if let Some(faults) = by_step.get(&step) {
             for fk in faults {
                 apply_cluster_fault(&c, d, fk);
+                if cfg.replicas > 0 {
+                    // Replica lifecycle rides the fault schedule: a lost
+                    // primary triggers epoch-guarded failover, a returning
+                    // site pulls what it missed.
+                    match fk {
+                        ClusterFaultKind::Crash { .. } | ClusterFaultKind::Partition { .. } => {
+                            c.try_failover();
+                        }
+                        ClusterFaultKind::Reboot { .. } | ClusterFaultKind::Heal => {
+                            c.resync_replicas();
+                        }
+                        ClusterFaultKind::Migrate { .. } => {}
+                    }
+                }
             }
             // The durability ledger is asserted at every reboot: each
             // acknowledged write of a commit-marked transaction must
@@ -564,6 +604,17 @@ fn run_inner(
         }
     }
 
+    // Replica epilogue: with the network healed and every site rebooted,
+    // one last failover pass settles files whose primary only came back as
+    // a replica, and one last pull brings every stale copy to the
+    // primary's committed image — the quiesce the convergence oracle
+    // judges.
+    if cfg.replicas > 0 {
+        c.try_failover();
+        c.resync_replicas();
+        c.drain_async();
+    }
+
     // Capture the trace before the oracle probes read files (probes emit
     // events of their own and must not pollute the determinism comparison).
     let events = c.events.all();
@@ -572,6 +623,9 @@ fn run_inner(
     oracle::check_lock_safety(&c, &mut violations);
     oracle::check_lock_leaks(&c, &events, &mut violations);
     oracle::check_two_phase_with_marks(&events, &journal_marks, &mut violations);
+    // No-op without replicated files; with them, every replica's durable
+    // copy must match the primary's committed image after the quiesce.
+    oracle::check_replica_convergence(&c, &mut violations);
     let mut fates = oracle::txn_fates(&events);
     for (t, pos) in &journal_marks {
         fates.commit_mark.entry(*t).or_insert(*pos);
@@ -1069,6 +1123,54 @@ mod tests {
     fn seeded_run_finds_no_violations() {
         let report = run_seed(&ChaosConfig::with_seed(2));
         assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn replicated_faultless_schedule_commits_and_converges() {
+        let mut cfg = ChaosConfig::with_seed(5);
+        cfg.replicas = 2;
+        let report = run_schedule(&cfg, &Schedule::default());
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.outcome, RunOutcome::Completed);
+        assert_eq!(report.committed, cfg.procs, "{report}");
+    }
+
+    #[test]
+    fn replicated_seeded_runs_find_no_violations() {
+        for seed in [2, 7] {
+            let mut cfg = ChaosConfig::with_seed(seed);
+            cfg.replicas = 2;
+            let report = run_seed(&cfg);
+            assert!(report.ok(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn replica_convergence_oracle_flags_divergence() {
+        // A replica attached *after* a commit holds no durable copy: the
+        // optimistic synced mark makes it divergent, and the oracle must
+        // say so (a vacuous oracle would bless every campaign run). The
+        // catch-up pull then repairs it.
+        let c = Cluster::new(2);
+        let mut a = c.account(0);
+        let p = c.site(0).kernel.spawn();
+        let ch = c.site(0).kernel.creat(p, "/conv", &mut a).unwrap();
+        c.site(0).kernel.write(p, ch, &[7u8; 64], &mut a).unwrap();
+        c.site(0).kernel.close(p, ch, &mut a).unwrap();
+        c.add_replica("/conv", 0, 1);
+        let mut v = Vec::new();
+        oracle::check_replica_convergence(&c, &mut v);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ReplicaDivergence { .. })),
+            "oracle missed an empty replica copy: {v:?}"
+        );
+        let fid = c.catalog.resolve("/conv").unwrap().fid;
+        c.catalog.mark_unsynced(fid, SiteId(1));
+        assert_eq!(c.resync_replicas(), 1);
+        let mut v = Vec::new();
+        oracle::check_replica_convergence(&c, &mut v);
+        assert!(v.is_empty(), "resynced replica still divergent: {v:?}");
     }
 
     #[test]

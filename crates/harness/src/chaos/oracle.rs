@@ -78,6 +78,13 @@ pub enum Violation {
         record: u64,
         detail: String,
     },
+    /// After the quiesce epilogue, a replica's durable copy of a replicated
+    /// file is not byte-identical to the primary's committed image.
+    ReplicaDivergence {
+        file: String,
+        site: usize,
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -126,6 +133,12 @@ impl fmt::Display for Violation {
                 f,
                 "STALE-READ slot {slot} file {file} record {record}: {detail}"
             ),
+            Violation::ReplicaDivergence { file, site, detail } => {
+                write!(
+                    f,
+                    "REPLICA-DIVERGENCE file {file} replica site {site}: {detail}"
+                )
+            }
         }
     }
 }
@@ -316,6 +329,82 @@ pub fn check_two_phase_with_marks(
     }
 }
 
+/// Replica-convergence oracle: after the quiesce epilogue (network healed,
+/// everything rebooted, failover and catch-up pulls run), every replica
+/// copy of every replicated file must be byte-identical to the current
+/// primary's durably committed image. Reads raw durable state only
+/// ([`locus_fs::Volume::durable_peek`]) — no events, no I/O charges.
+///
+/// A replica the epilogue could not resync (its pull failed) would diverge
+/// legitimately, but the epilogue runs with all faults lifted, so any
+/// difference that survives it is real: a stale or torn install, a push from
+/// a deposed primary, or a promotion that lost committed bytes.
+pub fn check_replica_convergence(c: &Cluster, out: &mut Vec<Violation>) {
+    // Generous fixed window; `durable_peek` clips to the durable inode
+    // length, so comparing peeked bytes compares lengths too.
+    let window = ByteRange::new(0, 1 << 24);
+    for name in c.catalog.names() {
+        let Ok(loc) = c.catalog.resolve(&name) else {
+            continue;
+        };
+        if !loc.replicated() {
+            continue;
+        }
+        let prim = loc.primary.0 as usize;
+        let primary_image = c
+            .site(prim)
+            .kernel
+            .volume(loc.fid.volume)
+            .ok()
+            .and_then(|v| v.durable_peek(loc.fid, window));
+        let Some(primary_image) = primary_image else {
+            // No durable inode at the primary (the file never committed
+            // anything); replicas must agree by being equally empty.
+            continue;
+        };
+        for site in loc.sites.iter().map(|s| s.0 as usize) {
+            if site == prim {
+                continue;
+            }
+            let replica_image = c
+                .site(site)
+                .kernel
+                .volume(loc.fid.volume)
+                .ok()
+                .and_then(|v| v.durable_peek(loc.fid, window))
+                .unwrap_or_default();
+            if replica_image == primary_image {
+                continue;
+            }
+            let detail = if replica_image.len() != primary_image.len() {
+                format!(
+                    "replica holds {} durable bytes, primary (site {prim}) {}",
+                    replica_image.len(),
+                    primary_image.len()
+                )
+            } else {
+                let off = replica_image
+                    .iter()
+                    .zip(primary_image.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                format!(
+                    "first divergent byte at offset {off}: replica {:#04x}, primary (site {prim}) {:#04x}",
+                    replica_image[off], primary_image[off]
+                )
+            };
+            let v = Violation::ReplicaDivergence {
+                file: name.clone(),
+                site,
+                detail,
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+}
+
 /// The durability oracle's window onto non-volatile storage. Implementations
 /// must read raw platter state — no volatile buffers, no recovery side
 /// effects, no simulated I/O charges — so a check can run mid-schedule
@@ -427,21 +516,25 @@ pub struct ClusterSubstrate<'a> {
 }
 
 impl ClusterSubstrate<'_> {
-    fn resolve(&self, file: usize) -> Option<Fid> {
+    /// Resolves a workload file to its fid and the site whose durable copy
+    /// is authoritative *now*: the catalog primary. For unreplicated files
+    /// that is the creating site `file`; after a failover it is wherever
+    /// the epoch-guarded promotion moved the primary.
+    fn resolve(&self, file: usize) -> Option<(Fid, usize)> {
         self.cluster
             .catalog
             .resolve(&format!("/chaos{file}"))
             .ok()
-            .map(|e| e.fid)
+            .map(|e| (e.fid, e.primary.0 as usize))
     }
 }
 
 impl DurableSubstrate for ClusterSubstrate<'_> {
     fn durable_record(&self, file: usize, record: u64) -> u64 {
-        let Some(fid) = self.resolve(file) else {
+        let Some((fid, prim)) = self.resolve(file) else {
             return 0;
         };
-        let Ok(vol) = self.cluster.site(file).kernel.volume(fid.volume) else {
+        let Ok(vol) = self.cluster.site(prim).kernel.volume(fid.volume) else {
             return 0;
         };
         let bytes = vol
@@ -455,32 +548,38 @@ impl DurableSubstrate for ClusterSubstrate<'_> {
     }
 
     fn recoverable_values(&self, file: usize, record: u64) -> Vec<u64> {
-        let Some(fid) = self.resolve(file) else {
+        let Some((fid, _)) = self.resolve(file) else {
             return Vec::new();
         };
-        let Ok(vol) = self.cluster.site(file).kernel.volume(fid.volume) else {
-            return Vec::new();
-        };
-        let disk = vol.disk();
-        let ps = disk.page_size() as u64;
-        let target_page = record * 8 / ps;
-        let off = (record * 8 % ps) as usize;
         let mut out = Vec::new();
-        // Durable journal frames only (LWW-replayed): exactly the prepare
-        // records a fresh reboot would reconstruct, with no volatile tail.
-        for rec in vol.durable_prepare_records() {
-            if rec.intentions.fid != fid || !self.committed.contains(&rec.tid) {
+        // Scan every site holding a copy of the volume: the prepare record
+        // lives wherever the file's primary was at prepare time, which a
+        // later failover may have moved away from.
+        for s in &self.cluster.sites {
+            let Ok(vol) = s.kernel.volume(fid.volume) else {
                 continue;
-            }
-            for ent in &rec.intentions.entries {
-                if u64::from(ent.page.0) != target_page {
+            };
+            let disk = vol.disk();
+            let ps = disk.page_size() as u64;
+            let target_page = record * 8 / ps;
+            let off = (record * 8 % ps) as usize;
+            // Durable journal frames only (LWW-replayed): exactly the
+            // prepare records a fresh reboot would reconstruct, with no
+            // volatile tail.
+            for rec in vol.durable_prepare_records() {
+                if rec.intentions.fid != fid || !self.committed.contains(&rec.tid) {
                     continue;
                 }
-                if let Some(blk) = disk.peek_block(ent.new_phys) {
-                    if blk.len() >= off + 8 {
-                        out.push(u64::from_le_bytes(
-                            blk[off..off + 8].try_into().expect("8-byte slice"),
-                        ));
+                for ent in &rec.intentions.entries {
+                    if u64::from(ent.page.0) != target_page {
+                        continue;
+                    }
+                    if let Some(blk) = disk.peek_block(ent.new_phys) {
+                        if blk.len() >= off + 8 {
+                            out.push(u64::from_le_bytes(
+                                blk[off..off + 8].try_into().expect("8-byte slice"),
+                            ));
+                        }
                     }
                 }
             }

@@ -175,6 +175,37 @@ impl Cluster {
             .expect("file registered before replication");
     }
 
+    /// Runs epoch-guarded failover on every live site, in ascending site
+    /// order (the deterministic successor rule prefers the lowest reachable
+    /// synced replica, so iterating ascending lets it win first). Returns
+    /// how many (file, epoch) promotions happened.
+    pub fn try_failover(&self) -> usize {
+        let mut n = 0;
+        for s in &self.sites {
+            if s.kernel.is_crashed() {
+                continue;
+            }
+            let mut acct = Account::new(s.id());
+            n += s.kernel.try_promotions(&mut acct).len();
+        }
+        n
+    }
+
+    /// Runs catch-up resync on every live site: stale replicas pull the
+    /// pages they missed from their primaries. Returns how many files
+    /// resynced across the cluster.
+    pub fn resync_replicas(&self) -> usize {
+        let mut n = 0;
+        for s in &self.sites {
+            if s.kernel.is_crashed() {
+                continue;
+            }
+            let mut acct = Account::new(s.id());
+            n += s.kernel.resync_replicas(&mut acct);
+        }
+        n
+    }
+
     /// A fresh account homed at site `i`.
     pub fn account(&self, i: usize) -> Account {
         Account::new(SiteId(i as u32))

@@ -7,8 +7,10 @@
 
 use proptest::prelude::*;
 
-use locus_harness::chaos::{run_schedule, run_seed, ChaosConfig, Schedule};
+use locus_harness::chaos::{oracle, run_schedule, run_seed, ChaosConfig, Schedule};
+use locus_harness::cluster::Cluster;
 use locus_sim::DetRng;
+use locus_types::SiteId;
 
 fn run_text(seed: u64, schedule: &str) -> locus_harness::chaos::ChaosReport {
     let cfg = ChaosConfig::with_seed(seed);
@@ -118,6 +120,195 @@ fn stale_read_oracle_passes_seed_corpus() {
         let report = run_seed(&cfg);
         assert!(report.ok(), "seed {seed} with read probes: {report}");
     }
+}
+
+/// The replica-divergence campaign (the read-at-replica / failover / resync
+/// subsystem's end-to-end gate): the standing seed corpus plus every
+/// archived violation seed, re-run with two replica copies per workload
+/// file. Crashes and partitions trigger epoch-guarded failover, reboots and
+/// heals trigger catch-up pulls, and the full oracle suite — including
+/// replica convergence — must stay quiet on every seed.
+#[test]
+fn replica_divergence_campaign_passes_seed_corpus() {
+    let archived = include_str!("../../../ci/known-bad-seeds.txt")
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse::<u64>().expect("seed parses"));
+    let corpus: Vec<u64> = [1, 2, 5, 7, 42, 43].into_iter().chain(archived).collect();
+    for seed in corpus {
+        let mut cfg = ChaosConfig::with_seed(seed);
+        cfg.replicas = 2;
+        let report = run_seed(&cfg);
+        assert!(report.ok(), "replicated seed {seed}: {report}");
+    }
+}
+
+/// Commits `data` to `name` through a non-transaction open/write/close at
+/// `site` (base Locus' atomic file update); the close drives the replica
+/// push.
+fn commit_at(c: &Cluster, site: usize, name: &str, data: &[u8]) -> locus_types::Result<()> {
+    let k = &c.site(site).kernel;
+    let mut a = c.account(site);
+    let p = k.spawn();
+    let res = (|| {
+        let ch = k.open(p, name, true, &mut a)?;
+        k.write(p, ch, data, &mut a)?;
+        k.close(p, ch, &mut a)
+    })();
+    let _ = k.exit(p, &mut a);
+    res
+}
+
+/// Reads `len` bytes of `name` through a non-transaction open at `site` —
+/// the path that may serve from a local synced replica copy.
+fn read_at(c: &Cluster, site: usize, name: &str, len: u64) -> locus_types::Result<Vec<u8>> {
+    let k = &c.site(site).kernel;
+    let mut a = c.account(site);
+    let p = k.spawn();
+    let res = (|| {
+        let ch = k.open(p, name, false, &mut a)?;
+        k.read(p, ch, len, &mut a)
+    })();
+    let _ = k.exit(p, &mut a);
+    res
+}
+
+/// A 2-replica cluster with `/rep` created at site 0, replicated to sites 1
+/// and 2, and an initial committed fill of `fill`.
+fn replicated_cluster(fill: u8) -> Cluster {
+    let c = Cluster::new(3);
+    let mut a = c.account(0);
+    let p = c.site(0).kernel.spawn();
+    let ch = c.site(0).kernel.creat(p, "/rep", &mut a).unwrap();
+    c.site(0).kernel.write(p, ch, &[fill; 64], &mut a).unwrap();
+    c.site(0).kernel.close(p, ch, &mut a).unwrap();
+    let _ = c.site(0).kernel.exit(p, &mut a);
+    c.add_replica("/rep", 0, 1);
+    c.add_replica("/rep", 0, 2);
+    // The attach happened after the fill committed: clear the optimistic
+    // synced marks and pull the real bytes.
+    let fid = c.catalog.resolve("/rep").unwrap().fid;
+    c.catalog.mark_unsynced(fid, SiteId(1));
+    c.catalog.mark_unsynced(fid, SiteId(2));
+    assert_eq!(c.resync_replicas(), 2);
+    c
+}
+
+/// The primary crashes mid-sync: a commit whose replica push never reached a
+/// partitioned replica, followed immediately by the primary's crash. The
+/// stale replica was dropped from the synced set by the failed push, so it
+/// must neither serve its old bytes locally nor be promoted — the file
+/// simply has no primary until the real one returns, and the heal epilogue
+/// reconverges every copy.
+#[test]
+fn primary_crash_mid_sync_leaves_no_stale_replica() {
+    let c = replicated_cluster(0xAA);
+    // Cut replica site 1 off, then commit: the push to it fails and marks it
+    // unsynced; replica 2 receives the push.
+    c.transport.partition(&[SiteId(0), SiteId(2)]);
+    commit_at(&c, 0, "/rep", &[0xBB; 64]).unwrap();
+    c.crash_site(0);
+    // Failover may promote replica 2 (it took the push and is synced); the
+    // stale replica 1 must never win, whatever the race.
+    c.try_failover();
+    let primary = c.catalog.resolve("/rep").unwrap().primary;
+    assert_ne!(primary, SiteId(1), "an unsynced replica must not promote");
+    // A read at the stale replica proxies toward the primary — which is
+    // down. It must error, not serve the old 0xAA bytes.
+    // (Refusing outright is the expected outcome with the primary dead.)
+    if let Ok(data) = read_at(&c, 1, "/rep", 64) {
+        assert_eq!(data, vec![0xBB; 64], "stale replica served old bytes");
+    }
+    // Replica 2 stayed synced and can serve the committed bytes locally.
+    assert_eq!(read_at(&c, 2, "/rep", 64).unwrap(), vec![0xBB; 64]);
+    // Heal + reboot + resync: every copy reconverges.
+    c.transport.heal();
+    c.reboot_site(0);
+    c.drain_async();
+    c.try_failover();
+    c.resync_replicas();
+    let mut v = Vec::new();
+    oracle::check_replica_convergence(&c, &mut v);
+    assert!(v.is_empty(), "replicas diverged after heal: {v:?}");
+}
+
+/// An old primary heals after a promotion happened behind its back: it must
+/// demote itself (refuse updates, stop pushing) and resync from the new
+/// primary rather than reinstate its stale image.
+#[test]
+fn old_primary_heals_after_promotion_and_demotes() {
+    let c = replicated_cluster(0x11);
+    c.crash_site(0);
+    assert_eq!(c.try_failover(), 1, "lowest synced replica must promote");
+    let loc = c.catalog.resolve("/rep").unwrap();
+    assert_eq!(loc.primary, SiteId(1));
+    assert_eq!(loc.epoch, 1);
+    // Commit through the new primary while the old one is dead.
+    commit_at(&c, 1, "/rep", &[0x22; 64]).unwrap();
+    // The old primary returns. It is not primary any more: its channels
+    // route updates to site 1, and its own stale copy gets repaired by the
+    // catch-up pull.
+    c.reboot_site(0);
+    c.drain_async();
+    c.resync_replicas();
+    let loc = c.catalog.resolve("/rep").unwrap();
+    assert_eq!(
+        loc.primary,
+        SiteId(1),
+        "healed old primary must stay demoted"
+    );
+    assert_eq!(read_at(&c, 0, "/rep", 64).unwrap(), vec![0x22; 64]);
+    // A further commit issued at the old primary's site routes to the new
+    // primary and replicates everywhere.
+    commit_at(&c, 0, "/rep", &[0x33; 64]).unwrap();
+    assert_eq!(c.catalog.resolve("/rep").unwrap().primary, SiteId(1));
+    let mut v = Vec::new();
+    oracle::check_replica_convergence(&c, &mut v);
+    assert!(v.is_empty(), "replicas diverged after demotion: {v:?}");
+    for site in 0..3 {
+        assert_eq!(read_at(&c, site, "/rep", 64).unwrap(), vec![0x33; 64]);
+    }
+}
+
+/// A replica reboots and receives a read before its catch-up pull ran: the
+/// read must proxy to the primary (the replica is not in the synced set) and
+/// return the current committed bytes, never the replica's stale durable
+/// copy.
+#[test]
+fn rebooted_replica_proxies_reads_until_caught_up() {
+    let c = replicated_cluster(0x44);
+    c.crash_site(2);
+    // Commit while replica 2 is dead: the push fails, site 2 drops out of
+    // the synced set, its durable copy still holds 0x44.
+    commit_at(&c, 0, "/rep", &[0x55; 64]).unwrap();
+    c.reboot_site(2);
+    // No resync yet — the read must proxy to the primary and see 0x55.
+    assert_eq!(
+        read_at(&c, 2, "/rep", 64).unwrap(),
+        vec![0x55; 64],
+        "rebooted replica served its stale pre-crash copy"
+    );
+    assert!(
+        !c.catalog
+            .resolve("/rep")
+            .unwrap()
+            .synced
+            .contains(&SiteId(2)),
+        "replica must not re-enter the synced set without a pull"
+    );
+    // After the pull it serves locally and all copies agree.
+    c.resync_replicas();
+    assert!(c
+        .catalog
+        .resolve("/rep")
+        .unwrap()
+        .synced
+        .contains(&SiteId(2)));
+    assert_eq!(read_at(&c, 2, "/rep", 64).unwrap(), vec![0x55; 64]);
+    let mut v = Vec::new();
+    oracle::check_replica_convergence(&c, &mut v);
+    assert!(v.is_empty(), "replicas diverged after catch-up: {v:?}");
 }
 
 /// One seed fully determines a run: replaying it must reproduce a

@@ -1,0 +1,223 @@
+//! Property tests for the replica subsystem: seeded random programs of
+//! commits, crashes, reboots, partitions, heals, and reads against a 3-site
+//! cluster with one fully replicated file.
+//!
+//! Two properties, straight from the failover design:
+//!
+//! 1. **No fabricated bytes**: a read served at *any* site — local replica
+//!    copy or proxied to the primary — returns either the setup fill or the
+//!    payload of some commit the program attempted. Torn installs, pushes
+//!    from deposed primaries, and resurrected pre-failover images would all
+//!    surface as values outside that set (every payload is a uniform 64-byte
+//!    run, so a mixed read is caught byte-by-byte).
+//! 2. **Epoch ordering is total**: promotions carry strictly increasing
+//!    epochs per file and no two promotions share an epoch — the catalog's
+//!    compare-and-swap must never let two sites believe they are primary in
+//!    the same epoch.
+
+use std::collections::BTreeSet;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use locus_harness::chaos::oracle;
+use locus_harness::cluster::Cluster;
+use locus_sim::Event;
+use locus_types::SiteId;
+
+const SITES: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+enum ProgOp {
+    /// Open-write-close at `site` (routes to the current primary).
+    Commit { site: usize },
+    /// Crash `site`, then give survivors a failover chance.
+    Crash { site: usize },
+    /// Reboot `site` if crashed, then run catch-up pulls.
+    Reboot { site: usize },
+    /// Isolate `solo` from the other two, then try failover.
+    Partition { solo: usize },
+    /// Heal the network, then run catch-up pulls.
+    Heal,
+    /// Non-transaction read at `site`; must observe legal bytes.
+    Read { site: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = ProgOp> {
+    prop_oneof![
+        3 => (0..SITES).prop_map(|site| ProgOp::Commit { site }),
+        1 => (0..SITES).prop_map(|site| ProgOp::Crash { site }),
+        2 => (0..SITES).prop_map(|site| ProgOp::Reboot { site }),
+        1 => (0..SITES).prop_map(|solo| ProgOp::Partition { solo }),
+        2 => Just(ProgOp::Heal),
+        3 => (0..SITES).prop_map(|site| ProgOp::Read { site }),
+    ]
+}
+
+/// The committed payload of program commit `k` (uniform 64-byte run; `k`
+/// starts at 1 so the zero fill stays distinguishable).
+fn payload(k: u8) -> Vec<u8> {
+    vec![k; 64]
+}
+
+fn check_read(data: &[u8], legal: &BTreeSet<u8>, site: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(data.len(), 64, "short read at site {}", site);
+    let first = data[0];
+    prop_assert!(
+        data.iter().all(|b| *b == first),
+        "torn read at site {}: {:?}",
+        site,
+        &data[..8]
+    );
+    prop_assert!(
+        legal.contains(&first),
+        "site {} read byte {:#04x}, which no commit produced",
+        site,
+        first
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn replicated_programs_serve_only_committed_bytes(
+        ops in vec(op_strategy(), 1..24),
+    ) {
+        let c = Cluster::new(SITES);
+        // Setup: one fully replicated file, zero-filled and pulled to every
+        // copy before the program starts.
+        {
+            let mut a = c.account(0);
+            let p = c.site(0).kernel.spawn();
+            let ch = c.site(0).kernel.creat(p, "/prop", &mut a).unwrap();
+            c.site(0).kernel.write(p, ch, &[0u8; 64], &mut a).unwrap();
+            c.site(0).kernel.close(p, ch, &mut a).unwrap();
+            let _ = c.site(0).kernel.exit(p, &mut a);
+        }
+        c.add_replica("/prop", 0, 1);
+        c.add_replica("/prop", 0, 2);
+        let fid = c.catalog.resolve("/prop").unwrap().fid;
+        c.catalog.mark_unsynced(fid, SiteId(1));
+        c.catalog.mark_unsynced(fid, SiteId(2));
+        prop_assert_eq!(c.resync_replicas(), 2);
+
+        // `legal` holds every byte value a read may observe: the zero fill
+        // plus the payload of every commit the program *attempted* (a failed
+        // close is ambiguous — the install may or may not have happened).
+        let mut legal: BTreeSet<u8> = BTreeSet::from([0]);
+        let mut next = 1u8;
+        for op in ops {
+            match op {
+                ProgOp::Commit { site } => {
+                    if c.site(site).kernel.is_crashed() {
+                        continue;
+                    }
+                    let k = &c.site(site).kernel;
+                    let mut a = c.account(site);
+                    let p = k.spawn();
+                    let val = next;
+                    next = next.wrapping_add(1).max(1);
+                    let _ = (|| {
+                        let ch = k.open(p, "/prop", true, &mut a)?;
+                        k.write(p, ch, &payload(val), &mut a)?;
+                        k.close(p, ch, &mut a)
+                    })();
+                    let _ = k.exit(p, &mut a);
+                    legal.insert(val);
+                }
+                ProgOp::Crash { site } => {
+                    if !c.site(site).kernel.is_crashed() {
+                        c.crash_site(site);
+                    }
+                    c.try_failover();
+                }
+                ProgOp::Reboot { site } => {
+                    if c.site(site).kernel.is_crashed() {
+                        c.reboot_site(site);
+                        c.drain_async();
+                    }
+                    c.resync_replicas();
+                }
+                ProgOp::Partition { solo } => {
+                    let rest: Vec<SiteId> = (0..SITES)
+                        .filter(|s| *s != solo)
+                        .map(|s| SiteId(s as u32))
+                        .collect();
+                    c.transport.partition(&rest);
+                    c.try_failover();
+                }
+                ProgOp::Heal => {
+                    c.transport.heal();
+                    c.resync_replicas();
+                }
+                ProgOp::Read { site } => {
+                    if c.site(site).kernel.is_crashed() {
+                        continue;
+                    }
+                    let k = &c.site(site).kernel;
+                    let mut a = c.account(site);
+                    let p = k.spawn();
+                    let res = (|| {
+                        let ch = k.open(p, "/prop", false, &mut a)?;
+                        k.read(p, ch, 64, &mut a)
+                    })();
+                    let _ = k.exit(p, &mut a);
+                    // A read may fail (primary dead or partitioned away);
+                    // only observed bytes are judged.
+                    if let Ok(data) = res {
+                        check_read(&data, &legal, site)?;
+                    }
+                }
+            }
+        }
+
+        // Quiesce: lift faults, reboot everything, settle failover and
+        // catch-up. Every copy must agree and serve legal bytes locally.
+        c.transport.heal();
+        for s in 0..SITES {
+            if c.site(s).kernel.is_crashed() {
+                c.reboot_site(s);
+            }
+        }
+        c.drain_async();
+        c.try_failover();
+        c.resync_replicas();
+        let mut v = Vec::new();
+        oracle::check_replica_convergence(&c, &mut v);
+        prop_assert!(v.is_empty(), "replicas diverged after quiesce: {v:?}");
+        for site in 0..SITES {
+            let k = &c.site(site).kernel;
+            let mut a = c.account(site);
+            let p = k.spawn();
+            let data = (|| {
+                let ch = k.open(p, "/prop", false, &mut a)?;
+                k.read(p, ch, 64, &mut a)
+            })();
+            let _ = k.exit(p, &mut a);
+            let data = data.expect("quiesced cluster must serve reads");
+            check_read(&data, &legal, site)?;
+        }
+
+        // Epoch ordering: promotions are totally ordered per file — no
+        // two promotions share an epoch, and epochs only grow.
+        let mut seen: BTreeSet<(locus_types::Fid, u64)> = BTreeSet::new();
+        let mut last: std::collections::BTreeMap<locus_types::Fid, u64> = Default::default();
+        for e in c.events.all() {
+            if let Event::ReplicaPromote { fid, site: _, epoch } = e {
+                prop_assert!(
+                    seen.insert((fid, epoch)),
+                    "two promotions of {fid} under epoch {epoch}"
+                );
+                if let Some(prev) = last.get(&fid) {
+                    prop_assert!(
+                        epoch > *prev,
+                        "promotion epoch went backwards: {prev} -> {epoch}"
+                    );
+                }
+                last.insert(fid, epoch);
+            }
+        }
+    }
+}

@@ -57,6 +57,7 @@ impl ServiceHandler for FileService {
                 range,
                 data,
             } => {
+                k.require_primary(fid)?;
                 k.locks.validate_access(fid, owner, pid, range, true)?;
                 let vol = k.volume(fid.volume)?;
                 let new_len = vol.write(fid, owner, range, &data, acct)?;
@@ -82,6 +83,7 @@ impl ServiceHandler for FileService {
                 Ok(Msg::File(FileMsg::PrefetchResp { pages: out }))
             }
             FileMsg::CommitReq { fid, owner } => {
+                k.require_primary(fid)?;
                 k.reclaim_lease(fid, acct)?;
                 acct.cpu_instrs(&k.model, k.model.commit_storage_instrs);
                 let vol = k.volume(fid.volume)?;
@@ -110,14 +112,8 @@ impl Kernel {
         self.check_up()?;
         acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4); // Name mapping is expensive.
         let fid = self.home()?.create_file(acct)?;
-        self.catalog.register(
-            name,
-            FileLoc {
-                fid,
-                sites: vec![self.site],
-                primary: self.site,
-            },
-        )?;
+        self.catalog
+            .register(name, FileLoc::single(fid, self.site))?;
         self.locks.ensure_file(fid, 0);
         self.open_fid(pid, fid, self.site, true, false, acct)
     }
@@ -146,8 +142,19 @@ impl Kernel {
         acct.cpu_instrs(&self.model, self.model.syscall_instrs * 4);
         let loc = self.catalog.resolve(name)?;
         // Reads may be served by a closer replica; updates are funneled to
-        // the primary update site (Section 5.2).
-        let serving = if !write && loc.sites.contains(&self.site) {
+        // the primary update site (Section 5.2). A replica copy qualifies
+        // only while it is synced, and only for non-transactional readers:
+        // transaction reads must lock — and locking lives at the primary —
+        // so serving them here would split the lock table from the data.
+        let in_txn = self
+            .procs
+            .with_mut(pid, |rec| rec.tid.is_some())
+            .unwrap_or(false);
+        let serving = if !write
+            && !in_txn
+            && loc.sites.contains(&self.site)
+            && loc.synced.contains(&self.site)
+        {
             self.site
         } else {
             loc.primary
@@ -191,6 +198,55 @@ impl Kernel {
         })
     }
 
+    /// Refuses an update-path request unless this site is the file's current
+    /// primary update site. A deposed primary (a failover happened while it
+    /// was down or partitioned away) must not accept writes or commits — it
+    /// demotes itself and resyncs instead.
+    pub fn require_primary(&self, fid: Fid) -> Result<()> {
+        if let Some(loc) = self.catalog.loc_of(fid) {
+            if loc.replicated() && loc.primary != self.site {
+                return Err(Error::InvalidArgument(format!(
+                    "site {} is not the primary update site of {fid} (epoch {})",
+                    self.site, loc.epoch
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Where update-path traffic (writes, commits, aborts, locks) for this
+    /// channel must go *now*. For replicated files that is the current
+    /// catalog primary — which may differ from the open-time storage site
+    /// after a failover; for everything else, the open-time storage site.
+    pub(crate) fn update_site(&self, of: &OpenFile) -> SiteId {
+        match self.catalog.loc_of(of.fid) {
+            Some(loc) if loc.replicated() => loc.primary,
+            _ => of.storage_site,
+        }
+    }
+
+    /// Where a read on this channel is served *now*. A locally-held replica
+    /// copy qualifies only for non-transactional reads and only while it is
+    /// synced; a stale replica falls back to the primary instead of serving
+    /// old bytes. Channels pointed at a deposed primary follow the catalog
+    /// to the current one.
+    fn read_site(&self, of: &OpenFile, in_txn: bool) -> SiteId {
+        let Some(loc) = self.catalog.loc_of(of.fid) else {
+            return of.storage_site;
+        };
+        if !loc.replicated() {
+            return of.storage_site;
+        }
+        if of.storage_site == self.site
+            && loc.primary != self.site
+            && !in_txn
+            && loc.synced.contains(&self.site)
+        {
+            return self.site;
+        }
+        loc.primary
+    }
+
     /// Closes a channel. Outside a transaction this commits the process's
     /// changes to the file (base Locus' atomic file update) and releases its
     /// locks — sent as one batched network message to the storage site;
@@ -207,7 +263,7 @@ impl Kernel {
                 owner: Owner::Proc(pid),
             });
             let unlock = Msg::Lock(LockMsg::UnlockAll { fid: of.fid, pid });
-            self.rpc_batch(of.storage_site, vec![commit, unlock], acct)?;
+            self.rpc_batch(self.update_site(&of), vec![commit, unlock], acct)?;
             self.cache
                 .remove(of.fid, Owner::Proc(pid), ByteRange::new(0, u64::MAX));
             self.pages.drop_fid_owner(of.fid, Owner::Proc(pid));
@@ -285,7 +341,8 @@ impl Kernel {
             self.ensure_locked(pid, ch, &of, range, false, acct)?;
         }
         let owner = self.owner_of(pid);
-        if of.storage_site == self.site {
+        let serve = self.read_site(&of, tid.is_some());
+        if serve == self.site {
             // Local fast path: exactly what the ReadReq handler would do,
             // minus the message.
             self.counters.local_fast_paths();
@@ -323,7 +380,7 @@ impl Kernel {
         // the stale response must not enter the cache.
         let gen = self.pages.write_gen(of.fid, owner);
         let resp = self.rpc(
-            of.storage_site,
+            serve,
             Msg::File(FileMsg::ReadReq {
                 fid: of.fid,
                 pid,
@@ -365,7 +422,7 @@ impl Kernel {
                     gen,
                 );
             }
-            self.readahead(pid, ch, &of, owner, &clipped, committed_len, acct);
+            self.readahead(pid, ch, &of, serve, owner, &clipped, committed_len, acct);
         }
         self.procs.with_mut(pid, |rec| {
             if let Some(of) = rec.open_files.get_mut(&ch) {
@@ -387,6 +444,7 @@ impl Kernel {
         pid: Pid,
         ch: Channel,
         of: &OpenFile,
+        serve: SiteId,
         owner: Owner,
         clipped: &ByteRange,
         committed_len: u64,
@@ -411,7 +469,7 @@ impl Kernel {
         }
         let gen = self.pages.write_gen(of.fid, owner);
         let resp = self.rpc(
-            of.storage_site,
+            serve,
             Msg::File(FileMsg::PrefetchReq {
                 fid: of.fid,
                 pages: wanted,
@@ -445,7 +503,8 @@ impl Kernel {
             self.ensure_locked(pid, ch, &of, range, true, acct)?;
         }
         let owner = self.owner_of(pid);
-        let write_epoch = if of.storage_site == self.site {
+        let serve = self.update_site(&of);
+        let write_epoch = if serve == self.site {
             // Local fast path: the WriteReq handler's work, sans message.
             self.counters.local_fast_paths();
             self.locks
@@ -456,7 +515,7 @@ impl Kernel {
             self.boot_epoch()
         } else {
             let resp = self.rpc(
-                of.storage_site,
+                serve,
                 Msg::File(FileMsg::WriteReq {
                     fid: of.fid,
                     pid,
@@ -484,9 +543,10 @@ impl Kernel {
             }
             if rec.tid.is_some() {
                 // Lazily added for files opened before BeginTrans but used
-                // within the transaction.
-                let serving = of.storage_site;
-                rec.note_file(of.fid, serving, write_epoch);
+                // within the transaction. The participant is wherever the
+                // write actually landed (the current primary), not the
+                // open-time storage site.
+                rec.note_file(of.fid, serve, write_epoch);
             }
         })?;
         Ok(())
@@ -502,7 +562,7 @@ impl Kernel {
             fid: of.fid,
             owner: Owner::Proc(pid),
         });
-        self.rpc(of.storage_site, msg, acct)?;
+        self.rpc(self.update_site(&of), msg, acct)?;
         // The abort reverted this process's uncommitted bytes at the storage
         // site; locally cached copies of them are now stale.
         self.pages.drop_fid_owner(of.fid, Owner::Proc(pid));
@@ -522,7 +582,7 @@ impl Kernel {
             fid: of.fid,
             owner: Owner::Proc(pid),
         });
-        self.rpc(of.storage_site, msg, acct)?;
+        self.rpc(self.update_site(&of), msg, acct)?;
         Ok(())
     }
 }

@@ -203,11 +203,18 @@ impl Kernel {
         };
         // Section 5.2 lock-control migration: if this site holds the lease
         // on the file's lock list, the request is processed locally.
-        let target = if self.leased.read().contains(&of.fid) {
-            self.site
-        } else {
-            of.storage_site
+        // Otherwise the lock list lives at the file's *current primary*
+        // update site — the lock cache stays primary-anchored, so locks
+        // follow a failover instead of piling up at a deposed primary or a
+        // read-serving replica.
+        let leased = self.leased.read().contains(&of.fid);
+        // The prepare participant is wherever the data lives; under a lease
+        // the locks are here but the file is still at its storage site.
+        let participant = match self.catalog.loc_of(of.fid) {
+            Some(loc) if loc.replicated() => loc.primary,
+            _ => of.storage_site,
         };
+        let target = if leased { self.site } else { participant };
         let resp = self.rpc(
             target,
             Msg::Lock(LockMsg::Req {
@@ -237,7 +244,7 @@ impl Kernel {
                 }
                 self.procs.with_mut(pid, |rec| {
                     if rec.tid.is_some() {
-                        rec.note_file(of.fid, of.storage_site, of.epoch);
+                        rec.note_file(of.fid, participant, of.epoch);
                     }
                     if append && mode != LockRequestMode::Unlock {
                         // Position the pointer at the locked area so the

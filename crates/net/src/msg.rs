@@ -172,17 +172,48 @@ pub enum TxnMsg {
     StatusAnswer { status: Option<TxnStatus> },
 }
 
-/// Primary update site → replica site: install the committed image of the
-/// file's changed pages (Section 5.2 replication; the primary-site strategy
-/// funnels updates through one site, which then refreshes the others).
+/// Primary update site ↔ replica site protocol (Section 5.2 replication; the
+/// primary-site strategy funnels updates through one site, which then
+/// refreshes the others). Every message carries the file's replication
+/// *epoch*: a counter bumped on each primary promotion, so pushes and pulls
+/// from a deposed primary (or to a site that missed a promotion) are refused
+/// instead of silently diverging the copies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ReplicaMsg {
+    /// Primary → replica: install the committed image of the file's changed
+    /// pages.
     Sync {
         fid: Fid,
         new_len: u64,
-        /// Committed page images; [`PageData`] so the primary builds each
-        /// image once and every replica push shares the same buffer.
-        pages: Vec<(PageNo, PageData)>,
+        /// Replication epoch the primary believes is current.
+        epoch: u64,
+        /// Committed `(page, install version, image)` triples; [`PageData`]
+        /// so the primary builds each image once and every replica push
+        /// shares the same buffer. The install version lets the replica
+        /// adopt the primary's per-page counters verbatim, keeping version
+        /// comparisons meaningful across sites.
+        pages: Vec<(PageNo, u64, PageData)>,
+    },
+    /// New primary → other replicas: `site` took over as primary update
+    /// site under `epoch`. Recipients drop cached pages of the file; a
+    /// recipient that already observed a later epoch refuses.
+    Promote { fid: Fid, site: SiteId, epoch: u64 },
+    /// Stale replica → primary: catch-up pull. `have` carries the replica's
+    /// install versions for pages `start .. start + have.len()`; `tail`
+    /// marks the final chunk, asking the primary to also send every
+    /// committed page past the enumerated range.
+    PullReq {
+        fid: Fid,
+        epoch: u64,
+        start: PageNo,
+        have: Vec<u64>,
+        tail: bool,
+    },
+    /// Primary → stale replica: the pages whose versions differed.
+    PullResp {
+        epoch: u64,
+        new_len: u64,
+        pages: Vec<(PageNo, u64, PageData)>,
     },
 }
 
@@ -289,7 +320,12 @@ impl Msg {
                 TxnMsg::StatusInquiry { .. } => "StatusInquiry",
                 TxnMsg::StatusAnswer { .. } => "StatusAnswer",
             },
-            Msg::Replica(ReplicaMsg::Sync { .. }) => "ReplicaSync",
+            Msg::Replica(m) => match m {
+                ReplicaMsg::Sync { .. } => "ReplicaSync",
+                ReplicaMsg::Promote { .. } => "ReplicaPromote",
+                ReplicaMsg::PullReq { .. } => "ReplicaPullReq",
+                ReplicaMsg::PullResp { .. } => "ReplicaPullResp",
+            },
             Msg::Batch(_) => "Batch",
             Msg::Ok => "Ok",
             Msg::Err(_) => "Err",
@@ -306,8 +342,9 @@ impl Msg {
                 pages.iter().map(|(_, _, d)| d.len()).sum()
             }
             Msg::Proc(ProcMsg::Migrate { blob, .. }) => blob.len(),
-            Msg::Replica(ReplicaMsg::Sync { pages, .. }) => {
-                pages.iter().map(|(_, d)| d.len()).sum()
+            Msg::Replica(ReplicaMsg::Sync { pages, .. })
+            | Msg::Replica(ReplicaMsg::PullResp { pages, .. }) => {
+                pages.iter().map(|(_, _, d)| d.len()).sum()
             }
             Msg::Batch(msgs) => {
                 return msgs.iter().map(|m| m.pages_carried(page_size)).sum();
@@ -329,6 +366,7 @@ impl Msg {
             ),
             Msg::Lock(m) => matches!(m, LockMsg::Resp { .. }),
             Msg::Txn(m) => matches!(m, TxnMsg::PrepareDone { .. } | TxnMsg::StatusAnswer { .. }),
+            Msg::Replica(m) => matches!(m, ReplicaMsg::PullResp { .. }),
             Msg::Batch(msgs) => msgs.iter().all(Msg::is_response),
             Msg::Ok | Msg::Err(_) => true,
             _ => false,
@@ -418,7 +456,8 @@ mod tests {
             Msg::Replica(ReplicaMsg::Sync {
                 fid: Fid::new(VolumeId(0), 1),
                 new_len: 1024,
-                pages: vec![(PageNo(0), PageData::new(vec![0; 1024]))],
+                epoch: 0,
+                pages: vec![(PageNo(0), 1, PageData::new(vec![0; 1024]))],
             }),
             Msg::Ok,
         ]);

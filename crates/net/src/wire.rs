@@ -577,6 +577,120 @@ fn dec_txn(d: &mut Dec<'_>) -> Option<TxnMsg> {
     })
 }
 
+fn enc_vers_pages(e: &mut Enc, pages: &[(PageNo, u64, locus_types::PageData)]) {
+    e.u32(pages.len() as u32);
+    for (p, v, data) in pages {
+        e.u32(p.0);
+        e.u64(*v);
+        e.bytes(data);
+    }
+}
+
+fn dec_vers_pages(d: &mut Dec<'_>) -> Option<Vec<(PageNo, u64, locus_types::PageData)>> {
+    let n = d.u32()?;
+    let mut pages = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let p = PageNo(d.u32()?);
+        let v = d.u64()?;
+        pages.push((p, v, locus_types::PageData::from(d.bytes()?)));
+    }
+    Some(pages)
+}
+
+fn enc_replica(e: &mut Enc, m: &ReplicaMsg) {
+    match m {
+        ReplicaMsg::Sync {
+            fid,
+            new_len,
+            epoch,
+            pages,
+        } => {
+            e.u8(0);
+            enc_fid(e, *fid);
+            e.u64(*new_len);
+            e.u64(*epoch);
+            enc_vers_pages(e, pages);
+        }
+        ReplicaMsg::Promote { fid, site, epoch } => {
+            e.u8(1);
+            enc_fid(e, *fid);
+            e.u32(site.0);
+            e.u64(*epoch);
+        }
+        ReplicaMsg::PullReq {
+            fid,
+            epoch,
+            start,
+            have,
+            tail,
+        } => {
+            e.u8(2);
+            enc_fid(e, *fid);
+            e.u64(*epoch);
+            e.u32(start.0);
+            e.u32(have.len() as u32);
+            for v in have {
+                e.u64(*v);
+            }
+            e.u8(u8::from(*tail));
+        }
+        ReplicaMsg::PullResp {
+            epoch,
+            new_len,
+            pages,
+        } => {
+            e.u8(3);
+            e.u64(*epoch);
+            e.u64(*new_len);
+            enc_vers_pages(e, pages);
+        }
+    }
+}
+
+fn dec_replica(d: &mut Dec<'_>) -> Option<ReplicaMsg> {
+    Some(match d.u8()? {
+        0 => ReplicaMsg::Sync {
+            fid: dec_fid(d)?,
+            new_len: d.u64()?,
+            epoch: d.u64()?,
+            pages: dec_vers_pages(d)?,
+        },
+        1 => ReplicaMsg::Promote {
+            fid: dec_fid(d)?,
+            site: SiteId(d.u32()?),
+            epoch: d.u64()?,
+        },
+        2 => {
+            let fid = dec_fid(d)?;
+            let epoch = d.u64()?;
+            let start = PageNo(d.u32()?);
+            let n = d.u32()?;
+            let mut have = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                have.push(d.u64()?);
+            }
+            let tail = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            ReplicaMsg::PullReq {
+                fid,
+                epoch,
+                start,
+                have,
+                tail,
+            }
+        }
+        3 => ReplicaMsg::PullResp {
+            epoch: d.u64()?,
+            new_len: d.u64()?,
+            pages: dec_vers_pages(d)?,
+        },
+        _ => return None,
+    })
+}
+
 fn enc_err(e: &mut Enc, err: &Error) {
     // Errors travel as a coarse class tag sufficient for the caller's
     // control flow; unclassified errors carry their display form.
@@ -655,20 +769,9 @@ fn enc_msg(e: &mut Enc, msg: &Msg) {
             e.u8(TAG_TXN);
             enc_txn(e, m);
         }
-        Msg::Replica(ReplicaMsg::Sync {
-            fid,
-            new_len,
-            pages,
-        }) => {
+        Msg::Replica(m) => {
             e.u8(TAG_REPLICA);
-            e.u8(0);
-            enc_fid(e, *fid);
-            e.u64(*new_len);
-            e.u32(pages.len() as u32);
-            for (p, data) in pages {
-                e.u32(p.0);
-                e.bytes(data);
-            }
+            enc_replica(e, m);
         }
         Msg::Batch(msgs) => {
             e.u8(TAG_BATCH);
@@ -691,24 +794,7 @@ fn dec_msg(d: &mut Dec<'_>, allow_batch: bool) -> Option<Msg> {
         TAG_LOCK => Msg::Lock(dec_lock(d)?),
         TAG_PROC => Msg::Proc(dec_proc(d)?),
         TAG_TXN => Msg::Txn(dec_txn(d)?),
-        TAG_REPLICA => {
-            if d.u8()? != 0 {
-                return None;
-            }
-            let fid = dec_fid(d)?;
-            let new_len = d.u64()?;
-            let n = d.u32()?;
-            let mut pages = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                let p = PageNo(d.u32()?);
-                pages.push((p, locus_types::PageData::from(d.bytes()?)));
-            }
-            Msg::Replica(ReplicaMsg::Sync {
-                fid,
-                new_len,
-                pages,
-            })
-        }
+        TAG_REPLICA => Msg::Replica(dec_replica(d)?),
         TAG_BATCH => {
             // Nested batches are a protocol violation: one level of grouping
             // is all the batching layer produces, and the depth bound keeps
@@ -831,7 +917,28 @@ mod tests {
             Msg::Replica(ReplicaMsg::Sync {
                 fid: fid(),
                 new_len: 2048,
-                pages: vec![(PageNo(1), locus_types::PageData::new(vec![7u8; 16]))],
+                epoch: 3,
+                pages: vec![(PageNo(1), 9, locus_types::PageData::new(vec![7u8; 16]))],
+            }),
+            Msg::Replica(ReplicaMsg::Promote {
+                fid: fid(),
+                site: SiteId(2),
+                epoch: 4,
+            }),
+            Msg::Replica(ReplicaMsg::PullReq {
+                fid: fid(),
+                epoch: 4,
+                start: PageNo(0),
+                have: vec![1, 0, 7],
+                tail: true,
+            }),
+            Msg::Replica(ReplicaMsg::PullResp {
+                epoch: 4,
+                new_len: 4096,
+                pages: vec![
+                    (PageNo(0), 2, locus_types::PageData::new(vec![1u8; 16])),
+                    (PageNo(2), 8, locus_types::PageData::new(vec![2u8; 16])),
+                ],
             }),
             Msg::Lock(LockMsg::Req {
                 fid: fid(),

@@ -195,18 +195,51 @@ fn txn_msg() -> BoxedStrategy<TxnMsg> {
     .boxed()
 }
 
-fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
-    (
-        fid(),
-        any::<u64>(),
-        vec(((0u32..64).prop_map(PageNo), page_data()), 0..4),
+fn vers_pages() -> impl Strategy<Value = Vec<(PageNo, u64, PageData)>> {
+    vec(
+        ((0u32..64).prop_map(PageNo), any::<u64>(), page_data()),
+        0..4,
     )
-        .prop_map(|(fid, new_len, pages)| ReplicaMsg::Sync {
+}
+
+fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
+    prop_oneof![
+        (fid(), any::<u64>(), any::<u64>(), vers_pages()).prop_map(
+            |(fid, new_len, epoch, pages)| ReplicaMsg::Sync {
+                fid,
+                new_len,
+                epoch,
+                pages,
+            }
+        ),
+        (fid(), site(), any::<u64>()).prop_map(|(fid, site, epoch)| ReplicaMsg::Promote {
             fid,
-            new_len,
-            pages,
-        })
-        .boxed()
+            site,
+            epoch
+        }),
+        (
+            fid(),
+            any::<u64>(),
+            (0u32..64).prop_map(PageNo),
+            vec(any::<u64>(), 0..8),
+            any::<bool>(),
+        )
+            .prop_map(|(fid, epoch, start, have, tail)| ReplicaMsg::PullReq {
+                fid,
+                epoch,
+                start,
+                have,
+                tail,
+            }),
+        (any::<u64>(), any::<u64>(), vers_pages()).prop_map(|(epoch, new_len, pages)| {
+            ReplicaMsg::PullResp {
+                epoch,
+                new_len,
+                pages,
+            }
+        }),
+    ]
+    .boxed()
 }
 
 /// Errors whose wire encoding is lossless (the catch-all class collapses to

@@ -126,6 +126,12 @@ pub enum Event {
     RecoveryRedo { tid: TransId },
     /// Recovery aborted an unfinished transaction.
     RecoveryAbort { tid: TransId },
+    /// A replica promoted itself to primary update site for a file under a
+    /// new replication epoch (the old primary crashed or partitioned away).
+    ReplicaPromote { fid: Fid, site: SiteId, epoch: u64 },
+    /// A stale replica finished a catch-up pull from the primary and is
+    /// synced again.
+    ReplicaResync { fid: Fid, site: SiteId },
 }
 
 impl fmt::Display for Event {

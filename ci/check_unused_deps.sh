@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Guard against declared-but-unused workspace dependencies.
+#
+# The deadlock crate sat in the harness's Cargo.toml for several PRs with no
+# `use locus_deadlock::` anywhere — dead weight in every build and a silent
+# lie about the dependency graph. This check fails CI when any crate in the
+# workspace declares a `locus-*` dependency whose `locus_*` path never
+# appears in that crate's sources (src/, tests/, benches/, examples/).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for manifest in crates/*/Cargo.toml; do
+    crate_dir=$(dirname "$manifest")
+    crate=$(basename "$crate_dir")
+    # Dependency names: `locus-foo.workspace = true` or `locus-foo = {...}`,
+    # in [dependencies] or [dev-dependencies].
+    deps=$(grep -oE '^locus-[a-z0-9-]+' "$manifest" | sort -u || true)
+    for dep in $deps; do
+        ident=${dep//-/_}
+        if ! grep -rqE "\b${ident}(::|\s*;|\s*\{|\s+as\b)" \
+            "$crate_dir/src" \
+            $( [ -d "$crate_dir/tests" ] && echo "$crate_dir/tests" ) \
+            $( [ -d "$crate_dir/benches" ] && echo "$crate_dir/benches" ) \
+            $( [ -d "$crate_dir/examples" ] && echo "$crate_dir/examples" ); then
+            echo "UNUSED: $crate declares $dep but never references $ident" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "error: unused workspace dependencies (remove them or use them)" >&2
+    exit 1
+fi
+echo "check_unused_deps: all declared locus-* dependencies are referenced"

@@ -19,9 +19,11 @@
 //!   temporally unique transaction identifiers.
 
 pub mod manager;
+pub mod protocol;
 pub mod site;
 
 pub use manager::{EndOutcome, TxnManager};
+pub use protocol::{CoordinatorSm, ParticipantSm};
 pub use site::Site;
 
 #[cfg(test)]

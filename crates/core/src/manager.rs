@@ -1,6 +1,22 @@
-//! The per-site transaction manager.
+//! The per-site transaction manager: the *driver* for the sans-IO protocol
+//! machines in [`crate::protocol`].
+//!
+//! Every protocol decision — when to vote no, when the commit point is
+//! reached, what phase two must do, how a journal scan resolves — is made
+//! by the pure [`CoordinatorSm`] and [`ParticipantSm`]. This module owns
+//! everything else: it observes the real substrate (journal, locks,
+//! volumes, transport, catalog fences), feeds those observations in as
+//! [`Input`]s, and interprets the returned [`Effect`]s back against the
+//! substrate. The driver also owns pure *scheduling*: the asynchronous
+//! phase-two queue, per-site message batching, and the parallel prepare
+//! fan-out, none of which change what the protocol decides — only when.
+//!
+//! The driver records `(input, effects)` transcripts on demand (see
+//! [`TxnManager::set_transcript_recording`]); the chaos harness replays
+//! them through fresh machines to prove the live run never mutated
+//! protocol state outside a machine transition.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -14,6 +30,12 @@ use locus_types::{
     TransId, TxnStatus,
 };
 
+pub use crate::protocol::{group_by_site, site_epochs};
+use crate::protocol::{
+    CoordinatorSm, Effect, Input, MachineTranscript, ParticipantSm, PrepareOutcome, ProtocolSm,
+    ProtocolTranscripts, TranscriptStep,
+};
+
 /// What an `EndTrans` call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EndOutcome {
@@ -23,14 +45,6 @@ pub enum EndOutcome {
     /// The transaction reached its commit point and phase one completed; the
     /// asynchronous second phase has been queued.
     Committed(TransId),
-}
-
-/// Coordinator-side bookkeeping for one transaction (volatile — the durable
-/// truth is the coordinator log on disk).
-#[derive(Debug, Clone)]
-struct CoordState {
-    files: Vec<FileListEntry>,
-    status: TxnStatus,
 }
 
 /// Queued phase-two work ("a kernel process at the coordinator site
@@ -43,20 +57,51 @@ pub struct Phase2Work {
     pub participants: Vec<(SiteId, Vec<Fid>)>,
 }
 
+/// A protocol machine plus its recorded transcript. Stepping and recording
+/// happen under one lock hold, so the transcript is exactly the sequence of
+/// transitions the live machine took.
+struct Recorded<M: ProtocolSm> {
+    sm: M,
+    /// The machine as constructed, before any input: the replay seed.
+    pristine: M,
+    log: Vec<TranscriptStep>,
+    record: bool,
+}
+
+impl<M: ProtocolSm> Recorded<M> {
+    fn new(sm: M) -> Self {
+        Recorded {
+            pristine: sm.clone(),
+            sm,
+            log: Vec::new(),
+            record: false,
+        }
+    }
+
+    fn step(&mut self, input: Input) -> Vec<Effect> {
+        let effects = self.sm.step(&input);
+        if self.record {
+            self.log.push(TranscriptStep {
+                input,
+                effects: effects.clone(),
+            });
+        }
+        effects
+    }
+}
+
 /// The transaction control plane of one site.
 pub struct TxnManager {
     pub kernel: Arc<Kernel>,
     next_seq: AtomicU64,
-    coordinating: Mutex<HashMap<TransId, CoordState>>,
+    /// The coordinator protocol machine (plus transcript).
+    coord: Mutex<Recorded<CoordinatorSm>>,
+    /// The participant protocol machine (plus transcript). Owns the
+    /// presumed-abort refusal set and the boot-epoch taint; both survive
+    /// crashes because the manager itself does (the simulated kernel
+    /// crashes underneath it).
+    part: Mutex<Recorded<ParticipantSm>>,
     async_work: Mutex<VecDeque<Phase2Work>>,
-    /// Transactions this site has rolled back as a participant (presumed
-    /// abort, Section 4.3). Once a transaction's state has been discarded
-    /// here — typically unilaterally, after a partition cut off its home
-    /// site — the site must vote no on any later prepare for it, even if the
-    /// transaction's processes re-established locks or dirty pages after the
-    /// partition healed: the discarded writes are unrecoverable, so letting
-    /// the commit proceed would silently lose them.
-    refused: Mutex<BTreeSet<TransId>>,
     /// When set, 2PC prepare messages to distinct participant sites are sent
     /// concurrently from scoped threads (enabled by the threaded driver; the
     /// deterministic simulation keeps the sequential order). The
@@ -67,18 +112,62 @@ pub struct TxnManager {
 
 impl TxnManager {
     pub fn new(kernel: Arc<Kernel>) -> Self {
+        let site = kernel.site;
+        let epoch = kernel.boot_epoch();
         TxnManager {
             kernel,
             next_seq: AtomicU64::new(1),
-            coordinating: Mutex::new(HashMap::new()),
+            coord: Mutex::new(Recorded::new(CoordinatorSm::new(site))),
+            part: Mutex::new(Recorded::new(ParticipantSm::new(site, epoch))),
             async_work: Mutex::new(VecDeque::new()),
-            refused: Mutex::new(BTreeSet::new()),
             parallel_fanout: AtomicBool::new(false),
         }
     }
 
     fn site(&self) -> SiteId {
         self.kernel.site
+    }
+
+    /// Steps the coordinator machine (recording the transition if enabled).
+    fn cstep(&self, input: Input) -> Vec<Effect> {
+        self.coord.lock().step(input)
+    }
+
+    /// Steps the participant machine (recording the transition if enabled).
+    fn pstep(&self, input: Input) -> Vec<Effect> {
+        self.part.lock().step(input)
+    }
+
+    // ----- Transcripts (conformance checking) --------------------------------
+
+    /// Enables or disables `(input, effects)` transcript recording on both
+    /// machines. Off by default: transcripts grow with the workload and
+    /// only the conformance oracle reads them.
+    pub fn set_transcript_recording(&self, on: bool) {
+        self.coord.lock().record = on;
+        self.part.lock().record = on;
+    }
+
+    /// Snapshots both machines' transcripts for replay.
+    pub fn transcripts(&self) -> ProtocolTranscripts {
+        let coord = self.coord.lock();
+        let part = self.part.lock();
+        ProtocolTranscripts {
+            coordinator: MachineTranscript {
+                initial: coord.pristine.clone(),
+                steps: coord.log.clone(),
+            },
+            participant: MachineTranscript {
+                initial: part.pristine.clone(),
+                steps: part.log.clone(),
+            },
+        }
+    }
+
+    /// Drops recorded transcripts (the pristine replay seeds are kept).
+    pub fn clear_transcripts(&self) {
+        self.coord.lock().log.clear();
+        self.part.lock().log.clear();
     }
 
     /// Sends a transaction control-plane message. Remote messages go through
@@ -201,6 +290,9 @@ impl TxnManager {
 
     // ----- Two-phase commit (Section 4.2) ------------------------------------
 
+    /// Drives the coordinator machine from `CommitRequested` to a decision,
+    /// interpreting each effect against the substrate and feeding the
+    /// results back in until the machine has nothing more to ask.
     fn commit_transaction(&self, tid: TransId, top: Pid, acct: &mut Account) -> Result<()> {
         let rec = self
             .kernel
@@ -208,94 +300,132 @@ impl TxnManager {
             .get(top)
             .ok_or(Error::NoSuchProcess(top))?;
         let files: Vec<FileListEntry> = rec.file_list.iter().copied().collect();
+        let parallel = self.parallel_fanout.load(Ordering::Relaxed);
 
-        if files.is_empty() {
-            // A transaction that used no files commits trivially: there is
-            // nothing to log or prepare; just release its locks and state.
-            self.finish_process_state(tid, top);
-            self.kernel.counters.txns_committed();
-            self.kernel.events.push(Event::Committed { tid });
-            return Ok(());
-        }
-
-        // Step 1: the coordinator log, status = unknown (Figure 5 step 1).
-        let vol = self.kernel.home()?;
-        vol.coord_log_put(
-            &CoordLogRecord {
+        let mut result: Result<()> = Ok(());
+        let mut queue: VecDeque<Effect> = self
+            .cstep(Input::CommitRequested {
                 tid,
-                files: files.clone(),
-                status: TxnStatus::Unknown,
-            },
-            acct,
-        )?;
-        self.coordinating.lock().insert(
-            tid,
-            CoordState {
-                files: files.clone(),
-                status: TxnStatus::Unknown,
-            },
-        );
-
-        // Steps 2–3: prepare messages to every participant (storage) site.
-        // Each site receives exactly one message covering all of the
-        // transaction's files stored there; with `parallel_fanout` the
-        // distinct sites are contacted concurrently.
-        let participants = group_by_site(&files);
-        let epochs = site_epochs(&files);
-        let all_ok = self.send_prepares(tid, &participants, &epochs, acct);
-
-        if !all_ok {
-            // Failure before the commit point is an abort (Section 4.3).
-            vol.coord_log_set_status(tid, TxnStatus::Aborted, acct)?;
-            if let Some(c) = self.coordinating.lock().get_mut(&tid) {
-                c.status = TxnStatus::Aborted;
+                files,
+                parallel,
+            })
+            .into();
+        while let Some(eff) = queue.pop_front() {
+            match eff {
+                Effect::LogStart { tid, files } => {
+                    // Step 1: the coordinator log, status = unknown
+                    // (Figure 5 step 1).
+                    let res = self.kernel.home().and_then(|vol| {
+                        vol.coord_log_put(
+                            &CoordLogRecord {
+                                tid,
+                                files,
+                                status: TxnStatus::Unknown,
+                            },
+                            acct,
+                        )
+                    });
+                    let ok = res.is_ok();
+                    if let Err(e) = res {
+                        result = Err(e);
+                    }
+                    queue.extend(self.cstep(Input::StartLogged { tid, ok }));
+                }
+                Effect::SendPrepare {
+                    tid,
+                    site,
+                    files,
+                    epoch,
+                } => {
+                    // Steps 2–3: prepare messages. The machine emits one
+                    // effect at a time in sequential mode and the whole
+                    // fan-out at once in parallel mode; a run of consecutive
+                    // SendPrepares is therefore exactly one fan-out wave.
+                    let mut wave = vec![(site, files, epoch)];
+                    while let Some(Effect::SendPrepare { .. }) = queue.front() {
+                        let Some(Effect::SendPrepare {
+                            site, files, epoch, ..
+                        }) = queue.pop_front()
+                        else {
+                            unreachable!()
+                        };
+                        wave.push((site, files, epoch));
+                    }
+                    for (site, ok) in self.send_prepare_wave(tid, wave, acct) {
+                        queue.extend(self.cstep(Input::Vote { tid, site, ok }));
+                    }
+                }
+                Effect::RaiseFences { tid, files } => {
+                    // Raise the commit fence on every replicated file before
+                    // the mark: between the commit mark and the end of phase
+                    // two the new bytes exist only in prepare logs at the
+                    // primaries, so a failover in that window would promote
+                    // a replica past an acked commit (no-op for single-copy
+                    // files).
+                    for fid in files {
+                        self.kernel.catalog.fence_add(fid, tid);
+                    }
+                }
+                Effect::LogStatus { tid, status, .. } => {
+                    // Step 4 (commit): the durable mark — THE commit point
+                    // (Figure 5 step 4). On failure the fence deliberately
+                    // stays up: a torn flush may have landed the durable
+                    // `Committed` frame even as the call errored, and a
+                    // failover in that window would promote past the acked
+                    // commit. Recovery resolves the mark either way.
+                    let res = self
+                        .kernel
+                        .home()
+                        .and_then(|vol| vol.coord_log_set_status(tid, status, acct));
+                    let ok = res.is_ok();
+                    if let Err(e) = res {
+                        result = Err(e);
+                    }
+                    queue.extend(self.cstep(Input::StatusLogged { tid, ok }));
+                }
+                Effect::QueuePhase2 {
+                    tid,
+                    commit,
+                    participants,
+                } => {
+                    // Step 5 happens asynchronously (Figure 5's deferred
+                    // fifth write).
+                    self.queue_phase2(tid, commit, participants);
+                }
+                Effect::FinishLocal { tid, commit } => {
+                    self.finish_process_state(tid, top);
+                    if commit {
+                        self.kernel.counters.txns_committed();
+                    } else {
+                        self.kernel.counters.txns_aborted();
+                        self.kernel.events.push(Event::Aborted { tid });
+                        result = Err(Error::TxnAborted(tid));
+                    }
+                }
+                // Only the file-less trivial commit completes inline;
+                // real transactions announce at phase-two completion.
+                Effect::NoteCompleted { tid, commit } if commit => {
+                    self.kernel.events.push(Event::Committed { tid });
+                }
+                _ => {}
             }
-            self.queue_phase2(tid, false, participants);
-            self.finish_process_state(tid, top);
-            self.kernel.counters.txns_aborted();
-            self.kernel.events.push(Event::Aborted { tid });
-            return Err(Error::TxnAborted(tid));
         }
-
-        // Step 4: the commit mark — THE commit point (Figure 5 step 4).
-        // Raise the commit fence on every replicated file first: between the
-        // commit mark and the end of phase two the new bytes exist only in
-        // prepare logs at the primaries, so a failover in that window would
-        // promote a replica past an acked commit. The fence blocks promotion
-        // until phase two installs and pushes (no-op for single-copy files).
-        for f in &files {
-            self.kernel.catalog.fence_add(f.fid, tid);
-        }
-        // On failure the fence deliberately stays up: a torn flush may have
-        // landed the durable `Committed` frame even as the call errored, and
-        // a failover in that window would promote past the acked commit.
-        // Recovery resolves the mark either way and phase two's completion
-        // drops the fence.
-        vol.coord_log_set_status(tid, TxnStatus::Committed, acct)?;
-        if let Some(c) = self.coordinating.lock().get_mut(&tid) {
-            c.status = TxnStatus::Committed;
-        }
-
-        // Step 5 happens asynchronously (Figure 5's deferred fifth write).
-        self.queue_phase2(tid, true, participants);
-        self.finish_process_state(tid, top);
-        self.kernel.counters.txns_committed();
-        Ok(())
+        result
     }
 
-    /// Phase one: one `Prepare` per participant site. Sequential by default
-    /// (the deterministic simulation), with early exit on the first failure;
-    /// under `parallel_fanout` all sites are contacted from scoped threads
-    /// and the coordinator's account absorbs the slowest branch's latency
-    /// and the summed message/instruction counts.
-    fn send_prepares(
+    /// Phase one, one fan-out wave: one `Prepare` per participant site.
+    /// A single-element wave (the sequential protocol) runs inline on the
+    /// caller's account; a multi-element wave (parallel fan-out) contacts
+    /// every site from scoped threads and the coordinator's account absorbs
+    /// the slowest branch's latency and the summed message/instruction
+    /// counts. Returns each site's vote in wave order.
+    fn send_prepare_wave(
         &self,
         tid: TransId,
-        participants: &[(SiteId, Vec<Fid>)],
-        epochs: &BTreeMap<SiteId, u64>,
+        wave: Vec<(SiteId, Vec<Fid>, u64)>,
         acct: &mut Account,
-    ) -> bool {
-        let prepare_one = |site: SiteId, fids: &[Fid], a: &mut Account| -> bool {
+    ) -> Vec<(SiteId, bool)> {
+        let prepare_one = |site: SiteId, fids: &[Fid], epoch: u64, a: &mut Account| -> bool {
             let span = VirtSpan::begin(SpanPhase::Prepare, a);
             self.kernel
                 .events
@@ -310,7 +440,7 @@ impl TxnManager {
                     // this site; the participant refuses if it has rebooted
                     // since (its volatile buffers, possibly holding acked
                     // writes of this transaction, were lost).
-                    epoch: epochs.get(&site).copied().unwrap_or(0),
+                    epoch,
                 },
                 a,
             );
@@ -323,32 +453,25 @@ impl TxnManager {
             span.finish(&self.kernel.counters.spans, &self.kernel.model, a);
             ok
         };
-        if participants.len() > 1 && self.parallel_fanout.load(Ordering::Relaxed) {
-            let mut branches: Vec<Account> = participants
-                .iter()
-                .map(|_| Account::new(self.site()))
-                .collect();
-            let mut oks = vec![false; participants.len()];
+        if wave.len() > 1 {
+            let mut branches: Vec<Account> =
+                wave.iter().map(|_| Account::new(self.site())).collect();
+            let mut oks = vec![false; wave.len()];
             crossbeam::thread::scope(|s| {
-                for (((site, fids), branch), ok) in participants
-                    .iter()
-                    .zip(branches.iter_mut())
-                    .zip(oks.iter_mut())
+                for (((site, fids, epoch), branch), ok) in
+                    wave.iter().zip(branches.iter_mut()).zip(oks.iter_mut())
                 {
                     s.spawn(move || {
-                        *ok = prepare_one(*site, fids, branch);
+                        *ok = prepare_one(*site, fids, *epoch, branch);
                     });
                 }
             });
             acct.absorb_parallel(branches.iter());
-            oks.into_iter().all(|ok| ok)
+            wave.iter().map(|(site, _, _)| *site).zip(oks).collect()
         } else {
-            for (site, fids) in participants {
-                if !prepare_one(*site, fids, acct) {
-                    return false;
-                }
-            }
-            true
+            wave.into_iter()
+                .map(|(site, fids, epoch)| (site, prepare_one(site, &fids, epoch, acct)))
+                .collect()
         }
     }
 
@@ -392,7 +515,8 @@ impl TxnManager {
         let span = VirtSpan::begin(SpanPhase::PhaseTwo, acct);
         // Coalesce the phase-two traffic per participant site — across
         // transactions: every Commit/AbortFiles bound for one site travels
-        // in a single batched network message.
+        // in a single batched network message. (Batching is scheduling, not
+        // protocol: the machine only sees the per-site acks.)
         let mut by_site: BTreeMap<SiteId, Vec<(usize, TxnMsg)>> = BTreeMap::new();
         for (i, w) in work.iter().enumerate() {
             for (site, fids) in &w.participants {
@@ -424,6 +548,11 @@ impl TxnManager {
             let (idxs, msgs): (Vec<usize>, Vec<TxnMsg>) = entries.into_iter().unzip();
             let acks = self.send_phase2_batch(site, msgs, acct);
             for (i, ok) in idxs.into_iter().zip(acks) {
+                let _ = self.cstep(Input::Phase2Ack {
+                    tid: work[i].tid,
+                    site,
+                    ok,
+                });
                 if !ok {
                     failed[i].push(site);
                 }
@@ -432,18 +561,33 @@ impl TxnManager {
         let mut completed = 0;
         for (i, w) in work.into_iter().enumerate() {
             if failed[i].is_empty() {
-                // All participants done: the coordinator log may be purged
-                // (Section 4.4: retained until processing completes).
-                if let Ok(home) = self.kernel.home() {
-                    home.coord_log_delete(w.tid, acct);
-                }
-                // Phase two has installed (and pushed) everywhere — the
-                // commit no longer pins the primaries, so failover may
-                // proceed. Harmless for aborts (never fenced).
-                self.kernel.catalog.fence_remove(w.tid);
-                self.coordinating.lock().remove(&w.tid);
-                if w.commit {
-                    self.kernel.events.push(Event::Committed { tid: w.tid });
+                // All participants done. The machine's completion effects
+                // are deliberately idempotent: recovery can requeue work a
+                // surviving pre-crash queue item also completes.
+                for eff in self.cstep(Input::Phase2Done {
+                    tid: w.tid,
+                    commit: w.commit,
+                }) {
+                    match eff {
+                        Effect::PurgeCoordLog { tid } => {
+                            // The coordinator log may be purged (Section
+                            // 4.4: retained until processing completes).
+                            if let Ok(home) = self.kernel.home() {
+                                home.coord_log_delete(tid, acct);
+                            }
+                        }
+                        Effect::DropFence { tid } => {
+                            // Phase two has installed (and pushed)
+                            // everywhere — the commit no longer pins the
+                            // primaries, so failover may proceed. Harmless
+                            // for aborts (never fenced).
+                            self.kernel.catalog.fence_remove(tid);
+                        }
+                        Effect::NoteCompleted { tid, commit } if commit => {
+                            self.kernel.events.push(Event::Committed { tid });
+                        }
+                        _ => {}
+                    }
                 }
                 completed += 1;
             } else {
@@ -547,10 +691,12 @@ impl TxnManager {
         }
     }
 
-    /// Participant phase one: flush modified records and write the prepare
-    /// log — "enough of the intentions lists and lock lists for each file to
-    /// guarantee that the files can be committed ... regardless of local
-    /// failures" (Section 4.2).
+    /// Participant phase one, driving [`ParticipantSm`] through its no-vote
+    /// guards (refusal set, boot-epoch taint, deposed primary, presumed
+    /// abort's known-check) and, if all pass, the durable prepare: "enough
+    /// of the intentions lists and lock lists for each file to guarantee
+    /// that the files can be committed ... regardless of local failures"
+    /// (Section 4.2).
     fn participant_prepare(
         &self,
         tid: TransId,
@@ -559,57 +705,91 @@ impl TxnManager {
         epoch: u64,
         acct: &mut Account,
     ) -> bool {
-        // A transaction this site has already rolled back can never prepare
-        // here again, no matter what state its processes re-established
-        // since: the discarded writes are gone (presumed abort).
-        if self.refused.lock().contains(&tid) {
-            return false;
-        }
-        // Boot-epoch check: the coordinator sends the earliest epoch at
-        // which the transaction used this site. A different current epoch
-        // means this site crashed and rebooted mid-transaction — every
-        // buffered modification (including writes already acked to the
-        // transaction) was discarded with the volatile state. The `known`
-        // check below cannot catch this case when the transaction kept
-        // running after the reboot and re-established locks and dirty pages
-        // here, so the epoch is the durable witness of the loss.
-        if epoch != self.kernel.boot_epoch() {
-            return false;
-        }
-        // A deposed primary must vote no: the transaction's writes were
-        // buffered against a copy that stopped being the file's primary
-        // image when a failover promoted someone else mid-transaction.
-        // Committing them here would fork the replica history.
-        for fid in files {
-            if self.kernel.require_primary(*fid).is_err() {
-                return false;
+        let mut vote = false;
+        let mut queue: VecDeque<Effect> = self
+            .pstep(Input::PrepareReq {
+                tid,
+                coordinator,
+                files: files.to_vec(),
+                epoch,
+            })
+            .into();
+        while let Some(eff) = queue.pop_front() {
+            match eff {
+                Effect::CheckPrimary { tid, files } => {
+                    // A deposed primary must vote no: the transaction's
+                    // writes were buffered against a copy that stopped being
+                    // the file's primary image when a failover promoted
+                    // someone else mid-transaction. Committing them here
+                    // would fork the replica history.
+                    let ok = files
+                        .iter()
+                        .all(|fid| self.kernel.require_primary(*fid).is_ok());
+                    queue.extend(self.pstep(Input::PrimaryChecked { tid, ok }));
+                }
+                Effect::ReclaimLeases { files, .. } => {
+                    // Outstanding lock leases must come home before the lock
+                    // lists are snapshotted into the prepare logs (Section
+                    // 5.2 + 4.2) — and before the known-transaction check,
+                    // which consults the lock tables.
+                    for fid in &files {
+                        let _ = self.kernel.reclaim_lease(*fid, acct);
+                    }
+                }
+                Effect::CheckKnown { tid, files } => {
+                    // Presumed abort: vote no on a transaction this site
+                    // knows nothing about — no live coordinator entry, no
+                    // locks, no uncommitted modifications, no prepare log.
+                    // That is exactly the state after a crash or partition
+                    // rolled the transaction back here unilaterally;
+                    // answering yes would let the coordinator commit a write
+                    // set this site already discarded. A coordinator entry
+                    // counts as knowledge so the coordinator's own site can
+                    // vote yes on a write-free participation — but only
+                    // while the transaction is still undecided: the model
+                    // checker found that a duplicated prepare arriving after
+                    // the commit point would otherwise pass this check and
+                    // re-stage a prepare log for an already-installed
+                    // transaction, leaving an orphan behind the fence drop.
+                    let owner = Owner::Trans(tid);
+                    let known = self.coord.lock().sm.status_of(tid) == Some(TxnStatus::Unknown)
+                        || self.kernel.locks.owner_has_locks(owner)
+                        || files.iter().any(|fid| {
+                            self.kernel.volume(fid.volume).ok().is_some_and(|vol| {
+                                vol.owner_dirty(*fid, owner)
+                                    || vol.prepare_log_get(tid, *fid, acct).is_some()
+                            })
+                        });
+                    queue.extend(self.pstep(Input::KnownChecked { tid, known }));
+                }
+                Effect::StageAndLog {
+                    tid,
+                    coordinator,
+                    files,
+                } => {
+                    let ok = self.stage_prepare(tid, coordinator, &files, acct);
+                    queue.extend(self.pstep(Input::Staged { tid, ok }));
+                }
+                Effect::Vote { ok, .. } => vote = ok,
+                _ => {}
             }
         }
+        vote
+    }
+
+    /// Flushes modified records and writes the durable prepare logs for one
+    /// prepare round: intentions list + lock list per file, then one
+    /// group-commit flush per touched volume (N files, one barrier — the
+    /// yes vote must be durable before it is cast, but nothing forces a
+    /// barrier per file).
+    fn stage_prepare(
+        &self,
+        tid: TransId,
+        coordinator: SiteId,
+        files: &[Fid],
+        acct: &mut Account,
+    ) -> bool {
         let owner = Owner::Trans(tid);
-        // Outstanding lock leases must come home before the lock lists are
-        // snapshotted into the prepare logs (Section 5.2 + 4.2) — and before
-        // the known-transaction check below, which consults the lock tables.
-        for fid in files {
-            let _ = self.kernel.reclaim_lease(*fid, acct);
-        }
-        // Presumed abort: vote no on a transaction this site knows nothing
-        // about — no live coordinator entry, no locks, no uncommitted
-        // modifications, no prepare log. That is exactly the state after a
-        // crash or partition rolled the transaction back here unilaterally;
-        // answering yes would let the coordinator commit a write set this
-        // site already discarded, silently losing the writes. A coordinator
-        // entry counts as knowledge so the coordinator's own site can vote
-        // yes on a write-free participation (nothing to flush, nothing lost).
-        let known = self.coordinating.lock().contains_key(&tid)
-            || self.kernel.locks.owner_has_locks(owner)
-            || files.iter().any(|fid| {
-                self.kernel.volume(fid.volume).ok().is_some_and(|vol| {
-                    vol.owner_dirty(*fid, owner) || vol.prepare_log_get(tid, *fid, acct).is_some()
-                })
-            });
-        if !known {
-            return false;
-        }
         for fid in files {
             let Ok(vol) = self.kernel.volume(fid.volume) else {
                 return false;
@@ -641,9 +821,6 @@ impl TxnManager {
                 return false;
             }
         }
-        // One group-commit flush per touched volume covers every file's
-        // prepare record (N files, one barrier): the yes vote must be
-        // durable before it is cast, but nothing forces a barrier per file.
         let mut flushed = std::collections::BTreeSet::new();
         for fid in files {
             if !flushed.insert(fid.volume) {
@@ -659,13 +836,41 @@ impl TxnManager {
         true
     }
 
-    /// Participant phase two: single-file commit per file, release the
-    /// transaction's retained locks, purge the prepare logs.
+    /// Participant phase two (commit): single-file commit per file, release
+    /// the transaction's retained locks, purge the prepare logs.
     fn participant_commit(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
+        let mut out: Result<()> = Ok(());
+        let mut queue: VecDeque<Effect> = self
+            .pstep(Input::CommitReq {
+                tid,
+                files: files.to_vec(),
+            })
+            .into();
+        while let Some(eff) = queue.pop_front() {
+            match eff {
+                Effect::Install { tid, files } => {
+                    let res = self.install_files(tid, &files, acct);
+                    let ok = res.is_ok();
+                    if let Err(e) = res {
+                        out = Err(e);
+                    }
+                    queue.extend(self.pstep(Input::Installed { tid, ok }));
+                }
+                Effect::ReleaseLocks { tid } => {
+                    let granted = self.kernel.locks.release_owner(Owner::Trans(tid), acct);
+                    self.kernel.push_grants(granted, acct);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Installs the prepared intentions for every file of one phase-two
+    /// commit, staging replica pushes and flushing them as one batched round
+    /// trip per replica site.
+    fn install_files(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
         let owner = Owner::Trans(tid);
-        // Replica pushes for every file are staged here and flushed below as
-        // one batched round trip per replica site, instead of one RPC per
-        // (file, replica, commit).
         let mut staged: BTreeMap<SiteId, Vec<(Fid, Msg)>> = BTreeMap::new();
         for fid in files {
             let vol = self.kernel.volume(fid.volume)?;
@@ -711,16 +916,45 @@ impl TxnManager {
             vol.prepare_log_delete(tid, *fid, acct)?;
         }
         self.kernel.flush_replica_sync(staged, acct);
-        let granted = self.kernel.locks.release_owner(owner, acct);
-        self.kernel.push_grants(granted, acct);
         Ok(())
     }
 
     /// Participant abort: roll the files back and release the transaction's
-    /// locks. Duplicate aborts are harmless (temporally unique ids).
+    /// locks. Duplicate aborts are harmless (temporally unique ids). The
+    /// machine adds `tid` to its permanent refusal set before any rollback
+    /// work, so an interrupted rollback still refuses a later prepare.
     fn participant_abort(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
-        // Once rolled back here, always refused here (presumed abort).
-        self.refused.lock().insert(tid);
+        let mut out: Result<()> = Ok(());
+        let mut queue: VecDeque<Effect> = self
+            .pstep(Input::AbortReq {
+                tid,
+                files: files.to_vec(),
+            })
+            .into();
+        while let Some(eff) = queue.pop_front() {
+            match eff {
+                Effect::Rollback { tid, files } => {
+                    let res = self.rollback_files(tid, &files, acct);
+                    let ok = res.is_ok();
+                    if let Err(e) = res {
+                        out = Err(e);
+                    }
+                    queue.extend(self.pstep(Input::RolledBack { tid, ok }));
+                }
+                Effect::ReleaseLocks { tid } => {
+                    let granted = self.kernel.locks.release_owner(Owner::Trans(tid), acct);
+                    self.kernel.push_grants(granted, acct);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Rolls one abort's files back: free shadow blocks named by logged
+    /// prepare records, truncate the records, abort uncommitted in-memory
+    /// modifications.
+    fn rollback_files(&self, tid: TransId, files: &[Fid], acct: &mut Account) -> Result<()> {
         let owner = Owner::Trans(tid);
         for fid in files {
             let _ = self.kernel.reclaim_lease(*fid, acct);
@@ -735,8 +969,6 @@ impl TxnManager {
                 vol.abort_owner(*fid, owner, acct)?;
             }
         }
-        let granted = self.kernel.locks.release_owner(owner, acct);
-        self.kernel.push_grants(granted, acct);
         Ok(())
     }
 
@@ -794,37 +1026,31 @@ impl TxnManager {
             Some(r) => r,
             None => return, // We are the crashed site.
         };
-        // Coordinator side: abort unfinished transactions with lost
-        // participants.
-        let to_abort: Vec<(TransId, Vec<FileListEntry>)> = {
-            let coord = self.coordinating.lock();
-            let mut v: Vec<(TransId, Vec<FileListEntry>)> = coord
-                .iter()
-                .filter(|(_, c)| c.status == TxnStatus::Unknown)
-                .filter(|(_, c)| c.files.iter().any(|f| !reachable.contains(&f.storage_site)))
-                .map(|(tid, c)| (*tid, c.files.clone()))
-                .collect();
-            // Deterministic abort order: the coordinating map is a HashMap
-            // and its iteration order must not leak into the event trace
-            // (seed-replayability requires byte-identical traces).
-            v.sort_by_key(|(tid, _)| *tid);
-            v
-        };
-        for (tid, files) in to_abort {
-            let Ok(vol) = self.kernel.home() else {
-                continue;
-            };
-            let _ = vol.coord_log_set_status(tid, TxnStatus::Aborted, acct);
-            if let Some(c) = self.coordinating.lock().get_mut(&tid) {
-                c.status = TxnStatus::Aborted;
+        // Coordinator side: the machine aborts every still-undecided
+        // transaction with a lost participant (in tid order — the event
+        // trace must be byte-identical across runs of the same seed).
+        for eff in self.cstep(Input::TopologyChanged {
+            reachable: reachable.clone(),
+        }) {
+            match eff {
+                Effect::LogStatus { tid, status, .. } => {
+                    if let Ok(vol) = self.kernel.home() {
+                        let _ = vol.coord_log_set_status(tid, status, acct);
+                    }
+                }
+                Effect::QueuePhase2 {
+                    tid,
+                    commit,
+                    participants,
+                } => {
+                    self.queue_phase2(tid, commit, participants);
+                }
+                Effect::NoteAborted { tid } => {
+                    self.kernel.counters.txns_aborted();
+                    self.kernel.events.push(Event::Aborted { tid });
+                }
+                _ => {}
             }
-            let participants = group_by_site(&files)
-                .into_iter()
-                .filter(|(s, _)| reachable.contains(s))
-                .collect::<Vec<_>>();
-            self.queue_phase2(tid, false, participants);
-            self.kernel.counters.txns_aborted();
-            self.kernel.events.push(Event::Aborted { tid });
         }
         // Member side: local processes whose transaction top-level process
         // is no longer reachable are aborted.
@@ -904,6 +1130,13 @@ impl TxnManager {
     /// Reboot-time transaction recovery: "before transactions are permitted
     /// to run, the transaction recovery mechanism is started."
     pub fn recover(&self, acct: &mut Account) -> RecoveryReport {
+        // The reboot observation first: the participant machine's volatile
+        // prepare rounds died with the old incarnation and its boot epoch
+        // must match the kernel's before any post-reboot prepare arrives.
+        // (The refusal set survives — the manager outlives the crash.)
+        let _ = self.pstep(Input::Rebooted {
+            epoch: self.kernel.boot_epoch(),
+        });
         self.kernel
             .events
             .push(Event::RecoveryStart { site: self.site() });
@@ -914,10 +1147,11 @@ impl TxnManager {
         report
     }
 
-    /// Recovers one volume's logs. Public so that a volume carried from a
-    /// dead site (removable media, Section 4.4) can be mounted elsewhere and
-    /// recovered there: "it is important to assure that logs are stored on
-    /// the same medium as the files to which they refer".
+    /// Recovers one volume's logs by replaying the journal scan into the
+    /// protocol machines. Public so that a volume carried from a dead site
+    /// (removable media, Section 4.4) can be mounted elsewhere and recovered
+    /// there: "it is important to assure that logs are stored on the same
+    /// medium as the files to which they refer".
     pub fn recover_volume(
         &self,
         vol: &std::sync::Arc<locus_fs::Volume>,
@@ -926,36 +1160,31 @@ impl TxnManager {
     ) {
         // Coordinator logs: committed → redo phase two; otherwise → abort.
         for rec in vol.coord_log_scan(acct) {
-            let participants = group_by_site(&rec.files);
-            match rec.status {
-                TxnStatus::Committed => {
-                    self.kernel
-                        .events
-                        .push(Event::RecoveryRedo { tid: rec.tid });
-                    self.queue_phase2(rec.tid, true, participants);
-                    self.coordinating.lock().insert(
-                        rec.tid,
-                        CoordState {
-                            files: rec.files.clone(),
-                            status: TxnStatus::Committed,
-                        },
-                    );
-                    report.redone += 1;
-                }
-                TxnStatus::Unknown | TxnStatus::Aborted => {
-                    self.kernel
-                        .events
-                        .push(Event::RecoveryAbort { tid: rec.tid });
-                    let _ = vol.coord_log_set_status(rec.tid, TxnStatus::Aborted, acct);
-                    self.queue_phase2(rec.tid, false, participants);
-                    self.coordinating.lock().insert(
-                        rec.tid,
-                        CoordState {
-                            files: rec.files.clone(),
-                            status: TxnStatus::Aborted,
-                        },
-                    );
-                    report.aborted += 1;
+            for eff in self.cstep(Input::CoordScan {
+                tid: rec.tid,
+                files: rec.files.clone(),
+                status: rec.status,
+            }) {
+                match eff {
+                    Effect::NoteRecoveryRedo { tid } => {
+                        self.kernel.events.push(Event::RecoveryRedo { tid });
+                        report.redone += 1;
+                    }
+                    Effect::NoteRecoveryAbort { tid } => {
+                        self.kernel.events.push(Event::RecoveryAbort { tid });
+                        report.aborted += 1;
+                    }
+                    Effect::LogStatus { tid, status, .. } => {
+                        let _ = vol.coord_log_set_status(tid, status, acct);
+                    }
+                    Effect::QueuePhase2 {
+                        tid,
+                        commit,
+                        participants,
+                    } => {
+                        self.queue_phase2(tid, commit, participants);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -963,49 +1192,77 @@ impl TxnManager {
         // Participant prepare logs: ask each coordinator for the outcome.
         for rec in vol.prepare_log_scan(acct) {
             let fid = rec.intentions.fid;
-            let status = if rec.coordinator == self.site() {
-                vol.coord_log_get(rec.tid, acct).map(|r| r.status)
-            } else {
-                match self.txn_rpc(
-                    rec.coordinator,
-                    TxnMsg::StatusInquiry { tid: rec.tid },
-                    acct,
-                ) {
-                    Ok(Msg::Txn(TxnMsg::StatusAnswer { status })) => status,
-                    _ => {
-                        // Coordinator unreachable: stay in doubt, keep the
-                        // log, let a later recovery pass resolve it.
-                        report.in_doubt += 1;
-                        continue;
+            let mut queue: VecDeque<Effect> = self
+                .pstep(Input::RecoveredPrepare {
+                    tid: rec.tid,
+                    fid,
+                    coordinator: rec.coordinator,
+                })
+                .into();
+            while let Some(eff) = queue.pop_front() {
+                match eff {
+                    Effect::QueryStatus {
+                        tid,
+                        fid,
+                        coordinator,
+                    } => {
+                        let outcome = if coordinator == self.site() {
+                            // Our own coordinator log lives on this volume.
+                            match vol.coord_log_get(tid, acct).map(|r| r.status) {
+                                Some(TxnStatus::Committed) => PrepareOutcome::Committed,
+                                Some(TxnStatus::Unknown) => PrepareOutcome::Undecided,
+                                Some(TxnStatus::Aborted) | None => {
+                                    PrepareOutcome::AbortedOrForgotten
+                                }
+                            }
+                        } else {
+                            match self.txn_rpc(coordinator, TxnMsg::StatusInquiry { tid }, acct) {
+                                Ok(Msg::Txn(TxnMsg::StatusAnswer { status })) => match status {
+                                    Some(TxnStatus::Committed) => PrepareOutcome::Committed,
+                                    Some(TxnStatus::Unknown) => PrepareOutcome::Undecided,
+                                    Some(TxnStatus::Aborted) | None => {
+                                        PrepareOutcome::AbortedOrForgotten
+                                    }
+                                },
+                                _ => PrepareOutcome::Unreachable,
+                            }
+                        };
+                        if matches!(
+                            outcome,
+                            PrepareOutcome::Undecided | PrepareOutcome::Unreachable
+                        ) {
+                            // Stay in doubt, keep the log: either the
+                            // coordinator has not decided (it will drive
+                            // phase two itself) or it was unreachable (a
+                            // later recovery pass resolves it).
+                            report.in_doubt += 1;
+                        }
+                        queue.extend(self.pstep(Input::StatusResolved { tid, fid, outcome }));
                     }
-                }
-            };
-            match status {
-                Some(TxnStatus::Committed) => {
-                    vol.install_intentions(&rec.intentions, None, acct)
-                        .unwrap_or(());
-                    // The replicas missed the phase-two push while this site
-                    // was down; forward the recovered install (best effort —
-                    // an unreachable replica drops to unsynced and pulls).
-                    let _ = self.kernel.sync_replicas(fid, &rec.intentions, acct);
-                    let _ = vol.prepare_log_delete(rec.tid, fid, acct);
-                    report.participant_committed += 1;
-                }
-                Some(TxnStatus::Aborted) | None => {
-                    // Absent log ⇒ the transaction finished everywhere; but a
-                    // surviving prepare log means *we* did not finish — with
-                    // presumed abort semantics, roll back. Do NOT free the
-                    // shadow pages directly: truncations are lazy, so a
-                    // resurfaced stale record may name blocks that were since
-                    // installed into an inode or reallocated. Truncate only;
-                    // the scavenge pass below reclaims true orphans.
-                    let _ = vol.prepare_log_delete(rec.tid, fid, acct);
-                    report.participant_aborted += 1;
-                }
-                Some(TxnStatus::Unknown) => {
-                    // The coordinator has not decided; it will drive phase
-                    // two (or abort) itself.
-                    report.in_doubt += 1;
+                    Effect::InstallRecovered { tid, fid } => {
+                        vol.install_intentions(&rec.intentions, None, acct)
+                            .unwrap_or(());
+                        // The replicas missed the phase-two push while this
+                        // site was down; forward the recovered install (best
+                        // effort — an unreachable replica drops to unsynced
+                        // and pulls).
+                        let _ = self.kernel.sync_replicas(fid, &rec.intentions, acct);
+                        let _ = vol.prepare_log_delete(tid, fid, acct);
+                        report.participant_committed += 1;
+                    }
+                    Effect::PurgePrepareLog { tid, fid } => {
+                        // Absent coordinator log ⇒ the transaction finished
+                        // everywhere; but a surviving prepare log means *we*
+                        // did not finish — with presumed abort semantics,
+                        // roll back. Do NOT free the shadow pages directly:
+                        // truncations are lazy, so a resurfaced stale record
+                        // may name blocks that were since installed into an
+                        // inode or reallocated. Truncate only; the scavenge
+                        // pass below reclaims true orphans.
+                        let _ = vol.prepare_log_delete(tid, fid, acct);
+                        report.participant_aborted += 1;
+                    }
+                    _ => {}
                 }
             }
         }
@@ -1040,33 +1297,4 @@ pub struct RecoveryReport {
     pub in_doubt: usize,
     /// Orphaned shadow blocks reclaimed.
     pub scavenged: usize,
-}
-
-/// Groups a file list by storage site. Entries differing only in boot epoch
-/// collapse to one fid per site.
-pub fn group_by_site(files: &[FileListEntry]) -> Vec<(SiteId, Vec<Fid>)> {
-    let mut map: HashMap<SiteId, Vec<Fid>> = HashMap::new();
-    for f in files {
-        map.entry(f.storage_site).or_default().push(f.fid);
-    }
-    let mut v: Vec<(SiteId, Vec<Fid>)> = map.into_iter().collect();
-    v.sort_by_key(|(s, _)| *s);
-    for (_, fids) in v.iter_mut() {
-        fids.sort();
-        fids.dedup();
-    }
-    v
-}
-
-/// The earliest boot epoch at which the transaction used each storage site.
-/// The minimum matters: if any entry predates a reboot of the site, writes
-/// acked under the old incarnation may be gone, and prepare must fail there.
-pub fn site_epochs(files: &[FileListEntry]) -> BTreeMap<SiteId, u64> {
-    let mut map: BTreeMap<SiteId, u64> = BTreeMap::new();
-    for f in files {
-        map.entry(f.storage_site)
-            .and_modify(|e| *e = (*e).min(f.epoch))
-            .or_insert(f.epoch);
-    }
-    map
 }

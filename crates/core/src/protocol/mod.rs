@@ -1,0 +1,389 @@
+//! The sans-IO transaction protocol: pure state machines for two-phase
+//! commit, presumed abort, and reboot recovery (Sections 4.2–4.4).
+//!
+//! Every protocol decision lives in [`CoordinatorSm`] and [`ParticipantSm`];
+//! neither touches a disk, a socket, or a clock. A transition is the pure
+//! call `step(&mut self, input) -> Vec<Effect>`: the driver (the
+//! [`crate::manager::TxnManager`]) observes the world, feeds an [`Input`],
+//! and interprets the returned [`Effect`]s against the real substrate — the
+//! journal, the transport, the filesystem's shadow-page installer, the
+//! catalog's commit fences. Observation results flow back in as further
+//! inputs (`StartLogged`, `Vote`, `Staged`, …), so the machines never block
+//! and never guess.
+//!
+//! The split buys three things:
+//!
+//! * **Model checking.** The harness's small-scope checker drives the *same*
+//!   machine structs through every interleaving of crash, message drop, and
+//!   duplication that a bounded scope allows, asserting the 2PC safety
+//!   invariants by exhaustion instead of seed sampling.
+//! * **Conformance.** Because a step is pure, a recorded `(input, effects)`
+//!   transcript can be replayed through a fresh machine; any divergence
+//!   means a driver mutated protocol state out-of-band. The chaos harness
+//!   records transcripts on every run and replays them as an oracle.
+//! * **Reviewability.** The no-vote defenses that previously hid in driver
+//!   control flow — the presumed-abort refusal set, the boot-epoch taint,
+//!   the deposed-primary check — are now explicit guarded transitions with
+//!   unit tests.
+//!
+//! The driver boundary is strict: effects carry *what* must happen, never
+//! how. Scheduling (the asynchronous phase-two queue, per-site message
+//! batching, parallel prepare fan-out) stays in the driver — it affects
+//! performance, not safety — while every state change that 2PC correctness
+//! depends on is a machine transition.
+
+pub mod coordinator;
+pub mod participant;
+
+pub use coordinator::CoordinatorSm;
+pub use participant::{ParticipantFaults, ParticipantSm};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use locus_types::{Fid, FileListEntry, SiteId, TransId, TxnStatus};
+
+/// An observation fed into a protocol machine. Inputs are pure data: votes,
+/// acknowledgements, substrate call results, reboot/epoch observations, and
+/// recovery scan records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    // ----- coordinator ---------------------------------------------------
+    /// `EndTrans` reached the commit point at the top-level process.
+    CommitRequested {
+        tid: TransId,
+        files: Vec<FileListEntry>,
+        /// Contact distinct participant sites concurrently (the threaded
+        /// driver); the machine then emits all `SendPrepare`s at once
+        /// instead of one per vote.
+        parallel: bool,
+    },
+    /// Result of [`Effect::LogStart`] (the status-`Unknown` coordinator
+    /// record reached the journal, or not).
+    StartLogged { tid: TransId, ok: bool },
+    /// A participant's vote. A failed prepare RPC is a no vote — with
+    /// synchronous RPC the reply *is* the vote, so a dropped request or
+    /// reply both surface here as `ok: false`.
+    Vote {
+        tid: TransId,
+        site: SiteId,
+        ok: bool,
+    },
+    /// Result of a `critical` [`Effect::LogStatus`] (the decision mark).
+    StatusLogged { tid: TransId, ok: bool },
+    /// One participant site acknowledged (or failed) its phase-two message.
+    Phase2Ack {
+        tid: TransId,
+        site: SiteId,
+        ok: bool,
+    },
+    /// The driver finished one queued phase-two work item with every
+    /// participant acknowledged. Duplicates are legal (recovery may requeue
+    /// work that a pre-crash queue item later also completes); the purge
+    /// effects are idempotent.
+    Phase2Done { tid: TransId, commit: bool },
+    /// The network partitioned; only `reachable` remains in our partition.
+    TopologyChanged { reachable: Vec<SiteId> },
+    /// Recovery: one coordinator-log record from the journal scan.
+    CoordScan {
+        tid: TransId,
+        files: Vec<FileListEntry>,
+        status: TxnStatus,
+    },
+
+    // ----- participant ---------------------------------------------------
+    /// A `Prepare` arrived. `epoch` is the earliest boot epoch at which the
+    /// transaction used this site, as claimed by the coordinator.
+    PrepareReq {
+        tid: TransId,
+        coordinator: SiteId,
+        files: Vec<Fid>,
+        epoch: u64,
+    },
+    /// Result of [`Effect::CheckPrimary`]: whether this site is still the
+    /// primary copy for every file in the prepare.
+    PrimaryChecked { tid: TransId, ok: bool },
+    /// Result of [`Effect::CheckKnown`]: whether this site has any trace of
+    /// the transaction (coordinating entry, locks, dirty pages, prepare
+    /// log). Presumed abort votes no on a stranger.
+    KnownChecked { tid: TransId, known: bool },
+    /// Result of [`Effect::StageAndLog`]: the intentions and lock lists
+    /// reached stable storage (or the disk died mid-write).
+    Staged { tid: TransId, ok: bool },
+    /// A phase-two `Commit` arrived.
+    CommitReq { tid: TransId, files: Vec<Fid> },
+    /// Result of [`Effect::Install`].
+    Installed { tid: TransId, ok: bool },
+    /// A phase-two `AbortFiles` arrived (or a topology change rolled the
+    /// transaction back unilaterally).
+    AbortReq { tid: TransId, files: Vec<Fid> },
+    /// Result of [`Effect::Rollback`].
+    RolledBack { tid: TransId, ok: bool },
+    /// Recovery: a prepare-log record surfaced in the journal scan.
+    RecoveredPrepare {
+        tid: TransId,
+        fid: Fid,
+        coordinator: SiteId,
+    },
+    /// The coordinator's answer (or unreachability) for a recovered prepare.
+    StatusResolved {
+        tid: TransId,
+        fid: Fid,
+        outcome: PrepareOutcome,
+    },
+    /// The site rebooted under a new boot epoch; volatile prepare rounds
+    /// died with the old incarnation.
+    Rebooted { epoch: u64 },
+}
+
+/// How a recovery status inquiry resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrepareOutcome {
+    /// The coordinator log says committed: install the intentions.
+    Committed,
+    /// The coordinator log says aborted — or has no record at all, which
+    /// under presumed abort means the same thing.
+    AbortedOrForgotten,
+    /// The coordinator has a record but has not decided yet.
+    Undecided,
+    /// The coordinator site did not answer; stay in doubt, keep the log.
+    Unreachable,
+}
+
+/// A side effect a protocol machine wants performed. Effects are requests:
+/// the driver interprets them against the real substrate and feeds results
+/// back as inputs. The machine never observes the world directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    // ----- coordinator ---------------------------------------------------
+    /// Append the status-`Unknown` coordinator record to the home journal;
+    /// answer with [`Input::StartLogged`].
+    LogStart {
+        tid: TransId,
+        files: Vec<FileListEntry>,
+    },
+    /// Send one `Prepare` covering `files` to a participant site; answer
+    /// with [`Input::Vote`].
+    SendPrepare {
+        tid: TransId,
+        site: SiteId,
+        files: Vec<Fid>,
+        epoch: u64,
+    },
+    /// Raise the commit fence on every file, *before* the durable commit
+    /// mark: between the mark and the end of phase two the new bytes exist
+    /// only in prepare logs at the primaries, and a failover in that window
+    /// would promote a replica past an acked commit.
+    RaiseFences { tid: TransId, files: Vec<Fid> },
+    /// Rewrite the coordinator record's status. `critical: true` (the
+    /// decision mark) demands an [`Input::StatusLogged`] answer — on
+    /// failure the fence deliberately stays up and the transaction stays
+    /// undecided. `critical: false` (recovery/topology rewrites) is
+    /// best-effort fire-and-forget.
+    LogStatus {
+        tid: TransId,
+        status: TxnStatus,
+        critical: bool,
+    },
+    /// Queue asynchronous phase two for these participants.
+    QueuePhase2 {
+        tid: TransId,
+        commit: bool,
+        participants: Vec<(SiteId, Vec<Fid>)>,
+    },
+    /// Clear the top-level process's transaction state and count the
+    /// outcome; on `commit: false` also announce the abort and fail the
+    /// caller's `EndTrans`.
+    FinishLocal { tid: TransId, commit: bool },
+    /// Count and announce a topology-change abort (no local process state:
+    /// the top-level process may be remote or gone).
+    NoteAborted { tid: TransId },
+    /// Purge the coordinator log record (phase two complete everywhere).
+    PurgeCoordLog { tid: TransId },
+    /// Drop the commit fence: phase two has installed (and pushed)
+    /// everywhere, so failover may proceed. Harmless for aborts.
+    DropFence { tid: TransId },
+    /// Announce completion of phase two (the `Committed` trace event on
+    /// commit; silent for aborts).
+    NoteCompleted { tid: TransId, commit: bool },
+    /// Announce that recovery is re-driving a committed transaction.
+    NoteRecoveryRedo { tid: TransId },
+    /// Announce that recovery is aborting an undecided transaction.
+    NoteRecoveryAbort { tid: TransId },
+
+    // ----- participant ---------------------------------------------------
+    /// Ask whether this site is still the primary copy of every file;
+    /// answer with [`Input::PrimaryChecked`].
+    CheckPrimary { tid: TransId, files: Vec<Fid> },
+    /// Reclaim outstanding lock leases so the lock lists snapshotted into
+    /// the prepare logs are complete. Fire-and-forget.
+    ReclaimLeases { tid: TransId, files: Vec<Fid> },
+    /// Ask whether this site knows the transaction at all; answer with
+    /// [`Input::KnownChecked`].
+    CheckKnown { tid: TransId, files: Vec<Fid> },
+    /// Flush modified records and write the prepare logs (intentions + lock
+    /// lists), one group-commit barrier per touched volume; answer with
+    /// [`Input::Staged`].
+    StageAndLog {
+        tid: TransId,
+        coordinator: SiteId,
+        files: Vec<Fid>,
+    },
+    /// Reply to the coordinator with this vote.
+    Vote { tid: TransId, ok: bool },
+    /// Install the prepared intentions (single-file commit per file) and
+    /// stage replica pushes; answer with [`Input::Installed`].
+    Install { tid: TransId, files: Vec<Fid> },
+    /// Roll the files back: free logged shadow blocks, purge prepare logs,
+    /// abort uncommitted modifications; answer with [`Input::RolledBack`].
+    Rollback { tid: TransId, files: Vec<Fid> },
+    /// Release the transaction's retained locks and push the grants.
+    ReleaseLocks { tid: TransId },
+    /// Acknowledge the phase-two message (negatively on `ok: false`, which
+    /// keeps the coordinator's work queued for a retry).
+    Ack { tid: TransId, ok: bool },
+    /// Recovery: ask the coordinator what became of `tid`; answer with
+    /// [`Input::StatusResolved`].
+    QueryStatus {
+        tid: TransId,
+        fid: Fid,
+        coordinator: SiteId,
+    },
+    /// Recovery resolved to commit: install the logged intentions, forward
+    /// them to replicas, purge the prepare log.
+    InstallRecovered { tid: TransId, fid: Fid },
+    /// Recovery resolved to abort (or the coordinator forgot): truncate the
+    /// prepare log; the scavenge pass reclaims orphaned shadow blocks.
+    PurgePrepareLog { tid: TransId, fid: Fid },
+}
+
+impl Effect {
+    /// The effect's kind, for coverage accounting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Effect::LogStart { .. } => "LogStart",
+            Effect::SendPrepare { .. } => "SendPrepare",
+            Effect::RaiseFences { .. } => "RaiseFences",
+            Effect::LogStatus { .. } => "LogStatus",
+            Effect::QueuePhase2 { .. } => "QueuePhase2",
+            Effect::FinishLocal { .. } => "FinishLocal",
+            Effect::NoteAborted { .. } => "NoteAborted",
+            Effect::PurgeCoordLog { .. } => "PurgeCoordLog",
+            Effect::DropFence { .. } => "DropFence",
+            Effect::NoteCompleted { .. } => "NoteCompleted",
+            Effect::NoteRecoveryRedo { .. } => "NoteRecoveryRedo",
+            Effect::NoteRecoveryAbort { .. } => "NoteRecoveryAbort",
+            Effect::CheckPrimary { .. } => "CheckPrimary",
+            Effect::ReclaimLeases { .. } => "ReclaimLeases",
+            Effect::CheckKnown { .. } => "CheckKnown",
+            Effect::StageAndLog { .. } => "StageAndLog",
+            Effect::Vote { .. } => "Vote",
+            Effect::Install { .. } => "Install",
+            Effect::Rollback { .. } => "Rollback",
+            Effect::ReleaseLocks { .. } => "ReleaseLocks",
+            Effect::Ack { .. } => "Ack",
+            Effect::QueryStatus { .. } => "QueryStatus",
+            Effect::InstallRecovered { .. } => "InstallRecovered",
+            Effect::PurgePrepareLog { .. } => "PurgePrepareLog",
+        }
+    }
+}
+
+/// A protocol machine: a pure transition function over [`Input`]s and
+/// [`Effect`]s. Implemented by both machines so transcripts and checkers
+/// can be generic.
+pub trait ProtocolSm: Clone + PartialEq + fmt::Debug {
+    fn step(&mut self, input: &Input) -> Vec<Effect>;
+}
+
+/// One recorded transition of a live machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranscriptStep {
+    pub input: Input,
+    pub effects: Vec<Effect>,
+}
+
+/// A machine's recorded history: its pristine construction-time state plus
+/// every `(input, effects)` pair it stepped through, in order.
+#[derive(Debug, Clone)]
+pub struct MachineTranscript<M: ProtocolSm> {
+    pub initial: M,
+    pub steps: Vec<TranscriptStep>,
+}
+
+/// A transcript replay divergence: the fresh machine, given the same input
+/// in the same state, produced different effects than the live run recorded
+/// — some driver mutated protocol state out-of-band.
+#[derive(Debug, Clone)]
+pub struct ConformanceError {
+    pub step: usize,
+    pub input: Input,
+    pub recorded: Vec<Effect>,
+    pub replayed: Vec<Effect>,
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: input {:?} produced {:?} on replay but {:?} was recorded",
+            self.step, self.input, self.replayed, self.recorded
+        )
+    }
+}
+
+impl<M: ProtocolSm> MachineTranscript<M> {
+    /// Replays the transcript through a fresh copy of the initial machine
+    /// and checks every transition is reproduced exactly.
+    pub fn replay(&self) -> Result<(), ConformanceError> {
+        let mut sm = self.initial.clone();
+        for (i, step) in self.steps.iter().enumerate() {
+            let effects = sm.step(&step.input);
+            if effects != step.effects {
+                return Err(ConformanceError {
+                    step: i,
+                    input: step.input.clone(),
+                    recorded: step.effects.clone(),
+                    replayed: effects,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Both machines' transcripts for one site.
+#[derive(Debug, Clone)]
+pub struct ProtocolTranscripts {
+    pub coordinator: MachineTranscript<CoordinatorSm>,
+    pub participant: MachineTranscript<ParticipantSm>,
+}
+
+/// Groups a file list by storage site. Entries differing only in boot epoch
+/// collapse to one fid per site.
+pub fn group_by_site(files: &[FileListEntry]) -> Vec<(SiteId, Vec<Fid>)> {
+    let mut map: HashMap<SiteId, Vec<Fid>> = HashMap::new();
+    for f in files {
+        map.entry(f.storage_site).or_default().push(f.fid);
+    }
+    let mut v: Vec<(SiteId, Vec<Fid>)> = map.into_iter().collect();
+    v.sort_by_key(|(s, _)| *s);
+    for (_, fids) in v.iter_mut() {
+        fids.sort();
+        fids.dedup();
+    }
+    v
+}
+
+/// The earliest boot epoch at which the transaction used each storage site.
+/// The minimum matters: if any entry predates a reboot of the site, writes
+/// acked under the old incarnation may be gone, and prepare must fail there.
+pub fn site_epochs(files: &[FileListEntry]) -> BTreeMap<SiteId, u64> {
+    let mut map: BTreeMap<SiteId, u64> = BTreeMap::new();
+    for f in files {
+        map.entry(f.storage_site)
+            .and_modify(|e| *e = (*e).min(f.epoch))
+            .or_insert(f.epoch);
+    }
+    map
+}

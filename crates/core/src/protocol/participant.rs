@@ -1,0 +1,492 @@
+//! The participant's half of two-phase commit as a pure state machine.
+//!
+//! The participant's protocol obligations are mostly *refusals*: under
+//! presumed abort a participant may always vote no, and every defense the
+//! chaos campaigns forced into the codebase is a guarded no-vote here —
+//! the permanent refusal set after a unilateral rollback, the boot-epoch
+//! taint after a reboot, the deposed-primary check after a failover. A yes
+//! vote, by contrast, is a promise: once `Staged` succeeds the site must be
+//! able to install the intentions no matter what, until told otherwise.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use locus_types::{Fid, SiteId, TransId};
+
+use super::{Effect, Input, PrepareOutcome, ProtocolSm};
+
+/// Deliberately-breakable defenses, for the model checker's
+/// bug-reintroduction mode. Production drivers always use the default
+/// (everything enabled); the harness flips one off to confirm the checker
+/// finds the historical bug as a concrete counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ParticipantFaults {
+    /// Skip the presumed-abort refusal-set check on prepare: a site that
+    /// unilaterally rolled back a transaction may later vote yes for it.
+    pub skip_refused_check: bool,
+    /// Skip the boot-epoch taint check on prepare: a site that rebooted
+    /// (losing unprepared dirty data) may still vote yes.
+    pub skip_epoch_check: bool,
+}
+
+/// Progress of one in-flight prepare round.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PrepareStage {
+    /// Waiting for the deposed-primary check.
+    AwaitPrimary,
+    /// Waiting for the known-transaction check.
+    AwaitKnown,
+    /// Waiting for the stage-and-log result.
+    AwaitStage,
+}
+
+/// One in-flight prepare round (volatile: dies on reboot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrepareRound {
+    pub coordinator: SiteId,
+    pub files: Vec<Fid>,
+    pub stage: PrepareStage,
+}
+
+/// The participant protocol machine for one site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParticipantSm {
+    site: SiteId,
+    /// Current boot epoch; prepares claiming an older epoch are tainted.
+    boot_epoch: u64,
+    /// Presumed-abort refusal set: transactions this site unilaterally
+    /// rolled back. Permanent for the site's lifetime — a later prepare
+    /// for the same tid must vote no, because the rolled-back writes are
+    /// gone and a yes would commit a partial transaction.
+    refused: BTreeSet<TransId>,
+    /// In-flight prepare rounds, keyed by tid. Volatile.
+    rounds: BTreeMap<TransId, PrepareRound>,
+    /// Transactions this site has voted yes on and not yet resolved.
+    prepared: BTreeSet<TransId>,
+    faults: ParticipantFaults,
+}
+
+impl ParticipantSm {
+    pub fn new(site: SiteId, boot_epoch: u64) -> Self {
+        Self::with_faults(site, boot_epoch, ParticipantFaults::default())
+    }
+
+    pub fn with_faults(site: SiteId, boot_epoch: u64, faults: ParticipantFaults) -> Self {
+        ParticipantSm {
+            site,
+            boot_epoch,
+            refused: BTreeSet::new(),
+            rounds: BTreeMap::new(),
+            prepared: BTreeSet::new(),
+            faults,
+        }
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    pub fn boot_epoch(&self) -> u64 {
+        self.boot_epoch
+    }
+
+    /// Whether the presumed-abort refusal set contains `tid`.
+    pub fn refuses(&self, tid: TransId) -> bool {
+        self.refused.contains(&tid)
+    }
+
+    /// Whether this site has voted yes on `tid` without a resolution yet.
+    pub fn is_prepared(&self, tid: TransId) -> bool {
+        self.prepared.contains(&tid)
+    }
+}
+
+impl ProtocolSm for ParticipantSm {
+    fn step(&mut self, input: &Input) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        match input {
+            Input::PrepareReq {
+                tid,
+                coordinator,
+                files,
+                epoch,
+            } => {
+                if !self.faults.skip_refused_check && self.refused.contains(tid) {
+                    // This site already rolled the transaction back; its
+                    // writes here are gone for good. Voting yes would let
+                    // the coordinator commit a partial transaction.
+                    effects.push(Effect::Vote {
+                        tid: *tid,
+                        ok: false,
+                    });
+                } else if !self.faults.skip_epoch_check && *epoch != self.boot_epoch {
+                    // The transaction used this site under an earlier boot
+                    // epoch: unprepared dirty data from that incarnation
+                    // died with it, so nothing here is trustworthy.
+                    effects.push(Effect::Vote {
+                        tid: *tid,
+                        ok: false,
+                    });
+                } else {
+                    self.rounds.insert(
+                        *tid,
+                        PrepareRound {
+                            coordinator: *coordinator,
+                            files: files.clone(),
+                            stage: PrepareStage::AwaitPrimary,
+                        },
+                    );
+                    effects.push(Effect::CheckPrimary {
+                        tid: *tid,
+                        files: files.clone(),
+                    });
+                }
+            }
+
+            Input::PrimaryChecked { tid, ok } => {
+                let Some(round) = self.rounds.get_mut(tid) else {
+                    return effects;
+                };
+                if round.stage != PrepareStage::AwaitPrimary {
+                    return effects;
+                }
+                if !*ok {
+                    // Deposed primary: a failover promoted a replica while
+                    // we were partitioned or down, so our copy may be
+                    // stale. Only the current primary may promise a commit.
+                    self.rounds.remove(tid);
+                    effects.push(Effect::Vote {
+                        tid: *tid,
+                        ok: false,
+                    });
+                } else {
+                    round.stage = PrepareStage::AwaitKnown;
+                    effects.push(Effect::ReclaimLeases {
+                        tid: *tid,
+                        files: round.files.clone(),
+                    });
+                    effects.push(Effect::CheckKnown {
+                        tid: *tid,
+                        files: round.files.clone(),
+                    });
+                }
+            }
+
+            Input::KnownChecked { tid, known } => {
+                let Some(round) = self.rounds.get_mut(tid) else {
+                    return effects;
+                };
+                if round.stage != PrepareStage::AwaitKnown {
+                    return effects;
+                }
+                if !*known {
+                    // Total stranger: no coordinating entry, no locks, no
+                    // dirty pages, no prepare log. Under presumed abort an
+                    // earlier incarnation's state is simply gone — vote no.
+                    self.rounds.remove(tid);
+                    effects.push(Effect::Vote {
+                        tid: *tid,
+                        ok: false,
+                    });
+                } else {
+                    round.stage = PrepareStage::AwaitStage;
+                    effects.push(Effect::StageAndLog {
+                        tid: *tid,
+                        coordinator: round.coordinator,
+                        files: round.files.clone(),
+                    });
+                }
+            }
+
+            Input::Staged { tid, ok } => {
+                let Some(round) = self.rounds.get(tid) else {
+                    return effects;
+                };
+                if round.stage != PrepareStage::AwaitStage {
+                    return effects;
+                }
+                self.rounds.remove(tid);
+                if *ok {
+                    self.prepared.insert(*tid);
+                }
+                effects.push(Effect::Vote { tid: *tid, ok: *ok });
+            }
+
+            Input::CommitReq { tid, files } => {
+                effects.push(Effect::Install {
+                    tid: *tid,
+                    files: files.clone(),
+                });
+            }
+
+            Input::Installed { tid, ok } => {
+                if *ok {
+                    self.prepared.remove(tid);
+                    effects.push(Effect::ReleaseLocks { tid: *tid });
+                    effects.push(Effect::Ack {
+                        tid: *tid,
+                        ok: true,
+                    });
+                } else {
+                    // The install stalled (e.g. disk offline): keep the
+                    // prepare log and locks, nack, and let the coordinator
+                    // retry phase two.
+                    effects.push(Effect::Ack {
+                        tid: *tid,
+                        ok: false,
+                    });
+                }
+            }
+
+            Input::AbortReq { tid, files } => {
+                // Into the refusal set *before* any rollback work: if the
+                // rollback is interrupted, a later prepare retry must still
+                // see the refusal.
+                self.refused.insert(*tid);
+                effects.push(Effect::Rollback {
+                    tid: *tid,
+                    files: files.clone(),
+                });
+            }
+
+            Input::RolledBack { tid, ok } => {
+                if *ok {
+                    self.prepared.remove(tid);
+                    effects.push(Effect::ReleaseLocks { tid: *tid });
+                    effects.push(Effect::Ack {
+                        tid: *tid,
+                        ok: true,
+                    });
+                } else {
+                    effects.push(Effect::Ack {
+                        tid: *tid,
+                        ok: false,
+                    });
+                }
+            }
+
+            Input::RecoveredPrepare {
+                tid,
+                fid,
+                coordinator,
+            } => {
+                effects.push(Effect::QueryStatus {
+                    tid: *tid,
+                    fid: *fid,
+                    coordinator: *coordinator,
+                });
+            }
+
+            Input::StatusResolved { tid, fid, outcome } => match outcome {
+                PrepareOutcome::Committed => {
+                    self.prepared.remove(tid);
+                    effects.push(Effect::InstallRecovered {
+                        tid: *tid,
+                        fid: *fid,
+                    });
+                }
+                PrepareOutcome::AbortedOrForgotten => {
+                    // Purge the log; the scavenger reclaims shadow blocks.
+                    // No refusal-set insert: the prepare log *was* the
+                    // site's knowledge of the transaction, and purging it
+                    // means a later prepare fails the known-check instead.
+                    self.prepared.remove(tid);
+                    effects.push(Effect::PurgePrepareLog {
+                        tid: *tid,
+                        fid: *fid,
+                    });
+                }
+                PrepareOutcome::Undecided | PrepareOutcome::Unreachable => {
+                    // Stay in doubt: keep the prepare log and re-resolve on
+                    // the next recovery pass.
+                }
+            },
+
+            Input::Rebooted { epoch } => {
+                // Volatile state died with the old incarnation. The refusal
+                // set survives in this machine because the machine itself
+                // survives (the driver outlives the simulated kernel); the
+                // prepared set is rebuilt from the journal scan.
+                self.boot_epoch = *epoch;
+                self.rounds.clear();
+                self.prepared.clear();
+            }
+
+            // Coordinator-side inputs: not ours, no transition.
+            _ => {}
+        }
+        effects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid() -> TransId {
+        TransId::new(SiteId(0), 7)
+    }
+
+    fn fids() -> Vec<Fid> {
+        vec![Fid::new(locus_types::VolumeId(1), 3)]
+    }
+
+    /// Drive one full prepare round with a compliant substrate (primary
+    /// intact, transaction known, staging succeeds) and return the vote.
+    fn drive_prepare(sm: &mut ParticipantSm, epoch: u64) -> bool {
+        let mut queue: Vec<Input> = vec![Input::PrepareReq {
+            tid: tid(),
+            coordinator: SiteId(0),
+            files: fids(),
+            epoch,
+        }];
+        let mut vote = None;
+        while let Some(inp) = queue.pop() {
+            for e in sm.step(&inp) {
+                match e {
+                    Effect::CheckPrimary { tid, .. } => {
+                        queue.push(Input::PrimaryChecked { tid, ok: true })
+                    }
+                    Effect::CheckKnown { tid, .. } => {
+                        queue.push(Input::KnownChecked { tid, known: true })
+                    }
+                    Effect::StageAndLog { tid, .. } => queue.push(Input::Staged { tid, ok: true }),
+                    Effect::Vote { ok, .. } => vote = Some(ok),
+                    Effect::ReclaimLeases { .. } => {}
+                    other => panic!("unexpected prepare effect {other:?}"),
+                }
+            }
+        }
+        vote.expect("prepare round must end in a vote")
+    }
+
+    #[test]
+    fn compliant_prepare_votes_yes_and_records_promise() {
+        let mut sm = ParticipantSm::new(SiteId(1), 4);
+        assert!(drive_prepare(&mut sm, 4));
+        assert!(sm.is_prepared(tid()));
+    }
+
+    #[test]
+    fn refusal_set_is_permanent_and_votes_no() {
+        let mut sm = ParticipantSm::new(SiteId(1), 0);
+        // A unilateral rollback (partition-stranded abort) refuses the tid
+        // *before* any rollback work, so an interrupted rollback still
+        // leaves the refusal behind.
+        let effects = sm.step(&Input::AbortReq {
+            tid: tid(),
+            files: fids(),
+        });
+        assert!(sm.refuses(tid()));
+        assert!(matches!(effects[0], Effect::Rollback { .. }));
+        // Even with a fully compliant substrate — locks re-established,
+        // dirty pages back — the prepare must vote no, forever.
+        assert!(!drive_prepare(&mut sm, 0));
+        assert!(!drive_prepare(&mut sm, 0));
+        assert!(!sm.is_prepared(tid()));
+    }
+
+    #[test]
+    fn boot_epoch_taint_votes_no_after_reboot() {
+        let mut sm = ParticipantSm::new(SiteId(1), 0);
+        assert!(sm.step(&Input::Rebooted { epoch: 1 }).is_empty());
+        assert_eq!(sm.boot_epoch(), 1);
+        // The coordinator's file list still claims epoch 0: unprepared
+        // dirty data from that incarnation died with it, so vote no even
+        // though the known-check would pass.
+        assert!(!drive_prepare(&mut sm, 0));
+        // A prepare claiming the current incarnation is fine.
+        assert!(drive_prepare(&mut sm, 1));
+    }
+
+    #[test]
+    fn deposed_primary_votes_no() {
+        let mut sm = ParticipantSm::new(SiteId(1), 0);
+        let effects = sm.step(&Input::PrepareReq {
+            tid: tid(),
+            coordinator: SiteId(0),
+            files: fids(),
+            epoch: 0,
+        });
+        assert!(matches!(effects[0], Effect::CheckPrimary { .. }));
+        // A failover promoted a replica elsewhere: this copy may be stale.
+        let effects = sm.step(&Input::PrimaryChecked {
+            tid: tid(),
+            ok: false,
+        });
+        assert_eq!(
+            effects,
+            vec![Effect::Vote {
+                tid: tid(),
+                ok: false
+            }]
+        );
+        assert!(!sm.is_prepared(tid()));
+    }
+
+    #[test]
+    fn unknown_transaction_votes_no_under_presumed_abort() {
+        let mut sm = ParticipantSm::new(SiteId(1), 0);
+        sm.step(&Input::PrepareReq {
+            tid: tid(),
+            coordinator: SiteId(0),
+            files: fids(),
+            epoch: 0,
+        });
+        sm.step(&Input::PrimaryChecked {
+            tid: tid(),
+            ok: true,
+        });
+        let effects = sm.step(&Input::KnownChecked {
+            tid: tid(),
+            known: false,
+        });
+        assert_eq!(
+            effects,
+            vec![Effect::Vote {
+                tid: tid(),
+                ok: false
+            }]
+        );
+    }
+
+    #[test]
+    fn reboot_kills_volatile_rounds_but_not_refusals() {
+        let mut sm = ParticipantSm::new(SiteId(1), 0);
+        sm.step(&Input::AbortReq {
+            tid: tid(),
+            files: fids(),
+        });
+        // Mid-flight round dies with the incarnation...
+        sm.step(&Input::PrepareReq {
+            tid: TransId::new(SiteId(0), 8),
+            coordinator: SiteId(0),
+            files: fids(),
+            epoch: 0,
+        });
+        sm.step(&Input::Rebooted { epoch: 1 });
+        let stale = sm.step(&Input::PrimaryChecked {
+            tid: TransId::new(SiteId(0), 8),
+            ok: true,
+        });
+        assert!(stale.is_empty(), "round must not survive the reboot");
+        // ...but the refusal set survives: the machine outlives the kernel.
+        assert!(sm.refuses(tid()));
+    }
+
+    #[test]
+    fn fault_flags_disable_exactly_one_defense() {
+        let faults = ParticipantFaults {
+            skip_refused_check: true,
+            skip_epoch_check: false,
+        };
+        let mut sm = ParticipantSm::with_faults(SiteId(1), 0, faults);
+        sm.step(&Input::AbortReq {
+            tid: tid(),
+            files: fids(),
+        });
+        // Refusal check disabled: the historical bug is back...
+        assert!(drive_prepare(&mut sm, 0));
+        // ...but the epoch taint still holds.
+        assert!(!drive_prepare(&mut sm, 5));
+    }
+}

@@ -1,0 +1,82 @@
+//! Conformance oracle: the live run must agree with the sans-IO machines.
+//!
+//! Every chaos run records, at each site, the exact `(input, effects)`
+//! transcript of its coordinator and participant protocol machines. This
+//! oracle replays each transcript through a fresh copy of the machine's
+//! pristine initial state: because a machine step is pure, the replay must
+//! reproduce the recorded effects bit-for-bit. Any divergence means some
+//! driver code mutated protocol state outside a machine transition — the
+//! exact class of tangling the sans-IO refactor exists to forbid.
+//!
+//! A second, trace-level check closes the loop from the machines back to
+//! the substrate: every transactional install the simulation performed
+//! (an [`Event::FileCommit`] carrying a transaction id) must be sanctioned
+//! by the protocol — some site's participant machine was driven through a
+//! phase-two `CommitReq` for that transaction, or resolved its recovered
+//! prepare to `Committed`. An install with no sanctioning transition would
+//! be a driver writing committed bytes behind the protocol's back.
+
+use std::collections::BTreeSet;
+
+use locus_core::protocol::{Input, PrepareOutcome};
+use locus_sim::Event;
+use locus_types::TransId;
+
+use super::oracle::Violation;
+use crate::cluster::Cluster;
+
+/// Replays every site's recorded protocol transcripts and cross-checks the
+/// event trace's transactional installs against them.
+pub fn check_conformance(c: &Cluster, events: &[Event], out: &mut Vec<Violation>) {
+    // Transactions some machine sanctioned an install for. Global, not
+    // per-site: replica pushes install at sites whose participant machine
+    // never saw the commit (replica sync is a kernel-level transfer), but
+    // the *primary's* machine must have been told.
+    let mut sanctioned: BTreeSet<TransId> = BTreeSet::new();
+    for (i, site) in c.sites.iter().enumerate() {
+        let tx = site.txn.transcripts();
+        if let Err(e) = tx.coordinator.replay() {
+            out.push(Violation::Conformance {
+                site: i,
+                machine: "coordinator",
+                detail: e.to_string(),
+            });
+        }
+        if let Err(e) = tx.participant.replay() {
+            out.push(Violation::Conformance {
+                site: i,
+                machine: "participant",
+                detail: e.to_string(),
+            });
+        }
+        for step in &tx.participant.steps {
+            match &step.input {
+                Input::CommitReq { tid, .. } => {
+                    sanctioned.insert(*tid);
+                }
+                Input::StatusResolved {
+                    tid,
+                    outcome: PrepareOutcome::Committed,
+                    ..
+                } => {
+                    sanctioned.insert(*tid);
+                }
+                _ => {}
+            }
+        }
+    }
+    for ev in events {
+        if let Event::FileCommit { fid, tid: Some(t) } = ev {
+            if !sanctioned.contains(t) {
+                out.push(Violation::Conformance {
+                    site: t.site.0 as usize,
+                    machine: "participant",
+                    detail: format!(
+                        "install of {fid} for {t} has no sanctioning CommitReq or \
+                         committed StatusResolved in any participant transcript"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! carries the seed, the schedule text, and (in the binary) a greedily
 //! minimized schedule.
 
+pub mod conformance;
 pub mod minimize;
 pub mod oracle;
 pub mod schedule;
@@ -406,6 +407,11 @@ fn run_inner(
                 .store(false, Ordering::Relaxed);
         }
     }
+    // Record every protocol machine transition for the conformance oracle:
+    // the whole run (setup included) must replay through the pure machines.
+    for i in 0..cfg.sites {
+        c.site(i).txn.set_transcript_recording(true);
+    }
     let mut notes = Vec::new();
 
     let home_disk = |i: usize| c.site(i).kernel.home().expect("home volume").disk().clone();
@@ -580,9 +586,21 @@ fn run_inner(
         RunOutcome::Stuck { .. } => {
             let rerun = drv.run();
             if let RunOutcome::Stuck { ref blocked } = rerun {
+                // Residual blockage with all faults lifted: consult the
+                // deadlock detector's wait-for graph so the note says
+                // whether this is a true cycle (a real deadlock the sorted
+                // lock order should have ruled out) or starvation.
+                let graph = locus_deadlock::DeadlockDetector::new(
+                    c.sites.clone(),
+                    locus_deadlock::VictimPolicy::Youngest,
+                )
+                .build_graph();
                 notes.push(format!(
-                    "{} process(es) still blocked after recovery epilogue",
-                    blocked.len()
+                    "{} process(es) still blocked after recovery epilogue \
+                     (wait-for graph: {} waiters, {} cycles)",
+                    blocked.len(),
+                    graph.node_count(),
+                    graph.cycles().len()
                 ));
             }
             rerun
@@ -623,6 +641,9 @@ fn run_inner(
     oracle::check_lock_safety(&c, &mut violations);
     oracle::check_lock_leaks(&c, &events, &mut violations);
     oracle::check_two_phase_with_marks(&events, &journal_marks, &mut violations);
+    // Every transition the run took must replay through the pure protocol
+    // machines, and every transactional install must be machine-sanctioned.
+    conformance::check_conformance(&c, &events, &mut violations);
     // No-op without replicated files; with them, every replica's durable
     // copy must match the primary's committed image after the quiesce.
     oracle::check_replica_convergence(&c, &mut violations);

@@ -85,6 +85,14 @@ pub enum Violation {
         site: usize,
         detail: String,
     },
+    /// A recorded protocol transition does not replay through the sans-IO
+    /// state machines (or a transactional install has no sanctioning
+    /// machine transition): driver code mutated protocol state out-of-band.
+    Conformance {
+        site: usize,
+        machine: &'static str,
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -138,6 +146,13 @@ impl fmt::Display for Violation {
                     f,
                     "REPLICA-DIVERGENCE file {file} replica site {site}: {detail}"
                 )
+            }
+            Violation::Conformance {
+                site,
+                machine,
+                detail,
+            } => {
+                write!(f, "CONFORMANCE site {site} {machine}: {detail}")
             }
         }
     }

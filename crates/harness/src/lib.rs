@@ -17,6 +17,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod experiments;
+pub mod mc;
 pub mod report;
 pub mod script;
 pub mod table;

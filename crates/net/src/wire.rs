@@ -692,8 +692,12 @@ fn dec_replica(d: &mut Dec<'_>) -> Option<ReplicaMsg> {
 }
 
 fn enc_err(e: &mut Enc, err: &Error) {
-    // Errors travel as a coarse class tag sufficient for the caller's
-    // control flow; unclassified errors carry their display form.
+    // Every error class has its own tag so a decoded error is the error
+    // that was raised — callers match on variants for control flow, and a
+    // collapse to a display string would lose that across the wire. Tags
+    // 0–5 predate the typed extension and keep their layout; tag 6 remains
+    // decodable (a string classified as a protocol violation) for captured
+    // byte streams from before the extension.
     match err {
         Error::LockConflict { fid, range } => {
             e.u8(0);
@@ -722,10 +726,51 @@ fn enc_err(e: &mut Enc, err: &Error) {
             e.u8(5);
             enc_tid(e, *t);
         }
-        other => {
-            e.u8(6);
-            e.bytes(other.to_string().as_bytes());
+        Error::PermissionDenied { fid } => {
+            e.u8(7);
+            enc_fid(e, *fid);
         }
+        Error::NoSuchFile(name) => {
+            e.u8(8);
+            e.bytes(name.as_bytes());
+        }
+        Error::StaleFid(fid) => {
+            e.u8(9);
+            enc_fid(e, *fid);
+        }
+        Error::BadChannel => e.u8(10),
+        Error::SiteDown(s) => {
+            e.u8(11);
+            e.u32(s.0);
+        }
+        Error::Partitioned { from, to } => {
+            e.u8(12);
+            e.u32(from.0);
+            e.u32(to.0);
+        }
+        Error::NotInTransaction => e.u8(13),
+        Error::ChildrenActive { remaining } => {
+            e.u8(14);
+            e.u64(*remaining as u64);
+        }
+        Error::VolumeFull => e.u8(15),
+        Error::InvalidArgument(s) => {
+            e.u8(16);
+            e.bytes(s.as_bytes());
+        }
+        Error::ProtocolViolation(s) => {
+            e.u8(17);
+            e.bytes(s.as_bytes());
+        }
+        Error::AlreadyExists(name) => {
+            e.u8(18);
+            e.bytes(name.as_bytes());
+        }
+        Error::Crashed(s) => {
+            e.u8(19);
+            e.u32(s.0);
+        }
+        Error::DiskOffline => e.u8(20),
     }
 }
 
@@ -747,6 +792,25 @@ fn dec_err(d: &mut Dec<'_>) -> Option<Error> {
         4 => Error::NoSuchProcess(Pid(d.u64()?)),
         5 => Error::TxnAborted(dec_tid(d)?),
         6 => Error::ProtocolViolation(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        7 => Error::PermissionDenied { fid: dec_fid(d)? },
+        8 => Error::NoSuchFile(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        9 => Error::StaleFid(dec_fid(d)?),
+        10 => Error::BadChannel,
+        11 => Error::SiteDown(SiteId(d.u32()?)),
+        12 => Error::Partitioned {
+            from: SiteId(d.u32()?),
+            to: SiteId(d.u32()?),
+        },
+        13 => Error::NotInTransaction,
+        14 => Error::ChildrenActive {
+            remaining: d.u64()? as usize,
+        },
+        15 => Error::VolumeFull,
+        16 => Error::InvalidArgument(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        17 => Error::ProtocolViolation(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        18 => Error::AlreadyExists(String::from_utf8_lossy(d.bytes()?).into_owned()),
+        19 => Error::Crashed(SiteId(d.u32()?)),
+        20 => Error::DiskOffline,
         _ => return None,
     })
 }
@@ -1065,14 +1129,9 @@ mod tests {
         for msg in sample_messages() {
             let bytes = encode(&msg);
             let got = decode(&bytes).unwrap_or_else(|| panic!("decode failed for {msg:?}"));
-            match (&msg, &got) {
-                // Generic errors collapse to ProtocolViolation carrying the
-                // display string; everything else must be identical.
-                (Msg::Err(Error::VolumeFull), Msg::Err(Error::ProtocolViolation(s))) => {
-                    assert_eq!(s, "volume full");
-                }
-                _ => assert_eq!(got, msg),
-            }
+            // Since the typed-tag extension every error class round-trips
+            // to exactly the error that was raised.
+            assert_eq!(got, msg);
         }
     }
 

@@ -242,8 +242,13 @@ fn replica_msg() -> BoxedStrategy<ReplicaMsg> {
     .boxed()
 }
 
-/// Errors whose wire encoding is lossless (the catch-all class collapses to
-/// `ProtocolViolation`, so it is excluded from exact round-trip checks).
+fn short_string() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..24)
+        .prop_map(|bs| bs.into_iter().map(|b| char::from(b'a' + b % 26)).collect())
+}
+
+/// Every error class: since the typed-tag extension, each variant has its
+/// own wire tag and must round-trip to exactly the error that was raised.
 fn err() -> BoxedStrategy<Error> {
     prop_oneof![
         (fid(), range()).prop_map(|(fid, range)| Error::LockConflict { fid, range }),
@@ -252,6 +257,20 @@ fn err() -> BoxedStrategy<Error> {
         pid().prop_map(Error::InTransit),
         pid().prop_map(Error::NoSuchProcess),
         tid().prop_map(Error::TxnAborted),
+        fid().prop_map(|fid| Error::PermissionDenied { fid }),
+        short_string().prop_map(Error::NoSuchFile),
+        fid().prop_map(Error::StaleFid),
+        Just(Error::BadChannel),
+        site().prop_map(Error::SiteDown),
+        (site(), site()).prop_map(|(from, to)| Error::Partitioned { from, to }),
+        Just(Error::NotInTransaction),
+        (0usize..64).prop_map(|remaining| Error::ChildrenActive { remaining }),
+        Just(Error::VolumeFull),
+        short_string().prop_map(Error::InvalidArgument),
+        short_string().prop_map(Error::ProtocolViolation),
+        short_string().prop_map(Error::AlreadyExists),
+        site().prop_map(Error::Crashed),
+        Just(Error::DiskOffline),
     ]
     .boxed()
 }

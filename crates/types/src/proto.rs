@@ -163,7 +163,7 @@ pub struct FileListEntry {
 
 /// Status marker in the coordinator log (Section 4.2): initially `Unknown`,
 /// flipped to `Committed` at the commit point or `Aborted` on abort.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TxnStatus {
     Unknown,
     Committed,
